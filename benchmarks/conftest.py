@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+The bench targets regenerate each paper figure/table over a representative
+subset at the fast workload size, assert the paper's qualitative shape,
+and time the regeneration with pytest-benchmark.  Use the ``wabench`` CLI
+for full-suite, full-size runs (recorded in EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.harness import Harness
+
+# One benchmark per suite flavor plus the apps the paper singles out.
+REPRESENTATIVE = [
+    "gcc-loops", "quicksort",             # JetStream2
+    "sha",                                # MiBench
+    "gemm", "jacobi-2d",                  # PolyBench
+    "gnuchess", "whitedb", "facedetection",  # apps with signature effects
+]
+
+SMALL_SET = ["quicksort", "gemm", "crc32", "facedetection"]
+
+
+@pytest.fixture(scope="session")
+def harness():
+    """Session harness over the representative subset (results cached).
+
+    Uses the "small" workload class: the paper's qualitative relationships
+    (JIT vs interpreter, AOT gains, compile-time shares) need runs long
+    enough that execution is not swamped by load/compile phases.
+    """
+    return Harness(size="small", benchmarks=REPRESENTATIVE)
+
+
+@pytest.fixture(scope="session")
+def small_harness():
+    """Tiny harness for the expensive sweeps (opt levels, backends)."""
+    return Harness(size="test", benchmarks=SMALL_SET)
+
+
+def one_shot(benchmark, fn):
+    """Benchmark a function exactly once (model runs are deterministic)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

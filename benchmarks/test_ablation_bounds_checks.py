@@ -1,0 +1,80 @@
+"""Ablation: software bounds-check density (the sandbox tax).
+
+One of the modeled differences between native and JIT-compiled Wasm is
+explicit bounds checking.  This bench sweeps the check density on the
+same module and measures the steady-state cost, and checks that the
+LLVM tier's check elimination keeps its density below Cranelift's.
+"""
+
+from conftest import one_shot
+from repro.compiler import compile_source
+from repro.hw import CPUModel
+from repro.isa import Machine, ops
+from repro.isa.memory import LinearMemory
+from repro.runtimes.jit import BACKENDS, LoweringOptions, lower_module
+from repro.wasi import WasiAPI, VirtualFS
+from repro.wasm import decode_module
+
+SOURCE = """
+int data[4096];
+int main(void) {
+    int i, round;
+    long total = 0l;
+    for (round = 0; round < 12; round++)
+        for (i = 0; i < 4096; i++) {
+            data[i] = data[i] + i;
+            total += (long)data[i];
+        }
+    print_l(total); print_nl();
+    return 0;
+}
+"""
+
+
+def _run_with_density(module, density):
+    program = lower_module(module, LoweringOptions(check_density=density))
+    program.finalize(0x0400_0000)
+    cpu = CPUModel()
+    fs = VirtualFS()
+    machine = Machine(program, cpu,
+                      memory=LinearMemory(program.memory_pages),
+                      host=WasiAPI(fs=fs, cpu=cpu).as_host())
+    machine.apply_data_segments()
+    from repro.errors import ExitProc
+    try:
+        machine.run_export("_start")
+    except ExitProc:
+        pass
+    return cpu.counters.instructions, fs.stdout_text()
+
+
+def test_ablation_bounds_check_density(benchmark):
+    module = decode_module(compile_source(SOURCE).wasm_bytes)
+
+    def sweep():
+        return {d: _run_with_density(module, d) for d in (0.0, 0.5, 1.0)}
+
+    results = one_shot(benchmark, sweep)
+    outputs = {text for _, text in results.values()}
+    assert len(outputs) == 1                      # checks never change results
+    i0, i5, i10 = (results[d][0] for d in (0.0, 0.5, 1.0))
+    assert i0 < i5 < i10                          # density costs instructions
+    # Full density on this memory-heavy loop costs >8% instructions.
+    assert i10 > i0 * 1.08
+
+
+def test_ablation_llvm_eliminates_checks(benchmark):
+    module = decode_module(compile_source(SOURCE).wasm_bytes)
+
+    def count_checks():
+        out = {}
+        for tier in ("cranelift", "llvm"):
+            spec = BACKENDS[tier]
+            from repro.runtimes.jit import compile_backend
+            program = compile_backend(module, spec)
+            out[tier] = sum(1 for f in program.functions
+                            for i in f.code if i[0] == ops.CHECK)
+        return out
+
+    checks = one_shot(benchmark, count_checks)
+    assert checks["llvm"] < checks["cranelift"]

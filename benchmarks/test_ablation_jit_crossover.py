@@ -1,0 +1,46 @@
+"""Ablation: the JIT compile-time / run-time crossover (Section 4.1).
+
+The paper observes that short-running programs hurt JIT runtimes
+(compile time dominates: jpeg/WAVM at 135x) while long runs amortize it.
+This bench sweeps workload length for one program and locates the
+crossover where WAVM overtakes the interpreter.
+"""
+
+from conftest import one_shot
+from repro.compiler import compile_source
+from repro.runtimes import make_runtime
+
+TEMPLATE = """
+int main(void) {
+    int i;
+    unsigned int h = 1u;
+    for (i = 0; i < N; i++) h = h * 31u + (unsigned int)i;
+    print_x(h); print_nl();
+    return 0;
+}
+"""
+
+
+def test_ablation_jit_crossover(benchmark):
+    def sweep():
+        points = {}
+        for n in (200, 2000, 60000):
+            wasm = compile_source(TEMPLATE, 2,
+                                  defines={"N": str(n)}).wasm_bytes
+            wavm = make_runtime("wavm").run(wasm)
+            wasm3 = make_runtime("wasm3").run(wasm)
+            assert wavm.stdout == wasm3.stdout
+            points[n] = (wavm.seconds, wasm3.seconds,
+                         wavm.compile_seconds / wavm.seconds)
+        return points
+
+    points = one_shot(benchmark, sweep)
+    # Short run: the LLVM compile dominates; the interpreter wins.
+    assert points[200][0] > points[200][1]
+    assert points[200][2] > 0.5          # compile share > 50%
+    # Long run: compilation amortizes; the JIT wins decisively.
+    assert points[60000][0] < points[60000][1]
+    assert points[60000][2] < 0.5
+    # Compile share falls monotonically with workload length.
+    shares = [points[n][2] for n in (200, 2000, 60000)]
+    assert shares[0] > shares[1] > shares[2]

@@ -1,0 +1,27 @@
+"""Figures 11-14 bench: the appendix per-benchmark breakdowns."""
+
+from conftest import one_shot
+from repro.harness.experiments import arch, memory, perf
+
+
+def test_fig11_backends_per_benchmark(benchmark, small_harness):
+    table = one_shot(benchmark, lambda: perf.fig11(small_harness))
+    assert len(table.rows) == len(small_harness.benchmark_names)
+
+
+def test_fig12_aot_per_benchmark(benchmark, small_harness):
+    table = one_shot(benchmark, lambda: perf.fig12(small_harness))
+    assert len(table.rows) == len(small_harness.benchmark_names)
+    for row in table.rows:
+        assert all(v > 0.9 for v in row[1:]), row
+
+
+def test_fig13_mrss_per_benchmark(benchmark, small_harness):
+    table = one_shot(benchmark, lambda: memory.fig13(small_harness))
+    assert len(table.rows) == len(small_harness.benchmark_names)
+
+
+def test_fig14_instructions_per_benchmark(benchmark, small_harness):
+    table = one_shot(benchmark, lambda: arch.fig14(small_harness))
+    for row in table.rows:
+        assert all(v > 1.0 for v in row[1:]), row

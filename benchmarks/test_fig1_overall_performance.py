@@ -1,0 +1,30 @@
+"""Figure 1 bench: overall performance slowdown vs native (Finding 1)."""
+
+from conftest import one_shot
+from repro.harness.experiments import perf
+
+
+def test_fig1_overall_performance(benchmark, harness):
+    table = one_shot(benchmark, lambda: perf.fig1(harness))
+    row = table.rows[-1]
+    assert row[0] == "GEOMEAN"
+    slowdowns = dict(zip(table.columns[1:], row[1:]))
+
+    # Finding 1: every runtime is slower than native.
+    for runtime, slowdown in slowdowns.items():
+        assert slowdown > 1.0, (runtime, slowdown)
+
+    # JIT runtimes beat interpreters on average.
+    jit_worst = max(slowdowns[r] for r in ("wasmtime", "wavm", "wasmer"))
+    interp_best = min(slowdowns[r] for r in ("wasm3", "wamr"))
+    assert interp_best > jit_worst
+
+    # The paper's per-runtime ordering: wasmer <= wasmtime < wavm,
+    # wasm3 < wamr.
+    assert slowdowns["wasmer"] <= slowdowns["wasmtime"] * 1.05
+    assert slowdowns["wavm"] > slowdowns["wasmtime"]
+    assert slowdowns["wasm3"] < slowdowns["wamr"]
+
+    # Rough magnitudes (paper: 1.59x-9.57x band).
+    assert 1.05 < slowdowns["wasmer"] < 4.0
+    assert 3.0 < slowdowns["wamr"] < 30.0

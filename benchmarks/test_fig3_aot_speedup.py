@@ -1,0 +1,20 @@
+"""Figure 3/12 bench: AOT compilation speedup (Finding 3)."""
+
+from conftest import one_shot
+from repro.harness.experiments import perf
+
+
+def test_fig3_aot_speedup(benchmark, harness):
+    table = one_shot(benchmark, lambda: perf.fig3(harness))
+    row = table.rows[-1]
+    assert row[0] == "GEOMEAN"
+    speedups = dict(zip(table.columns[1:], row[1:]))
+    # AOT never hurts.
+    for runtime, speedup in speedups.items():
+        assert speedup >= 0.99, (runtime, speedup)
+    # Finding 3: WAVM gains far more than the Cranelift runtimes.
+    assert speedups["wavm"] > speedups["wasmtime"] * 1.2
+    assert speedups["wavm"] > speedups["wasmer"] * 1.2
+    # facedetection (short run, big code) is WAVM's best case.
+    fd = table.cell("facedetection", "wavm")
+    assert fd >= speedups["wavm"]

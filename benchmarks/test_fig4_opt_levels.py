@@ -1,0 +1,22 @@
+"""Figure 4 bench: compiler optimization level speedups (Finding 4)."""
+
+from conftest import one_shot
+from repro.harness.experiments import perf
+
+
+def test_fig4_opt_levels(benchmark, small_harness):
+    table = one_shot(benchmark, lambda: perf.fig4(small_harness))
+    rows = {row[0]: dict(zip(table.columns[1:], row[1:]))
+            for row in table.rows}
+    # -O0 baseline is 1.0 everywhere.
+    for engine, levels in rows.items():
+        assert abs(levels["-O0"] - 1.0) < 1e-9
+        # Finding 4: higher levels never slow an engine down (geomean).
+        assert levels["-O2"] > 1.0, engine
+    # Finding 4's headline: the interpreters benefit the most from -O
+    # (their cost is proportional to the wasm op count).
+    assert rows["wasm3"]["-O2"] >= rows["wasmtime"]["-O2"]
+    assert rows["wamr"]["-O2"] >= rows["wasmer"]["-O2"]
+    # -O3 never regresses vs -O2.
+    for engine, levels in rows.items():
+        assert levels["-O3"] >= levels["-O2"] * 0.95, engine

@@ -1,0 +1,20 @@
+"""Figure 5/13 bench: memory overhead (Finding 5)."""
+
+from conftest import one_shot
+from repro.harness.experiments import memory
+
+
+def test_fig5_memory(benchmark, harness):
+    table = one_shot(benchmark, lambda: memory.fig5(harness))
+    geo = table.rows[-1]
+    assert geo[0] == "GEOMEAN"
+    mrss = dict(zip(table.columns[1:], geo[1:]))
+    # Finding 5: runtimes consume more memory on average ...
+    for runtime in ("wasmtime", "wavm", "wasmer", "wamr"):
+        assert mrss[runtime] > 1.0, runtime
+    # ... WAVM the most, Wasm3 the least.
+    assert mrss["wavm"] == max(mrss.values())
+    assert mrss["wasm3"] == min(mrss.values())
+    # whitedb: JIT runtimes show LESS memory than native (demand paging
+    # vs native calloc) — the paper's anomaly.
+    assert table.cell("whitedb", "wasmtime") < 1.0

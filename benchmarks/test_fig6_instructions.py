@@ -1,0 +1,18 @@
+"""Figure 6/14 bench: dynamic instruction blow-up (Finding 6)."""
+
+from conftest import one_shot
+from repro.harness.experiments import arch
+
+
+def test_fig6_instructions(benchmark, harness):
+    table = one_shot(benchmark, lambda: arch.fig6(harness))
+    geo = table.rows[-1]
+    assert geo[0] == "GEOMEAN"
+    ratios = dict(zip(table.columns[1:], geo[1:]))
+    # Finding 6: every runtime executes more instructions than native
+    # (paper band: 2.03x-14.61x).
+    for runtime, ratio in ratios.items():
+        assert ratio > 1.2, (runtime, ratio)
+    # Interpreters far above JITs.
+    assert min(ratios["wasm3"], ratios["wamr"]) > \
+        2 * max(ratios["wasmtime"], ratios["wasmer"])

@@ -1,0 +1,17 @@
+"""Figure 7 bench: IPC of native vs runtimes (Finding 6, second half)."""
+
+from conftest import one_shot
+from repro.harness.experiments import arch
+
+
+def test_fig7_ipc(benchmark, harness):
+    table = one_shot(benchmark, lambda: arch.fig7(harness))
+    geo = table.rows[-1]
+    ipc = dict(zip(table.columns[1:], geo[1:]))
+    # All engines keep the pipeline reasonably busy.
+    for engine, value in ipc.items():
+        assert 0.3 < value <= 4.0, (engine, value)
+    # The runtimes' IPC is generally at or above native's (they do more,
+    # but more regular, work).
+    assert ipc["wasm3"] > ipc["native"]
+    assert ipc["wamr"] > ipc["native"] * 0.9

@@ -1,0 +1,15 @@
+"""Figure 9 bench: cache misses (Finding 8, first half)."""
+
+from conftest import one_shot
+from repro.harness.experiments import arch
+
+
+def test_fig9_cache_misses(benchmark, harness):
+    table = one_shot(benchmark, lambda: arch.fig9(harness))
+    geo = table.rows[-1]
+    ratios = dict(zip(table.columns[1:], geo[1:]))
+    # Finding 8: every runtime adds cache misses (paper 1.39x-4.60x),
+    # with the LLVM JIT's compile bursts on top.
+    for runtime, ratio in ratios.items():
+        assert ratio >= 1.0, (runtime, ratio)
+    assert ratios["wavm"] == max(ratios.values())

@@ -1,0 +1,26 @@
+"""Table 4 bench: AOT compilation times and their share of total time."""
+
+from conftest import one_shot
+from repro.harness import geomean
+from repro.harness.experiments import perf
+
+
+def test_table4_aot_compile_time(benchmark, harness):
+    table = one_shot(benchmark, lambda: perf.table4(harness))
+    # Parse the "ms (pct%)" cells of the AVERAGE row.
+    avg = table.rows[-1]
+    assert avg[0] == "AVERAGE"
+
+    def parse(cell):
+        ms, pct = cell.split(" (")
+        return float(ms), float(pct.rstrip("%)"))
+
+    wt_ms, wt_pct = parse(avg[1])
+    wavm_ms, wavm_pct = parse(avg[2])
+    wasmer_ms, wasmer_pct = parse(avg[3])
+    # WAVM compiles an order of magnitude slower (paper: 0.93s vs 0.09s).
+    assert wavm_ms > 5 * wt_ms
+    assert wavm_ms > 5 * wasmer_ms
+    # And its compile time is a much larger share of total runtime
+    # (paper: 9.52% vs 0.67% / 0.48%).
+    assert wavm_pct > 1.5 * wt_pct

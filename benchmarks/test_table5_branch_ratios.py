@@ -1,0 +1,23 @@
+"""Table 5 bench: branch miss *ratios* stay near native — except chess."""
+
+from conftest import one_shot
+from repro.harness.experiments import arch
+
+
+def test_table5_branch_ratios(benchmark, harness):
+    table = one_shot(benchmark, lambda: arch.table5(harness))
+    # gnuchess on the interpreters: the paper's outlier.  Its data-
+    # dependent bytecode stream defeats the dispatch predictor while
+    # regular numeric kernels stay near-perfect.  (The paper measures
+    # ~20% absolute; the model reproduces the *separation*, at a smaller
+    # magnitude — see EXPERIMENTS.md.)
+    chess_wamr = table.cell("gnuchess", "wamr")
+    pb_label = "PolyBench"
+    assert chess_wamr > 1.5 * table.cell(pb_label, "wamr")
+    # Regular numeric kernels predict well on every engine.
+    for engine in ("native", "wasmtime", "wasm3", "wamr"):
+        assert table.cell(pb_label, engine) < 12.0, engine
+    # And interpreter ratios elsewhere stay in native's regime
+    # (Table 5's headline).
+    assert table.cell(pb_label, "wamr") < \
+        3 * max(0.5, table.cell(pb_label, "native"))

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Choosing a runtime for an edge device (the paper's Section 7 scenario).
+
+The paper's discussion recommends matching the runtime to the deployment:
+JIT runtimes are faster but heavier; interpreters fit resource-constrained
+devices.  This example plays that decision out for an IoT-style workload —
+a sensor-fusion filter that runs periodically on a gateway — by measuring
+each runtime's cold-start time, steady-state time, and peak memory, then
+applying a memory budget.
+"""
+
+from repro.compiler import compile_source
+from repro.native import nativecc, run_native
+from repro.runtimes import ALL_RUNTIME_NAMES, make_runtime
+
+SENSOR_FILTER = r"""
+/* Exponential smoothing + outlier rejection over a sensor trace,
+   then a small FFT-free spectral proxy (Goertzel) per channel. */
+#define CHANNELS 4
+#define SAMPLES 600
+
+double trace[CHANNELS][SAMPLES];
+double smoothed[CHANNELS][SAMPLES];
+
+void synth_trace(void) {
+    unsigned int state = 0xE19Eu;
+    int c, t;
+    for (c = 0; c < CHANNELS; c++)
+        for (t = 0; t < SAMPLES; t++) {
+            double base = 20.0 + 4.0 * sin((double)t * 0.07 * (double)(c + 1));
+            state = state * 1664525u + 1013904223u;
+            base += (double)((state >> 20) & 255u) / 64.0 - 2.0;
+            if ((state & 0xFFFu) == 0u) base += 40.0;   /* outlier */
+            trace[c][t] = base;
+        }
+}
+
+void smooth_channel(int c) {
+    double alpha = 0.15;
+    double level = trace[c][0];
+    int t;
+    for (t = 0; t < SAMPLES; t++) {
+        double x = trace[c][t];
+        if (fabs(x - level) > 15.0) x = level;  /* reject outliers */
+        level = level + alpha * (x - level);
+        smoothed[c][t] = level;
+    }
+}
+
+double goertzel(int c, double freq) {
+    double w = 2.0 * 3.141592653589793 * freq;
+    double coeff = 2.0 * cos(w);
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+    int t;
+    for (t = 0; t < SAMPLES; t++) {
+        s0 = coeff * s1 - s2 + smoothed[c][t];
+        s2 = s1;
+        s1 = s0;
+    }
+    return s1 * s1 + s2 * s2 - coeff * s1 * s2;
+}
+
+int main(void) {
+    int c;
+    synth_trace();
+    for (c = 0; c < CHANNELS; c++) smooth_channel(c);
+    for (c = 0; c < CHANNELS; c++) {
+        print_s("ch"); print_i(c);
+        print_s(" power="); print_f(goertzel(c, 0.01));
+        print_nl();
+    }
+    return 0;
+}
+"""
+
+MEMORY_BUDGET_MB = 4.0   # a small gateway-class device
+
+
+def main() -> None:
+    native = run_native(nativecc(SENSOR_FILTER, 2))
+    artifact = compile_source(SENSOR_FILTER, 2)
+    print(f"workload: sensor fusion, module = {artifact.binary_size} bytes")
+    print(f"device memory budget: {MEMORY_BUDGET_MB:.0f} MB\n")
+
+    rows = []
+    for name in ALL_RUNTIME_NAMES:
+        rt = make_runtime(name)
+        res = rt.run(artifact.wasm_bytes)
+        assert res.stdout == native.stdout
+        rows.append((name, rt.mode, res.compile_seconds * 1e3,
+                     res.seconds * 1e3, res.mrss_bytes / 1e6))
+
+    print(f"{'runtime':10s} {'mode':7s} {'startup ms':>11s} "
+          f"{'total ms':>9s} {'MRSS MB':>8s}  verdict")
+    for name, mode, startup, total, mrss in rows:
+        fits = mrss <= MEMORY_BUDGET_MB
+        verdict = "fits budget" if fits else "over budget"
+        print(f"{name:10s} {mode:7s} {startup:11.4f} {total:9.4f} "
+              f"{mrss:8.2f}  {verdict}")
+
+    feasible = [(t, n) for n, _m, _s, t, mrss in rows
+                if mrss <= MEMORY_BUDGET_MB]
+    if feasible:
+        best = min(feasible)
+        print(f"\nrecommendation: {best[1]} — fastest runtime inside the "
+              "memory budget")
+        print("(the paper's conclusion: interpreters for constrained "
+              "devices, JITs where memory allows)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Look inside the toolchain: WAT disassembly, -O effects, JIT tiers.
+
+Shows the artifacts at each stage of the pipeline the paper measures:
+the Wasm module a C function compiles to at different -O levels, and the
+machine code each JIT backend tier generates from the same module.
+"""
+
+from repro.compiler import compile_source
+from repro.isa.program import disassemble
+from repro.runtimes.jit import BACKENDS, compile_backend
+from repro.wasm import decode_module, format_body
+
+SOURCE = r"""
+int dot(int *a, int *b, int n) {
+    int acc = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        acc += a[i] * b[i];
+    }
+    return acc;
+}
+
+int xs[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+int ys[8] = {8, 7, 6, 5, 4, 3, 2, 1};
+
+int main(void) {
+    print_i(dot(xs, ys, 8));
+    print_nl();
+    return 0;
+}
+"""
+
+
+def wasm_of(opt: int):
+    return compile_source(SOURCE, opt_level=opt)
+
+
+def main() -> None:
+    print("=== -O effects on the Wasm artifact ===")
+    for opt in (0, 1, 2, 3):
+        artifact = wasm_of(opt)
+        print(f"-O{opt}: {artifact.binary_size:5d} bytes, "
+              f"{artifact.instruction_count:5d} instructions "
+              f"(midend: {dict((k, v) for k, v in artifact.midend_stats.items() if v)})")
+
+    print("\n=== `dot` at -O2, as WebAssembly ===")
+    artifact = wasm_of(2)
+    module = decode_module(artifact.wasm_bytes)
+    for func in module.functions:
+        if func.name == "dot":
+            print(format_body(func.body))
+            break
+    else:
+        # names are not kept in the binary; find by shape instead
+        dot = min(module.functions, key=lambda f: abs(len(f.body) - 40))
+        print(format_body(dot.body))
+
+    print("\n=== the same module through each JIT tier ===")
+    for tier in ("singlepass", "cranelift", "llvm"):
+        program = compile_backend(module, BACKENDS[tier])
+        total = sum(len(f.code) for f in program.functions)
+        print(f"{tier:11s}: {total:5d} machine ops, "
+              f"{program.code_bytes:6d} code bytes")
+
+    print("\n=== machine code of one function (cranelift tier) ===")
+    program = compile_backend(module, BACKENDS["cranelift"])
+    smallest = min((f for f in program.functions if len(f.code) > 8),
+                   key=lambda f: len(f.code))
+    print(disassemble(smallest))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a C program and run it on all five runtime models.
+
+This is the 5-minute tour: write MiniC (the C subset), compile it to
+WebAssembly with ``wasicc``, execute it natively and on every standalone
+runtime the paper studies, and read the paper's measurements back.
+"""
+
+from repro.compiler import compile_source
+from repro.native import nativecc, run_native
+from repro.runtimes import ALL_RUNTIME_NAMES, make_runtime
+
+SOURCE = r"""
+/* Estimate pi two ways and hash some memory traffic. */
+int sieve[2000];
+
+int count_primes(int limit) {
+    int i, j, count = 0;
+    for (i = 0; i < limit; i++) sieve[i] = 1;
+    for (i = 2; i < limit; i++) {
+        if (!sieve[i]) continue;
+        count++;
+        for (j = i + i; j < limit; j += i) sieve[j] = 0;
+    }
+    return count;
+}
+
+double leibniz_pi(int terms) {
+    double acc = 0.0;
+    double sign = 1.0;
+    int k;
+    for (k = 0; k < terms; k++) {
+        acc += sign / (double)(2 * k + 1);
+        sign = -sign;
+    }
+    return 4.0 * acc;
+}
+
+int main(void) {
+    print_s("primes(2000) = ");
+    print_i(count_primes(2000));
+    print_nl();
+    print_s("pi ~ ");
+    print_f(leibniz_pi(5000));
+    print_nl();
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    # Native baseline: same source, the machine's own code generator.
+    native = run_native(nativecc(SOURCE, opt_level=2))
+    print("native output:")
+    print(native.stdout_text())
+
+    # Cross-compile to WebAssembly (+WASI) once...
+    artifact = compile_source(SOURCE, opt_level=2)
+    print(f"wasm module: {artifact.binary_size} bytes, "
+          f"{artifact.instruction_count} instructions, "
+          f"{artifact.function_count} functions\n")
+
+    # ...and run it on each standalone runtime.
+    header = (f"{'runtime':10s} {'slowdown':>9s} {'instrs x':>9s} "
+              f"{'IPC':>5s} {'MRSS x':>7s} {'bpm %':>6s}")
+    print(header)
+    print("-" * len(header))
+    for name in ALL_RUNTIME_NAMES:
+        res = make_runtime(name).run(artifact.wasm_bytes)
+        assert res.stdout == native.stdout, f"{name} output diverged!"
+        print(f"{name:10s} "
+              f"{res.seconds / native.seconds:8.2f}x "
+              f"{res.counters['instructions'] / native.counters['instructions']:8.2f}x "
+              f"{res.counters['ipc']:5.2f} "
+              f"{res.mrss_bytes / native.mrss_bytes:6.2f}x "
+              f"{res.counters['branch_miss_ratio'] * 100:6.2f}")
+    print("\n(all five runtimes produced byte-identical output)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Fill EXPERIMENTS.md placeholders from results/*.txt artifacts."""
+
+import re
+import sys
+
+RESULTS = sys.argv[1] if len(sys.argv) > 1 else "results"
+
+
+def parse_table(path):
+    rows = {}
+    columns = None
+    for line in open(path):
+        if "|" not in line or line.startswith("=="):
+            continue
+        cells = [c.strip() for c in line.split("|")]
+        if columns is None:
+            columns = cells
+            continue
+        if set(cells[0]) <= set("-+ "):
+            continue
+        rows[cells[0]] = dict(zip(columns[1:], cells[1:]))
+    return rows
+
+
+def main():
+    fig1 = parse_table(f"{RESULTS}/fig1.txt")
+    fig2 = parse_table(f"{RESULTS}/fig2.txt")
+    fig3 = parse_table(f"{RESULTS}/fig3.txt")
+    t4 = parse_table(f"{RESULTS}/table4.txt")
+    fig4 = parse_table(f"{RESULTS}/fig4.txt")
+    fig5 = parse_table(f"{RESULTS}/fig5.txt")
+    fig6 = parse_table(f"{RESULTS}/fig6.txt")
+    fig7 = parse_table(f"{RESULTS}/fig7.txt")
+    fig8 = parse_table(f"{RESULTS}/fig8.txt")
+    t5 = parse_table(f"{RESULTS}/table5.txt")
+    fig9 = parse_table(f"{RESULTS}/fig9.txt")
+    fig10 = parse_table(f"{RESULTS}/fig10.txt")
+    fig12 = parse_table(f"{RESULTS}/fig12.txt")
+    fig13 = parse_table(f"{RESULTS}/fig13.txt")
+
+    g1 = fig1["GEOMEAN"]
+    g2 = fig2["GEOMEAN"]
+    g3 = fig3["GEOMEAN"]
+    g4 = fig4  # per engine rows
+    g5 = fig5["GEOMEAN"]
+    g6 = fig6["GEOMEAN"]
+    g7 = fig7["GEOMEAN"]
+    g8 = fig8["GEOMEAN"]
+    g9 = fig9["GEOMEAN"]
+    g10 = fig10["AVERAGE"]
+    t4avg = t4["AVERAGE"]
+
+    f10_band = sorted(float(g10[e]) for e in
+                      ("wasmtime", "wavm", "wasmer", "wasm3", "wamr"))
+
+    subs = {
+        "FIG1_WT": g1["wasmtime"], "FIG1_WAVM": g1["wavm"],
+        "FIG1_WASMER": g1["wasmer"], "FIG1_W3": g1["wasm3"],
+        "FIG1_WAMR": g1["wamr"],
+        "FIG2_CL": g2["Cranelift"], "FIG2_LLVM": g2["LLVM"],
+        "FIG3_WT": g3["wasmtime"], "FIG3_WAVM": g3["wavm"],
+        "FIG3_WASMER": g3["wasmer"],
+        "FIG3_FD_WAVM": fig12["facedetection"]["wavm"],
+        "T4_WT": t4avg["wasmtime"], "T4_WAVM": t4avg["wavm"],
+        "T4_WASMER": t4avg["wasmer"],
+        "T4_FD_WAVM": t4["facedetection"]["wavm"],
+        "F4_NAT": fig4["native"]["-O2"], "F4_WT": fig4["wasmtime"]["-O2"],
+        "F4_WAVM": fig4["wavm"]["-O2"], "F4_WASMER": fig4["wasmer"]["-O2"],
+        "F4_W3": fig4["wasm3"]["-O2"], "F4_WAMR": fig4["wamr"]["-O2"],
+        "F5_WT": g5["wasmtime"], "F5_WAVM": g5["wavm"],
+        "F5_WASMER": g5["wasmer"], "F5_W3": g5["wasm3"],
+        "F5_WAMR": g5["wamr"],
+        "F5_WHITEDB_WT": fig13["whitedb"]["wasmtime"],
+        "F5_WHITEDB_WAVM": fig13["whitedb"]["wavm"],
+        "F6_WT": g6["wasmtime"], "F6_WAVM": g6["wavm"],
+        "F6_WASMER": g6["wasmer"], "F6_W3": g6["wasm3"],
+        "F6_WAMR": g6["wamr"],
+        "F7_NAT": g7["native"], "F7_WT": g7["wasmtime"],
+        "F7_WAVM": g7["wavm"], "F7_WASMER": g7["wasmer"],
+        "F7_W3": g7["wasm3"], "F7_WAMR": g7["wamr"],
+        "F8_WT": g8["wasmtime"], "F8_WAVM": g8["wavm"],
+        "F8_WASMER": g8["wasmer"], "F8_W3": g8["wasm3"],
+        "F8_WAMR": g8["wamr"],
+        "T5_PB_NAT": t5["PolyBench"]["native"] + "%",
+        "T5_PB_WAMR": t5["PolyBench"]["wamr"] + "%",
+        "T5_CHESS_WAMR": t5["gnuchess"]["wamr"] + "%",
+        "T5_CHESS_NAT": t5["gnuchess"]["native"] + "%",
+        "F9_WT": g9["wasmtime"], "F9_WAVM": g9["wavm"],
+        "F9_WASMER": g9["wasmer"], "F9_W3": g9["wasm3"],
+        "F9_WAMR": g9["wamr"],
+        "F10_NAT": g10["native"] + "%",
+        "F10_BAND": f"{f10_band[0]:.1f}%-{f10_band[-1]:.1f}%",
+    }
+    text = open("EXPERIMENTS.md").read()
+    for key in sorted(subs, key=len, reverse=True):
+        text = text.replace(key, str(subs[key]))
+    open("EXPERIMENTS.md", "w").write(text)
+    leftovers = re.findall(r"\b(?:FIG|F\d|T\d)\w*_[A-Z_0-9]+\b", text)
+    print("filled; leftovers:", leftovers)
+
+
+if __name__ == "__main__":
+    main()

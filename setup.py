@@ -1,0 +1,18 @@
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "WABench-repro: a full-system model reproducing 'How Far We've Come"
+        " - A Characterization Study of Standalone WebAssembly Runtimes'"
+        " (IISWC 2022)"
+    ),
+    long_description=open("README.md").read() if __import__("os").path.exists("README.md") else "",
+    long_description_content_type="text/markdown",
+    python_requires=">=3.9",
+    license="Apache-2.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={"console_scripts": ["wabench = repro.harness.cli:main"]},
+)

@@ -1,0 +1,22 @@
+"""WABench-repro: a full-system reproduction of
+"How Far We've Come - A Characterization Study of Standalone WebAssembly
+Runtimes" (Wenwen Wang, IISWC 2022).
+
+Public surface (see README.md for a tour):
+
+* :func:`repro.compiler.compile_source` — MiniC -> WebAssembly ("wasicc")
+* :func:`repro.native.nativecc` / :func:`repro.native.run_native` — the
+  native baseline
+* :func:`repro.runtimes.make_runtime` — the five runtime models
+  (wasmtime, wavm, wasmer[-backend], wasm3, wamr)
+* :mod:`repro.bench` — the 50-program WABench suite
+* :class:`repro.harness.Harness` + :data:`repro.harness.EXPERIMENTS` —
+  regenerate every figure/table
+* :mod:`repro.hw` — the modeled CPU (caches, predictors, cycles, MRSS)
+"""
+
+__version__ = "1.0.0"
+
+from . import errors
+
+__all__ = ["errors", "__version__"]

@@ -1,0 +1,14 @@
+"""WABench: the paper's 50-program benchmark suite.
+
+Four groups as in Table 2: JetStream2 (4), MiBench (9), PolyBench (30),
+and whole applications (7).  Every benchmark is MiniC source plus sized
+workload parameters and (where the original reads files) deterministic
+synthetic inputs.
+"""
+
+from .registry import (ALL_BENCHMARKS, APP_NAMES, BY_NAME, SUITES, by_suite,
+                       get, names)
+from .workload import SIZES, Benchmark
+
+__all__ = ["ALL_BENCHMARKS", "APP_NAMES", "BY_NAME", "SUITES", "by_suite",
+           "get", "names", "SIZES", "Benchmark"]

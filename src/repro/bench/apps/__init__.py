@@ -1,0 +1,1 @@
+"""Whole applications from diverse domains (paper Table 2, rows 44-50)."""

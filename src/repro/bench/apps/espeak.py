@@ -1,0 +1,197 @@
+"""Whole application `espeak`: compact text-to-speech synthesizer.
+
+The eSpeak pipeline end to end: text normalization and tokenization,
+rule-based letter-to-phoneme translation (a reduced English ruleset),
+prosody assignment (duration/pitch contours per phoneme), and formant
+synthesis — each phoneme rendered as a sum of two formant sine waves
+plus fricative noise, exactly the Klatt-style source-filter structure
+eSpeak uses.  Input is a text file; output is a checksum over the
+synthesized PCM samples plus phoneme statistics.
+"""
+
+from ..workload import Benchmark, deterministic_text
+
+SOURCE = r"""
+#define MAX_PHONEMES 8192
+#define SAMPLE_RATE 8000.0
+
+/* phoneme table: id, two formant frequencies, voiced flag, base duration */
+double formant1[40];
+double formant2[40];
+int voiced_flag[40];
+int base_duration[40];
+
+int phoneme_stream[MAX_PHONEMES];
+int phoneme_count = 0;
+
+char text_buf[TEXT_BYTES + 1];
+
+void init_phonemes(void) {
+    int i;
+    /* vowel region 0..9 */
+    for (i = 0; i < 10; i++) {
+        formant1[i] = 300.0 + 55.0 * (double)i;
+        formant2[i] = 2300.0 - 120.0 * (double)i;
+        voiced_flag[i] = 1;
+        base_duration[i] = 90 + 8 * (i % 4);
+    }
+    /* voiced consonants 10..24 */
+    for (i = 10; i < 25; i++) {
+        formant1[i] = 200.0 + 30.0 * (double)(i - 10);
+        formant2[i] = 1500.0 + 60.0 * (double)(i - 10);
+        voiced_flag[i] = 1;
+        base_duration[i] = 55;
+    }
+    /* unvoiced consonants 25..39 */
+    for (i = 25; i < 40; i++) {
+        formant1[i] = 900.0 + 100.0 * (double)(i - 25);
+        formant2[i] = 3000.0;
+        voiced_flag[i] = 0;
+        base_duration[i] = 45;
+    }
+}
+
+int is_vowel_letter(int c) {
+    return c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u';
+}
+
+void emit_phoneme(int p) {
+    if (phoneme_count < MAX_PHONEMES)
+        phoneme_stream[phoneme_count++] = p;
+}
+
+/* letter-to-sound rules: digraph handling + context-dependent vowels,
+   a reduced version of espeak's English ruleset */
+void translate_word(char *w, int len) {
+    int i = 0;
+    while (i < len) {
+        int c = (int)w[i];
+        int next = i + 1 < len ? (int)w[i + 1] : 0;
+        if (c == 't' && next == 'h') {
+            emit_phoneme(12);       /* TH */
+            i += 2;
+        } else if (c == 's' && next == 'h') {
+            emit_phoneme(27);       /* SH */
+            i += 2;
+        } else if (c == 'c' && next == 'h') {
+            emit_phoneme(28);       /* CH */
+            i += 2;
+        } else if (c == 'q') {
+            emit_phoneme(30);       /* K */
+            emit_phoneme(14);       /* W */
+            i += next == 'u' ? 2 : 1;
+        } else if (is_vowel_letter(c)) {
+            int v = c == 'a' ? 0 : c == 'e' ? 2 : c == 'i' ? 4
+                  : c == 'o' ? 6 : 8;
+            /* long vowel before single consonant + e (magic e) */
+            if (i + 2 < len && !is_vowel_letter(next)
+                    && w[i + 2] == 'e')
+                v++;
+            emit_phoneme(v);
+            i++;
+        } else if (c >= 'a' && c <= 'z') {
+            int base = (c - 'a') % 15;
+            emit_phoneme(c % 2 == 0 ? 10 + base : 25 + base);
+            i++;
+        } else {
+            i++;  /* drop punctuation inside words */
+        }
+    }
+    emit_phoneme(39);  /* word-boundary pause */
+}
+
+void text_to_phonemes(char *text, int n) {
+    int i = 0;
+    char word[48];
+    while (i < n) {
+        int wlen = 0;
+        while (i < n && ((text[i] >= 'a' && text[i] <= 'z')
+                         || (text[i] >= 'A' && text[i] <= 'Z'))) {
+            char c = text[i];
+            if (c >= 'A' && c <= 'Z') c = (char)(c - 'A' + 'a');
+            if (wlen < 47) word[wlen++] = c;
+            i++;
+        }
+        if (wlen > 0) translate_word(word, wlen);
+        while (i < n && !((text[i] >= 'a' && text[i] <= 'z')
+                          || (text[i] >= 'A' && text[i] <= 'Z')))
+            i++;
+    }
+}
+
+/* formant synthesis: each phoneme renders duration*8 samples */
+unsigned int noise_state = 0x7E57u;
+
+unsigned int synth_phoneme(int p, double pitch, unsigned int check) {
+    int samples = base_duration[p] * SAMPLES_PER_MS / 10;
+    double t = 0.0;
+    double dt = 1.0 / SAMPLE_RATE;
+    int k;
+    for (k = 0; k < samples; k++) {
+        double v = 0.0;
+        if (voiced_flag[p]) {
+            v = 0.5 * sin(6.283185307179586 * formant1[p] * t)
+              + 0.3 * sin(6.283185307179586 * formant2[p] * t)
+              + 0.15 * sin(6.283185307179586 * pitch * t);
+        } else {
+            noise_state = noise_state * 1103515245u + 12345u;
+            v = (double)((noise_state >> 16) & 1023u) / 512.0 - 1.0;
+            v *= 0.4;
+        }
+        {
+            int sample = (int)(v * 12000.0);
+            check = check * 31u + (unsigned int)(sample & 0xFFFF);
+        }
+        t += dt;
+    }
+    return check;
+}
+
+int main(void) {
+    int fd = open_read("speech.txt");
+    int n;
+    int i;
+    unsigned int check = 2166136261u;
+    int voiced = 0;
+    double pitch = 110.0;
+    if (fd < 0) { print_s("no input"); print_nl(); return 1; }
+    n = read_bytes(fd, text_buf, TEXT_BYTES);
+    close_fd(fd);
+    init_phonemes();
+    text_to_phonemes(text_buf, n);
+    for (i = 0; i < phoneme_count; i++) {
+        int p = phoneme_stream[i];
+        /* declining pitch contour across each breath group */
+        pitch = 110.0 - (double)(i % 40) * 0.8;
+        check = synth_phoneme(p, pitch, check);
+        voiced += voiced_flag[p];
+    }
+    print_s("espeak phonemes="); print_i(phoneme_count);
+    print_s(" voiced="); print_i(voiced);
+    print_s(" check="); print_x(check);
+    print_nl();
+    return 0;
+}
+"""
+
+_BYTES = {"test": 400, "small": 2200, "ref": 20000}
+
+
+def _files(size):
+    return {"speech.txt": deterministic_text(_BYTES[size], seed=0xE5)}
+
+
+BENCHMARK = Benchmark(
+    name="espeak",
+    suite="apps",
+    domain="NLP",
+    description="Text-to-Speech synthesizer",
+    source=SOURCE,
+    defines={
+        "test": {"TEXT_BYTES": "400", "SAMPLES_PER_MS": "1"},
+        "small": {"TEXT_BYTES": "2200", "SAMPLES_PER_MS": "1"},
+        "ref": {"TEXT_BYTES": "20000", "SAMPLES_PER_MS": "2"},
+    },
+    files=_files,
+    traits=("floating-point", "file-input", "libm-heavy"),
+)

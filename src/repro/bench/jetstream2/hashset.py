@@ -1,0 +1,140 @@
+"""JetStream2 `hashset`: the hash-table workload of web page loading.
+
+Open-addressing hash set with linear probing and growth, exercising the
+insert/lookup/remove mix a browser's symbol tables see.  The paper calls
+out its relatively large code footprint in WAVM's AOT discussion.
+"""
+
+from ..workload import Benchmark
+
+SOURCE = r"""
+#define EMPTY 0
+#define TOMB 1
+
+unsigned int table_keys[CAPACITY * 2];
+int table_size = 0;
+int table_cap = CAPACITY;
+int table_used = 0;
+
+unsigned int hash_key(unsigned int key) {
+    key ^= key >> 16;
+    key *= 0x85ebca6bu;
+    key ^= key >> 13;
+    key *= 0xc2b2ae35u;
+    key ^= key >> 16;
+    return key;
+}
+
+int set_find_slot(unsigned int key) {
+    unsigned int mask = (unsigned int)table_cap - 1u;
+    unsigned int idx = hash_key(key) & mask;
+    int first_tomb = -1;
+    while (1) {
+        unsigned int cur = table_keys[idx];
+        if (cur == EMPTY) {
+            if (first_tomb >= 0) return first_tomb;
+            return (int)idx;
+        }
+        if (cur == TOMB) {
+            if (first_tomb < 0) first_tomb = (int)idx;
+        } else if (cur == key) {
+            return (int)idx;
+        }
+        idx = (idx + 1u) & mask;
+    }
+    return -1;
+}
+
+void set_rehash(int newcap);
+
+int set_insert(unsigned int key) {
+    int slot;
+    if (key < 2u) key += 2u;  /* reserve sentinels */
+    if ((table_used + 1) * 4 >= table_cap * 3) {
+        set_rehash(table_cap * 2);
+    }
+    slot = set_find_slot(key);
+    if (table_keys[slot] == key) return 0;
+    if (table_keys[slot] == EMPTY) table_used++;
+    table_keys[slot] = key;
+    table_size++;
+    return 1;
+}
+
+int set_contains(unsigned int key) {
+    int slot;
+    if (key < 2u) key += 2u;
+    slot = set_find_slot(key);
+    return table_keys[slot] == key;
+}
+
+int set_remove(unsigned int key) {
+    int slot;
+    if (key < 2u) key += 2u;
+    slot = set_find_slot(key);
+    if (table_keys[slot] != key) return 0;
+    table_keys[slot] = TOMB;
+    table_size--;
+    return 1;
+}
+
+unsigned int rehash_scratch[CAPACITY * 2];
+
+void set_rehash(int newcap) {
+    int oldcap = table_cap;
+    int i;
+    int count = 0;
+    for (i = 0; i < oldcap; i++) {
+        unsigned int key = table_keys[i];
+        if (key != EMPTY && key != TOMB) rehash_scratch[count++] = key;
+        table_keys[i] = EMPTY;
+    }
+    if (newcap <= CAPACITY * 2) table_cap = newcap;
+    for (i = oldcap; i < table_cap; i++) table_keys[i] = EMPTY;
+    table_size = 0;
+    table_used = 0;
+    for (i = 0; i < count; i++) set_insert(rehash_scratch[i]);
+}
+
+int main(void) {
+    unsigned int state = 0x12345u;
+    unsigned int check = 0u;
+    int hits = 0;
+    int i;
+    for (i = 0; i < OPS; i++) {
+        unsigned int key;
+        state = state * 1664525u + 1013904223u;
+        key = (state >> 8) % KEYSPACE;
+        if ((state & 7u) < 4u) {
+            set_insert(key);
+        } else if ((state & 7u) < 7u) {
+            hits += set_contains(key);
+        } else {
+            set_remove(key);
+        }
+    }
+    for (i = 0; i < table_cap; i++) {
+        unsigned int key = table_keys[i];
+        if (key != EMPTY && key != TOMB) check = check * 31u + key;
+    }
+    print_s("hashset size="); print_i(table_size);
+    print_s(" hits="); print_i(hits);
+    print_s(" check="); print_x(check);
+    print_nl();
+    return 0;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="hashset",
+    suite="jetstream2",
+    domain="Hash table",
+    description="Hash table operations of web page loading",
+    source=SOURCE,
+    defines={
+        "test": {"CAPACITY": "256", "OPS": "600", "KEYSPACE": "300u"},
+        "small": {"CAPACITY": "1024", "OPS": "4000", "KEYSPACE": "1500u"},
+        "ref": {"CAPACITY": "8192", "OPS": "30000", "KEYSPACE": "10000u"},
+    },
+    traits=("pointer-chasing", "large-code"),
+)

@@ -1,0 +1,79 @@
+"""JetStream2 `quicksort`: recursive quicksort over integer arrays.
+
+The paper's canonical *short-running* benchmark — it finishes in well
+under a second, which is exactly where JIT compilation time shows up as
+a big relative slowdown (Section 4.1).
+"""
+
+from ..workload import Benchmark
+
+SOURCE = r"""
+int data[N];
+
+void fill(void) {
+    unsigned int state = 0xCAFEu;
+    int i;
+    for (i = 0; i < N; i++) {
+        state = state * 1664525u + 1013904223u;
+        data[i] = (int)(state >> 8) % 100000;
+    }
+}
+
+void quicksort_range(int lo, int hi) {
+    int pivot, i, j, tmp;
+    if (lo >= hi) return;
+    pivot = data[lo + (hi - lo) / 2];
+    i = lo;
+    j = hi;
+    while (i <= j) {
+        while (data[i] < pivot) i++;
+        while (data[j] > pivot) j--;
+        if (i <= j) {
+            tmp = data[i];
+            data[i] = data[j];
+            data[j] = tmp;
+            i++;
+            j--;
+        }
+    }
+    quicksort_range(lo, j);
+    quicksort_range(i, hi);
+}
+
+int main(void) {
+    int round;
+    unsigned int check = 0u;
+    for (round = 0; round < ROUNDS; round++) {
+        int i;
+        fill();
+        quicksort_range(0, N - 1);
+        for (i = 1; i < N; i++) {
+            if (data[i - 1] > data[i]) {
+                print_s("quicksort: NOT SORTED");
+                print_nl();
+                return 1;
+            }
+        }
+        check = check * 31u + (unsigned int)data[N / 2]
+                + (unsigned int)data[0] + (unsigned int)data[N - 1];
+    }
+    print_s("quicksort checksum: ");
+    print_x(check);
+    print_nl();
+    return 0;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="quicksort",
+    suite="jetstream2",
+    domain="Data Sorting",
+    description="Quick sort algorithm implementation",
+    source=SOURCE,
+    defines={
+        "test": {"N": "200", "ROUNDS": "1"},
+        "small": {"N": "1200", "ROUNDS": "2"},
+        "ref": {"N": "8000", "ROUNDS": "4"},
+    },
+    traits=("short-running", "recursive"),
+)

@@ -1,0 +1,1 @@
+"""MiBench embedded benchmarks (paper Table 2, rows 5-13)."""

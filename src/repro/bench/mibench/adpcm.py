@@ -1,0 +1,142 @@
+"""MiBench `adpcm`: IMA ADPCM speech codec (the real coder/decoder
+tables and step logic from the original rawcaudio/rawdaudio)."""
+
+from ..workload import Benchmark
+
+SOURCE = r"""
+int index_table[16] = {
+    -1, -1, -1, -1, 2, 4, 6, 8,
+    -1, -1, -1, -1, 2, 4, 6, 8
+};
+
+int step_table[89] = {
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+    19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+    50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+    130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+    337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+    876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+    5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767
+};
+
+short pcm_in[NSAMPLES];
+char code_out[NSAMPLES];
+short pcm_out[NSAMPLES];
+
+int enc_valpred = 0;
+int enc_index = 0;
+
+void adpcm_coder(short *indata, char *outdata, int len) {
+    int valpred = enc_valpred;
+    int index = enc_index;
+    int step = step_table[index];
+    int i;
+    for (i = 0; i < len; i++) {
+        int val = (int)indata[i];
+        int diff = val - valpred;
+        int sign = diff < 0 ? 8 : 0;
+        int delta, vpdiff;
+        if (sign) diff = -diff;
+        delta = 0;
+        vpdiff = step >> 3;
+        if (diff >= step) {
+            delta = 4;
+            diff -= step;
+            vpdiff += step;
+        }
+        step >>= 1;
+        if (diff >= step) {
+            delta |= 2;
+            diff -= step;
+            vpdiff += step;
+        }
+        step >>= 1;
+        if (diff >= step) {
+            delta |= 1;
+            vpdiff += step;
+        }
+        if (sign) valpred -= vpdiff;
+        else valpred += vpdiff;
+        if (valpred > 32767) valpred = 32767;
+        else if (valpred < -32768) valpred = -32768;
+        delta |= sign;
+        index += index_table[delta];
+        if (index < 0) index = 0;
+        if (index > 88) index = 88;
+        step = step_table[index];
+        outdata[i] = (char)delta;
+    }
+    enc_valpred = valpred;
+    enc_index = index;
+}
+
+int dec_valpred = 0;
+int dec_index = 0;
+
+void adpcm_decoder(char *indata, short *outdata, int len) {
+    int valpred = dec_valpred;
+    int index = dec_index;
+    int step = step_table[index];
+    int i;
+    for (i = 0; i < len; i++) {
+        int delta = (int)indata[i] & 15;
+        int sign = delta & 8;
+        int vpdiff;
+        index += index_table[delta];
+        if (index < 0) index = 0;
+        if (index > 88) index = 88;
+        delta &= 7;
+        vpdiff = step >> 3;
+        if (delta & 4) vpdiff += step;
+        if (delta & 2) vpdiff += step >> 1;
+        if (delta & 1) vpdiff += step >> 2;
+        if (sign) valpred -= vpdiff;
+        else valpred += vpdiff;
+        if (valpred > 32767) valpred = 32767;
+        else if (valpred < -32768) valpred = -32768;
+        step = step_table[index];
+        outdata[i] = (short)valpred;
+    }
+    dec_valpred = valpred;
+    dec_index = index;
+}
+
+int main(void) {
+    int i;
+    long err = 0l;
+    unsigned int check = 0u;
+    /* synthesize a speech-like waveform: mixed tones + noise */
+    for (i = 0; i < NSAMPLES; i++) {
+        double t = (double)i * 0.02;
+        double v = 6000.0 * sin(t * 7.0) + 2500.0 * sin(t * 23.0 + 1.0);
+        pcm_in[i] = (short)(int)v;
+    }
+    adpcm_coder(pcm_in, code_out, NSAMPLES);
+    adpcm_decoder(code_out, pcm_out, NSAMPLES);
+    for (i = 0; i < NSAMPLES; i++) {
+        int d = (int)pcm_in[i] - (int)pcm_out[i];
+        err += (long)(d < 0 ? -d : d);
+        check = check * 31u + ((unsigned int)code_out[i] & 15u);
+    }
+    print_s("adpcm err="); print_l(err / (long)NSAMPLES);
+    print_s(" check="); print_x(check);
+    print_nl();
+    return 0;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="adpcm",
+    suite="mibench",
+    domain="Telecommunications",
+    description="Adaptive differential pulse code modulation",
+    source=SOURCE,
+    defines={
+        "test": {"NSAMPLES": "512"},
+        "small": {"NSAMPLES": "6000"},
+        "ref": {"NSAMPLES": "60000"},
+    },
+    traits=("integer", "branchy"),
+)

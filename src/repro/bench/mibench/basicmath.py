@@ -1,0 +1,117 @@
+"""MiBench `basicmath`: cubic equations, integer sqrt, angle conversion.
+
+Follows the original's structure: solve batches of cubic equations via
+the trigonometric method, take integer square roots by bit-shifting, and
+convert degrees<->radians — the automotive math mix.
+"""
+
+from ..workload import Benchmark
+
+SOURCE = r"""
+#define PI 3.141592653589793
+
+double solutions[3];
+int num_solutions;
+
+/* Solve a*x^3 + b*x^2 + c*x + d = 0 (the original SolveCubic) */
+void solve_cubic(double a, double b, double c, double d) {
+    double a1 = b / a;
+    double a2 = c / a;
+    double a3 = d / a;
+    double q = (a1 * a1 - 3.0 * a2) / 9.0;
+    double r = (2.0 * a1 * a1 * a1 - 9.0 * a1 * a2 + 27.0 * a3) / 54.0;
+    double r2 = r * r;
+    double q3 = q * q * q;
+    if (r2 < q3) {
+        double theta = acos(r / sqrt(q3));
+        double sq = -2.0 * sqrt(q);
+        num_solutions = 3;
+        solutions[0] = sq * cos(theta / 3.0) - a1 / 3.0;
+        solutions[1] = sq * cos((theta + 2.0 * PI) / 3.0) - a1 / 3.0;
+        solutions[2] = sq * cos((theta + 4.0 * PI) / 3.0) - a1 / 3.0;
+    } else {
+        double e = pow(sqrt(r2 - q3) + fabs(r), 1.0 / 3.0);
+        if (r > 0.0) e = -e;
+        num_solutions = 1;
+        solutions[0] = (e + (e == 0.0 ? 0.0 : q / e)) - a1 / 3.0;
+    }
+}
+
+/* usqrt from the original: bit-serial integer square root */
+unsigned int usqrt(unsigned int x) {
+    unsigned int a = 0u;
+    unsigned int r = 0u;
+    unsigned int e = 0u;
+    int i;
+    for (i = 0; i < 16; i++) {
+        r = (r << 2) + (x >> 30);
+        x <<= 2;
+        a <<= 1;
+        e = (a << 1) + 1u;
+        if (r >= e) {
+            r -= e;
+            a += 1u;
+        }
+    }
+    return a;
+}
+
+double deg2rad(double deg) { return deg * PI / 180.0; }
+double rad2deg(double rad) { return rad * 180.0 / PI; }
+
+int main(void) {
+    double a, b, c, d;
+    unsigned int u;
+    double x;
+    double acc = 0.0;
+    unsigned int icheck = 0u;
+
+    /* cubic sweeps, as in the original nested loops */
+    for (a = 1.0; a < CUBIC_A; a += 1.0) {
+        for (b = 10.0; b > 8.0; b -= 0.5) {
+            for (c = 5.0; c < 6.0; c += 0.25) {
+                for (d = -1.0; d > -2.0; d -= 0.5) {
+                    int i;
+                    solve_cubic(a, b, c, d);
+                    for (i = 0; i < num_solutions; i++)
+                        acc += solutions[i];
+                }
+            }
+        }
+    }
+
+    /* integer square roots */
+    for (u = 0u; u < USQRT_N; u += 1u) {
+        icheck = icheck * 31u + usqrt(u * u + u);
+    }
+
+    /* angle conversions */
+    for (x = 0.0; x < 360.0; x += 0.25) {
+        acc += deg2rad(x);
+    }
+    for (x = 0.0; x < 2.0 * PI; x += 0.025) {
+        acc += rad2deg(x);
+    }
+
+    print_s("basicmath acc=");
+    print_f(acc);
+    print_s(" icheck=");
+    print_x(icheck);
+    print_nl();
+    return 0;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="basicmath",
+    suite="mibench",
+    domain="Automotive",
+    description="Basic mathematical computations",
+    source=SOURCE,
+    defines={
+        "test": {"CUBIC_A": "3.0", "USQRT_N": "60u"},
+        "small": {"CUBIC_A": "10.0", "USQRT_N": "400u"},
+        "ref": {"CUBIC_A": "32.0", "USQRT_N": "4000u"},
+    },
+    traits=("floating-point", "libm-heavy"),
+)

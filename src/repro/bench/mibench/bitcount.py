@@ -1,0 +1,130 @@
+"""MiBench `bitcount`: seven bit-counting algorithms, like the original
+(optimized 1-bit, recursive, table-driven 8/16-bit, shift-and-count,
+arithmetic tricks), dispatched through a function-pointer array."""
+
+from ..workload import Benchmark
+
+SOURCE = r"""
+char bits_table[256];
+
+void init_table(void) {
+    int i;
+    for (i = 0; i < 256; i++) {
+        int n = 0;
+        int v = i;
+        while (v) { n += v & 1; v >>= 1; }
+        bits_table[i] = (char)n;
+    }
+}
+
+/* 1. optimized: clear lowest set bit */
+int bit_count_opt(unsigned int x) {
+    int n = 0;
+    while (x) {
+        x &= x - 1u;
+        n++;
+    }
+    return n;
+}
+
+/* 2. shift and test */
+int bit_count_shift(unsigned int x) {
+    int n = 0;
+    while (x) {
+        n += (int)(x & 1u);
+        x >>= 1;
+    }
+    return n;
+}
+
+/* 3. 8-bit table lookups */
+int bit_count_table8(unsigned int x) {
+    return (int)bits_table[x & 255u]
+         + (int)bits_table[(x >> 8) & 255u]
+         + (int)bits_table[(x >> 16) & 255u]
+         + (int)bits_table[(x >> 24) & 255u];
+}
+
+/* 4. nibble recursion (the original's recursive variant) */
+int bit_count_recursive(unsigned int x) {
+    if (x == 0u) return 0;
+    return (int)(x & 1u) + bit_count_recursive(x >> 1);
+}
+
+/* 5. parallel (SWAR) counting */
+int bit_count_parallel(unsigned int x) {
+    x = x - ((x >> 1) & 0x55555555u);
+    x = (x & 0x33333333u) + ((x >> 2) & 0x33333333u);
+    x = (x + (x >> 4)) & 0x0F0F0F0Fu;
+    return (int)((x * 0x01010101u) >> 24);
+}
+
+/* 6. arithmetic modulo trick */
+int bit_count_mod(unsigned int x) {
+    unsigned int c = x - ((x >> 1) & 0xDB6DB6DBu) - ((x >> 2) & 0x49249249u);
+    return (int)(((c + (c >> 3)) & 0xC71C71C7u) % 63u);
+}
+
+/* 7. byte loop */
+int bit_count_bytes(unsigned int x) {
+    int n = 0;
+    int i;
+    for (i = 0; i < 4; i++) {
+        n += (int)bits_table[x & 255u];
+        x >>= 8;
+    }
+    return n;
+}
+
+int (*counters[7])(unsigned int);
+
+int main(void) {
+    unsigned int seed;
+    long totals[7];
+    int f;
+    init_table();
+    counters[0] = bit_count_opt;
+    counters[1] = bit_count_shift;
+    counters[2] = bit_count_table8;
+    counters[3] = bit_count_recursive;
+    counters[4] = bit_count_parallel;
+    counters[5] = bit_count_mod;
+    counters[6] = bit_count_bytes;
+    for (f = 0; f < 7; f++) totals[f] = 0l;
+
+    for (f = 0; f < 7; f++) {
+        unsigned int state = 0x1234u;
+        int i;
+        for (i = 0; i < ITERATIONS; i++) {
+            state = state * 1103515245u + 12345u;
+            totals[f] += (long)counters[f](state);
+        }
+    }
+    for (f = 1; f < 7; f++) {
+        if (totals[f] != totals[0]) {
+            print_s("bitcount MISMATCH at ");
+            print_i(f);
+            print_nl();
+            return 1;
+        }
+    }
+    print_s("bitcount total=");
+    print_l(totals[0]);
+    print_nl();
+    return 0;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="bitcount",
+    suite="mibench",
+    domain="Automotive",
+    description="Bit manipulations",
+    source=SOURCE,
+    defines={
+        "test": {"ITERATIONS": "300"},
+        "small": {"ITERATIONS": "2500"},
+        "ref": {"ITERATIONS": "30000"},
+    },
+    traits=("integer", "indirect-calls"),
+)

@@ -1,0 +1,94 @@
+"""MiBench `crc32`: table-driven 32-bit cyclic redundancy check (the
+standard reflected CRC-32 used by the original, over a generated file)."""
+
+from ..workload import Benchmark
+from ..workload import deterministic_bytes
+
+SOURCE = r"""
+unsigned int crc_table[256];
+
+void make_crc_table(void) {
+    unsigned int c;
+    int n, k;
+    for (n = 0; n < 256; n++) {
+        c = (unsigned int)n;
+        for (k = 0; k < 8; k++) {
+            if (c & 1u) c = 0xEDB88320u ^ (c >> 1);
+            else c >>= 1;
+        }
+        crc_table[n] = c;
+    }
+}
+
+unsigned int crc32_update(unsigned int crc, unsigned char *buf, int len) {
+    int i;
+    crc ^= 0xFFFFFFFFu;
+    for (i = 0; i < len; i++)
+        crc = crc_table[(crc ^ (unsigned int)buf[i]) & 255u] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+}
+
+/* bit-serial reference implementation for cross-check (the original
+   ships both) */
+unsigned int crc32_bitwise(unsigned char *buf, int len) {
+    unsigned int crc = 0xFFFFFFFFu;
+    int i, k;
+    for (i = 0; i < len; i++) {
+        crc ^= (unsigned int)buf[i];
+        for (k = 0; k < 8; k++) {
+            if (crc & 1u) crc = (crc >> 1) ^ 0xEDB88320u;
+            else crc >>= 1;
+        }
+    }
+    return crc ^ 0xFFFFFFFFu;
+}
+
+unsigned char buffer[CHUNK];
+
+int main(void) {
+    unsigned int crc = 0u;
+    unsigned int bit_crc;
+    long total = 0l;
+    int fd = open_read("data.bin");
+    int n;
+    make_crc_table();
+    if (fd < 0) { print_s("no input"); print_nl(); return 1; }
+    while ((n = read_bytes(fd, (char *)buffer, CHUNK)) > 0) {
+        crc = crc32_update(crc, buffer, n);
+        total += (long)n;
+    }
+    close_fd(fd);
+    /* verify the first chunk against the bit-serial reference */
+    fd = open_read("data.bin");
+    n = read_bytes(fd, (char *)buffer, CHUNK);
+    close_fd(fd);
+    bit_crc = crc32_bitwise(buffer, n);
+    print_s("crc32 bytes="); print_l(total);
+    print_s(" crc="); print_x(crc);
+    print_s(" head="); print_x(bit_crc);
+    print_nl();
+    return 0;
+}
+"""
+
+_BYTES = {"test": 4096, "small": 49152, "ref": 786432}
+
+
+def _files(size):
+    return {"data.bin": deterministic_bytes(_BYTES[size], seed=0xC3C3)}
+
+
+BENCHMARK = Benchmark(
+    name="crc32",
+    suite="mibench",
+    domain="Telecommunications",
+    description="32-bit Cyclic Redundancy Check",
+    source=SOURCE,
+    defines={
+        "test": {"CHUNK": "1024"},
+        "small": {"CHUNK": "4096"},
+        "ref": {"CHUNK": "16384"},
+    },
+    files=_files,
+    traits=("integer", "file-input", "streaming"),
+)

@@ -1,0 +1,186 @@
+"""MiBench `jpeg`: baseline JPEG-style image compression/decompression.
+
+The real codec's computational core: 8x8 forward DCT (AAN integer
+layout), quantization with the standard luminance table, zig-zag +
+run-length coding, then the inverse path, with a PSNR-style error check.
+The paper's headline data point — WAVM's 135x slowdown — comes from this
+benchmark's short runtime against a comparatively large module.
+"""
+
+from ..workload import Benchmark
+
+SOURCE = r"""
+#define BLOCK 8
+
+int quant_table[64] = {
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99
+};
+
+int zigzag[64] = {
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63
+};
+
+unsigned char image[WIDTH * HEIGHT];
+unsigned char recon[WIDTH * HEIGHT];
+int coeffs[64];
+int rle_stream[WIDTH * HEIGHT * 2];
+int rle_len;
+
+double cos_lut[8][8];
+
+void init_dct(void) {
+    int u, x;
+    for (u = 0; u < 8; u++)
+        for (x = 0; x < 8; x++)
+            cos_lut[u][x] = cos((2.0 * (double)x + 1.0) * (double)u
+                                * 3.141592653589793 / 16.0);
+}
+
+void make_image(void) {
+    unsigned int state = 0xBEEF1u;
+    int y, x;
+    for (y = 0; y < HEIGHT; y++) {
+        for (x = 0; x < WIDTH; x++) {
+            int base = 128 + (x + y) % 48 - 24;   /* gradient texture */
+            state = state * 1664525u + 1013904223u;
+            image[y * WIDTH + x] =
+                (unsigned char)(base + (int)(state >> 28) - 8);
+        }
+    }
+}
+
+void fdct_block(int bx, int by) {
+    double tmp[64];
+    int u, v, x, y;
+    for (v = 0; v < 8; v++) {
+        for (u = 0; u < 8; u++) {
+            double acc = 0.0;
+            for (y = 0; y < 8; y++)
+                for (x = 0; x < 8; x++)
+                    acc += ((double)image[(by + y) * WIDTH + bx + x] - 128.0)
+                           * cos_lut[u][x] * cos_lut[v][y];
+            tmp[v * 8 + u] = acc * 0.25
+                * (u == 0 ? 0.7071067811865476 : 1.0)
+                * (v == 0 ? 0.7071067811865476 : 1.0);
+        }
+    }
+    for (u = 0; u < 64; u++) {
+        double q = tmp[u] / (double)quant_table[u];
+        coeffs[u] = (int)(q + (q >= 0.0 ? 0.5 : -0.5));
+    }
+}
+
+void idct_block(int bx, int by) {
+    double tmp[64];
+    int u, v, x, y;
+    for (u = 0; u < 64; u++)
+        tmp[u] = (double)(coeffs[u] * quant_table[u]);
+    for (y = 0; y < 8; y++) {
+        for (x = 0; x < 8; x++) {
+            double acc = 0.0;
+            for (v = 0; v < 8; v++)
+                for (u = 0; u < 8; u++)
+                    acc += tmp[v * 8 + u] * cos_lut[u][x] * cos_lut[v][y]
+                        * (u == 0 ? 0.7071067811865476 : 1.0)
+                        * (v == 0 ? 0.7071067811865476 : 1.0);
+            {
+                int px = (int)(acc * 0.25 + 128.5);
+                if (px < 0) px = 0;
+                if (px > 255) px = 255;
+                recon[(by + y) * WIDTH + bx + x] = (unsigned char)px;
+            }
+        }
+    }
+}
+
+/* zig-zag + (run,level) coding, the entropy-coder front half */
+void rle_encode_block(void) {
+    int zeros = 0;
+    int i;
+    for (i = 0; i < 64; i++) {
+        int c = coeffs[zigzag[i]];
+        if (c == 0) {
+            zeros++;
+        } else {
+            rle_stream[rle_len++] = zeros;
+            rle_stream[rle_len++] = c;
+            zeros = 0;
+        }
+    }
+    rle_stream[rle_len++] = -1;  /* EOB */
+    rle_stream[rle_len++] = 0;
+}
+
+int rle_pos;
+
+void rle_decode_block(void) {
+    int i = 0;
+    int j;
+    for (j = 0; j < 64; j++) coeffs[j] = 0;
+    while (1) {
+        int run = rle_stream[rle_pos++];
+        int level = rle_stream[rle_pos++];
+        if (run < 0) break;
+        i += run;
+        coeffs[zigzag[i]] = level;
+        i++;
+    }
+}
+
+int main(void) {
+    int by, bx;
+    long err = 0l;
+    unsigned int check = 0u;
+    init_dct();
+    make_image();
+    rle_len = 0;
+    for (by = 0; by < HEIGHT; by += 8)
+        for (bx = 0; bx < WIDTH; bx += 8) {
+            fdct_block(bx, by);
+            rle_encode_block();
+        }
+    rle_pos = 0;
+    for (by = 0; by < HEIGHT; by += 8)
+        for (bx = 0; bx < WIDTH; bx += 8) {
+            rle_decode_block();
+            idct_block(bx, by);
+        }
+    {
+        int i;
+        for (i = 0; i < WIDTH * HEIGHT; i++) {
+            int d = (int)image[i] - (int)recon[i];
+            err += (long)(d * d);
+            check = check * 31u + (unsigned int)recon[i];
+        }
+    }
+    print_s("jpeg rle_words="); print_i(rle_len);
+    print_s(" sq_err="); print_l(err);
+    print_s(" check="); print_x(check);
+    print_nl();
+    return 0;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="jpeg",
+    suite="mibench",
+    domain="Consumer multimedia",
+    description="JPEG image compression/decompression",
+    source=SOURCE,
+    defines={
+        "test": {"WIDTH": "16", "HEIGHT": "16"},
+        "small": {"WIDTH": "32", "HEIGHT": "24"},
+        "ref": {"WIDTH": "96", "HEIGHT": "64"},
+    },
+    traits=("short-running", "large-code", "floating-point"),
+)

@@ -1,0 +1,183 @@
+"""MiBench `rijndael`: AES-128 with the real GF(2^8) S-box construction.
+
+Implements the genuine cipher: the S-box is computed from multiplicative
+inverses in GF(2^8) plus the affine transform, key expansion follows
+FIPS-197, and encryption runs SubBytes/ShiftRows/MixColumns/AddRoundKey
+over 16-byte blocks in ECB.
+"""
+
+from ..workload import Benchmark
+
+SOURCE = r"""
+unsigned char sbox[256];
+unsigned char round_keys[176];   /* 11 round keys x 16 bytes */
+unsigned char state_bytes[16];
+
+/* GF(2^8) multiply, reduction polynomial 0x11B */
+int gmul(int a, int b) {
+    int p = 0;
+    int i;
+    for (i = 0; i < 8; i++) {
+        if (b & 1) p ^= a;
+        {
+            int hi = a & 0x80;
+            a = (a << 1) & 0xFF;
+            if (hi) a ^= 0x1B;
+        }
+        b >>= 1;
+    }
+    return p;
+}
+
+void build_sbox(void) {
+    /* brute-force inverses + affine transform (FIPS-197 definition) */
+    int x, y;
+    sbox[0] = (unsigned char)0x63;
+    for (x = 1; x < 256; x++) {
+        int inv = 0;
+        for (y = 1; y < 256; y++) {
+            if (gmul(x, y) == 1) { inv = y; break; }
+        }
+        {
+            int s = inv;
+            int r = inv;
+            int i;
+            for (i = 0; i < 4; i++) {
+                r = ((r << 1) | (r >> 7)) & 0xFF;
+                s ^= r;
+            }
+            sbox[x] = (unsigned char)(s ^ 0x63);
+        }
+    }
+}
+
+void key_expansion(unsigned char *key) {
+    int i;
+    unsigned char rcon = 1;
+    for (i = 0; i < 16; i++) round_keys[i] = key[i];
+    for (i = 16; i < 176; i += 4) {
+        unsigned char t0 = round_keys[i - 4];
+        unsigned char t1 = round_keys[i - 3];
+        unsigned char t2 = round_keys[i - 2];
+        unsigned char t3 = round_keys[i - 1];
+        if (i % 16 == 0) {
+            unsigned char tmp = t0;
+            t0 = (unsigned char)(sbox[t1] ^ rcon);
+            t1 = sbox[t2];
+            t2 = sbox[t3];
+            t3 = sbox[tmp];
+            rcon = (unsigned char)gmul(rcon, 2);
+        }
+        round_keys[i] = (unsigned char)(round_keys[i - 16] ^ t0);
+        round_keys[i + 1] = (unsigned char)(round_keys[i - 15] ^ t1);
+        round_keys[i + 2] = (unsigned char)(round_keys[i - 14] ^ t2);
+        round_keys[i + 3] = (unsigned char)(round_keys[i - 13] ^ t3);
+    }
+}
+
+void add_round_key(int round) {
+    int i;
+    for (i = 0; i < 16; i++)
+        state_bytes[i] = (unsigned char)(state_bytes[i]
+                                         ^ round_keys[round * 16 + i]);
+}
+
+void sub_bytes(void) {
+    int i;
+    for (i = 0; i < 16; i++) state_bytes[i] = sbox[state_bytes[i]];
+}
+
+void shift_rows(void) {
+    unsigned char t;
+    /* row 1: rotate left 1 */
+    t = state_bytes[1];
+    state_bytes[1] = state_bytes[5];
+    state_bytes[5] = state_bytes[9];
+    state_bytes[9] = state_bytes[13];
+    state_bytes[13] = t;
+    /* row 2: rotate left 2 */
+    t = state_bytes[2];
+    state_bytes[2] = state_bytes[10];
+    state_bytes[10] = t;
+    t = state_bytes[6];
+    state_bytes[6] = state_bytes[14];
+    state_bytes[14] = t;
+    /* row 3: rotate left 3 */
+    t = state_bytes[15];
+    state_bytes[15] = state_bytes[11];
+    state_bytes[11] = state_bytes[7];
+    state_bytes[7] = state_bytes[3];
+    state_bytes[3] = t;
+}
+
+void mix_columns(void) {
+    int c;
+    for (c = 0; c < 4; c++) {
+        int a0 = state_bytes[c * 4];
+        int a1 = state_bytes[c * 4 + 1];
+        int a2 = state_bytes[c * 4 + 2];
+        int a3 = state_bytes[c * 4 + 3];
+        state_bytes[c * 4] = (unsigned char)(gmul(a0, 2) ^ gmul(a1, 3)
+                                             ^ a2 ^ a3);
+        state_bytes[c * 4 + 1] = (unsigned char)(a0 ^ gmul(a1, 2)
+                                                 ^ gmul(a2, 3) ^ a3);
+        state_bytes[c * 4 + 2] = (unsigned char)(a0 ^ a1 ^ gmul(a2, 2)
+                                                 ^ gmul(a3, 3));
+        state_bytes[c * 4 + 3] = (unsigned char)(gmul(a0, 3) ^ a1 ^ a2
+                                                 ^ gmul(a3, 2));
+    }
+}
+
+void aes_encrypt_block(void) {
+    int round;
+    add_round_key(0);
+    for (round = 1; round < 10; round++) {
+        sub_bytes();
+        shift_rows();
+        mix_columns();
+        add_round_key(round);
+    }
+    sub_bytes();
+    shift_rows();
+    add_round_key(10);
+}
+
+unsigned char aes_key[16] = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2,
+                             0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+                             0x4f, 0x3c};
+
+int main(void) {
+    unsigned int stream = 0xA5A5u;
+    unsigned int check = 2166136261u;
+    int block, i;
+    build_sbox();
+    key_expansion(aes_key);
+    for (block = 0; block < NBLOCKS; block++) {
+        for (i = 0; i < 16; i++) {
+            stream = stream * 1664525u + 1013904223u;
+            state_bytes[i] = (unsigned char)(stream >> 24);
+        }
+        aes_encrypt_block();
+        for (i = 0; i < 16; i++)
+            check = (check ^ (unsigned int)state_bytes[i]) * 16777619u;
+    }
+    print_s("rijndael check=");
+    print_x(check);
+    print_nl();
+    return 0;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="rijndael",
+    suite="mibench",
+    domain="Security",
+    description="Block cipher with variable length keys",
+    source=SOURCE,
+    defines={
+        "test": {"NBLOCKS": "6"},
+        "small": {"NBLOCKS": "40"},
+        "ref": {"NBLOCKS": "400"},
+    },
+    traits=("table-lookups", "integer"),
+)

@@ -1,0 +1,105 @@
+"""MiBench `sha`: the real SHA-1 secure hash over a generated message."""
+
+from ..workload import Benchmark
+
+SOURCE = r"""
+unsigned int h0, h1, h2, h3, h4;
+unsigned char message[MSG_BYTES + 72];
+unsigned int w[80];
+
+unsigned int rol(unsigned int x, int n) {
+    return (x << n) | (x >> (32 - n));
+}
+
+void sha1_block(unsigned char *p) {
+    unsigned int a, b, c, d, e;
+    int t;
+    for (t = 0; t < 16; t++) {
+        w[t] = ((unsigned int)p[t * 4] << 24)
+             | ((unsigned int)p[t * 4 + 1] << 16)
+             | ((unsigned int)p[t * 4 + 2] << 8)
+             | (unsigned int)p[t * 4 + 3];
+    }
+    for (t = 16; t < 80; t++)
+        w[t] = rol(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+    a = h0; b = h1; c = h2; d = h3; e = h4;
+    for (t = 0; t < 80; t++) {
+        unsigned int f, k;
+        if (t < 20) {
+            f = (b & c) | ((~b) & d);
+            k = 0x5A827999u;
+        } else if (t < 40) {
+            f = b ^ c ^ d;
+            k = 0x6ED9EBA1u;
+        } else if (t < 60) {
+            f = (b & c) | (b & d) | (c & d);
+            k = 0x8F1BBCDCu;
+        } else {
+            f = b ^ c ^ d;
+            k = 0xCA62C1D6u;
+        }
+        {
+            unsigned int temp = rol(a, 5) + f + e + k + w[t];
+            e = d;
+            d = c;
+            c = rol(b, 30);
+            b = a;
+            a = temp;
+        }
+    }
+    h0 += a; h1 += b; h2 += c; h3 += d; h4 += e;
+}
+
+void sha1(unsigned char *data, int len) {
+    int i;
+    int total;
+    long bits = (long)len * 8l;
+    h0 = 0x67452301u; h1 = 0xEFCDAB89u; h2 = 0x98BADCFEu;
+    h3 = 0x10325476u; h4 = 0xC3D2E1F0u;
+    /* padding */
+    data[len] = (unsigned char)0x80;
+    total = len + 1;
+    while (total % 64 != 56) data[total++] = 0;
+    for (i = 7; i >= 0; i--) data[total++] = (unsigned char)(bits >> (i * 8));
+    for (i = 0; i < total; i += 64) sha1_block(data + i);
+}
+
+int main(void) {
+    unsigned int state = 0x5AADu;
+    int i;
+    for (i = 0; i < MSG_BYTES; i++) {
+        state = state * 1664525u + 1013904223u;
+        message[i] = (unsigned char)(state >> 24);
+    }
+    for (i = 0; i < ROUNDS; i++) {
+        sha1(message, MSG_BYTES);
+        /* feed the digest back into the message head */
+        message[0] = (unsigned char)(h0 >> 24);
+        message[1] = (unsigned char)(h1 >> 16);
+        message[2] = (unsigned char)(h2 >> 8);
+        message[3] = (unsigned char)h3;
+    }
+    print_s("sha1 digest=");
+    print_x(h0); putchar(' ');
+    print_x(h1); putchar(' ');
+    print_x(h2); putchar(' ');
+    print_x(h3); putchar(' ');
+    print_x(h4);
+    print_nl();
+    return 0;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="sha",
+    suite="mibench",
+    domain="Security",
+    description="Secure hash algorithm",
+    source=SOURCE,
+    defines={
+        "test": {"MSG_BYTES": "256", "ROUNDS": "1"},
+        "small": {"MSG_BYTES": "2048", "ROUNDS": "3"},
+        "ref": {"MSG_BYTES": "32768", "ROUNDS": "6"},
+    },
+    traits=("integer", "regular"),
+)

@@ -1,0 +1,90 @@
+"""MiBench `stringsearch`: Boyer-Moore-Horspool search of words in
+phrases, matching the original's init_search/strsearch structure."""
+
+from ..workload import Benchmark
+from ..workload import deterministic_text
+
+SOURCE = r"""
+int skip_table[256];
+
+void init_search(char *pattern, int plen) {
+    int i;
+    for (i = 0; i < 256; i++) skip_table[i] = plen;
+    for (i = 0; i < plen - 1; i++)
+        skip_table[(int)(unsigned char)pattern[i]] = plen - 1 - i;
+}
+
+/* Horspool search; returns match count in [text, text+tlen) */
+int strsearch(char *pattern, int plen, char *text, int tlen) {
+    int matches = 0;
+    int pos = 0;
+    while (pos + plen <= tlen) {
+        int j = plen - 1;
+        while (j >= 0 && pattern[j] == text[pos + j]) j--;
+        if (j < 0) {
+            matches++;
+            pos += plen;
+        } else {
+            pos += skip_table[(int)(unsigned char)text[pos + plen - 1]];
+        }
+    }
+    return matches;
+}
+
+char text[TEXT_BYTES + 1];
+char *patterns[8];
+
+int main(void) {
+    int n, i, total = 0;
+    unsigned int check = 0u;
+    int fd = open_read("phrases.txt");
+    if (fd < 0) { print_s("no input"); print_nl(); return 1; }
+    n = read_bytes(fd, text, TEXT_BYTES);
+    text[n] = 0;
+    close_fd(fd);
+
+    patterns[0] = "the";
+    patterns[1] = "webassembly";
+    patterns[2] = "runtimes";
+    patterns[3] = "native";
+    patterns[4] = "quick brown";
+    patterns[5] = "sandbox";
+    patterns[6] = "zzzz";
+    patterns[7] = "code with near";
+
+    for (i = 0; i < 8; i++) {
+        int plen = (int)strlen(patterns[i]);
+        int found;
+        init_search(patterns[i], plen);
+        found = strsearch(patterns[i], plen, text, n);
+        total += found;
+        check = check * 31u + (unsigned int)found;
+    }
+    print_s("stringsearch matches="); print_i(total);
+    print_s(" check="); print_x(check);
+    print_nl();
+    return 0;
+}
+"""
+
+_SIZES = {"test": 2048, "small": 24576, "ref": 262144}
+
+
+def _files(size):
+    return {"phrases.txt": deterministic_text(_SIZES[size])}
+
+
+BENCHMARK = Benchmark(
+    name="stringsearch",
+    suite="mibench",
+    domain="Office automation",
+    description="Searching given words in phrases",
+    source=SOURCE,
+    defines={
+        "test": {"TEXT_BYTES": "2048"},
+        "small": {"TEXT_BYTES": "24576"},
+        "ref": {"TEXT_BYTES": "262144"},
+    },
+    files=_files,
+    traits=("byte-oriented", "file-input"),
+)

@@ -1,0 +1,46 @@
+"""PolyBench/C kernels (all 30, as in paper Table 2 rows 14-43).
+
+Each kernel module defines ``BENCHMARK`` via :func:`polybench`, which
+fills in the suite name and the standard workload knob (`N`, plus
+kernel-specific extras).  Kernels follow the reference PolyBench/C
+sources: static global arrays, a deterministic ``init_*``, the kernel
+itself, and a checksum print of the output data (PolyBench's
+``print_array`` role, reduced to one line so runs are comparable
+across engines).
+"""
+
+from ..workload import Benchmark
+
+
+def polybench(name: str, domain: str, description: str, source: str,
+              sizes=None, extra_defines=None, traits=()) -> Benchmark:
+    sizes = sizes or {"test": 8, "small": 16, "ref": 32}
+    defines = {}
+    for cls, n in sizes.items():
+        d = {"N": str(n)}
+        if extra_defines:
+            d.update({k: str(v(n)) if callable(v) else str(v)
+                      for k, v in extra_defines.items()})
+        defines[cls] = d
+    return Benchmark(name=name, suite="polybench", domain=domain,
+                     description=description, source=source,
+                     defines=defines, traits=tuple(traits) + ("kernel",))
+
+
+# Shared MiniC helper appended to every kernel: prints one checksum line.
+CHECKSUM_HELPERS = r"""
+unsigned int __pb_check = 2166136261u;
+
+void pb_feed(double v) {
+    long q = (long)(v * 1024.0);
+    __pb_check = (__pb_check ^ (unsigned int)q) * 16777619u;
+    __pb_check = (__pb_check ^ (unsigned int)(q >> 32)) * 16777619u;
+}
+
+void pb_report(char *name) {
+    print_s(name);
+    print_s(" checksum=");
+    print_x(__pb_check);
+    print_nl();
+}
+"""

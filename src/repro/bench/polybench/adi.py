@@ -1,0 +1,83 @@
+"""PolyBench `adi`: alternating direction implicit 2D heat solver."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double u[N][N];
+double v[N][N];
+double p[N][N];
+double q[N][N];
+
+void init(void) {
+    int i, j;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            u[i][j] = (double)(i + N - j) / (double)N;
+}
+
+void kernel_adi(void) {
+    int t, i, j;
+    double DX = 1.0 / (double)N;
+    double DY = 1.0 / (double)N;
+    double DT = 1.0 / (double)TSTEPS;
+    double B1 = 2.0;
+    double B2 = 1.0;
+    double mul1 = B1 * DT / (DX * DX);
+    double mul2 = B2 * DT / (DY * DY);
+    double a = -mul1 / 2.0;
+    double b = 1.0 + mul1;
+    double c = a;
+    double d = -mul2 / 2.0;
+    double e = 1.0 + mul2;
+    double f = d;
+    for (t = 1; t <= TSTEPS; t++) {
+        /* column sweep */
+        for (i = 1; i < N - 1; i++) {
+            v[0][i] = 1.0;
+            p[i][0] = 0.0;
+            q[i][0] = v[0][i];
+            for (j = 1; j < N - 1; j++) {
+                p[i][j] = -c / (a * p[i][j - 1] + b);
+                q[i][j] = (-d * u[j][i - 1]
+                           + (1.0 + 2.0 * d) * u[j][i]
+                           - f * u[j][i + 1]
+                           - a * q[i][j - 1]) / (a * p[i][j - 1] + b);
+            }
+            v[N - 1][i] = 1.0;
+            for (j = N - 2; j >= 1; j--)
+                v[j][i] = p[i][j] * v[j + 1][i] + q[i][j];
+        }
+        /* row sweep */
+        for (i = 1; i < N - 1; i++) {
+            u[i][0] = 1.0;
+            p[i][0] = 0.0;
+            q[i][0] = u[i][0];
+            for (j = 1; j < N - 1; j++) {
+                p[i][j] = -f / (d * p[i][j - 1] + e);
+                q[i][j] = (-a * v[i - 1][j]
+                           + (1.0 + 2.0 * a) * v[i][j]
+                           - c * v[i + 1][j]
+                           - d * q[i][j - 1]) / (d * p[i][j - 1] + e);
+            }
+            u[i][N - 1] = 1.0;
+            for (j = N - 2; j >= 1; j--)
+                u[i][j] = p[i][j] * u[i][j + 1] + q[i][j];
+        }
+    }
+}
+
+int main(void) {
+    int i, j;
+    init();
+    kernel_adi();
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) pb_feed(u[i][j]);
+    pb_report("adi");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "adi", "Stencils", "Alternating direction implicit solver", SOURCE,
+    sizes={"test": 10, "small": 20, "ref": 44},
+    extra_defines={"TSTEPS": lambda n: max(2, n // 8)})

@@ -1,0 +1,40 @@
+"""PolyBench `atax`: matrix transpose and vector multiplication y = A^T (A x)."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double A[N][N];
+double x[N]; double y[N]; double tmp[N];
+
+void init(void) {
+    int i, j;
+    for (i = 0; i < N; i++) {
+        x[i] = 1.0 + (double)i / (double)N;
+        for (j = 0; j < N; j++)
+            A[i][j] = (double)((i + j) % N) / (5.0 * (double)N);
+    }
+}
+
+void kernel_atax(void) {
+    int i, j;
+    for (i = 0; i < N; i++) y[i] = 0.0;
+    for (i = 0; i < N; i++) {
+        tmp[i] = 0.0;
+        for (j = 0; j < N; j++) tmp[i] += A[i][j] * x[j];
+        for (j = 0; j < N; j++) y[j] += A[i][j] * tmp[i];
+    }
+}
+
+int main(void) {
+    int i;
+    init();
+    kernel_atax();
+    for (i = 0; i < N; i++) pb_feed(y[i]);
+    pb_report("atax");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "atax", "Linear algebra", "Matrix transpose and vector multiplication",
+    SOURCE, sizes={"test": 16, "small": 56, "ref": 140})

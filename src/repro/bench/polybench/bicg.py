@@ -1,0 +1,43 @@
+"""PolyBench `bicg`: BiCG sub-kernel of the BiCGStab linear solver."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double A[N][N];
+double s[N]; double q[N]; double p[N]; double r[N];
+
+void init(void) {
+    int i, j;
+    for (i = 0; i < N; i++) {
+        p[i] = (double)(i % N) / (double)N;
+        r[i] = (double)((i + 1) % N) / (double)N;
+        for (j = 0; j < N; j++)
+            A[i][j] = (double)((i * (j + 1)) % N) / (double)N;
+    }
+}
+
+void kernel_bicg(void) {
+    int i, j;
+    for (i = 0; i < N; i++) s[i] = 0.0;
+    for (i = 0; i < N; i++) {
+        q[i] = 0.0;
+        for (j = 0; j < N; j++) {
+            s[j] = s[j] + r[i] * A[i][j];
+            q[i] = q[i] + A[i][j] * p[j];
+        }
+    }
+}
+
+int main(void) {
+    int i;
+    init();
+    kernel_bicg();
+    for (i = 0; i < N; i++) { pb_feed(s[i]); pb_feed(q[i]); }
+    pb_report("bicg");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "bicg", "Linear algebra", "BiCG sub kernel of BiCGStab linear solver",
+    SOURCE, sizes={"test": 16, "small": 56, "ref": 140})

@@ -1,0 +1,61 @@
+"""PolyBench `cholesky`: Cholesky decomposition of an SPD matrix."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double A[N][N];
+
+void init(void) {
+    int i, j, k;
+    /* standard polybench trick: build B = L*L^T from a simple L so the
+       input is guaranteed positive definite */
+    for (i = 0; i < N; i++) {
+        for (j = 0; j <= i; j++)
+            A[i][j] = (double)(-(j % N)) / (double)N + 1.0;
+        for (j = i + 1; j < N; j++)
+            A[i][j] = 0.0;
+        A[i][i] = 1.0;
+    }
+    /* A = A * A^T (in place via scratch accumulation) */
+    {
+        static double B[N][N];
+        for (i = 0; i < N; i++)
+            for (j = 0; j < N; j++) {
+                double acc = 0.0;
+                for (k = 0; k < N; k++) acc += A[i][k] * A[j][k];
+                B[i][j] = acc;
+            }
+        for (i = 0; i < N; i++)
+            for (j = 0; j < N; j++)
+                A[i][j] = B[i][j];
+    }
+}
+
+void kernel_cholesky(void) {
+    int i, j, k;
+    for (i = 0; i < N; i++) {
+        for (j = 0; j < i; j++) {
+            for (k = 0; k < j; k++)
+                A[i][j] -= A[i][k] * A[j][k];
+            A[i][j] /= A[j][j];
+        }
+        for (k = 0; k < i; k++)
+            A[i][i] -= A[i][k] * A[i][k];
+        A[i][i] = sqrt(A[i][i]);
+    }
+}
+
+int main(void) {
+    int i, j;
+    init();
+    kernel_cholesky();
+    for (i = 0; i < N; i++)
+        for (j = 0; j <= i; j++) pb_feed(A[i][j]);
+    pb_report("cholesky");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "cholesky", "Linear algebra", "Cholesky decomposition", SOURCE,
+    sizes={"test": 8, "small": 16, "ref": 36})

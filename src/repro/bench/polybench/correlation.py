@@ -1,0 +1,65 @@
+"""PolyBench `correlation`: correlation matrix computation."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double data[N][N];
+double corr[N][N];
+double mean[N];
+double stddev[N];
+
+void init(void) {
+    int i, j;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            data[i][j] = (double)(i * j) / (double)N + (double)i;
+}
+
+void kernel_correlation(void) {
+    int i, j, k;
+    double float_n = (double)N;
+    double eps = 0.1;
+    for (j = 0; j < N; j++) {
+        mean[j] = 0.0;
+        for (i = 0; i < N; i++) mean[j] += data[i][j];
+        mean[j] /= float_n;
+    }
+    for (j = 0; j < N; j++) {
+        stddev[j] = 0.0;
+        for (i = 0; i < N; i++)
+            stddev[j] += (data[i][j] - mean[j]) * (data[i][j] - mean[j]);
+        stddev[j] /= float_n;
+        stddev[j] = sqrt(stddev[j]);
+        if (stddev[j] <= eps) stddev[j] = 1.0;
+    }
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) {
+            data[i][j] -= mean[j];
+            data[i][j] /= sqrt(float_n) * stddev[j];
+        }
+    for (i = 0; i < N - 1; i++) {
+        corr[i][i] = 1.0;
+        for (j = i + 1; j < N; j++) {
+            corr[i][j] = 0.0;
+            for (k = 0; k < N; k++)
+                corr[i][j] += data[k][i] * data[k][j];
+            corr[j][i] = corr[i][j];
+        }
+    }
+    corr[N - 1][N - 1] = 1.0;
+}
+
+int main(void) {
+    int i, j;
+    init();
+    kernel_correlation();
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) pb_feed(corr[i][j]);
+    pb_report("correlation");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "correlation", "Data mining", "Correlation computation", SOURCE,
+    sizes={"test": 8, "small": 16, "ref": 36})

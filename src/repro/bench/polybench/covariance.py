@@ -1,0 +1,51 @@
+"""PolyBench `covariance`: covariance matrix computation."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double data[N][N];
+double cov[N][N];
+double mean[N];
+
+void init(void) {
+    int i, j;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            data[i][j] = (double)(i * j) / (double)N;
+}
+
+void kernel_covariance(void) {
+    int i, j, k;
+    double float_n = (double)N;
+    for (j = 0; j < N; j++) {
+        mean[j] = 0.0;
+        for (i = 0; i < N; i++) mean[j] += data[i][j];
+        mean[j] /= float_n;
+    }
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            data[i][j] -= mean[j];
+    for (i = 0; i < N; i++)
+        for (j = i; j < N; j++) {
+            cov[i][j] = 0.0;
+            for (k = 0; k < N; k++)
+                cov[i][j] += data[k][i] * data[k][j];
+            cov[i][j] /= float_n - 1.0;
+            cov[j][i] = cov[i][j];
+        }
+}
+
+int main(void) {
+    int i, j;
+    init();
+    kernel_covariance();
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) pb_feed(cov[i][j]);
+    pb_report("covariance");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "covariance", "Data mining", "Covariance computation", SOURCE,
+    sizes={"test": 8, "small": 16, "ref": 36})

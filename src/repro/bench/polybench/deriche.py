@@ -1,0 +1,93 @@
+"""PolyBench `deriche`: Deriche recursive edge-detection filter."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double img_in[N][N];
+double img_out[N][N];
+double y1v[N][N];
+double y2v[N][N];
+
+void init(void) {
+    int i, j;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            img_in[i][j] = (double)((313 * i + 991 * j) % 65536) / 65535.0;
+}
+
+void kernel_deriche(double alpha) {
+    int i, j;
+    double k;
+    double a1, a2, a3, a4, a5, a6, a7, a8, b1, b2, c1, c2;
+    double ym1, ym2, xm1, tm1, tm2, tp1, tp2, yp1, yp2;
+    k = (1.0 - exp(-alpha)) * (1.0 - exp(-alpha))
+        / (1.0 + 2.0 * alpha * exp(-alpha) - exp(2.0 * alpha));
+    a1 = k; a5 = k;
+    a2 = k * exp(-alpha) * (alpha - 1.0); a6 = a2;
+    a3 = k * exp(-alpha) * (alpha + 1.0); a7 = a3;
+    a4 = -k * exp(-2.0 * alpha); a8 = a4;
+    b1 = pow(2.0, -alpha);
+    b2 = -exp(-2.0 * alpha);
+    c1 = 1.0; c2 = 1.0;
+
+    for (i = 0; i < N; i++) {
+        ym1 = 0.0; ym2 = 0.0; xm1 = 0.0;
+        for (j = 0; j < N; j++) {
+            y1v[i][j] = a1 * img_in[i][j] + a2 * xm1 + b1 * ym1 + b2 * ym2;
+            xm1 = img_in[i][j];
+            ym2 = ym1;
+            ym1 = y1v[i][j];
+        }
+    }
+    for (i = 0; i < N; i++) {
+        yp1 = 0.0; yp2 = 0.0; tp1 = 0.0; tp2 = 0.0;
+        for (j = N - 1; j >= 0; j--) {
+            y2v[i][j] = a3 * tp1 + a4 * tp2 + b1 * yp1 + b2 * yp2;
+            tp2 = tp1;
+            tp1 = img_in[i][j];
+            yp2 = yp1;
+            yp1 = y2v[i][j];
+        }
+    }
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            img_out[i][j] = c1 * (y1v[i][j] + y2v[i][j]);
+    /* vertical pass */
+    for (j = 0; j < N; j++) {
+        tm1 = 0.0; ym1 = 0.0; ym2 = 0.0;
+        for (i = 0; i < N; i++) {
+            y1v[i][j] = a5 * img_out[i][j] + a6 * tm1 + b1 * ym1 + b2 * ym2;
+            tm1 = img_out[i][j];
+            ym2 = ym1;
+            ym1 = y1v[i][j];
+        }
+    }
+    for (j = 0; j < N; j++) {
+        tp1 = 0.0; tp2 = 0.0; yp1 = 0.0; yp2 = 0.0;
+        for (i = N - 1; i >= 0; i--) {
+            y2v[i][j] = a7 * tp1 + a8 * tp2 + b1 * yp1 + b2 * yp2;
+            tp2 = tp1;
+            tp1 = img_out[i][j];
+            yp2 = yp1;
+            yp1 = y2v[i][j];
+        }
+    }
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            img_out[i][j] = c2 * (y1v[i][j] + y2v[i][j]);
+}
+
+int main(void) {
+    int i, j;
+    init();
+    kernel_deriche(0.25);
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) pb_feed(img_out[i][j]);
+    pb_report("deriche");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "deriche", "Image processing", "Edge detection filter", SOURCE,
+    sizes={"test": 12, "small": 32, "ref": 80})

@@ -1,0 +1,48 @@
+"""PolyBench `doitgen`: multiresolution analysis kernel (3D tensor contraction)."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double A[N][N][N];
+double C4[N][N];
+double sum[N];
+
+void init(void) {
+    int i, j, k;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) {
+            C4[i][j] = (double)(i * j % N) / (double)N;
+            for (k = 0; k < N; k++)
+                A[i][j][k] = (double)((i * j + k) % N) / (double)N;
+        }
+}
+
+void kernel_doitgen(void) {
+    int r, q, p, s;
+    for (r = 0; r < N; r++)
+        for (q = 0; q < N; q++) {
+            for (p = 0; p < N; p++) {
+                sum[p] = 0.0;
+                for (s = 0; s < N; s++)
+                    sum[p] += A[r][q][s] * C4[s][p];
+            }
+            for (p = 0; p < N; p++)
+                A[r][q][p] = sum[p];
+        }
+}
+
+int main(void) {
+    int i, j, k;
+    init();
+    kernel_doitgen();
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            for (k = 0; k < N; k++) pb_feed(A[i][j][k]);
+    pb_report("doitgen");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "doitgen", "Linear algebra", "Multiresolution analysis kernel", SOURCE,
+    sizes={"test": 6, "small": 10, "ref": 18})

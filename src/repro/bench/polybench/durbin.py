@@ -1,0 +1,48 @@
+"""PolyBench `durbin`: Levinson-Durbin Toeplitz system solver."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double r[N];
+double y[N];
+double z[N];
+
+void init(void) {
+    int i;
+    for (i = 0; i < N; i++)
+        r[i] = (double)(N + 1 - i) / (double)(2 * N);
+}
+
+void kernel_durbin(void) {
+    double alpha, beta, total;
+    int i, k;
+    y[0] = -r[0];
+    beta = 1.0;
+    alpha = -r[0];
+    for (k = 1; k < N; k++) {
+        beta = (1.0 - alpha * alpha) * beta;
+        total = 0.0;
+        for (i = 0; i < k; i++)
+            total += r[k - i - 1] * y[i];
+        alpha = -(r[k] + total) / beta;
+        for (i = 0; i < k; i++)
+            z[i] = y[i] + alpha * y[k - i - 1];
+        for (i = 0; i < k; i++)
+            y[i] = z[i];
+        y[k] = alpha;
+    }
+}
+
+int main(void) {
+    int i;
+    init();
+    kernel_durbin();
+    for (i = 0; i < N; i++) pb_feed(y[i]);
+    pb_report("durbin");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "durbin", "Linear algebra", "Toeplitz system solver", SOURCE,
+    sizes={"test": 24, "small": 100, "ref": 300})

@@ -1,0 +1,54 @@
+"""PolyBench `fdtd-2d`: 2-D finite-difference time-domain kernel."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double ex[N][N];
+double ey[N][N];
+double hz[N][N];
+double fict[TSTEPS];
+
+void init(void) {
+    int i, j;
+    for (i = 0; i < TSTEPS; i++) fict[i] = (double)i;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) {
+            ex[i][j] = ((double)i * ((double)j + 1.0)) / (double)N;
+            ey[i][j] = ((double)i * ((double)j + 2.0)) / (double)N;
+            hz[i][j] = ((double)i * ((double)j + 3.0)) / (double)N;
+        }
+}
+
+void kernel_fdtd_2d(void) {
+    int t, i, j;
+    for (t = 0; t < TSTEPS; t++) {
+        for (j = 0; j < N; j++)
+            ey[0][j] = fict[t];
+        for (i = 1; i < N; i++)
+            for (j = 0; j < N; j++)
+                ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i - 1][j]);
+        for (i = 0; i < N; i++)
+            for (j = 1; j < N; j++)
+                ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j - 1]);
+        for (i = 0; i < N - 1; i++)
+            for (j = 0; j < N - 1; j++)
+                hz[i][j] = hz[i][j] - 0.7 * (ex[i][j + 1] - ex[i][j]
+                                             + ey[i + 1][j] - ey[i][j]);
+    }
+}
+
+int main(void) {
+    int i, j;
+    init();
+    kernel_fdtd_2d();
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) { pb_feed(ex[i][j]); pb_feed(hz[i][j]); }
+    pb_report("fdtd-2d");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "fdtd-2d", "Stencils", "2-D finite-difference time-domain kernel",
+    SOURCE, sizes={"test": 10, "small": 22, "ref": 48},
+    extra_defines={"TSTEPS": lambda n: max(2, n // 4)})

@@ -1,0 +1,42 @@
+"""PolyBench `floyd-warshall`: all-pairs shortest paths."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+int path[N][N];
+
+void init(void) {
+    int i, j;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) {
+            path[i][j] = i * j % 7 + 1;
+            if ((i + j) % 13 == 0 || (i + j) % 7 == 0 || (i + j) % 11 == 0)
+                path[i][j] = 999;
+        }
+}
+
+void kernel_floyd_warshall(void) {
+    int i, j, k;
+    for (k = 0; k < N; k++)
+        for (i = 0; i < N; i++)
+            for (j = 0; j < N; j++)
+                path[i][j] = path[i][j] < path[i][k] + path[k][j]
+                    ? path[i][j]
+                    : path[i][k] + path[k][j];
+}
+
+int main(void) {
+    int i, j;
+    init();
+    kernel_floyd_warshall();
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) pb_feed((double)path[i][j]);
+    pb_report("floyd-warshall");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "floyd-warshall", "Graph algorithms",
+    "Computing shortest paths in a graph", SOURCE,
+    sizes={"test": 8, "small": 18, "ref": 40})

@@ -1,0 +1,43 @@
+"""PolyBench `gemm`: general matrix multiplication C = alpha*A*B + beta*C."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double A[N][N];
+double B[N][N];
+double C[N][N];
+
+void init(void) {
+    int i, j;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) {
+            A[i][j] = (double)((i * j + 1) % N) / (double)N;
+            B[i][j] = (double)((i * (j + 1)) % N) / (double)N;
+            C[i][j] = (double)((i * (j + 2)) % N) / (double)N;
+        }
+}
+
+void kernel_gemm(double alpha, double beta) {
+    int i, j, k;
+    for (i = 0; i < N; i++) {
+        for (j = 0; j < N; j++) C[i][j] *= beta;
+        for (k = 0; k < N; k++)
+            for (j = 0; j < N; j++)
+                C[i][j] += alpha * A[i][k] * B[k][j];
+    }
+}
+
+int main(void) {
+    int i, j;
+    init();
+    kernel_gemm(1.5, 1.2);
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) pb_feed(C[i][j]);
+    pb_report("gemm");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "gemm", "Linear algebra", "Matrix multiplication", SOURCE,
+    sizes={"test": 8, "small": 18, "ref": 40})

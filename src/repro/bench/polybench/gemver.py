@@ -1,0 +1,53 @@
+"""PolyBench `gemver`: vector multiplication and matrix addition."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double A[N][N];
+double u1[N]; double v1[N]; double u2[N]; double v2[N];
+double w[N]; double x[N]; double y[N]; double z[N];
+
+void init(void) {
+    int i, j;
+    for (i = 0; i < N; i++) {
+        u1[i] = (double)i / (double)N;
+        u2[i] = (double)(i + 1) / (double)N / 2.0;
+        v1[i] = (double)(i + 2) / (double)N / 4.0;
+        v2[i] = (double)(i + 3) / (double)N / 6.0;
+        y[i] = (double)(i + 4) / (double)N / 8.0;
+        z[i] = (double)(i + 5) / (double)N / 9.0;
+        x[i] = 0.0;
+        w[i] = 0.0;
+        for (j = 0; j < N; j++)
+            A[i][j] = (double)((i * j) % N) / (double)N;
+    }
+}
+
+void kernel_gemver(double alpha, double beta) {
+    int i, j;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            x[i] = x[i] + beta * A[j][i] * y[j];
+    for (i = 0; i < N; i++)
+        x[i] = x[i] + z[i];
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            w[i] = w[i] + alpha * A[i][j] * x[j];
+}
+
+int main(void) {
+    int i;
+    init();
+    kernel_gemver(1.5, 1.2);
+    for (i = 0; i < N; i++) pb_feed(w[i]);
+    pb_report("gemver");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "gemver", "Linear algebra", "Vector multiplication and matrix addition",
+    SOURCE, sizes={"test": 16, "small": 48, "ref": 120})

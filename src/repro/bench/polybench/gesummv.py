@@ -1,0 +1,46 @@
+"""PolyBench `gesummv`: scalar, vector and matrix multiplication."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double A[N][N];
+double B[N][N];
+double x[N]; double y[N]; double tmp[N];
+
+void init(void) {
+    int i, j;
+    for (i = 0; i < N; i++) {
+        x[i] = (double)(i % N) / (double)N;
+        for (j = 0; j < N; j++) {
+            A[i][j] = (double)((i * j + 1) % N) / (double)N;
+            B[i][j] = (double)((i * j + 2) % N) / (double)N;
+        }
+    }
+}
+
+void kernel_gesummv(double alpha, double beta) {
+    int i, j;
+    for (i = 0; i < N; i++) {
+        tmp[i] = 0.0;
+        y[i] = 0.0;
+        for (j = 0; j < N; j++) {
+            tmp[i] = A[i][j] * x[j] + tmp[i];
+            y[i] = B[i][j] * x[j] + y[i];
+        }
+        y[i] = alpha * tmp[i] + beta * y[i];
+    }
+}
+
+int main(void) {
+    int i;
+    init();
+    kernel_gesummv(1.5, 1.2);
+    for (i = 0; i < N; i++) pb_feed(y[i]);
+    pb_report("gesummv");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "gesummv", "Linear algebra", "Scalar, vector and matrix multiplication",
+    SOURCE, sizes={"test": 16, "small": 56, "ref": 140})

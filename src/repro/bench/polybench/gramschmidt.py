@@ -1,0 +1,55 @@
+"""PolyBench `gramschmidt`: modified Gram-Schmidt QR decomposition."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double A[N][N];
+double R[N][N];
+double Q[N][N];
+
+void init(void) {
+    int i, j;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) {
+            A[i][j] = ((double)((i * j) % N) / (double)N) * 100.0 + 10.0;
+            Q[i][j] = 0.0;
+            R[i][j] = 0.0;
+        }
+    /* make columns clearly independent */
+    for (i = 0; i < N; i++) A[i][i] += 150.0;
+}
+
+void kernel_gramschmidt(void) {
+    int i, j, k;
+    double nrm;
+    for (k = 0; k < N; k++) {
+        nrm = 0.0;
+        for (i = 0; i < N; i++)
+            nrm += A[i][k] * A[i][k];
+        R[k][k] = sqrt(nrm);
+        for (i = 0; i < N; i++)
+            Q[i][k] = A[i][k] / R[k][k];
+        for (j = k + 1; j < N; j++) {
+            R[k][j] = 0.0;
+            for (i = 0; i < N; i++)
+                R[k][j] += Q[i][k] * A[i][j];
+            for (i = 0; i < N; i++)
+                A[i][j] = A[i][j] - Q[i][k] * R[k][j];
+        }
+    }
+}
+
+int main(void) {
+    int i, j;
+    init();
+    kernel_gramschmidt();
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) { pb_feed(R[i][j]); pb_feed(Q[i][j]); }
+    pb_report("gramschmidt");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "gramschmidt", "Linear algebra", "Gram-Schmidt decomposition", SOURCE,
+    sizes={"test": 8, "small": 16, "ref": 36})

@@ -1,0 +1,59 @@
+"""PolyBench `heat-3d`: heat equation over a 3D data domain."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double A[N][N][N];
+double B[N][N][N];
+
+void init(void) {
+    int i, j, k;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            for (k = 0; k < N; k++)
+                A[i][j][k] = B[i][j][k]
+                    = (double)(i + j + (N - k)) * 10.0 / (double)N;
+}
+
+void kernel_heat_3d(void) {
+    int t, i, j, k;
+    for (t = 1; t <= TSTEPS; t++) {
+        for (i = 1; i < N - 1; i++)
+            for (j = 1; j < N - 1; j++)
+                for (k = 1; k < N - 1; k++)
+                    B[i][j][k] = 0.125 * (A[i + 1][j][k] - 2.0 * A[i][j][k]
+                                          + A[i - 1][j][k])
+                               + 0.125 * (A[i][j + 1][k] - 2.0 * A[i][j][k]
+                                          + A[i][j - 1][k])
+                               + 0.125 * (A[i][j][k + 1] - 2.0 * A[i][j][k]
+                                          + A[i][j][k - 1])
+                               + A[i][j][k];
+        for (i = 1; i < N - 1; i++)
+            for (j = 1; j < N - 1; j++)
+                for (k = 1; k < N - 1; k++)
+                    A[i][j][k] = 0.125 * (B[i + 1][j][k] - 2.0 * B[i][j][k]
+                                          + B[i - 1][j][k])
+                               + 0.125 * (B[i][j + 1][k] - 2.0 * B[i][j][k]
+                                          + B[i][j - 1][k])
+                               + 0.125 * (B[i][j][k + 1] - 2.0 * B[i][j][k]
+                                          + B[i][j][k - 1])
+                               + B[i][j][k];
+    }
+}
+
+int main(void) {
+    int i, j, k;
+    init();
+    kernel_heat_3d();
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            for (k = 0; k < N; k++) pb_feed(A[i][j][k]);
+    pb_report("heat-3d");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "heat-3d", "Stencils", "Heat equation over 3D data domain", SOURCE,
+    sizes={"test": 6, "small": 10, "ref": 16},
+    extra_defines={"TSTEPS": lambda n: max(2, n // 4)})

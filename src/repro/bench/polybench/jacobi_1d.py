@@ -1,0 +1,40 @@
+"""PolyBench `jacobi-1d`: 1-D Jacobi stencil computation."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double A[N];
+double B[N];
+
+void init(void) {
+    int i;
+    for (i = 0; i < N; i++) {
+        A[i] = ((double)i + 2.0) / (double)N;
+        B[i] = ((double)i + 3.0) / (double)N;
+    }
+}
+
+void kernel_jacobi_1d(void) {
+    int t, i;
+    for (t = 0; t < TSTEPS; t++) {
+        for (i = 1; i < N - 1; i++)
+            B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1]);
+        for (i = 1; i < N - 1; i++)
+            A[i] = 0.33333 * (B[i - 1] + B[i] + B[i + 1]);
+    }
+}
+
+int main(void) {
+    int i;
+    init();
+    kernel_jacobi_1d();
+    for (i = 0; i < N; i++) pb_feed(A[i]);
+    pb_report("jacobi-1d");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "jacobi-1d", "Stencils", "1-D Jacobi stencil computation", SOURCE,
+    sizes={"test": 64, "small": 400, "ref": 2000},
+    extra_defines={"TSTEPS": lambda n: max(4, n // 10)})

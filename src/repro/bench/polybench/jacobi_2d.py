@@ -1,0 +1,46 @@
+"""PolyBench `jacobi-2d`: 2-D Jacobi stencil computation."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double A[N][N];
+double B[N][N];
+
+void init(void) {
+    int i, j;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) {
+            A[i][j] = ((double)i * ((double)j + 2.0) + 2.0) / (double)N;
+            B[i][j] = ((double)i * ((double)j + 3.0) + 3.0) / (double)N;
+        }
+}
+
+void kernel_jacobi_2d(void) {
+    int t, i, j;
+    for (t = 0; t < TSTEPS; t++) {
+        for (i = 1; i < N - 1; i++)
+            for (j = 1; j < N - 1; j++)
+                B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][j + 1]
+                                 + A[i + 1][j] + A[i - 1][j]);
+        for (i = 1; i < N - 1; i++)
+            for (j = 1; j < N - 1; j++)
+                A[i][j] = 0.2 * (B[i][j] + B[i][j - 1] + B[i][j + 1]
+                                 + B[i + 1][j] + B[i - 1][j]);
+    }
+}
+
+int main(void) {
+    int i, j;
+    init();
+    kernel_jacobi_2d();
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) pb_feed(A[i][j]);
+    pb_report("jacobi-2d");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "jacobi-2d", "Stencils", "2-D Jacobi stencil computation", SOURCE,
+    sizes={"test": 10, "small": 22, "ref": 50},
+    extra_defines={"TSTEPS": lambda n: max(2, n // 4)})

@@ -1,0 +1,58 @@
+"""PolyBench `lu`: LU decomposition without pivoting."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double A[N][N];
+
+void init(void) {
+    int i, j, k;
+    for (i = 0; i < N; i++) {
+        for (j = 0; j <= i; j++)
+            A[i][j] = (double)(-(j % N)) / (double)N + 1.0;
+        for (j = i + 1; j < N; j++)
+            A[i][j] = 0.0;
+        A[i][i] = 1.0;
+    }
+    {
+        static double B[N][N];
+        for (i = 0; i < N; i++)
+            for (j = 0; j < N; j++) {
+                double acc = 0.0;
+                for (k = 0; k < N; k++) acc += A[i][k] * A[j][k];
+                B[i][j] = acc;
+            }
+        for (i = 0; i < N; i++)
+            for (j = 0; j < N; j++)
+                A[i][j] = B[i][j];
+    }
+}
+
+void kernel_lu(void) {
+    int i, j, k;
+    for (i = 0; i < N; i++) {
+        for (j = 0; j < i; j++) {
+            for (k = 0; k < j; k++)
+                A[i][j] -= A[i][k] * A[k][j];
+            A[i][j] /= A[j][j];
+        }
+        for (j = i; j < N; j++)
+            for (k = 0; k < i; k++)
+                A[i][j] -= A[i][k] * A[k][j];
+    }
+}
+
+int main(void) {
+    int i, j;
+    init();
+    kernel_lu();
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) pb_feed(A[i][j]);
+    pb_report("lu");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "lu", "Linear algebra", "LU decomposition", SOURCE,
+    sizes={"test": 8, "small": 16, "ref": 36})

@@ -1,0 +1,78 @@
+"""PolyBench `ludcmp`: LU decomposition followed by forward/back substitution."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double A[N][N];
+double b[N]; double x[N]; double y[N];
+
+void init(void) {
+    int i, j, k;
+    for (i = 0; i < N; i++) {
+        b[i] = (double)(i + 1) / (double)N / 2.0 + 4.0;
+        x[i] = 0.0;
+        y[i] = 0.0;
+        for (j = 0; j <= i; j++)
+            A[i][j] = (double)(-(j % N)) / (double)N + 1.0;
+        for (j = i + 1; j < N; j++)
+            A[i][j] = 0.0;
+        A[i][i] = 1.0;
+    }
+    {
+        static double B[N][N];
+        for (i = 0; i < N; i++)
+            for (j = 0; j < N; j++) {
+                double acc = 0.0;
+                for (k = 0; k < N; k++) acc += A[i][k] * A[j][k];
+                B[i][j] = acc;
+            }
+        for (i = 0; i < N; i++)
+            for (j = 0; j < N; j++)
+                A[i][j] = B[i][j];
+    }
+}
+
+void kernel_ludcmp(void) {
+    int i, j, k;
+    double w;
+    for (i = 0; i < N; i++) {
+        for (j = 0; j < i; j++) {
+            w = A[i][j];
+            for (k = 0; k < j; k++)
+                w -= A[i][k] * A[k][j];
+            A[i][j] = w / A[j][j];
+        }
+        for (j = i; j < N; j++) {
+            w = A[i][j];
+            for (k = 0; k < i; k++)
+                w -= A[i][k] * A[k][j];
+            A[i][j] = w;
+        }
+    }
+    for (i = 0; i < N; i++) {
+        w = b[i];
+        for (j = 0; j < i; j++)
+            w -= A[i][j] * y[j];
+        y[i] = w;
+    }
+    for (i = N - 1; i >= 0; i--) {
+        w = y[i];
+        for (j = i + 1; j < N; j++)
+            w -= A[i][j] * x[j];
+        x[i] = w / A[i][i];
+    }
+}
+
+int main(void) {
+    int i;
+    init();
+    kernel_ludcmp();
+    for (i = 0; i < N; i++) pb_feed(x[i]);
+    pb_report("ludcmp");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "ludcmp", "Linear algebra", "LU decomposition + solver", SOURCE,
+    sizes={"test": 8, "small": 16, "ref": 36})

@@ -1,0 +1,43 @@
+"""PolyBench `mvt`: matrix vector product and transpose."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double A[N][N];
+double x1[N]; double x2[N]; double y1[N]; double y2[N];
+
+void init(void) {
+    int i, j;
+    for (i = 0; i < N; i++) {
+        x1[i] = (double)(i % N) / (double)N;
+        x2[i] = (double)((i + 1) % N) / (double)N;
+        y1[i] = (double)((i + 3) % N) / (double)N;
+        y2[i] = (double)((i + 4) % N) / (double)N;
+        for (j = 0; j < N; j++)
+            A[i][j] = (double)(i * j % N) / (double)N;
+    }
+}
+
+void kernel_mvt(void) {
+    int i, j;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            x1[i] = x1[i] + A[i][j] * y1[j];
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            x2[i] = x2[i] + A[j][i] * y2[j];
+}
+
+int main(void) {
+    int i;
+    init();
+    kernel_mvt();
+    for (i = 0; i < N; i++) { pb_feed(x1[i]); pb_feed(x2[i]); }
+    pb_report("mvt");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "mvt", "Linear algebra", "Matrix vector product and transpose", SOURCE,
+    sizes={"test": 16, "small": 56, "ref": 140})

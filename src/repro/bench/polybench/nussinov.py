@@ -1,0 +1,60 @@
+"""PolyBench `nussinov`: RNA secondary-structure dynamic programming."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+int seq[N];
+int table[N][N];
+
+int match(int b1, int b2) {
+    return (b1 + b2) == 3 ? 1 : 0;
+}
+
+int max_score(int a, int b) {
+    return a >= b ? a : b;
+}
+
+void init(void) {
+    int i, j;
+    for (i = 0; i < N; i++) seq[i] = (i + 1) % 4;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) table[i][j] = 0;
+}
+
+void kernel_nussinov(void) {
+    int i, j, k;
+    for (i = N - 1; i >= 0; i--) {
+        for (j = i + 1; j < N; j++) {
+            if (j - 1 >= 0)
+                table[i][j] = max_score(table[i][j], table[i][j - 1]);
+            if (i + 1 < N)
+                table[i][j] = max_score(table[i][j], table[i + 1][j]);
+            if (j - 1 >= 0 && i + 1 < N) {
+                if (i < j - 1)
+                    table[i][j] = max_score(table[i][j],
+                        table[i + 1][j - 1] + match(seq[i], seq[j]));
+                else
+                    table[i][j] = max_score(table[i][j],
+                                            table[i + 1][j - 1]);
+            }
+            for (k = i + 1; k < j; k++)
+                table[i][j] = max_score(table[i][j],
+                                        table[i][k] + table[k + 1][j]);
+        }
+    }
+}
+
+int main(void) {
+    int i, j;
+    init();
+    kernel_nussinov();
+    for (i = 0; i < N; i++)
+        for (j = i; j < N; j++) pb_feed((double)table[i][j]);
+    pb_report("nussinov");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "nussinov", "Bioinformatics", "Sequence alignment", SOURCE,
+    sizes={"test": 10, "small": 20, "ref": 48})

@@ -1,0 +1,40 @@
+"""PolyBench `seidel-2d`: 2-D Gauss-Seidel stencil computation."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double A[N][N];
+
+void init(void) {
+    int i, j;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            A[i][j] = ((double)i * ((double)j + 2.0) + 2.0) / (double)N;
+}
+
+void kernel_seidel_2d(void) {
+    int t, i, j;
+    for (t = 0; t <= TSTEPS - 1; t++)
+        for (i = 1; i <= N - 2; i++)
+            for (j = 1; j <= N - 2; j++)
+                A[i][j] = (A[i - 1][j - 1] + A[i - 1][j] + A[i - 1][j + 1]
+                           + A[i][j - 1] + A[i][j] + A[i][j + 1]
+                           + A[i + 1][j - 1] + A[i + 1][j]
+                           + A[i + 1][j + 1]) / 9.0;
+}
+
+int main(void) {
+    int i, j;
+    init();
+    kernel_seidel_2d();
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) pb_feed(A[i][j]);
+    pb_report("seidel-2d");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "seidel-2d", "Stencils", "2-D Seidel stencil computation", SOURCE,
+    sizes={"test": 10, "small": 24, "ref": 52},
+    extra_defines={"TSTEPS": lambda n: max(2, n // 4)})

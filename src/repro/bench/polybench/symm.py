@@ -1,0 +1,52 @@
+"""PolyBench `symm`: symmetric matrix multiplication."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double A[N][N];
+double B[N][N];
+double C[N][N];
+
+void init(void) {
+    int i, j;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) {
+            B[i][j] = (double)((i + j) % 100) / (double)N;
+            C[i][j] = (double)((N + i - j) % 100) / (double)N;
+        }
+    for (i = 0; i < N; i++)
+        for (j = 0; j <= i; j++) {
+            A[i][j] = (double)((i + j) % 100) / (double)N;
+            A[j][i] = A[i][j];
+        }
+}
+
+void kernel_symm(double alpha, double beta) {
+    int i, j, k;
+    double temp2;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) {
+            temp2 = 0.0;
+            for (k = 0; k < i; k++) {
+                C[k][j] += alpha * B[i][j] * A[i][k];
+                temp2 += B[k][j] * A[i][k];
+            }
+            C[i][j] = beta * C[i][j] + alpha * B[i][j] * A[i][i]
+                    + alpha * temp2;
+        }
+}
+
+int main(void) {
+    int i, j;
+    init();
+    kernel_symm(1.5, 1.2);
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) pb_feed(C[i][j]);
+    pb_report("symm");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "symm", "Linear algebra", "Symmetric matrix multiplication", SOURCE,
+    sizes={"test": 8, "small": 16, "ref": 36})

@@ -1,0 +1,44 @@
+"""PolyBench `syr2k`: symmetric rank-2k update."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double A[N][N];
+double B[N][N];
+double C[N][N];
+
+void init(void) {
+    int i, j;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) {
+            A[i][j] = (double)((i * j + 1) % N) / (double)N;
+            B[i][j] = (double)((i * j + 2) % N) / (double)N;
+            C[i][j] = (double)((i * j + 3) % N) / (double)N;
+        }
+}
+
+void kernel_syr2k(double alpha, double beta) {
+    int i, j, k;
+    for (i = 0; i < N; i++) {
+        for (j = 0; j <= i; j++) C[i][j] *= beta;
+        for (k = 0; k < N; k++)
+            for (j = 0; j <= i; j++)
+                C[i][j] += A[j][k] * alpha * B[i][k]
+                         + B[j][k] * alpha * A[i][k];
+    }
+}
+
+int main(void) {
+    int i, j;
+    init();
+    kernel_syr2k(1.5, 1.2);
+    for (i = 0; i < N; i++)
+        for (j = 0; j <= i; j++) pb_feed(C[i][j]);
+    pb_report("syr2k");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "syr2k", "Linear algebra", "Symmetric rank-2k operations", SOURCE,
+    sizes={"test": 8, "small": 16, "ref": 36})

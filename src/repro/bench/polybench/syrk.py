@@ -1,0 +1,41 @@
+"""PolyBench `syrk`: symmetric rank-k update."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double A[N][N];
+double C[N][N];
+
+void init(void) {
+    int i, j;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) {
+            A[i][j] = (double)((i * j + 1) % N) / (double)N;
+            C[i][j] = (double)((i * j + 2) % N) / (double)N;
+        }
+}
+
+void kernel_syrk(double alpha, double beta) {
+    int i, j, k;
+    for (i = 0; i < N; i++) {
+        for (j = 0; j <= i; j++) C[i][j] *= beta;
+        for (k = 0; k < N; k++)
+            for (j = 0; j <= i; j++)
+                C[i][j] += alpha * A[i][k] * A[j][k];
+    }
+}
+
+int main(void) {
+    int i, j;
+    init();
+    kernel_syrk(1.5, 1.2);
+    for (i = 0; i < N; i++)
+        for (j = 0; j <= i; j++) pb_feed(C[i][j]);
+    pb_report("syrk");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "syrk", "Linear algebra", "Symmetric rank-k operations", SOURCE,
+    sizes={"test": 8, "small": 18, "ref": 40})

@@ -1,0 +1,57 @@
+"""PolyBench `3mm`: three chained matrix multiplications G = (A*B)*(C*D)."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double A[N][N];
+double B[N][N];
+double C[N][N];
+double D[N][N];
+double E[N][N];
+double F[N][N];
+double G[N][N];
+
+void init(void) {
+    int i, j;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) {
+            A[i][j] = (double)((i * j + 1) % N) / (5.0 * (double)N);
+            B[i][j] = (double)((i * (j + 1) + 2) % N) / (5.0 * (double)N);
+            C[i][j] = (double)(i * (j + 3) % N) / (5.0 * (double)N);
+            D[i][j] = (double)((i * (j + 2) + 2) % N) / (5.0 * (double)N);
+        }
+}
+
+void kernel_3mm(void) {
+    int i, j, k;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) {
+            E[i][j] = 0.0;
+            for (k = 0; k < N; k++) E[i][j] += A[i][k] * B[k][j];
+        }
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) {
+            F[i][j] = 0.0;
+            for (k = 0; k < N; k++) F[i][j] += C[i][k] * D[k][j];
+        }
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) {
+            G[i][j] = 0.0;
+            for (k = 0; k < N; k++) G[i][j] += E[i][k] * F[k][j];
+        }
+}
+
+int main(void) {
+    int i, j;
+    init();
+    kernel_3mm();
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) pb_feed(G[i][j]);
+    pb_report("3mm");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "3mm", "Linear algebra", "Three matrix multiplications", SOURCE,
+    sizes={"test": 8, "small": 12, "ref": 28})

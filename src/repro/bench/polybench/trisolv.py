@@ -1,0 +1,41 @@
+"""PolyBench `trisolv`: triangular solver (forward substitution)."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double L[N][N];
+double b[N]; double x[N];
+
+void init(void) {
+    int i, j;
+    for (i = 0; i < N; i++) {
+        x[i] = -999.0;
+        b[i] = (double)i / (double)N;
+        for (j = 0; j <= i; j++)
+            L[i][j] = (double)(i + N - j + 1) * 2.0 / (double)N;
+    }
+}
+
+void kernel_trisolv(void) {
+    int i, j;
+    for (i = 0; i < N; i++) {
+        x[i] = b[i];
+        for (j = 0; j < i; j++)
+            x[i] -= L[i][j] * x[j];
+        x[i] = x[i] / L[i][i];
+    }
+}
+
+int main(void) {
+    int i;
+    init();
+    kernel_trisolv();
+    for (i = 0; i < N; i++) pb_feed(x[i]);
+    pb_report("trisolv");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "trisolv", "Linear algebra", "Triangular solver", SOURCE,
+    sizes={"test": 24, "small": 80, "ref": 220})

@@ -1,0 +1,43 @@
+"""PolyBench `trmm`: triangular matrix multiplication."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double A[N][N];
+double B[N][N];
+
+void init(void) {
+    int i, j;
+    for (i = 0; i < N; i++) {
+        for (j = 0; j < i; j++)
+            A[i][j] = (double)((i + j) % N) / (double)N;
+        A[i][i] = 1.0;
+        for (j = 0; j < N; j++)
+            B[i][j] = (double)((N + i - j) % N) / (double)N;
+    }
+}
+
+void kernel_trmm(double alpha) {
+    int i, j, k;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) {
+            for (k = i + 1; k < N; k++)
+                B[i][j] += A[k][i] * B[k][j];
+            B[i][j] = alpha * B[i][j];
+        }
+}
+
+int main(void) {
+    int i, j;
+    init();
+    kernel_trmm(1.5);
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) pb_feed(B[i][j]);
+    pb_report("trmm");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "trmm", "Linear algebra", "Triangular matrix multiplication", SOURCE,
+    sizes={"test": 8, "small": 18, "ref": 40})

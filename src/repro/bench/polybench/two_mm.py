@@ -1,0 +1,52 @@
+"""PolyBench `2mm`: two chained matrix multiplications D = alpha*A*B*C + beta*D."""
+
+from . import CHECKSUM_HELPERS, polybench
+
+SOURCE = r"""
+double A[N][N];
+double B[N][N];
+double C[N][N];
+double D[N][N];
+double tmp[N][N];
+
+void init(void) {
+    int i, j;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) {
+            A[i][j] = (double)((i * j + 1) % N) / (double)N;
+            B[i][j] = (double)(i * (j + 1) % N) / (double)N;
+            C[i][j] = (double)((i * (j + 3) + 1) % N) / (double)N;
+            D[i][j] = (double)(i * (j + 2) % N) / (double)N;
+        }
+}
+
+void kernel_2mm(double alpha, double beta) {
+    int i, j, k;
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) {
+            tmp[i][j] = 0.0;
+            for (k = 0; k < N; k++)
+                tmp[i][j] += alpha * A[i][k] * B[k][j];
+        }
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) {
+            D[i][j] *= beta;
+            for (k = 0; k < N; k++)
+                D[i][j] += tmp[i][k] * C[k][j];
+        }
+}
+
+int main(void) {
+    int i, j;
+    init();
+    kernel_2mm(1.5, 1.2);
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++) pb_feed(D[i][j]);
+    pb_report("2mm");
+    return 0;
+}
+""" + CHECKSUM_HELPERS
+
+BENCHMARK = polybench(
+    "2mm", "Linear algebra", "Two matrix multiplications", SOURCE,
+    sizes={"test": 8, "small": 14, "ref": 32})

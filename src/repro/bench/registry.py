@@ -1,0 +1,60 @@
+"""The WABench registry: all 50 benchmarks of paper Table 2."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .workload import Benchmark
+
+from .jetstream2 import gcc_loops, hashset, quicksort, tsf
+from .mibench import (adpcm, basicmath, bitcount, blowfish, crc32, jpeg,
+                      rijndael, sha, stringsearch)
+from .polybench import (adi, atax, bicg, cholesky, correlation, covariance,
+                        deriche, doitgen, durbin, fdtd_2d, floyd_warshall,
+                        gemm, gemver, gesummv, gramschmidt, heat_3d,
+                        jacobi_1d, jacobi_2d, lu, ludcmp, mvt, nussinov,
+                        seidel_2d, symm, syr2k, syrk, three_mm, trisolv,
+                        trmm, two_mm)
+from .apps import (bzip2, espeak, facedetection, gnuchess, mnist, snappy,
+                   whitedb)
+
+_MODULES = [
+    # JetStream2 (rows 1-4)
+    gcc_loops, hashset, quicksort, tsf,
+    # MiBench (rows 5-13)
+    basicmath, bitcount, jpeg, stringsearch, blowfish, rijndael, sha,
+    adpcm, crc32,
+    # PolyBench (rows 14-43), paper order
+    correlation, covariance, gemm, gemver, gesummv, symm, syr2k, syrk,
+    trmm, two_mm, three_mm, atax, bicg, doitgen, mvt, cholesky, durbin,
+    gramschmidt, lu, ludcmp, trisolv, deriche, floyd_warshall, nussinov,
+    adi, fdtd_2d, heat_3d, jacobi_1d, jacobi_2d, seidel_2d,
+    # Whole applications (rows 44-50)
+    bzip2, espeak, facedetection, gnuchess, mnist, snappy, whitedb,
+]
+
+ALL_BENCHMARKS: List[Benchmark] = [m.BENCHMARK for m in _MODULES]
+BY_NAME: Dict[str, Benchmark] = {b.name: b for b in ALL_BENCHMARKS}
+
+SUITES = ("jetstream2", "mibench", "polybench", "apps")
+
+# The seven whole applications, in paper order.
+APP_NAMES = ("bzip2", "espeak", "facedetection", "gnuchess", "mnist",
+             "snappy", "whitedb")
+
+
+def get(name: str) -> Benchmark:
+    bench = BY_NAME.get(name)
+    if bench is None:
+        raise KeyError(f"unknown benchmark {name!r}")
+    return bench
+
+
+def by_suite(suite: str) -> List[Benchmark]:
+    if suite not in SUITES:
+        raise KeyError(f"unknown suite {suite!r}")
+    return [b for b in ALL_BENCHMARKS if b.suite == suite]
+
+
+def names() -> List[str]:
+    return [b.name for b in ALL_BENCHMARKS]

@@ -1,0 +1,82 @@
+"""WABench benchmark descriptors.
+
+Each benchmark is a MiniC program plus per-size workload parameters
+(``#define`` values) and optional synthetic input files.  Three size
+classes mirror how benchmark suites ship inputs:
+
+* ``test``  — seconds-scale in the model; used by the unit tests;
+* ``small`` — the harness default; large enough that execution dominates
+  noise but small enough that the full 50x6 sweep completes quickly;
+* ``ref``   — a larger configuration for deeper runs.
+
+``traits`` captures what the paper says about a program where it matters
+for the experiments (e.g. facedetection: short-running but with a large
+dynamic code footprint).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+SIZES = ("test", "small", "ref")
+
+FileGen = Callable[[str], Dict[str, bytes]]
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One WABench program."""
+
+    name: str
+    suite: str                     # jetstream2 | mibench | polybench | apps
+    domain: str
+    description: str
+    source: str
+    defines: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    files: Optional[FileGen] = None
+    traits: Tuple[str, ...] = ()
+
+    def defines_for(self, size: str) -> Dict[str, str]:
+        if size not in SIZES:
+            raise KeyError(f"unknown workload size {size!r}")
+        return dict(self.defines.get(size, {}))
+
+    def files_for(self, size: str) -> Dict[str, bytes]:
+        if self.files is None:
+            return {}
+        return self.files(size)
+
+
+def deterministic_bytes(n: int, seed: int = 1) -> bytes:
+    """Pseudo-random but compressible byte stream (xorshift + runs)."""
+    out = bytearray()
+    state = seed & 0xFFFFFFFF or 1
+    while len(out) < n:
+        state ^= (state << 13) & 0xFFFFFFFF
+        state ^= state >> 17
+        state ^= (state << 5) & 0xFFFFFFFF
+        byte = state & 0xFF
+        if state & 0x300 == 0:       # occasional runs, so RLE/LZ find wins
+            out.extend(bytes([byte & 0x3F]) * (8 + (state >> 24 & 15)))
+        else:
+            out.append(byte & 0x7F)
+    return bytes(out[:n])
+
+
+def deterministic_text(n: int, seed: int = 7) -> bytes:
+    """English-like filler text for the NLP / search benchmarks."""
+    words = (b"the quick brown fox jumps over a lazy dog while many "
+             b"standalone webassembly runtimes execute portable binary "
+             b"code with near native speed and strong sandbox safety "
+             b"compilers interpreters caches branches memory systems").split()
+    out = bytearray()
+    state = seed or 1
+    while len(out) < n:
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        out += words[state % len(words)]
+        out += b" "
+        if state % 11 == 0:
+            out += b"\n"
+    return bytes(out[:n])

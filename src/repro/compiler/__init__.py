@@ -1,0 +1,10 @@
+"""The MiniC -> WebAssembly optimizing compiler (the paper's WASI SDK).
+
+Public entry point: :func:`compile_source` (``wasicc``).
+"""
+
+from .driver import DEFAULT_OPT_LEVEL, CompileResult, compile_source
+from .libc import LIBC_SOURCE
+
+__all__ = ["DEFAULT_OPT_LEVEL", "CompileResult", "compile_source",
+           "LIBC_SOURCE"]

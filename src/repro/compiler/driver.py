@@ -1,0 +1,78 @@
+"""``wasicc`` — the MiniC-to-WebAssembly compiler driver.
+
+The reproduction's equivalent of the WASI SDK's ``clang --target=wasm32-
+wasi``: it concatenates the MiniC libc in front of the program, runs the
+frontend, the -O-gated midend, Wasm code generation, the Wasm-level
+peephole pass, validation, and binary encoding.
+
+``-O`` levels match the paper's experiment axis (Fig. 4):
+  -O0  everything in memory, no optimization
+  -O1  fold/simplify + peephole
+  -O2  + strength reduction and inlining          (the paper's default)
+  -O3  + loop unrolling
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import CompileError
+from ..minic import analyze, parse
+from ..minic.ast import TranslationUnit
+from ..minic.sema import SemanticAnalyzer
+from ..wasm import Module, encode_module, validate_module
+from . import midend
+from .libc import LIBC_SOURCE
+from .peephole import peephole_module
+from .wasmgen import CodeGenerator
+
+DEFAULT_OPT_LEVEL = 2
+
+
+@dataclass
+class CompileResult:
+    """Everything the harness wants to know about one compile."""
+
+    wasm_bytes: bytes
+    module: Module
+    unit: TranslationUnit
+    analyzer: SemanticAnalyzer
+    opt_level: int
+    midend_stats: Dict[str, int] = field(default_factory=dict)
+    peephole_removed: int = 0
+
+    @property
+    def binary_size(self) -> int:
+        return len(self.wasm_bytes)
+
+    @property
+    def instruction_count(self) -> int:
+        return self.module.body_size()
+
+    @property
+    def function_count(self) -> int:
+        return len(self.module.functions)
+
+
+def compile_source(source: str, opt_level: int = DEFAULT_OPT_LEVEL,
+                   defines: Optional[Dict[str, str]] = None,
+                   include_libc: bool = True,
+                   entry: str = "main") -> CompileResult:
+    """Compile MiniC source text to a WebAssembly binary."""
+    if not 0 <= opt_level <= 3:
+        raise CompileError(f"invalid optimization level -O{opt_level}")
+    full_source = (LIBC_SOURCE + "\n" + source) if include_libc else source
+    all_defines = {"TARGET_NATIVE": "0"}
+    all_defines.update(defines or {})
+    unit = parse(full_source, all_defines)
+    analyzer = analyze(unit, force_locals_to_memory=(opt_level == 0))
+    midend_stats = midend.optimize(unit, opt_level)
+    module = CodeGenerator(unit, analyzer, entry).generate()
+    removed = peephole_module(module) if opt_level >= 1 else 0
+    validate_module(module)
+    wasm_bytes = encode_module(module)
+    return CompileResult(wasm_bytes=wasm_bytes, module=module, unit=unit,
+                         analyzer=analyzer, opt_level=opt_level,
+                         midend_stats=midend_stats,
+                         peephole_removed=removed)

@@ -1,0 +1,821 @@
+"""Midend optimizer: the -O pipeline over the typed MiniC AST.
+
+The optimization level controls which passes run, mirroring how a real
+C compiler's ``-O`` flag gates its pipeline:
+
+* **-O0** — nothing (and the driver additionally forces every local into
+  memory, like clang -O0's allocas);
+* **-O1** — constant folding, algebraic simplification, constant-branch
+  folding;
+* **-O2** — -O1 plus strength reduction (multiply/divide/modulo by
+  powers of two become shifts/masks) and inlining of small
+  single-expression functions;
+* **-O3** — -O2 plus unrolling of small constant-trip-count loops.
+
+All folds use the exact wrap-around semantics of the target (via the
+shared tables in :mod:`repro.isa.ops`), so optimized and unoptimized
+binaries always compute identical results — property-tested in the
+suite.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import fields as dc_fields
+from typing import Dict, List, Optional
+
+from ..isa import ops as mops
+from ..minic import ast
+from ..minic.typesys import (CType, DOUBLE, FLOAT, INT, LONG, UINT, ULONG)
+
+_M32 = 0xFFFFFFFF
+_M64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _clone(node):
+    """Structural copy of AST nodes that *shares* bindings and types.
+
+    ``copy.deepcopy`` would duplicate the VarDecl objects that bindings
+    point at, breaking the identity keys sema and codegen rely on.
+    """
+    if isinstance(node, list):
+        return [_clone(x) for x in node]
+    if not isinstance(node, (ast.Expr, ast.Stmt, ast.SwitchCase)):
+        return node
+    new = copy.copy(node)
+    for f in dc_fields(node):
+        if f.name == "binding":
+            continue
+        value = getattr(node, f.name)
+        if isinstance(value, (ast.Expr, ast.Stmt, list)):
+            setattr(new, f.name, _clone(value))
+    return new
+
+
+def optimize(unit: ast.TranslationUnit, opt_level: int) -> Dict[str, int]:
+    """Run the pipeline in place; returns per-pass change counts."""
+    stats = {"const_fold": 0, "algebraic": 0, "branch_fold": 0,
+             "strength": 0, "inline": 0, "unroll": 0}
+    if opt_level <= 0:
+        return stats
+    inliner = _Inliner(unit) if opt_level >= 2 else None
+    for func in unit.functions:
+        if func.body is None:
+            continue
+        for _ in range(2 if opt_level >= 2 else 1):
+            if inliner is not None:
+                stats["inline"] += inliner.run(func)
+            folder = _Simplifier(opt_level)
+            folder.visit_stmt(func.body)
+            stats["const_fold"] += folder.folded
+            stats["algebraic"] += folder.algebraic
+            stats["strength"] += folder.strength
+            stats["branch_fold"] += _fold_branches(func.body)
+            if opt_level >= 3:
+                stats["unroll"] += _Unroller().run(func)
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# Constant evaluation with target semantics
+# ---------------------------------------------------------------------------
+
+
+def _const_value(expr: ast.Expr):
+    """Literal value, or None."""
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.FloatLit):
+        return expr.value
+    return None
+
+
+def _make_literal(value, ctype: CType, line: int) -> ast.Expr:
+    if ctype.is_float:
+        lit: ast.Expr = ast.FloatLit(line=line, value=float(value))
+    else:
+        lit = ast.IntLit(line=line, value=int(value))
+    lit.ctype = ctype
+    return lit
+
+
+def _wrap_int(value: int, ctype: CType) -> int:
+    """Wrap to the type's width with the right signedness view."""
+    if ctype.wasm_type == 0x7E:  # I64
+        value &= _M64
+        if not ctype.unsigned and value >> 63:
+            value -= 1 << 64
+        return value
+    value &= _M32
+    if not ctype.unsigned and value >> 31:
+        value -= 1 << 32
+    if ctype.kind == "char":
+        value &= 0xFF
+        if not ctype.unsigned and value >> 7:
+            value -= 1 << 8
+    elif ctype.kind == "short":
+        value &= 0xFFFF
+        if not ctype.unsigned and value >> 15:
+            value -= 1 << 16
+    return value
+
+
+def _fold_binary(op: str, a, b, ctype: CType,
+                 operand_type: CType) -> Optional[object]:
+    """Evaluate ``a op b`` with target semantics; None if not foldable."""
+    t = operand_type
+    try:
+        if t.is_float:
+            result = {
+                "+": lambda: a + b, "-": lambda: a - b, "*": lambda: a * b,
+                "/": lambda: a / b if b else None,
+                "==": lambda: int(a == b), "!=": lambda: int(a != b),
+                "<": lambda: int(a < b), ">": lambda: int(a > b),
+                "<=": lambda: int(a <= b), ">=": lambda: int(a >= b),
+            }.get(op, lambda: None)()
+            if result is not None and t == FLOAT and op in "+-*/":
+                result = mops.f32round(result)
+            return result
+        ia, ib = int(a), int(b)
+        if op in ("/", "%") and ib == 0:
+            return None
+        shift_mask = 63 if t.wasm_type == 0x7E else 31
+        result = {
+            "+": lambda: ia + ib, "-": lambda: ia - ib, "*": lambda: ia * ib,
+            "/": lambda: _tdiv(ia, ib, t),
+            "%": lambda: _tmod(ia, ib, t),
+            "&": lambda: ia & ib, "|": lambda: ia | ib, "^": lambda: ia ^ ib,
+            "<<": lambda: ia << (ib & shift_mask),
+            ">>": lambda: _tshr(ia, ib & shift_mask, t),
+            "==": lambda: int(ia == ib), "!=": lambda: int(ia != ib),
+            "<": lambda: int(_uv(ia, t) < _uv(ib, t)) if t.unsigned
+            else int(ia < ib),
+            ">": lambda: int(_uv(ia, t) > _uv(ib, t)) if t.unsigned
+            else int(ia > ib),
+            "<=": lambda: int(_uv(ia, t) <= _uv(ib, t)) if t.unsigned
+            else int(ia <= ib),
+            ">=": lambda: int(_uv(ia, t) >= _uv(ib, t)) if t.unsigned
+            else int(ia >= ib),
+        }.get(op, lambda: None)()
+        if result is None:
+            return None
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            return result
+        return _wrap_int(result, ctype)
+    except (OverflowError, ZeroDivisionError):
+        return None
+
+
+def _uv(v: int, t: CType) -> int:
+    mask = _M64 if t.wasm_type == 0x7E else _M32
+    return v & mask
+
+
+def _tdiv(a: int, b: int, t: CType) -> int:
+    if t.unsigned:
+        return _uv(a, t) // _uv(b, t)
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _tmod(a: int, b: int, t: CType) -> int:
+    if t.unsigned:
+        return _uv(a, t) % _uv(b, t)
+    return a - b * _tdiv(a, b, t)
+
+
+def _tshr(a: int, n: int, t: CType) -> int:
+    if t.unsigned:
+        return _uv(a, t) >> n
+    return a >> n
+
+
+# ---------------------------------------------------------------------------
+# Expression simplification (fold + algebraic + strength reduction)
+# ---------------------------------------------------------------------------
+
+
+class _Simplifier:
+    def __init__(self, opt_level: int):
+        self.opt_level = opt_level
+        self.folded = 0
+        self.algebraic = 0
+        self.strength = 0
+
+    # -- tree walk -----------------------------------------------------
+
+    def visit_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            for s in stmt.statements:
+                self.visit_stmt(s)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                stmt.init = self.visit(stmt.init)
+            if stmt.init_list is not None:
+                stmt.init_list = [self.visit(e) for e in stmt.init_list]
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                stmt.expr = self.visit(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            stmt.cond = self.visit(stmt.cond)
+            self.visit_stmt(stmt.then)
+            if stmt.other is not None:
+                self.visit_stmt(stmt.other)
+        elif isinstance(stmt, ast.While):
+            stmt.cond = self.visit(stmt.cond)
+            self.visit_stmt(stmt.body)
+        elif isinstance(stmt, ast.DoWhile):
+            self.visit_stmt(stmt.body)
+            stmt.cond = self.visit(stmt.cond)
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self.visit_stmt(stmt.init)
+            if stmt.cond is not None:
+                stmt.cond = self.visit(stmt.cond)
+            if stmt.step is not None:
+                stmt.step = self.visit(stmt.step)
+            self.visit_stmt(stmt.body)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                stmt.value = self.visit(stmt.value)
+        elif isinstance(stmt, ast.Switch):
+            stmt.scrutinee = self.visit(stmt.scrutinee)
+            for case in stmt.cases:
+                for s in case.body:
+                    self.visit_stmt(s)
+
+    def visit(self, expr: ast.Expr) -> ast.Expr:
+        # Recurse into children first.
+        for f in dc_fields(expr):
+            if f.name in ("ctype", "target_type", "binding"):
+                continue
+            child = getattr(expr, f.name)
+            if isinstance(child, ast.Expr):
+                setattr(expr, f.name, self.visit(child))
+            elif isinstance(child, list) and child and \
+                    isinstance(child[0], ast.Expr):
+                setattr(expr, f.name, [self.visit(c) for c in child])
+        return self._simplify(expr)
+
+    # -- rules ---------------------------------------------------------
+
+    def _simplify(self, expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.Binary):
+            return self._simplify_binary(expr)
+        if isinstance(expr, ast.Unary):
+            value = _const_value(expr.operand)
+            if value is not None:
+                self.folded += 1
+                if expr.op == "-":
+                    return _make_literal(_wrap_int(-int(value), expr.ctype)
+                                         if not expr.ctype.is_float
+                                         else -value, expr.ctype, expr.line)
+                if expr.op == "~":
+                    return _make_literal(_wrap_int(~int(value), expr.ctype),
+                                         expr.ctype, expr.line)
+                if expr.op == "!":
+                    return _make_literal(int(not value), INT, expr.line)
+                self.folded -= 1
+        if isinstance(expr, ast.Cast):
+            return self._simplify_cast(expr)
+        if isinstance(expr, ast.Cond):
+            value = _const_value(expr.cond)
+            if value is not None:
+                self.folded += 1
+                return expr.then if value else expr.other
+        return expr
+
+    def _simplify_binary(self, expr: ast.Binary) -> ast.Expr:
+        lv, rv = _const_value(expr.left), _const_value(expr.right)
+        operand_type = expr.left.ctype if expr.op not in ("&&", "||") \
+            else INT
+        if lv is not None and rv is not None and \
+                expr.op not in ("&&", "||"):
+            result = _fold_binary(expr.op, lv, rv, expr.ctype, operand_type)
+            if result is not None:
+                self.folded += 1
+                return _make_literal(result, expr.ctype, expr.line)
+        if expr.op in ("&&", "||") and lv is not None:
+            self.folded += 1
+            if expr.op == "&&":
+                if not lv:
+                    return _make_literal(0, INT, expr.line)
+                return self._truthify(expr.right)
+            if lv:
+                return _make_literal(1, INT, expr.line)
+            return self._truthify(expr.right)
+
+        t = expr.ctype
+        # Algebraic identities (right-constant forms; safe because the
+        # remaining operand is evaluated exactly once either way).
+        if rv is not None and t.is_integer:
+            r = int(rv)
+            if expr.op in ("+", "-", "|", "^", "<<", ">>") and r == 0:
+                self.algebraic += 1
+                return expr.left
+            if expr.op == "*" and r == 1:
+                self.algebraic += 1
+                return expr.left
+            if expr.op == "/" and r == 1:
+                self.algebraic += 1
+                return expr.left
+            if expr.op == "*" and r == 0 and _is_pure(expr.left):
+                self.algebraic += 1
+                return _make_literal(0, t, expr.line)
+            if expr.op == "&" and r == 0 and _is_pure(expr.left):
+                self.algebraic += 1
+                return _make_literal(0, t, expr.line)
+            # Strength reduction at -O2.
+            if self.opt_level >= 2 and r > 1 and (r & (r - 1)) == 0:
+                shift = r.bit_length() - 1
+                if expr.op == "*":
+                    self.strength += 1
+                    expr.op = "<<"
+                    # shift amount must match the operand's width
+                    expr.right = _make_literal(shift, t, expr.line)
+                    return expr
+                if expr.op == "/" and t.unsigned:
+                    self.strength += 1
+                    expr.op = ">>"
+                    expr.right = _make_literal(shift, t, expr.line)
+                    return expr
+                if expr.op == "%" and t.unsigned:
+                    self.strength += 1
+                    expr.op = "&"
+                    expr.right = _make_literal(r - 1, t, expr.line)
+                    return expr
+        if lv is not None and t.is_integer and expr.op in ("+", "*") :
+            l = int(lv)
+            if (expr.op == "+" and l == 0) or (expr.op == "*" and l == 1):
+                self.algebraic += 1
+                return expr.right
+        if rv is not None and t.is_float:
+            if expr.op in ("+", "-") and rv == 0.0:
+                self.algebraic += 1
+                return expr.left
+            if expr.op in ("*", "/") and rv == 1.0:
+                self.algebraic += 1
+                return expr.left
+        return expr
+
+    def _truthify(self, expr: ast.Expr) -> ast.Expr:
+        """Turn an operand of &&/|| into an explicit truth value."""
+        if isinstance(expr, ast.Binary) and expr.op in (
+                "==", "!=", "<", ">", "<=", ">=", "&&", "||"):
+            return expr
+        ne = ast.Binary(line=expr.line, op="!=", left=expr,
+                        right=_make_literal(0, expr.ctype, expr.line))
+        ne.ctype = INT
+        return ne
+
+    def _simplify_cast(self, expr: ast.Cast) -> ast.Expr:
+        value = _const_value(expr.operand)
+        if value is None:
+            # Collapse nested same-type casts.
+            if isinstance(expr.operand, ast.Cast) and \
+                    expr.operand.target_type == expr.target_type:
+                return expr.operand
+            return expr
+        dst = expr.target_type
+        if dst.is_float:
+            self.folded += 1
+            result = float(value)
+            if dst == FLOAT:
+                result = mops.f32round(result)
+            return _make_literal(result, dst, expr.line)
+        if dst.is_integer:
+            if isinstance(value, float):
+                # Folding float->int must match trunc-trap semantics; only
+                # fold when in range.
+                if dst.wasm_type == 0x7E:
+                    lo, hi = (-2**63, 2**63 - 1)
+                else:
+                    lo, hi = (-2**31, 2**31 - 1)
+                if not (lo <= value <= hi):
+                    return expr
+                value = int(value)
+            self.folded += 1
+            return _make_literal(_wrap_int(int(value), dst), dst, expr.line)
+        return expr
+
+
+def _is_pure(expr: ast.Expr) -> bool:
+    """Conservatively: no calls, assignments, or loads through pointers."""
+    if isinstance(expr, (ast.Call, ast.Assign, ast.IncDec, ast.Deref,
+                         ast.Index)):
+        return False
+    for f in dc_fields(expr):
+        if f.name in ("ctype", "target_type", "binding"):
+            continue
+        child = getattr(expr, f.name)
+        if isinstance(child, ast.Expr) and not _is_pure(child):
+            return False
+        if isinstance(child, list):
+            for c in child:
+                if isinstance(c, ast.Expr) and not _is_pure(c):
+                    return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Constant-branch folding
+# ---------------------------------------------------------------------------
+
+
+def _fold_branches(block: ast.Stmt) -> int:
+    """Replace if(const)/while(0) with the surviving branch, in place."""
+    changed = 0
+
+    def rewrite(stmt: ast.Stmt) -> Optional[ast.Stmt]:
+        nonlocal changed
+        if isinstance(stmt, ast.If):
+            value = _const_value(stmt.cond)
+            if value is not None:
+                changed += 1
+                survivor = stmt.then if value else stmt.other
+                return walk(survivor) if survivor is not None \
+                    else ast.Block(line=stmt.line)
+            stmt.then = walk(stmt.then)
+            if stmt.other is not None:
+                stmt.other = walk(stmt.other)
+            return stmt
+        if isinstance(stmt, ast.While):
+            value = _const_value(stmt.cond)
+            if value is not None and not value:
+                changed += 1
+                return ast.Block(line=stmt.line)
+            stmt.body = walk(stmt.body)
+            return stmt
+        if isinstance(stmt, ast.DoWhile):
+            stmt.body = walk(stmt.body)
+            return stmt
+        if isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                stmt.init = walk(stmt.init)
+            stmt.body = walk(stmt.body)
+            return stmt
+        if isinstance(stmt, ast.Block):
+            stmt.statements = [walk(s) for s in stmt.statements]
+            return stmt
+        if isinstance(stmt, ast.Switch):
+            for case in stmt.cases:
+                case.body = [walk(s) for s in case.body]
+            return stmt
+        return stmt
+
+    def walk(stmt: ast.Stmt) -> ast.Stmt:
+        return rewrite(stmt)
+
+    walk(block)
+    return changed
+
+
+# ---------------------------------------------------------------------------
+# Inlining (-O2): single-expression functions with simple arguments
+# ---------------------------------------------------------------------------
+
+_INLINE_MAX_NODES = 24
+
+
+class _Inliner:
+    def __init__(self, unit: ast.TranslationUnit):
+        self.candidates: Dict[str, ast.FuncDef] = {}
+        for func in unit.functions:
+            if func.body is None or func.ret.is_void:
+                continue
+            body = func.body.statements
+            if len(body) == 1 and isinstance(body[0], ast.Return) \
+                    and body[0].value is not None \
+                    and _node_count(body[0].value) <= _INLINE_MAX_NODES \
+                    and not _references_memory_params(func):
+                self.candidates[func.name] = func
+        self.inlined = 0
+
+    def run(self, func: ast.FuncDef) -> int:
+        before = self.inlined
+        self._rewrite_stmt(func.body, func)
+        return self.inlined - before
+
+    def _rewrite_stmt(self, stmt: ast.Stmt, host: ast.FuncDef) -> None:
+        for f in dc_fields(stmt):
+            child = getattr(stmt, f.name)
+            if isinstance(child, ast.Expr):
+                setattr(stmt, f.name, self._rewrite_expr(child, host))
+            elif isinstance(child, ast.Stmt):
+                self._rewrite_stmt(child, host)
+            elif isinstance(child, list):
+                new_list = []
+                for c in child:
+                    if isinstance(c, ast.Expr):
+                        new_list.append(self._rewrite_expr(c, host))
+                    else:
+                        if isinstance(c, ast.Stmt):
+                            self._rewrite_stmt(c, host)
+                        elif isinstance(c, ast.SwitchCase):
+                            for s in c.body:
+                                self._rewrite_stmt(s, host)
+                        new_list.append(c)
+                setattr(stmt, f.name, new_list)
+
+    def _rewrite_expr(self, expr: ast.Expr, host: ast.FuncDef) -> ast.Expr:
+        for f in dc_fields(expr):
+            if f.name in ("ctype", "target_type", "binding"):
+                continue
+            child = getattr(expr, f.name)
+            if isinstance(child, ast.Expr):
+                setattr(expr, f.name, self._rewrite_expr(child, host))
+            elif isinstance(child, list) and child and \
+                    isinstance(child[0], ast.Expr):
+                setattr(expr, f.name,
+                        [self._rewrite_expr(c, host) for c in child])
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Ident) \
+                and expr.func.binding and expr.func.binding[0] == "func":
+            callee = self.candidates.get(expr.func.binding[1])
+            if callee is not None and callee is not host:
+                inlined = self._try_inline(callee, expr)
+                if inlined is not None:
+                    self.inlined += 1
+                    return inlined
+        return expr
+
+    def _try_inline(self, callee: ast.FuncDef,
+                    call: ast.Call) -> Optional[ast.Expr]:
+        body_expr = callee.body.statements[0].value
+        params = getattr(callee, "param_decls", None)
+        if params is None:
+            return None
+        # Count uses of each parameter in the body.
+        uses: Dict[int, int] = {}
+        for node in _walk(body_expr):
+            if isinstance(node, ast.Ident) and node.binding \
+                    and node.binding[0] == "local":
+                uses[id(node.binding[1])] = uses.get(id(node.binding[1]),
+                                                     0) + 1
+        for decl, arg in zip(params, call.args):
+            count = uses.get(id(decl), 0)
+            if count > 1 and not _is_trivial_arg(arg):
+                return None
+            if count == 0 and not _is_pure(arg):
+                return None  # must not drop side effects
+        replacement = {id(decl): arg for decl, arg in zip(params, call.args)}
+        return _substitute(_clone(body_expr), replacement,
+                           {id(d): d for d in params})
+
+    # (deep copy keeps binding object identity for substitution keys)
+
+
+def _node_count(expr: ast.Expr) -> int:
+    return sum(1 for _ in _walk(expr))
+
+
+def _walk(expr: ast.Expr):
+    yield expr
+    for f in dc_fields(expr):
+        if f.name in ("ctype", "target_type", "binding"):
+            continue
+        child = getattr(expr, f.name)
+        if isinstance(child, ast.Expr):
+            yield from _walk(child)
+        elif isinstance(child, list):
+            for c in child:
+                if isinstance(c, ast.Expr):
+                    yield from _walk(c)
+
+
+def _references_memory_params(func: ast.FuncDef) -> bool:
+    params = getattr(func, "param_decls", [])
+    return any(d.needs_memory for d in params)
+
+
+def _is_trivial_arg(arg: ast.Expr) -> bool:
+    return isinstance(arg, (ast.IntLit, ast.FloatLit)) or \
+        (isinstance(arg, ast.Ident) and arg.binding
+         and arg.binding[0] == "local")
+
+
+def _substitute(expr: ast.Expr, replacement: Dict[int, ast.Expr],
+                param_ids: Dict[int, ast.VarDecl]) -> ast.Expr:
+    if isinstance(expr, ast.Ident) and expr.binding \
+            and expr.binding[0] == "local" \
+            and id(expr.binding[1]) in replacement:
+        return _clone(replacement[id(expr.binding[1])])
+    for f in dc_fields(expr):
+        if f.name in ("ctype", "target_type", "binding"):
+            continue
+        child = getattr(expr, f.name)
+        if isinstance(child, ast.Expr):
+            setattr(expr, f.name,
+                    _substitute(child, replacement, param_ids))
+        elif isinstance(child, list) and child and \
+                isinstance(child[0], ast.Expr):
+            setattr(expr, f.name,
+                    [_substitute(c, replacement, param_ids) for c in child])
+    return expr
+
+
+# ---------------------------------------------------------------------------
+# Loop unrolling (-O3)
+# ---------------------------------------------------------------------------
+
+_UNROLL_MAX_TRIPS = 8
+_UNROLL_MAX_BODY = 16
+
+
+class _Unroller:
+    def run(self, func: ast.FuncDef) -> int:
+        return self._visit(func.body)
+
+    def _visit(self, stmt: ast.Stmt) -> int:
+        count = 0
+        if isinstance(stmt, ast.Block):
+            new_statements: List[ast.Stmt] = []
+            for s in stmt.statements:
+                count += self._visit(s)
+                unrolled = self._try_unroll(s)
+                if unrolled is not None:
+                    count += 1
+                    new_statements.extend(unrolled)
+                else:
+                    new_statements.append(s)
+            stmt.statements = new_statements
+        elif isinstance(stmt, ast.If):
+            count += self._visit(stmt.then)
+            if stmt.other is not None:
+                count += self._visit(stmt.other)
+        elif isinstance(stmt, (ast.While, ast.DoWhile)):
+            count += self._visit(stmt.body)
+        elif isinstance(stmt, ast.For):
+            count += self._visit(stmt.body)
+        elif isinstance(stmt, ast.Switch):
+            for case in stmt.cases:
+                for s in case.body:
+                    count += self._visit(s)
+        return count
+
+    def _try_unroll(self, stmt: ast.Stmt) -> Optional[List[ast.Stmt]]:
+        """Fully unroll `for (T i = C0; i < C1; i++) body`."""
+        if not isinstance(stmt, ast.For):
+            return None
+        init, cond, step = stmt.init, stmt.cond, stmt.step
+        if not (isinstance(init, ast.VarDecl) and init.init is not None):
+            return None
+        start = _const_value(init.init)
+        if start is None or init.var_type is not INT and \
+                init.var_type != INT:
+            return None
+        if not (isinstance(cond, ast.Binary) and cond.op == "<"
+                and isinstance(cond.left, ast.Ident)
+                and cond.left.binding and cond.left.binding[0] == "local"
+                and cond.left.binding[1] is init):
+            return None
+        limit = _const_value(cond.right)
+        if limit is None:
+            return None
+        trips = int(limit) - int(start)
+        if not 0 <= trips <= _UNROLL_MAX_TRIPS:
+            return None
+        if not (isinstance(step, ast.IncDec) and step.op == "++"
+                and isinstance(step.target, ast.Ident)
+                and step.target.binding
+                and step.target.binding[1] is init):
+            return None
+        if _stmt_size(stmt.body) > _UNROLL_MAX_BODY:
+            return None
+        if _modifies_var(stmt.body, init) or _has_jumps(stmt.body):
+            return None
+        if _contains_decl(stmt.body):
+            return None  # cloned VarDecls would lack storage assignments
+        out: List[ast.Stmt] = []
+        for k in range(trips):
+            body = _clone(stmt.body)
+            _replace_var(body, init, int(start) + k)
+            out.append(body)
+        return out
+
+
+def _contains_decl(stmt: ast.Stmt) -> bool:
+    if isinstance(stmt, ast.VarDecl):
+        return True
+    for f in dc_fields(stmt):
+        child = getattr(stmt, f.name)
+        if isinstance(child, ast.Stmt) and _contains_decl(child):
+            return True
+        if isinstance(child, list):
+            for c in child:
+                if isinstance(c, ast.Stmt) and _contains_decl(c):
+                    return True
+                if isinstance(c, ast.SwitchCase):
+                    for s2 in c.body:
+                        if _contains_decl(s2):
+                            return True
+    return False
+
+
+def _stmt_size(stmt: ast.Stmt) -> int:
+    total = 1
+    for f in dc_fields(stmt):
+        child = getattr(stmt, f.name)
+        if isinstance(child, ast.Stmt):
+            total += _stmt_size(child)
+        elif isinstance(child, ast.Expr):
+            total += _node_count(child)
+        elif isinstance(child, list):
+            for c in child:
+                if isinstance(c, ast.Stmt):
+                    total += _stmt_size(c)
+                elif isinstance(c, ast.Expr):
+                    total += _node_count(c)
+    return total
+
+
+def _stmt_exprs(stmt: ast.Stmt):
+    for f in dc_fields(stmt):
+        child = getattr(stmt, f.name)
+        if isinstance(child, ast.Expr):
+            yield from _walk(child)
+        elif isinstance(child, ast.Stmt):
+            yield from _stmt_exprs(child)
+        elif isinstance(child, list):
+            for c in child:
+                if isinstance(c, ast.Stmt):
+                    yield from _stmt_exprs(c)
+                elif isinstance(c, ast.Expr):
+                    yield from _walk(c)
+                elif isinstance(c, ast.SwitchCase):
+                    for s in c.body:
+                        yield from _stmt_exprs(s)
+
+
+def _modifies_var(stmt: ast.Stmt, decl: ast.VarDecl) -> bool:
+    for node in _stmt_exprs(stmt):
+        if isinstance(node, (ast.Assign, ast.IncDec)):
+            target = node.target
+            if isinstance(target, ast.Ident) and target.binding \
+                    and target.binding[0] == "local" \
+                    and target.binding[1] is decl:
+                return True
+        if isinstance(node, ast.AddrOf) and isinstance(node.operand,
+                                                       ast.Ident):
+            if node.operand.binding and node.operand.binding[0] == "local" \
+                    and node.operand.binding[1] is decl:
+                return True
+    return False
+
+
+def _has_jumps(stmt: ast.Stmt) -> bool:
+    if isinstance(stmt, (ast.Break, ast.Continue, ast.Return)):
+        return True
+    for f in dc_fields(stmt):
+        child = getattr(stmt, f.name)
+        if isinstance(child, ast.Stmt) and _has_jumps(child):
+            return True
+        if isinstance(child, list):
+            for c in child:
+                if isinstance(c, ast.Stmt) and _has_jumps(c):
+                    return True
+                if isinstance(c, ast.SwitchCase):
+                    for s in c.body:
+                        if _has_jumps(s):
+                            return True
+    return False
+
+
+def _replace_var(stmt: ast.Stmt, decl: ast.VarDecl, value: int) -> None:
+    """Replace reads of ``decl`` with a constant, in place."""
+    def fix_expr(expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.Ident) and expr.binding \
+                and expr.binding[0] == "local" and expr.binding[1] is decl:
+            return _make_literal(value, expr.ctype, expr.line)
+        for f in dc_fields(expr):
+            if f.name in ("ctype", "target_type", "binding"):
+                continue
+            child = getattr(expr, f.name)
+            if isinstance(child, ast.Expr):
+                setattr(expr, f.name, fix_expr(child))
+            elif isinstance(child, list) and child and \
+                    isinstance(child[0], ast.Expr):
+                setattr(expr, f.name, [fix_expr(c) for c in child])
+        return expr
+
+    def fix_stmt(s: ast.Stmt) -> None:
+        for f in dc_fields(s):
+            child = getattr(s, f.name)
+            if isinstance(child, ast.Expr):
+                setattr(s, f.name, fix_expr(child))
+            elif isinstance(child, ast.Stmt):
+                fix_stmt(child)
+            elif isinstance(child, list):
+                new_list = []
+                for c in child:
+                    if isinstance(c, ast.Expr):
+                        new_list.append(fix_expr(c))
+                    else:
+                        if isinstance(c, ast.Stmt):
+                            fix_stmt(c)
+                        elif isinstance(c, ast.SwitchCase):
+                            for cs in c.body:
+                                fix_stmt(cs)
+                        new_list.append(c)
+                setattr(s, f.name, new_list)
+
+    fix_stmt(stmt)

@@ -1,0 +1,127 @@
+"""Wasm-level peephole optimization (run at -O1 and above).
+
+Cleans the local patterns a stack-code generator leaves behind.  Because
+Wasm branches target *labels* rather than byte offsets, deleting or
+replacing non-control instructions never invalidates control flow, which
+keeps these rewrites trivially sound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..isa import ops as mops
+from ..wasm import Module
+from ..wasm import opcodes as op
+from ..wasm.module import Instr
+
+# Foldable (const, const) -> const binaries, with exact target semantics.
+_FOLD2 = {
+    op.I32_ADD: lambda a, b: (a + b) & 0xFFFFFFFF,
+    op.I32_SUB: lambda a, b: (a - b) & 0xFFFFFFFF,
+    op.I32_MUL: lambda a, b: (a * b) & 0xFFFFFFFF,
+    op.I32_AND: lambda a, b: a & b,
+    op.I32_OR: lambda a, b: a | b,
+    op.I32_XOR: lambda a, b: a ^ b,
+    op.I32_SHL: lambda a, b: (a << (b & 31)) & 0xFFFFFFFF,
+    op.I64_ADD: lambda a, b: (a + b) & 0xFFFFFFFFFFFFFFFF,
+    op.I64_SUB: lambda a, b: (a - b) & 0xFFFFFFFFFFFFFFFF,
+    op.I64_MUL: lambda a, b: (a * b) & 0xFFFFFFFFFFFFFFFF,
+}
+
+_IDENTITY_RIGHT_ZERO = frozenset((op.I32_ADD, op.I32_SUB, op.I32_OR,
+                                  op.I32_XOR, op.I32_SHL, op.I32_SHR_S,
+                                  op.I32_SHR_U,
+                                  op.I64_ADD, op.I64_SUB, op.I64_OR,
+                                  op.I64_XOR, op.I64_SHL, op.I64_SHR_S,
+                                  op.I64_SHR_U))
+
+_PURE_PRODUCERS = frozenset((op.I32_CONST, op.I64_CONST, op.F32_CONST,
+                             op.F64_CONST, op.LOCAL_GET, op.GLOBAL_GET))
+
+
+def _u32(v: int) -> int:
+    return v & 0xFFFFFFFF
+
+
+def optimize_body(body: List[Instr]) -> List[Instr]:
+    """One fixpoint pass of local rewrites over a flat body."""
+    changed = True
+    while changed:
+        changed = False
+        out: List[Instr] = []
+        i = 0
+        n = len(body)
+        while i < n:
+            ins = body[i]
+            o = ins[0]
+            nxt = body[i + 1] if i + 1 < n else None
+            nxt2 = body[i + 2] if i + 2 < n else None
+
+            # const const binop  ->  const
+            if nxt2 is not None and o in (op.I32_CONST, op.I64_CONST) \
+                    and nxt is not None and nxt[0] == o \
+                    and nxt2[0] in _FOLD2:
+                wide = o == op.I64_CONST
+                mask = 0xFFFFFFFFFFFFFFFF if wide else 0xFFFFFFFF
+                if (nxt2[0] >= op.I64_ADD) == wide:
+                    folded = _FOLD2[nxt2[0]](ins[1] & mask, nxt[1] & mask)
+                    if folded >> (63 if wide else 31):
+                        folded -= 1 << (64 if wide else 32)
+                    out.append((o, folded))
+                    i += 3
+                    changed = True
+                    continue
+
+            # local.set x ; local.get x  ->  local.tee x
+            if o == op.LOCAL_SET and nxt is not None \
+                    and nxt[0] == op.LOCAL_GET and nxt[1] == ins[1]:
+                out.append((op.LOCAL_TEE, ins[1]))
+                i += 2
+                changed = True
+                continue
+
+            # local.tee x ; drop  ->  local.set x
+            if o == op.LOCAL_TEE and nxt is not None and nxt[0] == op.DROP:
+                out.append((op.LOCAL_SET, ins[1]))
+                i += 2
+                changed = True
+                continue
+
+            # pure producer ; drop  ->  (nothing)
+            if o in _PURE_PRODUCERS and nxt is not None \
+                    and nxt[0] == op.DROP:
+                i += 2
+                changed = True
+                continue
+
+            # x ; const 0 ; add/sub/or/xor/shift  ->  x
+            if nxt is not None and o in (op.I32_CONST, op.I64_CONST) \
+                    and ins[1] == 0 and nxt[0] in _IDENTITY_RIGHT_ZERO:
+                if (o == op.I64_CONST) == (nxt[0] >= op.I64_ADD):
+                    i += 2
+                    changed = True
+                    continue
+
+            # const 1 ; mul  ->  (nothing)
+            if nxt is not None and ins[1:] == (1,) \
+                    and ((o == op.I32_CONST and nxt[0] == op.I32_MUL) or
+                         (o == op.I64_CONST and nxt[0] == op.I64_MUL)):
+                i += 2
+                changed = True
+                continue
+
+            out.append(ins)
+            i += 1
+        body = out
+    return body
+
+
+def peephole_module(module: Module) -> int:
+    """Optimize every function body in place; returns instructions removed."""
+    removed = 0
+    for func in module.functions:
+        before = len(func.body)
+        func.body = optimize_body(func.body)
+        removed += before - len(func.body)
+    return removed

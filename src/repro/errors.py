@@ -1,0 +1,82 @@
+"""Exception hierarchy shared across the whole reproduction stack.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch failures from the toolchain, the runtimes, and the harness uniformly
+while still being able to distinguish the failing layer.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class WasmError(ReproError):
+    """Base class for WebAssembly substrate failures."""
+
+
+class EncodeError(WasmError):
+    """A module could not be serialized to the binary format."""
+
+
+class DecodeError(WasmError):
+    """A binary module is malformed and could not be parsed."""
+
+
+class ValidationError(WasmError):
+    """A decoded module failed type checking / structural validation."""
+
+
+class CompileError(ReproError):
+    """The MiniC frontend or midend rejected a program."""
+
+
+class MiniCSyntaxError(CompileError):
+    """Lexical or syntactic error in MiniC source."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        super().__init__(f"{line}:{col}: {message}" if line else message)
+        self.line = line
+        self.col = col
+
+
+class MiniCTypeError(CompileError):
+    """Semantic (type) error in MiniC source."""
+
+    def __init__(self, message: str, line: int = 0):
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+class LinkError(ReproError):
+    """Instantiation failed: missing or mismatched imports."""
+
+
+class Trap(ReproError):
+    """A WebAssembly trap raised during execution.
+
+    Mirrors the trap conditions of the core specification: out-of-bounds
+    memory access, integer divide by zero, invalid conversion, unreachable,
+    call-stack exhaustion, and indirect-call signature mismatch.
+    """
+
+    def __init__(self, kind: str, message: str = ""):
+        super().__init__(f"trap: {kind}" + (f": {message}" if message else ""))
+        self.kind = kind
+
+
+class ExitProc(ReproError):
+    """Raised by WASI ``proc_exit`` to unwind the guest program."""
+
+    def __init__(self, code: int):
+        super().__init__(f"proc_exit({code})")
+        self.code = code
+
+
+class WasiError(ReproError):
+    """A WASI host-call failed in a way that cannot map to an errno."""
+
+
+class HarnessError(ReproError):
+    """An experiment driver was misconfigured or a run failed."""

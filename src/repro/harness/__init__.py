@@ -1,0 +1,8 @@
+"""Experiment harness: regenerates every figure and table of the paper."""
+
+from .experiments import EXPERIMENTS
+from .report import Table
+from .runner import ALL_RUNTIMES, ENGINES, JIT_RUNTIMES, Harness, geomean
+
+__all__ = ["EXPERIMENTS", "Table", "ALL_RUNTIMES", "ENGINES",
+           "JIT_RUNTIMES", "Harness", "geomean"]

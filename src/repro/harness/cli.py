@@ -1,0 +1,120 @@
+"""``wabench`` command line: run benchmarks and regenerate paper artifacts.
+
+Examples::
+
+    wabench list
+    wabench run gemm --runtime wasm3 --size small -O2
+    wabench fig1 --size small
+    wabench all --size small --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from ..bench import ALL_BENCHMARKS, get, names
+from .experiments import EXPERIMENTS
+from .runner import ENGINES, Harness
+
+
+def _cmd_list(args) -> int:
+    print(f"{'name':16s} {'suite':11s} {'domain':22s} description")
+    for bench in ALL_BENCHMARKS:
+        print(f"{bench.name:16s} {bench.suite:11s} {bench.domain:22s} "
+              f"{bench.description}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    harness = Harness(size=args.size, opt_level=args.opt,
+                      benchmarks=[args.benchmark])
+    engines = [args.runtime] if args.runtime else list(ENGINES)
+    for engine in engines:
+        start = time.time()
+        result = harness.run(args.benchmark, engine, aot=args.aot)
+        wall = time.time() - start
+        print(f"--- {engine} ({wall:.2f}s wall)")
+        sys.stdout.write(result.stdout_text())
+        print(f"    modeled: {result.seconds * 1e3:.3f} ms, "
+              f"{result.counters['instructions']:,} instructions, "
+              f"IPC {result.counters['ipc']:.2f}, "
+              f"MRSS {result.mrss_bytes / 1e6:.2f} MB, "
+              f"bpm {result.counters['branch_miss_ratio']:.2%}, "
+              f"cache-miss {result.counters['cache_miss_ratio']:.2%}")
+    return 0
+
+
+def _run_experiments(ids: List[str], args) -> int:
+    bench_subset: Optional[List[str]] = None
+    if args.benchmarks:
+        bench_subset = [b.strip() for b in args.benchmarks.split(",")]
+    harness = Harness(size=args.size, opt_level=args.opt,
+                      benchmarks=bench_subset, verbose=args.verbose)
+    outputs = []
+    for experiment_id in ids:
+        fn = EXPERIMENTS[experiment_id]
+        start = time.time()
+        table = fn(harness)
+        text = table.render()
+        outputs.append((experiment_id, text))
+        print(text)
+        print(f"  [{experiment_id} regenerated in {time.time() - start:.1f}s "
+              f"wall]\n")
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        for experiment_id, text in outputs:
+            path = os.path.join(args.out, f"{experiment_id}.txt")
+            with open(path, "w") as f:
+                f.write(text + "\n")
+        print(f"wrote {len(outputs)} artifact(s) to {args.out}/")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="wabench",
+        description="WABench-repro: regenerate the paper's experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the 50 benchmarks")
+
+    run_p = sub.add_parser("run", help="run one benchmark")
+    run_p.add_argument("benchmark", choices=names())
+    run_p.add_argument("--runtime", default=None,
+                       help="native|wasmtime|wavm|wasmer|wasm3|wamr|"
+                            "wasmer-<backend> (default: all)")
+    run_p.add_argument("--aot", action="store_true")
+
+    for experiment_id in EXPERIMENTS:
+        sub.add_parser(experiment_id,
+                       help=f"regenerate {experiment_id}")
+    sub.add_parser("all", help="regenerate every figure and table")
+
+    for name, p in sub.choices.items():
+        if name == "list":
+            continue
+        p.add_argument("--size", default="small",
+                       choices=("test", "small", "ref"))
+        p.add_argument("-O", "--opt", type=int, default=2)
+        p.add_argument("--benchmarks", default=None,
+                       help="comma-separated subset of benchmark names")
+        p.add_argument("--out", default=None,
+                       help="directory to write artifact text files")
+        p.add_argument("--verbose", action="store_true")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "all":
+        return _run_experiments(list(EXPERIMENTS), args)
+    return _run_experiments([args.command], args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

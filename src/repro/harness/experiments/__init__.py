@@ -1,0 +1,30 @@
+"""Per-figure/table experiment drivers.
+
+``EXPERIMENTS`` maps every figure/table identifier from the paper's
+evaluation to the callable regenerating it.
+"""
+
+from typing import Callable, Dict
+
+from . import arch, memory, perf
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig1": perf.fig1,
+    "fig2": perf.fig2,
+    "fig3": perf.fig3,
+    "table4": perf.table4,
+    "fig4": perf.fig4,
+    "fig5": memory.fig5,
+    "fig6": arch.fig6,
+    "fig7": arch.fig7,
+    "fig8": arch.fig8,
+    "table5": arch.table5,
+    "fig9": arch.fig9,
+    "fig10": arch.fig10,
+    "fig11": perf.fig11,
+    "fig12": perf.fig12,
+    "fig13": memory.fig13,
+    "fig14": arch.fig14,
+}
+
+__all__ = ["EXPERIMENTS", "arch", "memory", "perf"]

@@ -1,0 +1,134 @@
+"""Architectural-characteristics experiments (paper Section 6).
+
+* Figure 6/14 — normalized dynamically executed instructions
+* Figure 7    — IPC of native and every runtime
+* Figure 8    — normalized branch prediction misses
+* Table 5     — branch prediction miss ratios
+* Figure 9    — normalized cache misses (LLC)
+* Figure 10   — cache miss ratios
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..report import Table
+from ..runner import ALL_RUNTIMES, ENGINES, Harness, geomean
+
+
+def _normalized_table(harness: Harness, experiment_id: str, title: str,
+                      metric: str, note: str,
+                      per_benchmark: bool) -> Table:
+    table = Table(experiment_id, title, ["workload"] + list(ALL_RUNTIMES))
+
+    def row(names: List[str]) -> List[float]:
+        return [geomean([harness.normalized(n, rt, metric) for n in names])
+                for rt in ALL_RUNTIMES]
+
+    if per_benchmark:
+        for name in harness.benchmark_names:
+            table.add(name, *row([name]))
+    else:
+        for label, members in harness.grouped_rows():
+            table.add(label, *row(members))
+        table.add("GEOMEAN", *row(harness.benchmark_names))
+    table.note(note)
+    return table
+
+
+def fig6(harness: Harness) -> Table:
+    return _normalized_table(
+        harness, "Figure 6",
+        "Normalized dynamic instructions (native = 1.0)", "instructions",
+        "paper: 2.03x-14.61x; interpreters far above JITs", False)
+
+
+def fig14(harness: Harness) -> Table:
+    return _normalized_table(
+        harness, "Figure 14",
+        "Normalized dynamic instructions per benchmark", "instructions",
+        "appendix detail of Figure 6", True)
+
+
+def _absolute_table(harness: Harness, experiment_id: str, title: str,
+                    value: Callable, note: str) -> Table:
+    table = Table(experiment_id, title, ["workload"] + list(ENGINES))
+
+    def row(names: List[str]) -> List[float]:
+        return [geomean([value(harness.run(n, engine)) for n in names])
+                for engine in ENGINES]
+
+    for label, members in harness.grouped_rows():
+        table.add(label, *row(members))
+    table.add("GEOMEAN", *row(harness.benchmark_names))
+    table.note(note)
+    return table
+
+
+def fig7(harness: Harness) -> Table:
+    return _absolute_table(
+        harness, "Figure 7", "Instructions per cycle (IPC)",
+        lambda r: r.counters["ipc"],
+        "paper: runtimes generally reach higher IPC than native; "
+        "gnuchess under Wasm3 drops below 1")
+
+
+def fig8(harness: Harness) -> Table:
+    return _normalized_table(
+        harness, "Figure 8",
+        "Normalized branch prediction misses (native = 1.0)",
+        "branch_misses",
+        "paper averages: 1.52x (wasmtime) to 12.64x (wasm3); "
+        "wavm facedetection 414x", False)
+
+
+def table5(harness: Harness) -> Table:
+    table = Table("Table 5", "Branch prediction miss ratios (%)",
+                  ["workload"] + list(ENGINES))
+
+    def row(names: List[str]) -> List[float]:
+        out = []
+        for engine in ENGINES:
+            ratios = [harness.run(n, engine).counters["branch_miss_ratio"]
+                      for n in names]
+            out.append(100.0 * sum(ratios) / len(ratios))
+        return out
+
+    for label, members in harness.grouped_rows():
+        table.add(label, *row(members))
+    table.add("GEOMEAN", *[
+        100.0 * geomean([max(1e-6,
+                             harness.run(n, e).counters["branch_miss_ratio"])
+                         for n in harness.benchmark_names])
+        for e in ENGINES])
+    table.note("paper: ratios close to native everywhere except gnuchess "
+               "on the interpreters (~18-21%)")
+    return table
+
+
+def fig9(harness: Harness) -> Table:
+    return _normalized_table(
+        harness, "Figure 9",
+        "Normalized cache misses (native = 1.0)", "cache_misses",
+        "paper averages: wasmtime 1.91x, wavm 4.60x, wasmer 1.73x, "
+        "wasm3 1.39x, wamr 1.60x; wavm gnuchess 347x", False)
+
+
+def fig10(harness: Harness) -> Table:
+    table = Table("Figure 10", "Cache miss ratios (%)",
+                  ["workload"] + list(ENGINES))
+
+    def row(names: List[str]) -> List[float]:
+        out = []
+        for engine in ENGINES:
+            ratios = [harness.run(n, engine).counters["cache_miss_ratio"]
+                      for n in names]
+            out.append(100.0 * sum(ratios) / len(ratios))
+        return out
+
+    for label, members in harness.grouped_rows():
+        table.add(label, *row(members))
+    table.add("AVERAGE", *row(harness.benchmark_names))
+    table.note("paper: native 11.13%; runtimes 5.57%-13.26% — similar "
+               "ratios despite more absolute misses")
+    return table

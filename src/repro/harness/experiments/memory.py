@@ -1,0 +1,38 @@
+"""Memory-overhead experiments (paper Section 5): Figures 5 and 13."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..report import Table
+from ..runner import ALL_RUNTIMES, Harness, geomean
+
+
+def _mrss_table(harness: Harness, experiment_id: str,
+                per_benchmark: bool) -> Table:
+    table = Table(experiment_id,
+                  "Normalized maximum resident set size (native = 1.0)",
+                  ["workload"] + list(ALL_RUNTIMES))
+
+    def row(names: List[str]) -> List[float]:
+        return [geomean([harness.normalized(n, rt, "mrss") for n in names])
+                for rt in ALL_RUNTIMES]
+
+    if per_benchmark:
+        for name in harness.benchmark_names:
+            table.add(name, *row([name]))
+    else:
+        for label, members in harness.grouped_rows():
+            table.add(label, *row(members))
+        table.add("GEOMEAN", *row(harness.benchmark_names))
+    table.note("paper: averages 1.26x-5.50x; WAVM highest, Wasm3 lowest; "
+               "JIT runtimes *below* native on whitedb")
+    return table
+
+
+def fig5(harness: Harness) -> Table:
+    return _mrss_table(harness, "Figure 5", per_benchmark=False)
+
+
+def fig13(harness: Harness) -> Table:
+    return _mrss_table(harness, "Figure 13", per_benchmark=True)

@@ -1,0 +1,160 @@
+"""Performance-efficiency experiments (paper Section 4).
+
+* Figure 1  — normalized execution time, all benchmarks x 5 runtimes
+* Figure 2/11 — Wasmer's three JIT backends (baseline SinglePass)
+* Figure 3/12 — AOT speedup for the JIT runtimes
+* Table 4  — AOT compilation times and share of no-AOT total time
+* Figure 4 — compiler -O level speedups per engine (baseline -O0)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..report import Table
+from ..runner import ALL_RUNTIMES, JIT_RUNTIMES, Harness, geomean
+
+
+def fig1(harness: Harness) -> Table:
+    """Normalized execution times vs native (per benchmark + averages)."""
+    table = Table("Figure 1", "Normalized execution time (native = 1.0)",
+                  ["benchmark"] + list(ALL_RUNTIMES))
+    per_runtime: dict = {rt: [] for rt in ALL_RUNTIMES}
+    for name in harness.benchmark_names:
+        row = []
+        for rt in ALL_RUNTIMES:
+            slowdown = harness.normalized(name, rt, "seconds")
+            per_runtime[rt].append(slowdown)
+            row.append(slowdown)
+        # Free (all runs are cached): every engine must agree bit-for-bit.
+        harness.verify_outputs(name)
+        table.add(name, *row)
+    table.add("GEOMEAN", *[geomean(per_runtime[rt]) for rt in ALL_RUNTIMES])
+    table.note("paper averages: wasmtime 1.67x, wavm 3.54x, wasmer 1.59x, "
+               "wasm3 6.99x, wamr 9.57x")
+    return table
+
+
+def _wasmer_backend_table(harness: Harness, experiment_id: str,
+                          per_benchmark: bool) -> Table:
+    backends = ("wasmer-singlepass", "wasmer", "wasmer-llvm")
+    labels = ("SinglePass", "Cranelift", "LLVM")
+    table = Table(experiment_id,
+                  "Wasmer execution time normalized to SinglePass",
+                  ["workload"] + list(labels))
+
+    def norm_row(names: List[str]) -> List[float]:
+        base = [harness.run(n, "wasmer-singlepass").seconds for n in names]
+        out = []
+        for backend in backends:
+            ratios = [harness.run(n, backend).seconds / b
+                      for n, b in zip(names, base)]
+            out.append(geomean(ratios))
+        return out
+
+    if per_benchmark:
+        for name in harness.benchmark_names:
+            table.add(name, *norm_row([name]))
+    else:
+        for label, members in harness.grouped_rows():
+            table.add(label, *norm_row(members))
+        all_rows = norm_row(harness.benchmark_names)
+        table.add("GEOMEAN", *all_rows)
+    table.note("paper: Cranelift 1.74x speedup over SinglePass, LLVM 1.43x")
+    return table
+
+
+def fig2(harness: Harness) -> Table:
+    """Wasmer backend comparison, aggregated like the paper's Fig. 2."""
+    return _wasmer_backend_table(harness, "Figure 2", per_benchmark=False)
+
+
+def fig11(harness: Harness) -> Table:
+    """Appendix: the same comparison per benchmark."""
+    return _wasmer_backend_table(harness, "Figure 11", per_benchmark=True)
+
+
+def _aot_speedup_table(harness: Harness, experiment_id: str,
+                       per_benchmark: bool) -> Table:
+    table = Table(experiment_id,
+                  "Speedup from AOT compilation (no-AOT = 1.0)",
+                  ["workload"] + list(JIT_RUNTIMES))
+
+    def speedups(names: List[str]) -> List[float]:
+        out = []
+        for rt in JIT_RUNTIMES:
+            ratios = [harness.run(n, rt).seconds /
+                      harness.run(n, rt, aot=True).seconds for n in names]
+            out.append(geomean(ratios))
+        return out
+
+    if per_benchmark:
+        for name in harness.benchmark_names:
+            table.add(name, *speedups([name]))
+    else:
+        for label, members in harness.grouped_rows():
+            table.add(label, *speedups(members))
+        table.add("GEOMEAN", *speedups(harness.benchmark_names))
+    table.note("paper averages: wasmtime 1.02x, wavm 1.73x, wasmer 1.02x; "
+               "wavm facedetection 14.19x")
+    return table
+
+
+def fig3(harness: Harness) -> Table:
+    return _aot_speedup_table(harness, "Figure 3", per_benchmark=False)
+
+
+def fig12(harness: Harness) -> Table:
+    return _aot_speedup_table(harness, "Figure 12", per_benchmark=True)
+
+
+def table4(harness: Harness) -> Table:
+    """AOT compile times (ms here; seconds in the paper) and the share of
+    the no-AOT total they correspond to."""
+    table = Table("Table 4",
+                  "AOT compilation time, ms (percent of no-AOT total time)",
+                  ["workload"] + list(JIT_RUNTIMES))
+
+    def row(names: List[str]) -> List[str]:
+        cells = []
+        for rt in JIT_RUNTIMES:
+            compile_ms = []
+            shares = []
+            for n in names:
+                _img, seconds = harness.aot_image(n, rt)
+                total = harness.run(n, rt).seconds
+                compile_ms.append(seconds * 1e3)
+                shares.append(seconds / total if total else 0.0)
+            cells.append(f"{geomean(compile_ms):.3f} "
+                         f"({geomean(shares) * 100:.1f}%)")
+        return cells
+
+    for label, members in harness.grouped_rows():
+        table.add(label, *row(members))
+    table.add("AVERAGE", *row(harness.benchmark_names))
+    table.note("paper averages: wasmtime 0.09s (0.67%), wavm 0.93s (9.52%), "
+               "wasmer 0.06s (0.48%) — absolute times are model-scaled, "
+               "compare the percentages")
+    return table
+
+
+def fig4(harness: Harness,
+         opt_levels=(0, 1, 2, 3)) -> Table:
+    """Speedup from compiler optimization levels, baseline -O0."""
+    engines = ("native",) + ALL_RUNTIMES
+    table = Table("Figure 4",
+                  "Speedup from -O levels (baseline -O0, geomean of all "
+                  "benchmarks)",
+                  ["engine"] + [f"-O{o}" for o in opt_levels])
+    for engine in engines:
+        base = {n: harness.run(n, engine, opt=0).seconds
+                for n in harness.benchmark_names}
+        row = []
+        for opt in opt_levels:
+            ratios = [base[n] / harness.run(n, engine, opt=opt).seconds
+                      for n in harness.benchmark_names]
+            row.append(geomean(ratios))
+        table.add(engine, *row)
+    table.note("paper at -O2: native 1.94x, wavm 1.44x, wasm3 3.57x; "
+               "interpreters benefit most, JITs least")
+    return table

@@ -1,0 +1,64 @@
+"""Plain-text table/figure rendering for experiment results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """One rendered experiment artifact (a paper table or figure's data)."""
+
+    experiment_id: str              # e.g. "Figure 1"
+    title: str
+    columns: List[str]              # first column is the row label
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, label: str, *values) -> None:
+        self.rows.append([label] + list(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        def fmt(value) -> str:
+            if isinstance(value, float):
+                if value >= 1000:
+                    return f"{value:,.0f}"
+                if value >= 10:
+                    return f"{value:.1f}"
+                return f"{value:.2f}"
+            return str(value)
+
+        body = [[fmt(v) for v in row] for row in self.rows]
+        widths = [max([len(self.columns[i])] +
+                      [len(row[i]) for row in body if i < len(row)])
+                  for i in range(len(self.columns))]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        header = " | ".join(c.ljust(widths[i])
+                            for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in body:
+            lines.append(" | ".join(
+                cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+                for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def cell(self, row_label: str, column: str) -> object:
+        """Look up a value by row label and column name."""
+        col = self.columns.index(column)
+        for row in self.rows:
+            if row[0] == row_label:
+                return row[col]
+        raise KeyError(f"no row {row_label!r}")
+
+    def column_values(self, column: str,
+                      skip_labels: Sequence[str] = ()) -> List[float]:
+        col = self.columns.index(column)
+        return [float(row[col]) for row in self.rows
+                if row[0] not in skip_labels]

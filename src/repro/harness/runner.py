@@ -1,0 +1,166 @@
+"""Experiment runner: compiles and executes WABench configurations.
+
+One :class:`Harness` caches everything — compiled Wasm artifacts, native
+binaries, AOT images, and run results — keyed by the full configuration,
+so the per-figure experiment drivers can share measurements exactly the
+way the paper's figures share one set of `perf` runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..bench import ALL_BENCHMARKS, Benchmark, get
+from ..compiler import compile_source
+from ..errors import HarnessError
+from ..native import nativecc, run_native
+from ..runtimes import RunResult, make_runtime
+from ..wasi import VirtualFS
+
+JIT_RUNTIMES = ("wasmtime", "wavm", "wasmer")
+ALL_RUNTIMES = ("wasmtime", "wavm", "wasmer", "wasm3", "wamr")
+ENGINES = ("native",) + ALL_RUNTIMES
+
+
+def geomean(values: Iterable[float]) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+class Harness:
+    """Runs (benchmark, engine, -O, AOT) configurations with caching."""
+
+    def __init__(self, size: str = "small", opt_level: int = 2,
+                 benchmarks: Optional[Sequence[str]] = None,
+                 verbose: bool = False):
+        self.size = size
+        self.default_opt = opt_level
+        self.benchmark_names = list(benchmarks) if benchmarks is not None \
+            else [b.name for b in ALL_BENCHMARKS]
+        self.verbose = verbose
+        self._wasm_cache: Dict[Tuple[str, int], bytes] = {}
+        self._native_cache: Dict[Tuple[str, int], object] = {}
+        self._aot_cache: Dict[Tuple[str, str, int], Tuple[object, float]] = {}
+        self._result_cache: Dict[tuple, RunResult] = {}
+
+    # -- building -----------------------------------------------------
+
+    def benchmarks(self) -> List[Benchmark]:
+        return [get(name) for name in self.benchmark_names]
+
+    def _fs(self, bench: Benchmark) -> VirtualFS:
+        fs = VirtualFS()
+        for path, data in bench.files_for(self.size).items():
+            fs.add_file(path, data)
+        return fs
+
+    def wasm_for(self, name: str, opt: Optional[int] = None) -> bytes:
+        opt = self.default_opt if opt is None else opt
+        key = (name, opt)
+        if key not in self._wasm_cache:
+            bench = get(name)
+            self._wasm_cache[key] = compile_source(
+                bench.source, opt,
+                defines=bench.defines_for(self.size)).wasm_bytes
+        return self._wasm_cache[key]
+
+    def native_binary(self, name: str, opt: Optional[int] = None):
+        opt = self.default_opt if opt is None else opt
+        key = (name, opt)
+        if key not in self._native_cache:
+            bench = get(name)
+            self._native_cache[key] = nativecc(
+                bench.source, opt, defines=bench.defines_for(self.size))
+        return self._native_cache[key]
+
+    def aot_image(self, name: str, runtime: str,
+                  opt: Optional[int] = None) -> Tuple[object, float]:
+        opt = self.default_opt if opt is None else opt
+        key = (name, runtime, opt)
+        if key not in self._aot_cache:
+            rt = make_runtime(runtime)
+            self._aot_cache[key] = rt.compile_aot(self.wasm_for(name, opt))
+        return self._aot_cache[key]
+
+    # -- running --------------------------------------------------------
+
+    def run(self, name: str, engine: str, opt: Optional[int] = None,
+            aot: bool = False) -> RunResult:
+        """Run one configuration (cached)."""
+        opt = self.default_opt if opt is None else opt
+        key = (name, engine, opt, aot, self.size)
+        cached = self._result_cache.get(key)
+        if cached is not None:
+            return cached
+        bench = get(name)
+        if self.verbose:
+            print(f"  [run] {name} on {engine} -O{opt}"
+                  f"{' (AOT)' if aot else ''}")
+        if engine == "native":
+            if aot:
+                raise HarnessError("AOT does not apply to native execution")
+            result = run_native(self.native_binary(name, opt),
+                                fs=self._fs(bench))
+        else:
+            rt = make_runtime(engine)
+            image = None
+            if aot:
+                image, _seconds = self.aot_image(name, engine, opt)
+            result = rt.run(self.wasm_for(name, opt), fs=self._fs(bench),
+                            aot_image=image)
+        if result.trap is not None:
+            raise HarnessError(f"{name} on {engine}: {result.trap}")
+        self._result_cache[key] = result
+        return result
+
+    def verify_outputs(self, name: str,
+                       engines: Sequence[str] = ENGINES) -> None:
+        """Assert every engine produced byte-identical output."""
+        outputs = {e: self.run(name, e).stdout for e in engines}
+        reference = outputs["native"] if "native" in outputs else \
+            next(iter(outputs.values()))
+        for engine, out in outputs.items():
+            if out != reference:
+                raise HarnessError(
+                    f"{name}: output divergence on {engine}")
+
+    # -- metric helpers ----------------------------------------------------
+
+    def normalized(self, name: str, engine: str, metric: str,
+                   opt: Optional[int] = None, aot: bool = False) -> float:
+        """Metric of engine / metric of native, for one benchmark."""
+        base = self._metric(self.run(name, "native", opt), metric)
+        value = self._metric(self.run(name, engine, opt, aot), metric)
+        if base == 0:
+            return 0.0
+        return value / base
+
+    @staticmethod
+    def _metric(result: RunResult, metric: str) -> float:
+        if metric == "seconds":
+            return result.seconds
+        if metric == "mrss":
+            return float(result.mrss_bytes)
+        return float(result.counters[metric])
+
+    # -- grouping (the paper's aggregation scheme) -------------------------
+
+    def grouped_rows(self) -> List[Tuple[str, List[str]]]:
+        """(label, benchmark names) rows: suites aggregated, apps singly."""
+        rows: List[Tuple[str, List[str]]] = []
+        present = set(self.benchmark_names)
+        for suite, label in (("jetstream2", "JetStream2"),
+                             ("mibench", "MiBench"),
+                             ("polybench", "PolyBench")):
+            members = [b.name for b in ALL_BENCHMARKS
+                       if b.suite == suite and b.name in present]
+            if members:
+                rows.append((label, members))
+        for bench in ALL_BENCHMARKS:
+            if bench.suite == "apps" and bench.name in present:
+                rows.append((bench.name, [bench.name]))
+        return rows

@@ -1,0 +1,26 @@
+"""Hardware performance model: the paper's Xeon + ``perf``, as software.
+
+Provides cycle accounting, branch predictors, a set-associative cache
+hierarchy, and resident-memory accounting.  Execution engines feed events
+in; the harness reads the same six metrics the paper reports: time,
+MRSS, instructions, IPC, branch misses (+ratio), cache misses (+ratio).
+"""
+
+from .branch import BranchPredictor
+from .cache import Cache, CacheHierarchy
+from .config import (GUEST_MEMORY_BASE, HOST_STACK_BASE, JIT_CODE_BASE,
+                     NATIVE_CODE_BASE, RUNTIME_CODE_BASE, RUNTIME_DATA_BASE,
+                     RUNTIME_HEAP_BASE, BranchConfig, CacheConfig,
+                     MachineConfig)
+from .counters import CacheLevelStats, PerfCounters
+from .cpu import CPUModel
+from .memory import PAGE_BYTES, MemoryAccountant
+
+__all__ = [
+    "BranchPredictor", "Cache", "CacheHierarchy",
+    "GUEST_MEMORY_BASE", "HOST_STACK_BASE", "JIT_CODE_BASE",
+    "NATIVE_CODE_BASE", "RUNTIME_CODE_BASE", "RUNTIME_DATA_BASE",
+    "RUNTIME_HEAP_BASE", "BranchConfig", "CacheConfig", "MachineConfig",
+    "CacheLevelStats", "PerfCounters", "CPUModel",
+    "PAGE_BYTES", "MemoryAccountant",
+]

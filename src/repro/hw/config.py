@@ -1,0 +1,72 @@
+"""Machine configuration: the modeled hardware platform.
+
+The defaults model the paper's experimental machine (Table 3): an Intel
+Xeon E5-1620 v4 — 4-wide issue, 32K L1-I / 32K L1-D, 256K L2, 10M L3 —
+running at 3.5 GHz.  All structure sizes and penalties are configurable so
+the ablation benchmarks can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and miss latency of one cache level."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+    # Extra cycles paid when this level misses and the next one is consulted.
+    miss_penalty: int = 10
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class BranchConfig:
+    """Branch predictor structure sizes."""
+
+    gshare_bits: int = 14          # log2 entries of the 2-bit counter table
+    history_bits: int = 12         # global history length
+    indirect_bits: int = 10        # log2 entries of the indirect target cache
+    indirect_history: int = 4      # number of past targets hashed into the index
+    ras_depth: int = 16            # return address stack entries
+    miss_penalty: int = 16         # pipeline refill cycles per mispredict
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """The full modeled machine (paper Table 3 by default)."""
+
+    name: str = "xeon-e5-1620v4"
+    frequency_hz: int = 3_500_000_000
+    issue_width: int = 4
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(
+        "L1I", 32 * 1024, 8, miss_penalty=8))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(
+        "L1D", 32 * 1024, 8, miss_penalty=8))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(
+        "L2", 256 * 1024, 8, miss_penalty=30))
+    l3: CacheConfig = field(default_factory=lambda: CacheConfig(
+        "L3", 10 * 1024 * 1024, 20, miss_penalty=170))
+    branch: BranchConfig = field(default_factory=BranchConfig)
+
+    def cycles_to_seconds(self, cycles: int) -> float:
+        return cycles / self.frequency_hz
+
+
+# Address space layout shared by all execution engines, so the cache model
+# sees runtime code, JIT code, guest memory, and stacks in distinct regions
+# exactly like distinct mappings in a real process.
+NATIVE_CODE_BASE = 0x0100_0000
+RUNTIME_CODE_BASE = 0x0200_0000   # interpreter handlers / runtime helpers
+JIT_CODE_BASE = 0x0400_0000       # JIT/AOT code cache
+RUNTIME_DATA_BASE = 0x0600_0000   # operand stacks, interpreter state
+RUNTIME_HEAP_BASE = 0x0800_0000   # compiler IR buffers and runtime heaps
+GUEST_MEMORY_BASE = 0x1000_0000   # wasm linear memory / native program data
+HOST_STACK_BASE = 0x7F00_0000     # native & machine-code call stacks

@@ -1,0 +1,124 @@
+"""Performance counters: the model's equivalent of ``perf stat``.
+
+A :class:`PerfCounters` instance accumulates the architectural events the
+paper reports — retired instructions, cycles, branches and branch misses,
+cache references and misses — plus per-cache-level detail.  Following the
+convention of ``perf`` on Intel hardware, the headline ``cache_references``
+and ``cache_misses`` counters refer to the *last-level* cache: references
+are accesses that reached the LLC (i.e. L2 misses) and misses are LLC
+misses that went to DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CacheLevelStats:
+    """Hit/miss accounting for one cache level."""
+
+    refs: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.refs - self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.misses / self.refs if self.refs else 0.0
+
+    def merge(self, other: "CacheLevelStats") -> None:
+        self.refs += other.refs
+        self.misses += other.misses
+
+
+@dataclass
+class PerfCounters:
+    """Architectural event counts for one measured execution."""
+
+    instructions: int = 0
+    stall_cycles: int = 0
+    branches: int = 0
+    branch_misses: int = 0
+    l1i: CacheLevelStats = field(default_factory=CacheLevelStats)
+    l1d: CacheLevelStats = field(default_factory=CacheLevelStats)
+    l2: CacheLevelStats = field(default_factory=CacheLevelStats)
+    l3: CacheLevelStats = field(default_factory=CacheLevelStats)
+    issue_width: int = 4
+
+    # ------------------------------------------------------------------
+    # Derived quantities (the numbers the paper's figures plot).
+    # ------------------------------------------------------------------
+
+    @property
+    def cycles(self) -> int:
+        """Total cycles: steady-state issue plus accumulated stalls."""
+        base = (self.instructions + self.issue_width - 1) // self.issue_width
+        return max(1, base + self.stall_cycles)
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle (paper Fig. 7)."""
+        return self.instructions / self.cycles
+
+    @property
+    def branch_miss_ratio(self) -> float:
+        """Mispredicted fraction of executed branches (paper Table 5)."""
+        return self.branch_misses / self.branches if self.branches else 0.0
+
+    @property
+    def cache_references(self) -> int:
+        """LLC references, i.e. accesses that missed L2 (perf convention)."""
+        return self.l3.refs
+
+    @property
+    def cache_misses(self) -> int:
+        """LLC misses (paper Fig. 9)."""
+        return self.l3.misses
+
+    @property
+    def cache_miss_ratio(self) -> float:
+        """LLC miss ratio (paper Fig. 10)."""
+        return self.l3.miss_ratio
+
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "PerfCounters") -> None:
+        """Fold another counter set into this one (e.g. compile + run)."""
+        self.instructions += other.instructions
+        self.stall_cycles += other.stall_cycles
+        self.branches += other.branches
+        self.branch_misses += other.branch_misses
+        self.l1i.merge(other.l1i)
+        self.l1d.merge(other.l1d)
+        self.l2.merge(other.l2)
+        self.l3.merge(other.l3)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dict of every counter, for reports and result files."""
+        return {
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "branches": self.branches,
+            "branch_misses": self.branch_misses,
+            "branch_miss_ratio": self.branch_miss_ratio,
+            "cache_references": self.cache_references,
+            "cache_misses": self.cache_misses,
+            "cache_miss_ratio": self.cache_miss_ratio,
+            "l1i_refs": self.l1i.refs, "l1i_misses": self.l1i.misses,
+            "l1d_refs": self.l1d.refs, "l1d_misses": self.l1d.misses,
+            "l2_refs": self.l2.refs, "l2_misses": self.l2.misses,
+            "l3_refs": self.l3.refs, "l3_misses": self.l3.misses,
+        }
+
+    def __str__(self) -> str:
+        return (f"instructions={self.instructions} cycles={self.cycles} "
+                f"ipc={self.ipc:.2f} branches={self.branches} "
+                f"bpm={self.branch_misses} ({self.branch_miss_ratio:.2%}) "
+                f"cache-refs={self.cache_references} "
+                f"cache-misses={self.cache_misses} "
+                f"({self.cache_miss_ratio:.2%})")

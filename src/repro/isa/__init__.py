@@ -1,0 +1,15 @@
+"""Virtual native ISA: the register machine all compiled code runs on.
+
+Contains the opcode space and semantics (:mod:`repro.isa.ops`), program
+containers with basic-block metadata (:mod:`repro.isa.program`), guest
+linear memory (:mod:`repro.isa.memory`), and the executor that drives the
+hardware model (:mod:`repro.isa.machine`).
+"""
+
+from . import ops
+from .machine import Machine
+from .memory import LinearMemory
+from .program import MFunction, MProgram, disassemble
+
+__all__ = ["ops", "Machine", "LinearMemory", "MFunction", "MProgram",
+           "disassemble"]

@@ -1,0 +1,116 @@
+"""Guest linear memory shared by every execution engine.
+
+One :class:`LinearMemory` instance backs a program run, whether the program
+is native code, JIT-compiled code, or interpreted Wasm.  It provides:
+
+* byte-addressed, bounds-checked, little-endian typed access (the Wasm
+  memory model);
+* page-granular growth (``memory.grow`` semantics — new pages are zeroed);
+* residency tracking: *written* pages are recorded into the memory
+  accountant's lazy region, modeling demand-paged RSS (reads of untouched
+  pages hit the kernel's shared zero page and are not charged, which is
+  exactly the mechanism behind the paper's whitedb observation).
+
+Bounds checks here are for *correctness* (a malicious/buggy guest must
+trap); the per-access *cost* of software bounds checking is charged
+separately by the engines that actually emit check instructions.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Set
+
+from ..errors import Trap
+
+PAGE = 65536
+_RSS_PAGE_SHIFT = 12  # 4 KiB residency pages
+
+
+class LinearMemory:
+    """A growable, zero-initialized, bounds-checked byte array."""
+
+    def __init__(self, min_pages: int, max_pages: Optional[int] = None,
+                 touched_pages: Optional[Set[int]] = None):
+        self.data = bytearray(min_pages * PAGE)
+        self.size = min_pages * PAGE
+        self.max_pages = max_pages
+        # Residency: the accountant's lazy-region set (4 KiB page indices).
+        self.touched = touched_pages if touched_pages is not None else set()
+
+    @property
+    def pages(self) -> int:
+        return self.size // PAGE
+
+    def grow(self, delta_pages: int) -> int:
+        """Grow by ``delta_pages``; returns old page count, or -1 on failure."""
+        old = self.pages
+        new = old + delta_pages
+        if delta_pages < 0 or new > 65536 or \
+                (self.max_pages is not None and new > self.max_pages):
+            return -1
+        self.data.extend(bytes(delta_pages * PAGE))
+        self.size = new * PAGE
+        return old
+
+    # -- raw block access (used by WASI and data segments) -----------------
+
+    def check(self, addr: int, size: int) -> None:
+        if addr < 0 or addr + size > self.size:
+            raise Trap("out of bounds memory access",
+                       f"[{addr}, {addr + size}) of {self.size}")
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        self.check(addr, size)
+        return bytes(self.data[addr:addr + size])
+
+    def write_bytes(self, addr: int, payload: bytes) -> None:
+        size = len(payload)
+        self.check(addr, size)
+        self.data[addr:addr + size] = payload
+        if size:
+            self.touched.update(
+                range(addr >> _RSS_PAGE_SHIFT,
+                      ((addr + size - 1) >> _RSS_PAGE_SHIFT) + 1))
+
+    # -- typed access -----------------------------------------------------
+    # The machine executor inlines struct calls for speed; these methods
+    # define the semantics and serve the interpreters and WASI layer.
+
+    def load(self, fmt: str, addr: int, size: int):
+        if addr < 0 or addr + size > self.size:
+            raise Trap("out of bounds memory access",
+                       f"load {size}B at {addr} of {self.size}")
+        return struct.unpack_from(fmt, self.data, addr)[0]
+
+    def store(self, fmt: str, addr: int, size: int, value) -> None:
+        if addr < 0 or addr + size > self.size:
+            raise Trap("out of bounds memory access",
+                       f"store {size}B at {addr} of {self.size}")
+        struct.pack_into(fmt, self.data, addr, value)
+        self.touched.add(addr >> _RSS_PAGE_SHIFT)
+        if (addr + size - 1) >> _RSS_PAGE_SHIFT != addr >> _RSS_PAGE_SHIFT:
+            self.touched.add((addr + size - 1) >> _RSS_PAGE_SHIFT)
+
+    # Convenience accessors used by WASI and the harness.
+
+    def load_u32(self, addr: int) -> int:
+        return self.load("<I", addr, 4)
+
+    def store_u32(self, addr: int, value: int) -> None:
+        self.store("<I", addr, 4, value & 0xFFFFFFFF)
+
+    def load_u8(self, addr: int) -> int:
+        return self.load("<B", addr, 1)
+
+    def read_cstring(self, addr: int, max_len: int = 1 << 20) -> bytes:
+        """Read a NUL-terminated string (for diagnostics and WASI paths)."""
+        self.check(addr, 1)
+        end = self.data.find(b"\x00", addr, min(self.size, addr + max_len))
+        if end < 0:
+            raise Trap("out of bounds memory access", "unterminated string")
+        return bytes(self.data[addr:end])
+
+    @property
+    def resident_bytes(self) -> int:
+        return len(self.touched) << _RSS_PAGE_SHIFT

@@ -1,0 +1,163 @@
+"""Machine-code container: functions, basic blocks, whole programs.
+
+An :class:`MProgram` is the executable artifact of every compiled path:
+the native compiler produces one, and each JIT/AOT backend produces one
+from a Wasm module.  ``finalize`` lays the code out in the modeled address
+space and precomputes, per basic block, the retired-instruction count and
+the instruction-cache lines the block occupies — the machine executor
+charges these in one step per block entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from . import ops
+
+_INSTR_BYTES = 4  # average encoded size of one machine instruction
+
+
+@dataclass
+class MFunction:
+    """One machine-code function."""
+
+    name: str
+    num_params: int
+    num_regs: int
+    code: List[tuple]
+    sig_id: int = 0               # signature identity for indirect calls
+    returns_value: bool = False
+    frame_slots: int = 0          # spill slots (accounting)
+    # Filled by MProgram.finalize():
+    index: int = -1
+    code_addr: int = 0
+    blocks: Dict[int, Tuple[int, Tuple[int, ...]]] = field(default_factory=dict)
+
+    def instr_cost(self, ins: tuple) -> int:
+        """Retired machine instructions one ISA tuple stands for."""
+        o = ins[0]
+        if o == ops.CALL or o == ops.CALL_HOST:
+            return 1 + len(ins[3])
+        if o == ops.CALL_IND:
+            return 2 + len(ins[4])
+        if o == ops.CHECK:
+            return 2   # bounds compare + branch
+        return 1
+
+    def compute_blocks(self, line_shift: int) -> None:
+        """Identify leaders and precompute per-block charge data."""
+        code = self.code
+        n = len(code)
+        leaders = {0}
+        for pc, ins in enumerate(code):
+            o = ins[0]
+            if o == ops.JMP:
+                leaders.add(ins[1])
+            elif o in (ops.BRZ, ops.BRNZ):
+                leaders.add(ins[2])
+                if pc + 1 < n:
+                    leaders.add(pc + 1)
+            elif o == ops.BR_TABLE:
+                leaders.update(ins[2])
+                leaders.add(ins[3])
+        leaders = sorted(l for l in leaders if l < n)
+
+        # Cumulative byte offsets of each instruction.
+        offsets = [0] * (n + 1)
+        for pc, ins in enumerate(code):
+            offsets[pc + 1] = offsets[pc] + self.instr_cost(ins) * _INSTR_BYTES
+
+        self.code_size = offsets[n]
+        self.blocks = {}
+        for i, leader in enumerate(leaders):
+            end = leaders[i + 1] if i + 1 < len(leaders) else n
+            # A block also ends at its first terminator.
+            stop = end
+            for pc in range(leader, end):
+                if code[pc][0] in ops.TERMINATORS:
+                    stop = pc + 1
+                    break
+            n_instr = sum(self.instr_cost(code[pc])
+                          for pc in range(leader, stop))
+            start_addr = self.code_addr + offsets[leader]
+            end_addr = self.code_addr + offsets[stop]
+            lines = tuple(range(start_addr >> line_shift,
+                                max(start_addr >> line_shift,
+                                    (end_addr - 1) >> line_shift) + 1))
+            self.blocks[leader] = (n_instr, lines)
+
+    def validate_targets(self) -> None:
+        """Every branch target must be a valid instruction index."""
+        n = len(self.code)
+        for pc, ins in enumerate(self.code):
+            o = ins[0]
+            targets: Sequence[int] = ()
+            if o == ops.JMP:
+                targets = (ins[1],)
+            elif o in (ops.BRZ, ops.BRNZ):
+                targets = (ins[2],)
+            elif o == ops.BR_TABLE:
+                targets = tuple(ins[2]) + (ins[3],)
+            for t in targets:
+                if not 0 <= t < n:
+                    raise ReproError(
+                        f"{self.name}: branch at {pc} targets {t} (size {n})")
+
+
+@dataclass
+class MProgram:
+    """A complete machine program plus its static environment."""
+
+    functions: List[MFunction] = field(default_factory=list)
+    host_imports: List[str] = field(default_factory=list)
+    globals_init: List[float] = field(default_factory=list)
+    table: List[int] = field(default_factory=list)   # funcref table (indices)
+    memory_pages: int = 1
+    memory_max_pages: Optional[int] = None
+    data_segments: List[Tuple[int, bytes]] = field(default_factory=list)
+    exports: Dict[str, int] = field(default_factory=dict)
+    start_function: Optional[int] = None
+    source_opt_level: int = 2
+    finalized: bool = False
+
+    def add_function(self, func: MFunction) -> int:
+        func.index = len(self.functions)
+        self.functions.append(func)
+        return func.index
+
+    def function_named(self, name: str) -> MFunction:
+        index = self.exports.get(name)
+        if index is None:
+            raise ReproError(f"no exported function {name!r}")
+        return self.functions[index]
+
+    @property
+    def code_bytes(self) -> int:
+        """Total generated code size (drives code-cache MRSS accounting)."""
+        if not self.finalized:
+            raise ReproError("program not finalized")
+        return sum(f.code_size for f in self.functions)
+
+    def finalize(self, code_base: int, line_shift: int = 6) -> "MProgram":
+        """Lay out code in the address space and precompute block data."""
+        addr = code_base
+        for func in self.functions:
+            func.code_addr = addr
+            func.validate_targets()
+            func.compute_blocks(line_shift)
+            addr += func.code_size + _INSTR_BYTES  # alignment gap
+        self.finalized = True
+        return self
+
+
+def disassemble(func: MFunction) -> str:
+    """Human-readable listing of one machine function (debugging aid)."""
+    lines = [f"{func.name}: params={func.num_params} regs={func.num_regs} "
+             f"slots={func.frame_slots}"]
+    for pc, ins in enumerate(func.code):
+        marker = "->" if pc in func.blocks else "  "
+        body = " ".join(str(x) for x in ins[1:])
+        lines.append(f"{marker} {pc:4d}: {ops.name_of(ins[0])} {body}")
+    return "\n".join(lines)

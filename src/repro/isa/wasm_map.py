@@ -1,0 +1,103 @@
+"""Mapping from WebAssembly opcodes to the machine ISA's operations.
+
+This single table guarantees that every execution engine — both
+interpreters and all three JIT backends — computes with *identical*
+semantics: interpreters call the machine op's semantic function directly,
+and JIT lowering emits the machine opcode.  Differential tests across
+engines lean on this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..wasm import opcodes as w
+from . import ops as m
+
+# Simple value ops: wasm opcode -> machine opcode (binary or unary).
+BINARY: Dict[int, int] = {
+    w.I32_ADD: m.ADD32, w.I32_SUB: m.SUB32, w.I32_MUL: m.MUL32,
+    w.I32_DIV_S: m.DIVS32, w.I32_DIV_U: m.DIVU32,
+    w.I32_REM_S: m.REMS32, w.I32_REM_U: m.REMU32,
+    w.I32_AND: m.AND32, w.I32_OR: m.OR32, w.I32_XOR: m.XOR32,
+    w.I32_SHL: m.SHL32, w.I32_SHR_S: m.SHRS32, w.I32_SHR_U: m.SHRU32,
+    w.I32_ROTL: m.ROTL32, w.I32_ROTR: m.ROTR32,
+    w.I32_EQ: m.EQ32, w.I32_NE: m.NE32,
+    w.I32_LT_S: m.LTS32, w.I32_LT_U: m.LTU32,
+    w.I32_GT_S: m.GTS32, w.I32_GT_U: m.GTU32,
+    w.I32_LE_S: m.LES32, w.I32_LE_U: m.LEU32,
+    w.I32_GE_S: m.GES32, w.I32_GE_U: m.GEU32,
+
+    w.I64_ADD: m.ADD64, w.I64_SUB: m.SUB64, w.I64_MUL: m.MUL64,
+    w.I64_DIV_S: m.DIVS64, w.I64_DIV_U: m.DIVU64,
+    w.I64_REM_S: m.REMS64, w.I64_REM_U: m.REMU64,
+    w.I64_AND: m.AND64, w.I64_OR: m.OR64, w.I64_XOR: m.XOR64,
+    w.I64_SHL: m.SHL64, w.I64_SHR_S: m.SHRS64, w.I64_SHR_U: m.SHRU64,
+    w.I64_ROTL: m.ROTL64, w.I64_ROTR: m.ROTR64,
+    w.I64_EQ: m.EQ64, w.I64_NE: m.NE64,
+    w.I64_LT_S: m.LTS64, w.I64_LT_U: m.LTU64,
+    w.I64_GT_S: m.GTS64, w.I64_GT_U: m.GTU64,
+    w.I64_LE_S: m.LES64, w.I64_LE_U: m.LEU64,
+    w.I64_GE_S: m.GES64, w.I64_GE_U: m.GEU64,
+
+    w.F32_ADD: m.ADDF32, w.F32_SUB: m.SUBF32, w.F32_MUL: m.MULF32,
+    w.F32_DIV: m.DIVF32, w.F32_MIN: m.MINF32, w.F32_MAX: m.MAXF32,
+    w.F32_COPYSIGN: m.COPYSIGNF32,
+    w.F32_EQ: m.EQF32, w.F32_NE: m.NEF32, w.F32_LT: m.LTF32,
+    w.F32_GT: m.GTF32, w.F32_LE: m.LEF32, w.F32_GE: m.GEF32,
+
+    w.F64_ADD: m.ADDF64, w.F64_SUB: m.SUBF64, w.F64_MUL: m.MULF64,
+    w.F64_DIV: m.DIVF64, w.F64_MIN: m.MINF64, w.F64_MAX: m.MAXF64,
+    w.F64_COPYSIGN: m.COPYSIGNF64,
+    w.F64_EQ: m.EQF64, w.F64_NE: m.NEF64, w.F64_LT: m.LTF64,
+    w.F64_GT: m.GTF64, w.F64_LE: m.LEF64, w.F64_GE: m.GEF64,
+}
+
+UNARY: Dict[int, int] = {
+    w.I32_CLZ: m.CLZ32, w.I32_CTZ: m.CTZ32, w.I32_POPCNT: m.POPCNT32,
+    w.I32_EQZ: m.EQZ32,
+    w.I64_CLZ: m.CLZ64, w.I64_CTZ: m.CTZ64, w.I64_POPCNT: m.POPCNT64,
+    w.I64_EQZ: m.EQZ64,
+    w.F32_ABS: m.ABSF32, w.F32_NEG: m.NEGF32, w.F32_CEIL: m.CEILF32,
+    w.F32_FLOOR: m.FLOORF32, w.F32_TRUNC: m.TRUNCF32,
+    w.F32_NEAREST: m.NEARESTF32, w.F32_SQRT: m.SQRTF32,
+    w.F64_ABS: m.ABSF64, w.F64_NEG: m.NEGF64, w.F64_CEIL: m.CEILF64,
+    w.F64_FLOOR: m.FLOORF64, w.F64_TRUNC: m.TRUNCF64,
+    w.F64_NEAREST: m.NEARESTF64, w.F64_SQRT: m.SQRTF64,
+    w.I32_WRAP_I64: m.WRAP64,
+    w.I32_TRUNC_F32_S: m.TRUNCF32S32, w.I32_TRUNC_F32_U: m.TRUNCF32U32,
+    w.I32_TRUNC_F64_S: m.TRUNCF64S32, w.I32_TRUNC_F64_U: m.TRUNCF64U32,
+    w.I64_EXTEND_I32_S: m.EXTENDS32, w.I64_EXTEND_I32_U: m.EXTENDU32,
+    w.I64_TRUNC_F32_S: m.TRUNCF32S64, w.I64_TRUNC_F32_U: m.TRUNCF32U64,
+    w.I64_TRUNC_F64_S: m.TRUNCF64S64, w.I64_TRUNC_F64_U: m.TRUNCF64U64,
+    w.F32_CONVERT_I32_S: m.CVTS32F32, w.F32_CONVERT_I32_U: m.CVTU32F32,
+    w.F32_CONVERT_I64_S: m.CVTS64F32, w.F32_CONVERT_I64_U: m.CVTU64F32,
+    w.F32_DEMOTE_F64: m.DEMOTE,
+    w.F64_CONVERT_I32_S: m.CVTS32F64, w.F64_CONVERT_I32_U: m.CVTU32F64,
+    w.F64_CONVERT_I64_S: m.CVTS64F64, w.F64_CONVERT_I64_U: m.CVTU64F64,
+    w.F64_PROMOTE_F32: m.PROMOTE,
+    w.I32_REINTERPRET_F32: m.RI32F32, w.I64_REINTERPRET_F64: m.RI64F64,
+    w.F32_REINTERPRET_I32: m.RF32I32, w.F64_REINTERPRET_I64: m.RF64I64,
+}
+
+LOADS: Dict[int, int] = {
+    w.I32_LOAD: m.LOAD32, w.I64_LOAD: m.LOAD64,
+    w.F32_LOAD: m.LOADF32, w.F64_LOAD: m.LOADF64,
+    w.I32_LOAD8_S: m.LOAD8_S, w.I32_LOAD8_U: m.LOAD8_U,
+    w.I32_LOAD16_S: m.LOAD16_S, w.I32_LOAD16_U: m.LOAD16_U,
+    w.I64_LOAD8_S: m.LOAD8_S64, w.I64_LOAD8_U: m.LOAD8_U,
+    w.I64_LOAD16_S: m.LOAD16_S64, w.I64_LOAD16_U: m.LOAD16_U,
+    w.I64_LOAD32_S: m.LOAD32_S64, w.I64_LOAD32_U: m.LOAD32_U64,
+}
+
+STORES: Dict[int, int] = {
+    w.I32_STORE: m.STORE32, w.I64_STORE: m.STORE64,
+    w.F32_STORE: m.STOREF32, w.F64_STORE: m.STOREF64,
+    w.I32_STORE8: m.STORE8, w.I32_STORE16: m.STORE16,
+    w.I64_STORE8: m.STORE8, w.I64_STORE16: m.STORE16,
+    w.I64_STORE32: m.STORE32,
+}
+
+# Semantic functions for direct interpretation: wasm opcode -> callable.
+BIN_FN = {wop: m.BINF[mop] for wop, mop in BINARY.items()}
+UN_FN = {wop: m.UNF[mop - m.NUM_BIN] for wop, mop in UNARY.items()}

@@ -1,0 +1,22 @@
+"""MiniC: the C-subset frontend the benchmark suite is written in.
+
+Plays the role of C + the WASI SDK's clang frontend in the paper's
+toolchain: :func:`repro.minic.parser.parse` builds the AST and
+:func:`repro.minic.sema.analyze` type-checks it; the optimizing backend
+lives in :mod:`repro.compiler`.
+"""
+
+from . import ast
+from .lexer import Token, tokenize
+from .parser import parse
+from .sema import BUILTINS, WASI_EXTERNS, SemanticAnalyzer, analyze
+from .typesys import (CHAR, CType, DOUBLE, FLOAT, INT, LONG, SHORT, UCHAR,
+                      UINT, ULONG, USHORT, VOID, array_of, func_type,
+                      pointer_to)
+
+__all__ = [
+    "ast", "Token", "tokenize", "parse",
+    "BUILTINS", "WASI_EXTERNS", "SemanticAnalyzer", "analyze",
+    "CHAR", "CType", "DOUBLE", "FLOAT", "INT", "LONG", "SHORT", "UCHAR",
+    "UINT", "ULONG", "USHORT", "VOID", "array_of", "func_type", "pointer_to",
+]

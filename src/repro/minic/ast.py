@@ -1,0 +1,264 @@
+"""MiniC abstract syntax tree.
+
+Nodes are plain dataclasses.  The parser builds them untyped; semantic
+analysis (:mod:`repro.minic.sema`) fills in ``ctype`` on expressions and
+resolves identifiers, leaving a fully typed tree the code generators and
+the midend optimizer consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .typesys import CType
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+    ctype: Optional[CType] = None
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class StrLit(Expr):
+    value: bytes = b""
+    data_offset: int = -1  # assigned by codegen when placed in memory
+
+
+@dataclass
+class Ident(Expr):
+    name: str = ""
+    # Resolution, filled by sema: ('local', index) | ('global', symbol)
+    # | ('func', name) | ('enum', value)
+    binding: Optional[tuple] = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""          # '-', '~', '!'
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class AddrOf(Expr):
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Deref(Expr):
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""          # arithmetic/bitwise/comparison/logical
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Expr):
+    op: str = "="         # '=', '+=', '-=', ...
+    target: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class IncDec(Expr):
+    op: str = "++"        # '++' or '--'
+    prefix: bool = True
+    target: Optional[Expr] = None
+
+
+@dataclass
+class Cond(Expr):
+    """Ternary ``c ? a : b``."""
+
+    cond: Optional[Expr] = None
+    then: Optional[Expr] = None
+    other: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    func: Optional[Expr] = None   # Ident (direct) or pointer expression
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Cast(Expr):
+    target_type: Optional[CType] = None
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class SizeofType(Expr):
+    target_type: Optional[CType] = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class VarDecl(Stmt):
+    """One declared variable (a multi-declarator line becomes several)."""
+
+    name: str = ""
+    var_type: Optional[CType] = None
+    init: Optional[Expr] = None
+    init_list: Optional[List[Expr]] = None  # array initializer
+    # Filled by sema:
+    local_index: int = -1
+    needs_memory: bool = False   # address taken or array: shadow-stack slot
+    frame_offset: int = -1
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class DeclGroup(Block):
+    """A multi-declarator line (``int a = 1, b;``): statements are the
+    individual VarDecls.  Unlike a Block, it does NOT open a scope."""
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then: Optional[Stmt] = None
+    other: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None   # VarDecl-Block or ExprStmt or None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class SwitchCase:
+    """One case arm (or default when ``value is None``)."""
+
+    value: Optional[int]
+    body: List[Stmt]
+    line: int = 0
+
+
+@dataclass
+class Switch(Stmt):
+    scrutinee: Optional[Expr] = None
+    cases: List[SwitchCase] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    name: str
+    ptype: CType
+    line: int = 0
+
+
+@dataclass
+class FuncDef:
+    name: str
+    ret: CType
+    params: List[Param]
+    body: Optional[Block]          # None for extern declarations
+    line: int = 0
+    is_static: bool = False
+    # Filled by sema:
+    local_types: List[CType] = field(default_factory=list)
+    frame_size: int = 0
+    address_taken: bool = False
+
+
+@dataclass
+class GlobalVar:
+    name: str
+    var_type: CType
+    init: Optional[Expr] = None
+    init_list: Optional[List[Expr]] = None
+    line: int = 0
+    is_extern: bool = False
+    # Filled by codegen:
+    address: int = -1
+
+
+@dataclass
+class TranslationUnit:
+    functions: List[FuncDef] = field(default_factory=list)
+    globals: List[GlobalVar] = field(default_factory=list)
+
+    def function(self, name: str) -> Optional[FuncDef]:
+        for f in self.functions:
+            if f.name == name:
+                return f
+        return None

@@ -1,0 +1,267 @@
+"""MiniC lexer with a minimal preprocessor.
+
+Tokenizes the C subset and handles the preprocessor features the WABench
+sources use: ``//`` and ``/* */`` comments, object-like ``#define``
+constants, ``#undef``, and ``#ifdef``/``#ifndef``/``#else``/``#endif``
+conditional blocks.  Function-like macros are not supported (the
+benchmark sources use inline functions instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import MiniCSyntaxError
+
+KEYWORDS = frozenset((
+    "void", "char", "short", "int", "long", "float", "double",
+    "unsigned", "signed", "const", "static", "extern",
+    "if", "else", "while", "do", "for", "return", "break", "continue",
+    "switch", "case", "default", "sizeof",
+))
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":", ".",
+]
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+            "'": "'", '"': '"', "a": "\a", "b": "\b", "f": "\f", "v": "\v"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind is 'id', 'kw', 'num', 'str', 'char', 'op',
+    or 'eof'; value carries the decoded payload."""
+
+    kind: str
+    value: object
+    line: int
+    col: int
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.col})"
+
+
+def _strip_comments(source: str) -> str:
+    """Remove comments, preserving newlines so line numbers survive."""
+    out: List[str] = []
+    i, n = 0, len(source)
+    while i < n:
+        c = source[i]
+        if c == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+        elif c == "/" and i + 1 < n and source[i + 1] == "*":
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise MiniCSyntaxError("unterminated block comment")
+            out.append("\n" * source.count("\n", i, end))
+            i = end + 2
+        elif c in "\"'":
+            j = i + 1
+            while j < n and source[j] != c:
+                if source[j] == "\\":
+                    j += 1
+                j += 1
+            if j >= n:
+                raise MiniCSyntaxError("unterminated literal")
+            out.append(source[i:j + 1])
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _preprocess(source: str,
+                predefined: Optional[Dict[str, str]] = None) -> str:
+    """Expand the supported preprocessor subset into plain MiniC."""
+    defines: Dict[str, str] = dict(predefined or {})
+    out_lines: List[str] = []
+    # Stack of booleans: is the current conditional region active?
+    active_stack: List[bool] = []
+
+    def active() -> bool:
+        return all(active_stack)
+
+    for lineno, line in enumerate(_strip_comments(source).split("\n"), 1):
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            parts = stripped[1:].split(None, 2)
+            directive = parts[0] if parts else ""
+            if directive == "define" and len(parts) >= 2:
+                if active():
+                    name = parts[1]
+                    if "(" in name:
+                        raise MiniCSyntaxError(
+                            "function-like macros are not supported", lineno)
+                    defines[name] = parts[2] if len(parts) > 2 else "1"
+            elif directive == "undef" and len(parts) >= 2:
+                if active():
+                    defines.pop(parts[1], None)
+            elif directive == "ifdef":
+                active_stack.append(parts[1] in defines if len(parts) > 1
+                                    else False)
+            elif directive == "ifndef":
+                active_stack.append(parts[1] not in defines if len(parts) > 1
+                                    else True)
+            elif directive == "else":
+                if not active_stack:
+                    raise MiniCSyntaxError("#else without #if", lineno)
+                active_stack[-1] = not active_stack[-1]
+            elif directive == "endif":
+                if not active_stack:
+                    raise MiniCSyntaxError("#endif without #if", lineno)
+                active_stack.pop()
+            elif directive == "include":
+                pass  # the driver concatenates sources; includes are no-ops
+            else:
+                raise MiniCSyntaxError(
+                    f"unsupported preprocessor directive #{directive}", lineno)
+            out_lines.append("")  # keep line numbering
+            continue
+        if not active():
+            out_lines.append("")
+            continue
+        out_lines.append(line)
+    if active_stack:
+        raise MiniCSyntaxError("unterminated #if block")
+
+    text = "\n".join(out_lines)
+    # Token-wise macro substitution outside string/char literals
+    # (repeated to allow chained defines).
+    if defines:
+        import re
+        # Either a literal (group 1, passed through) or an identifier.
+        pattern = re.compile(
+            r'("(?:[^"\\]|\\.)*"|\'(?:[^\'\\]|\\.)*\')'
+            r"|\b([A-Za-z_][A-Za-z0-9_]*)\b")
+        for _ in range(8):
+            changed = False
+
+            def sub(match):
+                nonlocal changed
+                if match.group(1) is not None:
+                    return match.group(1)
+                word = match.group(2)
+                if word in defines:
+                    changed = True
+                    body = defines[word]
+                    return body if body.strip().isalnum() else f"({body})"
+                return word
+
+            text = pattern.sub(sub, text)
+            if not changed:
+                break
+    return text
+
+
+def tokenize(source: str,
+             defines: Optional[Dict[str, str]] = None) -> List[Token]:
+    """Lex MiniC source (after preprocessing) into a token list."""
+    text = _preprocess(source, defines)
+    tokens: List[Token] = []
+    line, col = 1, 1
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if c in " \t\r":
+            i += 1
+            col += 1
+            continue
+        start_col = col
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            kind = "kw" if word in KEYWORDS else "id"
+            tokens.append(Token(kind, word, line, start_col))
+            col += j - i
+            i = j
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            is_float = False
+            if text[j] == "0" and j + 1 < n and text[j + 1] in "xX":
+                j += 2
+                while j < n and (text[j] in "0123456789abcdefABCDEF"):
+                    j += 1
+                value: object = int(text[i:j], 16)
+            else:
+                while j < n and text[j].isdigit():
+                    j += 1
+                if j < n and text[j] == ".":
+                    is_float = True
+                    j += 1
+                    while j < n and text[j].isdigit():
+                        j += 1
+                if j < n and text[j] in "eE":
+                    is_float = True
+                    j += 1
+                    if j < n and text[j] in "+-":
+                        j += 1
+                    while j < n and text[j].isdigit():
+                        j += 1
+                value = float(text[i:j]) if is_float else int(text[i:j])
+            if j < n and text[j] in "fF" and is_float:
+                j += 1  # float suffix
+            while j < n and text[j] in "uUlL":
+                j += 1  # integer suffixes accepted and ignored
+            tokens.append(Token("num", value, line, start_col))
+            col += j - i
+            i = j
+            continue
+        if c == '"':
+            j = i + 1
+            chars: List[str] = []
+            while j < n and text[j] != '"':
+                if text[j] == "\\" and j + 1 < n:
+                    chars.append(_ESCAPES.get(text[j + 1], text[j + 1]))
+                    j += 2
+                else:
+                    chars.append(text[j])
+                    j += 1
+            if j >= n:
+                raise MiniCSyntaxError("unterminated string", line, start_col)
+            tokens.append(Token("str", "".join(chars), line, start_col))
+            col += j - i + 1
+            i = j + 1
+            continue
+        if c == "'":
+            j = i + 1
+            if j < n and text[j] == "\\" and j + 1 < n:
+                ch = _ESCAPES.get(text[j + 1], text[j + 1])
+                j += 2
+            elif j < n:
+                ch = text[j]
+                j += 1
+            else:
+                raise MiniCSyntaxError("unterminated char literal", line, col)
+            if j >= n or text[j] != "'":
+                raise MiniCSyntaxError("unterminated char literal", line, col)
+            tokens.append(Token("char", ord(ch), line, start_col))
+            col += j - i + 1
+            i = j + 1
+            continue
+        for op_text in _OPERATORS:
+            if text.startswith(op_text, i):
+                tokens.append(Token("op", op_text, line, start_col))
+                i += len(op_text)
+                col += len(op_text)
+                break
+        else:
+            raise MiniCSyntaxError(f"unexpected character {c!r}", line, col)
+    tokens.append(Token("eof", None, line, col))
+    return tokens

@@ -1,0 +1,699 @@
+"""MiniC semantic analysis: name resolution, type checking, storage.
+
+Walks the parsed AST and produces a *typed* tree:
+
+* every expression node gets a ``ctype``;
+* implicit conversions become explicit :class:`~repro.minic.ast.Cast`
+  nodes, so the midend and code generators never re-derive conversion
+  rules;
+* identifiers get bindings — ``('local', index)``, ``('global', name)``,
+  ``('func', name)``, or ``('builtin', name)``;
+* locals are assigned storage: scalar locals whose address is never taken
+  become Wasm locals; arrays and address-taken scalars get shadow-stack
+  frame offsets (exactly the wasi-libc/LLVM lowering);
+* functions whose address is taken are flagged so codegen emits them
+  into the ``funcref`` table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import MiniCTypeError
+from . import ast
+from .typesys import (CHAR, CType, DOUBLE, FLOAT, INT, LONG, UINT, ULONG,
+                      VOID, array_of, common_arith_type, compatible_assignment,
+                      func_type, pointer_to, promote)
+
+# Compiler intrinsics: name -> (ret, params).  Codegen lowers these to
+# single Wasm instructions.
+BUILTINS: Dict[str, Tuple[CType, Tuple[CType, ...]]] = {
+    "__builtin_sqrt": (DOUBLE, (DOUBLE,)),
+    "__builtin_fabs": (DOUBLE, (DOUBLE,)),
+    "__builtin_floor": (DOUBLE, (DOUBLE,)),
+    "__builtin_ceil": (DOUBLE, (DOUBLE,)),
+    "__builtin_trunc": (DOUBLE, (DOUBLE,)),
+    "__builtin_nearest": (DOUBLE, (DOUBLE,)),
+    "__builtin_sqrtf": (FLOAT, (FLOAT,)),
+    "__builtin_clz": (INT, (UINT,)),
+    "__builtin_ctz": (INT, (UINT,)),
+    "__builtin_popcount": (INT, (UINT,)),
+    "__builtin_clzll": (INT, (ULONG,)),
+    "__builtin_memory_size": (INT, ()),
+    "__builtin_heap_base": (INT, ()),
+    "__builtin_memory_grow": (INT, (INT,)),
+    "__builtin_trap": (VOID, ()),
+}
+
+# Host interface: extern functions implemented by the runtime (WASI) or the
+# native syscall layer.  name -> (wasi_name, ret, params).
+WASI_EXTERNS: Dict[str, Tuple[str, CType, Tuple[CType, ...]]] = {
+    "__wasi_fd_write": ("fd_write", INT, (INT, INT, INT, INT)),
+    "__wasi_fd_read": ("fd_read", INT, (INT, INT, INT, INT)),
+    "__wasi_fd_close": ("fd_close", INT, (INT,)),
+    "__wasi_fd_seek": ("fd_seek", INT, (INT, LONG, INT, INT)),
+    "__wasi_path_open": ("path_open", INT,
+                         (INT, INT, INT, INT, INT, LONG, LONG, INT, INT)),
+    "__wasi_args_sizes_get": ("args_sizes_get", INT, (INT, INT)),
+    "__wasi_args_get": ("args_get", INT, (INT, INT)),
+    "__wasi_clock_time_get": ("clock_time_get", INT, (INT, LONG, INT)),
+    "__wasi_random_get": ("random_get", INT, (INT, INT)),
+    "__wasi_proc_exit": ("proc_exit", VOID, (INT,)),
+}
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.names: Dict[str, ast.VarDecl] = {}
+
+    def declare(self, decl: ast.VarDecl) -> None:
+        if decl.name in self.names:
+            raise MiniCTypeError(f"redeclaration of {decl.name!r}", decl.line)
+        self.names[decl.name] = decl
+
+    def lookup(self, name: str) -> Optional[ast.VarDecl]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+def _cast_to(expr: ast.Expr, target: CType) -> ast.Expr:
+    """Wrap in a Cast node unless the type already matches."""
+    if expr.ctype == target:
+        return expr
+    cast = ast.Cast(line=expr.line, target_type=target, operand=expr)
+    cast.ctype = target
+    return cast
+
+
+class SemanticAnalyzer:
+    """Performs the full analysis over one translation unit."""
+
+    def __init__(self, unit: ast.TranslationUnit,
+                 force_locals_to_memory: bool = False):
+        self.unit = unit
+        # -O0 mode: every local lives on the shadow stack, the way clang
+        # -O0 allocas every variable.
+        self.force_locals_to_memory = force_locals_to_memory
+        self.func_types: Dict[str, CType] = {}
+        self.func_defined: Set[str] = set()
+        self.globals: Dict[str, ast.GlobalVar] = {}
+        self.address_taken_funcs: Set[str] = set()
+        self.extern_funcs: Dict[str, str] = {}   # name -> wasi import name
+        # per-function state
+        self._current: Optional[ast.FuncDef] = None
+        self._scope: Optional[_Scope] = None
+        self._all_decls: List[ast.VarDecl] = []
+        self._loop_depth = 0
+
+    # -- entry point --------------------------------------------------------
+
+    def analyze(self) -> ast.TranslationUnit:
+        for glob in self.unit.globals:
+            if glob.name in self.globals:
+                raise MiniCTypeError(f"duplicate global {glob.name!r}",
+                                     glob.line)
+            if glob.name in BUILTINS or glob.name in WASI_EXTERNS:
+                raise MiniCTypeError(
+                    f"{glob.name!r} is a reserved name", glob.line)
+            self.globals[glob.name] = glob
+            self._check_global_init(glob)
+
+        for func in self.unit.functions:
+            sig = func_type(func.ret, tuple(p.ptype for p in func.params))
+            prior = self.func_types.get(func.name)
+            if prior is not None and prior != sig:
+                raise MiniCTypeError(
+                    f"conflicting declarations of {func.name!r}", func.line)
+            self.func_types[func.name] = sig
+            if func.body is not None:
+                if func.name in self.func_defined:
+                    raise MiniCTypeError(
+                        f"redefinition of {func.name!r}", func.line)
+                self.func_defined.add(func.name)
+            elif func.name in WASI_EXTERNS:
+                wasi_name, ret, params = WASI_EXTERNS[func.name]
+                if sig != func_type(ret, params):
+                    raise MiniCTypeError(
+                        f"{func.name!r} signature does not match the WASI "
+                        "interface", func.line)
+                self.extern_funcs[func.name] = wasi_name
+
+        for func in self.unit.functions:
+            if func.body is not None:
+                self._analyze_function(func)
+
+        # Declared, never defined, not a known extern -> link error unless
+        # unreachable; record for the driver's reachability check.
+        return self.unit
+
+    # -- globals ------------------------------------------------------------
+
+    def _check_global_init(self, glob: ast.GlobalVar) -> None:
+        t = glob.var_type
+        if t.is_void or (t.is_func):
+            raise MiniCTypeError(
+                f"global {glob.name!r} has invalid type {t}", glob.line)
+        if glob.init_list is not None:
+            if not t.is_array:
+                raise MiniCTypeError(
+                    f"initializer list on non-array {glob.name!r}", glob.line)
+            flat = _flatten_array(t)
+            if len(glob.init_list) > flat:
+                raise MiniCTypeError(
+                    f"too many initializers for {glob.name!r}", glob.line)
+            for item in glob.init_list:
+                if not isinstance(item, (ast.IntLit, ast.FloatLit,
+                                         ast.Unary, ast.Binary,
+                                         ast.SizeofType, ast.StrLit)):
+                    raise MiniCTypeError(
+                        f"non-constant initializer for {glob.name!r}",
+                        glob.line)
+        elif glob.init is not None:
+            if isinstance(glob.init, ast.StrLit):
+                return
+            from .parser import _fold_const_int
+            if isinstance(glob.init, ast.FloatLit):
+                return
+            folded = _fold_const_int(glob.init)
+            if folded is None:
+                raise MiniCTypeError(
+                    f"non-constant initializer for {glob.name!r}", glob.line)
+            glob.init = ast.IntLit(line=glob.line, value=folded)
+
+    # -- functions ------------------------------------------------------------
+
+    def _analyze_function(self, func: ast.FuncDef) -> None:
+        self._current = func
+        self._scope = _Scope()
+        self._all_decls = []
+        self._loop_depth = 0
+        # Parameters become pseudo-decls in the outermost scope.
+        param_decls: List[ast.VarDecl] = []
+        for param in func.params:
+            ptype = param.ptype.decay()
+            decl = ast.VarDecl(line=param.line, name=param.name,
+                               var_type=ptype)
+            if param.name:
+                self._scope.declare(decl)
+            param_decls.append(decl)
+            self._all_decls.append(decl)
+        self._visit_stmt(func.body)
+
+        # Storage assignment: wasm locals vs shadow-stack frame.
+        index = 0
+        offset = 0
+        func.local_types = []
+        for decl in self._all_decls:
+            t = decl.var_type
+            if self.force_locals_to_memory:
+                decl.needs_memory = True
+            if t.is_array or decl.needs_memory:
+                align = t.align
+                offset = (offset + align - 1) & ~(align - 1)
+                decl.frame_offset = offset
+                decl.needs_memory = True
+                offset += t.size
+                decl.local_index = -1
+            else:
+                decl.local_index = index
+                func.local_types.append(t)
+                index += 1
+        func.frame_size = (offset + 15) & ~15
+        # Parameters that ended up needing memory still arrive in wasm
+        # locals; codegen copies them into the frame.  Record their order.
+        func.param_decls = param_decls  # type: ignore[attr-defined]
+        self._current = None
+
+    # -- statements -----------------------------------------------------------
+
+    def _visit_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.DeclGroup):
+            for s in stmt.statements:
+                self._visit_stmt(s)
+        elif isinstance(stmt, ast.Block):
+            outer = self._scope
+            self._scope = _Scope(outer)
+            for s in stmt.statements:
+                self._visit_stmt(s)
+            self._scope = outer
+        elif isinstance(stmt, ast.VarDecl):
+            self._visit_decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                stmt.expr = self._visit_expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            stmt.cond = self._check_condition(stmt.cond)
+            self._visit_stmt(stmt.then)
+            if stmt.other is not None:
+                self._visit_stmt(stmt.other)
+        elif isinstance(stmt, ast.While):
+            stmt.cond = self._check_condition(stmt.cond)
+            self._loop_depth += 1
+            self._visit_stmt(stmt.body)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.DoWhile):
+            self._loop_depth += 1
+            self._visit_stmt(stmt.body)
+            self._loop_depth -= 1
+            stmt.cond = self._check_condition(stmt.cond)
+        elif isinstance(stmt, ast.For):
+            outer = self._scope
+            self._scope = _Scope(outer)
+            if stmt.init is not None:
+                self._visit_stmt(stmt.init)
+            if stmt.cond is not None:
+                stmt.cond = self._check_condition(stmt.cond)
+            if stmt.step is not None:
+                stmt.step = self._visit_expr(stmt.step)
+            self._loop_depth += 1
+            self._visit_stmt(stmt.body)
+            self._loop_depth -= 1
+            self._scope = outer
+        elif isinstance(stmt, ast.Return):
+            ret = self._current.ret
+            if stmt.value is not None:
+                if ret.is_void:
+                    raise MiniCTypeError(
+                        f"{self._current.name}: returning a value from void "
+                        "function", stmt.line)
+                stmt.value = _cast_to(self._visit_expr(stmt.value), ret)
+            elif not ret.is_void:
+                raise MiniCTypeError(
+                    f"{self._current.name}: missing return value", stmt.line)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self._loop_depth == 0 and isinstance(stmt, ast.Continue):
+                raise MiniCTypeError("continue outside loop", stmt.line)
+        elif isinstance(stmt, ast.Switch):
+            stmt.scrutinee = self._visit_expr(stmt.scrutinee)
+            if not stmt.scrutinee.ctype.is_integer:
+                raise MiniCTypeError("switch requires integer scrutinee",
+                                     stmt.line)
+            stmt.scrutinee = _cast_to(stmt.scrutinee, INT)
+            seen: Set[Optional[int]] = set()
+            self._loop_depth += 1  # break works inside switch
+            for case in stmt.cases:
+                if case.value in seen:
+                    raise MiniCTypeError(
+                        f"duplicate case {case.value}", case.line)
+                seen.add(case.value)
+                for s in case.body:
+                    self._visit_stmt(s)
+            self._loop_depth -= 1
+        else:
+            raise MiniCTypeError(f"unhandled statement {type(stmt).__name__}",
+                                 stmt.line)
+
+    def _visit_decl(self, decl: ast.VarDecl) -> None:
+        t = decl.var_type
+        if t.is_void:
+            raise MiniCTypeError(f"variable {decl.name!r} has void type",
+                                 decl.line)
+        self._scope.declare(decl)
+        self._all_decls.append(decl)
+        if decl.init is not None:
+            if isinstance(decl.init, ast.StrLit) and t.is_array:
+                value = decl.init
+                value.ctype = pointer_to(CHAR)
+                if len(value.value) > t.length:
+                    raise MiniCTypeError(
+                        f"string too long for {decl.name!r}", decl.line)
+            else:
+                decl.init = self._visit_expr(decl.init)
+                target = t.decay() if t.is_array else t
+                if not compatible_assignment(target, decl.init.ctype):
+                    raise MiniCTypeError(
+                        f"cannot initialize {decl.name!r} ({t}) from "
+                        f"{decl.init.ctype}", decl.line)
+                if not t.is_array:
+                    decl.init = _cast_to(decl.init, t)
+        if decl.init_list is not None:
+            if not t.is_array:
+                raise MiniCTypeError(
+                    f"initializer list on non-array {decl.name!r}", decl.line)
+            if len(decl.init_list) > _flatten_array(t):
+                raise MiniCTypeError(
+                    f"too many initializers for {decl.name!r}", decl.line)
+            elem = _base_elem(t)
+            decl.init_list = [_cast_to(self._visit_expr(e), elem)
+                              for e in decl.init_list]
+
+    def _check_condition(self, expr: ast.Expr) -> ast.Expr:
+        expr = self._visit_expr(expr)
+        if not expr.ctype.is_scalar:
+            raise MiniCTypeError(f"condition has non-scalar type "
+                                 f"{expr.ctype}", expr.line)
+        return expr
+
+    # -- expressions ------------------------------------------------------
+
+    def _visit_expr(self, expr: ast.Expr) -> ast.Expr:
+        method = getattr(self, f"_expr_{type(expr).__name__}", None)
+        if method is None:
+            raise MiniCTypeError(
+                f"unhandled expression {type(expr).__name__}", expr.line)
+        return method(expr)
+
+    def _expr_IntLit(self, expr: ast.IntLit) -> ast.Expr:
+        expr.ctype = LONG if abs(expr.value) > 0x7FFFFFFF else INT
+        return expr
+
+    def _expr_FloatLit(self, expr: ast.FloatLit) -> ast.Expr:
+        expr.ctype = DOUBLE
+        return expr
+
+    def _expr_StrLit(self, expr: ast.StrLit) -> ast.Expr:
+        expr.ctype = pointer_to(CHAR)
+        return expr
+
+    def _expr_Ident(self, expr: ast.Ident) -> ast.Expr:
+        decl = self._scope.lookup(expr.name) if self._scope else None
+        if decl is not None:
+            expr.binding = ("local", decl)
+            expr.ctype = decl.var_type.decay()
+            return expr
+        glob = self.globals.get(expr.name)
+        if glob is not None:
+            expr.binding = ("global", glob)
+            expr.ctype = glob.var_type.decay()
+            return expr
+        if expr.name in self.func_types:
+            expr.binding = ("func", expr.name)
+            expr.ctype = pointer_to(self.func_types[expr.name])
+            # A function name used anywhere except as a direct callee
+            # decays to a pointer: it needs a funcref-table slot.
+            if not getattr(expr, "_is_callee", False):
+                self.address_taken_funcs.add(expr.name)
+            return expr
+        if expr.name in BUILTINS:
+            ret, params = BUILTINS[expr.name]
+            expr.binding = ("builtin", expr.name)
+            expr.ctype = pointer_to(func_type(ret, params))
+            return expr
+        raise MiniCTypeError(f"undeclared identifier {expr.name!r}",
+                             expr.line)
+
+    def _expr_Unary(self, expr: ast.Unary) -> ast.Expr:
+        expr.operand = self._visit_expr(expr.operand)
+        t = expr.operand.ctype
+        if expr.op == "!":
+            if not t.is_scalar:
+                raise MiniCTypeError("! requires scalar operand", expr.line)
+            expr.ctype = INT
+            return expr
+        if expr.op == "~":
+            if not t.is_integer:
+                raise MiniCTypeError("~ requires integer operand", expr.line)
+            target = promote(t)
+            expr.operand = _cast_to(expr.operand, target)
+            expr.ctype = target
+            return expr
+        if expr.op == "-":
+            if not t.is_arith:
+                raise MiniCTypeError("unary - requires arithmetic operand",
+                                     expr.line)
+            target = promote(t)
+            expr.operand = _cast_to(expr.operand, target)
+            expr.ctype = target
+            return expr
+        raise MiniCTypeError(f"unknown unary operator {expr.op}", expr.line)
+
+    def _expr_AddrOf(self, expr: ast.AddrOf) -> ast.Expr:
+        inner = expr.operand
+        if isinstance(inner, ast.Ident):
+            inner = self._visit_expr(inner)
+            expr.operand = inner
+            kind = inner.binding[0]
+            if kind == "local":
+                decl = inner.binding[1]
+                decl.needs_memory = True
+                expr.ctype = pointer_to(decl.var_type.decay()
+                                        if decl.var_type.is_array
+                                        else decl.var_type)
+                if decl.var_type.is_array:
+                    expr.ctype = pointer_to(decl.var_type.elem)
+                else:
+                    expr.ctype = pointer_to(decl.var_type)
+                return expr
+            if kind == "global":
+                glob = inner.binding[1]
+                expr.ctype = pointer_to(glob.var_type.elem
+                                        if glob.var_type.is_array
+                                        else glob.var_type)
+                return expr
+            if kind == "func":
+                self.address_taken_funcs.add(inner.binding[1])
+                expr.ctype = inner.ctype  # already pointer-to-function
+                return expr
+            raise MiniCTypeError("cannot take address of builtin", expr.line)
+        if isinstance(inner, ast.Index):
+            inner = self._visit_expr(inner)
+            expr.operand = inner
+            self._require_lvalue_memory(inner)
+            expr.ctype = pointer_to(inner.ctype)
+            return expr
+        if isinstance(inner, ast.Deref):
+            # &*p == p
+            inner = self._visit_expr(inner)
+            return inner.operand
+        raise MiniCTypeError("cannot take address of this expression",
+                             expr.line)
+
+    def _require_lvalue_memory(self, expr: ast.Expr) -> None:
+        """Index lvalues always live in memory; nothing extra to mark."""
+
+    def _expr_Deref(self, expr: ast.Deref) -> ast.Expr:
+        expr.operand = self._visit_expr(expr.operand)
+        t = expr.operand.ctype
+        if not t.is_pointer:
+            raise MiniCTypeError(f"cannot dereference {t}", expr.line)
+        if t.pointee.is_func:
+            expr.ctype = t  # *fp is still the function designator
+            return expr.operand
+        expr.ctype = t.pointee.decay()
+        return expr
+
+    def _expr_Binary(self, expr: ast.Binary) -> ast.Expr:
+        expr.left = self._visit_expr(expr.left)
+        expr.right = self._visit_expr(expr.right)
+        lt, rt = expr.left.ctype, expr.right.ctype
+        op = expr.op
+
+        if op in ("&&", "||"):
+            if not (lt.is_scalar and rt.is_scalar):
+                raise MiniCTypeError(f"{op} requires scalar operands",
+                                     expr.line)
+            expr.ctype = INT
+            return expr
+
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            if lt.is_pointer and rt.is_pointer:
+                expr.ctype = INT
+                return expr
+            if lt.is_pointer and rt.is_integer:
+                expr.right = _cast_to(expr.right, UINT)
+                expr.ctype = INT
+                return expr
+            if rt.is_pointer and lt.is_integer:
+                expr.left = _cast_to(expr.left, UINT)
+                expr.ctype = INT
+                return expr
+            common = common_arith_type(lt, rt)
+            expr.left = _cast_to(expr.left, common)
+            expr.right = _cast_to(expr.right, common)
+            expr.ctype = INT
+            return expr
+
+        if op in ("+", "-"):
+            if lt.is_pointer and rt.is_integer:
+                expr.right = _cast_to(expr.right, INT)
+                expr.ctype = lt
+                return expr
+            if op == "+" and lt.is_integer and rt.is_pointer:
+                expr.left = _cast_to(expr.left, INT)
+                expr.ctype = rt
+                return expr
+            if op == "-" and lt.is_pointer and rt.is_pointer:
+                if lt.pointee != rt.pointee:
+                    raise MiniCTypeError("pointer subtraction type mismatch",
+                                         expr.line)
+                expr.ctype = INT
+                return expr
+
+        if op in ("<<", ">>"):
+            if not (lt.is_integer and rt.is_integer):
+                raise MiniCTypeError(f"{op} requires integer operands",
+                                     expr.line)
+            target = promote(lt)
+            expr.left = _cast_to(expr.left, target)
+            # Wasm shift instructions take both operands in the same type.
+            expr.right = _cast_to(expr.right, target)
+            expr.ctype = target
+            return expr
+
+        if op in ("&", "|", "^", "%") and not (lt.is_integer and
+                                               rt.is_integer):
+            raise MiniCTypeError(f"{op} requires integer operands", expr.line)
+
+        common = common_arith_type(lt, rt)
+        expr.left = _cast_to(expr.left, common)
+        expr.right = _cast_to(expr.right, common)
+        expr.ctype = common
+        return expr
+
+    def _expr_Assign(self, expr: ast.Assign) -> ast.Expr:
+        expr.target = self._visit_expr(expr.target)
+        expr.value = self._visit_expr(expr.value)
+        self._check_assignable(expr.target)
+        target_type = expr.target.ctype
+        if expr.op != "=":
+            # Compound assignment: type-check as target OP= value.
+            binop = expr.op[:-1]
+            if binop in ("<<", ">>", "&", "|", "^", "%"):
+                if not (target_type.is_integer and
+                        expr.value.ctype.is_integer):
+                    raise MiniCTypeError(
+                        f"{expr.op} requires integer operands", expr.line)
+            if target_type.is_pointer:
+                if binop not in ("+", "-") or not expr.value.ctype.is_integer:
+                    raise MiniCTypeError(
+                        f"invalid pointer compound assignment {expr.op}",
+                        expr.line)
+                expr.value = _cast_to(expr.value, INT)
+                expr.ctype = target_type
+                return expr
+        if not compatible_assignment(target_type, expr.value.ctype):
+            raise MiniCTypeError(
+                f"cannot assign {expr.value.ctype} to {target_type}",
+                expr.line)
+        if expr.op == "=":
+            expr.value = _cast_to(expr.value, target_type)
+        expr.ctype = target_type
+        return expr
+
+    def _check_assignable(self, target: ast.Expr) -> None:
+        if isinstance(target, ast.Ident):
+            if target.binding[0] not in ("local", "global"):
+                raise MiniCTypeError("cannot assign to function",
+                                     target.line)
+            decl = target.binding[1]
+            var_type = decl.var_type
+            if var_type.is_array:
+                raise MiniCTypeError("cannot assign to array", target.line)
+            return
+        if isinstance(target, (ast.Deref, ast.Index)):
+            return
+        raise MiniCTypeError("expression is not assignable", target.line)
+
+    def _expr_IncDec(self, expr: ast.IncDec) -> ast.Expr:
+        expr.target = self._visit_expr(expr.target)
+        self._check_assignable(expr.target)
+        t = expr.target.ctype
+        if not (t.is_arith or t.is_pointer):
+            raise MiniCTypeError(f"cannot {expr.op} a {t}", expr.line)
+        expr.ctype = t
+        return expr
+
+    def _expr_Cond(self, expr: ast.Cond) -> ast.Expr:
+        expr.cond = self._check_condition(expr.cond)
+        expr.then = self._visit_expr(expr.then)
+        expr.other = self._visit_expr(expr.other)
+        lt, rt = expr.then.ctype, expr.other.ctype
+        if lt.is_arith and rt.is_arith:
+            common = common_arith_type(lt, rt)
+            expr.then = _cast_to(expr.then, common)
+            expr.other = _cast_to(expr.other, common)
+            expr.ctype = common
+        elif lt.is_pointer and rt.is_pointer:
+            expr.ctype = lt
+        elif lt.is_pointer and rt.is_integer:
+            expr.other = _cast_to(expr.other, lt)
+            expr.ctype = lt
+        elif rt.is_pointer and lt.is_integer:
+            expr.then = _cast_to(expr.then, rt)
+            expr.ctype = rt
+        else:
+            raise MiniCTypeError("incompatible ternary arms", expr.line)
+        return expr
+
+    def _expr_Call(self, expr: ast.Call) -> ast.Expr:
+        func = expr.func
+        if isinstance(func, ast.Ident):
+            func._is_callee = True
+            func = self._visit_expr(func)
+            expr.func = func
+        else:
+            expr.func = self._visit_expr(func)
+            func = expr.func
+        ftype = func.ctype
+        if ftype.is_pointer and ftype.pointee.is_func:
+            sig = ftype.pointee
+        else:
+            raise MiniCTypeError(f"called object is not a function "
+                                 f"({ftype})", expr.line)
+        if len(expr.args) != len(sig.params):
+            raise MiniCTypeError(
+                f"call expects {len(sig.params)} arguments, got "
+                f"{len(expr.args)}", expr.line)
+        new_args = []
+        for arg, ptype in zip(expr.args, sig.params):
+            arg = self._visit_expr(arg)
+            if not compatible_assignment(ptype.decay(), arg.ctype):
+                raise MiniCTypeError(
+                    f"argument type {arg.ctype} incompatible with "
+                    f"{ptype}", expr.line)
+            new_args.append(_cast_to(arg, ptype.decay()))
+        expr.args = new_args
+        expr.ctype = sig.ret
+        return expr
+
+    def _expr_Index(self, expr: ast.Index) -> ast.Expr:
+        expr.base = self._visit_expr(expr.base)
+        expr.index = _cast_to(self._visit_expr(expr.index), INT)
+        base_type = expr.base.ctype
+        if not base_type.is_pointer:
+            raise MiniCTypeError(f"cannot index {base_type}", expr.line)
+        expr.ctype = base_type.pointee.decay()
+        return expr
+
+    def _expr_Cast(self, expr: ast.Cast) -> ast.Expr:
+        expr.operand = self._visit_expr(expr.operand)
+        src, dst = expr.operand.ctype, expr.target_type
+        ok = (dst.is_arith and src.is_arith) or \
+             (dst.is_pointer and (src.is_pointer or src.is_integer)) or \
+             (dst.is_integer and src.is_pointer) or dst.is_void
+        if not ok:
+            raise MiniCTypeError(f"invalid cast from {src} to {dst}",
+                                 expr.line)
+        expr.ctype = dst
+        return expr
+
+    def _expr_SizeofType(self, expr: ast.SizeofType) -> ast.Expr:
+        expr.ctype = UINT
+        return expr
+
+
+def _flatten_array(t: CType) -> int:
+    total = 1
+    while t.is_array:
+        total *= t.length
+        t = t.elem
+    return total
+
+
+def _base_elem(t: CType) -> CType:
+    while t.is_array:
+        t = t.elem
+    return t
+
+
+def analyze(unit: ast.TranslationUnit,
+            force_locals_to_memory: bool = False) -> SemanticAnalyzer:
+    """Run semantic analysis; returns the analyzer (with symbol tables)."""
+    analyzer = SemanticAnalyzer(unit, force_locals_to_memory)
+    analyzer.analyze()
+    return analyzer

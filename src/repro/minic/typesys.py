@@ -1,0 +1,196 @@
+"""MiniC's C-like type system.
+
+MiniC models the C subset the paper's benchmarks need: ``void``, the
+integer family (``char``/``short``/``int``/``long`` with ``unsigned``
+variants), ``float``/``double``, pointers, constant-size (possibly
+multi-dimensional) arrays, and function types (enabling function
+pointers).  ``long`` is 64-bit and pointers are 32-bit, matching the
+wasm32/WASI data model the paper's WASI SDK targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..errors import MiniCTypeError
+from ..wasm.types import F32, F64, I32, I64
+
+_INT_RANK = {"char": 1, "short": 2, "int": 3, "long": 4}
+_SIZES = {"void": 0, "char": 1, "short": 2, "int": 4, "long": 8,
+          "float": 4, "double": 8}
+
+
+@dataclass(frozen=True)
+class CType:
+    """One MiniC type.  Instances are immutable and hashable."""
+
+    kind: str                       # void/char/short/int/long/float/double/
+                                    # ptr/array/func
+    unsigned: bool = False
+    pointee: Optional["CType"] = None          # ptr
+    elem: Optional["CType"] = None              # array
+    length: int = 0                             # array
+    params: Tuple["CType", ...] = ()            # func
+    ret: Optional["CType"] = None               # func
+
+    # -- classification -----------------------------------------------
+
+    @property
+    def is_void(self) -> bool:
+        return self.kind == "void"
+
+    @property
+    def is_integer(self) -> bool:
+        return self.kind in _INT_RANK
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind in ("float", "double")
+
+    @property
+    def is_arith(self) -> bool:
+        return self.is_integer or self.is_float
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.kind == "ptr"
+
+    @property
+    def is_array(self) -> bool:
+        return self.kind == "array"
+
+    @property
+    def is_func(self) -> bool:
+        return self.kind == "func"
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.is_arith or self.is_pointer
+
+    # -- layout -------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        if self.kind in _SIZES:
+            return _SIZES[self.kind]
+        if self.is_pointer:
+            return 4
+        if self.is_array:
+            return self.elem.size * self.length
+        raise MiniCTypeError(f"type {self} has no size")
+
+    @property
+    def align(self) -> int:
+        if self.is_array:
+            return self.elem.align
+        return max(1, min(8, self.size))
+
+    # -- lowering -----------------------------------------------------------
+
+    @property
+    def wasm_type(self) -> int:
+        """The Wasm value type this scalar lowers to."""
+        if self.kind in ("char", "short", "int") or self.is_pointer:
+            return I32
+        if self.kind == "long":
+            return I64
+        if self.kind == "float":
+            return F32
+        if self.kind == "double":
+            return F64
+        raise MiniCTypeError(f"type {self} has no wasm value type")
+
+    # -- conversions -----------------------------------------------------------
+
+    def decay(self) -> "CType":
+        """Array-to-pointer / function-to-pointer decay."""
+        if self.is_array:
+            return CType("ptr", pointee=self.elem)
+        if self.is_func:
+            return CType("ptr", pointee=self)
+        return self
+
+    def rank(self) -> int:
+        if not self.is_integer:
+            raise MiniCTypeError(f"no integer rank for {self}")
+        return _INT_RANK[self.kind]
+
+    def __str__(self) -> str:
+        if self.kind == "ptr":
+            return f"{self.pointee}*"
+        if self.kind == "array":
+            return f"{self.elem}[{self.length}]"
+        if self.kind == "func":
+            ps = ", ".join(str(p) for p in self.params) or "void"
+            return f"{self.ret}({ps})"
+        return ("unsigned " if self.unsigned else "") + self.kind
+
+
+VOID = CType("void")
+CHAR = CType("char")
+UCHAR = CType("char", unsigned=True)
+SHORT = CType("short")
+USHORT = CType("short", unsigned=True)
+INT = CType("int")
+UINT = CType("int", unsigned=True)
+LONG = CType("long")
+ULONG = CType("long", unsigned=True)
+FLOAT = CType("float")
+DOUBLE = CType("double")
+
+
+def pointer_to(t: CType) -> CType:
+    return CType("ptr", pointee=t)
+
+
+def array_of(elem: CType, length: int) -> CType:
+    if length <= 0:
+        raise MiniCTypeError(f"array length must be positive, got {length}")
+    return CType("array", elem=elem, length=length)
+
+
+def func_type(ret: CType, params: Tuple[CType, ...]) -> CType:
+    return CType("func", params=params, ret=ret)
+
+
+def promote(t: CType) -> CType:
+    """C integer promotion: char/short become int."""
+    if t.is_integer and t.rank() < _INT_RANK["int"]:
+        return INT
+    return t
+
+
+def common_arith_type(a: CType, b: CType) -> CType:
+    """Usual arithmetic conversions."""
+    if not (a.is_arith and b.is_arith):
+        raise MiniCTypeError(f"no common arithmetic type for {a} and {b}")
+    if "double" in (a.kind, b.kind):
+        return DOUBLE
+    if "float" in (a.kind, b.kind):
+        return FLOAT
+    a, b = promote(a), promote(b)
+    if a == b:
+        return a
+    if a.rank() == b.rank():
+        return a if a.unsigned else b
+    wider = a if a.rank() > b.rank() else b
+    narrower = b if wider is a else a
+    if narrower.unsigned and not wider.unsigned and narrower.rank() == wider.rank():
+        return CType(wider.kind, unsigned=True)
+    return wider
+
+
+def compatible_assignment(dst: CType, src: CType) -> bool:
+    """Whether ``src`` may be assigned to ``dst`` (with conversion)."""
+    if dst.is_arith and src.is_arith:
+        return True
+    if dst.is_pointer and src.is_pointer:
+        # void* is a universal pointer; otherwise require matching pointees.
+        return (dst.pointee.is_void or src.pointee.is_void or
+                dst.pointee == src.pointee)
+    if dst.is_pointer and src.is_integer:
+        return True  # allowed with implicit conversion (C-ish looseness)
+    if dst.is_integer and src.is_pointer:
+        return True
+    return False

@@ -1,0 +1,15 @@
+"""Native baseline: MiniC compiled straight to the machine ISA.
+
+The paper's baseline is the same C source compiled with plain clang and
+run directly on the CPU.  Here, ``nativecc`` drives the same frontend and
+midend as ``wasicc`` at the chosen -O level, then lowers through the
+native backend (full register file, no sandbox bounds checks, and the
+heavy machine-level pipeline gated by -O), and the binary runs on the
+virtual CPU with no runtime system underneath — just the libc-to-syscall
+boundary.
+"""
+
+from .nativecc import NativeBinary, nativecc
+from .executor import run_native
+
+__all__ = ["NativeBinary", "nativecc", "run_native"]

@@ -1,0 +1,64 @@
+"""Execution of native binaries (the paper's baseline measurements)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..errors import ExitProc, Trap
+from ..hw import CPUModel, MachineConfig
+from ..isa.machine import Machine
+from ..isa.memory import LinearMemory
+from ..runtimes.base import RunResult
+from ..wasi import VirtualFS, WasiAPI
+from .nativecc import NativeBinary
+
+# A statically-linked native binary's base footprint: text/rodata mapping
+# plus loader and initial libc heap structures.
+_NATIVE_BASE_BYTES = 720_000
+
+
+def run_native(binary: NativeBinary,
+               fs: Optional[VirtualFS] = None,
+               argv: Sequence[str] = ("wabench",),
+               config: Optional[MachineConfig] = None) -> RunResult:
+    """Run a native binary from cold start under the hardware model."""
+    program = binary.program
+    cpu = CPUModel(config)
+    cpu.memory.alloc("native-base", _NATIVE_BASE_BYTES)
+    cpu.memory.alloc("native-code", program.code_bytes)
+
+    fs = fs if fs is not None else VirtualFS()
+    wasi = WasiAPI(fs=fs, cpu=cpu, argv=argv)
+
+    touched = cpu.memory.lazy_region("native-data")
+    memory = LinearMemory(program.memory_pages, program.memory_max_pages,
+                          touched)
+    machine = Machine(program, cpu, memory=memory, host=wasi.as_host())
+    machine.apply_data_segments()
+
+    trap = None
+    exit_code = 0
+    try:
+        if program.start_function is not None:
+            machine.call_function(program.start_function, ())
+        machine.run_export("_start")
+    except ExitProc as exc:
+        exit_code = exc.code
+    except Trap as exc:
+        trap = str(exc)
+    cpu.memory.checkpoint()
+
+    return RunResult(
+        runtime="native",
+        stdout=bytes(fs.stdout),
+        exit_code=exit_code,
+        trap=trap,
+        seconds=cpu.seconds,
+        cycles=cpu.cycles,
+        mrss_bytes=cpu.memory.peak_bytes,
+        counters=cpu.counters.snapshot(),
+        compile_seconds=0.0,
+        execute_seconds=cpu.seconds,
+        memory_breakdown=cpu.memory.breakdown(),
+        code_bytes=program.code_bytes,
+    )

@@ -1,0 +1,47 @@
+"""The five standalone WebAssembly runtime models (paper Table 1).
+
+| Runtime  | Model                          | Execution      |
+|----------|--------------------------------|----------------|
+| Wasmtime | :class:`WasmtimeRuntime`       | JIT, Cranelift |
+| WAVM     | :class:`WavmRuntime`           | JIT, LLVM      |
+| Wasmer   | :class:`WasmerRuntime`         | JIT, selectable|
+| Wasm3    | :class:`Wasm3Runtime`          | threaded interp|
+| WAMR     | :class:`WamrRuntime`           | classic interp |
+"""
+
+from typing import Dict, List, Type
+
+from .base import RunResult, WasmRuntime
+from .instance import Environment, instantiate
+from .interpreters import InterpreterRuntime, Wasm3Runtime, WamrRuntime
+from .jits import (AotImage, JitRuntime, WasmerRuntime, WasmtimeRuntime,
+                   WavmRuntime)
+
+RUNTIME_CLASSES: Dict[str, Type[WasmRuntime]] = {
+    "wasmtime": WasmtimeRuntime,
+    "wavm": WavmRuntime,
+    "wasmer": WasmerRuntime,
+    "wasm3": Wasm3Runtime,
+    "wamr": WamrRuntime,
+}
+
+ALL_RUNTIME_NAMES: List[str] = list(RUNTIME_CLASSES)
+
+
+def make_runtime(name: str, **kwargs) -> WasmRuntime:
+    """Instantiate a runtime model by its paper name."""
+    if name.startswith("wasmer-"):
+        return WasmerRuntime(backend=name.split("-", 1)[1])
+    cls = RUNTIME_CLASSES.get(name)
+    if cls is None:
+        raise KeyError(f"unknown runtime {name!r}; "
+                       f"choose from {ALL_RUNTIME_NAMES}")
+    return cls(**kwargs)
+
+
+__all__ = [
+    "RunResult", "WasmRuntime", "Environment", "instantiate",
+    "InterpreterRuntime", "Wasm3Runtime", "WamrRuntime",
+    "AotImage", "JitRuntime", "WasmerRuntime", "WasmtimeRuntime",
+    "WavmRuntime", "RUNTIME_CLASSES", "ALL_RUNTIME_NAMES", "make_runtime",
+]

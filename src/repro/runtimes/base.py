@@ -1,0 +1,137 @@
+"""Runtime scaffolding: the measurement protocol every runtime follows.
+
+A run proceeds exactly like the paper's measurements: start the process
+(charge the runtime's base footprint), read the module from disk, decode
+and validate it, load it (interpret-prepare or JIT-compile — the phase
+where the five runtimes diverge), instantiate, execute ``_start`` under
+WASI, and read the PMU-equivalent counters and peak RSS at the end.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from ..errors import ExitProc, ReproError, Trap
+from ..hw import CPUModel, MachineConfig
+from ..wasi import VirtualFS, WasiAPI
+from ..wasm import Module, decode_module_with_stats, validate_module
+from .instance import Environment, instantiate
+
+# Decode/validate work factors (instructions charged per unit of work).
+_DECODE_COST_PER_BYTE = 2
+_DECODE_COST_PER_INSTR = 6
+_VALIDATE_COST_PER_INSTR = 10
+
+
+@dataclass
+class RunResult:
+    """Everything one measured execution produced."""
+
+    runtime: str
+    stdout: bytes
+    exit_code: int
+    trap: Optional[str]
+    seconds: float
+    cycles: int
+    mrss_bytes: int
+    counters: Dict[str, float]
+    compile_seconds: float = 0.0      # JIT/AOT translation time
+    execute_seconds: float = 0.0      # guest execution excl. load/compile
+    memory_breakdown: Dict[str, int] = field(default_factory=dict)
+    code_bytes: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.trap is None and self.exit_code == 0
+
+    def stdout_text(self) -> str:
+        return self.stdout.decode("utf-8", errors="replace")
+
+
+class WasmRuntime(abc.ABC):
+    """Base class of the five standalone runtime models."""
+
+    #: short identifier, e.g. "wasmtime"
+    name: str = "abstract"
+    #: "jit" or "interp"
+    mode: str = "abstract"
+    #: process base footprint (binary + runtime heap at startup), bytes
+    runtime_base_bytes: int = 1 << 20
+
+    def run(self, wasm_bytes: bytes,
+            fs: Optional[VirtualFS] = None,
+            argv: Sequence[str] = ("wabench",),
+            config: Optional[MachineConfig] = None,
+            aot_image: Optional[object] = None) -> RunResult:
+        """Execute a Wasm binary from cold start and measure everything."""
+        cpu = CPUModel(config)
+        cpu.memory.alloc("runtime-base", self.runtime_base_bytes)
+        cpu.memory.alloc("module-bytes", len(wasm_bytes))
+
+        fs = fs if fs is not None else VirtualFS()
+        wasi = WasiAPI(fs=fs, cpu=cpu, argv=argv)
+
+        module, decode_stats = decode_module_with_stats(wasm_bytes)
+        cpu.counters.instructions += (
+            decode_stats.bytes_scanned * _DECODE_COST_PER_BYTE +
+            decode_stats.instructions * _DECODE_COST_PER_INSTR)
+        validate_module(module)
+        cpu.counters.instructions += (
+            decode_stats.instructions * _VALIDATE_COST_PER_INSTR)
+        cpu.memory.alloc("module-ir", decode_stats.instructions * 12)
+
+        load_start_cycles = cpu.cycles
+        loaded = self._load(module, cpu, aot_image)
+        compile_cycles = cpu.cycles - load_start_cycles
+        cpu.memory.checkpoint()
+
+        env = instantiate(module, wasi, cpu)
+        exec_start_cycles = cpu.cycles
+
+        trap: Optional[str] = None
+        exit_code = 0
+        try:
+            self._execute(loaded, env, cpu, wasi)
+        except ExitProc as exc:
+            exit_code = exc.code
+        except Trap as exc:
+            trap = str(exc)
+        cpu.memory.checkpoint()
+
+        counters = cpu.counters.snapshot()
+        return RunResult(
+            runtime=self.name,
+            stdout=bytes(fs.stdout),
+            exit_code=exit_code,
+            trap=trap,
+            seconds=cpu.seconds,
+            cycles=cpu.cycles,
+            mrss_bytes=cpu.memory.peak_bytes,
+            counters=counters,
+            compile_seconds=cpu.config.cycles_to_seconds(compile_cycles),
+            execute_seconds=cpu.config.cycles_to_seconds(
+                cpu.cycles - exec_start_cycles),
+            memory_breakdown=cpu.memory.breakdown(),
+            code_bytes=getattr(loaded, "code_bytes", 0),
+        )
+
+    # -- phases the concrete runtimes implement ---------------------------
+
+    @abc.abstractmethod
+    def _load(self, module: Module, cpu: CPUModel,
+              aot_image: Optional[object]):
+        """Prepare/compile the module; charge the work; return loaded form."""
+
+    @abc.abstractmethod
+    def _execute(self, loaded, env: Environment, cpu: CPUModel,
+                 wasi: WasiAPI) -> None:
+        """Run ``_start`` to completion."""
+
+    # -- AOT -------------------------------------------------------------
+
+    def compile_aot(self, wasm_bytes: bytes,
+                    config: Optional[MachineConfig] = None):
+        """Ahead-of-time compile; returns (image, compile_seconds)."""
+        raise ReproError(f"{self.name} does not support AOT compilation")

@@ -1,0 +1,104 @@
+"""Module instantiation: imports, memory, table, globals, segments.
+
+Shared by every runtime model — the part of a Wasm runtime that resolves
+imports against the WASI host module, allocates linear memory and the
+funcref table, evaluates constant initializer expressions, and copies the
+active data/element segments, per the core spec's instantiation section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..errors import LinkError, Trap
+from ..hw import CPUModel
+from ..isa.memory import LinearMemory
+from ..wasi import WasiAPI
+from ..wasm import Module
+from ..wasm import opcodes as op
+from ..wasm.module import KIND_FUNC, KIND_GLOBAL, KIND_MEMORY, KIND_TABLE
+
+WASI_MODULE_NAME = "wasi_snapshot_preview1"
+
+
+@dataclass
+class Environment:
+    """The runtime state of one instantiated module."""
+
+    module: Module
+    memory: LinearMemory
+    globals: List
+    table: List[int]
+    host_funcs: Dict[int, tuple] = field(default_factory=dict)
+    # host_funcs: joint func index -> ("host", callable, n_params, ftype)
+
+
+def _eval_const(expr, globals_: List):
+    ins = expr[0]
+    o = ins[0]
+    if o == op.I32_CONST:
+        return ins[1] & 0xFFFFFFFF
+    if o == op.I64_CONST:
+        return ins[1] & 0xFFFFFFFFFFFFFFFF
+    if o in (op.F32_CONST, op.F64_CONST):
+        return ins[1]
+    if o == op.GLOBAL_GET:
+        return globals_[ins[1]]
+    raise LinkError(f"unsupported constant expression {op.name_of(o)}")
+
+
+def instantiate(module: Module, wasi: WasiAPI,
+                cpu: Optional[CPUModel] = None,
+                memory_region: str = "linear-memory") -> Environment:
+    """Build the runtime environment for a validated module."""
+    # -- imports ----------------------------------------------------------
+    host_funcs: Dict[int, tuple] = {}
+    func_import_index = 0
+    for imp in module.imports:
+        if imp.kind == KIND_FUNC:
+            if imp.module != WASI_MODULE_NAME:
+                raise LinkError(f"unknown import module {imp.module!r}")
+            fn = getattr(wasi, imp.name, None)
+            if fn is None or imp.name not in WasiAPI.NAMES:
+                raise LinkError(f"unknown WASI import {imp.name!r}")
+            ftype = module.types[imp.desc]
+            host_funcs[func_import_index] = ("host", fn, len(ftype.params),
+                                             ftype)
+            func_import_index += 1
+        elif imp.kind in (KIND_MEMORY, KIND_TABLE, KIND_GLOBAL):
+            raise LinkError("memory/table/global imports are not provided "
+                            "by the WASI host")
+
+    # -- memory -------------------------------------------------------------
+    touched = cpu.memory.lazy_region(memory_region) if cpu else None
+    if module.memories:
+        lim = module.memories[0]
+        memory = LinearMemory(lim.minimum, lim.maximum, touched)
+    else:
+        memory = LinearMemory(0, 0, touched)
+
+    # -- globals ------------------------------------------------------------
+    globals_: List = []
+    for glob in module.globals:
+        globals_.append(_eval_const(glob.init, globals_))
+
+    # -- table ------------------------------------------------------------
+    table: List[int] = []
+    if module.tables:
+        table = [-1] * module.tables[0].minimum
+    for seg in module.elements:
+        offset = _eval_const(seg.offset, globals_)
+        end = offset + len(seg.func_indices)
+        if end > len(table):
+            raise Trap("out of bounds table access", "element segment")
+        for i, func_index in enumerate(seg.func_indices):
+            table[offset + i] = func_index
+
+    # -- data segments ------------------------------------------------------
+    for seg in module.data:
+        offset = _eval_const(seg.offset, globals_)
+        memory.write_bytes(offset, seg.data)
+
+    return Environment(module=module, memory=memory, globals=globals_,
+                       table=table, host_funcs=host_funcs)

@@ -1,0 +1,7 @@
+"""Interpretation engines: classic switch-dispatch and threaded code."""
+
+from .engine import (CLASSIC_PROFILE, THREADED_PROFILE, InterpProfile,
+                     Interpreter, PreparedFunction, prepare_function)
+
+__all__ = ["CLASSIC_PROFILE", "THREADED_PROFILE", "InterpProfile",
+           "Interpreter", "PreparedFunction", "prepare_function"]

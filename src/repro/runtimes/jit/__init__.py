@@ -1,0 +1,11 @@
+"""JIT compilation machinery: lowering, regalloc, passes, backend tiers."""
+
+from .backend import (BACKENDS, CRANELIFT, LLVM, SINGLEPASS, BackendSpec,
+                      compile_backend)
+from .lowering import FunctionLowering, LoweringOptions, lower_module
+from .passes import run_optimizing_pipeline
+from .regalloc import allocate_registers
+
+__all__ = ["BACKENDS", "CRANELIFT", "LLVM", "SINGLEPASS", "BackendSpec",
+           "compile_backend", "FunctionLowering", "LoweringOptions",
+           "lower_module", "run_optimizing_pipeline", "allocate_registers"]

@@ -1,0 +1,115 @@
+"""JIT backend tiers: SinglePass, Cranelift-class, LLVM-class.
+
+A backend is a recipe: lowering mode, register-file size, optimization
+pipeline, and compile-work factors.  ``compile_backend`` runs the real
+translation (lowering + passes + regalloc) and charges the CPU model for
+the compiler's own instructions and memory traffic — the source of the
+paper's compile-time effects (WAVM's slow starts, Table 4's AOT times,
+Fig. 3's AOT speedups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ...hw import CPUModel
+from ...hw.config import RUNTIME_HEAP_BASE
+from ...isa.program import MProgram
+from ...wasm import Module
+from .lowering import LoweringOptions, lower_module
+from .passes import run_optimizing_pipeline
+from .regalloc import allocate_registers
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One compiler tier."""
+
+    name: str
+    lowering: LoweringOptions
+    registers: int               # physical register file (0 = no regalloc)
+    pipeline: str                # "none" | "light" | "heavy"
+    compile_cost_per_op: int     # charged instructions per wasm op
+    ir_bytes_per_op: int         # peak compiler working memory per wasm op
+    compile_sweeps: int          # cache sweeps over the IR while compiling
+
+
+SINGLEPASS = BackendSpec(
+    name="singlepass",
+    lowering=LoweringOptions(shadow_stack=True, check_density=1.0),
+    registers=0, pipeline="none",
+    compile_cost_per_op=10, ir_bytes_per_op=10, compile_sweeps=1)
+
+CRANELIFT = BackendSpec(
+    name="cranelift",
+    lowering=LoweringOptions(shadow_stack=False, check_density=1.0),
+    registers=16, pipeline="light",
+    compile_cost_per_op=90, ir_bytes_per_op=28, compile_sweeps=2)
+
+# Wasmer embeds Cranelift with a slightly leaner runtime integration than
+# Wasmtime's (fewer safepoint/trampoline instructions), matching the small
+# but consistent gap the paper measures between the two (1.59x vs 1.67x).
+CRANELIFT_LEAN = BackendSpec(
+    name="cranelift-lean",
+    lowering=LoweringOptions(shadow_stack=False, check_density=0.9),
+    registers=18, pipeline="light",
+    compile_cost_per_op=70, ir_bytes_per_op=26, compile_sweeps=2)
+
+LLVM = BackendSpec(
+    name="llvm",
+    lowering=LoweringOptions(shadow_stack=False, check_density=0.4),
+    registers=24, pipeline="heavy",
+    compile_cost_per_op=800, ir_bytes_per_op=90, compile_sweeps=6)
+
+BACKENDS: Dict[str, BackendSpec] = {
+    "singlepass": SINGLEPASS, "cranelift": CRANELIFT,
+    "cranelift-lean": CRANELIFT_LEAN, "llvm": LLVM}
+
+
+def compile_backend(module: Module, spec: BackendSpec,
+                    cpu: Optional[CPUModel] = None,
+                    code_base: int = 0x0400_0000,
+                    memory_region: str = "jit") -> MProgram:
+    """Translate a module with one backend tier, charging the work."""
+    total_ops = module.body_size()
+    program = lower_module(module, spec.lowering)
+
+    for func in program.functions:
+        if spec.pipeline == "light":
+            run_optimizing_pipeline(func, heavy=False)
+        elif spec.pipeline == "heavy":
+            run_optimizing_pipeline(func, heavy=True)
+        if spec.registers:
+            allocate_registers(func, spec.registers)
+
+    program.finalize(code_base)
+
+    if cpu is not None:
+        counters = cpu.counters
+        compile_instrs = total_ops * spec.compile_cost_per_op
+        counters.instructions += compile_instrs
+        # Compilers are branch-heavy and data-dependent: ~1 branch per 6
+        # instructions with a few percent mispredicted (IR-walk switches).
+        compile_branches = compile_instrs // 6
+        compile_misses = compile_branches // 30
+        counters.branches += compile_branches
+        counters.branch_misses += compile_misses
+        counters.stall_cycles += compile_misses * \
+            cpu.config.branch.miss_penalty
+        # The compiler walks its IR buffers; that traffic pollutes the
+        # caches exactly like a real JIT burst.
+        ir_bytes = total_ops * spec.ir_bytes_per_op
+        cpu.memory.alloc(f"{memory_region}-compiler-peak", ir_bytes)
+        l1d = cpu.caches.l1d
+        shift = cpu.caches.line_shift
+        base_line = RUNTIME_HEAP_BASE >> shift
+        stall = 0
+        for sweep in range(spec.compile_sweeps):
+            for line in range(0, max(1, ir_bytes >> shift)):
+                stall += l1d.access_line(base_line + line)
+        counters.stall_cycles += stall
+        cpu.memory.checkpoint()
+        cpu.memory.free(f"{memory_region}-compiler-peak")
+        cpu.memory.alloc(f"{memory_region}-code-cache", program.code_bytes)
+    return program

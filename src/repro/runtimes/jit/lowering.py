@@ -1,0 +1,451 @@
+"""Wasm -> machine-IR translation (the core of every JIT backend).
+
+Translates the structured stack machine into the flat register ISA by
+abstract interpretation of the operand stack: every stack slot is mapped
+to a virtual register at translation time, the standard technique used by
+Cranelift, LLVM lifting, and single-pass baseline compilers alike.
+
+Two quality modes:
+
+* **virtual-register mode** (Cranelift/LLVM): values flow in registers;
+  only pattern-forced moves are emitted.
+* **shadow-stack mode** (SinglePass): every push and pop additionally
+  touches an in-memory shadow of the operand stack (``SPILL``/``RELOAD``
+  accounting ops), reproducing why baseline compilers run ~2x slower —
+  they trade code quality for one-pass compile speed.
+
+Software bounds checks are emitted as ``CHECK`` ops with a configurable
+density (an optimizing backend hoists/merges some of them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ...errors import ReproError
+from ...isa import ops as m
+from ...isa import wasm_map
+from ...isa.program import MFunction, MProgram
+from ...wasm import Module
+from ...wasm import opcodes as w
+from ...wasm.module import KIND_FUNC, Function
+
+
+@dataclass
+class LoweringOptions:
+    shadow_stack: bool = False
+    check_density: float = 1.0   # fraction of memory ops with explicit CHECK
+
+
+class _Frame:
+    __slots__ = ("opcode", "entry_depth", "arity", "result_vreg",
+                 "end_patches", "loop_target", "unreachable_at_entry")
+
+    def __init__(self, opcode: int, entry_depth: int, arity: int,
+                 result_vreg: int, loop_target: int = -1,
+                 unreachable_at_entry: bool = False):
+        self.opcode = opcode
+        self.entry_depth = entry_depth
+        self.arity = arity
+        self.result_vreg = result_vreg
+        self.end_patches: List[int] = []
+        self.loop_target = loop_target
+        self.unreachable_at_entry = unreachable_at_entry
+
+
+class FunctionLowering:
+    """Translates one function body."""
+
+    def __init__(self, module: Module, func: Function, func_index: int,
+                 options: LoweringOptions):
+        self.module = module
+        self.func = func
+        self.func_index = func_index
+        self.options = options
+        ftype = module.types[func.type_index]
+        self.params = list(ftype.params)
+        self.results = list(ftype.results)
+        self.local_types = self.params + func.local_types()
+        self.num_locals = len(self.local_types)
+        self.next_vreg = self.num_locals
+        self.code: List[tuple] = []
+        self.stack: List[int] = []
+        self.frames: List[_Frame] = []
+        self._check_accum = 0.0
+        self.max_shadow_depth = 0
+
+    # -- small helpers ---------------------------------------------------
+
+    def temp(self) -> int:
+        v = self.next_vreg
+        self.next_vreg += 1
+        return v
+
+    def emit(self, *ins) -> int:
+        self.code.append(tuple(ins))
+        return len(self.code) - 1
+
+    def push(self, vreg: int) -> None:
+        self.stack.append(vreg)
+        if self.options.shadow_stack:
+            depth = len(self.stack)
+            if depth > self.max_shadow_depth:
+                self.max_shadow_depth = depth
+            self.emit(m.SPILL, depth)
+
+    def pop(self) -> int:
+        if self.options.shadow_stack:
+            self.emit(m.RELOAD, len(self.stack))
+        return self.stack.pop()
+
+    def _protect_local(self, index: int) -> None:
+        """Before writing local ``index``, preserve stacked reads of it."""
+        if index in self.stack:
+            saved = self.temp()
+            self.emit(m.MOV, saved, index)
+            for i, v in enumerate(self.stack):
+                if v == index:
+                    self.stack[i] = saved
+
+    def _maybe_check(self) -> None:
+        self._check_accum += self.options.check_density
+        if self._check_accum >= 1.0:
+            self._check_accum -= 1.0
+            self.emit(m.CHECK)
+
+    def _zero(self) -> int:
+        v = self.temp()
+        self.emit(m.LI, v, 0)
+        return v
+
+    # -- control-flow plumbing -----------------------------------------------
+
+    def _branch_frame(self, depth: int) -> _Frame:
+        if depth >= len(self.frames):
+            raise ReproError("branch depth out of range (validator bug)")
+        return self.frames[-1 - depth]
+
+    def _emit_branch_to(self, frame: _Frame) -> None:
+        """MOV the result (if any) and jump to the frame's label."""
+        if frame.opcode == w.LOOP:
+            self.emit(m.JMP, frame.loop_target)
+            return
+        if frame.arity:
+            top = self.stack[-1]
+            if top != frame.result_vreg:
+                self.emit(m.MOV, frame.result_vreg, top)
+        if frame.opcode == 0:
+            # function frame: return
+            self.emit(m.RET, frame.result_vreg if frame.arity else -1)
+            return
+        frame.end_patches.append(self.emit(m.JMP, -1))
+
+    def _patch(self, at: int, target: int) -> None:
+        ins = self.code[at]
+        if ins[0] == m.JMP:
+            self.code[at] = (m.JMP, target)
+        elif ins[0] in (m.BRZ, m.BRNZ):
+            self.code[at] = (ins[0], ins[1], target)
+        else:  # pragma: no cover
+            raise ReproError("cannot patch non-branch")
+
+    # -- the translation loop ---------------------------------------------
+
+    def lower(self) -> MFunction:
+        module = self.module
+        body = self.func.body
+        if self.options.check_density > 0:
+            # Sandboxed prologue: stack-limit check (what Cranelift/LLVM
+            # emit for Wasm frames; native frames have no such check).
+            self.emit(m.CHECK)
+        func_frame = _Frame(0, 0, len(self.results),
+                            self.temp() if self.results else -1)
+        self.frames.append(func_frame)
+        unreachable = False
+
+        for ins in body:
+            o = ins[0]
+
+            if unreachable:
+                # Only track structure until the region closes.
+                if o in (w.BLOCK, w.LOOP, w.IF):
+                    self.frames.append(_Frame(o, len(self.stack), 0, -1,
+                                              unreachable_at_entry=True))
+                elif o == w.ELSE:
+                    frame = self.frames[-1]
+                    if not frame.unreachable_at_entry:
+                        # The then-arm ended unreachable; the else arm is
+                        # still live.
+                        del self.stack[frame.entry_depth:]
+                        unreachable = False
+                        if frame.loop_target >= 0:
+                            self._patch(frame.loop_target, len(self.code))
+                            frame.loop_target = -1
+                elif o == w.END:
+                    frame = self.frames.pop()
+                    if not frame.unreachable_at_entry:
+                        del self.stack[frame.entry_depth:]
+                        unreachable = False
+                        self._finish_frame(frame)
+                        if not self.frames:
+                            return self._finalize(func_frame)
+                continue
+
+            if o == w.BLOCK:
+                arity = 0 if ins[1] == 0x40 else 1
+                self.frames.append(_Frame(o, len(self.stack), arity,
+                                          self.temp() if arity else -1))
+            elif o == w.LOOP:
+                arity = 0 if ins[1] == 0x40 else 1
+                self.frames.append(_Frame(o, len(self.stack), arity,
+                                          self.temp() if arity else -1,
+                                          loop_target=len(self.code)))
+            elif o == w.IF:
+                cond = self.pop()
+                arity = 0 if ins[1] == 0x40 else 1
+                frame = _Frame(o, len(self.stack), arity,
+                               self.temp() if arity else -1)
+                # loop_target reused to store the BRZ to patch
+                frame.loop_target = self.emit(m.BRZ, cond, -1)
+                self.frames.append(frame)
+            elif o == w.ELSE:
+                frame = self.frames[-1]
+                if frame.arity:
+                    top = self.stack[-1]
+                    if top != frame.result_vreg:
+                        self.emit(m.MOV, frame.result_vreg, top)
+                frame.end_patches.append(self.emit(m.JMP, -1))
+                self._patch(frame.loop_target, len(self.code))
+                frame.loop_target = -1
+                del self.stack[frame.entry_depth:]
+            elif o == w.END:
+                frame = self.frames.pop()
+                if frame.arity:
+                    top = self.stack[-1]
+                    if top != frame.result_vreg:
+                        self.emit(m.MOV, frame.result_vreg, top)
+                del self.stack[frame.entry_depth:]
+                self._finish_frame(frame)
+                if not self.frames:
+                    return self._finalize(func_frame)
+            elif o == w.BR:
+                self._emit_branch_to(self._branch_frame(ins[1]))
+                unreachable = True
+            elif o == w.BR_IF:
+                cond = self.pop()
+                frame = self._branch_frame(ins[1])
+                if frame.opcode == w.LOOP:
+                    self.emit(m.BRNZ, cond, frame.loop_target)
+                elif frame.arity == 0 and frame.opcode != 0:
+                    frame.end_patches.append(self.emit(m.BRNZ, cond, -1))
+                else:
+                    skip = self.emit(m.BRZ, cond, -1)
+                    self._emit_branch_to(frame)
+                    self._patch(skip, len(self.code))
+            elif o == w.BR_TABLE:
+                index = self.pop()
+                labels, default_depth = ins[1], ins[2]
+                # Lower to a jump table over per-label stubs.
+                stub_jumps: List[Tuple[int, int]] = []
+                table_at = self.emit(m.BR_TABLE, index, (), -1)
+                stubs: List[int] = []
+                for depth in list(labels) + [default_depth]:
+                    stubs.append(len(self.code))
+                    self._emit_branch_to(self._branch_frame(depth))
+                self.code[table_at] = (m.BR_TABLE, index,
+                                       tuple(stubs[:-1]), stubs[-1])
+                unreachable = True
+            elif o == w.RETURN:
+                if func_frame.arity:
+                    top = self.stack[-1]
+                    if top != func_frame.result_vreg:
+                        self.emit(m.MOV, func_frame.result_vreg, top)
+                    self.emit(m.RET, func_frame.result_vreg)
+                else:
+                    self.emit(m.RET, -1)
+                unreachable = True
+            elif o == w.UNREACHABLE:
+                self.emit(m.TRAP_OP, "unreachable")
+                unreachable = True
+            elif o == w.NOP:
+                pass
+            elif o == w.CALL:
+                self._lower_call(ins[1])
+            elif o == w.CALL_INDIRECT:
+                index = self.pop()
+                ftype = module.types[ins[1]]
+                args = [self.pop() for _ in ftype.params][::-1]
+                dst = self.temp() if ftype.results else -1
+                self.emit(m.CALL_IND, dst, ins[1], index, tuple(args))
+                if ftype.results:
+                    self.push(dst)
+            elif o == w.DROP:
+                self.pop()
+            elif o == w.SELECT:
+                cond = self.pop()
+                b = self.pop()
+                a = self.pop()
+                dst = self.temp()
+                self.emit(m.SELECT, dst, cond, a, b)
+                self.push(dst)
+            elif o == w.LOCAL_GET:
+                self.push(ins[1])
+            elif o == w.LOCAL_SET:
+                value = self.pop()
+                self._protect_local(ins[1])
+                self.emit(m.MOV, ins[1], value)
+            elif o == w.LOCAL_TEE:
+                value = self.stack[-1]
+                self._protect_local(ins[1])
+                self.emit(m.MOV, ins[1], value)
+            elif o == w.GLOBAL_GET:
+                dst = self.temp()
+                self.emit(m.GGET, dst, ins[1])
+                self.push(dst)
+            elif o == w.GLOBAL_SET:
+                self.emit(m.GSET, ins[1], self.pop())
+            elif o in wasm_map.LOADS:
+                addr = self.pop()
+                dst = self.temp()
+                self._maybe_check()
+                self.emit(wasm_map.LOADS[o], dst, addr, ins[2])
+                self.push(dst)
+            elif o in wasm_map.STORES:
+                value = self.pop()
+                addr = self.pop()
+                self._maybe_check()
+                self.emit(wasm_map.STORES[o], addr, ins[2], value)
+            elif o == w.I32_CONST:
+                dst = self.temp()
+                self.emit(m.LI, dst, ins[1] & 0xFFFFFFFF)
+                self.push(dst)
+            elif o == w.I64_CONST:
+                dst = self.temp()
+                self.emit(m.LI, dst, ins[1] & 0xFFFFFFFFFFFFFFFF)
+                self.push(dst)
+            elif o == w.F32_CONST or o == w.F64_CONST:
+                dst = self.temp()
+                self.emit(m.LI, dst, float(ins[1]))
+                self.push(dst)
+            elif o in wasm_map.BINARY:
+                b = self.pop()
+                a = self.pop()
+                dst = self.temp()
+                self.emit(wasm_map.BINARY[o], dst, a, b)
+                self.push(dst)
+            elif o in wasm_map.UNARY:
+                a = self.pop()
+                dst = self.temp()
+                self.emit(wasm_map.UNARY[o], dst, a)
+                self.push(dst)
+            elif o == w.MEMORY_SIZE:
+                dst = self.temp()
+                self.emit(m.MEMSIZE, dst)
+                self.push(dst)
+            elif o == w.MEMORY_GROW:
+                pages = self.pop()
+                dst = self.temp()
+                self.emit(m.MEMGROW, dst, pages)
+                self.push(dst)
+            else:
+                raise ReproError(f"lowering: unhandled opcode {w.name_of(o)}")
+
+        # Implicit end of function (body has no trailing END in our IR).
+        if not unreachable:
+            if func_frame.arity:
+                top = self.stack[-1] if self.stack else self._zero()
+                if top != func_frame.result_vreg:
+                    self.emit(m.MOV, func_frame.result_vreg, top)
+                self.emit(m.RET, func_frame.result_vreg)
+            else:
+                self.emit(m.RET, -1)
+        return self._finalize(func_frame)
+
+    def _finish_frame(self, frame: _Frame) -> None:
+        if frame.opcode == w.IF and frame.loop_target >= 0:
+            # if without else: false path lands here
+            self._patch(frame.loop_target, len(self.code))
+        for at in frame.end_patches:
+            self._patch(at, len(self.code))
+        if frame.arity:
+            self.push(frame.result_vreg)
+
+    def _lower_call(self, func_index: int) -> None:
+        module = self.module
+        ftype = module.func_type(func_index)
+        args = [self.pop() for _ in ftype.params][::-1]
+        dst = self.temp() if ftype.results else -1
+        num_imported = module.num_imported_funcs
+        if func_index < num_imported:
+            self.emit(m.CALL_HOST, dst, func_index, tuple(args))
+        else:
+            self.emit(m.CALL, dst, func_index - num_imported, tuple(args))
+        if ftype.results:
+            self.push(dst)
+
+    def _finalize(self, func_frame: _Frame) -> MFunction:
+        # The body may end right after an END that closed the function
+        # frame; ensure a terminating RET exists.
+        if not self.code or self.code[-1][0] not in (m.RET, m.JMP,
+                                                     m.TRAP_OP, m.BR_TABLE):
+            if func_frame.arity:
+                top = self.stack[-1] if self.stack else self._zero()
+                if top != func_frame.result_vreg:
+                    self.emit(m.MOV, func_frame.result_vreg, top)
+                self.emit(m.RET, func_frame.result_vreg)
+            else:
+                self.emit(m.RET, -1)
+        mf = MFunction(
+            name=self.func.name or f"wf{self.func_index}",
+            num_params=len(self.params),
+            num_regs=self.next_vreg,
+            code=self.code,
+            sig_id=self.func.type_index,
+            returns_value=bool(self.results),
+            frame_slots=self.max_shadow_depth if self.options.shadow_stack
+            else 0,
+        )
+        return mf
+
+
+def lower_module(module: Module, options: LoweringOptions) -> MProgram:
+    """Lower every defined function; assemble the whole program."""
+    program = MProgram()
+    num_imported = module.num_imported_funcs
+    imported = module.imported(KIND_FUNC)
+    program.host_imports = [imp.name for imp in imported]
+
+    for i, func in enumerate(module.functions):
+        mf = FunctionLowering(module, func, num_imported + i,
+                              options).lower()
+        program.add_function(mf)
+
+    # Environment: globals, table, memory, data, exports, start.
+    from ..instance import _eval_const
+    for glob in module.globals:
+        program.globals_init.append(_eval_const(glob.init,
+                                                program.globals_init))
+    if module.tables:
+        program.table = [-1] * module.tables[0].minimum
+    for seg in module.elements:
+        offset = _eval_const(seg.offset, program.globals_init)
+        for k, func_index in enumerate(seg.func_indices):
+            if func_index < num_imported:
+                raise ReproError("imported functions in tables are not "
+                                 "supported")
+            program.table[offset + k] = func_index - num_imported
+    if module.memories:
+        program.memory_pages = module.memories[0].minimum
+        program.memory_max_pages = module.memories[0].maximum
+    for seg in module.data:
+        offset = _eval_const(seg.offset, program.globals_init)
+        program.data_segments.append((offset, seg.data))
+    for export in module.exports:
+        if export.kind == KIND_FUNC and export.index >= num_imported:
+            program.exports[export.name] = export.index - num_imported
+    if module.start is not None:
+        if module.start < num_imported:
+            raise ReproError("imported start function")
+        program.start_function = module.start - num_imported
+    return program

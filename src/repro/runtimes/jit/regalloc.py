@@ -1,0 +1,146 @@
+"""Linear-scan register allocation (cost model).
+
+The virtual machine executes with unlimited registers, so allocation does
+not change *what* runs — it decides *what it costs*: virtual registers
+that do not fit in the modeled physical register file get spill slots,
+and every def/use of a spilled vreg inserts a ``SPILL``/``RELOAD``
+accounting op (one retired instruction + one stack-memory access each),
+exactly the cost spills have on real hardware.
+
+Functions with high register pressure (big numeric kernels at -O0,
+deeply-expression-heavy code) therefore run measurably slower on
+backends with fewer effective registers, which is one of the quality
+differences between the modeled JIT tiers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ...isa import ops as m
+from ...isa.program import MFunction
+
+_BRANCH_OPS = (m.JMP, m.BRZ, m.BRNZ, m.BR_TABLE)
+
+
+def _operand_regs(ins: tuple) -> Tuple[List[int], List[int]]:
+    """(defs, uses) virtual registers of one instruction."""
+    o = ins[0]
+    if o < m.NUM_BIN:
+        return [ins[1]], [ins[2], ins[3]]
+    if o < m.NUM_UN_END:
+        return [ins[1]], [ins[2]]
+    if o == m.LI:
+        return [ins[1]], []
+    if o == m.MOV:
+        return [ins[1]], [ins[2]]
+    if o == m.SELECT:
+        return [ins[1]], [ins[2], ins[3], ins[4]]
+    if o in m.LOAD_OPS:
+        return [ins[1]], [ins[2]]
+    if o in m.STORE_OPS:
+        return [], [ins[1], ins[3]]
+    if o == m.GGET:
+        return [ins[1]], []
+    if o == m.GSET:
+        return [], [ins[2]]
+    if o == m.MEMSIZE:
+        return [ins[1]], []
+    if o == m.MEMGROW:
+        return [ins[1]], [ins[2]]
+    if o == m.BRZ or o == m.BRNZ:
+        return [], [ins[1]]
+    if o == m.BR_TABLE:
+        return [], [ins[1]]
+    if o == m.CALL or o == m.CALL_HOST:
+        return ([ins[1]] if ins[1] >= 0 else []), list(ins[3])
+    if o == m.CALL_IND:
+        return ([ins[1]] if ins[1] >= 0 else []), [ins[3]] + list(ins[4])
+    if o == m.RET:
+        return [], ([ins[1]] if ins[1] >= 0 else [])
+    return [], []  # JMP, TRAP, CHECK, SPILL, RELOAD
+
+
+def allocate_registers(func: MFunction, num_physical: int) -> int:
+    """Insert spill accounting; returns the number of spilled vregs."""
+    code = func.code
+    n = len(code)
+    if func.num_regs <= num_physical or n == 0:
+        return 0
+
+    # Approximate live intervals over the linear code: [first, last]
+    # occurrence.  Loop back-edges are covered because a vreg used after a
+    # backward branch target has a linear interval spanning the loop.
+    first: Dict[int, int] = {}
+    last: Dict[int, int] = {}
+    uses_count: Dict[int, int] = {}
+    for pc, ins in enumerate(code):
+        defs, uses = _operand_regs(ins)
+        for v in defs + uses:
+            if v not in first:
+                first[v] = pc
+            last[v] = pc
+        for v in uses:
+            uses_count[v] = uses_count.get(v, 0) + 1
+
+    # Parameters are live from entry.
+    for v in range(func.num_params):
+        if v in first:
+            first[v] = 0
+
+    # Linear scan: choose spills where pressure exceeds the register file.
+    intervals = sorted(first, key=lambda v: (first[v], last[v]))
+    active: List[int] = []     # vregs currently assigned, sorted by end
+    spilled: Set[int] = set()
+    for v in intervals:
+        start = first[v]
+        active = [a for a in active if last[a] >= start]
+        if len(active) < num_physical:
+            active.append(v)
+            active.sort(key=lambda a: last[a])
+            continue
+        # Spill the interval ending furthest away (Poletto's heuristic),
+        # preferring to keep frequently-used vregs in registers.
+        candidate = active[-1]
+        if last[candidate] > last[v] and \
+                uses_count.get(candidate, 0) <= uses_count.get(v, 0) + 2:
+            spilled.add(candidate)
+            active[-1] = v
+            active.sort(key=lambda a: last[a])
+        else:
+            spilled.add(v)
+
+    if not spilled:
+        return 0
+
+    # Assign spill slots and weave SPILL/RELOAD ops around defs/uses,
+    # remapping branch targets to the rewritten indices.
+    slot_of = {v: i for i, v in enumerate(sorted(spilled))}
+    base_slot = func.frame_slots
+    func.frame_slots = base_slot + len(spilled)
+
+    new_code: List[tuple] = []
+    remap: List[int] = [0] * (n + 1)
+    for pc, ins in enumerate(code):
+        remap[pc] = len(new_code)
+        defs, uses = _operand_regs(ins)
+        for v in uses:
+            if v in spilled:
+                new_code.append((m.RELOAD, base_slot + slot_of[v]))
+        new_code.append(ins)
+        for v in defs:
+            if v in spilled:
+                new_code.append((m.SPILL, base_slot + slot_of[v]))
+    remap[n] = len(new_code)
+
+    for i, ins in enumerate(new_code):
+        o = ins[0]
+        if o == m.JMP:
+            new_code[i] = (o, remap[ins[1]])
+        elif o in (m.BRZ, m.BRNZ):
+            new_code[i] = (o, ins[1], remap[ins[2]])
+        elif o == m.BR_TABLE:
+            new_code[i] = (o, ins[1], tuple(remap[t] for t in ins[2]),
+                           remap[ins[3]])
+    func.code = new_code
+    return len(spilled)

@@ -1,0 +1,138 @@
+"""The three JIT-compilation-based runtime models.
+
+* **Wasmtime** — Cranelift tier, Bytecode Alliance's production runtime.
+* **WAVM** — LLVM tier: the best steady-state code and by far the most
+  compile work and compiler memory (the paper's slow-start, high-MRSS
+  runtime).
+* **Wasmer** — selectable backend (SinglePass / Cranelift / LLVM),
+  defaulting to Cranelift, exactly as the paper configures it (Fig. 2
+  sweeps the three backends).
+
+All three support AOT: :meth:`compile_aot` performs the same translation
+offline and returns an image that ``run(aot_image=...)`` loads instead of
+compiling (Fig. 3 / Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import ReproError
+from ..hw import CPUModel, MachineConfig
+from ..isa.machine import Machine
+from ..isa.program import MProgram
+from ..wasi import WasiAPI
+from ..wasm import Module, decode_module, validate_module
+from .base import WasmRuntime
+from .instance import Environment
+from .jit import BACKENDS, BackendSpec, compile_backend
+
+_AOT_LOAD_COST_PER_BYTE = 1   # relocation/mmap cost when loading an image
+
+
+@dataclass
+class AotImage:
+    """A serialized ahead-of-time compilation result."""
+
+    backend: str
+    program: MProgram
+    code_bytes: int
+    wasm_ops: int
+
+
+class JitRuntime(WasmRuntime):
+    """Common machinery for the JIT-based runtime models."""
+
+    mode = "jit"
+    backend_name = "cranelift"
+
+    def __init__(self, backend: Optional[str] = None):
+        if backend is not None:
+            if backend not in BACKENDS:
+                raise ReproError(f"unknown backend {backend!r}")
+            self.backend_name = backend
+
+    @property
+    def backend(self) -> BackendSpec:
+        return BACKENDS[self.backend_name]
+
+    # -- load: JIT-compile or map the AOT image ---------------------------
+
+    def _load(self, module: Module, cpu: CPUModel,
+              aot_image: Optional[AotImage]) -> MProgram:
+        if aot_image is not None:
+            if aot_image.backend != self.backend_name:
+                raise ReproError(
+                    f"AOT image was compiled with {aot_image.backend}, "
+                    f"runtime uses {self.backend_name}")
+            cpu.counters.instructions += (
+                aot_image.code_bytes * _AOT_LOAD_COST_PER_BYTE)
+            cpu.memory.alloc("aot-code", aot_image.code_bytes)
+            return aot_image.program
+        return compile_backend(module, self.backend, cpu)
+
+    def _execute(self, program: MProgram, env: Environment, cpu: CPUModel,
+                 wasi: WasiAPI) -> None:
+        machine = Machine(program, cpu, memory=env.memory,
+                          host=wasi.as_host())
+        machine.globals = list(env.globals) if env.globals else \
+            list(program.globals_init)
+        machine.table = list(program.table)
+        if program.start_function is not None:
+            machine.call_function(program.start_function, ())
+        machine.run_export("_start")
+
+    # -- AOT ------------------------------------------------------------------
+
+    def compile_aot(self, wasm_bytes: bytes,
+                    config: Optional[MachineConfig] = None
+                    ) -> Tuple[AotImage, float]:
+        """Offline compilation; returns (image, modeled compile seconds)."""
+        cpu = CPUModel(config)
+        module = decode_module(wasm_bytes)
+        validate_module(module)
+        program = compile_backend(module, self.backend, cpu)
+        image = AotImage(backend=self.backend_name, program=program,
+                         code_bytes=program.code_bytes,
+                         wasm_ops=module.body_size())
+        return image, cpu.seconds
+
+
+class WasmtimeRuntime(JitRuntime):
+    """Model of Wasmtime: Cranelift JIT, Bytecode Alliance."""
+
+    name = "wasmtime"
+    backend_name = "cranelift"
+    runtime_base_bytes = 2_700_000
+
+    def __init__(self):
+        super().__init__(None)
+
+
+class WavmRuntime(JitRuntime):
+    """Model of WAVM: LLVM-based JIT."""
+
+    name = "wavm"
+    backend_name = "llvm"
+    runtime_base_bytes = 9_500_000
+
+    def __init__(self):
+        super().__init__(None)
+
+
+class WasmerRuntime(JitRuntime):
+    """Model of Wasmer: selectable JIT backends, Cranelift by default."""
+
+    name = "wasmer"
+    backend_name = "cranelift-lean"
+    runtime_base_bytes = 3_300_000
+
+    def __init__(self, backend: Optional[str] = None):
+        if backend == "cranelift":
+            backend = "cranelift-lean"
+        super().__init__(backend)
+        if backend is not None:
+            self.name = "wasmer-llvm" if backend == "llvm" else \
+                "wasmer-singlepass" if backend == "singlepass" else \
+                "wasmer-cranelift"

@@ -1,0 +1,14 @@
+"""WASI snapshot-preview1 layer: host functions + virtual filesystem.
+
+Standalone runtimes implement WASI so Wasm programs can reach system
+resources; this package is that implementation for every runtime model in
+the reproduction, plus the native baseline's syscall layer.
+"""
+
+from . import errno
+from .api import WasiAPI
+from .fs import (O_CREAT, O_DIRECTORY, O_EXCL, O_TRUNC, SEEK_CUR, SEEK_END,
+                 SEEK_SET, FileHandle, VirtualFS)
+
+__all__ = ["errno", "WasiAPI", "O_CREAT", "O_DIRECTORY", "O_EXCL", "O_TRUNC",
+           "SEEK_CUR", "SEEK_END", "SEEK_SET", "FileHandle", "VirtualFS"]

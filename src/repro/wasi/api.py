@@ -1,0 +1,187 @@
+"""WASI snapshot-preview1 host functions.
+
+One :class:`WasiAPI` instance serves a single program run.  Every method
+implements one WASI function against a guest :class:`LinearMemory` and
+the run's :class:`VirtualFS`, and charges the CPU model for the host-side
+work (syscall entry, buffer copies) the way a real runtime's WASI shim
+burns instructions.
+
+The same implementation backs the native baseline's "syscall" layer —
+the paper's native binaries and Wasm binaries ultimately reach the same
+kernel, and so do ours.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional, Sequence
+
+from ..errors import ExitProc
+from ..hw import CPUModel
+from ..isa.memory import LinearMemory
+from . import errno
+from .fs import VirtualFS
+
+_SYSCALL_BASE_COST = 180       # instructions per host call (shim + checks)
+_COPY_COST_PER_8B = 1          # instructions per 8 copied bytes
+
+_CLOCK_REALTIME_EPOCH_NS = 1_650_000_000_000_000_000  # fixed, deterministic
+
+
+class WasiAPI:
+    """All WASI functions used by the WABench suite."""
+
+    NAMES = ("fd_write", "fd_read", "fd_close", "fd_seek", "path_open",
+             "args_sizes_get", "args_get", "clock_time_get", "random_get",
+             "proc_exit")
+
+    def __init__(self, fs: Optional[VirtualFS] = None,
+                 cpu: Optional[CPUModel] = None,
+                 argv: Sequence[str] = ("wabench",),
+                 random_seed: int = 0x5EED):
+        self.fs = fs or VirtualFS()
+        self.cpu = cpu
+        self.argv = [a.encode() + b"\x00" for a in argv]
+        self._rng_state = random_seed & 0xFFFFFFFFFFFFFFFF
+        self.exit_code: Optional[int] = None
+
+    # -- cost accounting --------------------------------------------------
+
+    def _charge(self, extra_bytes: int = 0) -> None:
+        if self.cpu is not None:
+            self.cpu.counters.instructions += (
+                _SYSCALL_BASE_COST + (extra_bytes // 8) * _COPY_COST_PER_8B)
+
+    # -- the interface -----------------------------------------------------
+
+    def fd_write(self, mem: LinearMemory, fd: int, iovs: int,
+                 iovs_len: int, nwritten_ptr: int) -> int:
+        total = 0
+        chunks = []
+        for i in range(iovs_len):
+            base = mem.load_u32(iovs + i * 8)
+            length = mem.load_u32(iovs + i * 8 + 4)
+            chunks.append(mem.read_bytes(base, length))
+        payload = b"".join(chunks)
+        written = self.fs.write(fd, payload)
+        self._charge(len(payload))
+        if written < 0:
+            return -written
+        mem.store_u32(nwritten_ptr, written)
+        return errno.SUCCESS
+
+    def fd_read(self, mem: LinearMemory, fd: int, iovs: int,
+                iovs_len: int, nread_ptr: int) -> int:
+        total = 0
+        for i in range(iovs_len):
+            base = mem.load_u32(iovs + i * 8)
+            length = mem.load_u32(iovs + i * 8 + 4)
+            chunk = self.fs.read(fd, length)
+            if chunk is None:
+                self._charge()
+                return errno.EBADF
+            mem.write_bytes(base, chunk)
+            total += len(chunk)
+            if len(chunk) < length:
+                break
+        self._charge(total)
+        mem.store_u32(nread_ptr, total)
+        return errno.SUCCESS
+
+    def fd_close(self, mem: LinearMemory, fd: int) -> int:
+        self._charge()
+        return self.fs.close(fd)
+
+    def fd_seek(self, mem: LinearMemory, fd: int, offset: int,
+                whence: int, newoffset_ptr: int) -> int:
+        self._charge()
+        # offset arrives as an unsigned i64 image; interpret signed.
+        if offset >= 1 << 63:
+            offset -= 1 << 64
+        result = self.fs.seek(fd, offset, whence)
+        if result < 0:
+            return -result
+        mem.store("<Q", newoffset_ptr, 8, result)
+        return errno.SUCCESS
+
+    def path_open(self, mem: LinearMemory, dirfd: int, dirflags: int,
+                  path_ptr: int, path_len: int, oflags: int,
+                  rights_base: int, rights_inheriting: int,
+                  fdflags: int, opened_fd_ptr: int) -> int:
+        self._charge(path_len)
+        path = mem.read_bytes(path_ptr, path_len).decode("utf-8",
+                                                         errors="replace")
+        fd = self.fs.open_path(path, oflags)
+        if fd < 0:
+            return -fd
+        mem.store_u32(opened_fd_ptr, fd)
+        return errno.SUCCESS
+
+    def args_sizes_get(self, mem: LinearMemory, argc_ptr: int,
+                       argv_buf_size_ptr: int) -> int:
+        self._charge()
+        mem.store_u32(argc_ptr, len(self.argv))
+        mem.store_u32(argv_buf_size_ptr, sum(len(a) for a in self.argv))
+        return errno.SUCCESS
+
+    def args_get(self, mem: LinearMemory, argv_ptr: int,
+                 argv_buf: int) -> int:
+        offset = 0
+        for i, arg in enumerate(self.argv):
+            mem.store_u32(argv_ptr + 4 * i, argv_buf + offset)
+            mem.write_bytes(argv_buf + offset, arg)
+            offset += len(arg)
+        self._charge(offset)
+        return errno.SUCCESS
+
+    def clock_time_get(self, mem: LinearMemory, clock_id: int,
+                       precision: int, time_ptr: int) -> int:
+        """Deterministic clock driven by the modeled cycle count."""
+        self._charge()
+        if self.cpu is not None:
+            ns = int(self.cpu.seconds * 1e9)
+        else:
+            ns = 0
+        if clock_id == 0:  # realtime
+            ns += _CLOCK_REALTIME_EPOCH_NS
+        mem.store("<Q", time_ptr, 8, ns & (2 ** 64 - 1))
+        return errno.SUCCESS
+
+    def random_get(self, mem: LinearMemory, buf: int, buf_len: int) -> int:
+        """Deterministic xorshift stream (seeded per run)."""
+        out = bytearray()
+        state = self._rng_state
+        while len(out) < buf_len:
+            state ^= (state << 13) & 0xFFFFFFFFFFFFFFFF
+            state ^= state >> 7
+            state ^= (state << 17) & 0xFFFFFFFFFFFFFFFF
+            out += struct.pack("<Q", state)
+        self._rng_state = state
+        mem.write_bytes(buf, bytes(out[:buf_len]))
+        self._charge(buf_len)
+        return errno.SUCCESS
+
+    def proc_exit(self, mem: LinearMemory, code: int) -> None:
+        self._charge()
+        self.exit_code = code
+        raise ExitProc(code)
+
+    # -- adapters ----------------------------------------------------------
+
+    def call_by_name(self, name: str, mem: LinearMemory, args: Sequence):
+        """Dynamic dispatch used by the interpreters."""
+        return getattr(self, name)(mem, *args)
+
+    def as_host(self) -> Dict[str, "callable"]:
+        """Host-function map for :class:`repro.isa.machine.Machine`."""
+        out = {}
+        for name in self.NAMES:
+            method = getattr(self, name)
+            out[name] = _bind(method)
+        return out
+
+
+def _bind(method):
+    def host_fn(machine, args):
+        return method(machine.memory, *args)
+    return host_fn

@@ -1,0 +1,18 @@
+"""WASI errno values (snapshot preview1 subset used by the suite)."""
+
+SUCCESS = 0
+E2BIG = 1
+EACCES = 2
+EBADF = 8
+EEXIST = 20
+EINVAL = 28
+EIO = 29
+EISDIR = 31
+ENOENT = 44
+ENOSYS = 52
+ENOTDIR = 54
+ENOTSUP = 58
+ESPIPE = 70
+
+NAMES = {value: name for name, value in list(globals().items())
+         if isinstance(value, int) and name.isupper()}

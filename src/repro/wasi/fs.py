@@ -1,0 +1,159 @@
+"""In-memory virtual filesystem behind the WASI layer.
+
+Every run gets its own :class:`VirtualFS` holding the benchmark's input
+files, the standard streams, and anything the guest creates.  The same
+instance backs both the Wasm runtimes (through WASI) and the native
+baseline (through the host syscall layer), so outputs are directly
+comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import WasiError
+from . import errno
+
+# WASI whence values for fd_seek.
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+# WASI open flags (oflags).
+O_CREAT = 1 << 0
+O_DIRECTORY = 1 << 1
+O_EXCL = 1 << 2
+O_TRUNC = 1 << 3
+
+_FIRST_USER_FD = 4  # 0-2 std streams, 3 the preopened root
+
+
+class FileHandle:
+    """One open file descriptor."""
+
+    def __init__(self, fd: int, path: str, data: bytearray,
+                 append: bool = False):
+        self.fd = fd
+        self.path = path
+        self.data = data
+        self.position = len(data) if append else 0
+        self.open = True
+
+
+class VirtualFS:
+    """Path-keyed in-memory files plus the three standard streams."""
+
+    def __init__(self, files: Optional[Dict[str, bytes]] = None):
+        self.files: Dict[str, bytearray] = {
+            path: bytearray(data) for path, data in (files or {}).items()}
+        self.stdin = bytearray()
+        self.stdout = bytearray()
+        self.stderr = bytearray()
+        self._stdin_pos = 0
+        self._handles: Dict[int, FileHandle] = {}
+        self._next_fd = _FIRST_USER_FD
+
+    # -- setup helpers --------------------------------------------------
+
+    def add_file(self, path: str, data: bytes) -> None:
+        self.files[self._norm(path)] = bytearray(data)
+
+    def set_stdin(self, data: bytes) -> None:
+        self.stdin = bytearray(data)
+        self._stdin_pos = 0
+
+    @staticmethod
+    def _norm(path: str) -> str:
+        return path.lstrip("./").lstrip("/") or "."
+
+    # -- descriptor table -----------------------------------------------
+
+    def open_path(self, path: str, oflags: int) -> int:
+        """Open a path; returns an fd or raises a WASI errno via ValueError."""
+        path = self._norm(path)
+        exists = path in self.files
+        if oflags & O_EXCL and exists:
+            return -errno.EEXIST
+        if not exists:
+            if not oflags & O_CREAT:
+                return -errno.ENOENT
+            self.files[path] = bytearray()
+        elif oflags & O_TRUNC:
+            self.files[path] = bytearray()
+        fd = self._next_fd
+        self._next_fd += 1
+        self._handles[fd] = FileHandle(fd, path, self.files[path])
+        return fd
+
+    def handle(self, fd: int) -> Optional[FileHandle]:
+        h = self._handles.get(fd)
+        if h is not None and h.open:
+            return h
+        return None
+
+    def close(self, fd: int) -> int:
+        h = self._handles.get(fd)
+        if h is None or not h.open:
+            return errno.EBADF
+        h.open = False
+        return errno.SUCCESS
+
+    # -- I/O primitives ------------------------------------------------------
+
+    def write(self, fd: int, payload: bytes) -> int:
+        """Write to an fd; returns bytes written or negative errno."""
+        if fd == 1:
+            self.stdout += payload
+            return len(payload)
+        if fd == 2:
+            self.stderr += payload
+            return len(payload)
+        h = self.handle(fd)
+        if h is None:
+            return -errno.EBADF
+        end = h.position + len(payload)
+        if end > len(h.data):
+            h.data.extend(b"\x00" * (end - len(h.data)))
+        h.data[h.position:end] = payload
+        h.position = end
+        return len(payload)
+
+    def read(self, fd: int, size: int) -> Optional[bytes]:
+        """Read from an fd; None means EBADF."""
+        if fd == 0:
+            chunk = bytes(self.stdin[self._stdin_pos:self._stdin_pos + size])
+            self._stdin_pos += len(chunk)
+            return chunk
+        h = self.handle(fd)
+        if h is None:
+            return None
+        chunk = bytes(h.data[h.position:h.position + size])
+        h.position += len(chunk)
+        return chunk
+
+    def seek(self, fd: int, offset: int, whence: int) -> int:
+        """Seek; returns new position or negative errno."""
+        h = self.handle(fd)
+        if h is None:
+            return -errno.EBADF
+        if whence == SEEK_SET:
+            new = offset
+        elif whence == SEEK_CUR:
+            new = h.position + offset
+        elif whence == SEEK_END:
+            new = len(h.data) + offset
+        else:
+            return -errno.EINVAL
+        if new < 0:
+            return -errno.EINVAL
+        h.position = new
+        return new
+
+    def size_of(self, path: str) -> int:
+        data = self.files.get(self._norm(path))
+        if data is None:
+            raise WasiError(f"no such file: {path}")
+        return len(data)
+
+    def stdout_text(self, encoding: str = "utf-8") -> str:
+        return self.stdout.decode(encoding, errors="replace")

@@ -1,0 +1,34 @@
+"""WebAssembly substrate: binary format, module IR, validation.
+
+This package implements the MVP core of WebAssembly that the paper's
+toolchain and runtimes operate on: LEB128 encodings, the full numeric /
+memory / control instruction set, the section-structured binary format
+(encoder and strict decoder), spec-algorithm validation, a module builder,
+and a WAT-style disassembler.
+"""
+
+from . import opcodes
+from .builder import FunctionBuilder, ModuleBuilder
+from .decoder import DecodeStats, decode_module, decode_module_with_stats
+from .encoder import encode_module
+from .module import (KIND_FUNC, KIND_GLOBAL, KIND_MEMORY, KIND_TABLE,
+                     DataSegment, ElementSegment, Export, Function, Global,
+                     Import, Module)
+from .types import (F32, F64, FUNCREF, I32, I64, PAGE_SIZE, VOID, FuncType,
+                    GlobalType, Limits, type_name)
+from .validator import validate_module
+from .wat import format_body, format_instr, module_to_wat
+
+__all__ = [
+    "opcodes",
+    "FunctionBuilder", "ModuleBuilder",
+    "DecodeStats", "decode_module", "decode_module_with_stats",
+    "encode_module",
+    "KIND_FUNC", "KIND_GLOBAL", "KIND_MEMORY", "KIND_TABLE",
+    "DataSegment", "ElementSegment", "Export", "Function", "Global",
+    "Import", "Module",
+    "F32", "F64", "FUNCREF", "I32", "I64", "PAGE_SIZE", "VOID",
+    "FuncType", "GlobalType", "Limits", "type_name",
+    "validate_module",
+    "format_body", "format_instr", "module_to_wat",
+]

@@ -1,0 +1,316 @@
+"""Fluent construction of WebAssembly modules.
+
+The MiniC code generator and the test suite both assemble modules through
+this builder rather than poking :class:`Module` fields directly.  It handles
+type interning, the imports-first index spaces, label management for
+structured control flow, and (optionally) validates the finished module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import WasmError
+from . import opcodes as op
+from .module import (KIND_FUNC, KIND_GLOBAL, KIND_MEMORY, KIND_TABLE,
+                     DataSegment, ElementSegment, Export, Function, Global,
+                     Import, Instr, Module)
+from .types import VOID, FuncType, GlobalType, Limits
+from .validator import validate_module
+
+
+class FunctionBuilder:
+    """Builds one function body with structured-control-flow helpers."""
+
+    def __init__(self, module_builder: "ModuleBuilder", name: str,
+                 ftype: FuncType, func_index: int):
+        self._mb = module_builder
+        self.name = name
+        self.ftype = ftype
+        self.func_index = func_index
+        self.body: List[Instr] = []
+        self._local_types: List[int] = []
+        self._label_stack: List[str] = []
+
+    # -- locals ---------------------------------------------------------
+
+    def add_local(self, valtype: int) -> int:
+        """Declare an extra local; returns its index (params included)."""
+        index = len(self.ftype.params) + len(self._local_types)
+        self._local_types.append(valtype)
+        return index
+
+    @property
+    def num_locals(self) -> int:
+        return len(self.ftype.params) + len(self._local_types)
+
+    # -- raw emission -----------------------------------------------------
+
+    def emit(self, opcode: int, *immediates) -> "FunctionBuilder":
+        self.body.append((opcode, *immediates))
+        return self
+
+    def extend(self, instrs: Sequence[Instr]) -> "FunctionBuilder":
+        self.body.extend(instrs)
+        return self
+
+    # -- constants / variables ------------------------------------------
+
+    def i32_const(self, value: int) -> "FunctionBuilder":
+        return self.emit(op.I32_CONST, value)
+
+    def i64_const(self, value: int) -> "FunctionBuilder":
+        return self.emit(op.I64_CONST, value)
+
+    def f32_const(self, value: float) -> "FunctionBuilder":
+        return self.emit(op.F32_CONST, value)
+
+    def f64_const(self, value: float) -> "FunctionBuilder":
+        return self.emit(op.F64_CONST, value)
+
+    def local_get(self, index: int) -> "FunctionBuilder":
+        return self.emit(op.LOCAL_GET, index)
+
+    def local_set(self, index: int) -> "FunctionBuilder":
+        return self.emit(op.LOCAL_SET, index)
+
+    def local_tee(self, index: int) -> "FunctionBuilder":
+        return self.emit(op.LOCAL_TEE, index)
+
+    def global_get(self, index: int) -> "FunctionBuilder":
+        return self.emit(op.GLOBAL_GET, index)
+
+    def global_set(self, index: int) -> "FunctionBuilder":
+        return self.emit(op.GLOBAL_SET, index)
+
+    # -- structured control -----------------------------------------------
+    # Labels are tracked by name so codegen can emit branches by label name
+    # and get the correct relative depth at emission time.
+
+    def block(self, label: str, result: int = VOID) -> "FunctionBuilder":
+        self._label_stack.append(label)
+        return self.emit(op.BLOCK, result)
+
+    def loop(self, label: str, result: int = VOID) -> "FunctionBuilder":
+        self._label_stack.append(label)
+        return self.emit(op.LOOP, result)
+
+    def if_(self, label: str, result: int = VOID) -> "FunctionBuilder":
+        self._label_stack.append(label)
+        return self.emit(op.IF, result)
+
+    def else_(self) -> "FunctionBuilder":
+        return self.emit(op.ELSE)
+
+    def end(self) -> "FunctionBuilder":
+        if not self._label_stack:
+            raise WasmError(f"{self.name}: end without open label")
+        self._label_stack.pop()
+        return self.emit(op.END)
+
+    def depth_of(self, label: str) -> int:
+        """Relative branch depth of a named open label."""
+        for depth, open_label in enumerate(reversed(self._label_stack)):
+            if open_label == label:
+                return depth
+        raise WasmError(f"{self.name}: unknown label {label!r}")
+
+    def br(self, label: str) -> "FunctionBuilder":
+        return self.emit(op.BR, self.depth_of(label))
+
+    def br_if(self, label: str) -> "FunctionBuilder":
+        return self.emit(op.BR_IF, self.depth_of(label))
+
+    def br_table(self, labels: Sequence[str], default: str) -> "FunctionBuilder":
+        return self.emit(op.BR_TABLE,
+                         [self.depth_of(l) for l in labels],
+                         self.depth_of(default))
+
+    def call(self, func_index: int) -> "FunctionBuilder":
+        return self.emit(op.CALL, func_index)
+
+    def call_named(self, name: str) -> "FunctionBuilder":
+        return self.emit(op.CALL, self._mb.func_index_of(name))
+
+    def ret(self) -> "FunctionBuilder":
+        return self.emit(op.RETURN)
+
+    def finish(self) -> Function:
+        if self._label_stack:
+            raise WasmError(f"{self.name}: unclosed labels {self._label_stack}")
+        decls: List[Tuple[int, int]] = []
+        for vt in self._local_types:
+            if decls and decls[-1][1] == vt:
+                decls[-1] = (decls[-1][0] + 1, vt)
+            else:
+                decls.append((1, vt))
+        return Function(self._mb.intern_type(self.ftype), decls,
+                        self.body, self.name)
+
+
+class ModuleBuilder:
+    """Accumulates a module definition and materializes it on demand."""
+
+    def __init__(self):
+        self._types: List[FuncType] = []
+        self._type_index: Dict[FuncType, int] = {}
+        self._imports: List[Import] = []
+        self._func_builders: List[FunctionBuilder] = []
+        self._func_names: Dict[str, int] = {}
+        self._globals: List[Global] = []
+        self._global_names: Dict[str, int] = {}
+        self._exports: List[Export] = []
+        self._memory: Optional[Limits] = None
+        self._table: Optional[Limits] = None
+        self._elements: List[ElementSegment] = []
+        self._data: List[DataSegment] = []
+        self._start: Optional[str] = None
+        self._sealed_imports = False
+
+    # -- types -------------------------------------------------------------
+
+    def intern_type(self, ftype: FuncType) -> int:
+        index = self._type_index.get(ftype)
+        if index is None:
+            index = len(self._types)
+            self._types.append(ftype)
+            self._type_index[ftype] = index
+        return index
+
+    # -- imports (must precede function definitions) -----------------------
+
+    def import_function(self, module: str, name: str, ftype: FuncType,
+                        local_name: Optional[str] = None) -> int:
+        if self._sealed_imports:
+            raise WasmError("imports must be declared before functions")
+        index = sum(1 for i in self._imports if i.kind == KIND_FUNC)
+        self._imports.append(Import(module, name, KIND_FUNC,
+                                    self.intern_type(ftype)))
+        self._func_names[local_name or f"{module}.{name}"] = index
+        return index
+
+    # -- functions -----------------------------------------------------------
+
+    def function(self, name: str, params: Sequence[int] = (),
+                 results: Sequence[int] = (),
+                 export: bool = False) -> FunctionBuilder:
+        self._sealed_imports = True
+        ftype = FuncType(tuple(params), tuple(results))
+        num_imported = sum(1 for i in self._imports if i.kind == KIND_FUNC)
+        if name in self._func_names:
+            raise WasmError(f"duplicate function name {name!r}")
+        num_reserved = sum(1 for i in self._func_names.values()
+                           if i >= num_imported)
+        index = num_imported + num_reserved
+        self._func_names[name] = index
+        fb = FunctionBuilder(self, name, ftype, index)
+        self._func_builders.append(fb)
+        if export:
+            self._exports.append(Export(name, KIND_FUNC, index))
+        return fb
+
+    def reserve_function(self, name: str) -> int:
+        """Reserve an index for a function defined later (forward calls)."""
+        self._sealed_imports = True
+        if name in self._func_names:
+            return self._func_names[name]
+        num_imported = sum(1 for i in self._imports if i.kind == KIND_FUNC)
+        reserved = [n for n, i in self._func_names.items() if i >= num_imported]
+        index = num_imported + len(reserved)
+        self._func_names[name] = index
+        return index
+
+    def define_reserved(self, name: str, params: Sequence[int] = (),
+                        results: Sequence[int] = (),
+                        export: bool = False) -> FunctionBuilder:
+        """Create the builder for a previously reserved function."""
+        index = self._func_names.get(name)
+        if index is None:
+            return self.function(name, params, results, export)
+        ftype = FuncType(tuple(params), tuple(results))
+        fb = FunctionBuilder(self, name, ftype, index)
+        self._func_builders.append(fb)
+        if export:
+            self._exports.append(Export(name, KIND_FUNC, index))
+        return fb
+
+    def func_index_of(self, name: str) -> int:
+        index = self._func_names.get(name)
+        if index is None:
+            raise WasmError(f"unknown function {name!r}")
+        return index
+
+    # -- globals / memory / table / segments --------------------------------
+
+    def add_global(self, name: str, valtype: int, mutable: bool,
+                   init_instr: Instr) -> int:
+        index = len(self._globals)
+        self._globals.append(Global(GlobalType(valtype, mutable), [init_instr]))
+        self._global_names[name] = index
+        return index
+
+    def global_index_of(self, name: str) -> int:
+        if name not in self._global_names:
+            raise WasmError(f"unknown global {name!r}")
+        return self._global_names[name]
+
+    def set_memory(self, minimum_pages: int,
+                   maximum_pages: Optional[int] = None,
+                   export_as: Optional[str] = "memory") -> None:
+        self._memory = Limits(minimum_pages, maximum_pages)
+        if export_as:
+            self._exports.append(Export(export_as, KIND_MEMORY, 0))
+
+    def set_table(self, minimum: int, maximum: Optional[int] = None) -> None:
+        self._table = Limits(minimum, maximum)
+
+    def add_element(self, offset: int, func_names: Sequence[str]) -> None:
+        indices = [self.func_index_of(n) for n in func_names]
+        if self._table is None:
+            self.set_table(offset + len(indices))
+        self._elements.append(
+            ElementSegment(0, [(op.I32_CONST, offset)], indices))
+
+    def add_data(self, offset: int, data: bytes) -> None:
+        self._data.append(DataSegment(0, [(op.I32_CONST, offset)], data))
+
+    def set_start(self, name: str) -> None:
+        self._start = name
+
+    def export_global(self, name: str, global_name: str) -> None:
+        self._exports.append(
+            Export(name, KIND_GLOBAL, self.global_index_of(global_name)))
+
+    # -- materialization ------------------------------------------------------
+
+    def build(self, validate: bool = True) -> Module:
+        module = Module()
+        module.imports = list(self._imports)
+
+        # Defined functions must land at their reserved indices.
+        num_imported = sum(1 for i in self._imports if i.kind == KIND_FUNC)
+        ordered = sorted(self._func_builders,
+                         key=lambda fb: self._func_names[fb.name])
+        for expected, fb in enumerate(ordered):
+            actual = self._func_names[fb.name]
+            if actual != expected + num_imported:
+                raise WasmError(
+                    f"function {fb.name!r} reserved at index {actual} but "
+                    f"defined at {expected + num_imported}; a reserved "
+                    "function was never defined")
+        module.functions = [fb.finish() for fb in ordered]
+        module.types = list(self._types)
+
+        module.globals = list(self._globals)
+        if self._memory is not None:
+            module.memories = [self._memory]
+        if self._table is not None:
+            module.tables = [self._table]
+        module.exports = list(self._exports)
+        module.elements = list(self._elements)
+        module.data = list(self._data)
+        if self._start is not None:
+            module.start = self.func_index_of(self._start)
+        if validate:
+            validate_module(module)
+        return module

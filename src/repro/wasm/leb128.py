@@ -1,0 +1,92 @@
+"""LEB128 variable-length integer encoding used by the Wasm binary format.
+
+WebAssembly encodes all integers in its binary format as LEB128: unsigned
+(ULEB128) for sizes, counts and indices, and signed (SLEB128) for constant
+operands.  These helpers are shared by the encoder and the decoder and are
+deliberately defensive: the decoder enforces the spec's bound on the number
+of bytes a value of a given bit width may occupy, so that a malformed module
+fails with :class:`~repro.errors.DecodeError` rather than looping forever.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import DecodeError
+
+_U32_MAX_BYTES = 5
+_U64_MAX_BYTES = 10
+
+
+def encode_u(value: int) -> bytes:
+    """Encode a non-negative integer as ULEB128."""
+    if value < 0:
+        raise ValueError(f"ULEB128 cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def encode_s(value: int) -> bytes:
+    """Encode a signed integer as SLEB128."""
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        # Sign bit of the emitted byte is bit 6.
+        if (value == 0 and not byte & 0x40) or (value == -1 and byte & 0x40):
+            out.append(byte)
+            return bytes(out)
+        out.append(byte | 0x80)
+
+
+def decode_u(data: bytes, offset: int, max_bits: int = 32) -> Tuple[int, int]:
+    """Decode a ULEB128 integer.
+
+    Returns ``(value, new_offset)``.  ``max_bits`` bounds the accepted width
+    (32 for indices/sizes, 64 for i64 operand immediates).
+    """
+    result = 0
+    shift = 0
+    max_bytes = _U32_MAX_BYTES if max_bits == 32 else _U64_MAX_BYTES
+    for count in range(max_bytes):
+        if offset >= len(data):
+            raise DecodeError("unexpected end of ULEB128")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            if result >> max_bits:
+                raise DecodeError(f"ULEB128 value exceeds {max_bits} bits")
+            return result, offset
+        shift += 7
+    raise DecodeError(f"ULEB128 longer than {max_bytes} bytes")
+
+
+def decode_s(data: bytes, offset: int, max_bits: int = 32) -> Tuple[int, int]:
+    """Decode an SLEB128 integer.  Returns ``(value, new_offset)``."""
+    result = 0
+    shift = 0
+    max_bytes = _U32_MAX_BYTES if max_bits == 32 else _U64_MAX_BYTES
+    for count in range(max_bytes):
+        if offset >= len(data):
+            raise DecodeError("unexpected end of SLEB128")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        shift += 7
+        if not byte & 0x80:
+            if byte & 0x40 and shift < max_bits + 7:
+                result -= 1 << shift
+            lo = -(1 << (max_bits - 1))
+            hi = (1 << (max_bits - 1)) - 1
+            if not lo <= result <= hi:
+                raise DecodeError(f"SLEB128 value exceeds {max_bits} bits")
+            return result, offset
+    raise DecodeError(f"SLEB128 longer than {max_bytes} bytes")

@@ -1,0 +1,162 @@
+"""In-memory representation of a WebAssembly module.
+
+This mirrors the section structure of the binary format.  Function bodies
+are stored as flat instruction lists — tuples of ``(opcode, *immediates)``
+with the structured ``block``/``loop``/``if``/``else``/``end`` markers kept
+inline, exactly as they appear in the binary.  Each consumer (validator,
+interpreters, JIT backends) derives its own view (side tables, CFGs) from
+this flat form, just like real runtimes decode the same bytes differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .types import FuncType, GlobalType, Limits
+
+Instr = tuple  # (opcode:int, *immediates)
+
+# Export/import kind codes from the binary format.
+KIND_FUNC = 0
+KIND_TABLE = 1
+KIND_MEMORY = 2
+KIND_GLOBAL = 3
+
+KIND_NAMES = {KIND_FUNC: "func", KIND_TABLE: "table",
+              KIND_MEMORY: "memory", KIND_GLOBAL: "global"}
+
+
+@dataclass
+class Import:
+    """A single import: ``module.name`` of a given kind.
+
+    ``desc`` is a type index for functions, :class:`Limits` for
+    tables/memories, and :class:`GlobalType` for globals.
+    """
+
+    module: str
+    name: str
+    kind: int
+    desc: object
+
+
+@dataclass
+class Export:
+    """A single export, pointing at an index in the joint index space."""
+
+    name: str
+    kind: int
+    index: int
+
+
+@dataclass
+class Global:
+    """A module-defined global with a constant initializer expression."""
+
+    gtype: GlobalType
+    init: List[Instr] = field(default_factory=list)
+
+
+@dataclass
+class ElementSegment:
+    """An active element segment initializing the funcref table."""
+
+    table_index: int
+    offset: List[Instr]
+    func_indices: List[int] = field(default_factory=list)
+
+
+@dataclass
+class DataSegment:
+    """An active data segment copied into linear memory at instantiation."""
+
+    memory_index: int
+    offset: List[Instr]
+    data: bytes = b""
+
+
+@dataclass
+class Function:
+    """A module-defined function body.
+
+    ``local_decls`` lists ``(count, valtype)`` runs as in the binary format;
+    parameters are *not* included (they come from the signature).
+    """
+
+    type_index: int
+    local_decls: List[Tuple[int, int]] = field(default_factory=list)
+    body: List[Instr] = field(default_factory=list)
+    name: str = ""
+
+    def local_types(self) -> List[int]:
+        """Expand the run-length local declarations into a flat type list."""
+        out: List[int] = []
+        for count, vt in self.local_decls:
+            out.extend([vt] * count)
+        return out
+
+
+@dataclass
+class Module:
+    """A complete decoded (or built) module."""
+
+    types: List[FuncType] = field(default_factory=list)
+    imports: List[Import] = field(default_factory=list)
+    functions: List[Function] = field(default_factory=list)
+    tables: List[Limits] = field(default_factory=list)
+    memories: List[Limits] = field(default_factory=list)
+    globals: List[Global] = field(default_factory=list)
+    exports: List[Export] = field(default_factory=list)
+    start: Optional[int] = None
+    elements: List[ElementSegment] = field(default_factory=list)
+    data: List[DataSegment] = field(default_factory=list)
+    custom_sections: List[Tuple[str, bytes]] = field(default_factory=list)
+
+    # ---- index-space helpers -------------------------------------------
+    # Imports precede module definitions in each index space.
+
+    def imported(self, kind: int) -> List[Import]:
+        return [imp for imp in self.imports if imp.kind == kind]
+
+    @property
+    def num_imported_funcs(self) -> int:
+        return sum(1 for imp in self.imports if imp.kind == KIND_FUNC)
+
+    @property
+    def num_imported_globals(self) -> int:
+        return sum(1 for imp in self.imports if imp.kind == KIND_GLOBAL)
+
+    def func_type(self, func_index: int) -> FuncType:
+        """Signature of a function in the joint (imports-first) index space."""
+        imported = self.imported(KIND_FUNC)
+        if func_index < len(imported):
+            return self.types[imported[func_index].desc]
+        return self.types[self.functions[func_index - len(imported)].type_index]
+
+    def global_type(self, global_index: int) -> GlobalType:
+        imported = self.imported(KIND_GLOBAL)
+        if global_index < len(imported):
+            return imported[global_index].desc
+        return self.globals[global_index - len(imported)].gtype
+
+    @property
+    def num_funcs(self) -> int:
+        return self.num_imported_funcs + len(self.functions)
+
+    @property
+    def num_globals(self) -> int:
+        return self.num_imported_globals + len(self.globals)
+
+    def export_map(self) -> Dict[str, Export]:
+        return {e.name: e for e in self.exports}
+
+    def find_export(self, name: str, kind: int) -> Optional[Export]:
+        for e in self.exports:
+            if e.name == name and e.kind == kind:
+                return e
+        return None
+
+    def body_size(self) -> int:
+        """Total number of instructions across all defined function bodies."""
+        return sum(len(f.body) for f in self.functions)

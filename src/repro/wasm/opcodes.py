@@ -1,0 +1,400 @@
+"""The WebAssembly MVP opcode space.
+
+This module is the single source of truth for the instruction set: numeric
+opcode values, mnemonic names, immediate shapes, and type signatures.  The
+encoder, decoder, validator, interpreters, and JIT backends all key off the
+tables defined here, so adding an instruction means adding it exactly once.
+
+Instructions are represented throughout the substrate as plain tuples
+``(opcode, *immediates)`` — cheap to build, hash, and dispatch on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+# --- Control instructions -------------------------------------------------
+UNREACHABLE = 0x00
+NOP = 0x01
+BLOCK = 0x02
+LOOP = 0x03
+IF = 0x04
+ELSE = 0x05
+END = 0x0B
+BR = 0x0C
+BR_IF = 0x0D
+BR_TABLE = 0x0E
+RETURN = 0x0F
+CALL = 0x10
+CALL_INDIRECT = 0x11
+
+# --- Parametric -----------------------------------------------------------
+DROP = 0x1A
+SELECT = 0x1B
+
+# --- Variable access ------------------------------------------------------
+LOCAL_GET = 0x20
+LOCAL_SET = 0x21
+LOCAL_TEE = 0x22
+GLOBAL_GET = 0x23
+GLOBAL_SET = 0x24
+
+# --- Memory ---------------------------------------------------------------
+I32_LOAD = 0x28
+I64_LOAD = 0x29
+F32_LOAD = 0x2A
+F64_LOAD = 0x2B
+I32_LOAD8_S = 0x2C
+I32_LOAD8_U = 0x2D
+I32_LOAD16_S = 0x2E
+I32_LOAD16_U = 0x2F
+I64_LOAD8_S = 0x30
+I64_LOAD8_U = 0x31
+I64_LOAD16_S = 0x32
+I64_LOAD16_U = 0x33
+I64_LOAD32_S = 0x34
+I64_LOAD32_U = 0x35
+I32_STORE = 0x36
+I64_STORE = 0x37
+F32_STORE = 0x38
+F64_STORE = 0x39
+I32_STORE8 = 0x3A
+I32_STORE16 = 0x3B
+I64_STORE8 = 0x3C
+I64_STORE16 = 0x3D
+I64_STORE32 = 0x3E
+MEMORY_SIZE = 0x3F
+MEMORY_GROW = 0x40
+
+# --- Constants ------------------------------------------------------------
+I32_CONST = 0x41
+I64_CONST = 0x42
+F32_CONST = 0x43
+F64_CONST = 0x44
+
+# --- i32 comparisons ------------------------------------------------------
+I32_EQZ = 0x45
+I32_EQ = 0x46
+I32_NE = 0x47
+I32_LT_S = 0x48
+I32_LT_U = 0x49
+I32_GT_S = 0x4A
+I32_GT_U = 0x4B
+I32_LE_S = 0x4C
+I32_LE_U = 0x4D
+I32_GE_S = 0x4E
+I32_GE_U = 0x4F
+
+# --- i64 comparisons ------------------------------------------------------
+I64_EQZ = 0x50
+I64_EQ = 0x51
+I64_NE = 0x52
+I64_LT_S = 0x53
+I64_LT_U = 0x54
+I64_GT_S = 0x55
+I64_GT_U = 0x56
+I64_LE_S = 0x57
+I64_LE_U = 0x58
+I64_GE_S = 0x59
+I64_GE_U = 0x5A
+
+# --- f32 comparisons ------------------------------------------------------
+F32_EQ = 0x5B
+F32_NE = 0x5C
+F32_LT = 0x5D
+F32_GT = 0x5E
+F32_LE = 0x5F
+F32_GE = 0x60
+
+# --- f64 comparisons ------------------------------------------------------
+F64_EQ = 0x61
+F64_NE = 0x62
+F64_LT = 0x63
+F64_GT = 0x64
+F64_LE = 0x65
+F64_GE = 0x66
+
+# --- i32 arithmetic -------------------------------------------------------
+I32_CLZ = 0x67
+I32_CTZ = 0x68
+I32_POPCNT = 0x69
+I32_ADD = 0x6A
+I32_SUB = 0x6B
+I32_MUL = 0x6C
+I32_DIV_S = 0x6D
+I32_DIV_U = 0x6E
+I32_REM_S = 0x6F
+I32_REM_U = 0x70
+I32_AND = 0x71
+I32_OR = 0x72
+I32_XOR = 0x73
+I32_SHL = 0x74
+I32_SHR_S = 0x75
+I32_SHR_U = 0x76
+I32_ROTL = 0x77
+I32_ROTR = 0x78
+
+# --- i64 arithmetic -------------------------------------------------------
+I64_CLZ = 0x79
+I64_CTZ = 0x7A
+I64_POPCNT = 0x7B
+I64_ADD = 0x7C
+I64_SUB = 0x7D
+I64_MUL = 0x7E
+I64_DIV_S = 0x7F
+I64_DIV_U = 0x80
+I64_REM_S = 0x81
+I64_REM_U = 0x82
+I64_AND = 0x83
+I64_OR = 0x84
+I64_XOR = 0x85
+I64_SHL = 0x86
+I64_SHR_S = 0x87
+I64_SHR_U = 0x88
+I64_ROTL = 0x89
+I64_ROTR = 0x8A
+
+# --- f32 arithmetic -------------------------------------------------------
+F32_ABS = 0x8B
+F32_NEG = 0x8C
+F32_CEIL = 0x8D
+F32_FLOOR = 0x8E
+F32_TRUNC = 0x8F
+F32_NEAREST = 0x90
+F32_SQRT = 0x91
+F32_ADD = 0x92
+F32_SUB = 0x93
+F32_MUL = 0x94
+F32_DIV = 0x95
+F32_MIN = 0x96
+F32_MAX = 0x97
+F32_COPYSIGN = 0x98
+
+# --- f64 arithmetic -------------------------------------------------------
+F64_ABS = 0x99
+F64_NEG = 0x9A
+F64_CEIL = 0x9B
+F64_FLOOR = 0x9C
+F64_TRUNC = 0x9D
+F64_NEAREST = 0x9E
+F64_SQRT = 0x9F
+F64_ADD = 0xA0
+F64_SUB = 0xA1
+F64_MUL = 0xA2
+F64_DIV = 0xA3
+F64_MIN = 0xA4
+F64_MAX = 0xA5
+F64_COPYSIGN = 0xA6
+
+# --- Conversions ----------------------------------------------------------
+I32_WRAP_I64 = 0xA7
+I32_TRUNC_F32_S = 0xA8
+I32_TRUNC_F32_U = 0xA9
+I32_TRUNC_F64_S = 0xAA
+I32_TRUNC_F64_U = 0xAB
+I64_EXTEND_I32_S = 0xAC
+I64_EXTEND_I32_U = 0xAD
+I64_TRUNC_F32_S = 0xAE
+I64_TRUNC_F32_U = 0xAF
+I64_TRUNC_F64_S = 0xB0
+I64_TRUNC_F64_U = 0xB1
+F32_CONVERT_I32_S = 0xB2
+F32_CONVERT_I32_U = 0xB3
+F32_CONVERT_I64_S = 0xB4
+F32_CONVERT_I64_U = 0xB5
+F32_DEMOTE_F64 = 0xB6
+F64_CONVERT_I32_S = 0xB7
+F64_CONVERT_I32_U = 0xB8
+F64_CONVERT_I64_S = 0xB9
+F64_CONVERT_I64_U = 0xBA
+F64_PROMOTE_F32 = 0xBB
+I32_REINTERPRET_F32 = 0xBC
+I64_REINTERPRET_F64 = 0xBD
+F32_REINTERPRET_I32 = 0xBE
+F64_REINTERPRET_I64 = 0xBF
+
+# ---------------------------------------------------------------------------
+# Immediate shapes.  Every opcode maps to a short code understood by the
+# encoder/decoder:
+#   ''        no immediates
+#   'bt'      block type (0x40 or a value type byte)
+#   'u'       one u32 index (locals, globals, functions, labels)
+#   'uu'      two u32s (call_indirect: type index + table; memarg: align+offset)
+#   'tbl'     br_table: vector of labels + default
+#   'i32'     one signed 32-bit constant
+#   'i64'     one signed 64-bit constant
+#   'f32'     one IEEE single constant
+#   'f64'     one IEEE double constant
+#   'mem'     memarg (align, offset)
+#   'zero'    single reserved zero byte (memory.size / memory.grow)
+# ---------------------------------------------------------------------------
+
+IMMEDIATES: Dict[int, str] = {
+    UNREACHABLE: "", NOP: "",
+    BLOCK: "bt", LOOP: "bt", IF: "bt", ELSE: "", END: "",
+    BR: "u", BR_IF: "u", BR_TABLE: "tbl", RETURN: "",
+    CALL: "u", CALL_INDIRECT: "uu",
+    DROP: "", SELECT: "",
+    LOCAL_GET: "u", LOCAL_SET: "u", LOCAL_TEE: "u",
+    GLOBAL_GET: "u", GLOBAL_SET: "u",
+    MEMORY_SIZE: "zero", MEMORY_GROW: "zero",
+    I32_CONST: "i32", I64_CONST: "i64", F32_CONST: "f32", F64_CONST: "f64",
+}
+for _op in range(I32_LOAD, I64_STORE32 + 1):
+    IMMEDIATES[_op] = "mem"
+for _op in list(range(I32_EQZ, F64_GE + 1)) + list(range(I32_CLZ, F64_REINTERPRET_I64 + 1)):
+    IMMEDIATES[_op] = ""
+
+# ---------------------------------------------------------------------------
+# Value-type signatures for the "simple" (non-control, non-variable)
+# instructions, used by the validator: maps opcode -> (params, results)
+# where types are the value-type bytes from repro.wasm.types.
+# ---------------------------------------------------------------------------
+
+I32, I64, F32, F64 = 0x7F, 0x7E, 0x7D, 0x7C
+
+_UN = lambda t: ((t,), (t,))
+_BIN = lambda t: ((t, t), (t,))
+_CMP = lambda t: ((t, t), (I32,))
+_TEST = lambda t: ((t,), (I32,))
+_CVT = lambda src, dst: ((src,), (dst,))
+
+SIGNATURES: Dict[int, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
+
+for _op in (I32_CLZ, I32_CTZ, I32_POPCNT):
+    SIGNATURES[_op] = _UN(I32)
+for _op in range(I32_ADD, I32_ROTR + 1):
+    SIGNATURES[_op] = _BIN(I32)
+for _op in (I64_CLZ, I64_CTZ, I64_POPCNT):
+    SIGNATURES[_op] = _UN(I64)
+for _op in range(I64_ADD, I64_ROTR + 1):
+    SIGNATURES[_op] = _BIN(I64)
+for _op in range(F32_ABS, F32_SQRT + 1):
+    SIGNATURES[_op] = _UN(F32)
+for _op in range(F32_ADD, F32_COPYSIGN + 1):
+    SIGNATURES[_op] = _BIN(F32)
+for _op in range(F64_ABS, F64_SQRT + 1):
+    SIGNATURES[_op] = _UN(F64)
+for _op in range(F64_ADD, F64_COPYSIGN + 1):
+    SIGNATURES[_op] = _BIN(F64)
+
+SIGNATURES[I32_EQZ] = _TEST(I32)
+for _op in range(I32_EQ, I32_GE_U + 1):
+    SIGNATURES[_op] = _CMP(I32)
+SIGNATURES[I64_EQZ] = _TEST(I64)
+for _op in range(I64_EQ, I64_GE_U + 1):
+    SIGNATURES[_op] = _CMP(I64)
+for _op in range(F32_EQ, F32_GE + 1):
+    SIGNATURES[_op] = _CMP(F32)
+for _op in range(F64_EQ, F64_GE + 1):
+    SIGNATURES[_op] = _CMP(F64)
+
+SIGNATURES[I32_CONST] = ((), (I32,))
+SIGNATURES[I64_CONST] = ((), (I64,))
+SIGNATURES[F32_CONST] = ((), (F32,))
+SIGNATURES[F64_CONST] = ((), (F64,))
+
+SIGNATURES[I32_WRAP_I64] = _CVT(I64, I32)
+SIGNATURES[I32_TRUNC_F32_S] = _CVT(F32, I32)
+SIGNATURES[I32_TRUNC_F32_U] = _CVT(F32, I32)
+SIGNATURES[I32_TRUNC_F64_S] = _CVT(F64, I32)
+SIGNATURES[I32_TRUNC_F64_U] = _CVT(F64, I32)
+SIGNATURES[I64_EXTEND_I32_S] = _CVT(I32, I64)
+SIGNATURES[I64_EXTEND_I32_U] = _CVT(I32, I64)
+SIGNATURES[I64_TRUNC_F32_S] = _CVT(F32, I64)
+SIGNATURES[I64_TRUNC_F32_U] = _CVT(F32, I64)
+SIGNATURES[I64_TRUNC_F64_S] = _CVT(F64, I64)
+SIGNATURES[I64_TRUNC_F64_U] = _CVT(F64, I64)
+SIGNATURES[F32_CONVERT_I32_S] = _CVT(I32, F32)
+SIGNATURES[F32_CONVERT_I32_U] = _CVT(I32, F32)
+SIGNATURES[F32_CONVERT_I64_S] = _CVT(I64, F32)
+SIGNATURES[F32_CONVERT_I64_U] = _CVT(I64, F32)
+SIGNATURES[F32_DEMOTE_F64] = _CVT(F64, F32)
+SIGNATURES[F64_CONVERT_I32_S] = _CVT(I32, F64)
+SIGNATURES[F64_CONVERT_I32_U] = _CVT(I32, F64)
+SIGNATURES[F64_CONVERT_I64_S] = _CVT(I64, F64)
+SIGNATURES[F64_CONVERT_I64_U] = _CVT(I64, F64)
+SIGNATURES[F64_PROMOTE_F32] = _CVT(F32, F64)
+SIGNATURES[I32_REINTERPRET_F32] = _CVT(F32, I32)
+SIGNATURES[I64_REINTERPRET_F64] = _CVT(F64, I64)
+SIGNATURES[F32_REINTERPRET_I32] = _CVT(I32, F32)
+SIGNATURES[F64_REINTERPRET_I64] = _CVT(I64, F64)
+
+# Memory access signatures: (address:i32 [, value]) -> [loaded]
+_LOAD_TYPE = {
+    I32_LOAD: I32, I64_LOAD: I64, F32_LOAD: F32, F64_LOAD: F64,
+    I32_LOAD8_S: I32, I32_LOAD8_U: I32, I32_LOAD16_S: I32, I32_LOAD16_U: I32,
+    I64_LOAD8_S: I64, I64_LOAD8_U: I64, I64_LOAD16_S: I64, I64_LOAD16_U: I64,
+    I64_LOAD32_S: I64, I64_LOAD32_U: I64,
+}
+_STORE_TYPE = {
+    I32_STORE: I32, I64_STORE: I64, F32_STORE: F32, F64_STORE: F64,
+    I32_STORE8: I32, I32_STORE16: I32,
+    I64_STORE8: I64, I64_STORE16: I64, I64_STORE32: I64,
+}
+for _op, _t in _LOAD_TYPE.items():
+    SIGNATURES[_op] = ((I32,), (_t,))
+for _op, _t in _STORE_TYPE.items():
+    SIGNATURES[_op] = ((I32, _t), ())
+SIGNATURES[MEMORY_SIZE] = ((), (I32,))
+SIGNATURES[MEMORY_GROW] = ((I32,), (I32,))
+
+# Width in bytes of each memory access, used by traps and the cache model.
+ACCESS_WIDTH: Dict[int, int] = {
+    I32_LOAD: 4, I64_LOAD: 8, F32_LOAD: 4, F64_LOAD: 8,
+    I32_LOAD8_S: 1, I32_LOAD8_U: 1, I32_LOAD16_S: 2, I32_LOAD16_U: 2,
+    I64_LOAD8_S: 1, I64_LOAD8_U: 1, I64_LOAD16_S: 2, I64_LOAD16_U: 2,
+    I64_LOAD32_S: 4, I64_LOAD32_U: 4,
+    I32_STORE: 4, I64_STORE: 8, F32_STORE: 4, F64_STORE: 8,
+    I32_STORE8: 1, I32_STORE16: 2,
+    I64_STORE8: 1, I64_STORE16: 2, I64_STORE32: 4,
+}
+
+IS_LOAD = frozenset(_LOAD_TYPE)
+IS_STORE = frozenset(_STORE_TYPE)
+
+# ---------------------------------------------------------------------------
+# Mnemonic names, for disassembly, diagnostics, and the WAT printer.
+# ---------------------------------------------------------------------------
+
+NAMES: Dict[int, str] = {}
+
+# Non-numeric instructions whose WAT mnemonics keep their underscores or use
+# dots in a non-derivable way.
+_NAME_OVERRIDES = {
+    BR: "br", BR_IF: "br_if", BR_TABLE: "br_table",
+    CALL: "call", CALL_INDIRECT: "call_indirect",
+    LOCAL_GET: "local.get", LOCAL_SET: "local.set", LOCAL_TEE: "local.tee",
+    GLOBAL_GET: "global.get", GLOBAL_SET: "global.set",
+    MEMORY_SIZE: "memory.size", MEMORY_GROW: "memory.grow",
+}
+
+
+def _register_names() -> None:
+    prefixes = {"I32": "i32.", "I64": "i64.", "F32": "f32.", "F64": "f64."}
+    for name, value in list(globals().items()):
+        if not isinstance(value, int) or name.startswith("_"):
+            continue
+        if name in ("I32", "I64", "F32", "F64"):
+            continue
+        mnem = name.lower()
+        for pref, dotted in prefixes.items():
+            if name.startswith(pref + "_"):
+                mnem = dotted + name[len(pref) + 1:].lower()
+                break
+        if value not in NAMES:
+            NAMES[value] = mnem
+    NAMES.update(_NAME_OVERRIDES)
+
+
+_register_names()
+
+
+def name_of(opcode: int) -> str:
+    """Human-readable mnemonic for an opcode (hex fallback for unknowns)."""
+    return NAMES.get(opcode, f"0x{opcode:02x}")
+
+
+def is_known(opcode: int) -> bool:
+    """True if the opcode is part of the supported MVP subset."""
+    return opcode in IMMEDIATES

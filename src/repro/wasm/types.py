@@ -1,0 +1,110 @@
+"""WebAssembly type machinery: value types, function types, limits.
+
+Value types are carried as their binary-format byte values (``0x7F`` for
+i32 and so on) because every layer — encoder, validator, runtimes — works
+with those bytes directly; :class:`ValType` provides names and helpers on
+top of the raw codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..errors import ValidationError
+
+I32 = 0x7F
+I64 = 0x7E
+F32 = 0x7D
+F64 = 0x7C
+FUNCREF = 0x70
+VOID = 0x40  # pseudo "empty" block type
+
+_NAMES = {I32: "i32", I64: "i64", F32: "f32", F64: "f64",
+          FUNCREF: "funcref", VOID: "void"}
+
+VALUE_TYPES = frozenset((I32, I64, F32, F64))
+
+
+def type_name(vt: int) -> str:
+    """Printable name for a value-type byte."""
+    return _NAMES.get(vt, f"0x{vt:02x}")
+
+
+def is_value_type(vt: int) -> bool:
+    return vt in VALUE_TYPES
+
+
+def is_float_type(vt: int) -> bool:
+    return vt in (F32, F64)
+
+
+def is_int_type(vt: int) -> bool:
+    return vt in (I32, I64)
+
+
+def byte_width(vt: int) -> int:
+    """Natural width in bytes of a value of this type."""
+    if vt in (I32, F32):
+        return 4
+    if vt in (I64, F64):
+        return 8
+    raise ValidationError(f"no width for type {type_name(vt)}")
+
+
+def zero_value(vt: int):
+    """The spec-defined default value used to initialize locals."""
+    return 0.0 if vt in (F32, F64) else 0
+
+
+@dataclass(frozen=True)
+class FuncType:
+    """A function signature: parameter and result value types.
+
+    The MVP allows at most one result, which is all this reproduction needs;
+    the validator enforces it at module boundaries.
+    """
+
+    params: Tuple[int, ...] = ()
+    results: Tuple[int, ...] = ()
+
+    def __post_init__(self):
+        for vt in self.params + self.results:
+            if not is_value_type(vt):
+                raise ValidationError(f"invalid value type 0x{vt:02x} in signature")
+        if len(self.results) > 1:
+            raise ValidationError("multi-value results are not supported (MVP)")
+
+    def __str__(self) -> str:
+        ps = " ".join(type_name(p) for p in self.params) or "()"
+        rs = " ".join(type_name(r) for r in self.results) or "()"
+        return f"[{ps}] -> [{rs}]"
+
+
+@dataclass(frozen=True)
+class Limits:
+    """Memory/table limits in units of pages or elements."""
+
+    minimum: int
+    maximum: Optional[int] = None
+
+    def __post_init__(self):
+        if self.minimum < 0:
+            raise ValidationError("limits minimum must be non-negative")
+        if self.maximum is not None and self.maximum < self.minimum:
+            raise ValidationError("limits maximum below minimum")
+
+
+@dataclass(frozen=True)
+class GlobalType:
+    """Type of a global: value type plus mutability."""
+
+    valtype: int
+    mutable: bool = False
+
+    def __post_init__(self):
+        if not is_value_type(self.valtype):
+            raise ValidationError(f"invalid global type 0x{self.valtype:02x}")
+
+
+PAGE_SIZE = 65536

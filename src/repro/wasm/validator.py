@@ -1,0 +1,325 @@
+"""Module validation: the spec's type-checking algorithm.
+
+Implements the control-frame / operand-stack validation algorithm from the
+WebAssembly core specification (appendix "Validation Algorithm"), including
+unreachable-code polymorphism.  All five runtime models validate before
+executing, mirroring the real runtimes, and the interpreters additionally
+rely on validation guarantees (e.g. balanced control structure) for their
+pre-computed side tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import ValidationError
+from . import opcodes as op
+from .module import (KIND_FUNC, KIND_GLOBAL, KIND_MEMORY, KIND_TABLE,
+                     Function, Instr, Module)
+from .types import (F32, F64, I32, I64, VOID, FuncType, is_value_type,
+                    type_name)
+
+_UNKNOWN = -1  # polymorphic stack slot produced by unreachable code
+
+
+@dataclass
+class _Frame:
+    opcode: int                 # BLOCK / LOOP / IF or 0 for the function body
+    start_types: tuple
+    end_types: tuple
+    height: int
+    unreachable: bool = False
+
+    def label_types(self) -> tuple:
+        """Types a branch to this frame must provide (loop: params)."""
+        return self.start_types if self.opcode == op.LOOP else self.end_types
+
+
+class _BodyValidator:
+    """Validates a single instruction sequence."""
+
+    def __init__(self, module: Module, locals_: List[int],
+                 result_types: tuple, where: str):
+        self.module = module
+        self.locals = locals_
+        self.where = where
+        self.stack: List[int] = []
+        self.frames: List[_Frame] = [
+            _Frame(0, (), result_types, 0)
+        ]
+
+    # -- stack primitives -------------------------------------------------
+
+    def _fail(self, message: str) -> None:
+        raise ValidationError(f"{self.where}: {message}")
+
+    def push(self, vt: int) -> None:
+        self.stack.append(vt)
+
+    def pop(self, expect: Optional[int] = None) -> int:
+        frame = self.frames[-1]
+        if len(self.stack) == frame.height:
+            if frame.unreachable:
+                return expect if expect is not None else _UNKNOWN
+            self._fail("operand stack underflow")
+        actual = self.stack.pop()
+        if expect is not None and actual != expect and actual != _UNKNOWN:
+            self._fail(f"type mismatch: expected {type_name(expect)}, "
+                       f"got {type_name(actual)}")
+        return actual
+
+    def push_many(self, types: tuple) -> None:
+        for vt in types:
+            self.push(vt)
+
+    def pop_many(self, types: tuple) -> None:
+        for vt in reversed(types):
+            self.pop(vt)
+
+    # -- control frames ----------------------------------------------------
+
+    def push_frame(self, opcode: int, start: tuple, end: tuple) -> None:
+        self.frames.append(_Frame(opcode, start, end, len(self.stack)))
+        self.push_many(start)
+
+    def pop_frame(self) -> _Frame:
+        frame = self.frames[-1]
+        self.pop_many(frame.end_types)
+        if len(self.stack) != frame.height and not frame.unreachable:
+            self._fail("values remaining on stack at end of block")
+        del self.stack[frame.height:]
+        self.frames.pop()
+        return frame
+
+    def set_unreachable(self) -> None:
+        frame = self.frames[-1]
+        del self.stack[frame.height:]
+        frame.unreachable = True
+
+    def frame_at(self, label: int) -> _Frame:
+        if label >= len(self.frames):
+            self._fail(f"branch label {label} out of range")
+        return self.frames[-1 - label]
+
+    # -- driver --------------------------------------------------------------
+
+    def run(self, body: List[Instr]) -> None:
+        for ins in body:
+            self.instr(ins)
+        # Implicit end of function body.
+        frame = self.frames[-1]
+        if len(self.frames) != 1:
+            self._fail("unbalanced control structure (missing end)")
+        self.pop_many(frame.end_types)
+        if len(self.stack) != 0 and not frame.unreachable:
+            self._fail("values remaining on stack at function end")
+
+    def instr(self, ins: Instr) -> None:
+        o = ins[0]
+        module = self.module
+
+        if o == op.UNREACHABLE:
+            self.set_unreachable()
+        elif o == op.NOP:
+            pass
+        elif o in (op.BLOCK, op.LOOP):
+            bt = ins[1]
+            results = () if bt == VOID else (bt,)
+            self.push_frame(o, (), results)
+        elif o == op.IF:
+            self.pop(I32)
+            bt = ins[1]
+            results = () if bt == VOID else (bt,)
+            self.push_frame(o, (), results)
+        elif o == op.ELSE:
+            frame = self.frames[-1]
+            if frame.opcode != op.IF:
+                self._fail("else without matching if")
+            self.pop_frame()
+            # Re-open as the else arm with the same result types.
+            self.push_frame(op.ELSE, frame.start_types, frame.end_types)
+        elif o == op.END:
+            if len(self.frames) <= 1:
+                self._fail("end without matching block")
+            frame = self.frames[-1]
+            if frame.opcode == op.IF and frame.end_types:
+                self._fail("if with result type requires else arm")
+            self.pop_frame()
+            self.push_many(frame.end_types)
+        elif o == op.BR:
+            frame = self.frame_at(ins[1])
+            self.pop_many(frame.label_types())
+            self.set_unreachable()
+        elif o == op.BR_IF:
+            self.pop(I32)
+            frame = self.frame_at(ins[1])
+            types = frame.label_types()
+            self.pop_many(types)
+            self.push_many(types)
+        elif o == op.BR_TABLE:
+            self.pop(I32)
+            default_frame = self.frame_at(ins[2])
+            expected = default_frame.label_types()
+            for label in ins[1]:
+                if self.frame_at(label).label_types() != expected:
+                    self._fail("br_table label type mismatch")
+            self.pop_many(expected)
+            self.set_unreachable()
+        elif o == op.RETURN:
+            self.pop_many(self.frames[0].end_types)
+            self.set_unreachable()
+        elif o == op.CALL:
+            index = ins[1]
+            if index >= module.num_funcs:
+                self._fail(f"call to undefined function {index}")
+            ftype = module.func_type(index)
+            self.pop_many(ftype.params)
+            self.push_many(ftype.results)
+        elif o == op.CALL_INDIRECT:
+            type_index = ins[1]
+            if type_index >= len(module.types):
+                self._fail(f"call_indirect with bad type index {type_index}")
+            if not module.tables and not module.imported(KIND_TABLE):
+                self._fail("call_indirect without a table")
+            self.pop(I32)
+            ftype = module.types[type_index]
+            self.pop_many(ftype.params)
+            self.push_many(ftype.results)
+        elif o == op.DROP:
+            self.pop()
+        elif o == op.SELECT:
+            self.pop(I32)
+            t1 = self.pop()
+            t2 = self.pop()
+            if t1 != t2 and _UNKNOWN not in (t1, t2):
+                self._fail("select operand types differ")
+            self.push(t2 if t1 == _UNKNOWN else t1)
+        elif o == op.LOCAL_GET:
+            self.push(self._local_type(ins[1]))
+        elif o == op.LOCAL_SET:
+            self.pop(self._local_type(ins[1]))
+        elif o == op.LOCAL_TEE:
+            vt = self._local_type(ins[1])
+            self.pop(vt)
+            self.push(vt)
+        elif o == op.GLOBAL_GET:
+            self.push(self._global_type(ins[1]).valtype)
+        elif o == op.GLOBAL_SET:
+            gt = self._global_type(ins[1])
+            if not gt.mutable:
+                self._fail(f"global.set on immutable global {ins[1]}")
+            self.pop(gt.valtype)
+        elif o in op.SIGNATURES:
+            if o in op.ACCESS_WIDTH:
+                self._check_memarg(ins, o)
+            params, results = op.SIGNATURES[o]
+            self.pop_many(params)
+            self.push_many(results)
+        elif o in (op.MEMORY_SIZE, op.MEMORY_GROW):  # pragma: no cover
+            pass  # covered by SIGNATURES above
+        else:
+            self._fail(f"unknown opcode 0x{o:02x}")
+
+    def _local_type(self, index: int) -> int:
+        if index >= len(self.locals):
+            self._fail(f"local index {index} out of range")
+        return self.locals[index]
+
+    def _global_type(self, index: int):
+        if index >= self.module.num_globals:
+            self._fail(f"global index {index} out of range")
+        return self.module.global_type(index)
+
+    def _check_memarg(self, ins: Instr, o: int) -> None:
+        if not self.module.memories and not self.module.imported(KIND_MEMORY):
+            self._fail("memory instruction without a memory")
+        align = ins[1]
+        width = op.ACCESS_WIDTH[o]
+        if (1 << align) > width:
+            self._fail(f"alignment 2**{align} larger than access width {width}")
+
+
+def _validate_const_expr(module: Module, expr: List[Instr],
+                         expected: int, where: str) -> None:
+    """Constant expressions: a single const or an imported-global get."""
+    if len(expr) != 1:
+        raise ValidationError(f"{where}: constant expression must be a "
+                              "single instruction")
+    ins = expr[0]
+    const_types = {op.I32_CONST: I32, op.I64_CONST: I64,
+                   op.F32_CONST: F32, op.F64_CONST: F64}
+    if ins[0] in const_types:
+        if const_types[ins[0]] != expected:
+            raise ValidationError(f"{where}: initializer type mismatch")
+        return
+    if ins[0] == op.GLOBAL_GET:
+        if ins[1] >= module.num_imported_globals:
+            raise ValidationError(f"{where}: initializer may only reference "
+                                  "imported globals")
+        gt = module.global_type(ins[1])
+        if gt.mutable or gt.valtype != expected:
+            raise ValidationError(f"{where}: initializer global type mismatch")
+        return
+    raise ValidationError(f"{where}: non-constant initializer instruction "
+                          f"{op.name_of(ins[0])}")
+
+
+def validate_module(module: Module) -> None:
+    """Validate a whole module; raises :class:`ValidationError` on failure."""
+    num_memories = len(module.memories) + len(module.imported(KIND_MEMORY))
+    num_tables = len(module.tables) + len(module.imported(KIND_TABLE))
+    if num_memories > 1:
+        raise ValidationError("at most one memory is allowed (MVP)")
+    if num_tables > 1:
+        raise ValidationError("at most one table is allowed (MVP)")
+
+    for imp in module.imports:
+        if imp.kind == KIND_FUNC and imp.desc >= len(module.types):
+            raise ValidationError(
+                f"import {imp.module}.{imp.name}: type index out of range")
+
+    for i, func in enumerate(module.functions):
+        if func.type_index >= len(module.types):
+            raise ValidationError(f"function {i}: type index out of range")
+        ftype = module.types[func.type_index]
+        locals_ = list(ftype.params) + func.local_types()
+        where = func.name or f"func[{i + module.num_imported_funcs}]"
+        _BodyValidator(module, locals_, ftype.results, where).run(func.body)
+
+    for i, glob in enumerate(module.globals):
+        _validate_const_expr(module, glob.init, glob.gtype.valtype,
+                             f"global[{i}]")
+
+    seen_exports = set()
+    limits = {KIND_FUNC: module.num_funcs,
+              KIND_TABLE: num_tables,
+              KIND_MEMORY: num_memories,
+              KIND_GLOBAL: module.num_globals}
+    for export in module.exports:
+        if export.name in seen_exports:
+            raise ValidationError(f"duplicate export name {export.name!r}")
+        seen_exports.add(export.name)
+        if export.index >= limits[export.kind]:
+            raise ValidationError(f"export {export.name!r}: index out of range")
+
+    if module.start is not None:
+        if module.start >= module.num_funcs:
+            raise ValidationError("start function index out of range")
+        ftype = module.func_type(module.start)
+        if ftype.params or ftype.results:
+            raise ValidationError("start function must have type [] -> []")
+
+    for i, seg in enumerate(module.elements):
+        if seg.table_index >= num_tables:
+            raise ValidationError(f"element segment {i}: no such table")
+        _validate_const_expr(module, seg.offset, I32, f"elem[{i}].offset")
+        for func_index in seg.func_indices:
+            if func_index >= module.num_funcs:
+                raise ValidationError(
+                    f"element segment {i}: function index out of range")
+
+    for i, seg in enumerate(module.data):
+        if seg.memory_index >= num_memories:
+            raise ValidationError(f"data segment {i}: no such memory")
+        _validate_const_expr(module, seg.offset, I32, f"data[{i}].offset")

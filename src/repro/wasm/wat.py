@@ -1,0 +1,101 @@
+"""A WAT-flavoured disassembler for diagnostics and tests.
+
+Not a full WebAssembly text-format implementation — it prints modules in a
+readable, stable, folded-free form that the test suite and examples use to
+inspect compiler output.  The output deliberately mirrors real ``wasm-dis``
+layout: one instruction per line with nesting indentation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import opcodes as op
+from .module import KIND_NAMES, Instr, Module
+from .types import type_name
+
+
+def format_instr(ins: Instr) -> str:
+    """Render a single instruction tuple as text."""
+    opcode = ins[0]
+    name = op.name_of(opcode)
+    shape = op.IMMEDIATES.get(opcode, "")
+    if shape == "":
+        return name
+    if shape == "bt":
+        if ins[1] == 0x40:
+            return name
+        return f"{name} (result {type_name(ins[1])})"
+    if shape == "tbl":
+        labels = " ".join(str(l) for l in ins[1])
+        return f"{name} {labels} {ins[2]}".replace("  ", " ")
+    if shape == "mem":
+        align, offset = ins[1], ins[2]
+        parts = [name]
+        if offset:
+            parts.append(f"offset={offset}")
+        parts.append(f"align={1 << align}")
+        return " ".join(parts)
+    if shape in ("i32", "i64"):
+        return f"{name} {ins[1]}"
+    if shape in ("f32", "f64"):
+        return f"{name} {ins[1]!r}"
+    if shape == "zero":
+        return name
+    return " ".join([name] + [str(x) for x in ins[1:]])
+
+
+def format_body(body: List[Instr], indent: str = "    ") -> str:
+    """Render a function body with structural indentation."""
+    lines = []
+    depth = 0
+    for ins in body:
+        opcode = ins[0]
+        if opcode in (op.END, op.ELSE):
+            depth = max(0, depth - 1)
+        lines.append(indent + "  " * depth + format_instr(ins))
+        if opcode in (op.BLOCK, op.LOOP, op.IF, op.ELSE):
+            depth += 1
+    return "\n".join(lines)
+
+
+def module_to_wat(module: Module) -> str:
+    """Render a whole module in WAT-ish form."""
+    lines = ["(module"]
+    for i, ftype in enumerate(module.types):
+        lines.append(f"  (type $t{i} (func {ftype}))")
+    for imp in module.imports:
+        kind = KIND_NAMES[imp.kind]
+        lines.append(f'  (import "{imp.module}" "{imp.name}" ({kind} {imp.desc}))')
+    for i, mem in enumerate(module.memories):
+        mx = f" {mem.maximum}" if mem.maximum is not None else ""
+        lines.append(f"  (memory {mem.minimum}{mx})")
+    for i, tbl in enumerate(module.tables):
+        mx = f" {tbl.maximum}" if tbl.maximum is not None else ""
+        lines.append(f"  (table {tbl.minimum}{mx} funcref)")
+    for i, glob in enumerate(module.globals):
+        mut = "mut " if glob.gtype.mutable else ""
+        init = format_instr(glob.init[0]) if glob.init else ""
+        lines.append(f"  (global $g{i} ({mut}{type_name(glob.gtype.valtype)}) "
+                     f"({init}))")
+    for i, func in enumerate(module.functions):
+        index = i + module.num_imported_funcs
+        ftype = module.types[func.type_index]
+        label = func.name or f"f{index}"
+        lines.append(f"  (func ${label} {ftype}")
+        locals_ = func.local_types()
+        if locals_:
+            lines.append("    (local " +
+                         " ".join(type_name(t) for t in locals_) + ")")
+        lines.append(format_body(func.body))
+        lines.append("  )")
+    for export in module.exports:
+        kind = KIND_NAMES[export.kind]
+        lines.append(f'  (export "{export.name}" ({kind} {export.index}))')
+    for seg in module.data:
+        preview = seg.data[:16]
+        suffix = "..." if len(seg.data) > 16 else ""
+        lines.append(f"  (data ({format_instr(seg.offset[0])}) "
+                     f"{preview!r}{suffix} ;; {len(seg.data)} bytes)")
+    lines.append(")")
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Shared fixtures: compile-and-run helpers used across the test suite."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.native import nativecc, run_native
+from repro.runtimes import make_runtime
+from repro.wasi import VirtualFS
+
+ALL_RUNTIMES = ("wasmtime", "wavm", "wasmer", "wasm3", "wamr")
+
+
+def run_everywhere(source, opt_level=2, defines=None, files=None,
+                   runtimes=ALL_RUNTIMES):
+    """Compile once, run native + the given runtimes; return dict of results."""
+    results = {}
+    binary = nativecc(source, opt_level=opt_level, defines=defines)
+    results["native"] = run_native(binary, fs=_fs(files))
+    artifact = compile_source(source, opt_level=opt_level, defines=defines)
+    for name in runtimes:
+        results[name] = make_runtime(name).run(artifact.wasm_bytes,
+                                               fs=_fs(files))
+    return results
+
+
+def _fs(files):
+    fs = VirtualFS()
+    for path, data in (files or {}).items():
+        fs.add_file(path, data)
+    return fs
+
+
+def run_wamr(source, opt_level=2, defines=None, files=None):
+    """Cheapest single-runtime execution for semantics tests."""
+    artifact = compile_source(source, opt_level=opt_level, defines=defines)
+    return make_runtime("wamr").run(artifact.wasm_bytes, fs=_fs(files))
+
+
+def run_native_quick(source, opt_level=2, defines=None, files=None):
+    binary = nativecc(source, opt_level=opt_level, defines=defines)
+    return run_native(binary, fs=_fs(files))
+
+
+@pytest.fixture
+def everywhere():
+    return run_everywhere

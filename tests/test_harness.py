@@ -1,0 +1,147 @@
+"""Tests for the harness: runner caching, metrics, report rendering, CLI."""
+
+import os
+
+import pytest
+
+from repro.errors import HarnessError
+from repro.harness import ENGINES, Harness, Table, geomean
+from repro.harness.cli import main as cli_main
+from repro.harness.experiments import EXPERIMENTS
+
+SUBSET = ["quicksort", "gemm"]
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return Harness(size="test", benchmarks=SUBSET)
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_ignores_nonpositive(self):
+        assert geomean([4.0, 0.0]) == pytest.approx(4.0)
+
+
+class TestHarness:
+    def test_run_caches_results(self, harness):
+        first = harness.run("gemm", "native")
+        second = harness.run("gemm", "native")
+        assert first is second
+
+    def test_runs_are_deterministic(self):
+        h1 = Harness(size="test", benchmarks=["quicksort"])
+        h2 = Harness(size="test", benchmarks=["quicksort"])
+        r1 = h1.run("quicksort", "wamr")
+        r2 = h2.run("quicksort", "wamr")
+        assert r1.stdout == r2.stdout
+        assert r1.counters == r2.counters
+        assert r1.mrss_bytes == r2.mrss_bytes
+
+    def test_normalized_metric(self, harness):
+        value = harness.normalized("gemm", "wamr", "instructions")
+        assert value > 2.0
+
+    def test_verify_outputs(self, harness):
+        harness.verify_outputs("quicksort", engines=("native", "wamr"))
+
+    def test_aot_image_cached(self, harness):
+        img1, s1 = harness.aot_image("gemm", "wasmtime")
+        img2, s2 = harness.aot_image("gemm", "wasmtime")
+        assert img1 is img2 and s1 == s2
+
+    def test_native_rejects_aot(self, harness):
+        with pytest.raises(HarnessError):
+            harness.run("gemm", "native", aot=True)
+
+    def test_grouped_rows_structure(self):
+        h = Harness(size="test",
+                    benchmarks=["gemm", "quicksort", "whitedb"])
+        rows = dict(h.grouped_rows())
+        assert rows["PolyBench"] == ["gemm"]
+        assert rows["JetStream2"] == ["quicksort"]
+        assert rows["whitedb"] == ["whitedb"]
+
+    def test_unknown_size_rejected(self):
+        h = Harness(size="galactic", benchmarks=["gemm"])
+        with pytest.raises(KeyError):
+            h.run("gemm", "native")
+
+    def test_opt_level_variants_cached_separately(self, harness):
+        o2 = harness.run("quicksort", "native", opt=2)
+        o0 = harness.run("quicksort", "native", opt=0)
+        assert o0.counters["instructions"] > o2.counters["instructions"]
+        assert o0.stdout == o2.stdout
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table("Figure X", "demo", ["workload", "a", "b"])
+        t.add("row1", 1.234, 56789.0)
+        t.add("row2", 0.5, 2.0)
+        t.note("a note")
+        text = t.render()
+        assert "Figure X" in text
+        assert "row1" in text and "56,789" in text
+        assert "note: a note" in text
+
+    def test_cell_lookup(self):
+        t = Table("T", "demo", ["w", "x"])
+        t.add("r", 3.0)
+        assert t.cell("r", "x") == 3.0
+        with pytest.raises(KeyError):
+            t.cell("missing", "x")
+
+    def test_column_values_skip(self):
+        t = Table("T", "demo", ["w", "x"])
+        t.add("a", 1.0)
+        t.add("GEOMEAN", 9.0)
+        assert t.column_values("x", skip_labels=("GEOMEAN",)) == [1.0]
+
+
+class TestExperimentsRegistry:
+    def test_all_paper_artifacts_present(self):
+        expected = {"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+                    "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+                    "fig14", "table4", "table5"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_metric_experiments_share_runs(self, harness):
+        # figs 6-10 must reuse fig1's cached runs: no new configurations.
+        from repro.harness.experiments import arch
+        arch.fig6(harness)
+        cached = len(harness._result_cache)
+        arch.fig7(harness)
+        arch.fig9(harness)
+        arch.fig10(harness)
+        assert len(harness._result_cache) == cached
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gnuchess" in out and "polybench" in out
+
+    def test_run_single(self, capsys):
+        code = cli_main(["run", "quicksort", "--runtime", "wamr",
+                         "--size", "test"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "quicksort checksum" in out
+        assert "IPC" in out
+
+    def test_experiment_with_subset_and_out(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "results")
+        code = cli_main(["fig6", "--size", "test",
+                         "--benchmarks", "quicksort,gemm",
+                         "--out", out_dir])
+        assert code == 0
+        assert os.path.exists(os.path.join(out_dir, "fig6.txt"))
+        text = open(os.path.join(out_dir, "fig6.txt")).read()
+        assert "Figure 6" in text

@@ -1,0 +1,298 @@
+"""Unit and property tests for the hardware performance model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw import (BranchConfig, BranchPredictor, Cache, CacheConfig,
+                      CacheHierarchy, CPUModel, MachineConfig,
+                      MemoryAccountant, PerfCounters, PAGE_BYTES)
+from repro.hw.counters import CacheLevelStats
+
+
+class TestCache:
+    def _mk(self, size=1024, ways=2, line=64):
+        stats = CacheLevelStats()
+        return Cache(CacheConfig("T", size, ways, line, miss_penalty=10),
+                     stats), stats
+
+    def test_cold_miss_then_hit(self):
+        cache, stats = self._mk()
+        assert cache.access_line(5) == 10  # cold miss
+        assert cache.access_line(5) == 0   # hit
+        assert stats.refs == 2 and stats.misses == 1
+
+    def test_lru_eviction(self):
+        cache, stats = self._mk(size=2 * 64, ways=2)  # one set, two ways
+        assert cache.num_sets == 1
+        cache.access_line(1)
+        cache.access_line(2)
+        cache.access_line(1)          # make 2 the LRU way
+        cache.access_line(3)          # evicts 2
+        assert cache.contains_line(1)
+        assert not cache.contains_line(2)
+        assert cache.contains_line(3)
+
+    def test_set_indexing_no_conflict(self):
+        cache, stats = self._mk(size=4 * 64, ways=1)  # 4 direct-mapped sets
+        cache.access_line(0)
+        cache.access_line(1)
+        assert cache.contains_line(0) and cache.contains_line(1)
+        cache.access_line(4)  # maps to set 0, evicts line 0
+        assert not cache.contains_line(0)
+
+    def test_miss_propagates_to_next_level(self):
+        l2s = CacheLevelStats()
+        l2 = Cache(CacheConfig("L2", 4096, 4, miss_penalty=30), l2s)
+        l1s = CacheLevelStats()
+        l1 = Cache(CacheConfig("L1", 512, 2, miss_penalty=10), l1s, l2)
+        assert l1.access_line(9) == 40     # both levels miss
+        assert l2s.refs == 1 and l2s.misses == 1
+        l1.flush()
+        assert l1.access_line(9) == 10     # L1 misses, L2 hits
+        assert l2s.misses == 1
+
+    def test_non_power_of_two_sets_rejected(self):
+        stats = CacheLevelStats()
+        with pytest.raises(ValueError):
+            Cache(CacheConfig("bad", 3 * 64, 1), stats)
+
+    @given(st.lists(st.integers(min_value=0, max_value=500), max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_hits_plus_misses_equals_refs(self, lines):
+        cache, stats = self._mk()
+        for line in lines:
+            cache.access_line(line)
+        assert stats.refs == len(lines)
+        assert 0 <= stats.misses <= stats.refs
+        assert stats.hits + stats.misses == stats.refs
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=1,
+                    max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_working_set_within_capacity_never_remisses(self, lines):
+        # 8 lines fit entirely in a 512B fully-associative-enough cache.
+        cache, stats = self._mk(size=8 * 64, ways=8)
+        for line in set(lines):
+            cache.access_line(line)
+        cold = stats.misses
+        for line in lines:
+            cache.access_line(line)
+        assert stats.misses == cold
+
+
+class TestHierarchy:
+    def test_straddling_access_touches_two_lines(self):
+        counters = PerfCounters()
+        h = CacheHierarchy(MachineConfig(), counters)
+        h.data_access(60, 8)  # crosses the 64-byte boundary
+        assert counters.l1d.refs == 2
+
+    def test_ifetch_separate_from_data(self):
+        counters = PerfCounters()
+        h = CacheHierarchy(MachineConfig(), counters)
+        h.ifetch_line(1)
+        h.data_access(64, 4)
+        assert counters.l1i.refs == 1
+        assert counters.l1d.refs == 1
+        # Both miss into the shared L2.
+        assert counters.l2.refs == 2
+
+
+class TestBranchPredictor:
+    def _mk(self):
+        counters = PerfCounters()
+        return BranchPredictor(BranchConfig(), counters), counters
+
+    def test_loop_branch_learns(self):
+        bp, c = self._mk()
+        for _ in range(100):
+            bp.cond_branch(0x100, True)
+        assert c.branches == 100
+        # Warmup: the history register churns the gshare index for the
+        # first `history_bits` iterations; steady state is perfect.
+        assert c.branch_misses <= 16
+        misses_at_100 = c.branch_misses
+        for _ in range(100):
+            bp.cond_branch(0x100, True)
+        assert c.branch_misses == misses_at_100
+
+    def test_alternating_pattern_with_history_learns(self):
+        bp, c = self._mk()
+        for i in range(400):
+            bp.cond_branch(0x200, i % 2 == 0)
+        # gshare captures the alternation via history after warmup.
+        assert c.branch_misses < 40
+
+    def test_random_branch_mispredicts_heavily(self):
+        import random
+        rng = random.Random(7)
+        bp, c = self._mk()
+        for _ in range(1000):
+            bp.cond_branch(0x300, rng.random() < 0.5)
+        assert c.branch_misses > 300
+
+    def test_indirect_repetitive_sequence_predicts(self):
+        bp, c = self._mk()
+        targets = [10, 20, 30, 40] * 100
+        for t in targets:
+            bp.indirect_branch(0x400, t)
+        assert c.branch_misses < 30
+
+    def test_indirect_random_stream_mispredicts(self):
+        import random
+        rng = random.Random(3)
+        bp, c = self._mk()
+        for _ in range(1000):
+            bp.indirect_branch(0x400, rng.randrange(64) * 8)
+        assert c.branch_misses > 500
+
+    def test_call_ret_pairs_predict(self):
+        bp, c = self._mk()
+        for i in range(50):
+            bp.call(0x1000 + i)
+            assert not bp.ret(0x1000 + i)
+
+    def test_ras_overflow_mispredicts_oldest(self):
+        bp, c = self._mk()
+        depth = BranchConfig().ras_depth
+        for i in range(depth + 1):
+            bp.call(i)
+        # The deepest (oldest) return was pushed out.
+        for i in reversed(range(1, depth + 1)):
+            assert not bp.ret(i)
+        assert bp.ret(0)  # lost from the RAS
+
+    def test_mispredict_adds_stall_cycles(self):
+        bp, c = self._mk()
+        bp.cond_branch(0x1, True)  # initialized weakly-not-taken: miss
+        assert c.stall_cycles == BranchConfig().miss_penalty
+
+    def test_direct_branch_counts_without_missing(self):
+        bp, c = self._mk()
+        bp.direct_branch()
+        assert c.branches == 1 and c.branch_misses == 0
+
+    @given(st.lists(st.tuples(st.integers(0, 1023), st.booleans()),
+                    max_size=500))
+    @settings(max_examples=30, deadline=None)
+    def test_misses_never_exceed_branches(self, events):
+        bp, c = self._mk()
+        for pc, taken in events:
+            bp.cond_branch(pc, taken)
+        assert c.branch_misses <= c.branches == len(events)
+
+
+class TestMemoryAccountant:
+    def test_eager_alloc_counts_immediately(self):
+        m = MemoryAccountant()
+        m.alloc("runtime", 1 << 20)
+        assert m.resident_bytes == 1 << 20
+        assert m.peak_bytes == 1 << 20
+
+    def test_peak_survives_free(self):
+        m = MemoryAccountant()
+        m.alloc("compiler", 8 << 20)
+        m.free("compiler")
+        assert m.resident_bytes == 0
+        assert m.peak_bytes == 8 << 20
+
+    def test_lazy_region_counts_touched_pages_only(self):
+        m = MemoryAccountant()
+        pages = m.lazy_region("linear-memory")
+        pages.add(0)
+        pages.add(100)
+        assert m.resident_bytes == 2 * PAGE_BYTES
+
+    def test_touch_range_covers_partial_pages(self):
+        m = MemoryAccountant()
+        m.touch_range("heap", PAGE_BYTES - 1, 2)  # straddles two pages
+        assert m.resident_bytes == 2 * PAGE_BYTES
+
+    def test_touch_range_empty(self):
+        m = MemoryAccountant()
+        m.touch_range("heap", 0, 0)
+        assert m.resident_bytes == 0
+
+    def test_shrink(self):
+        m = MemoryAccountant()
+        m.alloc("x", 100)
+        m.shrink("x", 30)
+        assert m.resident_bytes == 70
+        m.shrink("x", 1000)
+        assert m.resident_bytes == 0
+
+    def test_negative_alloc_rejected(self):
+        m = MemoryAccountant()
+        with pytest.raises(ValueError):
+            m.alloc("x", -1)
+
+    def test_breakdown(self):
+        m = MemoryAccountant()
+        m.alloc("a", 10)
+        m.touch_page("b", 0)
+        assert m.breakdown() == {"a": 10, "b": PAGE_BYTES}
+
+    @given(st.lists(st.tuples(st.sampled_from(["r1", "r2"]),
+                              st.integers(0, 1 << 16)), max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_peak_is_monotone(self, allocs):
+        m = MemoryAccountant()
+        last_peak = 0
+        for region, nbytes in allocs:
+            m.alloc(region, nbytes)
+            assert m.peak_bytes >= last_peak
+            last_peak = m.peak_bytes
+
+
+class TestCounters:
+    def test_ipc_bounded_by_issue_width(self):
+        c = PerfCounters(issue_width=4)
+        c.instructions = 1000
+        assert c.ipc <= 4.0
+
+    def test_stalls_reduce_ipc(self):
+        c = PerfCounters(issue_width=4)
+        c.instructions = 1000
+        ipc_no_stall = c.ipc
+        c.stall_cycles = 500
+        assert c.ipc < ipc_no_stall
+
+    def test_ratios_zero_safe(self):
+        c = PerfCounters()
+        assert c.branch_miss_ratio == 0.0
+        assert c.cache_miss_ratio == 0.0
+        assert c.ipc == 0.0
+
+    def test_merge(self):
+        a, b = PerfCounters(), PerfCounters()
+        a.instructions, b.instructions = 10, 20
+        b.l3.refs, b.l3.misses = 5, 2
+        a.merge(b)
+        assert a.instructions == 30
+        assert a.cache_references == 5 and a.cache_misses == 2
+
+    def test_snapshot_keys(self):
+        snap = PerfCounters().snapshot()
+        for key in ("instructions", "cycles", "ipc", "branch_miss_ratio",
+                    "cache_misses", "cache_miss_ratio"):
+            assert key in snap
+
+
+class TestCPUModel:
+    def test_report_contains_all_paper_metrics(self):
+        cpu = CPUModel()
+        cpu.retire(100)
+        cpu.data_access(0x1000_0000, 8)
+        cpu.cond_branch(0x5, True)
+        report = cpu.report()
+        for key in ("seconds", "mrss_bytes", "instructions", "ipc",
+                    "branch_misses", "cache_misses"):
+            assert key in report
+        assert report["seconds"] > 0
+
+    def test_seconds_scale_with_frequency(self):
+        slow = CPUModel(MachineConfig(frequency_hz=1_000_000))
+        fast = CPUModel(MachineConfig(frequency_hz=2_000_000))
+        for cpu in (slow, fast):
+            cpu.retire(10_000)
+        assert slow.seconds == pytest.approx(2 * fast.seconds)

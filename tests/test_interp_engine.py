@@ -1,0 +1,195 @@
+"""Unit tests for the interpreter engine's prepare pass and execution."""
+
+import pytest
+
+from repro.errors import Trap
+from repro.hw import CPUModel
+from repro.isa.memory import LinearMemory
+from repro.runtimes.interp.engine import (CLASSIC_PROFILE, Interpreter,
+                                          prepare_function)
+from repro.wasm import (I32, FuncType, ModuleBuilder, decode_module,
+                        encode_module)
+from repro.wasm import opcodes as op
+
+
+def _prep_and_run(build, params=(), expect=None, expect_trap=None):
+    """Build one exported function, prepare, interpret, check the result."""
+    mb = ModuleBuilder()
+    mb.set_memory(1)
+    fb = mb.function("f", [I32] * len(params), [I32], export=True)
+    build(fb)
+    module = mb.build()
+    prepared = [("wasm", prepare_function(module, module.functions[0], 0))]
+    cpu = CPUModel()
+    interp = Interpreter(CLASSIC_PROFILE, cpu, LinearMemory(1), [], [],
+                         prepared)
+    interp.set_signatures(module)
+    if expect_trap is not None:
+        with pytest.raises(Trap):
+            interp.call_index(0, params)
+        return None
+    result = interp.call_index(0, params)
+    if expect is not None:
+        assert result == expect
+    return cpu
+
+
+class TestPrepare:
+    def test_if_else_side_table(self):
+        def build(fb):
+            fb.local_get(0)
+            fb.if_("x", I32)
+            fb.i32_const(10)
+            fb.else_()
+            fb.i32_const(20)
+            fb.end()
+
+        assert _prep_and_run(build, (1,), 10) is not None
+        _prep_and_run(build, (0,), 20)
+
+    def test_if_without_else(self):
+        def build(fb):
+            acc = fb.add_local(I32)
+            fb.i32_const(5).local_set(acc)
+            fb.local_get(0)
+            fb.if_("x")
+            fb.i32_const(99).local_set(acc)
+            fb.end()
+            fb.local_get(acc)
+
+        _prep_and_run(build, (0,), 5)
+        _prep_and_run(build, (1,), 99)
+
+    def test_loop_branch(self):
+        def build(fb):
+            total = fb.add_local(I32)
+            fb.block("exit")
+            fb.loop("top")
+            fb.local_get(0).emit(op.I32_EQZ).br_if("exit")
+            fb.local_get(total).local_get(0).emit(op.I32_ADD)
+            fb.local_set(total)
+            fb.local_get(0).i32_const(1).emit(op.I32_SUB).local_set(0)
+            fb.br("top")
+            fb.end().end()
+            fb.local_get(total)
+
+        _prep_and_run(build, (10,), 55)
+
+    def test_br_with_value_through_blocks(self):
+        def build(fb):
+            fb.block("outer", I32)
+            fb.block("inner")
+            fb.i32_const(42)
+            fb.br("outer")        # carries the value out two levels
+            fb.end()
+            fb.i32_const(7)
+            fb.br("outer")
+            fb.end()
+
+        _prep_and_run(build, (), 42)
+
+    def test_br_table_dispatch(self):
+        def build(fb):
+            out = fb.add_local(I32)
+            fb.block("d")
+            fb.block("c")
+            fb.block("b")
+            fb.block("a")
+            fb.local_get(0)
+            fb.br_table(["a", "b", "c"], "d")
+            fb.end()
+            fb.i32_const(100).local_set(out)
+            fb.br("d")
+            fb.end()
+            fb.i32_const(200).local_set(out)
+            fb.br("d")
+            fb.end()
+            fb.i32_const(300).local_set(out)
+            fb.br("d")
+            fb.end()
+            fb.local_get(out)
+            # default falls to 'd' with out still 0
+        for arg, expected in ((0, 100), (1, 200), (2, 300), (9, 0)):
+            _prep_and_run(build, (arg,), expected)
+
+    def test_unreachable_code_skipped(self):
+        def build(fb):
+            fb.block("b", I32)
+            fb.i32_const(1)
+            fb.br("b")
+            fb.i32_const(2)          # unreachable
+            fb.emit(op.DROP)
+            fb.i32_const(3)
+            fb.end()
+
+        _prep_and_run(build, (), 1)
+
+    def test_return_mid_function(self):
+        def build(fb):
+            fb.local_get(0)
+            fb.if_("x")
+            fb.i32_const(11)
+            fb.ret()
+            fb.end()
+            fb.i32_const(22)
+
+        _prep_and_run(build, (1,), 11)
+        _prep_and_run(build, (0,), 22)
+
+
+class TestInterpreterBehavior:
+    def test_unreachable_traps(self):
+        def build(fb):
+            fb.emit(op.UNREACHABLE)
+
+        _prep_and_run(build, (), expect_trap=True)
+
+    def test_division_trap_charges_counters(self):
+        def build(fb):
+            fb.i32_const(1).i32_const(0).emit(op.I32_DIV_S)
+
+        mb = ModuleBuilder()
+        mb.set_memory(1)
+        fb = mb.function("f", [], [I32], export=True)
+        build(fb)
+        module = mb.build()
+        prepared = [("wasm", prepare_function(module, module.functions[0],
+                                              0))]
+        cpu = CPUModel()
+        interp = Interpreter(CLASSIC_PROFILE, cpu, LinearMemory(1), [], [],
+                             prepared)
+        interp.set_signatures(module)
+        with pytest.raises(Trap):
+            interp.call_index(0, ())
+        # Work before the trap was still charged.
+        assert cpu.counters.instructions > 0
+
+    def test_memory_grow_and_size(self):
+        def build(fb):
+            fb.i32_const(3)
+            fb.emit(op.MEMORY_GROW)
+            fb.emit(op.DROP)
+            fb.emit(op.MEMORY_SIZE)
+
+        _prep_and_run(build, (), 4)
+
+    def test_select(self):
+        def build(fb):
+            fb.i32_const(111).i32_const(222)
+            fb.local_get(0)
+            fb.emit(op.SELECT)
+
+        _prep_and_run(build, (1,), 111)
+        _prep_and_run(build, (0,), 222)
+
+    def test_dispatch_charges_per_instruction(self):
+        def build(fb):
+            fb.i32_const(0)
+            for _ in range(50):
+                fb.i32_const(1).emit(op.I32_ADD)
+
+        cpu = _prep_and_run(build, (), 50)
+        # 101 guest instructions, each with dispatch + handler cost.
+        assert cpu.counters.instructions > 101 * (
+            CLASSIC_PROFILE.dispatch_cost + 2)
+        assert cpu.counters.branches >= 101  # one indirect per op

@@ -1,0 +1,322 @@
+"""Unit tests for the JIT pipeline: lowering, passes, regalloc, backends."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.hw import CPUModel
+from repro.isa import Machine, ops
+from repro.isa.program import MFunction, MProgram
+from repro.runtimes.jit import (BACKENDS, CRANELIFT, LLVM, SINGLEPASS,
+                                LoweringOptions, allocate_registers,
+                                compile_backend, lower_module,
+                                run_optimizing_pipeline)
+from repro.runtimes.jit.passes import (common_subexpression, constant_fold,
+                                       copy_propagate, dead_code,
+                                       eliminate_redundant_checks)
+from repro.wasm import decode_module
+from repro.wasi import WasiAPI, VirtualFS
+
+
+def _module(source, opt=2):
+    return decode_module(compile_source(source, opt).wasm_bytes)
+
+
+def _run_program(program, expected_stdout):
+    cpu = CPUModel()
+    fs = VirtualFS()
+    wasi = WasiAPI(fs=fs, cpu=cpu)
+    from repro.isa.memory import LinearMemory
+    memory = LinearMemory(program.memory_pages, program.memory_max_pages)
+    machine = Machine(program, cpu, memory=memory, host=wasi.as_host())
+    machine.apply_data_segments()
+    from repro.errors import ExitProc
+    try:
+        machine.run_export("_start")
+    except ExitProc:
+        pass
+    assert fs.stdout_text() == expected_stdout
+
+
+SOURCE = """
+int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+int main(void) { print_i(fib(12)); print_nl(); return 0; }
+"""
+
+
+class TestLowering:
+    @pytest.mark.parametrize("backend", ("singlepass", "cranelift", "llvm"))
+    def test_all_backends_execute_correctly(self, backend):
+        module = _module(SOURCE)
+        program = compile_backend(module, BACKENDS[backend])
+        _run_program(program, "144\n")
+
+    def test_singlepass_emits_shadow_traffic(self):
+        module = _module(SOURCE)
+        sp = lower_module(module, SINGLEPASS.lowering)
+        vr = lower_module(module, CRANELIFT.lowering)
+        sp_ops = sum(len(f.code) for f in sp.functions)
+        vr_ops = sum(len(f.code) for f in vr.functions)
+        assert sp_ops > 1.5 * vr_ops
+
+    def test_check_density_controls_checks(self):
+        module = _module(SOURCE)
+        dense = lower_module(module, LoweringOptions(check_density=1.0))
+        sparse = lower_module(module, LoweringOptions(check_density=0.3))
+        none = lower_module(module, LoweringOptions(check_density=0.0))
+
+        def checks(prog):
+            return sum(1 for f in prog.functions for i in f.code
+                       if i[0] == ops.CHECK)
+
+        assert checks(dense) > checks(sparse) > checks(none) == 0
+
+    def test_control_flow_lowering(self):
+        source = """
+            int classify(int x) {
+                int r = 0;
+                switch (x) {
+                case 0: r = 1; break;
+                case 1: r = 2; break;
+                case 2: r = 4; break;
+                default: r = 8;
+                }
+                while (r < 100) r *= 3;
+                return r;
+            }
+            int main(void) {
+                print_i(classify(0) + classify(1) + classify(2)
+                        + classify(7));
+                print_nl();
+                return 0;
+            }
+        """
+        module = _module(source)
+        for backend in ("singlepass", "llvm"):
+            program = compile_backend(module, BACKENDS[backend])
+            _run_program(program, "729\n")
+
+    def test_exports_and_table_carried_over(self):
+        source = """
+            int one(void) { return 1; }
+            int (*fp)(void);
+            int main(void) { fp = one; return fp() - 1; }
+        """
+        module = _module(source)
+        program = compile_backend(module, CRANELIFT)
+        assert "_start" in program.exports
+        assert len(program.table) >= 2  # null slot + one
+
+
+class TestPasses:
+    def _func(self, code, num_regs=10, params=0):
+        return MFunction("t", params, num_regs, list(code),
+                         returns_value=True)
+
+    def test_constant_fold(self):
+        f = self._func([
+            (ops.LI, 0, 6),
+            (ops.LI, 1, 7),
+            (ops.MUL32, 2, 0, 1),
+            (ops.RET, 2),
+        ])
+        assert constant_fold(f) == 1
+        assert f.code[2] == (ops.LI, 2, 42)
+
+    def test_constant_fold_respects_block_boundaries(self):
+        f = self._func([
+            (ops.LI, 0, 1),
+            (ops.BRZ, 0, 3),
+            (ops.LI, 0, 2),           # other block redefines r0
+            (ops.ADD32, 1, 0, 0),     # block leader: constants were cleared
+            (ops.RET, 1),
+        ])
+        constant_fold(f)
+        assert f.code[3][0] == ops.ADD32
+
+    def test_constant_fold_skips_traps(self):
+        f = self._func([
+            (ops.LI, 0, 1),
+            (ops.LI, 1, 0),
+            (ops.DIVS32, 2, 0, 1),   # would trap: must not fold
+            (ops.RET, 2),
+        ])
+        constant_fold(f)
+        assert f.code[2][0] == ops.DIVS32
+
+    def test_copy_propagation(self):
+        f = self._func([
+            (ops.LI, 0, 5),
+            (ops.MOV, 1, 0),
+            (ops.ADD32, 2, 1, 1),
+            (ops.RET, 2),
+        ])
+        assert copy_propagate(f) >= 1
+        assert f.code[2] == (ops.ADD32, 2, 0, 0)
+
+    def test_cse(self):
+        f = self._func([
+            (ops.ADD32, 2, 0, 1),
+            (ops.ADD32, 3, 0, 1),    # same computation
+            (ops.ADD32, 4, 2, 3),
+            (ops.RET, 4),
+        ], params=2)
+        assert common_subexpression(f) == 1
+        assert f.code[1] == (ops.MOV, 3, 2)
+
+    def test_cse_invalidated_by_redefinition(self):
+        f = self._func([
+            (ops.ADD32, 2, 0, 1),
+            (ops.LI, 0, 9),          # operand changes
+            (ops.ADD32, 3, 0, 1),    # must NOT be CSE'd
+            (ops.RET, 3),
+        ], params=2)
+        assert common_subexpression(f) == 0
+
+    def test_dead_code_removed_and_targets_remapped(self):
+        f = self._func([
+            (ops.LI, 0, 1),
+            (ops.LI, 5, 99),         # dead
+            (ops.BRZ, 0, 4),
+            (ops.LI, 1, 2),
+            (ops.RET, 0),            # branch target
+        ])
+        removed = dead_code(f)
+        assert removed >= 1
+        # The BRZ target must still point at the RET.
+        brz = next(i for i in f.code if i[0] == ops.BRZ)
+        assert f.code[brz[2]][0] == ops.RET
+
+    def test_dead_code_keeps_trapping_ops(self):
+        f = self._func([
+            (ops.LI, 0, 1),
+            (ops.LI, 1, 0),
+            (ops.DIVS32, 5, 0, 1),   # result unused BUT may trap
+            (ops.RET, 0),
+        ])
+        dead_code(f)
+        assert any(i[0] == ops.DIVS32 for i in f.code)
+
+    def test_check_elimination(self):
+        f = self._func([
+            (ops.CHECK,),
+            (ops.LOAD32, 1, 0, 0),
+            (ops.CHECK,),
+            (ops.LOAD32, 2, 0, 4),
+            (ops.RET, 2),
+        ], params=1)
+        assert eliminate_redundant_checks(f) == 1
+        assert sum(1 for i in f.code if i[0] == ops.CHECK) == 1
+
+    def test_pipeline_preserves_execution(self):
+        module = _module(SOURCE)
+        program = lower_module(module, LoweringOptions(check_density=0.0))
+        for func in program.functions:
+            run_optimizing_pipeline(func, heavy=True)
+        program.finalize(0x0400_0000)
+        _run_program(program, "144\n")
+
+    def test_heavy_pipeline_shrinks_code(self):
+        module = _module(SOURCE, opt=0)   # sloppy input
+        raw = lower_module(module, LoweringOptions(check_density=0.0))
+        raw_size = sum(len(f.code) for f in raw.functions)
+        opt = lower_module(module, LoweringOptions(check_density=0.0))
+        for func in opt.functions:
+            run_optimizing_pipeline(func, heavy=True)
+        opt_size = sum(len(f.code) for f in opt.functions)
+        assert opt_size < raw_size
+
+
+class TestRegalloc:
+    def test_no_spills_under_pressure_limit(self):
+        f = MFunction("f", 0, 8, [
+            (ops.LI, 0, 1), (ops.LI, 1, 2), (ops.ADD32, 2, 0, 1),
+            (ops.RET, 2)], returns_value=True)
+        assert allocate_registers(f, 16) == 0
+        assert not any(i[0] in (ops.SPILL, ops.RELOAD) for i in f.code)
+
+    def test_spills_when_pressure_exceeds(self):
+        # 12 simultaneously-live values, 4 registers.
+        code = [(ops.LI, i, i) for i in range(12)]
+        acc = 12
+        code.append((ops.ADD32, acc, 0, 1))
+        for i in range(2, 12):
+            code.append((ops.ADD32, acc + i - 1, acc + i - 2, i))
+        code.append((ops.RET, acc + 10))
+        f = MFunction("f", 0, 32, code, returns_value=True)
+        spilled = allocate_registers(f, 4)
+        assert spilled > 0
+        assert any(i[0] == ops.SPILL for i in f.code)
+        assert any(i[0] == ops.RELOAD for i in f.code)
+        assert f.frame_slots >= spilled
+
+    def test_spilled_code_still_executes(self):
+        module = _module(SOURCE)
+        program = lower_module(module, LoweringOptions(check_density=0.0))
+        for func in program.functions:
+            allocate_registers(func, 4)   # brutal pressure
+        program.finalize(0x0400_0000)
+        _run_program(program, "144\n")
+
+    def test_fewer_registers_cost_more(self):
+        module = _module("""
+            double work(void) {
+                double a = 1.0, b = 2.0, c = 3.0, d = 4.0;
+                double e = 5.0, f = 6.0, g = 7.0, h = 8.0;
+                int i;
+                for (i = 0; i < 200; i++) {
+                    a += b * c; b += c * d; c += d * e; d += e * f;
+                    e += f * g; f += g * h; g += h * a; h += a * b;
+                }
+                return a + b + c + d + e + f + g + h;
+            }
+            int main(void) { print_f(work()); print_nl(); return 0; }
+        """)
+
+        def instructions_with(regs):
+            program = lower_module(module,
+                                   LoweringOptions(check_density=0.0))
+            for func in program.functions:
+                allocate_registers(func, regs)
+            program.finalize(0x0400_0000)
+            cpu = CPUModel()
+            from repro.isa.memory import LinearMemory
+            fs = VirtualFS()
+            machine = Machine(program, cpu,
+                              memory=LinearMemory(program.memory_pages),
+                              host=WasiAPI(fs=fs, cpu=cpu).as_host())
+            machine.apply_data_segments()
+            from repro.errors import ExitProc
+            try:
+                machine.run_export("_start")
+            except ExitProc:
+                pass
+            return cpu.counters.instructions
+
+        assert instructions_with(6) > instructions_with(24)
+
+
+class TestBackendCharging:
+    def test_compile_work_charged(self):
+        module = _module(SOURCE)
+        cpu = CPUModel()
+        compile_backend(module, LLVM, cpu)
+        assert cpu.counters.instructions > \
+            module.body_size() * LLVM.compile_cost_per_op * 0.9
+        assert cpu.counters.branches > 0
+
+    def test_compiler_memory_peaks_then_frees(self):
+        module = _module(SOURCE)
+        cpu = CPUModel()
+        compile_backend(module, LLVM, cpu)
+        # Peak recorded, scratch freed, code cache retained.
+        assert cpu.memory.peak_bytes > cpu.memory.resident_bytes
+        assert "jit-code-cache" in cpu.memory.breakdown()
+
+    def test_tiers_rank_by_compile_cost(self):
+        module = _module(SOURCE)
+        costs = {}
+        for name in ("singlepass", "cranelift", "llvm"):
+            cpu = CPUModel()
+            compile_backend(module, BACKENDS[name], cpu)
+            costs[name] = cpu.counters.instructions
+        assert costs["singlepass"] < costs["cranelift"] < costs["llvm"]

@@ -1,0 +1,242 @@
+"""Unit tests for the midend optimizer (pass-level behavior)."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.compiler import midend
+from repro.minic import analyze, parse
+from repro.minic import ast as A
+from repro.wasm import opcodes as op
+
+
+def _optimized_unit(source, opt=2):
+    unit = parse(source)
+    analyze(unit)
+    stats = midend.optimize(unit, opt)
+    return unit, stats
+
+
+def _body_of(unit, name):
+    return unit.function(name).body
+
+
+class TestConstantFolding:
+    def test_folds_arithmetic(self):
+        unit, stats = _optimized_unit(
+            "int f(void) { return 6 * 7 + (10 - 2); }")
+        ret = _body_of(unit, "f").statements[0]
+        assert isinstance(ret.value, A.IntLit)
+        assert ret.value.value == 50
+        assert stats["const_fold"] >= 2
+
+    def test_fold_wraps_like_target(self):
+        unit, _ = _optimized_unit(
+            "int f(void) { return 2147483647 + 1; }")
+        ret = _body_of(unit, "f").statements[0]
+        assert ret.value.value == -2147483648
+
+    def test_fold_unsigned_comparison(self):
+        unit, _ = _optimized_unit(
+            "int f(void) { return 0xFFFFFFFFu > 1u; }")
+        ret = _body_of(unit, "f").statements[0]
+        assert ret.value.value == 1
+
+    def test_division_by_zero_not_folded(self):
+        unit, _ = _optimized_unit("int f(void) { return 1 / 0; }")
+        ret = _body_of(unit, "f").statements[0]
+        assert isinstance(ret.value, A.Binary)  # left for runtime trap
+
+    def test_float_folding(self):
+        unit, _ = _optimized_unit(
+            "double f(void) { return 1.5 * 4.0; }")
+        ret = _body_of(unit, "f").statements[0]
+        assert isinstance(ret.value, A.FloatLit)
+        assert ret.value.value == 6.0
+
+
+class TestAlgebraic:
+    def test_add_zero_removed(self):
+        unit, stats = _optimized_unit("int f(int x) { return x + 0; }")
+        ret = _body_of(unit, "f").statements[0]
+        assert isinstance(ret.value, A.Ident)
+        assert stats["algebraic"] >= 1
+
+    def test_mul_one_removed(self):
+        unit, _ = _optimized_unit("int f(int x) { return x * 1; }")
+        assert isinstance(_body_of(unit, "f").statements[0].value, A.Ident)
+
+    def test_mul_zero_with_side_effect_kept(self):
+        unit, _ = _optimized_unit("""
+            int calls = 0;
+            int bump(void) { calls++; return 1; }
+            int f(void) { return bump() * 0; }
+        """)
+        ret = _body_of(unit, "f").statements[0]
+        assert isinstance(ret.value, A.Binary)  # call must still happen
+
+
+class TestStrengthReduction:
+    def test_mul_pow2_becomes_shift(self):
+        unit, stats = _optimized_unit("int f(int x) { return x * 8; }")
+        ret = _body_of(unit, "f").statements[0]
+        assert ret.value.op == "<<"
+        assert stats["strength"] >= 1
+
+    def test_long_shift_amount_typed_long(self):
+        # Regression: the shift literal must match the operand width.
+        unit, _ = _optimized_unit("long f(long x) { return x * 8l; }")
+        ret = _body_of(unit, "f").statements[0]
+        assert ret.value.op == "<<"
+        assert ret.value.right.ctype.wasm_type == 0x7E  # i64
+
+    def test_unsigned_div_pow2(self):
+        unit, _ = _optimized_unit(
+            "unsigned int f(unsigned int x) { return x / 4u; }")
+        assert _body_of(unit, "f").statements[0].value.op == ">>"
+
+    def test_signed_div_not_reduced(self):
+        # -7/2 != -7>>1, so signed division must stay a division.
+        unit, _ = _optimized_unit("int f(int x) { return x / 2; }")
+        assert _body_of(unit, "f").statements[0].value.op == "/"
+
+    def test_unsigned_mod_pow2(self):
+        unit, _ = _optimized_unit(
+            "unsigned int f(unsigned int x) { return x % 16u; }")
+        assert _body_of(unit, "f").statements[0].value.op == "&"
+
+    def test_not_applied_at_o1(self):
+        unit, stats = _optimized_unit("int f(int x) { return x * 8; }",
+                                      opt=1)
+        assert stats["strength"] == 0
+
+
+class TestBranchFolding:
+    def test_if_true_keeps_then(self):
+        unit, stats = _optimized_unit("""
+            int f(void) { if (1) { return 10; } else { return 20; } }
+        """)
+        assert stats["branch_fold"] >= 1
+        # No If statement left in the body.
+        assert not any(isinstance(s, A.If)
+                       for s in _body_of(unit, "f").statements)
+
+    def test_while_zero_removed(self):
+        unit, stats = _optimized_unit("""
+            int f(void) { int x = 1; while (0) { x = 2; } return x; }
+        """)
+        assert stats["branch_fold"] >= 1
+
+    def test_behavior_preserved(self):
+        from tests.conftest import run_wamr
+        src = """
+            int main(void) {
+                int x = 0;
+                if (3 > 2) x += 1;
+                if (0) x += 100;
+                while (0) x += 1000;
+                print_i(x); print_nl();
+                return 0;
+            }
+        """
+        assert run_wamr(src, opt_level=2).stdout_text() == "1\n"
+
+
+class TestInlining:
+    def test_small_function_inlined(self):
+        unit, stats = _optimized_unit("""
+            int sq(int x) { return x * x; }
+            int f(int a) { return sq(a); }
+        """)
+        assert stats["inline"] >= 1
+        ret = _body_of(unit, "f").statements[0]
+        assert not isinstance(ret.value, A.Call)
+
+    def test_side_effecting_arg_not_duplicated(self):
+        from tests.conftest import run_wamr
+        src = """
+            int calls = 0;
+            int bump(void) { calls++; return 3; }
+            int sq(int x) { return x * x; }
+            int main(void) {
+                int r = sq(bump());
+                print_i(r); print_i(calls); print_nl();
+                return 0;
+            }
+        """
+        assert run_wamr(src, opt_level=2).stdout_text() == "91\n"
+
+    def test_recursive_function_not_inlined_into_itself(self):
+        unit, _ = _optimized_unit("""
+            int f(int n) { return n < 1 ? 0 : f(n - 1); }
+        """)
+        # Still terminates analysis; call remains.
+        text_calls = [e for e in [unit.function("f")] if e]
+        assert text_calls
+
+
+class TestUnrolling:
+    def test_constant_loop_unrolled_at_o3(self):
+        unit, stats = _optimized_unit("""
+            int a[4];
+            int f(void) {
+                int total = 0;
+                for (int i = 0; i < 4; i++) total += a[i];
+                return total;
+            }
+        """, opt=3)
+        assert stats["unroll"] >= 1
+        assert not any(isinstance(s, A.For)
+                       for s in _body_of(unit, "f").statements)
+
+    def test_not_unrolled_when_var_modified(self):
+        unit, stats = _optimized_unit("""
+            int f(void) {
+                int total = 0;
+                for (int i = 0; i < 4; i++) { total += i; i += 0; }
+                return total;
+            }
+        """, opt=3)
+        assert stats["unroll"] == 0
+
+    def test_not_unrolled_with_break(self):
+        unit, stats = _optimized_unit("""
+            int f(void) {
+                int total = 0;
+                for (int i = 0; i < 4; i++) { if (total > 2) break;
+                                              total += i; }
+                return total;
+            }
+        """, opt=3)
+        assert stats["unroll"] == 0
+
+    def test_large_trip_count_not_unrolled(self):
+        unit, stats = _optimized_unit("""
+            int f(void) {
+                int total = 0;
+                for (int i = 0; i < 1000; i++) total += i;
+                return total;
+            }
+        """, opt=3)
+        assert stats["unroll"] == 0
+
+
+class TestPeephole:
+    def test_set_get_becomes_tee(self):
+        result = compile_source("""
+            int main(void) {
+                int x = 5;
+                print_i(x); print_nl();
+                return 0;
+            }
+        """, opt_level=2)
+        # Find main's body and check no SET-then-GET of the same local.
+        for func in result.module.functions:
+            body = func.body
+            for i in range(len(body) - 1):
+                if body[i][0] == op.LOCAL_SET and \
+                        body[i + 1][0] == op.LOCAL_GET:
+                    assert body[i][1] != body[i + 1][1]
+
+    def test_o0_skips_peephole(self):
+        result = compile_source("int main(void){return 0;}", opt_level=0)
+        assert result.peephole_removed == 0

@@ -1,0 +1,241 @@
+"""Runtime-model tests: AOT, backends, traps, instrumentation, registry."""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.errors import ReproError
+from repro.runtimes import (ALL_RUNTIME_NAMES, RUNTIME_CLASSES, AotImage,
+                            WasmerRuntime, make_runtime)
+from repro.wasi import VirtualFS
+from tests.conftest import run_everywhere
+
+SIMPLE = """
+int main(void) {
+    int i, total = 0;
+    for (i = 0; i < 50; i++) total += i;
+    print_i(total); print_nl();
+    return 0;
+}
+"""
+
+TRAPPING_DIV = """
+int zero = 0;
+int main(void) {
+    print_i(7 / zero); print_nl();
+    return 0;
+}
+"""
+
+TRAPPING_OOB = """
+int main(void) {
+    int *p = (int *)0x7fffffff;
+    print_i(*p); print_nl();
+    return 0;
+}
+"""
+
+NULL_FUNCPTR = """
+int (*fp)(void);
+int main(void) {
+    return fp();
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def simple_wasm():
+    return compile_source(SIMPLE).wasm_bytes
+
+
+class TestRegistry:
+    def test_all_five_runtimes_present(self):
+        assert set(ALL_RUNTIME_NAMES) == {"wasmtime", "wavm", "wasmer",
+                                          "wasm3", "wamr"}
+
+    def test_make_runtime_unknown(self):
+        with pytest.raises(KeyError):
+            make_runtime("nodejs")
+
+    def test_modes(self):
+        modes = {name: RUNTIME_CLASSES[name].mode
+                 for name in ALL_RUNTIME_NAMES}
+        assert modes == {"wasmtime": "jit", "wavm": "jit", "wasmer": "jit",
+                         "wasm3": "interp", "wamr": "interp"}
+
+    def test_wasmer_backend_selection(self):
+        assert make_runtime("wasmer-singlepass").backend_name == "singlepass"
+        # "cranelift" maps to Wasmer's lean Cranelift integration
+        assert make_runtime("wasmer-cranelift").backend_name == \
+            "cranelift-lean"
+        assert make_runtime("wasmer-llvm").backend_name == "llvm"
+
+    def test_wasmer_bad_backend(self):
+        with pytest.raises(ReproError):
+            WasmerRuntime(backend="turbofan")
+
+
+class TestExecution:
+    @pytest.mark.parametrize("name", ALL_RUNTIME_NAMES)
+    def test_runs_and_matches(self, name, simple_wasm):
+        res = make_runtime(name).run(simple_wasm)
+        assert res.trap is None
+        assert res.exit_code == 0
+        assert res.stdout_text() == "1225\n"
+
+    @pytest.mark.parametrize("name", ALL_RUNTIME_NAMES)
+    def test_counters_populated(self, name, simple_wasm):
+        res = make_runtime(name).run(simple_wasm)
+        c = res.counters
+        assert c["instructions"] > 1000
+        assert c["cycles"] > 0
+        assert 0 < c["ipc"] <= 4.0
+        assert c["branches"] > 0
+        assert res.mrss_bytes > res.code_bytes
+        assert res.seconds > 0
+
+    def test_exit_code_propagates(self):
+        wasm = compile_source("int main(void) { return 42; }").wasm_bytes
+        res = make_runtime("wamr").run(wasm)
+        assert res.exit_code == 42
+        assert not res.ok
+
+    @pytest.mark.parametrize("name", ALL_RUNTIME_NAMES)
+    def test_divide_by_zero_traps(self, name):
+        wasm = compile_source(TRAPPING_DIV).wasm_bytes
+        res = make_runtime(name).run(wasm)
+        assert res.trap is not None and "divide" in res.trap
+
+    @pytest.mark.parametrize("name", ALL_RUNTIME_NAMES)
+    def test_out_of_bounds_traps(self, name):
+        wasm = compile_source(TRAPPING_OOB).wasm_bytes
+        res = make_runtime(name).run(wasm)
+        assert res.trap is not None and "bounds" in res.trap
+
+    @pytest.mark.parametrize("name", ("wamr", "wasmtime"))
+    def test_null_function_pointer_traps(self, name):
+        wasm = compile_source(NULL_FUNCPTR).wasm_bytes
+        res = make_runtime(name).run(wasm)
+        assert res.trap is not None
+
+    def test_stdout_capture_separate_fs(self, simple_wasm):
+        fs1, fs2 = VirtualFS(), VirtualFS()
+        make_runtime("wamr").run(simple_wasm, fs=fs1)
+        assert fs1.stdout_text() == "1225\n"
+        assert fs2.stdout_text() == ""
+
+
+class TestJitSpecifics:
+    def test_compile_time_reported(self, simple_wasm):
+        res = make_runtime("wavm").run(simple_wasm)
+        assert res.compile_seconds > 0
+        assert res.compile_seconds < res.seconds
+
+    def test_llvm_compiles_slower_than_singlepass(self, simple_wasm):
+        sp = WasmerRuntime("singlepass").run(simple_wasm)
+        ll = WasmerRuntime("llvm").run(simple_wasm)
+        assert ll.compile_seconds > sp.compile_seconds * 3
+
+    def test_singlepass_executes_slower_than_cranelift(self):
+        # Long enough that execution dominates compilation.
+        source = """
+            int main(void) {
+                int i;
+                unsigned int h = 1u;
+                for (i = 0; i < 20000; i++) h = h * 31u + (unsigned int)i;
+                print_u(h); print_nl();
+                return 0;
+            }
+        """
+        wasm = compile_source(source).wasm_bytes
+        sp = WasmerRuntime("singlepass").run(wasm)
+        cl = WasmerRuntime("cranelift").run(wasm)
+        assert sp.stdout == cl.stdout
+        assert sp.execute_seconds > cl.execute_seconds * 1.3
+
+    def test_interpreters_report_zero_like_compile(self, simple_wasm):
+        res = make_runtime("wasm3").run(simple_wasm)
+        # Threaded-code translation is cheap but not free.
+        assert res.compile_seconds < res.seconds * 0.5
+
+
+class TestAot:
+    @pytest.mark.parametrize("name", ("wasmtime", "wavm", "wasmer"))
+    def test_aot_roundtrip(self, name, simple_wasm):
+        rt = make_runtime(name)
+        image, compile_seconds = rt.compile_aot(simple_wasm)
+        assert isinstance(image, AotImage)
+        assert compile_seconds > 0
+        res = rt.run(simple_wasm, aot_image=image)
+        assert res.stdout_text() == "1225\n"
+
+    def test_aot_removes_compile_time(self, simple_wasm):
+        rt = make_runtime("wavm")
+        jit = rt.run(simple_wasm)
+        image, _ = rt.compile_aot(simple_wasm)
+        aot = rt.run(simple_wasm, aot_image=image)
+        assert aot.compile_seconds < jit.compile_seconds / 3
+        assert aot.seconds < jit.seconds
+
+    def test_aot_backend_mismatch_rejected(self, simple_wasm):
+        image, _ = make_runtime("wavm").compile_aot(simple_wasm)
+        with pytest.raises(ReproError):
+            make_runtime("wasmtime").run(simple_wasm, aot_image=image)
+
+    def test_interpreters_reject_aot(self, simple_wasm):
+        with pytest.raises(ReproError):
+            make_runtime("wasm3").compile_aot(simple_wasm)
+
+
+class TestCharacterizationShape:
+    """Coarse sanity on the paper's headline relationships (Finding 1/5/6)."""
+
+    SOURCE = """
+        int data[256];
+        int main(void) {
+            int i, j;
+            unsigned int h = 0u;
+            for (i = 0; i < 40; i++)
+                for (j = 0; j < 256; j++) {
+                    data[j] = data[j] + i * j;
+                    h = h * 31u + (unsigned int)data[j];
+                }
+            print_u(h); print_nl();
+            return 0;
+        }
+    """
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_everywhere(self.SOURCE)
+
+    def test_all_outputs_identical(self, results):
+        outputs = {name: r.stdout for name, r in results.items()}
+        assert len(set(outputs.values())) == 1, outputs
+
+    def test_every_runtime_slower_than_native(self, results):
+        native = results["native"].seconds
+        for name in ALL_RUNTIME_NAMES:
+            assert results[name].seconds > native, name
+
+    def test_interpreters_slower_than_jits_on_loops(self, results):
+        jit_worst = max(results[n].seconds
+                        for n in ("wasmtime", "wasmer"))
+        interp_best = min(results[n].seconds for n in ("wasm3", "wamr"))
+        assert interp_best > jit_worst
+
+    def test_instruction_blowup_ordering(self, results):
+        native = results["native"].counters["instructions"]
+        wamr = results["wamr"].counters["instructions"]
+        wasmtime = results["wasmtime"].counters["instructions"]
+        assert wamr > 6 * native          # interpreter tax
+        assert wasmtime < wamr            # JIT executes far fewer
+        assert wasmtime > native          # but still more than native
+
+    def test_wasm3_faster_than_wamr(self, results):
+        assert results["wasm3"].seconds < results["wamr"].seconds
+
+    def test_jits_use_more_memory_than_interps(self, results):
+        jit_min = min(results[n].mrss_bytes
+                      for n in ("wasmtime", "wavm", "wasmer"))
+        interp_max = max(results[n].mrss_bytes for n in ("wasm3", "wamr"))
+        assert jit_min > interp_max

@@ -1,0 +1,153 @@
+"""WABench suite tests: structure, compilation, and cross-engine agreement."""
+
+import pytest
+
+from repro.bench import (ALL_BENCHMARKS, APP_NAMES, SUITES, Benchmark,
+                         by_suite, get, names)
+from repro.compiler import compile_source
+from repro.native import nativecc, run_native
+from repro.runtimes import make_runtime
+from repro.wasi import VirtualFS
+
+ALL_NAMES = names()
+
+
+def _fs_for(bench, size):
+    fs = VirtualFS()
+    for path, data in bench.files_for(size).items():
+        fs.add_file(path, data)
+    return fs
+
+
+def run_bench_native(bench, size="test", opt=2):
+    binary = nativecc(bench.source, opt, defines=bench.defines_for(size))
+    return run_native(binary, fs=_fs_for(bench, size))
+
+
+def run_bench_runtime(bench, runtime_name, size="test", opt=2):
+    artifact = compile_source(bench.source, opt,
+                              defines=bench.defines_for(size))
+    return make_runtime(runtime_name).run(artifact.wasm_bytes,
+                                          fs=_fs_for(bench, size))
+
+
+class TestSuiteStructure:
+    def test_fifty_benchmarks(self):
+        assert len(ALL_BENCHMARKS) == 50
+
+    def test_suite_sizes_match_table2(self):
+        assert len(by_suite("jetstream2")) == 4
+        assert len(by_suite("mibench")) == 9
+        assert len(by_suite("polybench")) == 30
+        assert len(by_suite("apps")) == 7
+
+    def test_app_names_match_paper(self):
+        assert set(APP_NAMES) == {b.name for b in by_suite("apps")}
+
+    def test_unique_names(self):
+        assert len(set(ALL_NAMES)) == 50
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get("doom")
+
+    def test_every_benchmark_has_three_sizes(self):
+        for bench in ALL_BENCHMARKS:
+            for size in ("test", "small", "ref"):
+                defines = bench.defines_for(size)
+                assert defines, (bench.name, size)
+
+    def test_descriptions_and_domains_present(self):
+        for bench in ALL_BENCHMARKS:
+            assert bench.description and bench.domain
+
+    def test_file_inputs_are_deterministic(self):
+        for bench in ALL_BENCHMARKS:
+            assert bench.files_for("test") == bench.files_for("test")
+
+
+class TestCompilation:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_compiles_at_o2(self, name):
+        bench = get(name)
+        result = compile_source(bench.source, 2,
+                                defines=bench.defines_for("test"))
+        assert result.binary_size > 500
+        assert result.instruction_count > 100
+
+    def test_facedetection_is_code_heavy(self):
+        # The paper's facedetection profile: large module, short run.
+        fd = compile_source(get("facedetection").source, 2,
+                            defines=get("facedetection").defines_for("test"))
+        median = sorted(
+            compile_source(get(n).source, 2,
+                           defines=get(n).defines_for("test")).binary_size
+            for n in ("gemm", "trisolv", "quicksort"))[1]
+        assert fd.binary_size > 2 * median
+
+
+class TestExecutionNative:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_runs_clean_natively(self, name):
+        res = run_bench_native(get(name))
+        assert res.trap is None, (name, res.trap)
+        assert res.exit_code == 0, (name, res.stdout_text())
+        assert res.stdout  # every benchmark reports something
+
+
+class TestCrossEngineAgreement:
+    # Full 50x5 agreement is covered by the harness; here each benchmark is
+    # checked on one interpreter and one JIT, split to keep the suite fast.
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_wamr_matches_native(self, name):
+        bench = get(name)
+        native = run_bench_native(bench)
+        wamr = run_bench_runtime(bench, "wamr")
+        assert wamr.trap is None, (name, wamr.trap)
+        assert wamr.stdout == native.stdout, name
+
+    @pytest.mark.parametrize("name", ALL_NAMES[::5])
+    def test_wasmtime_matches_native(self, name):
+        bench = get(name)
+        native = run_bench_native(bench)
+        jit = run_bench_runtime(bench, "wasmtime")
+        assert jit.stdout == native.stdout, name
+
+    @pytest.mark.parametrize("name", ("gnuchess", "whitedb", "snappy"))
+    def test_opt_levels_agree_on_apps(self, name):
+        bench = get(name)
+        reference = run_bench_native(bench, opt=2).stdout
+        assert run_bench_native(bench, opt=0).stdout == reference
+        assert run_bench_runtime(bench, "wasm3", opt=1).stdout == reference
+
+
+class TestPaperWorkloadProperties:
+    def test_whitedb_touches_fraction_of_arena(self):
+        # The mechanism behind the paper's whitedb MRSS anomaly.
+        bench = get("whitedb")
+        native = run_bench_native(bench)
+        wamr = run_bench_runtime(bench, "wamr")
+        arena_bytes = int(bench.defines_for("test")["ARENA_BYTES"])
+        # The interpreter's resident set must be well below the arena size
+        # plus base: untouched pages stay uncommitted.
+        assert wamr.mrss_bytes < arena_bytes
+        assert wamr.stdout == native.stdout
+
+    def test_mnist_reports_accuracy(self):
+        res = run_bench_native(get("mnist"), size="small")
+        assert "accuracy_pct=" in res.stdout_text()
+
+    def test_bzip2_compresses(self):
+        text = run_bench_native(get("bzip2")).stdout_text()
+        in_bytes = int(text.split("in=")[1].split()[0])
+        out_bytes = int(text.split("out_bytes=")[1].split()[0])
+        assert out_bytes < in_bytes
+
+    def test_snappy_roundtrip_reported(self):
+        text = run_bench_native(get("snappy")).stdout_text()
+        assert "ratio_pct=" in text and "FAILED" not in text
+
+    def test_gnuchess_searches_nodes(self):
+        text = run_bench_native(get("gnuchess")).stdout_text()
+        nodes = int(text.split("nodes=")[1].split()[0])
+        assert nodes > 100

@@ -1,0 +1,176 @@
+"""Unit tests for the WASI layer and virtual filesystem."""
+
+import pytest
+
+from repro.errors import ExitProc
+from repro.hw import CPUModel
+from repro.isa.memory import LinearMemory
+from repro.wasi import (O_CREAT, O_EXCL, O_TRUNC, SEEK_CUR, SEEK_END,
+                        SEEK_SET, VirtualFS, WasiAPI, errno)
+
+
+@pytest.fixture
+def api():
+    fs = VirtualFS({"data.txt": b"hello world"})
+    return WasiAPI(fs=fs, cpu=CPUModel()), LinearMemory(1)
+
+
+def _write_iov(mem, iov_addr, buf_addr, data):
+    mem.write_bytes(buf_addr, data)
+    mem.store_u32(iov_addr, buf_addr)
+    mem.store_u32(iov_addr + 4, len(data))
+
+
+class TestVirtualFS:
+    def test_stdout_stderr(self):
+        fs = VirtualFS()
+        assert fs.write(1, b"out") == 3
+        assert fs.write(2, b"err") == 3
+        assert fs.stdout == b"out" and fs.stderr == b"err"
+
+    def test_open_missing_without_creat(self):
+        fs = VirtualFS()
+        assert fs.open_path("nope", 0) == -errno.ENOENT
+
+    def test_open_creat_excl(self):
+        fs = VirtualFS()
+        fd = fs.open_path("new.bin", O_CREAT)
+        assert fd >= 4
+        assert fs.open_path("new.bin", O_CREAT | O_EXCL) == -errno.EEXIST
+
+    def test_trunc(self):
+        fs = VirtualFS({"f": b"0123456789"})
+        fd = fs.open_path("f", O_TRUNC)
+        assert fs.read(fd, 100) == b""
+
+    def test_read_write_positioning(self):
+        fs = VirtualFS()
+        fd = fs.open_path("f", O_CREAT)
+        fs.write(fd, b"abcdef")
+        assert fs.seek(fd, 2, SEEK_SET) == 2
+        assert fs.read(fd, 2) == b"cd"
+        assert fs.seek(fd, -1, SEEK_CUR) == 3
+        assert fs.seek(fd, -2, SEEK_END) == 4
+        assert fs.read(fd, 10) == b"ef"
+
+    def test_seek_negative_rejected(self):
+        fs = VirtualFS({"f": b"xy"})
+        fd = fs.open_path("f", 0)
+        assert fs.seek(fd, -5, SEEK_SET) == -errno.EINVAL
+
+    def test_write_extends_with_zeros(self):
+        fs = VirtualFS()
+        fd = fs.open_path("f", O_CREAT)
+        fs.seek(fd, 4, SEEK_SET)
+        fs.write(fd, b"z")
+        assert bytes(fs.files["f"]) == b"\x00\x00\x00\x00z"
+
+    def test_close_invalidates(self):
+        fs = VirtualFS({"f": b"abc"})
+        fd = fs.open_path("f", 0)
+        assert fs.close(fd) == errno.SUCCESS
+        assert fs.read(fd, 1) is None
+        assert fs.close(fd) == errno.EBADF
+
+    def test_stdin(self):
+        fs = VirtualFS()
+        fs.set_stdin(b"input data")
+        assert fs.read(0, 5) == b"input"
+        assert fs.read(0, 50) == b" data"
+        assert fs.read(0, 5) == b""
+
+    def test_path_normalization(self):
+        fs = VirtualFS()
+        fs.add_file("./sub/file.txt", b"x")
+        assert fs.open_path("sub/file.txt", 0) >= 4
+
+
+class TestWasiAPI:
+    def test_fd_write_gathers_iovecs(self, api):
+        wasi, mem = api
+        _write_iov(mem, 64, 256, b"hello ")
+        _write_iov(mem, 72, 512, b"wasi")
+        result = wasi.fd_write(mem, 1, 64, 2, 128)
+        assert result == errno.SUCCESS
+        assert mem.load_u32(128) == 10
+        assert wasi.fs.stdout == b"hello wasi"
+
+    def test_fd_read_into_memory(self, api):
+        wasi, mem = api
+        fd = wasi.fs.open_path("data.txt", 0)
+        mem.store_u32(64, 256)
+        mem.store_u32(68, 5)
+        assert wasi.fd_read(mem, fd, 64, 1, 128) == errno.SUCCESS
+        assert mem.load_u32(128) == 5
+        assert mem.read_bytes(256, 5) == b"hello"
+
+    def test_fd_read_bad_fd(self, api):
+        wasi, mem = api
+        mem.store_u32(64, 256)
+        mem.store_u32(68, 5)
+        assert wasi.fd_read(mem, 99, 64, 1, 128) == errno.EBADF
+
+    def test_path_open(self, api):
+        wasi, mem = api
+        mem.write_bytes(256, b"data.txt")
+        result = wasi.path_open(mem, 3, 0, 256, 8, 0, 0, 0, 0, 128)
+        assert result == errno.SUCCESS
+        assert mem.load_u32(128) >= 4
+
+    def test_path_open_missing(self, api):
+        wasi, mem = api
+        mem.write_bytes(256, b"ghost")
+        assert wasi.path_open(mem, 3, 0, 256, 5, 0, 0, 0, 0, 128) == \
+            errno.ENOENT
+
+    def test_fd_seek_signed_offset(self, api):
+        wasi, mem = api
+        fd = wasi.fs.open_path("data.txt", 0)
+        wasi.fs.seek(fd, 5, SEEK_SET)
+        # -2 as unsigned i64 image
+        neg2 = (1 << 64) - 2
+        assert wasi.fd_seek(mem, fd, neg2, SEEK_CUR, 128) == errno.SUCCESS
+        assert mem.load("<Q", 128, 8) == 3
+
+    def test_args(self, api):
+        wasi, mem = api
+        wasi.argv = [b"prog\x00", b"arg1\x00"]
+        assert wasi.args_sizes_get(mem, 64, 68) == errno.SUCCESS
+        assert mem.load_u32(64) == 2
+        assert mem.load_u32(68) == 10
+        assert wasi.args_get(mem, 128, 256) == errno.SUCCESS
+        first = mem.load_u32(128)
+        assert mem.read_cstring(first) == b"prog"
+
+    def test_clock_is_deterministic_and_monotone(self, api):
+        wasi, mem = api
+        wasi.clock_time_get(mem, 1, 0, 64)
+        t1 = mem.load("<Q", 64, 8)
+        wasi.cpu.retire(1_000_000)
+        wasi.clock_time_get(mem, 1, 0, 64)
+        t2 = mem.load("<Q", 64, 8)
+        assert t2 > t1
+
+    def test_random_deterministic_per_seed(self):
+        mem1, mem2 = LinearMemory(1), LinearMemory(1)
+        WasiAPI(random_seed=7).random_get(mem1, 0, 32)
+        WasiAPI(random_seed=7).random_get(mem2, 0, 32)
+        assert mem1.read_bytes(0, 32) == mem2.read_bytes(0, 32)
+        mem3 = LinearMemory(1)
+        WasiAPI(random_seed=8).random_get(mem3, 0, 32)
+        assert mem3.read_bytes(0, 32) != mem1.read_bytes(0, 32)
+
+    def test_proc_exit_raises(self, api):
+        wasi, mem = api
+        with pytest.raises(ExitProc) as exc:
+            wasi.proc_exit(mem, 3)
+        assert exc.value.code == 3
+        assert wasi.exit_code == 3
+
+    def test_host_calls_charge_instructions(self, api):
+        wasi, mem = api
+        before = wasi.cpu.counters.instructions
+        _write_iov(mem, 64, 256, b"x" * 800)
+        wasi.fd_write(mem, 1, 64, 1, 128)
+        charged = wasi.cpu.counters.instructions - before
+        assert charged > 100  # syscall base + copy cost

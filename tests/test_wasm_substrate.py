@@ -1,0 +1,341 @@
+"""Unit tests for the WebAssembly substrate: LEB128, encode/decode, validation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DecodeError, ValidationError, WasmError
+from repro.wasm import (F64, I32, I64, FuncType, Limits, ModuleBuilder,
+                        decode_module, encode_module, module_to_wat,
+                        validate_module)
+from repro.wasm import leb128, opcodes as op
+from repro.wasm.module import Function, Module
+
+
+class TestLeb128:
+    def test_encode_u_zero(self):
+        assert leb128.encode_u(0) == b"\x00"
+
+    def test_encode_u_multibyte(self):
+        assert leb128.encode_u(624485) == b"\xe5\x8e\x26"
+
+    def test_encode_s_negative(self):
+        assert leb128.encode_s(-123456) == b"\xc0\xbb\x78"
+
+    def test_encode_u_rejects_negative(self):
+        with pytest.raises(ValueError):
+            leb128.encode_u(-1)
+
+    def test_decode_u_truncated(self):
+        with pytest.raises(DecodeError):
+            leb128.decode_u(b"\x80", 0)
+
+    def test_decode_u_overlong(self):
+        with pytest.raises(DecodeError):
+            leb128.decode_u(b"\x80\x80\x80\x80\x80\x80", 0, 32)
+
+    def test_decode_u_out_of_range(self):
+        # 2**32 does not fit in 32 bits.
+        data = leb128.encode_u(2 ** 32)
+        with pytest.raises(DecodeError):
+            leb128.decode_u(data, 0, 32)
+
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    def test_u32_roundtrip(self, value):
+        data = leb128.encode_u(value)
+        decoded, offset = leb128.decode_u(data, 0, 32)
+        assert decoded == value and offset == len(data)
+
+    @given(st.integers(min_value=-2 ** 31, max_value=2 ** 31 - 1))
+    def test_s32_roundtrip(self, value):
+        data = leb128.encode_s(value)
+        decoded, offset = leb128.decode_s(data, 0, 32)
+        assert decoded == value and offset == len(data)
+
+    @given(st.integers(min_value=-2 ** 63, max_value=2 ** 63 - 1))
+    def test_s64_roundtrip(self, value):
+        data = leb128.encode_s(value)
+        decoded, offset = leb128.decode_s(data, 0, 64)
+        assert decoded == value and offset == len(data)
+
+
+def _simple_module() -> "Module":
+    mb = ModuleBuilder()
+    mb.set_memory(1, 16)
+    mb.add_global("g", I32, True, (op.I32_CONST, 7))
+    fb = mb.function("add", [I32, I32], [I32], export=True)
+    fb.local_get(0).local_get(1).emit(op.I32_ADD)
+    fb2 = mb.function("main", [], [I32], export=True)
+    fb2.i32_const(2).i32_const(3).call_named("add")
+    return mb.build()
+
+
+class TestEncodeDecode:
+    def test_roundtrip_simple(self):
+        module = _simple_module()
+        data = encode_module(module)
+        assert data[:4] == b"\x00asm"
+        decoded = decode_module(data)
+        assert len(decoded.functions) == 2
+        assert decoded.types == module.types
+        assert decoded.functions[0].body == module.functions[0].body
+        # Re-encode must be byte-identical (canonical encoder).
+        assert encode_module(decoded) == data
+
+    def test_roundtrip_control_flow(self):
+        mb = ModuleBuilder()
+        fb = mb.function("count", [I32], [I32], export=True)
+        acc = fb.add_local(I32)
+        fb.block("exit")
+        fb.loop("top")
+        fb.local_get(0).emit(op.I32_EQZ).br_if("exit")
+        fb.local_get(acc).i32_const(1).emit(op.I32_ADD).local_set(acc)
+        fb.local_get(0).i32_const(1).emit(op.I32_SUB).local_set(0)
+        fb.br("top")
+        fb.end().end()
+        fb.local_get(acc)
+        module = mb.build()
+        data = encode_module(module)
+        decoded = decode_module(data)
+        assert decoded.functions[0].body == module.functions[0].body
+
+    def test_decode_rejects_bad_magic(self):
+        with pytest.raises(DecodeError):
+            decode_module(b"\x00bad\x01\x00\x00\x00")
+
+    def test_decode_rejects_truncation(self):
+        data = encode_module(_simple_module())
+        with pytest.raises(DecodeError):
+            decode_module(data[:-3])
+
+    def test_decode_rejects_unknown_opcode(self):
+        module = _simple_module()
+        module.functions[0].body = [(0xFE,)]
+        # Encoder refuses unknown opcodes too.
+        with pytest.raises(Exception):
+            encode_module(module)
+
+    def test_data_segments_roundtrip(self):
+        mb = ModuleBuilder()
+        mb.set_memory(1)
+        mb.add_data(16, b"hello world\x00")
+        mb.function("main", [], [], export=True).emit(op.NOP)
+        module = mb.build()
+        decoded = decode_module(encode_module(module))
+        assert decoded.data[0].data == b"hello world\x00"
+        assert decoded.data[0].offset == [(op.I32_CONST, 16)]
+
+    def test_element_segments_roundtrip(self):
+        mb = ModuleBuilder()
+        fb = mb.function("f", [], [I32], export=True)
+        fb.i32_const(42)
+        mb.add_element(0, ["f"])
+        module = mb.build()
+        decoded = decode_module(encode_module(module))
+        assert decoded.elements[0].func_indices == [0]
+
+    def test_imports_roundtrip(self):
+        mb = ModuleBuilder()
+        mb.import_function("wasi_snapshot_preview1", "fd_write",
+                           FuncType((I32, I32, I32, I32), (I32,)), "fd_write")
+        mb.set_memory(1)
+        fb = mb.function("main", [], [], export=True)
+        fb.i32_const(0).i32_const(0).i32_const(0).i32_const(0)
+        fb.call_named("fd_write").emit(op.DROP)
+        module = mb.build()
+        decoded = decode_module(encode_module(module))
+        assert decoded.imports[0].module == "wasi_snapshot_preview1"
+        assert decoded.num_imported_funcs == 1
+        # Defined function is at joint index 1.
+        assert decoded.func_type(1) == FuncType((), ())
+
+
+class TestValidator:
+    def test_valid_module_passes(self):
+        validate_module(_simple_module())
+
+    def test_stack_underflow(self):
+        mb = ModuleBuilder()
+        fb = mb.function("bad", [], [I32])
+        fb.emit(op.I32_ADD)  # nothing on the stack
+        with pytest.raises(ValidationError):
+            mb.build()
+
+    def test_type_mismatch(self):
+        mb = ModuleBuilder()
+        fb = mb.function("bad", [], [I32])
+        fb.f64_const(1.0).f64_const(2.0).emit(op.I32_ADD)
+        with pytest.raises(ValidationError):
+            mb.build()
+
+    def test_missing_result(self):
+        mb = ModuleBuilder()
+        mb.function("bad", [], [I32]).emit(op.NOP)
+        with pytest.raises(ValidationError):
+            mb.build()
+
+    def test_leftover_values(self):
+        mb = ModuleBuilder()
+        fb = mb.function("bad", [], [])
+        fb.i32_const(1)
+        with pytest.raises(ValidationError):
+            mb.build()
+
+    def test_bad_local_index(self):
+        mb = ModuleBuilder()
+        mb.function("bad", [I32], [I32]).local_get(5)
+        with pytest.raises(ValidationError):
+            mb.build()
+
+    def test_set_immutable_global(self):
+        mb = ModuleBuilder()
+        mb.add_global("g", I32, False, (op.I32_CONST, 1))
+        fb = mb.function("bad", [], [])
+        fb.i32_const(2).global_set(0)
+        with pytest.raises(ValidationError):
+            mb.build()
+
+    def test_unreachable_polymorphism(self):
+        # Code after unreachable may use any types.
+        mb = ModuleBuilder()
+        fb = mb.function("ok", [], [I32])
+        fb.emit(op.UNREACHABLE)
+        fb.emit(op.I32_ADD)  # polymorphic operands
+        mb.build()  # must validate
+
+    def test_br_to_outer_label(self):
+        mb = ModuleBuilder()
+        fb = mb.function("ok", [I32], [I32], export=True)
+        fb.block("a", I32)
+        fb.i32_const(1)
+        fb.local_get(0).emit(op.I32_EQZ)
+        fb.br_if("a")
+        fb.emit(op.DROP)
+        fb.i32_const(2)
+        fb.end()
+        mb.build()
+
+    def test_if_with_result_requires_else(self):
+        mb = ModuleBuilder()
+        fb = mb.function("bad", [I32], [I32])
+        fb.local_get(0)
+        fb.if_("x", I32)
+        fb.i32_const(1)
+        fb.end()
+        with pytest.raises(ValidationError):
+            mb.build()
+
+    def test_if_else_result(self):
+        mb = ModuleBuilder()
+        fb = mb.function("ok", [I32], [I32], export=True)
+        fb.local_get(0)
+        fb.if_("x", I32)
+        fb.i32_const(1)
+        fb.else_()
+        fb.i32_const(2)
+        fb.end()
+        mb.build()
+
+    def test_call_undefined_function(self):
+        module = _simple_module()
+        module.functions[1].body = [(op.CALL, 99)]
+        with pytest.raises(ValidationError):
+            validate_module(module)
+
+    def test_memory_instruction_without_memory(self):
+        mb = ModuleBuilder()
+        fb = mb.function("bad", [], [I32])
+        fb.i32_const(0).emit(op.I32_LOAD, 2, 0)
+        with pytest.raises(ValidationError):
+            mb.build()
+
+    def test_overaligned_access(self):
+        mb = ModuleBuilder()
+        mb.set_memory(1)
+        fb = mb.function("bad", [], [I32])
+        fb.i32_const(0).emit(op.I32_LOAD, 4, 0)  # 2**4 = 16 > width 4
+        with pytest.raises(ValidationError):
+            mb.build()
+
+    def test_duplicate_export_rejected(self):
+        module = _simple_module()
+        module.exports.append(module.exports[0])
+        with pytest.raises(ValidationError):
+            validate_module(module)
+
+    def test_br_table_validates(self):
+        mb = ModuleBuilder()
+        fb = mb.function("ok", [I32], [I32], export=True)
+        out = fb.add_local(I32)
+        fb.block("c")
+        fb.block("b")
+        fb.block("a")
+        fb.local_get(0)
+        fb.br_table(["a", "b"], "c")
+        fb.end()
+        fb.i32_const(10).local_set(out)
+        fb.br("c")
+        fb.end()
+        fb.i32_const(20).local_set(out)
+        fb.end()
+        fb.local_get(out)
+        mb.build()
+
+
+class TestBuilder:
+    def test_unknown_label_raises(self):
+        mb = ModuleBuilder()
+        fb = mb.function("f", [], [])
+        with pytest.raises(WasmError):
+            fb.br("nope")
+
+    def test_unclosed_label_raises(self):
+        mb = ModuleBuilder()
+        fb = mb.function("f", [], [])
+        fb.block("open")
+        with pytest.raises(WasmError):
+            mb.build()
+
+    def test_reserve_then_define(self):
+        mb = ModuleBuilder()
+        index = mb.reserve_function("later")
+        fb = mb.function("caller", [], [I32], export=True)
+        fb.call(index)
+        fb2 = mb.define_reserved("later", [], [I32])
+        fb2.i32_const(9)
+        module = mb.build()
+        # Reservation fixes the index at reserve time: "later" got index 0.
+        assert module.functions[0].name == "later"
+        assert module.functions[1].name == "caller"
+        assert module.functions[1].body == [(op.CALL, 0)]
+
+    def test_locals_run_length_encoding(self):
+        mb = ModuleBuilder()
+        fb = mb.function("f", [], [])
+        fb.add_local(I32)
+        fb.add_local(I32)
+        fb.add_local(F64)
+        fb.add_local(I32)
+        fb.emit(op.NOP)
+        module = mb.build()
+        assert module.functions[0].local_decls == [(2, I32), (1, F64), (1, I32)]
+        assert module.functions[0].local_types() == [I32, I32, F64, I32]
+
+    def test_duplicate_function_name(self):
+        mb = ModuleBuilder()
+        mb.function("f", [], []).emit(op.NOP)
+        with pytest.raises(WasmError):
+            mb.function("f", [], [])
+
+
+class TestWat:
+    def test_wat_output_contains_structure(self):
+        text = module_to_wat(_simple_module())
+        assert "(module" in text
+        assert "i32.add" in text
+        assert '(export "add"' in text
+
+    def test_format_body_indents(self):
+        from repro.wasm import format_body
+        body = [(op.BLOCK, 0x40), (op.NOP,), (op.END,)]
+        lines = format_body(body).splitlines()
+        assert lines[1].startswith("      ")  # nop is indented deeper
