@@ -34,8 +34,19 @@ def harness():
 
 @pytest.fixture(scope="session")
 def small_harness():
-    """Tiny harness for the expensive sweeps (opt levels, backends)."""
+    """Tiny harness for the expensive sweeps (opt levels, appendix)."""
     return Harness(size="test", benchmarks=SMALL_SET)
+
+
+@pytest.fixture(scope="session")
+def backend_harness():
+    """Small-size harness for the backend-tier comparison (Fig. 2).
+
+    Compile-share experiments need execution-dominated runs: at the
+    "test" workload class the LLVM tier's compile time swamps execution
+    and the paper's amortization finding cannot appear.
+    """
+    return Harness(size="small", benchmarks=SMALL_SET)
 
 
 def one_shot(benchmark, fn):

@@ -4,8 +4,8 @@ from conftest import one_shot
 from repro.harness.experiments import perf
 
 
-def test_fig2_jit_backends(benchmark, small_harness):
-    table = one_shot(benchmark, lambda: perf.fig2(small_harness))
+def test_fig2_jit_backends(benchmark, backend_harness):
+    table = one_shot(benchmark, lambda: perf.fig2(backend_harness))
     row = table.rows[-1]
     assert row[0] == "GEOMEAN"
     singlepass, cranelift, llvm = row[1], row[2], row[3]

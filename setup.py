@@ -14,5 +14,8 @@ setup(
     license="Apache-2.0",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    entry_points={"console_scripts": ["wabench = repro.harness.cli:main"]},
+    entry_points={"console_scripts": [
+        "wabench = repro.harness.cli:main",
+        "wasicc = repro.compiler.driver:main",
+    ]},
 )

@@ -1,0 +1,41 @@
+"""Static analysis over decoded Wasm modules and MiniC translation units.
+
+The package has three layers:
+
+* :mod:`repro.analysis.cfg` rebuilds a basic-block control-flow graph from
+  the structured (block/loop/if) control flow of a function body.
+* :mod:`repro.analysis.dataflow` is a generic worklist fixpoint engine that
+  works on any CFG-shaped object (the Wasm CFG above, or the MiniC
+  statement graph in :mod:`repro.analysis.sanitizer`).
+* Client analyses: interval/range analysis (:mod:`repro.analysis.ranges`,
+  which powers LLVM-tier bounds-check elimination in the JIT model),
+  liveness (:mod:`repro.analysis.liveness`), dead-code/reachability (part
+  of the CFG), static code metrics (:mod:`repro.analysis.metrics`) and the
+  MiniC sanitizer (:mod:`repro.analysis.sanitizer`).
+"""
+
+from .cfg import BasicBlock, ControlFlowGraph, build_cfg
+from .dataflow import DataflowAnalysis, solve
+from .liveness import dead_stores, live_variables
+from .metrics import FunctionMetrics, ModuleMetrics, module_report
+from .ranges import Interval, function_ranges, provable_inbounds
+from .sanitizer import Finding, analyze_source, analyze_unit
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "build_cfg",
+    "DataflowAnalysis",
+    "solve",
+    "live_variables",
+    "dead_stores",
+    "FunctionMetrics",
+    "ModuleMetrics",
+    "module_report",
+    "Interval",
+    "function_ranges",
+    "provable_inbounds",
+    "Finding",
+    "analyze_source",
+    "analyze_unit",
+]

@@ -1,0 +1,278 @@
+"""Basic-block CFG reconstruction from structured Wasm control flow.
+
+Wasm function bodies are flat instruction lists whose control flow is
+expressed through nested ``block``/``loop``/``if`` regions and relative
+branch labels.  This module resolves every label to a flat program
+counter (the same resolution the interpreter's side tables perform) and
+then partitions the body into maximal basic blocks.
+
+Conventions:
+
+* Program counters index ``func.body``; ``len(body)`` is the synthetic
+  exit pc (function return).
+* A branch *to a loop label* targets the ``loop`` opcode's own pc (the
+  marker is a no-op, so re-traversing it is harmless and keeps the loop
+  header at a stable block boundary).
+* A branch *to a block/if label* targets the pc just after the matching
+  ``end``.
+* ``return``/``unreachable``/branches to the function label all target
+  the exit pc.
+
+Every pc of the body belongs to exactly one block; dead code after an
+unconditional transfer forms blocks with no predecessors, which
+:meth:`ControlFlowGraph.unreachable_pcs` reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ReproError
+from ..wasm import opcodes as op
+from ..wasm.module import Function, Module
+
+Instr = Tuple
+
+
+class CFGError(ReproError):
+    """Raised for structurally invalid bodies (unbalanced control)."""
+
+
+# Terminator kinds recorded per branching pc.
+_JUMP = "jump"          # br: one target
+_BRANCH = "branch"      # br_if: taken target + fall-through
+_IF = "if"              # if: fall-through (true) + else/end target (false)
+_TABLE = "table"        # br_table: n case targets + default
+_EXIT = "exit"          # return / unreachable
+
+
+@dataclass
+class BasicBlock:
+    """Half-open pc range ``[start, end)`` with resolved successor edges."""
+
+    index: int
+    start: int
+    end: int
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+    # For conditional terminators, the successor taken when the condition
+    # is non-zero / zero.  -1 when the block does not end in a condition.
+    true_succ: int = -1
+    false_succ: int = -1
+
+    def pcs(self) -> range:
+        return range(self.start, self.end)
+
+
+class ControlFlowGraph:
+    def __init__(self, body: Sequence[Instr], blocks: List[BasicBlock],
+                 block_of: List[int],
+                 targets: Dict[int, List]) -> None:
+        self.body = body
+        self.blocks = blocks                # last entry is the exit block
+        self.block_of = block_of            # pc -> block index
+        self.targets = targets              # branching pc -> [kind, *pcs]
+        self.entry = 0
+        self.exit_index = len(blocks) - 1
+
+    # -- queries ----------------------------------------------------------
+
+    def block_at(self, pc: int) -> int:
+        """Block index containing ``pc`` (``len(body)`` maps to exit)."""
+        if pc == len(self.body):
+            return self.exit_index
+        return self.block_of[pc]
+
+    def branch_targets(self, pc: int) -> List[int]:
+        """Flat target pcs of the branching instruction at ``pc``."""
+        entry = self.targets.get(pc)
+        if entry is None:
+            return []
+        if entry[0] == _EXIT:
+            return [len(self.body)]
+        return list(entry[1:])
+
+    def reachable(self) -> Set[int]:
+        """Block indices reachable from the entry block."""
+        seen = {self.entry}
+        stack = [self.entry]
+        while stack:
+            for succ in self.blocks[stack.pop()].succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def rpo(self) -> List[int]:
+        """Reverse postorder over reachable blocks (forward analyses)."""
+        seen: Set[int] = set()
+        order: List[int] = []
+        # Iterative DFS with an explicit "exit" marker per node.
+        stack: List[Tuple[int, bool]] = [(self.entry, False)]
+        while stack:
+            node, done = stack.pop()
+            if done:
+                order.append(node)
+                continue
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.append((node, True))
+            for succ in reversed(self.blocks[node].succs):
+                if succ not in seen:
+                    stack.append((succ, False))
+        order.reverse()
+        return order
+
+    def unreachable_pcs(self) -> List[int]:
+        """Body pcs that no execution can reach (dead code)."""
+        live = self.reachable()
+        dead: List[int] = []
+        for block in self.blocks[:-1]:
+            if block.index not in live:
+                dead.extend(block.pcs())
+        return dead
+
+
+# ---------------------------------------------------------------------------
+# Label resolution
+# ---------------------------------------------------------------------------
+
+
+def _resolve_targets(body: Sequence[Instr]) -> Dict[int, List]:
+    """Map every control-transferring pc to its flat targets.
+
+    Targets of branches to still-open ``block``/``if`` frames are patched
+    when the matching ``end`` is seen, mirroring the interpreter's
+    side-table construction.
+    """
+    n = len(body)
+    targets: Dict[int, List] = {}
+    # frame: [opcode, start_pc, else_pc, patches]; patches = [(pc, slot)].
+    ctrl: List[List] = [[0, -1, -1, []]]
+
+    def label_target(depth: int, pc: int, slot: int) -> int:
+        if depth >= len(ctrl):
+            raise CFGError(f"branch depth {depth} out of range at pc {pc}")
+        frame = ctrl[len(ctrl) - 1 - depth]
+        if frame[1] < 0:            # function frame: branch == return
+            return n
+        if frame[0] == op.LOOP:
+            return frame[1]
+        frame[3].append((pc, slot))
+        return -1
+
+    for pc, ins in enumerate(body):
+        o = ins[0]
+        if o in (op.BLOCK, op.LOOP, op.IF):
+            ctrl.append([o, pc, -1, []])
+            if o == op.IF:
+                targets[pc] = [_IF, -1]   # false target patched below
+        elif o == op.ELSE:
+            if len(ctrl) < 2 or ctrl[-1][0] != op.IF:
+                raise CFGError(f"else without if at pc {pc}")
+            ctrl[-1][2] = pc
+            targets[pc] = [_JUMP, -1]     # jump over the else arm
+        elif o == op.END:
+            if len(ctrl) < 2:
+                raise CFGError(f"end without matching block at pc {pc}")
+            frame = ctrl.pop()
+            fo, start_pc, else_pc, patches = frame
+            after = pc + 1
+            if fo == op.IF:
+                if else_pc >= 0:
+                    targets[start_pc][1] = else_pc + 1
+                    targets[else_pc][1] = after
+                else:
+                    targets[start_pc][1] = after
+            for patch_pc, slot in patches:
+                targets[patch_pc][slot] = after
+        elif o == op.BR:
+            targets[pc] = [_JUMP, label_target(ins[1], pc, 1)]
+        elif o == op.BR_IF:
+            targets[pc] = [_BRANCH, label_target(ins[1], pc, 1)]
+        elif o == op.BR_TABLE:
+            labels, default = ins[1], ins[2]
+            entry: List = [_TABLE] + [-1] * (len(labels) + 1)
+            targets[pc] = entry
+            for slot, depth in enumerate(list(labels) + [default], start=1):
+                entry[slot] = label_target(depth, pc, slot)
+        elif o in (op.RETURN, op.UNREACHABLE):
+            targets[pc] = [_EXIT]
+    if len(ctrl) != 1:
+        raise CFGError("unbalanced control frames at end of body")
+    return targets
+
+
+# ---------------------------------------------------------------------------
+# Block construction
+# ---------------------------------------------------------------------------
+
+
+def build_cfg(func: Function,
+              module: Optional[Module] = None) -> ControlFlowGraph:
+    """Build the basic-block CFG of ``func``'s body.
+
+    ``module`` is accepted for signature symmetry with the client
+    analyses; the graph itself only needs the body.
+    """
+    body = func.body
+    n = len(body)
+    targets = _resolve_targets(body)
+
+    leaders: Set[int] = {0}
+    for pc, entry in targets.items():
+        if pc + 1 <= n:
+            leaders.add(pc + 1)
+        if entry[0] != _EXIT:
+            for tgt in entry[1:]:
+                if tgt < n:
+                    leaders.add(tgt)
+    for pc, ins in enumerate(body):
+        if ins[0] == op.LOOP:
+            leaders.add(pc)          # stable loop headers even if never br'd
+
+    starts = sorted(pc for pc in leaders if pc < n)
+    blocks: List[BasicBlock] = []
+    block_of: List[int] = [0] * n
+    for i, start in enumerate(starts):
+        end = starts[i + 1] if i + 1 < len(starts) else n
+        blocks.append(BasicBlock(index=i, start=start, end=end))
+        for pc in range(start, end):
+            block_of[pc] = i
+    exit_index = len(blocks)
+    blocks.append(BasicBlock(index=exit_index, start=n, end=n))
+
+    def at(pc: int) -> int:
+        return exit_index if pc >= n else block_of[pc]
+
+    for block in blocks[:-1]:
+        last = block.end - 1
+        entry = targets.get(last)
+        kind = entry[0] if entry else None
+        if kind == _JUMP:
+            block.succs = [at(entry[1])]
+        elif kind == _BRANCH:
+            taken, fall = at(entry[1]), at(block.end)
+            block.succs = [taken, fall]
+            block.true_succ, block.false_succ = taken, fall
+        elif kind == _IF:
+            then, other = at(block.end), at(entry[1])
+            block.succs = [then, other]
+            block.true_succ, block.false_succ = then, other
+        elif kind == _TABLE:
+            seen: Set[int] = set()
+            for tgt in entry[1:]:
+                bi = at(tgt)
+                if bi not in seen:
+                    seen.add(bi)
+                    block.succs.append(bi)
+        elif kind == _EXIT:
+            block.succs = [exit_index]
+        else:
+            block.succs = [at(block.end)]
+    for block in blocks:
+        for succ in block.succs:
+            blocks[succ].preds.append(block.index)
+    return ControlFlowGraph(body, blocks, block_of, targets)

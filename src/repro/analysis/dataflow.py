@@ -1,0 +1,116 @@
+"""Generic worklist dataflow engine.
+
+Works over any CFG-shaped object exposing ``blocks`` (each with
+``index``/``succs``/``preds``), ``entry``, ``exit_index`` and ``rpo()``
+— both the Wasm basic-block graph from :mod:`repro.analysis.cfg` and the
+MiniC statement graph used by the sanitizer satisfy this protocol.
+
+Facts use ``None`` as bottom ("no execution reaches here"); an analysis
+never sees bottom in ``transfer``.  ``edge`` may *return* ``None`` to
+mark an edge infeasible (e.g. a branch condition contradicting the
+current interval environment), which simply removes its contribution
+from the join.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, List, Optional, Tuple
+
+
+class DataflowAnalysis:
+    """Base class: subclasses define the lattice and transfer functions."""
+
+    #: "forward" or "backward".
+    direction = "forward"
+
+    def boundary(self) -> Any:
+        """Fact at the entry block (forward) or exit block (backward)."""
+        raise NotImplementedError
+
+    def join(self, a: Any, b: Any) -> Any:
+        raise NotImplementedError
+
+    def transfer(self, block: Any, fact: Any) -> Any:
+        """Propagate ``fact`` through ``block`` (never called with None)."""
+        raise NotImplementedError
+
+    def edge(self, block: Any, succ_pos: int, fact: Any) -> Optional[Any]:
+        """Refine ``fact`` along the edge to ``block.succs[succ_pos]``.
+
+        Returning ``None`` declares the edge infeasible.
+        """
+        return fact
+
+    def widen(self, old: Any, new: Any) -> Any:
+        """Accelerate convergence once a block's input keeps growing."""
+        return new
+
+    def same(self, a: Any, b: Any) -> bool:
+        return a == b
+
+
+def solve(cfg: Any, analysis: DataflowAnalysis,
+          widen_after: int = 3) -> Tuple[List[Any], List[Any]]:
+    """Run ``analysis`` to fixpoint over ``cfg``.
+
+    Returns ``(in_facts, out_facts)`` indexed by block; ``None`` entries
+    are blocks no fact ever reached (dead code, or all edges infeasible).
+    For backward analyses "in" is the fact at block *exit* and "out" the
+    fact at block *entry* — i.e. in the direction of propagation.
+    """
+    forward = analysis.direction == "forward"
+    blocks = cfg.blocks
+    n = len(blocks)
+    start = cfg.entry if forward else cfg.exit_index
+
+    def flow_succs(block: Any) -> List[int]:
+        return block.succs if forward else block.preds
+
+    in_facts: List[Any] = [None] * n
+    out_facts: List[Any] = [None] * n
+    in_facts[start] = analysis.boundary()
+    updates = [0] * n
+
+    order = cfg.rpo()
+    if not forward:
+        order = list(reversed(order))
+    priority = {bi: i for i, bi in enumerate(order)}
+    work = deque(bi for bi in order)
+    queued = set(work)
+
+    while work:
+        bi = work.popleft()
+        queued.discard(bi)
+        fact = in_facts[bi]
+        if fact is None:
+            continue
+        new_out = analysis.transfer(blocks[bi], fact)
+        if out_facts[bi] is not None and analysis.same(out_facts[bi], new_out):
+            continue
+        out_facts[bi] = new_out
+        for pos, succ in enumerate(flow_succs(blocks[bi])):
+            edge_fact = analysis.edge(blocks[bi], pos, new_out)
+            if edge_fact is None:
+                continue
+            old = in_facts[succ]
+            merged = edge_fact if old is None \
+                else analysis.join(old, edge_fact)
+            if old is not None and analysis.same(old, merged):
+                continue
+            updates[succ] += 1
+            # Widen only at join points: every cycle flows through a
+            # block with >= 2 predecessors, so this both guarantees
+            # termination and leaves branch-refined facts on straight-
+            # line edges untouched.
+            joins = blocks[succ].preds if forward else blocks[succ].succs
+            if old is not None and updates[succ] > widen_after \
+                    and len(joins) > 1:
+                merged = analysis.widen(old, merged)
+                if analysis.same(old, merged):
+                    continue
+            in_facts[succ] = merged
+            if succ not in queued and succ in priority:
+                work.append(succ)
+                queued.add(succ)
+    return in_facts, out_facts

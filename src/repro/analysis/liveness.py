@@ -1,0 +1,77 @@
+"""Backward liveness of Wasm locals, plus a dead-store client.
+
+A local is *live* at a point when some path to function exit reads it
+(``local.get``) before writing it.  ``local.tee`` consumes a *stack*
+value, not the local itself, so like ``local.set`` it is a pure
+definition of the local.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..wasm import opcodes as op
+from ..wasm.module import Function, Module
+from . import dataflow
+from .cfg import BasicBlock, ControlFlowGraph, build_cfg
+
+
+class LivenessAnalysis(dataflow.DataflowAnalysis):
+    direction = "backward"
+
+    def __init__(self, cfg: ControlFlowGraph) -> None:
+        self.cfg = cfg
+
+    def boundary(self) -> FrozenSet[int]:
+        return frozenset()
+
+    def join(self, a: FrozenSet[int], b: FrozenSet[int]) -> FrozenSet[int]:
+        return a | b
+
+    def transfer(self, block: BasicBlock,
+                 fact: FrozenSet[int]) -> FrozenSet[int]:
+        live = set(fact)
+        body = self.cfg.body
+        for pc in range(block.end - 1, block.start - 1, -1):
+            ins = body[pc]
+            o = ins[0]
+            if o in (op.LOCAL_SET, op.LOCAL_TEE):
+                live.discard(ins[1])
+            elif o == op.LOCAL_GET:
+                live.add(ins[1])
+        return frozenset(live)
+
+
+def live_variables(module: Module, func: Function
+                   ) -> Tuple[ControlFlowGraph, List, List]:
+    """Solve liveness; returns ``(cfg, live_out, live_in)`` per block."""
+    cfg = build_cfg(func, module)
+    exit_facts, entry_facts = dataflow.solve(cfg, LivenessAnalysis(cfg))
+    return cfg, exit_facts, entry_facts
+
+
+def dead_stores(module: Module, func: Function) -> List[int]:
+    """Pcs of ``local.set``/``local.tee`` whose value is never read.
+
+    Only blocks on some path to the function exit are considered (a
+    store inside a provably infinite loop has no liveness fact).
+    """
+    cfg, live_out, _ = live_variables(module, func)
+    dead: List[int] = []
+    body = cfg.body
+    for block in cfg.blocks[:-1]:
+        live = live_out[block.index]
+        if live is None:
+            continue
+        live = set(live)
+        for pc in range(block.end - 1, block.start - 1, -1):
+            ins = body[pc]
+            o = ins[0]
+            if o in (op.LOCAL_SET, op.LOCAL_TEE):
+                if ins[1] not in live:
+                    dead.append(pc)
+                live.discard(ins[1])
+            elif o == op.LOCAL_GET:
+                live.add(ins[1])
+    dead.sort()
+    return dead

@@ -1,0 +1,212 @@
+"""Static code metrics over decoded Wasm modules.
+
+Per function: opcode-category mix, branch and indirect-branch density,
+maximum loop-nesting depth, memory-access counts, and — via the range
+analysis — how many accesses a bounds-check-eliminating tier still has
+to guard.  The harness exposes the module-level aggregation as the
+``metrics`` experiment so static structure can be set against the
+measured performance counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..wasm import opcodes as op
+from ..wasm.module import Function, Module
+from ..wasm.types import F32, F64
+from .cfg import build_cfg
+from .liveness import dead_stores
+from .ranges import function_ranges
+
+_CONTROL = frozenset({
+    op.UNREACHABLE, op.NOP, op.BLOCK, op.LOOP, op.IF, op.ELSE, op.END,
+    op.BR, op.BR_IF, op.BR_TABLE, op.RETURN, op.CALL, op.CALL_INDIRECT,
+})
+_PARAMETRIC = frozenset({op.DROP, op.SELECT})
+_LOCAL_GLOBAL = frozenset({
+    op.LOCAL_GET, op.LOCAL_SET, op.LOCAL_TEE, op.GLOBAL_GET, op.GLOBAL_SET,
+})
+_CONST = frozenset({op.I32_CONST, op.I64_CONST, op.F32_CONST, op.F64_CONST})
+_BRANCHES = frozenset({op.BR, op.BR_IF, op.BR_TABLE, op.IF})
+_INDIRECT = frozenset({op.BR_TABLE, op.CALL_INDIRECT})
+
+
+def _category(o: int) -> str:
+    if o in op.IS_LOAD or o in op.IS_STORE or o in (op.MEMORY_SIZE,
+                                                    op.MEMORY_GROW):
+        return "memory"
+    if o in _CONTROL:
+        return "control"
+    if o in _LOCAL_GLOBAL:
+        return "var"
+    if o in _CONST:
+        return "const"
+    if o in _PARAMETRIC:
+        return "parametric"
+    sig = op.SIGNATURES.get(o)
+    if sig is not None:
+        types = set(sig[0]) | set(sig[1])
+        if types & {F32, F64}:
+            return "float"
+        return "int"
+    return "other"
+
+
+@dataclass
+class FunctionMetrics:
+    name: str
+    instructions: int
+    mix: Dict[str, int]
+    branches: int                # br / br_if / br_table / if
+    indirect: int                # br_table + call_indirect
+    calls: int
+    max_loop_depth: int
+    mem_ops: int                 # reachable loads + stores
+    checks_eliminated: int       # proven in-bounds by the range analysis
+    dead_code_instrs: int        # pcs unreachable in the CFG
+    dead_local_stores: int
+
+    @property
+    def checks_kept(self) -> int:
+        return self.mem_ops - self.checks_eliminated
+
+    @property
+    def indirect_density(self) -> float:
+        """Indirect transfers per 1000 instructions."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.indirect / self.instructions
+
+
+@dataclass
+class ModuleMetrics:
+    functions: List[FunctionMetrics] = field(default_factory=list)
+
+    def _total(self, attr: str) -> int:
+        return sum(getattr(f, attr) for f in self.functions)
+
+    @property
+    def instructions(self) -> int:
+        return self._total("instructions")
+
+    @property
+    def branches(self) -> int:
+        return self._total("branches")
+
+    @property
+    def indirect(self) -> int:
+        return self._total("indirect")
+
+    @property
+    def mem_ops(self) -> int:
+        return self._total("mem_ops")
+
+    @property
+    def checks_eliminated(self) -> int:
+        return self._total("checks_eliminated")
+
+    @property
+    def checks_kept(self) -> int:
+        return self.mem_ops - self.checks_eliminated
+
+    @property
+    def dead_code_instrs(self) -> int:
+        return self._total("dead_code_instrs")
+
+    @property
+    def dead_local_stores(self) -> int:
+        return self._total("dead_local_stores")
+
+    @property
+    def max_loop_depth(self) -> int:
+        return max((f.max_loop_depth for f in self.functions), default=0)
+
+    @property
+    def mix(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for f in self.functions:
+            for k, v in f.mix.items():
+                out[k] = out.get(k, 0) + v
+        return out
+
+    @property
+    def elimination_ratio(self) -> float:
+        if not self.mem_ops:
+            return 0.0
+        return self.checks_eliminated / self.mem_ops
+
+
+def function_metrics(module: Module, func: Function,
+                     index: int = -1) -> FunctionMetrics:
+    mix: Dict[str, int] = {}
+    branches = indirect = calls = 0
+    depth = max_depth = 0
+    frames: List[bool] = []
+    for ins in func.body:
+        o = ins[0]
+        cat = _category(o)
+        mix[cat] = mix.get(cat, 0) + 1
+        if o in _BRANCHES:
+            branches += 1
+        if o in _INDIRECT:
+            indirect += 1
+        if o in (op.CALL, op.CALL_INDIRECT):
+            calls += 1
+        if o in (op.BLOCK, op.LOOP, op.IF):
+            is_loop = o == op.LOOP
+            frames.append(is_loop)
+            if is_loop:
+                depth += 1
+                max_depth = max(max_depth, depth)
+        elif o == op.END and frames:
+            if frames.pop():
+                depth -= 1
+
+    ranges = function_ranges(module, func)
+    cfg = build_cfg(func, module)
+    return FunctionMetrics(
+        name=func.name or (f"func[{index}]" if index >= 0 else "func"),
+        instructions=len(func.body),
+        mix=mix,
+        branches=branches,
+        indirect=indirect,
+        calls=calls,
+        max_loop_depth=max_depth,
+        mem_ops=ranges.mem_ops,
+        checks_eliminated=len(ranges.inbounds),
+        dead_code_instrs=len(cfg.unreachable_pcs()),
+        dead_local_stores=len(dead_stores(module, func)),
+    )
+
+
+def module_report(module: Module) -> ModuleMetrics:
+    report = ModuleMetrics()
+    for i, func in enumerate(module.functions):
+        report.functions.append(function_metrics(module, func, i))
+    return report
+
+
+def render_report(report: ModuleMetrics, name: str = "module") -> str:
+    """Human-readable summary used by ``wasicc --metrics``."""
+    lines = [f"static metrics for {name}:"]
+    lines.append(f"  functions:          {len(report.functions)}")
+    lines.append(f"  instructions:       {report.instructions}")
+    mix = report.mix
+    total = max(report.instructions, 1)
+    mix_s = ", ".join(f"{k} {100.0 * v / total:.1f}%"
+                      for k, v in sorted(mix.items(),
+                                         key=lambda kv: -kv[1]))
+    lines.append(f"  opcode mix:         {mix_s}")
+    lines.append(f"  branches:           {report.branches}"
+                 f" ({1000.0 * report.branches / total:.1f}/kop)")
+    lines.append(f"  indirect transfers: {report.indirect}"
+                 f" ({1000.0 * report.indirect / total:.1f}/kop)")
+    lines.append(f"  max loop depth:     {report.max_loop_depth}")
+    lines.append(f"  memory accesses:    {report.mem_ops}")
+    lines.append(f"  checks eliminated:  {report.checks_eliminated}"
+                 f" ({100.0 * report.elimination_ratio:.1f}%)")
+    lines.append(f"  dead code instrs:   {report.dead_code_instrs}")
+    lines.append(f"  dead local stores:  {report.dead_local_stores}")
+    return "\n".join(lines)

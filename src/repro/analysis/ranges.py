@@ -1,0 +1,512 @@
+"""Interval (range) analysis over i32 locals and memory addresses.
+
+The environment maps i32 local indices to signed-32 intervals; locals
+absent from the environment are unconstrained (TOP).  Non-parameter
+locals start at ``[0, 0]`` (Wasm zero-initializes locals), parameters
+start unconstrained.
+
+Inside a block the analysis symbolically evaluates the operand stack so
+that branch conditions of the shape ``cmp(local, const)`` (optionally
+under ``i32.eqz``) refine the interval of ``local`` along the taken /
+fall-through edges, and so that the address operand of each load/store
+can be bounded.
+
+A memory access at pc with static offset ``off`` and width ``w`` is
+*provably in bounds* when its address interval satisfies ``lo >= 0`` and
+``hi + off + w <= min_pages * 64KiB``.  Linear memory only grows, so the
+declared minimum is a sound lower bound on the memory size at any point
+in execution — this is the fact the LLVM JIT tier uses to drop CHECK
+ops (see ``runtimes/jit/lowering.py``).
+
+All transfer functions are wrap-aware: any arithmetic whose exact result
+could leave the signed-32 range degrades to TOP rather than modelling
+wraparound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..wasm import opcodes as op
+from ..wasm.module import Function, Module
+from ..wasm.types import I32, PAGE_SIZE
+from . import dataflow
+from .cfg import BasicBlock, ControlFlowGraph, build_cfg
+
+Interval = Tuple[int, int]
+
+S32_MIN = -(1 << 31)
+S32_MAX = (1 << 31) - 1
+U32_MAX = (1 << 32) - 1
+# Sentinels well outside i32 so widened bounds never collide with real
+# values; any bound drifting past the guard collapses to them.
+NEG_INF = -(1 << 40)
+POS_INF = 1 << 40
+TOP: Interval = (NEG_INF, POS_INF)
+
+
+def _guard(lo: int, hi: int) -> Interval:
+    """Exact only when the whole interval fits in signed-32 (no wrap)."""
+    if lo < S32_MIN or hi > S32_MAX:
+        return TOP
+    return (lo, hi)
+
+
+def _hull(a: Interval, b: Interval) -> Interval:
+    return (min(a[0], b[0]), max(a[1], b[1]))
+
+
+# -- symbolic stack entries -------------------------------------------------
+#
+# ("L", idx)              current value of i32 local idx
+# ("C", value)            exact signed-32 constant
+# ("V", interval)         plain interval
+# ("CMP", code, idx, c)   boolean: pred(s32(local idx), c); codes below
+# ("EQZ", inner)          boolean negation of a CMP entry
+
+_SWAP = {"lt_s": "gt_s", "le_s": "ge_s", "gt_s": "lt_s", "ge_s": "le_s",
+         "lt_u": "gt_u", "le_u": "ge_u", "gt_u": "lt_u", "ge_u": "le_u",
+         "eq": "eq", "ne": "ne"}
+_NEGATE = {"lt_s": "ge_s", "ge_s": "lt_s", "gt_s": "le_s", "le_s": "gt_s",
+           "lt_u": "ge_u", "ge_u": "lt_u", "gt_u": "le_u", "le_u": "gt_u",
+           "eq": "ne", "ne": "eq"}
+_CMP_CODE = {
+    op.I32_EQ: "eq", op.I32_NE: "ne",
+    op.I32_LT_S: "lt_s", op.I32_LT_U: "lt_u",
+    op.I32_GT_S: "gt_s", op.I32_GT_U: "gt_u",
+    op.I32_LE_S: "le_s", op.I32_LE_U: "le_u",
+    op.I32_GE_S: "ge_s", op.I32_GE_U: "ge_u",
+}
+
+Env = Dict[int, Interval]
+
+
+def _refine(env: Env, idx: int, code: str, c: int) -> Optional[Env]:
+    """Constrain ``env[idx]`` with ``pred(s32(local), c)`` being true.
+
+    Returns None when the constraint is unsatisfiable (infeasible edge).
+    """
+    lo, hi = env.get(idx, TOP)
+    if code == "lt_s":
+        hi = min(hi, c - 1)
+    elif code == "le_s":
+        hi = min(hi, c)
+    elif code == "gt_s":
+        lo = max(lo, c + 1)
+    elif code == "ge_s":
+        lo = max(lo, c)
+    elif code == "eq":
+        lo, hi = max(lo, c), min(hi, c)
+    elif code == "ne":
+        if lo == hi == c:
+            return None
+    elif code in ("lt_u", "le_u"):
+        # u(local) <= bound with a non-negative bound pins local to
+        # [0, bound]: any negative s32 has an unsigned value >= 2^31.
+        if c >= 0:
+            bound = c - 1 if code == "lt_u" else c
+            lo, hi = max(lo, 0), min(hi, bound)
+    elif code in ("gt_u", "ge_u"):
+        # Only meaningful when the local is already known non-negative.
+        if lo >= 0 and c >= 0:
+            lo = max(lo, c + 1 if code == "gt_u" else c)
+    if lo > hi:
+        return None
+    out = dict(env)
+    if (lo, hi) == TOP:
+        out.pop(idx, None)
+    else:
+        out[idx] = (lo, hi)
+    return out
+
+
+class RangeAnalysis(dataflow.DataflowAnalysis):
+    direction = "forward"
+
+    def __init__(self, module: Module, func: Function,
+                 cfg: ControlFlowGraph) -> None:
+        self.module = module
+        self.func = func
+        self.cfg = cfg
+        ftype = module.types[func.type_index]
+        self.num_params = len(ftype.params)
+        all_types = list(ftype.params) + func.local_types()
+        self.i32_locals = {i for i, t in enumerate(all_types) if t == I32}
+        # Condition entry consumed by each block's terminator, refreshed
+        # every time the block's transfer runs.
+        self._conds: Dict[int, object] = {}
+
+    # -- lattice ----------------------------------------------------------
+
+    def boundary(self) -> Env:
+        return {i: (0, 0) for i in self.i32_locals if i >= self.num_params}
+
+    def join(self, a: Env, b: Env) -> Env:
+        out: Env = {}
+        for idx, iv in a.items():
+            other = b.get(idx)
+            if other is not None:
+                merged = _hull(iv, other)
+                if merged != TOP:
+                    out[idx] = merged
+        return out
+
+    def widen(self, old: Env, new: Env) -> Env:
+        out: Env = {}
+        for idx, (nlo, nhi) in new.items():
+            olo, ohi = old.get(idx, (None, None))
+            if olo is None:
+                continue
+            lo = nlo if nlo >= olo else NEG_INF
+            hi = nhi if nhi <= ohi else POS_INF
+            if (lo, hi) != TOP:
+                out[idx] = (lo, hi)
+        return out
+
+    # -- transfer ---------------------------------------------------------
+
+    def transfer(self, block: BasicBlock, fact: Env) -> Env:
+        return self._walk(block, fact, None)
+
+    def edge(self, block: BasicBlock, succ_pos: int,
+             fact: Env) -> Optional[Env]:
+        if block.true_succ < 0:
+            return fact
+        cond = self._conds.get(block.index)
+        if cond is None:
+            return fact
+        truth = succ_pos == 0       # succs[0] is the condition-true edge
+        while cond[0] == "EQZ":
+            cond = cond[1]
+            truth = not truth
+        if cond[0] != "CMP":
+            return fact
+        _, code, idx, c = cond
+        if not truth:
+            code = _NEGATE[code]
+        return _refine(fact, idx, code, c)
+
+    # -- block walker ------------------------------------------------------
+
+    def _interval_of(self, entry, env: Env) -> Interval:
+        kind = entry[0]
+        if kind == "L":
+            return env.get(entry[1], TOP)
+        if kind == "C":
+            return (entry[1], entry[1])
+        if kind == "V":
+            return entry[1]
+        return (0, 1)               # CMP / EQZ results are booleans
+
+    def _protect(self, stack: List, env: Env, idx: int) -> None:
+        """Snapshot stacked references to local ``idx`` before redefining."""
+        for i, entry in enumerate(stack):
+            if entry[0] == "L" and entry[1] == idx:
+                stack[i] = ("V", env.get(idx, TOP))
+
+    def _walk(self, block: BasicBlock, fact: Env, record) -> Env:
+        env = dict(fact)
+        stack: List = []
+        body = self.cfg.body
+        module = self.module
+        membytes = None
+        if module.memories:
+            membytes = module.memories[0].minimum * PAGE_SIZE
+        cond = None
+
+        def pop():
+            return stack.pop() if stack else ("V", TOP)
+
+        for pc in range(block.start, block.end):
+            ins = body[pc]
+            o = ins[0]
+            if o == op.I32_CONST:
+                stack.append(("C", ins[1]))
+            elif o == op.LOCAL_GET:
+                idx = ins[1]
+                if idx in self.i32_locals:
+                    stack.append(("L", idx))
+                else:
+                    stack.append(("V", TOP))
+            elif o in (op.LOCAL_SET, op.LOCAL_TEE):
+                entry = pop()
+                idx = ins[1]
+                if idx in self.i32_locals:
+                    iv = self._interval_of(entry, env)
+                    self._protect(stack, env, idx)
+                    if iv == TOP:
+                        env.pop(idx, None)
+                    else:
+                        env[idx] = iv
+                    if o == op.LOCAL_TEE:
+                        stack.append(("L", idx))
+                elif o == op.LOCAL_TEE:
+                    stack.append(entry)
+            elif o in op.IS_LOAD:
+                addr = pop()
+                if record is not None:
+                    iv = self._interval_of(addr, env)
+                    offset = ins[2]
+                    width = op.ACCESS_WIDTH[o]
+                    ok = (membytes is not None and iv[0] >= 0
+                          and iv[1] + offset + width <= membytes)
+                    record(pc, ok)
+                stack.append(("V", TOP))
+            elif o in op.IS_STORE:
+                pop()               # value
+                addr = pop()
+                if record is not None:
+                    iv = self._interval_of(addr, env)
+                    offset = ins[2]
+                    width = op.ACCESS_WIDTH[o]
+                    ok = (membytes is not None and iv[0] >= 0
+                          and iv[1] + offset + width <= membytes)
+                    record(pc, ok)
+            elif o in _CMP_CODE:
+                b = pop()
+                a = pop()
+                code = _CMP_CODE[o]
+                if a[0] == "L" and b[0] == "C":
+                    stack.append(("CMP", code, a[1], b[1]))
+                elif a[0] == "C" and b[0] == "L":
+                    stack.append(("CMP", _SWAP[code], b[1], a[1]))
+                else:
+                    stack.append(("V", (0, 1)))
+            elif o == op.I32_EQZ:
+                inner = pop()
+                if inner[0] in ("CMP", "EQZ"):
+                    stack.append(("EQZ", inner))
+                else:
+                    iv = self._interval_of(inner, env)
+                    if iv[0] > 0 or iv[1] < 0:
+                        stack.append(("C", 0 if iv[0] > 0 else 1))
+                    else:
+                        stack.append(("V", (0, 1)))
+            elif o in _ARITH:
+                b = pop()
+                a = pop()
+                iv = _ARITH[o](self._interval_of(a, env),
+                               self._interval_of(b, env), b, env)
+                if iv[0] == iv[1]:
+                    stack.append(("C", iv[0]))
+                else:
+                    stack.append(("V", iv))
+            elif o == op.SELECT:
+                pop()
+                b = pop()
+                a = pop()
+                stack.append(("V", _hull(self._interval_of(a, env),
+                                         self._interval_of(b, env))))
+            elif o in (op.CALL, op.CALL_INDIRECT):
+                if o == op.CALL:
+                    ftype = module.func_type(ins[1])
+                else:
+                    ftype = module.types[ins[1]]
+                    pop()           # table index
+                for _ in ftype.params:
+                    pop()
+                for _ in ftype.results:
+                    stack.append(("V", TOP))
+            elif o in (op.BR_IF, op.IF):
+                cond = pop()
+            elif o == op.BR_TABLE:
+                pop()
+            elif o in (op.BLOCK, op.LOOP, op.END, op.ELSE, op.NOP,
+                       op.BR, op.RETURN, op.UNREACHABLE):
+                pass
+            elif o == op.DROP:
+                pop()
+            elif o == op.GLOBAL_SET:
+                pop()
+            elif o == op.GLOBAL_GET:
+                stack.append(("V", TOP))
+            elif o == op.MEMORY_SIZE:
+                stack.append(("V", (0, U32_MAX // PAGE_SIZE)))
+            elif o == op.MEMORY_GROW:
+                pop()
+                stack.append(("V", TOP))
+            elif o in op.SIGNATURES:
+                params, results = op.SIGNATURES[o]
+                for _ in params:
+                    pop()
+                for _ in results:
+                    stack.append(("V", TOP))
+            else:
+                stack.clear()       # unknown opcode: be conservative
+        self._conds[block.index] = cond
+        return env
+
+
+# -- interval arithmetic -----------------------------------------------------
+# Each entry: f(a_iv, b_iv, b_entry, env) -> Interval.  ``b_entry`` lets
+# shift/div transfer functions require a constant right operand.
+
+
+def _const_of(entry) -> Optional[int]:
+    return entry[1] if entry[0] == "C" else None
+
+
+def _iv_add(a, b, be, env):
+    return _guard(a[0] + b[0], a[1] + b[1])
+
+
+def _iv_sub(a, b, be, env):
+    return _guard(a[0] - b[1], a[1] - b[0])
+
+
+def _iv_mul(a, b, be, env):
+    if a == TOP or b == TOP:
+        return TOP
+    corners = [a[0] * b[0], a[0] * b[1], a[1] * b[0], a[1] * b[1]]
+    return _guard(min(corners), max(corners))
+
+
+def _iv_div_u(a, b, be, env):
+    c = _const_of(be)
+    if c is None or c <= 0:
+        return TOP
+    if a[0] >= 0:
+        return _guard(a[0] // c, a[1] // c)
+    if c >= 2:
+        return (0, U32_MAX // c)    # always fits in s32 once c >= 2
+    return TOP
+
+
+def _iv_div_s(a, b, be, env):
+    c = _const_of(be)
+    if c is None or c <= 0 or a[0] < 0:
+        return TOP                  # truncation toward zero vs floor
+    return _guard(a[0] // c, a[1] // c)
+
+
+def _iv_rem_u(a, b, be, env):
+    c = _const_of(be)
+    if c is None or c <= 0:
+        return TOP
+    return (0, c - 1)
+
+
+def _iv_rem_s(a, b, be, env):
+    c = _const_of(be)
+    if c is None or c <= 0 or a[0] < 0:
+        return TOP
+    return (0, min(a[1], c - 1))
+
+
+def _iv_and(a, b, be, env):
+    c = _const_of(be)
+    if c is not None and c >= 0:
+        hi = c if a[0] < 0 else min(a[1], c)
+        return (0, max(hi, 0))
+    if a[0] >= 0:
+        return (0, a[1])            # masking a non-negative never grows it
+    return TOP
+
+
+def _iv_or(a, b, be, env):
+    c = _const_of(be)
+    if c is not None and c >= 0 and a[0] >= 0:
+        bits = max(a[1].bit_length(), c.bit_length())
+        return _guard(0, (1 << bits) - 1)
+    return TOP
+
+
+def _iv_xor(a, b, be, env):
+    return _iv_or(a, b, be, env)
+
+
+def _iv_shl(a, b, be, env):
+    c = _const_of(be)
+    if c is None:
+        return TOP
+    c &= 31
+    if a == TOP:
+        return TOP
+    return _guard(a[0] << c, a[1] << c) if a[0] >= 0 else TOP
+
+
+def _iv_shr_u(a, b, be, env):
+    c = _const_of(be)
+    if c is None:
+        return TOP
+    c &= 31
+    if a[0] >= 0:
+        return (a[0] >> c, a[1] >> c)
+    if c > 0:
+        return (0, U32_MAX >> c)
+    return TOP
+
+
+def _iv_shr_s(a, b, be, env):
+    c = _const_of(be)
+    if c is None or a[0] < 0:
+        return TOP
+    c &= 31
+    return (a[0] >> c, a[1] >> c)
+
+
+_ARITH = {
+    op.I32_ADD: _iv_add,
+    op.I32_SUB: _iv_sub,
+    op.I32_MUL: _iv_mul,
+    op.I32_DIV_U: _iv_div_u,
+    op.I32_DIV_S: _iv_div_s,
+    op.I32_REM_U: _iv_rem_u,
+    op.I32_REM_S: _iv_rem_s,
+    op.I32_AND: _iv_and,
+    op.I32_OR: _iv_or,
+    op.I32_XOR: _iv_xor,
+    op.I32_SHL: _iv_shl,
+    op.I32_SHR_U: _iv_shr_u,
+    op.I32_SHR_S: _iv_shr_s,
+}
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FunctionRanges:
+    """Per-function result of the range analysis."""
+
+    inbounds: frozenset        # pcs of loads/stores proven in bounds
+    mem_ops: int               # reachable loads/stores examined
+    unreachable_mem_ops: int   # loads/stores in dead code (never execute)
+
+
+def function_ranges(module: Module, func: Function) -> FunctionRanges:
+    cfg = build_cfg(func, module)
+    analysis = RangeAnalysis(module, func, cfg)
+    in_facts, _ = dataflow.solve(cfg, analysis)
+
+    proved = set()
+    seen = set()
+
+    for block in cfg.blocks[:-1]:
+        fact = in_facts[block.index]
+        if fact is None:
+            continue
+
+        def record(pc: int, ok: bool) -> None:
+            seen.add(pc)
+            if ok:
+                proved.add(pc)
+            else:
+                proved.discard(pc)
+
+        analysis._walk(block, fact, record)
+
+    dead = 0
+    for pc, ins in enumerate(func.body):
+        if pc not in seen and (ins[0] in op.IS_LOAD or ins[0] in op.IS_STORE):
+            dead += 1
+    return FunctionRanges(inbounds=frozenset(proved), mem_ops=len(seen),
+                          unreachable_mem_ops=dead)
+
+
+def provable_inbounds(module: Module, func: Function) -> frozenset:
+    """Body pcs of ``func`` whose memory access can never trap."""
+    return function_ranges(module, func).inbounds

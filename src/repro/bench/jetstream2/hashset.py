@@ -42,7 +42,6 @@ int set_find_slot(unsigned int key) {
         }
         idx = (idx + 1u) & mask;
     }
-    return -1;
 }
 
 void set_rehash(int newcap);

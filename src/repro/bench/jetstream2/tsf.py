@@ -43,7 +43,6 @@ unsigned int get_varint(void) {
         if (!(b & 128)) return result;
         shift += 7;
     }
-    return 0u;
 }
 
 void put_double(double d) {

@@ -14,8 +14,10 @@ peephole pass, validation, and binary encoding.
 
 from __future__ import annotations
 
+import argparse
+import sys
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..errors import CompileError
 from ..minic import analyze, parse
@@ -76,3 +78,100 @@ def compile_source(source: str, opt_level: int = DEFAULT_OPT_LEVEL,
                          analyzer=analyzer, opt_level=opt_level,
                          midend_stats=midend_stats,
                          peephole_removed=removed)
+
+
+# ---------------------------------------------------------------------------
+# Command-line driver (console script: ``wasicc``)
+# ---------------------------------------------------------------------------
+
+
+def _parse_defines(items: Optional[List[str]]) -> Dict[str, str]:
+    defines: Dict[str, str] = {}
+    for item in items or []:
+        name, _, value = item.partition("=")
+        defines[name] = value if value else "1"
+    return defines
+
+
+def _rebase_error(exc: CompileError, include_libc: bool) -> str:
+    """Point frontend error lines into the user's file, not the
+    libc-concatenated translation unit."""
+    msg = str(exc)
+    line = getattr(exc, "line", 0)
+    if not (include_libc and line):
+        return msg
+    offset = LIBC_SOURCE.count("\n") + 1
+    if line <= offset:
+        return msg
+    return msg.replace(str(line), str(line - offset), 1)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="wasicc",
+        description="MiniC-to-WebAssembly compiler driver")
+    parser.add_argument("source", help="MiniC source file")
+    parser.add_argument("-o", "--output",
+                        help="output wasm path (default: <source>.wasm)")
+    parser.add_argument("-O", dest="opt", type=int,
+                        default=DEFAULT_OPT_LEVEL, metavar="LEVEL",
+                        help="optimization level 0-3 (default 2)")
+    parser.add_argument("-D", dest="defines", action="append",
+                        metavar="NAME[=VALUE]", help="preprocessor define")
+    parser.add_argument("--no-libc", action="store_true",
+                        help="do not prepend the MiniC libc")
+    parser.add_argument("--analyze", action="store_true",
+                        help="run the sanitizer instead of compiling; "
+                             "exits 1 when findings are reported")
+    parser.add_argument("--metrics", action="store_true",
+                        help="compile and print a static-metrics report "
+                             "instead of writing a binary")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.source, "r") as fh:
+            source = fh.read()
+    except OSError as exc:
+        print(f"wasicc: cannot read {args.source}: {exc}", file=sys.stderr)
+        return 2
+    defines = _parse_defines(args.defines)
+
+    if args.analyze:
+        from ..analysis.sanitizer import analyze_source
+        try:
+            findings = analyze_source(source, defines=defines,
+                                      include_libc=not args.no_libc)
+        except CompileError as exc:
+            print(f"wasicc: {_rebase_error(exc, not args.no_libc)}",
+                  file=sys.stderr)
+            return 2
+        for finding in findings:
+            print(finding.format(args.source))
+        if findings:
+            print(f"wasicc: {len(findings)} finding(s)", file=sys.stderr)
+            return 1
+        return 0
+
+    try:
+        result = compile_source(source, opt_level=args.opt, defines=defines,
+                                include_libc=not args.no_libc)
+    except CompileError as exc:
+        print(f"wasicc: {_rebase_error(exc, not args.no_libc)}",
+              file=sys.stderr)
+        return 2
+
+    if args.metrics:
+        from ..analysis.metrics import module_report, render_report
+        print(render_report(module_report(result.module), args.source))
+        return 0
+
+    output = args.output or (args.source.rsplit(".", 1)[0] + ".wasm")
+    with open(output, "wb") as fh:
+        fh.write(result.wasm_bytes)
+    print(f"wasicc: wrote {output} ({result.binary_size} bytes, "
+          f"-O{result.opt_level})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

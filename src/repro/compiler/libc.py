@@ -139,13 +139,26 @@ void *memset(void *dst, int value, unsigned int n) {
 void *calloc(unsigned int count, unsigned int size) {
     unsigned int total = count * size;
     void *p = malloc(total);
-    /* On wasm, fresh bump memory is demand-zero straight from
-       memory.grow, so wasi-libc skips the clear; the native allocator
-       (like glibc) cannot make that assumption and memsets.  This is the
-       asymmetry behind the paper's whitedb observation that Wasm
-       runtimes can show *less* resident memory than native. */
-    if (p && (TARGET_NATIVE || __malloc_recycled)) {
+    if (!p) {
+        return p;
+    }
+    if (__malloc_recycled) {
+        /* Recycled heap really is dirty: both targets must clear it. */
         memset(p, 0, total);
+    } else if (TARGET_NATIVE) {
+        /* Fresh native pages are already demand-zero from the kernel,
+           so (like glibc's mmap-backed calloc) there is no userspace
+           clear — but the allocator's first touch faults in every page,
+           making the whole block resident.  Wasm linear memory stays
+           lazily grown.  This is the asymmetry behind the paper's
+           whitedb observation that Wasm runtimes can show *less*
+           resident memory than native. */
+        char *d = (char *)p;
+        unsigned int off = 0;
+        while (off < total) {
+            d[off] = 0;
+            off += 4096u;
+        }
     }
     return p;
 }

@@ -6,7 +6,7 @@ evaluation to the callable regenerating it.
 
 from typing import Callable, Dict
 
-from . import arch, memory, perf
+from . import arch, memory, perf, static
 
 EXPERIMENTS: Dict[str, Callable] = {
     "fig1": perf.fig1,
@@ -25,6 +25,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig12": perf.fig12,
     "fig13": memory.fig13,
     "fig14": arch.fig14,
+    "metrics": static.metrics,
 }
 
-__all__ = ["EXPERIMENTS", "arch", "memory", "perf"]
+__all__ = ["EXPERIMENTS", "arch", "memory", "perf", "static"]

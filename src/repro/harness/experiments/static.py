@@ -1,0 +1,47 @@
+"""Static-structure experiment: code metrics for every benchmark.
+
+Not a figure from the paper, but the lens its Section 6 analysis needs:
+opcode mix, branchiness, indirect-transfer density, loop nesting, and
+how many memory accesses the optimizing tier's range analysis can prove
+safe.  Purely static — modules are compiled and decoded, never executed
+— so the experiment is cheap enough for CI.
+"""
+
+from __future__ import annotations
+
+from ...analysis.metrics import module_report
+from ...wasm import decode_module
+from ..report import Table
+from ..runner import Harness
+
+
+def metrics(harness: Harness) -> Table:
+    table = Table(
+        "Static metrics",
+        "Per-benchmark static code structure (compiled at -O2)",
+        ["benchmark", "ops", "mem%", "branch%", "ind/kop", "loopdepth",
+         "checks", "elim%"])
+    total_ops = total_mem = total_elim = 0
+    for name in harness.benchmark_names:
+        module = decode_module(harness.wasm_for(name))
+        report = module_report(module)
+        ops = report.instructions
+        total_ops += ops
+        total_mem += report.mem_ops
+        total_elim += report.checks_eliminated
+        table.add(
+            name,
+            ops,
+            100.0 * report.mem_ops / max(ops, 1),
+            100.0 * report.branches / max(ops, 1),
+            1000.0 * report.indirect / max(ops, 1),
+            report.max_loop_depth,
+            report.checks_kept,
+            100.0 * report.elimination_ratio,
+        )
+    table.add("TOTAL", total_ops, "", "", "", "",
+              total_mem - total_elim,
+              100.0 * total_elim / max(total_mem, 1))
+    table.note("elim% = share of loads/stores the interval analysis "
+               "proves in bounds (dropped by the LLVM tier)")
+    return table

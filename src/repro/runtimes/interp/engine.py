@@ -318,6 +318,11 @@ class Interpreter:
         self.functions = functions
         self.hcost = handler_costs or profile.handler_costs()
         self._depth = 0
+        # Optional observer called as (func_index, pc, addr, size, is_store)
+        # before every linear-memory access.  Used by the analysis test
+        # suite as a ground-truth oracle for the static range analysis;
+        # never set during normal runs.
+        self.trace_memory = None
         # Handler code addresses: one cache line per opcode handler.
         shift = cpu.caches.line_shift
         self.handler_line = [
@@ -367,6 +372,7 @@ class Interpreter:
         dispatch_cost = self.profile.dispatch_cost
         mem = self.memory
         globals_ = self.globals
+        trace = self.trace_memory
         func_tag = (func.index & 0x3FF) << 20
         stall = 0
         instr = 0
@@ -418,6 +424,8 @@ class Interpreter:
             elif o in _LOADC:
                 size, unpack, mask = _LOADC[o]
                 addr = pop() + ins[2]
+                if trace is not None:
+                    trace(func.index, pc, addr, size, False)
                 if addr + size > mem.size:
                     counters.instructions += instr
                     counters.stall_cycles += stall
@@ -431,6 +439,8 @@ class Interpreter:
                 size, pack, mask = _STOREC[o]
                 value = pop()
                 addr = pop() + ins[2]
+                if trace is not None:
+                    trace(func.index, pc, addr, size, True)
                 if addr + size > mem.size:
                     counters.instructions += instr
                     counters.stall_cycles += stall

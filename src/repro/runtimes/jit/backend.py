@@ -56,9 +56,16 @@ CRANELIFT_LEAN = BackendSpec(
     registers=18, pipeline="light",
     compile_cost_per_op=70, ir_bytes_per_op=26, compile_sweeps=2)
 
+# The LLVM tier's bounds-check advantage is *derived*, not tuned: its
+# lowering consults repro.analysis.ranges and drops the CHECK for every
+# access the interval analysis proves in bounds (constant addresses,
+# counted loops over statically-sized arrays).  Accesses it cannot
+# discharge — pointer chasing, data-dependent indices — keep their
+# checks at full density, same as the Cranelift tiers.
 LLVM = BackendSpec(
     name="llvm",
-    lowering=LoweringOptions(shadow_stack=False, check_density=0.4),
+    lowering=LoweringOptions(shadow_stack=False, check_density=1.0,
+                             eliminate_checks=True),
     registers=24, pipeline="heavy",
     compile_cost_per_op=800, ir_bytes_per_op=90, compile_sweeps=6)
 

@@ -36,6 +36,10 @@ from ...wasm.module import KIND_FUNC, Function
 class LoweringOptions:
     shadow_stack: bool = False
     check_density: float = 1.0   # fraction of memory ops with explicit CHECK
+    # Consult repro.analysis.ranges and drop the CHECK for accesses it
+    # proves in bounds (the optimizing-tier behaviour: real LLVM-grade
+    # backends eliminate checks they can discharge statically).
+    eliminate_checks: bool = False
 
 
 class _Frame:
@@ -58,11 +62,13 @@ class FunctionLowering:
     """Translates one function body."""
 
     def __init__(self, module: Module, func: Function, func_index: int,
-                 options: LoweringOptions):
+                 options: LoweringOptions,
+                 inbounds: Optional[frozenset] = None):
         self.module = module
         self.func = func
         self.func_index = func_index
         self.options = options
+        self.inbounds = inbounds if inbounds is not None else frozenset()
         ftype = module.types[func.type_index]
         self.params = list(ftype.params)
         self.results = list(ftype.results)
@@ -164,7 +170,7 @@ class FunctionLowering:
         self.frames.append(func_frame)
         unreachable = False
 
-        for ins in body:
+        for pc, ins in enumerate(body):
             o = ins[0]
 
             if unreachable:
@@ -308,13 +314,15 @@ class FunctionLowering:
             elif o in wasm_map.LOADS:
                 addr = self.pop()
                 dst = self.temp()
-                self._maybe_check()
+                if pc not in self.inbounds:
+                    self._maybe_check()
                 self.emit(wasm_map.LOADS[o], dst, addr, ins[2])
                 self.push(dst)
             elif o in wasm_map.STORES:
                 value = self.pop()
                 addr = self.pop()
-                self._maybe_check()
+                if pc not in self.inbounds:
+                    self._maybe_check()
                 self.emit(wasm_map.STORES[o], addr, ins[2], value)
             elif o == w.I32_CONST:
                 dst = self.temp()
@@ -417,8 +425,12 @@ def lower_module(module: Module, options: LoweringOptions) -> MProgram:
     program.host_imports = [imp.name for imp in imported]
 
     for i, func in enumerate(module.functions):
+        inbounds = None
+        if options.eliminate_checks:
+            from ...analysis.ranges import provable_inbounds
+            inbounds = provable_inbounds(module, func)
         mf = FunctionLowering(module, func, num_imported + i,
-                              options).lower()
+                              options, inbounds).lower()
         program.add_function(mf)
 
     # Environment: globals, table, memory, data, exports, start.

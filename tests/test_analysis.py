@@ -1,0 +1,639 @@
+"""Tests for ``repro.analysis``: CFG reconstruction, the worklist dataflow
+engine, liveness, interval/range analysis, and static metrics.
+
+The range analysis is additionally checked *differentially*: hypothesis
+generates small structured programs, the real interpreter executes them
+with a memory-access trace installed, and every access the analysis
+claimed in-bounds must stay inside the module's minimum memory.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (build_cfg, dead_stores, function_ranges,
+                            live_variables, module_report, provable_inbounds,
+                            solve)
+from repro.analysis.liveness import LivenessAnalysis
+from repro.bench import ALL_BENCHMARKS
+from repro.compiler import compile_source
+from repro.errors import Trap
+from repro.hw import CPUModel
+from repro.isa.memory import LinearMemory
+from repro.runtimes.interp.engine import (CLASSIC_PROFILE, Interpreter,
+                                          prepare_function)
+from repro.wasm import I32, ModuleBuilder, decode_module
+from repro.wasm import opcodes as op
+
+PAGE = 65536
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+
+def build_one(build, params=0, results=(I32,), pages=1):
+    """Build a single-function module; returns (module, func)."""
+    mb = ModuleBuilder()
+    if pages:
+        mb.set_memory(pages)
+    fb = mb.function("f", [I32] * params, list(results), export=True)
+    build(fb)
+    module = mb.build()          # build() validates: agreement with validator
+    return module, module.functions[0]
+
+
+def check_cfg_invariants(cfg, func):
+    """The round-trip invariants every CFG must satisfy."""
+    n = len(func.body)
+    blocks = cfg.blocks
+
+    # The synthetic exit block is last and empty.
+    exit_block = blocks[cfg.exit_index]
+    assert cfg.exit_index == len(blocks) - 1
+    assert exit_block.start == exit_block.end == n
+
+    # Partition: every pc lies in exactly one real block.
+    covered = []
+    for block in blocks[:-1]:
+        assert 0 <= block.start < block.end <= n
+        covered.extend(block.pcs())
+    assert sorted(covered) == list(range(n))
+    assert len(covered) == len(set(covered))
+
+    # block_of agrees with the partition.
+    for block in blocks[:-1]:
+        for pc in block.pcs():
+            assert cfg.block_at(pc) == block.index
+
+    # Edges are symmetric and land on block starts.
+    starts = {b.start: b.index for b in blocks}
+    for block in blocks:
+        for succ in block.succs:
+            assert 0 <= succ < len(blocks)
+            assert block.index in blocks[succ].preds
+        for pred in block.preds:
+            assert block.index in blocks[pred].succs
+    for block in blocks[:-1]:
+        term = block.end - 1
+        for target in cfg.branch_targets(term):
+            assert target == n or target in starts
+
+    # Reverse postorder visits the entry first and only reachable blocks.
+    order = cfg.rpo()
+    reach = cfg.reachable()
+    assert order[0] == 0
+    assert set(order) == reach
+    assert len(order) == len(set(order))
+
+
+def run_traced(module, args=(), pages=1):
+    """Execute function 0 in the interpreter, tracing memory accesses."""
+    prepared = [("wasm", prepare_function(module, module.functions[0], 0))]
+    interp = Interpreter(CLASSIC_PROFILE, CPUModel(), LinearMemory(pages),
+                         [], [], prepared)
+    interp.set_signatures(module)
+    accesses = []
+    interp.trace_memory = (
+        lambda fidx, pc, addr, size, st: accesses.append((pc, addr, size)))
+    trapped = False
+    try:
+        result = interp.call_index(0, list(args))
+    except Trap:
+        trapped = True
+        result = None
+    return result, accesses, trapped
+
+
+# ---------------------------------------------------------------------------
+# CFG reconstruction
+# ---------------------------------------------------------------------------
+
+
+class TestCfg:
+    def test_straight_line(self):
+        module, func = build_one(lambda fb: fb.i32_const(7))
+        cfg = build_cfg(func, module)
+        check_cfg_invariants(cfg, func)
+        assert len(cfg.blocks) == 2           # one real block + exit
+        assert cfg.blocks[0].succs == [cfg.exit_index]
+        assert cfg.unreachable_pcs() == []
+
+    def test_if_else_diamond(self):
+        def build(fb):
+            fb.local_get(0)
+            fb.if_("x", I32)
+            fb.i32_const(10)
+            fb.else_()
+            fb.i32_const(20)
+            fb.end()
+
+        module, func = build_one(build, params=1)
+        cfg = build_cfg(func, module)
+        check_cfg_invariants(cfg, func)
+        # The IF terminator splits: true edge to the then-arm (pc+1).
+        if_block = cfg.blocks[cfg.block_at(1)]
+        assert if_block.true_succ is not None
+        assert cfg.blocks[if_block.true_succ].start == 2
+        assert len(if_block.succs) == 2
+
+    def test_loop_backedge_targets_loop_pc(self):
+        def build(fb):
+            i = fb.add_local(I32)
+            fb.block("out")
+            fb.loop("top")
+            fb.local_get(i).i32_const(5).emit(op.I32_GE_S).br_if("out")
+            fb.local_get(i).i32_const(1).emit(op.I32_ADD).local_set(i)
+            fb.br("top")
+            fb.end().end()
+            fb.local_get(i)
+
+        module, func = build_one(build)
+        cfg = build_cfg(func, module)
+        check_cfg_invariants(cfg, func)
+        loop_pc = next(pc for pc, ins in enumerate(func.body)
+                       if ins[0] == op.LOOP)
+        br_pc = next(pc for pc, ins in enumerate(func.body)
+                     if ins[0] == op.BR)
+        assert cfg.branch_targets(br_pc) == [loop_pc]
+        # The loop header has at least two predecessors (entry + backedge).
+        header = cfg.blocks[cfg.block_at(loop_pc)]
+        assert len(header.preds) >= 2
+
+    def test_br_table_edges(self):
+        def build(fb):
+            fb.block("a")
+            fb.block("b")
+            fb.block("c")
+            fb.local_get(0)
+            fb.br_table(["a", "b"], "c")
+            fb.end()
+            fb.end()
+            fb.end()
+            fb.i32_const(1)
+
+        module, func = build_one(build, params=1)
+        cfg = build_cfg(func, module)
+        check_cfg_invariants(cfg, func)
+        table_pc = next(pc for pc, ins in enumerate(func.body)
+                        if ins[0] == op.BR_TABLE)
+        targets = cfg.branch_targets(table_pc)
+        assert len(set(targets)) == 3          # three distinct END landings
+
+    def test_compiled_minic_function(self):
+        source = """
+        int a[16];
+        int main(void) {
+            int i;
+            for (i = 0; i < 16; i++) a[i] = i * i;
+            return a[7];
+        }
+        """
+        module = decode_module(compile_source(source).wasm_bytes)
+        for func in module.functions:
+            check_cfg_invariants(build_cfg(func, module), func)
+
+
+# ---------------------------------------------------------------------------
+# Validator / CFG agreement on unreachable code (the bugfix sweep)
+# ---------------------------------------------------------------------------
+
+
+class TestValidatorCfgAgreement:
+    """Both layers must accept dead code after a transfer inside a block
+    and agree on which pcs can never execute."""
+
+    def test_dead_code_after_br_in_block(self):
+        def build(fb):
+            fb.block("b")
+            fb.br("b")
+            fb.i32_const(111).emit(op.DROP)    # dead, still validated
+            fb.end()
+            fb.i32_const(5)
+
+        # ModuleBuilder.build() validates: acceptance is half the contract.
+        module, func = build_one(build)
+        cfg = build_cfg(func, module)
+        check_cfg_invariants(cfg, func)
+        dead = set(cfg.unreachable_pcs())
+        const_pc = next(pc for pc, ins in enumerate(func.body)
+                        if ins[0] == op.I32_CONST and ins[1] == 111)
+        assert const_pc in dead and const_pc + 1 in dead
+        # The code after END is live again.
+        live_pc = next(pc for pc, ins in enumerate(func.body)
+                       if ins[0] == op.I32_CONST and ins[1] == 5)
+        assert cfg.block_at(live_pc) in cfg.reachable()
+        result, _, trapped = run_traced(module)
+        assert result == 5 and not trapped
+
+    def test_dead_code_after_unreachable_in_if(self):
+        def build(fb):
+            fb.local_get(0)
+            fb.if_("x")
+            fb.emit(op.UNREACHABLE)
+            fb.i32_const(9).emit(op.DROP)      # dead
+            fb.end()
+            fb.i32_const(3)
+
+        module, func = build_one(build, params=1)
+        cfg = build_cfg(func, module)
+        check_cfg_invariants(cfg, func)
+        dead = set(cfg.unreachable_pcs())
+        const_pc = next(pc for pc, ins in enumerate(func.body)
+                        if ins[0] == op.I32_CONST and ins[1] == 9)
+        assert const_pc in dead
+        result, _, trapped = run_traced(module, (0,))
+        assert result == 3 and not trapped
+
+    def test_if_with_both_arms_branching(self):
+        def build(fb):
+            fb.block("out")
+            fb.local_get(0)
+            fb.if_("x")
+            fb.br("out")
+            fb.else_()
+            fb.br("out")
+            fb.end()
+            fb.i32_const(42).emit(op.DROP)     # dead: both arms left
+            fb.end()
+            fb.i32_const(1)
+
+        module, func = build_one(build, params=1)
+        cfg = build_cfg(func, module)
+        check_cfg_invariants(cfg, func)
+        dead = set(cfg.unreachable_pcs())
+        const_pc = next(pc for pc, ins in enumerate(func.body)
+                        if ins[0] == op.I32_CONST and ins[1] == 42)
+        assert const_pc in dead
+        for args in ((0,), (1,)):
+            result, _, trapped = run_traced(module, args)
+            assert result == 1 and not trapped
+
+    def test_dead_nested_block_partitions_cleanly(self):
+        def build(fb):
+            fb.block("outer")
+            fb.br("outer")
+            fb.block("inner")                  # a whole dead nested block
+            fb.i32_const(1).br_if("inner")
+            fb.end()
+            fb.end()
+            fb.i32_const(8)
+
+        module, func = build_one(build)
+        cfg = build_cfg(func, module)
+        check_cfg_invariants(cfg, func)
+        result, _, trapped = run_traced(module)
+        assert result == 8 and not trapped
+
+    def test_every_bench_function_agrees(self):
+        # Spot-check a real program end to end: whatever the validator
+        # accepted, the CFG must partition, including dead regions.
+        source = """
+        int classify(int x) {
+            if (x < 0) return -1;
+            if (x == 0) return 0;
+            return 1;
+        }
+        int main(void) {
+            return classify(3) + classify(-3);
+        }
+        """
+        module = decode_module(compile_source(source).wasm_bytes)
+        for func in module.functions:
+            cfg = build_cfg(func, module)
+            check_cfg_invariants(cfg, func)
+
+
+# ---------------------------------------------------------------------------
+# Liveness and dead stores
+# ---------------------------------------------------------------------------
+
+
+class TestLiveness:
+    def test_dead_store_detected(self):
+        def build(fb):
+            x = fb.add_local(I32)
+            fb.i32_const(1).local_set(x)       # dead: overwritten below
+            fb.i32_const(2).local_set(x)
+            fb.local_get(x)
+
+        module, func = build_one(build)
+        dead = dead_stores(module, func)
+        first_set = next(pc for pc, ins in enumerate(func.body)
+                         if ins[0] == op.LOCAL_SET)
+        assert dead == [first_set]
+
+    def test_live_through_loop(self):
+        def build(fb):
+            i = fb.add_local(I32)
+            acc = fb.add_local(I32)
+            fb.block("out")
+            fb.loop("top")
+            fb.local_get(i).i32_const(10).emit(op.I32_GE_S).br_if("out")
+            fb.local_get(acc).local_get(i).emit(op.I32_ADD).local_set(acc)
+            fb.local_get(i).i32_const(1).emit(op.I32_ADD).local_set(i)
+            fb.br("top")
+            fb.end().end()
+            fb.local_get(acc)
+
+        module, func = build_one(build)
+        assert dead_stores(module, func) == []
+        cfg, entry_facts, _ = live_variables(module, func)
+        # Nothing is live at function entry: both locals are zero-init
+        # and written before read... except the loop reads them first.
+        assert entry_facts[0] is not None
+
+    def test_tee_is_pure_definition(self):
+        def build(fb):
+            x = fb.add_local(I32)
+            fb.i32_const(3).local_tee(x)       # tee defines x, reads stack
+            fb.emit(op.DROP)
+            fb.i32_const(4).local_set(x)       # x still dead after this?
+            fb.local_get(x)
+
+        module, func = build_one(build)
+        dead = dead_stores(module, func)
+        tee_pc = next(pc for pc, ins in enumerate(func.body)
+                      if ins[0] == op.LOCAL_TEE)
+        assert tee_pc in dead                  # its value is overwritten
+
+
+# ---------------------------------------------------------------------------
+# Range analysis: precision on the shapes the JIT cares about
+# ---------------------------------------------------------------------------
+
+ARRAY_LOOP = """
+int data[64];
+int main(void) {
+    int i;
+    for (i = 0; i < 64; i++)
+        data[i] = data[i] + i;
+    return data[10];
+}
+"""
+
+POINTER_CHASE = """
+int next[256];
+int main(void) {
+    int i, p = 0;
+    for (i = 0; i < 256; i++) next[i] = (i * 7 + 1) & 255;
+    for (i = 0; i < 1000; i++) p = next[p * 4 / 4];
+    return p;
+}
+"""
+
+
+def _module_totals(module):
+    """(total reachable mem ops, total proven) across all functions."""
+    total = proved = 0
+    for func in module.functions:
+        ranges = function_ranges(module, func)
+        total += ranges.mem_ops
+        proved += len(ranges.inbounds)
+    return total, proved
+
+
+class TestRanges:
+    def test_constant_address_proven(self):
+        def build(fb):
+            fb.i32_const(128)
+            fb.emit(op.I32_LOAD, 2, 0)
+
+        module, func = build_one(build)
+        ranges = function_ranges(module, func)
+        assert ranges.mem_ops == 1
+        assert len(ranges.inbounds) == 1
+
+    def test_constant_oob_not_proven(self):
+        def build(fb):
+            fb.i32_const(PAGE - 2)             # 4-byte load pokes past end
+            fb.emit(op.I32_LOAD, 2, 0)
+
+        module, func = build_one(build)
+        assert function_ranges(module, func).inbounds == frozenset()
+
+    def test_offset_counts_toward_bound(self):
+        def build(fb):
+            fb.i32_const(0)
+            fb.emit(op.I32_LOAD, 2, PAGE - 2)  # offset pushes it OOB
+
+        module, func = build_one(build)
+        assert function_ranges(module, func).inbounds == frozenset()
+
+    def test_unguarded_parameter_not_proven(self):
+        def build(fb):
+            fb.local_get(0)
+            fb.emit(op.I32_LOAD, 2, 0)
+
+        module, func = build_one(build, params=1)
+        assert function_ranges(module, func).inbounds == frozenset()
+
+    def test_guarded_parameter_proven(self):
+        def build(fb):
+            fb.block("out")
+            fb.local_get(0).i32_const(1024).emit(op.I32_GE_U).br_if("out")
+            fb.local_get(0)
+            fb.emit(op.I32_LOAD, 2, 0)
+            fb.emit(op.DROP)
+            fb.end()
+            fb.i32_const(0)
+
+        module, func = build_one(build, params=1)
+        ranges = function_ranges(module, func)
+        assert len(ranges.inbounds) == 1       # unsigned guard pins [0,1023]
+
+    def test_array_loop_fully_proven(self):
+        module = decode_module(compile_source(ARRAY_LOOP).wasm_bytes)
+        total, proved = _module_totals(module)
+        assert total > 0
+        assert proved == total          # counted loop over a sized array
+
+    def test_pointer_chase_keeps_checks(self):
+        module = decode_module(compile_source(POINTER_CHASE).wasm_bytes)
+        total, proved = _module_totals(module)
+        # The chased load's index is data-dependent: not provable.
+        assert proved < total
+
+    def test_widening_terminates_on_unbounded_loop(self):
+        def build(fb):
+            i = fb.add_local(I32)
+            fb.block("out")
+            fb.loop("top")
+            fb.local_get(i).emit(op.I32_LOAD, 2, 0).i32_const(0)
+            fb.emit(op.I32_EQ).br_if("out")
+            fb.local_get(i).i32_const(4).emit(op.I32_ADD).local_set(i)
+            fb.br("top")
+            fb.end().end()
+            fb.local_get(i)
+
+        module, func = build_one(build)
+        ranges = function_ranges(module, func)   # must not diverge
+        assert ranges.inbounds == frozenset()    # i grows without bound
+
+
+# ---------------------------------------------------------------------------
+# Differential soundness: analysis claims vs. real execution
+# ---------------------------------------------------------------------------
+
+# A tiny structured-program generator.  Each statement compiles to valid
+# Wasm over four i32 locals; masks and offsets are chosen so that some
+# accesses are provably safe and others genuinely out of range.
+
+_MASKS = [0xFF, 0xFFF, 0xFFFF, 0x1FFFF]
+_OFFSETS = [0, 4, 100, PAGE - 4, PAGE + 8]
+
+_leaf = st.one_of(
+    st.tuples(st.just("const"), st.integers(0, 3),
+              st.integers(-8, PAGE + 16)),
+    st.tuples(st.just("binop"), st.integers(0, 3), st.integers(0, 3),
+              st.sampled_from(["add", "sub", "mul", "and"]),
+              st.integers(0, 64)),
+    st.tuples(st.just("store"), st.integers(0, 3),
+              st.sampled_from(_MASKS), st.sampled_from(_OFFSETS)),
+    st.tuples(st.just("load"), st.integers(0, 3), st.integers(0, 3),
+              st.sampled_from(_MASKS), st.sampled_from(_OFFSETS)),
+)
+
+_stmt = st.recursive(
+    _leaf,
+    lambda inner: st.one_of(
+        st.tuples(st.just("loop"), st.integers(0, 3), st.integers(1, 8),
+                  st.lists(inner, min_size=1, max_size=3)),
+        st.tuples(st.just("if"), st.integers(0, 3), st.integers(0, 256),
+                  st.lists(inner, min_size=1, max_size=3),
+                  st.lists(inner, max_size=2)),
+    ),
+    max_leaves=12,
+)
+
+_ARITH = {"add": op.I32_ADD, "sub": op.I32_SUB, "mul": op.I32_MUL,
+          "and": op.I32_AND}
+
+
+def _emit_stmt(fb, stmt, depth=0):
+    kind = stmt[0]
+    if kind == "const":
+        fb.i32_const(stmt[2]).local_set(stmt[1])
+    elif kind == "binop":
+        _, dst, src, opname, c = stmt
+        fb.local_get(src).i32_const(c).emit(_ARITH[opname]).local_set(dst)
+    elif kind == "store":
+        _, src, mask, offset = stmt
+        fb.local_get(src).i32_const(mask).emit(op.I32_AND)
+        fb.i32_const(7)
+        fb.emit(op.I32_STORE, 2, offset)
+    elif kind == "load":
+        _, dst, src, mask, offset = stmt
+        fb.local_get(src).i32_const(mask).emit(op.I32_AND)
+        fb.emit(op.I32_LOAD, 2, offset)
+        fb.local_set(dst)
+    elif kind == "loop":
+        _, _unused, trip, body = stmt
+        # Counters live in reserved locals (one per nesting depth) that
+        # leaf statements never write, so every loop terminates; trip
+        # counts shrink with depth to bound total work.
+        ivar = 4 + min(depth, 11)
+        trip = min(trip, (8, 4, 2)[depth] if depth < 3 else 1)
+        out = f"out{depth}"
+        top = f"top{depth}"
+        fb.i32_const(0).local_set(ivar)
+        fb.block(out)
+        fb.loop(top)
+        fb.local_get(ivar).i32_const(trip).emit(op.I32_GE_S).br_if(out)
+        for s in body:
+            _emit_stmt(fb, s, depth + 1)
+        fb.local_get(ivar).i32_const(1).emit(op.I32_ADD).local_set(ivar)
+        fb.br(top)
+        fb.end().end()
+    elif kind == "if":
+        _, cond, c, then_body, else_body = stmt
+        fb.local_get(cond).i32_const(c).emit(op.I32_LT_S)
+        fb.if_(f"if{depth}")
+        for s in then_body:
+            _emit_stmt(fb, s, depth + 1)
+        if else_body:
+            fb.else_()
+            for s in else_body:
+                _emit_stmt(fb, s, depth + 1)
+        fb.end()
+
+
+def _build_program(stmts):
+    mb = ModuleBuilder()
+    mb.set_memory(1)
+    fb = mb.function("f", [], [I32], export=True)
+    for _ in range(16):                 # 0-3 data, 4-15 loop counters
+        fb.add_local(I32)
+    for s in stmts:
+        _emit_stmt(fb, s)
+    fb.local_get(0)
+    return mb.build()
+
+
+class TestRangeSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_stmt, min_size=1, max_size=6))
+    def test_claimed_inbounds_never_escape_memory(self, stmts):
+        module = _build_program(stmts)
+        func = module.functions[0]
+        claimed = provable_inbounds(module, func)
+        _, accesses, _ = run_traced(module)
+        for pc, addr, size in accesses:
+            if pc in claimed:
+                assert 0 <= addr and addr + size <= PAGE, (
+                    f"analysis claimed pc {pc} in bounds but it accessed "
+                    f"[{addr}, {addr + size})")
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_stmt, min_size=1, max_size=6))
+    def test_cfg_invariants_on_generated_programs(self, stmts):
+        module = _build_program(stmts)
+        func = module.functions[0]
+        check_cfg_invariants(build_cfg(func, module), func)
+
+
+# ---------------------------------------------------------------------------
+# Static metrics
+# ---------------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_module_report_shape(self):
+        module = decode_module(compile_source(ARRAY_LOOP).wasm_bytes)
+        report = module_report(module)
+        assert report.instructions > 0
+        assert sum(report.mix.values()) == report.instructions
+        assert 0.0 <= report.elimination_ratio <= 1.0
+        assert report.checks_kept == report.mem_ops - report.checks_eliminated
+        assert report.max_loop_depth >= 1
+
+    def test_loop_depth_counts_nesting(self):
+        source = """
+        int m[8];
+        int main(void) {
+            int i, j, k, acc = 0;
+            for (i = 0; i < 2; i++)
+                for (j = 0; j < 2; j++)
+                    for (k = 0; k < 2; k++)
+                        acc += m[(i + j + k) & 7];
+            return acc;
+        }
+        """
+        module = decode_module(compile_source(source).wasm_bytes)
+        report = module_report(module)
+        assert report.max_loop_depth >= 3
+
+
+# ---------------------------------------------------------------------------
+# The full WABench sweep (slow): CFG round-trip on all 50 modules
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("bench", ALL_BENCHMARKS, ids=lambda b: b.name)
+def test_cfg_roundtrip_on_wabench(bench):
+    result = compile_source(bench.source, defines=bench.defines_for("test"))
+    module = decode_module(result.wasm_bytes)
+    for func in module.functions:
+        check_cfg_invariants(build_cfg(func, module), func)

@@ -1,0 +1,23 @@
+"""Sanitizer sweep over the full WABench suite.
+
+The sanitizer's zero-false-positive contract is enforced here: all 50
+benchmark sources, with their real workload defines, must lint clean.
+(The sweep parses each program twice — once per lint, once via the
+normal compile in other suites — so it carries the ``slow`` marker.)
+"""
+
+import pytest
+
+from repro.analysis import analyze_source
+from repro.bench import ALL_BENCHMARKS
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.mark.parametrize("bench", ALL_BENCHMARKS, ids=lambda b: b.name)
+def test_bench_source_lints_clean(bench):
+    findings = analyze_source(bench.source,
+                              defines=bench.defines_for("test"))
+    assert findings == [], (
+        f"{bench.name}: "
+        f"{[(f.kind, f.line, f.message) for f in findings]}")

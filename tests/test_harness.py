@@ -108,7 +108,7 @@ class TestExperimentsRegistry:
     def test_all_paper_artifacts_present(self):
         expected = {"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
                     "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-                    "fig14", "table4", "table5"}
+                    "fig14", "table4", "table5", "metrics"}
         assert set(EXPERIMENTS) == expected
 
     def test_metric_experiments_share_runs(self, harness):

@@ -1,0 +1,293 @@
+"""Tests for the MiniC sanitizer (``wasicc --analyze``).
+
+Two halves: each class of seeded undefined behaviour must be caught at
+the right source line, and a battery of tricky-but-correct programs must
+produce zero findings (the tool lints all 50 WABench sources, so false
+positives are a hard no).
+"""
+
+import pytest
+
+from repro.analysis import analyze_source
+from repro.compiler.driver import main as wasicc_main
+
+# ---------------------------------------------------------------------------
+# Seeded-UB fixtures: (name, source, expected kind, expected line)
+# ---------------------------------------------------------------------------
+
+SEEDED = [
+    ("div_by_zero_literal", """\
+int main(void) {
+    int x = 10;
+    return x / 0;
+}
+""", "div-by-zero", 3),
+    ("div_by_zero_propagated", """\
+int main(void) {
+    int x = 10;
+    int d = 4;
+    d = d - 4;
+    return x / d;
+}
+""", "div-by-zero", 5),
+    ("mod_by_zero", """\
+int main(void) {
+    int x = 7;
+    return x % 0;
+}
+""", "div-by-zero", 3),
+    ("compound_div_assign", """\
+int main(void) {
+    int x = 9;
+    x /= 0;
+    return x;
+}
+""", "div-by-zero", 3),
+    ("uninitialized_use", """\
+int main(void) {
+    int x;
+    int y = x + 1;
+    return y;
+}
+""", "uninitialized", 3),
+    ("uninitialized_compound", """\
+int main(void) {
+    int x;
+    x += 2;
+    return x;
+}
+""", "uninitialized", 3),
+    ("oob_constant_index", """\
+int a[4];
+int main(void) {
+    return a[5];
+}
+""", "oob-index", 3),
+    ("oob_negative_index", """\
+int main(void) {
+    int a[8];
+    int i = 0;
+    i = i - 1;
+    return a[i];
+}
+""", "oob-index", 5),
+    ("oob_store", """\
+int buf[2];
+int main(void) {
+    buf[2] = 1;
+    return 0;
+}
+""", "oob-index", 3),
+    ("unreachable_after_return", """\
+int main(void) {
+    return 0;
+    return 1;
+}
+""", "unreachable", 3),
+    ("unreachable_branch", """\
+int main(void) {
+    int x = 1;
+    if (0) {
+        x = 2;
+    }
+    return x;
+}
+""", "unreachable", 4),
+]
+
+
+@pytest.mark.parametrize("name,source,kind,line",
+                         SEEDED, ids=[s[0] for s in SEEDED])
+def test_seeded_ub_is_caught(name, source, kind, line):
+    findings = analyze_source(source)
+    assert findings, f"{name}: expected a finding, got none"
+    assert any(f.kind == kind and f.line == line for f in findings), (
+        f"{name}: wanted [{kind}] at line {line}, got "
+        f"{[(f.kind, f.line) for f in findings]}")
+
+
+def test_finding_lines_are_rebased_to_user_source():
+    # With the libc prepended, the reported line must still index into
+    # the *user's* text, not the concatenated unit.
+    findings = analyze_source("int main(void) { int q; return q; }\n")
+    assert [f.line for f in findings] == [1]
+
+
+def test_format_mentions_kind_and_function():
+    findings = analyze_source("int main(void) { int q; return q; }\n")
+    text = findings[0].format("prog.c")
+    assert text.startswith("prog.c:1:")
+    assert "[uninitialized]" in text and "main" in text
+
+
+# ---------------------------------------------------------------------------
+# Zero-false-positive battery
+# ---------------------------------------------------------------------------
+
+CLEAN = [
+    ("guarded_division", """\
+int main(void) {
+    int x = 100, d = 0;
+    if (d != 0) return x / d;
+    return 0;
+}
+"""),
+    ("short_circuit_guard", """\
+int main(void) {
+    int d = 0;
+    if (d && (10 / d)) return 1;
+    return d == 0 || 10 / d;
+}
+"""),
+    ("ternary_guard", """\
+int main(void) {
+    int d = 0;
+    return d ? 10 / d : 0;
+}
+"""),
+    ("assigned_on_both_arms", """\
+int main(void) {
+    int x;
+    if (1 == 1) x = 1; else x = 2;
+    return x;
+}
+"""),
+    ("assigned_in_one_arm_then_used", """\
+int getc2(void) { return 42; }
+int main(void) {
+    int x;
+    if (getc2()) x = 1;
+    return x;
+}
+"""),
+    ("loop_counter_index", """\
+int a[16];
+int main(void) {
+    int i, acc = 0;
+    for (i = 0; i < 16; i++) acc += a[i];
+    return acc;
+}
+"""),
+    ("one_past_end_address", """\
+int main(void) {
+    int a[4];
+    int *p = &a[4];
+    int *q = a;
+    return p - q;
+}
+"""),
+    ("divisor_reassigned_in_loop", """\
+int main(void) {
+    int i, d = 0, acc = 0;
+    for (i = 1; i < 5; i++) {
+        d = i;
+        acc += 100 / d;
+    }
+    return acc;
+}
+"""),
+    ("do_while_assigns_before_use", """\
+int main(void) {
+    int x;
+    int n = 3;
+    do { x = n; n--; } while (n > 0);
+    return x;
+}
+"""),
+    ("switch_with_default", """\
+int main(void) {
+    int x;
+    int s = 2;
+    switch (s) {
+    case 1: x = 10; break;
+    case 2: x = 20; break;
+    default: x = 0; break;
+    }
+    return x;
+}
+"""),
+    ("index_clamped_by_mask", """\
+int tab[8];
+int main(void) {
+    int i, acc = 0;
+    for (i = 0; i < 100; i++) acc += tab[i & 7];
+    return acc;
+}
+"""),
+    ("global_array_via_pointer", """\
+int data[32];
+int sum(int *p, int n) {
+    int i, acc = 0;
+    for (i = 0; i < n; i++) acc += p[i];
+    return acc;
+}
+int main(void) {
+    return sum(data, 32);
+}
+"""),
+]
+
+
+@pytest.mark.parametrize("name,source", CLEAN, ids=[c[0] for c in CLEAN])
+def test_clean_program_has_no_findings(name, source):
+    findings = analyze_source(source)
+    assert findings == [], (
+        f"{name}: false positives: "
+        f"{[(f.kind, f.line, f.message) for f in findings]}")
+
+
+def test_libc_itself_is_not_linted():
+    # analyze_source rebases past the libc: a trivially clean program
+    # must not surface libc-internal findings.
+    assert analyze_source("int main(void) { return 0; }\n") == []
+
+
+# ---------------------------------------------------------------------------
+# The wasicc CLI surface
+# ---------------------------------------------------------------------------
+
+
+class TestWasiccCli:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "prog.c"
+        path.write_text(text)
+        return str(path)
+
+    def test_analyze_clean_exits_zero(self, tmp_path, capsys):
+        src = self._write(tmp_path, "int main(void) { return 0; }\n")
+        assert wasicc_main([src, "--analyze"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_analyze_findings_exit_one(self, tmp_path, capsys):
+        src = self._write(
+            tmp_path, "int main(void) { int q; return q; }\n")
+        assert wasicc_main([src, "--analyze"]) == 1
+        out = capsys.readouterr().out
+        assert "[uninitialized]" in out and "prog.c:1" in out
+
+    def test_analyze_parse_error_exits_two(self, tmp_path, capsys):
+        src = self._write(tmp_path, "int main(void) { return }\n")
+        assert wasicc_main([src, "--analyze"]) == 2
+
+    def test_compile_writes_wasm(self, tmp_path, capsys):
+        src = self._write(tmp_path, "int main(void) { return 0; }\n")
+        out = str(tmp_path / "prog.wasm")
+        assert wasicc_main([src, "-o", out]) == 0
+        data = open(out, "rb").read()
+        assert data[:4] == b"\x00asm"
+
+    def test_metrics_report(self, tmp_path, capsys):
+        src = self._write(tmp_path, """\
+int a[32];
+int main(void) {
+    int i;
+    for (i = 0; i < 32; i++) a[i] = i;
+    return a[3];
+}
+""")
+        assert wasicc_main([src, "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "instructions" in out and "checks eliminated" in out
+
+    def test_missing_file_exits_two(self, capsys):
+        assert wasicc_main(["/nonexistent/x.c", "--analyze"]) == 2
