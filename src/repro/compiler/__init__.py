@@ -3,8 +3,9 @@
 Public entry point: :func:`compile_source` (``wasicc``).
 """
 
-from .driver import DEFAULT_OPT_LEVEL, CompileResult, compile_source
+from .driver import (COMPILER_VERSION, DEFAULT_OPT_LEVEL, CompileResult,
+                     compile_source, config_fingerprint)
 from .libc import LIBC_SOURCE
 
-__all__ = ["DEFAULT_OPT_LEVEL", "CompileResult", "compile_source",
-           "LIBC_SOURCE"]
+__all__ = ["COMPILER_VERSION", "DEFAULT_OPT_LEVEL", "CompileResult",
+           "compile_source", "config_fingerprint", "LIBC_SOURCE"]

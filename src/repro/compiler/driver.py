@@ -15,6 +15,8 @@ peephole pass, validation, and binary encoding.
 from __future__ import annotations
 
 import argparse
+import hashlib
+import json
 import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -30,6 +32,29 @@ from .peephole import peephole_module
 from .wasmgen import CodeGenerator
 
 DEFAULT_OPT_LEVEL = 2
+
+#: Bump whenever codegen, the midend, or the peephole pass changes in a way
+#: that alters emitted binaries; it invalidates every on-disk artifact.
+COMPILER_VERSION = "wasicc-1"
+
+
+def config_fingerprint(opt_level: int,
+                       defines: Optional[Dict[str, str]] = None,
+                       include_libc: bool = True,
+                       entry: str = "main") -> str:
+    """Stable hash of everything (besides the source text) that changes
+    compilation output: the -O level, the preprocessor defines, whether the
+    libc is prepended (and its exact text), the entry symbol, and the
+    compiler version stamp.  Used as part of on-disk artifact cache keys."""
+    payload = json.dumps({
+        "compiler": COMPILER_VERSION,
+        "opt": opt_level,
+        "defines": sorted((defines or {}).items()),
+        "libc": hashlib.sha256(LIBC_SOURCE.encode()).hexdigest()
+                if include_libc else None,
+        "entry": entry,
+    }, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 @dataclass

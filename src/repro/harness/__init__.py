@@ -1,8 +1,10 @@
 """Experiment harness: regenerates every figure and table of the paper."""
 
+from .cache import ArtifactCache, CacheStats, cache_key, default_cache_dir
 from .experiments import EXPERIMENTS
-from .report import Table
+from .report import Table, render_cache_stats
 from .runner import ALL_RUNTIMES, ENGINES, JIT_RUNTIMES, Harness, geomean
 
-__all__ = ["EXPERIMENTS", "Table", "ALL_RUNTIMES", "ENGINES",
-           "JIT_RUNTIMES", "Harness", "geomean"]
+__all__ = ["EXPERIMENTS", "Table", "render_cache_stats", "ALL_RUNTIMES",
+           "ENGINES", "JIT_RUNTIMES", "Harness", "geomean",
+           "ArtifactCache", "CacheStats", "cache_key", "default_cache_dir"]

@@ -1,0 +1,201 @@
+"""Content-addressed on-disk artifact cache for the harness.
+
+Every artifact the harness produces — compiled Wasm modules, native
+binaries, AOT images, and serialized :class:`RunResult`s — is stored
+under a SHA-256 key derived from everything that determines its content:
+the benchmark source, the workload defines and size, the -O level, the
+engine, and the compiler/runtime version stamps.  Because every modeled
+counter is a pure function of that key, a warm cache reproduces a cold
+run bit-for-bit, across processes and across parallel workers.
+
+On-disk format: each object is ``magic || sha256(payload) || payload``
+written atomically (temp file + rename), so a truncated or bit-flipped
+file is detected on read and treated as a miss, never as bad data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+_MAGIC = b"WBC1"
+_DIGEST_LEN = 32
+
+#: Bump to invalidate every object written by older harness versions.
+CACHE_FORMAT_VERSION = 1
+
+
+def cache_key(kind: str, **fields) -> str:
+    """SHA-256 of the canonical JSON of ``kind`` + key fields."""
+    payload = json.dumps({"kind": kind, "v": CACHE_FORMAT_VERSION,
+                          **fields},
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Artifact-level hit/miss counts plus the wall time spent on misses.
+
+    A "touch" is the first time a process needs an artifact (in-memory
+    re-use inside one process is not counted): a hit means the disk cache
+    supplied it, a miss means it was recomputed.
+    """
+
+    hits: Dict[str, int] = field(default_factory=dict)
+    misses: Dict[str, int] = field(default_factory=dict)
+    recompute_seconds: float = 0.0
+
+    def hit(self, kind: str) -> None:
+        self.hits[kind] = self.hits.get(kind, 0) + 1
+
+    def miss(self, kind: str, seconds: float = 0.0) -> None:
+        self.misses[kind] = self.misses.get(kind, 0) + 1
+        self.recompute_seconds += seconds
+
+    def merge(self, other: "CacheStats") -> None:
+        for kind, n in other.hits.items():
+            self.hits[kind] = self.hits.get(kind, 0) + n
+        for kind, n in other.misses.items():
+            self.misses[kind] = self.misses.get(kind, 0) + n
+        self.recompute_seconds += other.recompute_seconds
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self.hits.values())
+
+    @property
+    def total_misses(self) -> int:
+        return sum(self.misses.values())
+
+    @property
+    def total(self) -> int:
+        return self.total_hits + self.total_misses
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"hits": dict(self.hits), "misses": dict(self.misses),
+                "recompute_seconds": self.recompute_seconds}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CacheStats":
+        return cls(hits=dict(data.get("hits", {})),
+                   misses=dict(data.get("misses", {})),
+                   recompute_seconds=float(
+                       data.get("recompute_seconds", 0.0)))
+
+
+class ArtifactCache:
+    """A content-addressed object store rooted at one directory.
+
+    Objects are immutable: a key fully determines the payload, so writers
+    never conflict — concurrent workers may race to create the same file
+    and either rename wins with identical bytes.
+    """
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(os.path.expanduser(root))
+
+    # -- paths ------------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, "objects", key[:2], key)
+
+    def contains(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    # -- raw bytes --------------------------------------------------------
+
+    def get_bytes(self, key: str) -> Optional[bytes]:
+        """Payload for ``key``, or None on miss or detected corruption."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except OSError:
+            return None
+        header = len(_MAGIC) + _DIGEST_LEN
+        if len(blob) < header or not blob.startswith(_MAGIC):
+            self._evict(path)
+            return None
+        digest, payload = blob[len(_MAGIC):header], blob[header:]
+        if hashlib.sha256(payload).digest() != digest:
+            self._evict(path)
+            return None
+        return payload
+
+    def put_bytes(self, key: str, payload: bytes) -> None:
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        blob = _MAGIC + hashlib.sha256(payload).digest() + payload
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _evict(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    # -- typed payloads ---------------------------------------------------
+
+    def get_json(self, key: str) -> Optional[object]:
+        payload = self.get_bytes(key)
+        if payload is None:
+            return None
+        try:
+            return json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self._evict(self._path(key))
+            return None
+
+    def put_json(self, key: str, value: object) -> None:
+        text = json.dumps(value, sort_keys=True, separators=(",", ":"))
+        self.put_bytes(key, text.encode("utf-8"))
+
+    def get_pickle(self, key: str) -> Optional[object]:
+        payload = self.get_bytes(key)
+        if payload is None:
+            return None
+        try:
+            return pickle.loads(payload)
+        except Exception:
+            self._evict(self._path(key))
+            return None
+
+    def put_pickle(self, key: str, value: object) -> None:
+        self.put_bytes(key, pickle.dumps(value, protocol=4))
+
+    # -- maintenance ------------------------------------------------------
+
+    def object_count(self) -> int:
+        objects_dir = os.path.join(self.root, "objects")
+        count = 0
+        for _dir, _subdirs, files in os.walk(objects_dir):
+            count += sum(1 for f in files if not f.startswith(".tmp-"))
+        return count
+
+
+def default_cache_dir() -> str:
+    """``$WABENCH_CACHE_DIR``, else ``~/.cache/wabench``."""
+    env = os.environ.get("WABENCH_CACHE_DIR")
+    if env:
+        return env
+    xdg = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache")
+    return os.path.join(xdg, "wabench")

@@ -5,7 +5,13 @@ Examples::
     wabench list
     wabench run gemm --runtime wasm3 --size small -O2
     wabench fig1 --size small
-    wabench all --size small --out results/
+    wabench all --size small --out results/ --jobs 4
+
+Artifacts (compiled Wasm, native binaries, AOT images, run results) are
+cached in a persistent content-addressed store (``--cache-dir``, default
+``$WABENCH_CACHE_DIR`` or ``~/.cache/wabench``); a warm rerun performs
+zero compiles.  ``--no-cache`` disables the store, ``--jobs N`` fans the
+measurement cells out over N worker processes.
 """
 
 from __future__ import annotations
@@ -16,8 +22,11 @@ import sys
 import time
 from typing import List, Optional
 
-from ..bench import ALL_BENCHMARKS, get, names
+from ..bench import ALL_BENCHMARKS, names
+from ..errors import HarnessError
+from .cache import default_cache_dir
 from .experiments import EXPERIMENTS
+from .report import render_cache_stats
 from .runner import ENGINES, Harness
 
 
@@ -29,22 +38,51 @@ def _cmd_list(args) -> int:
     return 0
 
 
+def _make_harness(args, benchmarks: Optional[List[str]] = None) -> Harness:
+    cache_dir = None if args.no_cache else \
+        (args.cache_dir or default_cache_dir())
+    return Harness(size=args.size, opt_level=args.opt,
+                   benchmarks=benchmarks, verbose=args.verbose,
+                   cache_dir=cache_dir)
+
+
 def _cmd_run(args) -> int:
-    harness = Harness(size=args.size, opt_level=args.opt,
-                      benchmarks=[args.benchmark])
+    if args.benchmarks:
+        print("wabench: 'run' takes a single positional benchmark; "
+              "--benchmarks only applies to experiment commands "
+              "(fig1..fig14, table4, table5, metrics, all)",
+              file=sys.stderr)
+        return 2
+    harness = _make_harness(args, benchmarks=[args.benchmark])
     engines = [args.runtime] if args.runtime else list(ENGINES)
+    if args.jobs > 1:
+        cells = [(args.benchmark, engine, args.opt, args.aot)
+                 for engine in engines
+                 if not (engine == "native" and args.aot)]
+        harness.prewarm(cells, jobs=args.jobs)
+    lines = []
     for engine in engines:
         start = time.time()
         result = harness.run(args.benchmark, engine, aot=args.aot)
         wall = time.time() - start
-        print(f"--- {engine} ({wall:.2f}s wall)")
-        sys.stdout.write(result.stdout_text())
-        print(f"    modeled: {result.seconds * 1e3:.3f} ms, "
-              f"{result.counters['instructions']:,} instructions, "
-              f"IPC {result.counters['ipc']:.2f}, "
-              f"MRSS {result.mrss_bytes / 1e6:.2f} MB, "
-              f"bpm {result.counters['branch_miss_ratio']:.2%}, "
-              f"cache-miss {result.counters['cache_miss_ratio']:.2%}")
+        lines.append(f"--- {engine} ({wall:.2f}s wall)")
+        lines.append(result.stdout_text().rstrip("\n"))
+        lines.append(
+            f"    modeled: {result.seconds * 1e3:.3f} ms, "
+            f"{result.counters['instructions']:,} instructions, "
+            f"IPC {result.counters['ipc']:.2f}, "
+            f"MRSS {result.mrss_bytes / 1e6:.2f} MB, "
+            f"bpm {result.counters['branch_miss_ratio']:.2%}, "
+            f"cache-miss {result.counters['cache_miss_ratio']:.2%}")
+    text = "\n".join(lines)
+    print(text)
+    print(render_cache_stats(harness.cache_stats))
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, f"run-{args.benchmark}.txt")
+        with open(path, "w") as f:
+            f.write(text + "\n")
+        print(f"wrote {path}")
     return 0
 
 
@@ -52,8 +90,15 @@ def _run_experiments(ids: List[str], args) -> int:
     bench_subset: Optional[List[str]] = None
     if args.benchmarks:
         bench_subset = [b.strip() for b in args.benchmarks.split(",")]
-    harness = Harness(size=args.size, opt_level=args.opt,
-                      benchmarks=bench_subset, verbose=args.verbose)
+    harness = _make_harness(args, benchmarks=bench_subset)
+    total_start = time.time()
+    if args.jobs > 1:
+        from .parallel import plan_cells
+        cells = plan_cells(harness, ids)
+        if cells:
+            print(f"[jobs] prewarming {len(cells)} cells "
+                  f"across {args.jobs} workers")
+            harness.prewarm(cells, jobs=args.jobs)
     outputs = []
     for experiment_id in ids:
         fn = EXPERIMENTS[experiment_id]
@@ -64,6 +109,8 @@ def _run_experiments(ids: List[str], args) -> int:
         print(text)
         print(f"  [{experiment_id} regenerated in {time.time() - start:.1f}s "
               f"wall]\n")
+    print(render_cache_stats(harness.cache_stats,
+                             wall_seconds=time.time() - total_start))
     if args.out:
         os.makedirs(args.out, exist_ok=True)
         for experiment_id, text in outputs:
@@ -105,15 +152,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         p.add_argument("--out", default=None,
                        help="directory to write artifact text files")
         p.add_argument("--verbose", action="store_true")
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="fan measurement cells out over N worker "
+                            "processes (default: 1, serial)")
+        p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="artifact cache directory (default: "
+                            "$WABENCH_CACHE_DIR or ~/.cache/wabench)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="do not read or write the on-disk "
+                            "artifact cache")
 
     args = parser.parse_args(argv)
-    if args.command == "list":
-        return _cmd_list(args)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "all":
-        return _run_experiments(list(EXPERIMENTS), args)
-    return _run_experiments([args.command], args)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "all":
+            return _run_experiments(list(EXPERIMENTS), args)
+        return _run_experiments([args.command], args)
+    except HarnessError as exc:
+        print(f"wabench: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -1,0 +1,155 @@
+"""Process-pool scheduler: fan (benchmark, engine, -O, AOT) cells out
+across workers and merge the results deterministically.
+
+Each cell is an independent pure computation, so the only coordination
+needed is transport: workers return serialized :class:`RunResult`s (plus
+their cache-stats deltas), and the parent inserts them into its result
+cache in sorted cell order.  Workers share the parent's on-disk artifact
+store when one is configured, so a parallel run also warms the cache for
+every later serial run — and because every modeled counter is a pure
+function of the cache key, parallel output is byte-identical to serial.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import HarnessError
+from ..runtimes import RunResult
+from .cache import CacheStats
+
+#: One schedulable unit: (benchmark, engine, opt level, aot).
+Cell = Tuple[str, str, int, bool]
+
+# Experiments whose runs are fully covered by the default-opt
+# (benchmark x engine) grid that fig1 establishes.
+_DEFAULT_GRID = ("fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+                 "fig13", "fig14", "table5")
+_WASMER_BACKENDS = ("wasmer-singlepass", "wasmer", "wasmer-llvm")
+_OPT_LEVELS = (0, 1, 2, 3)
+
+
+def plan_cells(harness, experiment_ids: Sequence[str]) -> List[Cell]:
+    """Every cell the given experiments will ask the harness for.
+
+    The plan mirrors the drivers in :mod:`repro.harness.experiments`; an
+    experiment not listed here (e.g. the static ``metrics`` report) simply
+    contributes no cells and runs serially from whatever is cached.
+    """
+    from .runner import ENGINES, JIT_RUNTIMES
+
+    cells: List[Cell] = []
+    seen = set()
+
+    def add(name: str, engine: str, opt: int, aot: bool = False) -> None:
+        cell = (name, engine, opt, aot)
+        if cell not in seen:
+            seen.add(cell)
+            cells.append(cell)
+
+    opt = harness.default_opt
+    for experiment_id in experiment_ids:
+        for name in harness.benchmark_names:
+            if experiment_id in _DEFAULT_GRID:
+                for engine in ENGINES:
+                    add(name, engine, opt)
+            elif experiment_id in ("fig2", "fig11"):
+                for engine in _WASMER_BACKENDS:
+                    add(name, engine, opt)
+            elif experiment_id in ("fig3", "fig12", "table4"):
+                for rt in JIT_RUNTIMES:
+                    add(name, rt, opt)
+                    add(name, rt, opt, aot=True)
+            elif experiment_id == "fig4":
+                for engine in ENGINES:
+                    for level in _OPT_LEVELS:
+                        add(name, engine, level)
+    return cells
+
+
+# -- worker side ------------------------------------------------------------
+
+_WORKER_HARNESS = None
+
+
+def _worker_init(size: str, opt_level: int, cache_dir: Optional[str]) -> None:
+    global _WORKER_HARNESS
+    from .runner import Harness
+    _WORKER_HARNESS = Harness(size=size, opt_level=opt_level,
+                              cache_dir=cache_dir)
+
+
+def _worker_run(cell: Cell):
+    """Run one cell; returns (cell, result-JSON | None, error | None,
+    cache-stats delta)."""
+    name, engine, opt, aot = cell
+    harness = _WORKER_HARNESS
+    before = CacheStats.from_dict(harness.cache_stats.to_dict())
+    payload = error = None
+    try:
+        payload = harness.run(name, engine, opt=opt, aot=aot).to_json()
+    except HarnessError as exc:
+        error = str(exc)
+    after = harness.cache_stats
+    delta = CacheStats(
+        hits={k: v - before.hits.get(k, 0)
+              for k, v in after.hits.items()},
+        misses={k: v - before.misses.get(k, 0)
+                for k, v in after.misses.items()},
+        recompute_seconds=(after.recompute_seconds -
+                           before.recompute_seconds))
+    return cell, payload, error, delta.to_dict()
+
+
+# -- parent side ------------------------------------------------------------
+
+
+def run_cells(harness, cells: Sequence[Cell], jobs: int = 1) -> None:
+    """Populate ``harness._result_cache`` for every cell.
+
+    With ``jobs > 1`` the cells fan out over a process pool; results are
+    merged in sorted cell order so the parent's state never depends on
+    worker completion order.  Falls back to serial execution when the
+    platform cannot start a pool (e.g. sandboxed semaphores).
+    """
+    pending = [c for c in cells
+               if (c[0], c[1], c[2], c[3], harness.size)
+               not in harness._result_cache]
+    if not pending:
+        return
+    if jobs <= 1 or len(pending) == 1:
+        for name, engine, opt, aot in pending:
+            harness.run(name, engine, opt=opt, aot=aot)
+        return
+
+    cache_dir = harness.disk_cache.root if harness.disk_cache else None
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        executor = ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending), os.cpu_count() or 1),
+            initializer=_worker_init,
+            initargs=(harness.size, harness.default_opt, cache_dir))
+    except (ImportError, OSError, PermissionError):
+        for name, engine, opt, aot in pending:
+            harness.run(name, engine, opt=opt, aot=aot)
+        return
+
+    outcomes = []
+    with executor:
+        for outcome in executor.map(_worker_run, pending):
+            outcomes.append(outcome)
+
+    errors = []
+    merged: List[Tuple[Cell, RunResult]] = []
+    for cell, payload, error, stats in sorted(outcomes,
+                                              key=lambda o: repr(o[0])):
+        harness.cache_stats.merge(CacheStats.from_dict(stats))
+        if error is not None:
+            errors.append(f"{cell[0]} on {cell[1]}: {error}")
+            continue
+        merged.append((cell, RunResult.from_json(payload)))
+    if errors:
+        raise HarnessError("; ".join(errors))
+    for (name, engine, opt, aot), result in merged:
+        harness._result_cache[(name, engine, opt, aot, harness.size)] = result

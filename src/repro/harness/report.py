@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from .cache import CacheStats
+
 
 @dataclass
 class Table:
@@ -62,3 +64,31 @@ class Table:
         col = self.columns.index(column)
         return [float(row[col]) for row in self.rows
                 if row[0] not in skip_labels]
+
+
+def render_cache_stats(stats: CacheStats,
+                       wall_seconds: Optional[float] = None) -> str:
+    """One-line artifact-cache summary for the CLI.
+
+    Example::
+
+        [cache] 310/310 artifact hits (100.0%, warm) — wasm 50/50,
+        native 50/50, aot 30/30, result 180/180; 0.0s recomputing misses
+    """
+    if stats.total == 0:
+        return "[cache] no artifacts touched"
+    pct = 100.0 * stats.total_hits / stats.total
+    state = "warm" if stats.total_misses == 0 else \
+        ("cold" if stats.total_hits == 0 else "mixed")
+    kinds = []
+    for kind in ("wasm", "native", "aot", "result"):
+        hits = stats.hits.get(kind, 0)
+        touches = hits + stats.misses.get(kind, 0)
+        if touches:
+            kinds.append(f"{kind} {hits}/{touches}")
+    line = (f"[cache] {stats.total_hits}/{stats.total} artifact hits "
+            f"({pct:.1f}%, {state}) — {', '.join(kinds)}; "
+            f"{stats.recompute_seconds:.1f}s recomputing misses")
+    if wall_seconds is not None:
+        line += f" (wall {wall_seconds:.1f}s)"
+    return line

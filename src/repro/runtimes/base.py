@@ -10,6 +10,8 @@ WASI, and read the PMU-equivalent counters and peak RSS at the end.
 from __future__ import annotations
 
 import abc
+import base64
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
@@ -48,6 +50,43 @@ class RunResult:
 
     def stdout_text(self) -> str:
         return self.stdout.decode("utf-8", errors="replace")
+
+    # -- serialization (disk cache / cross-process transport) -------------
+
+    def to_json(self) -> str:
+        """Canonical JSON text; floats round-trip exactly via repr."""
+        return json.dumps({
+            "runtime": self.runtime,
+            "stdout": base64.b64encode(self.stdout).decode("ascii"),
+            "exit_code": self.exit_code,
+            "trap": self.trap,
+            "seconds": self.seconds,
+            "cycles": self.cycles,
+            "mrss_bytes": self.mrss_bytes,
+            "counters": self.counters,
+            "compile_seconds": self.compile_seconds,
+            "execute_seconds": self.execute_seconds,
+            "memory_breakdown": self.memory_breakdown,
+            "code_bytes": self.code_bytes,
+        }, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        data = json.loads(text)
+        return cls(
+            runtime=data["runtime"],
+            stdout=base64.b64decode(data["stdout"]),
+            exit_code=data["exit_code"],
+            trap=data["trap"],
+            seconds=data["seconds"],
+            cycles=data["cycles"],
+            mrss_bytes=data["mrss_bytes"],
+            counters=dict(data["counters"]),
+            compile_seconds=data["compile_seconds"],
+            execute_seconds=data["execute_seconds"],
+            memory_breakdown=dict(data["memory_breakdown"]),
+            code_bytes=data["code_bytes"],
+        )
 
 
 class WasmRuntime(abc.ABC):

@@ -10,6 +10,12 @@ from repro.wasi import VirtualFS
 ALL_RUNTIMES = ("wasmtime", "wavm", "wasmer", "wasm3", "wamr")
 
 
+@pytest.fixture(autouse=True)
+def _isolated_wabench_cache(tmp_path, monkeypatch):
+    """Keep every test away from the user's persistent artifact cache."""
+    monkeypatch.setenv("WABENCH_CACHE_DIR", str(tmp_path / "wabench-cache"))
+
+
 def run_everywhere(source, opt_level=2, defines=None, files=None,
                    runtimes=ALL_RUNTIMES):
     """Compile once, run native + the given runtimes; return dict of results."""

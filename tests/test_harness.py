@@ -21,11 +21,31 @@ class TestGeomean:
     def test_basic(self):
         assert geomean([2.0, 8.0]) == pytest.approx(4.0)
 
-    def test_empty(self):
-        assert geomean([]) == 0.0
+    def test_empty_warns(self):
+        # Regression: an empty input used to return 0.0 silently, masking
+        # broken normalizations in figure tables.
+        with pytest.warns(UserWarning, match="empty input"):
+            assert geomean([]) == 0.0
 
-    def test_ignores_nonpositive(self):
-        assert geomean([4.0, 0.0]) == pytest.approx(4.0)
+    def test_nonpositive_dropped_with_warning(self):
+        with pytest.warns(UserWarning, match="dropped 1 non-positive"):
+            assert geomean([4.0, 0.0]) == pytest.approx(4.0)
+
+    def test_all_nonpositive_warns_once_and_returns_zero(self):
+        with pytest.warns(UserWarning, match="dropped 2 non-positive"):
+            assert geomean([0.0, -1.0]) == 0.0
+
+    def test_strict_raises_on_drop(self):
+        with pytest.raises(HarnessError):
+            geomean([4.0, 0.0], strict=True)
+        with pytest.raises(HarnessError):
+            geomean([], strict=True)
+
+    def test_clean_input_does_not_warn(self):
+        import warnings as _w
+        with _w.catch_warnings():
+            _w.simplefilter("error")
+            assert geomean([1.0, 2.0]) > 0
 
 
 class TestHarness:
@@ -145,3 +165,46 @@ class TestCli:
         assert os.path.exists(os.path.join(out_dir, "fig6.txt"))
         text = open(os.path.join(out_dir, "fig6.txt")).read()
         assert "Figure 6" in text
+
+    def test_experiment_prints_cache_stats_line(self, capsys):
+        assert cli_main(["fig6", "--size", "test",
+                         "--benchmarks", "quicksort"]) == 0
+        assert "[cache]" in capsys.readouterr().out
+
+
+class TestCliRegressions:
+    """The four silent result-masking bugfixes, one test each."""
+
+    def test_run_rejects_benchmarks_flag(self, capsys):
+        # Regression: --benchmarks was accepted and silently ignored.
+        code = cli_main(["run", "quicksort", "--size", "test",
+                         "--benchmarks", "gemm"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--benchmarks" in err and "positional" in err
+
+    def test_run_honors_verbose(self, capsys):
+        # Regression: --verbose was accepted and silently ignored.
+        assert cli_main(["run", "quicksort", "--runtime", "wamr",
+                         "--size", "test", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "[run] quicksort on wamr" in out
+
+    def test_run_honors_out(self, capsys, tmp_path):
+        # Regression: --out was accepted and silently ignored.
+        out_dir = str(tmp_path / "results")
+        assert cli_main(["run", "quicksort", "--runtime", "wamr",
+                         "--size", "test", "--out", out_dir]) == 0
+        path = os.path.join(out_dir, "run-quicksort.txt")
+        assert os.path.exists(path)
+        assert "quicksort checksum" in open(path).read()
+
+    def test_harness_error_is_one_line_not_traceback(self, capsys):
+        # Regression: `run --runtime native --aot` dumped a raw traceback.
+        code = cli_main(["run", "quicksort", "--runtime", "native",
+                         "--aot", "--size", "test"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("wabench: ")
+        assert "AOT does not apply" in err
+        assert "Traceback" not in err
