@@ -1,0 +1,6 @@
+unsigned int g_h = 2166136261u;
+double fd0(double x, double y) {
+}
+int main(void) {
+    print_u(g_h); print_nl();
+}

@@ -1,0 +1,51 @@
+"""repro.fuzz — differential fuzzing with cross-engine oracles.
+
+The paper's credibility rests on five runtimes computing identical
+answers for every benchmark; this subsystem turns that property into an
+adversarial test harness:
+
+* :mod:`~repro.fuzz.generator` — seeded, well-defined-by-construction
+  MiniC programs (and raw Wasm modules) with calls, control flow,
+  arrays, globals, and int/double arithmetic;
+* :mod:`~repro.fuzz.oracle` — differential (stdout / exit status /
+  trap kind), metamorphic (-O never increases dynamic instructions),
+  and determinism (warm rerun byte-identical) oracles;
+* :mod:`~repro.fuzz.reduce` — delta-debugging minimizer at
+  statement/function granularity;
+* :mod:`~repro.fuzz.corpus` — persisted seeds + minimized reproducers
+  with a regression replayer;
+* :mod:`~repro.fuzz.campaign` — the ``wabench fuzz`` driver: N seeded
+  programs, optionally minimized, fanned out over ``--jobs`` workers
+  with results cached in the PR-2 artifact store.
+"""
+
+from .campaign import (DEFAULT_BUDGET, CampaignReport, ProgramVerdict,
+                       ReducedReproducer, run_campaign)
+from .corpus import (DEFAULT_CORPUS_DIR, Corpus, CorpusEntry,
+                     ReplayOutcome)
+from .engines import (DEFAULT_ENGINES, DEFAULT_OPT_LEVELS, CellRunner,
+                      is_builtin_engine, register_engine,
+                      unregister_engine)
+from .faults import FaultInjectingRuntime, register_faulty_engine
+from .generator import (DEFAULT_SIZE_BUDGET, GENERATOR_VERSION,
+                        GeneratedProgram, derive_seed, generate_module,
+                        generate_program)
+from .oracle import (CheckReport, Divergence, Observation,
+                     check_program, normalize_trap)
+from .reduce import (ReductionResult, count_statements, make_predicate,
+                     reduce_divergence, reduce_source)
+
+__all__ = [
+    "DEFAULT_BUDGET", "CampaignReport", "ProgramVerdict",
+    "ReducedReproducer", "run_campaign",
+    "DEFAULT_CORPUS_DIR", "Corpus", "CorpusEntry", "ReplayOutcome",
+    "DEFAULT_ENGINES", "DEFAULT_OPT_LEVELS", "CellRunner",
+    "is_builtin_engine", "register_engine", "unregister_engine",
+    "FaultInjectingRuntime", "register_faulty_engine",
+    "DEFAULT_SIZE_BUDGET", "GENERATOR_VERSION", "GeneratedProgram",
+    "derive_seed", "generate_module", "generate_program",
+    "CheckReport", "Divergence", "Observation", "check_program",
+    "normalize_trap",
+    "ReductionResult", "count_statements", "make_predicate",
+    "reduce_divergence", "reduce_source",
+]

@@ -1,0 +1,246 @@
+"""Fuzz campaigns: generate N programs, oracle-check each, minimize hits.
+
+A campaign is a pure function of ``(base_seed, budget, size_budget,
+engines, opt_levels)``: program ``i`` uses
+:func:`~repro.fuzz.generator.derive_seed`\\ ``(base_seed, i)``, so the
+same invocation always generates, checks, and reports the same cells in
+the same order — whether it runs serially or fanned out over a process
+pool (results are merged in program order, like ``wabench --jobs``).
+
+Divergences are minimized with the delta-debugging reducer when
+requested and persisted to the corpus for regression replay.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..harness.cache import ArtifactCache, CacheStats
+from .corpus import Corpus
+from .engines import (DEFAULT_ENGINES, DEFAULT_OPT_LEVELS, CellRunner,
+                      is_builtin_engine, validate_engines)
+from .generator import (DEFAULT_SIZE_BUDGET, GeneratedProgram,
+                        derive_seed, generate_program)
+from .oracle import Divergence, check_program
+from .reduce import count_statements, reduce_divergence
+
+DEFAULT_BUDGET = 50
+
+
+@dataclass
+class ProgramVerdict:
+    """One generated program's pass/fail summary."""
+
+    index: int
+    seed: int
+    statements: int
+    cells: int
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+@dataclass
+class ReducedReproducer:
+    """A minimized diverging program, as saved to the corpus."""
+
+    entry_id: str
+    seed: int
+    signature: tuple
+    statements: int
+    source: str
+
+
+@dataclass
+class CampaignReport:
+    """Everything one campaign produced."""
+
+    base_seed: int
+    budget: int
+    engines: Sequence[str]
+    opt_levels: Sequence[int]
+    verdicts: List[ProgramVerdict] = field(default_factory=list)
+    reproducers: List[ReducedReproducer] = field(default_factory=list)
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def programs_run(self) -> int:
+        return len(self.verdicts)
+
+    @property
+    def cells_run(self) -> int:
+        return sum(v.cells for v in self.verdicts)
+
+    @property
+    def divergences(self) -> List[Divergence]:
+        out: List[Divergence] = []
+        for verdict in self.verdicts:
+            out.extend(verdict.divergences)
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def render(self, verbose: bool = False) -> str:
+        lines = [f"fuzz campaign: seed={self.base_seed} "
+                 f"budget={self.budget} "
+                 f"engines={','.join(self.engines)} "
+                 f"opts={','.join(f'-O{o}' for o in self.opt_levels)}"]
+        for verdict in self.verdicts:
+            if verbose or not verdict.ok:
+                status = "ok" if verdict.ok else \
+                    f"DIVERGES x{len(verdict.divergences)}"
+                lines.append(f"  [{verdict.index:3d}] "
+                             f"seed={verdict.seed} "
+                             f"stmts={verdict.statements} "
+                             f"cells={verdict.cells} {status}")
+            for divergence in verdict.divergences:
+                lines.append(f"        {divergence.describe()}")
+        for repro in self.reproducers:
+            lines.append(f"  minimized {repro.signature[1]} "
+                         f"-O{repro.signature[2]} [{repro.signature[0]}] "
+                         f"to {repro.statements} statement(s) -> "
+                         f"corpus id {repro.entry_id}")
+        lines.append(f"{self.programs_run} program(s), "
+                     f"{self.cells_run} cells, "
+                     f"{len(self.divergences)} divergence(s)")
+        return "\n".join(lines)
+
+
+def _check_one(index: int, base_seed: int, size_budget: int,
+               engines: Sequence[str], opt_levels: Sequence[int],
+               runner: CellRunner) -> ProgramVerdict:
+    seed = derive_seed(base_seed, index)
+    program: GeneratedProgram = generate_program(seed, size_budget)
+    report = check_program(program.source, engines=engines,
+                           opt_levels=opt_levels, runner=runner,
+                           seed=seed)
+    return ProgramVerdict(index=index, seed=seed,
+                          statements=program.statement_count,
+                          cells=report.cells_run,
+                          divergences=report.divergences)
+
+
+# -- worker side (one process of the --jobs pool) ---------------------------
+
+_WORKER_STATE = None
+
+
+def _worker_init(cache_dir: Optional[str]) -> None:
+    global _WORKER_STATE
+    cache = ArtifactCache(cache_dir) if cache_dir else None
+    _WORKER_STATE = CellRunner(cache=cache)
+
+
+def _worker_check(task):
+    index, base_seed, size_budget, engines, opt_levels = task
+    before = CacheStats.from_dict(_WORKER_STATE.stats.to_dict())
+    verdict = _check_one(index, base_seed, size_budget, engines,
+                         opt_levels, _WORKER_STATE)
+    after = _WORKER_STATE.stats
+    delta = CacheStats(
+        hits={k: v - before.hits.get(k, 0)
+              for k, v in after.hits.items()},
+        misses={k: v - before.misses.get(k, 0)
+                for k, v in after.misses.items()},
+        recompute_seconds=(after.recompute_seconds -
+                           before.recompute_seconds))
+    return index, verdict, delta.to_dict()
+
+
+def run_campaign(base_seed: int,
+                 budget: int = DEFAULT_BUDGET,
+                 size_budget: int = DEFAULT_SIZE_BUDGET,
+                 engines: Sequence[str] = DEFAULT_ENGINES,
+                 opt_levels: Sequence[int] = DEFAULT_OPT_LEVELS,
+                 minimize: bool = False,
+                 corpus: Optional[Corpus] = None,
+                 cache_dir: Optional[str] = None,
+                 jobs: int = 1,
+                 progress=None) -> CampaignReport:
+    """Run one differential-fuzzing campaign.
+
+    ``jobs > 1`` fans whole programs out across worker processes;
+    engines registered in this process only (fault injection) force a
+    serial run because workers cannot see them.  Reduction always runs
+    serially in the parent, against an uncached runner so candidate
+    programs never pollute the artifact store.
+    """
+    validate_engines(engines)
+    opt_levels = sorted(set(opt_levels))
+    cache = ArtifactCache(cache_dir) if cache_dir else None
+    runner = CellRunner(cache=cache)
+    report = CampaignReport(base_seed=base_seed, budget=budget,
+                            engines=tuple(engines),
+                            opt_levels=tuple(opt_levels),
+                            cache_stats=runner.stats)
+
+    all_builtin = all(is_builtin_engine(e) for e in engines)
+    use_pool = jobs > 1 and budget > 1 and all_builtin
+    verdicts: List[Optional[ProgramVerdict]] = [None] * budget
+
+    if use_pool:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+            executor = ProcessPoolExecutor(
+                max_workers=min(jobs, budget, os.cpu_count() or 1),
+                initializer=_worker_init, initargs=(cache_dir,))
+        except (ImportError, OSError, PermissionError):
+            use_pool = False
+    if use_pool:
+        tasks = [(i, base_seed, size_budget, tuple(engines),
+                  tuple(opt_levels)) for i in range(budget)]
+        with executor:
+            for index, verdict, stats in executor.map(_worker_check,
+                                                      tasks):
+                verdicts[index] = verdict
+                report.cache_stats.merge(CacheStats.from_dict(stats))
+                if progress is not None:
+                    progress(verdict)
+    else:
+        for index in range(budget):
+            verdicts[index] = _check_one(index, base_seed, size_budget,
+                                         engines, opt_levels, runner)
+            if progress is not None:
+                progress(verdicts[index])
+
+    report.verdicts = [v for v in verdicts if v is not None]
+
+    if minimize and not report.ok:
+        reduction_runner = CellRunner(cache=None)
+        corpus = corpus if corpus is not None else Corpus()
+        seen_signatures = set()
+        for divergence in report.divergences:
+            if divergence.signature() in seen_signatures:
+                continue
+            seen_signatures.add(divergence.signature())
+            result = reduce_divergence(divergence, engines, opt_levels,
+                                       runner=reduction_runner)
+            if result is None:
+                continue
+            entry_id = corpus.save_reproducer(result.source, {
+                "seed": divergence.seed,
+                "base_seed": base_seed,
+                "signature": {"kind": divergence.signature()[0],
+                              "engine": divergence.signature()[1],
+                              "opt": divergence.signature()[2]},
+                "detail": divergence.detail,
+                "engines": list(engines),
+                "opt_levels": list(opt_levels),
+                "statements": result.statement_count,
+            })
+            report.reproducers.append(ReducedReproducer(
+                entry_id=entry_id, seed=divergence.seed or 0,
+                signature=divergence.signature(),
+                statements=result.statement_count,
+                source=result.source))
+
+    if corpus is not None:
+        corpus.record_campaign(base_seed, budget, engines, opt_levels,
+                               len(report.divergences))
+    return report

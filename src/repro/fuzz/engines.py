@@ -1,0 +1,165 @@
+"""Execution cells for the fuzzer: engine registry + cached cell runner.
+
+An *engine* here is anything that can run a MiniC program end to end:
+the native baseline, any of the five runtime models, an AOT variant of
+a JIT runtime (``"<runtime>-aot"``), or a test-registered custom engine
+(used by the fault-injection tests).  A *cell* is one ``(engine, -O)``
+execution of one program.
+
+Cell results are cached in the PR-2 content-addressed artifact store
+(kind ``fuzz-result``), keyed by the program text, the engine, the -O
+level and the compiler fingerprint — so a re-run of a fuzz campaign
+with a warm cache performs zero compiles, exactly like ``wabench``.
+Custom (test-registered) engines are never cached: their behavior is
+not a pure function of the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Callable, Dict, Optional, Sequence
+
+from ..compiler import compile_source, config_fingerprint
+from ..errors import HarnessError
+from ..harness.cache import ArtifactCache, CacheStats, cache_key
+from ..native import nativecc, run_native
+from ..runtimes import ALL_RUNTIME_NAMES, RunResult, make_runtime
+from .generator import GENERATOR_VERSION
+
+#: Default engine sweep: the native baseline, both interpreter designs,
+#: all three JIT tiers, and one AOT configuration.
+DEFAULT_ENGINES = ("native", "wamr", "wasm3", "wasmtime", "wavm",
+                   "wasmer", "wasmtime-aot")
+
+DEFAULT_OPT_LEVELS = (0, 2)
+
+#: Test-registered engines: name -> zero-arg factory returning an object
+#: with ``.run(wasm_bytes) -> RunResult``.
+_CUSTOM_ENGINES: Dict[str, Callable[[], object]] = {}
+
+
+def register_engine(name: str, factory: Callable[[], object]) -> None:
+    """Register a custom engine (fault injection in tests).  Results of
+    custom engines are never written to the artifact cache."""
+    _CUSTOM_ENGINES[name] = factory
+
+
+def unregister_engine(name: str) -> None:
+    _CUSTOM_ENGINES.pop(name, None)
+
+
+def is_builtin_engine(name: str) -> bool:
+    if name in _CUSTOM_ENGINES:
+        return False
+    base = name[:-4] if name.endswith("-aot") else name
+    return (base == "native" or base in ALL_RUNTIME_NAMES or
+            base.startswith("wasmer-"))
+
+
+def known_engines() -> Sequence[str]:
+    return tuple(DEFAULT_ENGINES) + tuple(_CUSTOM_ENGINES)
+
+
+def validate_engines(engines: Sequence[str]) -> None:
+    for name in engines:
+        if name in _CUSTOM_ENGINES or is_builtin_engine(name):
+            continue
+        raise HarnessError(
+            f"unknown fuzz engine {name!r}; built-ins: "
+            f"{', '.join(DEFAULT_ENGINES)} (plus any runtime name and "
+            f"'<jit>-aot' variants)")
+
+
+def source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class CellRunner:
+    """Compiles and executes (program, engine, -O) cells with caching.
+
+    One instance per process; it memoizes compiled artifacts in memory
+    and run results in the shared on-disk store when one is configured.
+    """
+
+    def __init__(self, cache: Optional[ArtifactCache] = None,
+                 stats: Optional[CacheStats] = None):
+        self.cache = cache
+        self.stats = stats if stats is not None else CacheStats()
+        self._wasm_memo: Dict[tuple, bytes] = {}
+        self._native_memo: Dict[tuple, object] = {}
+        self._aot_memo: Dict[tuple, object] = {}
+
+    # -- compiled artifacts ------------------------------------------------
+
+    def wasm_for(self, source: str, opt: int) -> bytes:
+        key = (source_digest(source), opt)
+        wasm = self._wasm_memo.get(key)
+        if wasm is None:
+            wasm = compile_source(source, opt_level=opt).wasm_bytes
+            self._wasm_memo[key] = wasm
+        return wasm
+
+    def _native_for(self, source: str, opt: int):
+        key = (source_digest(source), opt)
+        binary = self._native_memo.get(key)
+        if binary is None:
+            binary = nativecc(source, opt_level=opt)
+            self._native_memo[key] = binary
+        return binary
+
+    def _aot_for(self, source: str, runtime_name: str, opt: int):
+        key = (source_digest(source), runtime_name, opt)
+        image = self._aot_memo.get(key)
+        if image is None:
+            rt = make_runtime(runtime_name)
+            image, _seconds = rt.compile_aot(self.wasm_for(source, opt))
+            self._aot_memo[key] = image
+        return image
+
+    # -- cell execution ----------------------------------------------------
+
+    def _cell_key(self, source: str, engine: str, opt: int) -> str:
+        return cache_key("fuzz-result",
+                         gen=GENERATOR_VERSION,
+                         src=source_digest(source),
+                         engine=engine, opt=opt,
+                         cc=config_fingerprint(opt))
+
+    def run_cell(self, source: str, engine: str, opt: int,
+                 use_cache: bool = True) -> RunResult:
+        """One execution; cached for built-in engines."""
+        cacheable = (use_cache and self.cache is not None and
+                     is_builtin_engine(engine))
+        disk_key = self._cell_key(source, engine, opt) if cacheable else None
+        if cacheable:
+            payload = self.cache.get_bytes(disk_key)
+            if payload is not None:
+                try:
+                    result = RunResult.from_json(payload.decode("utf-8"))
+                except (KeyError, TypeError, ValueError,
+                        UnicodeDecodeError):
+                    result = None
+                if result is not None:
+                    self.stats.hit("fuzz-result")
+                    return result
+        start = time.time()
+        result = self._execute(source, engine, opt)
+        if cacheable:
+            self.stats.miss("fuzz-result", time.time() - start)
+            self.cache.put_bytes(disk_key,
+                                 result.to_json().encode("utf-8"))
+        return result
+
+    def _execute(self, source: str, engine: str, opt: int) -> RunResult:
+        factory = _CUSTOM_ENGINES.get(engine)
+        if factory is not None:
+            return factory().run(self.wasm_for(source, opt))
+        if engine == "native":
+            return run_native(self._native_for(source, opt))
+        if engine.endswith("-aot"):
+            base = engine[:-4]
+            image = self._aot_for(source, base, opt)
+            return make_runtime(base).run(self.wasm_for(source, opt),
+                                          aot_image=image)
+        return make_runtime(engine).run(self.wasm_for(source, opt))

@@ -1,0 +1,75 @@
+"""Fault injection: a wrapper engine that corrupts results on purpose.
+
+This is *test infrastructure*, not a runtime model: the differential
+oracle, the reducer, and the corpus replayer all need an engine that is
+known to be wrong in a controlled, deterministic way.  Production code
+never registers one; tests do, via
+:func:`repro.fuzz.engines.register_engine`, and results from registered
+engines are deliberately excluded from the artifact cache.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..runtimes import RunResult, make_runtime
+
+
+class FaultInjectingRuntime:
+    """Runs a real runtime, then deterministically corrupts the result.
+
+    ``trigger`` is a byte pattern: when it occurs in the inner run's
+    stdout, the fault fires.  The default (empty pattern) fires on any
+    program that produces output at all — the worst possible engine bug,
+    and the easiest for reducer tests to reason about.
+
+    Fault modes:
+
+    * ``"flip-stdout"`` — replace the first occurrence of ``trigger``
+      (or the first byte) with ``X``;
+    * ``"truncate-stdout"`` — drop everything from the trigger on;
+    * ``"exit-code"`` — report exit status 41 instead of the real one;
+    * ``"fake-trap"`` — report a spurious out-of-bounds trap.
+    """
+
+    def __init__(self, base: str = "wamr", trigger: bytes = b"",
+                 mode: str = "flip-stdout"):
+        if mode not in ("flip-stdout", "truncate-stdout", "exit-code",
+                        "fake-trap"):
+            raise ValueError(f"unknown fault mode {mode!r}")
+        self.base = base
+        self.trigger = trigger
+        self.mode = mode
+
+    def run(self, wasm_bytes: bytes, **kwargs) -> RunResult:
+        result = make_runtime(self.base).run(wasm_bytes, **kwargs)
+        position = result.stdout.find(self.trigger) \
+            if result.stdout else -1
+        if position < 0:
+            return result
+        if self.mode == "flip-stdout":
+            index = position if self.trigger else 0
+            corrupted = (result.stdout[:index] + b"X" +
+                         result.stdout[index + 1:])
+            result.stdout = corrupted
+        elif self.mode == "truncate-stdout":
+            result.stdout = result.stdout[:position]
+        elif self.mode == "exit-code":
+            result.exit_code = 41
+        elif self.mode == "fake-trap":
+            result.trap = "trap: out of bounds memory access: injected"
+        return result
+
+
+def register_faulty_engine(name: str, base: str = "wamr",
+                           trigger: bytes = b"",
+                           mode: str = "flip-stdout") -> str:
+    """Convenience used by tests: register and return the engine name."""
+    from .engines import register_engine
+
+    def factory(base=base, trigger=trigger, mode=mode):
+        return FaultInjectingRuntime(base=base, trigger=trigger,
+                                     mode=mode)
+
+    register_engine(name, factory)
+    return name

@@ -1,0 +1,511 @@
+"""Seeded MiniC program generator: well-defined by construction.
+
+Every program this module emits is free of undefined or unbounded
+behavior *by construction*, so any divergence between two engines is a
+bug in an engine (or the compiler), never in the program:
+
+* integer division and modulo guard the divisor into ``[1, 16]``, so
+  neither divide-by-zero nor ``INT_MIN / -1`` can occur;
+* shift amounts are masked to ``[0, 31]``;
+* every array index is masked to the (power-of-two) array length;
+* every loop has a dedicated counter with a static trip count, never
+  written inside the body, so total dynamic work is bounded;
+* doubles are never cast back to integers (``trunc`` can trap on
+  overflow); they flow only through +,-,*, guarded /, fabs and sqrt
+  and are observed via ``print_f`` (inf/nan print deterministically);
+* integer overflow wraps identically on every engine (two's-complement
+  wasm semantics are mirrored by the native backend).
+
+The generator is driven exclusively by ``random.Random(seed)``: the same
+``(seed, size_budget)`` pair reproduces the same program on any machine,
+which is what makes fuzz failures one-line reproducible.
+
+Two entry points:
+
+* :func:`generate_program` — a MiniC translation unit (multiple
+  functions with calls, control flow, globals, arrays, int and double
+  arithmetic) rendered one statement per line so the delta-debugging
+  reducer can work at statement granularity;
+* :func:`generate_module` — a raw Wasm :class:`~repro.wasm.Module`
+  built directly with the module builder (straight-line arithmetic over
+  locals with embedded memory traffic), for engine tests below the
+  MiniC compiler.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+#: Bump when generated-program shape changes; part of fuzz cache keys.
+GENERATOR_VERSION = "fuzz-gen-1"
+
+DEFAULT_SIZE_BUDGET = 24
+
+_INT_BIN = ("+", "-", "*", "&", "|", "^")
+_INT_CMP = ("==", "!=", "<", ">", "<=", ">=")
+_ARRAY_SIZES = (8, 16)          # power-of-two so indices mask cleanly
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """The seed of the ``index``-th program of a campaign.
+
+    A splitmix-style mix keeps neighbouring indices decorrelated while
+    staying a pure function of ``(base_seed, index)``.
+    """
+    x = (base_seed + 0x9E3779B97F4A7C15 * (index + 1)) & (2**64 - 1)
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & (2**64 - 1)
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & (2**64 - 1)
+    return (x ^ (x >> 31)) & (2**63 - 1)
+
+
+@dataclass
+class GeneratedProgram:
+    """One generated MiniC program plus the metadata tests care about."""
+
+    seed: int
+    size_budget: int
+    source: str
+    statement_count: int
+    function_names: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.source
+
+
+class _Gen:
+    """Stateful single-program generator (one instance per program)."""
+
+    def __init__(self, rng: random.Random, size_budget: int):
+        self.rng = rng
+        self.budget = max(4, size_budget)
+        self.statements = 0
+        self.fn_counters = 0
+        self.counter_decl_idx = -1
+        self.lines: List[str] = []
+        self.indent = 0
+        # Declared names usable in expressions, per category.
+        self.int_vars: List[str] = []
+        # Read-only ints (loop counters): usable in expressions but
+        # never as assignment targets, preserving bounded trip counts.
+        self.ro_ints: List[str] = []
+        self.double_vars: List[str] = []
+        self.arrays: List[Tuple[str, int]] = []
+        # Helper functions callable from later code: (name, n_int_params).
+        self.int_funcs: List[Tuple[str, int]] = []
+        self.double_funcs: List[str] = []
+
+    # -- emission helpers --------------------------------------------------
+
+    def emit(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def stmt(self, text: str) -> None:
+        self.emit(text)
+        self.statements += 1
+        self.budget -= 1
+
+    def fresh_counter(self) -> str:
+        self.fn_counters += 1
+        return f"lc{self.fn_counters}"
+
+    def begin_counters(self) -> None:
+        """Reserve a line for this function's loop-counter declarations.
+
+        Counter names are handed out while the body is generated, so the
+        declaration line is patched in (or dropped) at function end.
+        """
+        self.fn_counters = 0
+        self.emit("")          # placeholder, patched by end_counters()
+        self.counter_decl_idx = len(self.lines) - 1
+
+    def end_counters(self) -> None:
+        if self.fn_counters:
+            names = ", ".join(f"lc{k} = 0"
+                              for k in range(1, self.fn_counters + 1))
+            pad = "    " * (self.indent or 1)
+            self.lines[self.counter_decl_idx] = f"{pad}int {names};"
+        else:
+            del self.lines[self.counter_decl_idx]
+
+    # -- expressions -------------------------------------------------------
+
+    def int_leaf(self) -> str:
+        r = self.rng
+        readable = self.int_vars + self.ro_ints
+        kind = r.randrange(5)
+        if kind == 0 or not readable:
+            return str(r.choice((r.randint(-9, 9),
+                                 r.randint(-100000, 100000))))
+        if kind <= 2:
+            return r.choice(readable)
+        if kind == 3 and self.arrays:
+            name, size = r.choice(self.arrays)
+            return f"{name}[({self.int_expr(3)}) & {size - 1}]"
+        return r.choice(readable)
+
+    def int_expr(self, depth: int = 0) -> str:
+        r = self.rng
+        if depth >= 3 or r.random() < 0.35:
+            return self.int_leaf()
+        kind = r.randrange(8)
+        a = self.int_expr(depth + 1)
+        b = self.int_expr(depth + 1)
+        if kind == 0:
+            return f"({a} {r.choice(_INT_BIN)} {b})"
+        if kind == 1:
+            return f"({a} {r.choice(_INT_CMP)} {b})"
+        if kind == 2:
+            # Guarded division: divisor in [1, 16], never INT_MIN / -1.
+            op = r.choice(("/", "%"))
+            return f"(({a}) {op} ((({b}) & 15) + 1))"
+        if kind == 3:
+            op = r.choice(("<<", ">>"))
+            return f"(({a}) {op} (({b}) & 31))"
+        if kind == 4:
+            return f"(({a}) ? ({b}) : ({a} + 1))"
+        if kind == 5:
+            return f"({r.choice(('-', '~', '!'))}({a}))"
+        if kind == 6 and self.int_funcs:
+            name, arity = r.choice(self.int_funcs)
+            args = ", ".join(self.int_expr(depth + 1)
+                             for _ in range(arity))
+            return f"{name}({args})"
+        return f"({a} {r.choice(_INT_BIN)} {b})"
+
+    def double_leaf(self) -> str:
+        r = self.rng
+        kind = r.randrange(4)
+        if kind == 0 or (not self.double_vars and not self.int_vars):
+            return repr(round(r.uniform(-100.0, 100.0), 6))
+        if kind == 1 and self.int_vars:
+            return f"(double){r.choice(self.int_vars)}"
+        if self.double_vars:
+            return r.choice(self.double_vars)
+        return repr(round(r.uniform(-100.0, 100.0), 6))
+
+    def double_expr(self, depth: int = 0) -> str:
+        r = self.rng
+        if depth >= 3 or r.random() < 0.4:
+            return self.double_leaf()
+        kind = r.randrange(5)
+        a = self.double_expr(depth + 1)
+        b = self.double_expr(depth + 1)
+        if kind == 0:
+            return f"({a} {r.choice(('+', '-', '*'))} {b})"
+        if kind == 1:
+            # Guarded: divisor >= 1.0 (NaN propagates deterministically).
+            return f"(({a}) / (fabs({b}) + 1.0))"
+        if kind == 2:
+            return f"sqrt(fabs({a}))"
+        if kind == 3 and self.double_funcs:
+            return f"{r.choice(self.double_funcs)}({a}, {b})"
+        return f"(({a}) < ({b}) ? ({a}) : ({b}))"
+
+    def condition(self) -> str:
+        r = self.rng
+        if self.double_vars and r.random() < 0.2:
+            return (f"{r.choice(self.double_vars)} < "
+                    f"{self.double_expr(2)}")
+        return f"{self.int_expr(1)} {r.choice(_INT_CMP)} {self.int_expr(2)}"
+
+    # -- statements --------------------------------------------------------
+
+    def gen_statement(self, loop_depth: int) -> None:
+        r = self.rng
+        choices = ["assign", "assign", "compound", "checksum", "print"]
+        if self.arrays:
+            choices += ["array_store", "array_store"]
+        if self.double_vars:
+            choices.append("double_assign")
+        if self.int_funcs:
+            choices.append("call")
+        if loop_depth < 2 and self.budget >= 4:
+            choices += ["for", "if", "while"]
+        kind = r.choice(choices)
+        if kind == "assign":
+            self.stmt(f"{r.choice(self.int_vars)} = {self.int_expr()};")
+        elif kind == "compound":
+            op = r.choice(("+=", "-=", "^=", "|="))
+            self.stmt(f"{r.choice(self.int_vars)} {op} "
+                      f"{self.int_expr(1)};")
+        elif kind == "checksum":
+            self.stmt("g_h = g_h * 16777619u ^ (unsigned int)"
+                      f"({self.int_expr(1)});")
+        elif kind == "array_store":
+            name, size = r.choice(self.arrays)
+            self.stmt(f"{name}[({self.int_expr(2)}) & {size - 1}] = "
+                      f"{self.int_expr(1)};")
+        elif kind == "double_assign":
+            self.stmt(f"{r.choice(self.double_vars)} = "
+                      f"{self.double_expr()};")
+        elif kind == "call":
+            name, arity = r.choice(self.int_funcs)
+            args = ", ".join(self.int_expr(2) for _ in range(arity))
+            self.stmt(f"{r.choice(self.int_vars)} = {name}({args});")
+        elif kind == "print":
+            if self.double_vars and r.random() < 0.25:
+                self.stmt(f"print_f({r.choice(self.double_vars)}); "
+                          "print_nl();")
+            else:
+                self.stmt(f"print_i({self.int_expr(1)}); print_nl();")
+        elif kind == "if":
+            self.stmt(f"if ({self.condition()}) {{")
+            self.indent += 1
+            self.gen_block(r.randint(1, 2), loop_depth)
+            self.indent -= 1
+            if r.random() < 0.5 and self.budget > 1:
+                self.emit("} else {")
+                self.indent += 1
+                self.gen_block(1, loop_depth)
+                self.indent -= 1
+            self.emit("}")
+        elif kind == "for":
+            c = self.fresh_counter()
+            trip = r.randint(2, 10)
+            step = r.randint(1, 3)
+            self.stmt(f"for ({c} = 0; {c} < {trip}; {c} += {step}) {{")
+            self.indent += 1
+            self.ro_ints.append(c)
+            self.gen_block(r.randint(1, 3), loop_depth + 1)
+            self.ro_ints.remove(c)
+            self.indent -= 1
+            self.emit("}")
+        elif kind == "while":
+            c = self.fresh_counter()
+            trip = r.randint(1, 8)
+            self.stmt(f"{c} = {trip};")
+            self.stmt(f"while ({c} > 0) {{")
+            self.indent += 1
+            self.ro_ints.append(c)
+            self.gen_block(r.randint(1, 2), loop_depth + 1)
+            self.ro_ints.remove(c)
+            # The counter strictly decreases: termination by construction.
+            self.stmt(f"{c} = {c} - 1;")
+            self.indent -= 1
+            self.emit("}")
+
+    def gen_block(self, n: int, loop_depth: int) -> None:
+        for _ in range(n):
+            if self.budget <= 0:
+                break
+            self.gen_statement(loop_depth)
+
+    # -- whole program -----------------------------------------------------
+
+    def gen_helper_int(self, index: int) -> None:
+        r = self.rng
+        arity = r.randint(1, 3)
+        name = f"fi{index}"
+        params = [f"p{k}" for k in range(arity)]
+        self.emit(f"int {name}({', '.join('int ' + p for p in params)}) {{")
+        self.indent += 1
+        outer_ints, outer_doubles = self.int_vars, self.double_vars
+        outer_counters, outer_idx = self.fn_counters, self.counter_decl_idx
+        # Params shadow nothing: globals stay visible inside helpers.
+        self.int_vars = outer_ints + list(params)
+        self.double_vars = []
+        self.begin_counters()
+        self.stmt("int t0 = 0;")
+        self.int_vars.append("t0")
+        self.stmt(f"t0 = {self.int_expr(1)};")
+        self.gen_block(r.randint(1, 3), loop_depth=1)
+        self.stmt(f"return {self.int_expr(1)};")
+        self.end_counters()
+        self.fn_counters, self.counter_decl_idx = outer_counters, outer_idx
+        self.int_vars, self.double_vars = outer_ints, outer_doubles
+        self.indent -= 1
+        self.emit("}")
+        self.int_funcs.append((name, arity))
+
+    def gen_helper_double(self, index: int) -> None:
+        name = f"fd{index}"
+        self.emit(f"double {name}(double x, double y) {{")
+        self.indent += 1
+        outer_ints, outer_doubles = self.int_vars, self.double_vars
+        self.int_vars = []
+        self.double_vars = ["x", "y"]
+        self.stmt(f"return {self.double_expr()};")
+        self.int_vars, self.double_vars = outer_ints, outer_doubles
+        self.indent -= 1
+        self.emit("}")
+        self.double_funcs.append(name)
+
+    def generate(self, seed: int, size_budget: int) -> GeneratedProgram:
+        r = self.rng
+        # Globals: scalars, the FNV checksum, and 1-2 arrays.
+        n_globals = r.randint(1, 3)
+        for k in range(n_globals):
+            self.emit(f"int g{k} = {r.randint(-1000, 1000)};")
+            self.int_vars.append(f"g{k}")
+        self.emit("unsigned int g_h = 2166136261u;")
+        for k in range(r.randint(1, 2)):
+            size = r.choice(_ARRAY_SIZES)
+            init = ", ".join(str(r.randint(-100, 100))
+                             for _ in range(size))
+            self.emit(f"int A{k}[{size}] = {{{init}}};")
+            self.arrays.append((f"A{k}", size))
+
+        # Helper functions, callable from everything emitted later.
+        for k in range(r.randint(0, 2)):
+            self.gen_helper_double(k)
+        for k in range(r.randint(1, 3)):
+            self.gen_helper_int(k)
+
+        # main: locals, the generated body, then an observation epilogue.
+        self.emit("int main(void) {")
+        self.indent += 1
+        self.begin_counters()
+        n_ints = r.randint(2, 4)
+        for k in range(n_ints):
+            self.stmt(f"int t{k} = {r.randint(-1000, 1000)};")
+            self.int_vars.append(f"t{k}")
+        n_doubles = r.randint(0, 2)
+        for k in range(n_doubles):
+            self.stmt(f"double d{k} = {round(r.uniform(-50, 50), 4)!r};")
+            self.double_vars.append(f"d{k}")
+        while self.budget > 0:
+            self.gen_statement(loop_depth=0)
+        # Epilogue: observe every live value so silent corruption in any
+        # engine shows up in stdout.
+        for name in self.int_vars:
+            self.stmt(f"print_i({name}); print_nl();")
+        for name in self.double_vars:
+            self.stmt(f"print_f({name}); print_nl();")
+        for name, size in self.arrays:
+            c = self.fresh_counter()
+            self.stmt(f"for ({c} = 0; {c} < {size}; {c}++) "
+                      f"{{ print_i({name}[{c}]); putchar(32); }}")
+            self.stmt("print_nl();")
+        self.stmt("print_u(g_h); print_nl();")
+        self.stmt("return 0;")
+        self.end_counters()
+        self.indent -= 1
+        self.emit("}")
+
+        return GeneratedProgram(
+            seed=seed, size_budget=size_budget,
+            source="\n".join(self.lines) + "\n",
+            statement_count=self.statements,
+            function_names=[n for n, _ in self.int_funcs] +
+                           self.double_funcs + ["main"])
+
+
+def generate_program(seed: int,
+                     size_budget: int = DEFAULT_SIZE_BUDGET
+                     ) -> GeneratedProgram:
+    """Generate one well-defined MiniC program for ``seed``."""
+    rng = random.Random(seed)
+    return _Gen(rng, size_budget).generate(seed, size_budget)
+
+
+# -- raw Wasm module generation (below the MiniC compiler) ------------------
+
+#: Binary i32 ops safe for arbitrary operands (no trap).
+SAFE_I32_BIN = ("i32.add", "i32.sub", "i32.mul", "i32.and", "i32.or",
+                "i32.xor", "i32.shl", "i32.shr_s", "i32.shr_u",
+                "i32.rotl", "i32.rotr", "i32.eq", "i32.ne", "i32.lt_s",
+                "i32.lt_u", "i32.ge_s")
+SAFE_I32_UN = ("i32.eqz", "i32.clz", "i32.ctz", "i32.popcnt")
+
+
+def _abstract_ops(rng: random.Random, size: int) -> List[tuple]:
+    """A list of abstract stack ops keeping abstract depth >= 0."""
+    ops_out: List[tuple] = []
+    depth = 0
+    for _ in range(size):
+        choices = ["const", "local_get"]
+        if depth >= 1:
+            choices += ["un", "local_set", "local_tee", "store", "load"]
+        if depth >= 2:
+            choices += ["bin", "bin"]
+        kind = rng.choice(choices)
+        if kind == "const":
+            ops_out.append(("const", rng.randint(-2**31, 2**31 - 1)))
+            depth += 1
+        elif kind == "local_get":
+            ops_out.append(("local_get", rng.randint(0, 3)))
+            depth += 1
+        elif kind == "un":
+            ops_out.append(("un", rng.choice(SAFE_I32_UN)))
+        elif kind == "bin":
+            ops_out.append(("bin", rng.choice(SAFE_I32_BIN)))
+            depth -= 1
+        elif kind == "local_set":
+            ops_out.append(("local_set", rng.randint(0, 3)))
+            depth -= 1
+        elif kind == "local_tee":
+            ops_out.append(("local_tee", rng.randint(0, 3)))
+        elif kind == "store":
+            ops_out.append(("store", rng.randint(0, 8191) * 8))
+            depth -= 1
+        elif kind == "load":
+            ops_out.append(("load", rng.randint(0, 16383) * 4))
+    ops_out.append(("drain", depth))
+    return ops_out
+
+
+def generate_module(seed: int, size: Optional[int] = None):
+    """A random valid-by-construction Wasm module (one exported ``f``).
+
+    The function takes two i32 parameters, has four i32 locals, one page
+    of memory, and ends by xor-folding whatever is on the abstract stack
+    — straight-line code whose every instruction is trap-free, for
+    differential tests of the execution tiers below the MiniC compiler.
+    """
+    from ..wasm import I32, ModuleBuilder
+    from ..wasm import opcodes as op
+
+    mnemonic = {
+        "i32.add": op.I32_ADD, "i32.sub": op.I32_SUB,
+        "i32.mul": op.I32_MUL, "i32.and": op.I32_AND,
+        "i32.or": op.I32_OR, "i32.xor": op.I32_XOR,
+        "i32.shl": op.I32_SHL, "i32.shr_s": op.I32_SHR_S,
+        "i32.shr_u": op.I32_SHR_U, "i32.rotl": op.I32_ROTL,
+        "i32.rotr": op.I32_ROTR, "i32.eq": op.I32_EQ,
+        "i32.ne": op.I32_NE, "i32.lt_s": op.I32_LT_S,
+        "i32.lt_u": op.I32_LT_U, "i32.ge_s": op.I32_GE_S,
+        "i32.eqz": op.I32_EQZ, "i32.clz": op.I32_CLZ,
+        "i32.ctz": op.I32_CTZ, "i32.popcnt": op.I32_POPCNT,
+    }
+    rng = random.Random(seed)
+    if size is None:
+        size = rng.randint(5, 60)
+    abstract = _abstract_ops(rng, size)
+
+    mb = ModuleBuilder()
+    mb.set_memory(1)
+    fb = mb.function("f", [I32, I32], [I32], export=True)
+    fb.add_local(I32)
+    fb.add_local(I32)
+    for item in abstract:
+        kind = item[0]
+        if kind == "const":
+            fb.i32_const(item[1])
+        elif kind == "local_get":
+            fb.local_get(item[1])
+        elif kind == "local_set":
+            fb.local_set(item[1])
+        elif kind == "local_tee":
+            fb.local_tee(item[1])
+        elif kind in ("un", "bin"):
+            fb.emit(mnemonic[item[1]])
+        elif kind == "store":
+            # stack: [value] -> store into the first page
+            fb.local_set(2)
+            fb.i32_const(item[1] & 0xFFF8)
+            fb.local_get(2)
+            fb.emit(op.I32_STORE, 2, 0)
+        elif kind == "load":
+            fb.emit(op.DROP)
+            fb.i32_const(item[1] & 0xFFFC)
+            fb.emit(op.I32_LOAD, 2, 0)
+        elif kind == "drain":
+            depth = item[1]
+            fb.local_set(3) if depth else fb.i32_const(0)
+            if depth:
+                for _ in range(depth - 1):
+                    fb.local_get(3).emit(op.I32_XOR).local_set(3)
+                fb.local_get(3)
+    return mb.build()

@@ -1,0 +1,194 @@
+"""Differential and metamorphic oracles for generated programs.
+
+Given one program, :func:`check_program` compiles it at every requested
+-O level, runs it on every requested engine, and applies three oracle
+families:
+
+* **differential** — every cell must agree with the reference cell on
+  stdout, exit status, and *trap behavior*: a well-defined program must
+  not trap anywhere, and a trapping program must raise the same trap
+  kind (``integer divide by zero``, ``out of bounds memory access``,
+  ``indirect call type mismatch``, ...) on every engine.  Trap messages
+  carry engine-specific detail (the faulting function's mangled name),
+  so comparison is on the normalized trap *kind*.
+* **metamorphic (optimization)** — on the native baseline, compiling at
+  a higher -O level must never *increase* the model's dynamic
+  instruction count relative to the unoptimized (-O0 or lowest swept)
+  build.  An optimizing pipeline that executes more instructions than
+  its own unoptimized input is a performance bug of exactly the kind
+  Jiang et al. hunt with differential testing.
+* **determinism** — recomputing the reference cell from scratch must
+  reproduce the (possibly cache-served) first result byte-for-byte;
+  this checks both model purity and artifact-cache integrity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..runtimes import RunResult
+from .engines import (DEFAULT_ENGINES, DEFAULT_OPT_LEVELS, CellRunner,
+                      validate_engines)
+
+#: A cell is one (engine, -O level) execution of the program under test.
+Cell = Tuple[str, int]
+
+
+def normalize_trap(trap: Optional[str]) -> Optional[str]:
+    """Reduce a trap message to its specification-level kind.
+
+    ``"trap: out of bounds memory access: f6: store at 512 0"`` and
+    ``"trap: out of bounds memory access: main: store at 512 0"`` are
+    the same trap; only the kind is comparable across engines.
+    """
+    if trap is None:
+        return None
+    text = trap[len("trap: "):] if trap.startswith("trap: ") else trap
+    return text.split(":", 1)[0].strip()
+
+
+@dataclass
+class Observation:
+    """What one cell produced, as compared by the oracles."""
+
+    engine: str
+    opt: int
+    stdout: bytes
+    exit_code: int
+    trap_kind: Optional[str]
+    instructions: int
+    result_json: str
+
+    @classmethod
+    def from_result(cls, engine: str, opt: int,
+                    result: RunResult) -> "Observation":
+        return cls(engine=engine, opt=opt, stdout=result.stdout,
+                   exit_code=result.exit_code,
+                   trap_kind=normalize_trap(result.trap),
+                   instructions=int(result.counters.get("instructions",
+                                                        0)),
+                   result_json=result.to_json())
+
+    def behavior(self) -> Tuple[bytes, int, Optional[str]]:
+        return (self.stdout, self.exit_code, self.trap_kind)
+
+
+@dataclass
+class Divergence:
+    """One oracle violation, with everything needed to reproduce it."""
+
+    kind: str                  # "behavior" | "opt-regression" | "nondet"
+    cell: Cell
+    reference_cell: Cell
+    detail: str
+    seed: Optional[int] = None
+    source: str = ""
+
+    def signature(self) -> Tuple[str, str, int]:
+        """Stable identity used by the reducer: a candidate program is
+        'still interesting' iff it produces a divergence with the same
+        signature (same oracle, same engine, same -O level)."""
+        return (self.kind, self.cell[0], self.cell[1])
+
+    def describe(self) -> str:
+        engine, opt = self.cell
+        return (f"[{self.kind}] {engine} -O{opt} "
+                f"vs {self.reference_cell[0]} -O{self.reference_cell[1]}: "
+                f"{self.detail}")
+
+
+@dataclass
+class CheckReport:
+    """Everything :func:`check_program` observed for one program."""
+
+    observations: Dict[Cell, Observation] = field(default_factory=dict)
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    @property
+    def cells_run(self) -> int:
+        return len(self.observations)
+
+
+def _behavior_detail(got: Observation, ref: Observation) -> str:
+    if got.trap_kind != ref.trap_kind:
+        return f"trap {got.trap_kind!r} != {ref.trap_kind!r}"
+    if got.exit_code != ref.exit_code:
+        return f"exit {got.exit_code} != {ref.exit_code}"
+    return (f"stdout {got.stdout[:48]!r}... != {ref.stdout[:48]!r}..."
+            if len(got.stdout) > 48 or len(ref.stdout) > 48 else
+            f"stdout {got.stdout!r} != {ref.stdout!r}")
+
+
+def check_program(source: str,
+                  engines: Sequence[str] = DEFAULT_ENGINES,
+                  opt_levels: Sequence[int] = DEFAULT_OPT_LEVELS,
+                  runner: Optional[CellRunner] = None,
+                  seed: Optional[int] = None,
+                  check_determinism: bool = True) -> CheckReport:
+    """Run every (engine, -O) cell of ``source`` and apply the oracles.
+
+    The reference cell is the *first* engine at the *lowest* -O level —
+    by default the native baseline at -O0, mirroring the paper's setup
+    where native execution is ground truth.
+    """
+    if not engines:
+        raise ValueError("need at least one engine")
+    validate_engines(engines)
+    runner = runner if runner is not None else CellRunner()
+    opt_levels = sorted(set(opt_levels))
+    report = CheckReport()
+
+    for engine in engines:
+        for opt in opt_levels:
+            result = runner.run_cell(source, engine, opt)
+            report.observations[(engine, opt)] = \
+                Observation.from_result(engine, opt, result)
+
+    ref_cell: Cell = (engines[0], opt_levels[0])
+    ref = report.observations[ref_cell]
+
+    # Oracle 1: cross-engine / cross-level behavioral agreement.
+    for cell, obs in report.observations.items():
+        if cell == ref_cell:
+            continue
+        if obs.behavior() != ref.behavior():
+            report.divergences.append(Divergence(
+                kind="behavior", cell=cell, reference_cell=ref_cell,
+                detail=_behavior_detail(obs, ref), seed=seed,
+                source=source))
+
+    # Oracle 2: optimizing harder must not execute more instructions
+    # (checked on the first engine, native by default; interpreter
+    # instruction counts scale with bytecode shape, not optimization
+    # quality, so the baseline engine is the meaningful one).
+    base_engine = engines[0]
+    base_obs = report.observations[(base_engine, opt_levels[0])]
+    if base_obs.trap_kind is None:
+        for opt in opt_levels[1:]:
+            obs = report.observations[(base_engine, opt)]
+            if obs.instructions > base_obs.instructions:
+                report.divergences.append(Divergence(
+                    kind="opt-regression", cell=(base_engine, opt),
+                    reference_cell=(base_engine, opt_levels[0]),
+                    detail=(f"-O{opt} executed {obs.instructions:,} "
+                            f"instructions > -O{opt_levels[0]}'s "
+                            f"{base_obs.instructions:,}"),
+                    seed=seed, source=source))
+
+    # Oracle 3: recomputing the reference cell reproduces it exactly
+    # (model purity + cache integrity: a warm rerun is byte-identical).
+    if check_determinism:
+        fresh = runner.run_cell(source, ref_cell[0], ref_cell[1],
+                                use_cache=False)
+        if fresh.to_json() != ref.result_json:
+            report.divergences.append(Divergence(
+                kind="nondet", cell=ref_cell, reference_cell=ref_cell,
+                detail="fresh recompute differs from first/cached run",
+                seed=seed, source=source))
+
+    return report

@@ -1,0 +1,189 @@
+"""Delta-debugging reducer: shrink a diverging program to a minimal one.
+
+Generated programs are rendered one statement (or block delimiter) per
+line, so classic ddmin over *lines* gives statement granularity, and —
+because removing a function header line without its closing brace makes
+the candidate fail to compile and be rejected — contiguous chunks give
+function granularity for free: whole functions disappear the moment a
+chunk spans them.
+
+The interestingness predicate is supplied by the caller; candidates
+that fail to compile are simply "not interesting", so the reducer never
+needs to understand MiniC syntax.  The whole process is deterministic:
+the same input program and predicate always reduce to the same output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..compiler import compile_source
+from ..errors import ReproError
+
+#: Safety valve: predicate evaluations per reduction.
+DEFAULT_MAX_TESTS = 2000
+
+
+@dataclass
+class ReductionResult:
+    """Outcome of one reduction."""
+
+    source: str                #: minimized program text
+    original_lines: int
+    reduced_lines: int
+    statement_count: int       #: non-empty, non-brace-only lines
+    tests_run: int             #: predicate evaluations spent
+
+    @property
+    def removed_lines(self) -> int:
+        return self.original_lines - self.reduced_lines
+
+
+def count_statements(source: str) -> int:
+    """Lines that hold actual code (not blank, not a lone ``}``/``{``)."""
+    count = 0
+    for line in source.splitlines():
+        text = line.strip()
+        if text and text not in ("{", "}", "} else {"):
+            count += 1
+    return count
+
+
+def compiles(source: str) -> bool:
+    """True iff the candidate is a valid MiniC program."""
+    try:
+        compile_source(source, opt_level=0)
+    except ReproError:
+        return False
+    return True
+
+
+class _Budget:
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+
+    def spend(self) -> bool:
+        self.used += 1
+        return self.used <= self.limit
+
+
+def _render(lines: Sequence[str]) -> str:
+    return "\n".join(lines) + "\n"
+
+
+def reduce_source(source: str,
+                  is_interesting: Callable[[str], bool],
+                  max_tests: int = DEFAULT_MAX_TESTS) -> ReductionResult:
+    """ddmin over lines, then a greedy single-line polish pass.
+
+    ``is_interesting(candidate_source)`` must return True when the
+    candidate still exhibits the behavior being chased (and must itself
+    treat non-compiling candidates as uninteresting — use
+    :func:`make_predicate` to get that plus oracle integration).
+    """
+    lines: List[str] = source.splitlines()
+    original = len(lines)
+    budget = _Budget(max_tests)
+    if not is_interesting(_render(lines)):
+        raise ValueError("input program is not 'interesting' — "
+                         "nothing to chase while reducing")
+
+    # Phase 1: classic ddmin — remove aligned chunks, doubling
+    # granularity when stuck, restarting coarse after progress.
+    n = 2
+    while len(lines) >= 2:
+        chunk = max(1, len(lines) // n)
+        progress = False
+        start = 0
+        while start < len(lines):
+            candidate = lines[:start] + lines[start + chunk:]
+            if candidate and budget.spend() and \
+                    is_interesting(_render(candidate)):
+                lines = candidate
+                progress = True
+                # Same start now addresses the next chunk.
+            else:
+                start += chunk
+            if budget.used >= budget.limit:
+                break
+        if budget.used >= budget.limit:
+            break
+        if progress:
+            n = max(2, n // 2)
+        elif chunk == 1:
+            break
+        else:
+            n = min(len(lines), n * 2)
+
+    # Phase 2: greedy single-line elimination to a local fixpoint (ddmin
+    # at chunk == 1 can miss lines that only become removable late).
+    changed = True
+    while changed and budget.used < budget.limit:
+        changed = False
+        i = 0
+        while i < len(lines):
+            candidate = lines[:i] + lines[i + 1:]
+            if candidate and budget.spend() and \
+                    is_interesting(_render(candidate)):
+                lines = candidate
+                changed = True
+            else:
+                i += 1
+            if budget.used >= budget.limit:
+                break
+
+    reduced = _render(lines)
+    return ReductionResult(source=reduced, original_lines=original,
+                           reduced_lines=len(lines),
+                           statement_count=count_statements(reduced),
+                           tests_run=budget.used)
+
+
+def make_predicate(engines: Sequence[str],
+                   opt_levels: Sequence[int],
+                   signature,
+                   runner=None) -> Callable[[str], bool]:
+    """Interestingness = "compiles, and the oracles still report a
+    divergence with this signature" (same kind, engine, -O level).
+
+    Matching on the signature rather than the exact expected/got bytes
+    is what lets the reducer strip statements: output shrinks as lines
+    vanish, but the *defect* — e.g. "wamr -O2 disagrees with the
+    reference" — must survive every step.
+    """
+    from .oracle import check_program
+
+    def is_interesting(candidate: str) -> bool:
+        if not compiles(candidate):
+            return False
+        try:
+            report = check_program(candidate, engines=engines,
+                                   opt_levels=opt_levels, runner=runner,
+                                   check_determinism=False)
+        except ReproError:
+            return False
+        return any(d.signature() == signature
+                   for d in report.divergences)
+
+    return is_interesting
+
+
+def reduce_divergence(divergence, engines: Sequence[str],
+                      opt_levels: Sequence[int],
+                      runner=None,
+                      max_tests: int = DEFAULT_MAX_TESTS
+                      ) -> Optional[ReductionResult]:
+    """Minimize the program attached to ``divergence``.
+
+    Returns None when the divergence does not reproduce on the original
+    program (flaky environment, or an engine changed underneath us).
+    """
+    predicate = make_predicate(engines, opt_levels,
+                               divergence.signature(), runner=runner)
+    try:
+        return reduce_source(divergence.source, predicate,
+                             max_tests=max_tests)
+    except ValueError:
+        return None

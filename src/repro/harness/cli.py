@@ -12,6 +12,13 @@ cached in a persistent content-addressed store (``--cache-dir``, default
 ``$WABENCH_CACHE_DIR`` or ``~/.cache/wabench``); a warm rerun performs
 zero compiles.  ``--no-cache`` disables the store, ``--jobs N`` fans the
 measurement cells out over N worker processes.
+
+``wabench fuzz`` runs the differential-fuzzing subsystem: seeded
+generated programs executed on every engine at multiple -O levels, with
+divergences optionally minimized to corpus reproducers::
+
+    wabench fuzz --seed 42 --budget 50 --jobs 4
+    wabench fuzz --seed 42 --budget 50 --minimize --corpus-dir corpus
 """
 
 from __future__ import annotations
@@ -84,6 +91,46 @@ def _cmd_run(args) -> int:
             f.write(text + "\n")
         print(f"wrote {path}")
     return 0
+
+
+def _cmd_fuzz(args) -> int:
+    from ..fuzz import Corpus, run_campaign
+    from ..fuzz.engines import DEFAULT_ENGINES
+    from .cache import default_cache_dir
+
+    engines = tuple(e.strip() for e in args.engines.split(",")) \
+        if args.engines else DEFAULT_ENGINES
+    opt_levels = tuple(int(o) for o in args.opt_levels.split(","))
+    cache_dir = None if args.no_cache else \
+        (args.cache_dir or default_cache_dir())
+    corpus = Corpus(args.corpus_dir or "corpus") \
+        if (args.minimize or args.corpus_dir) else None
+
+    progress = None
+    if args.verbose:
+        def progress(verdict):
+            status = "ok" if verdict.ok else "DIVERGES"
+            print(f"  [fuzz] program {verdict.index} "
+                  f"seed={verdict.seed} {status}", flush=True)
+
+    start = time.time()
+    report = run_campaign(
+        base_seed=args.seed, budget=args.budget,
+        size_budget=args.size_budget, engines=engines,
+        opt_levels=opt_levels, minimize=args.minimize,
+        corpus=corpus, cache_dir=cache_dir, jobs=args.jobs,
+        progress=progress)
+    text = report.render(verbose=args.verbose)
+    print(text)
+    print(render_cache_stats(report.cache_stats,
+                             wall_seconds=time.time() - start))
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, f"fuzz-seed{args.seed}.txt")
+        with open(path, "w") as f:
+            f.write(text + "\n")
+        print(f"wrote {path}")
+    return 0 if report.ok else 1
 
 
 def _run_experiments(ids: List[str], args) -> int:
@@ -162,10 +209,46 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="do not read or write the on-disk "
                             "artifact cache")
 
+    fuzz_p = sub.add_parser(
+        "fuzz", help="differential fuzzing across engines and -O levels")
+    fuzz_p.add_argument("--seed", type=int, default=42,
+                        help="campaign base seed (default: 42)")
+    fuzz_p.add_argument("--budget", type=int, default=50, metavar="N",
+                        help="number of generated programs (default: 50)")
+    fuzz_p.add_argument("--size-budget", type=int, default=24,
+                        metavar="S",
+                        help="statements per generated program "
+                             "(default: 24)")
+    fuzz_p.add_argument("--engines", default=None,
+                        help="comma-separated engine list (default: "
+                             "native,wamr,wasm3,wasmtime,wavm,wasmer,"
+                             "wasmtime-aot)")
+    fuzz_p.add_argument("--opt-levels", default="0,2",
+                        help="comma-separated -O levels (default: 0,2)")
+    fuzz_p.add_argument("--minimize", action="store_true",
+                        help="delta-debug each divergence to a minimal "
+                             "reproducer saved in the corpus")
+    fuzz_p.add_argument("--corpus-dir", default=None, metavar="DIR",
+                        help="corpus directory (default: corpus/; only "
+                             "written with --minimize or when given)")
+    fuzz_p.add_argument("--verbose", action="store_true")
+    fuzz_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan programs out over N worker processes")
+    fuzz_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="artifact cache directory (default: "
+                             "$WABENCH_CACHE_DIR or ~/.cache/wabench)")
+    fuzz_p.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the on-disk "
+                             "artifact cache")
+    fuzz_p.add_argument("--out", default=None,
+                        help="directory to write the campaign report")
+
     args = parser.parse_args(argv)
     try:
         if args.command == "list":
             return _cmd_list(args)
+        if args.command == "fuzz":
+            return _cmd_fuzz(args)
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "all":

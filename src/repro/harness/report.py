@@ -80,8 +80,10 @@ def render_cache_stats(stats: CacheStats,
     pct = 100.0 * stats.total_hits / stats.total
     state = "warm" if stats.total_misses == 0 else \
         ("cold" if stats.total_hits == 0 else "mixed")
+    known = ("wasm", "native", "aot", "result", "fuzz-result")
+    extra = sorted((set(stats.hits) | set(stats.misses)) - set(known))
     kinds = []
-    for kind in ("wasm", "native", "aot", "result"):
+    for kind in known + tuple(extra):
         hits = stats.hits.get(kind, 0)
         touches = hits + stats.misses.get(kind, 0)
         if touches:

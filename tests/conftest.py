@@ -1,13 +1,44 @@
 """Shared fixtures: compile-and-run helpers used across the test suite."""
 
+import os
+
 import pytest
 
 from repro.compiler import compile_source
+from repro.fuzz.generator import derive_seed
 from repro.native import nativecc, run_native
 from repro.runtimes import make_runtime
 from repro.wasi import VirtualFS
 
 ALL_RUNTIMES = ("wasmtime", "wavm", "wasmer", "wasm3", "wamr")
+
+#: Every generator-driven ("fuzz") test derives its program seeds from
+#: this base seed; a failing test's id shows the exact program seed
+#: (``seed=<value>``), and setting ``REPRO_FUZZ_SEED=<value>`` replays
+#: that very program as the first parameter of every fuzz test — one
+#: env var reproduces any CI failure locally.
+FUZZ_BASE_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "42"))
+_FUZZ_SEED_OVERRIDDEN = "REPRO_FUZZ_SEED" in os.environ
+
+
+def fuzz_seeds(n, salt=0):
+    """``n`` pytest params of derived program seeds, ids = the seed.
+
+    With ``REPRO_FUZZ_SEED`` set, the given seed itself is prepended as
+    the first program seed, so the failing ``seed=<value>`` from a CI
+    log regenerates the identical program (``generate_program`` is a
+    pure function of the seed).
+    """
+    seeds = [derive_seed(FUZZ_BASE_SEED, salt * 10000 + i)
+             for i in range(n)]
+    if _FUZZ_SEED_OVERRIDDEN:
+        seeds = [FUZZ_BASE_SEED] + seeds[:- 1]
+    return [pytest.param(seed, id=f"seed={seed}") for seed in seeds]
+
+
+def pytest_report_header(config):
+    return (f"repro-fuzz base seed: {FUZZ_BASE_SEED} "
+            "(override with REPRO_FUZZ_SEED=<int>)")
 
 
 @pytest.fixture(autouse=True)

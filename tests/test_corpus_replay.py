@@ -1,0 +1,40 @@
+"""Regression replay of the committed fuzz corpus.
+
+Every reproducer under ``corpus/reproducers`` is re-checked against
+today's engines on each test run:
+
+- all-real-engine entries must replay *clean* (their divergence was a
+  bug that has since been fixed — staying green is the point);
+- a reproducer that still diverges fails the suite — a regression;
+- entries whose diverging engine is a fault-injection wrapper that is
+  not registered in this process map to *xfail*: the entry stays
+  visible in the test report without failing the build.
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz import Corpus
+
+pytestmark = pytest.mark.fuzz
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "corpus")
+
+_corpus = Corpus(CORPUS_DIR)
+_entries = _corpus.entries()
+
+
+def test_corpus_directory_present():
+    """The committed corpus must exist and hold at least one entry."""
+    assert _entries, f"no corpus entries found under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "entry", [pytest.param(e, id=e.entry_id) for e in _entries])
+def test_replay(entry):
+    outcome = _corpus.replay_entry(entry)
+    if outcome.status == "missing-engine":
+        pytest.xfail(outcome.detail)
+    assert outcome.status == "clean", (
+        f"corpus entry {entry.entry_id} regressed: {outcome.detail}")

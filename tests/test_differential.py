@@ -1,202 +1,76 @@
 """Differential testing: every engine must compute identical results.
 
-Hypothesis generates random (but well-defined) MiniC programs; each is
-compiled at two -O levels and executed natively, on an interpreter, and
-on a JIT runtime.  Any divergence in stdout is a soundness bug in some
-layer of the stack.  Expression generation avoids undefined behavior by
-construction (divisors forced non-zero, shifts masked by the type system,
-array indices reduced modulo the array length).
+Programs are drawn from :mod:`repro.fuzz.generator` — the seeded,
+well-defined-by-construction MiniC generator shared with ``wabench
+fuzz`` — and checked with the subsystem's oracles: cross-engine stdout
+/ exit-status / trap agreement, the metamorphic -O instruction-count
+bound, and warm-rerun determinism.  Any divergence is a soundness bug
+in some layer of the stack.
+
+A failing test id names the exact program seed; reproduce locally with
+``REPRO_FUZZ_SEED=<seed> pytest tests/test_differential.py``.
 """
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.compiler import compile_source
-from repro.native import nativecc, run_native
-from repro.runtimes import make_runtime
+from repro.fuzz import check_program, generate_program
 
-_SETTINGS = dict(max_examples=25, deadline=None,
-                 suppress_health_check=[HealthCheck.too_slow,
-                                        HealthCheck.data_too_large])
+from .conftest import fuzz_seeds
 
+pytestmark = pytest.mark.fuzz
 
-# --- expression generators -------------------------------------------------
-
-_INT_BIN = ["+", "-", "*", "&", "|", "^"]
-_INT_CMP = ["==", "!=", "<", ">", "<=", ">="]
-
-
-@st.composite
-def int_expr(draw, depth=0):
-    """A well-defined int-typed expression over variables a, b, c."""
-    if depth > 3 or draw(st.booleans()):
-        choice = draw(st.integers(0, 3))
-        if choice == 0:
-            return str(draw(st.integers(-1000, 1000)))
-        return ("a", "b", "c")[choice - 1]
-    kind = draw(st.integers(0, 5))
-    left = draw(int_expr(depth + 1))
-    right = draw(int_expr(depth + 1))
-    if kind == 0:
-        op = draw(st.sampled_from(_INT_BIN))
-        return f"({left} {op} {right})"
-    if kind == 1:
-        op = draw(st.sampled_from(_INT_CMP))
-        return f"({left} {op} {right})"
-    if kind == 2:
-        # Division guarded against zero and INT_MIN/-1.
-        return f"(({left}) / ((({right}) & 255) + 1))"
-    if kind == 3:
-        shift = draw(st.integers(0, 31))
-        return f"(({left}) << {shift})"
-    if kind == 4:
-        shift = draw(st.integers(0, 31))
-        return f"(({left}) >> {shift})"
-    return f"(({left}) ? ({right}) : ({left} + 1))"
+#: Fast cells for the wide sweep: the native baseline, the classic
+#: interpreter, and the Cranelift JIT.
+FAST_ENGINES = ("native", "wamr", "wasmtime")
+#: Everything, for a narrower sweep: adds the threaded interpreter,
+#: both remaining JIT tiers, and an AOT configuration.
+ALL_ENGINES = ("native", "wamr", "wasm3", "wasmtime", "wavm", "wasmer",
+               "wasmtime-aot")
 
 
-@st.composite
-def double_expr(draw, depth=0):
-    if depth > 3 or draw(st.booleans()):
-        choice = draw(st.integers(0, 2))
-        if choice == 0:
-            value = draw(st.floats(min_value=-100, max_value=100,
-                                   allow_nan=False, allow_infinity=False))
-            return repr(round(value, 6))
-        return ("x", "y")[choice - 1]
-    kind = draw(st.integers(0, 3))
-    left = draw(double_expr(depth + 1))
-    right = draw(double_expr(depth + 1))
-    if kind == 0:
-        op = draw(st.sampled_from(["+", "-", "*"]))
-        return f"({left} {op} {right})"
-    if kind == 1:
-        return f"(({left}) / (fabs({right}) + 1.0))"
-    if kind == 2:
-        return f"__builtin_sqrt(fabs({left}))"
-    return f"(({left}) < ({right}) ? ({left}) : ({right}))"
+def _assert_clean(seed, size_budget, engines, opt_levels):
+    program = generate_program(seed, size_budget)
+    report = check_program(program.source, engines=engines,
+                           opt_levels=opt_levels, seed=seed)
+    assert report.ok, (
+        f"seed {seed} diverged "
+        f"(REPRO_FUZZ_SEED={seed} reproduces):\n" +
+        "\n".join(d.describe() for d in report.divergences) +
+        "\n--- program ---\n" + program.source)
 
 
-def _cross_check(source, runtimes=("wamr", "wasmtime")):
-    reference = run_native(nativecc(source, 2)).stdout
-    assert run_native(nativecc(source, 0)).stdout == reference
-    for name in runtimes:
-        rt = make_runtime(name)
-        for opt in (0, 2):
-            wasm = compile_source(source, opt_level=opt).wasm_bytes
-            got = rt.run(wasm).stdout
-            assert got == reference, (name, opt, got, reference)
+class TestGeneratedPrograms:
+    @pytest.mark.parametrize("seed", fuzz_seeds(8, salt=1))
+    def test_fast_engines_two_opt_levels(self, seed):
+        _assert_clean(seed, size_budget=18, engines=FAST_ENGINES,
+                      opt_levels=(0, 2))
+
+    @pytest.mark.parametrize("seed", fuzz_seeds(3, salt=2))
+    def test_all_engines_agree(self, seed):
+        _assert_clean(seed, size_budget=14, engines=ALL_ENGINES,
+                      opt_levels=(0, 2))
+
+    @pytest.mark.parametrize("seed", fuzz_seeds(2, salt=3))
+    def test_every_opt_level(self, seed):
+        _assert_clean(seed, size_budget=14, engines=FAST_ENGINES,
+                      opt_levels=(0, 1, 2, 3))
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", fuzz_seeds(25, salt=4))
+    def test_broad_sweep(self, seed):
+        _assert_clean(seed, size_budget=30, engines=ALL_ENGINES,
+                      opt_levels=(0, 1, 2, 3))
 
 
-class TestDifferentialExpressions:
-    @given(expr=int_expr(),
-           a=st.integers(-10**6, 10**6),
-           b=st.integers(-10**6, 10**6),
-           c=st.integers(-100, 100))
-    @settings(**_SETTINGS)
-    def test_int_expression_agreement(self, expr, a, b, c):
-        source = f"""
-            int main(void) {{
-                int a = {a}; int b = {b}; int c = {c};
-                print_i({expr}); print_nl();
-                print_u((unsigned int)({expr})); print_nl();
-                return 0;
-            }}
-        """
-        _cross_check(source, runtimes=("wamr",))
+class TestHypothesisDriven:
+    """Hypothesis explores the (seed, size) space beyond the fixed grid;
+    ``print_blob`` reprints a failure's reproduction blob in CI logs."""
 
-    @given(expr=double_expr(),
-           x=st.floats(min_value=-50, max_value=50, allow_nan=False),
-           y=st.floats(min_value=-50, max_value=50, allow_nan=False))
-    @settings(**_SETTINGS)
-    def test_double_expression_agreement(self, expr, x, y):
-        source = f"""
-            int main(void) {{
-                double x = {x!r}; double y = {y!r};
-                double r = {expr};
-                print_f(r); print_nl();
-                print_l((long)(r * 1000.0)); print_nl();
-                return 0;
-            }}
-        """
-        _cross_check(source, runtimes=("wasm3",))
-
-    @given(values=st.lists(st.integers(-1000, 1000), min_size=1,
-                           max_size=24),
-           seed=st.integers(0, 2**31 - 1))
-    @settings(**_SETTINGS)
-    def test_array_loop_agreement(self, values, seed):
-        n = len(values)
-        init = ", ".join(str(v) for v in values)
-        source = f"""
-            int data[{n}] = {{{init}}};
-            int main(void) {{
-                unsigned int h = {seed}u;
-                int i;
-                for (i = 0; i < {n}; i++) {{
-                    h = h * 16777619u ^ (unsigned int)data[i];
-                    data[i] = (int)(h & 1023u);
-                }}
-                for (i = 0; i < {n}; i++) {{ print_i(data[i]); putchar(' '); }}
-                print_nl();
-                return 0;
-            }}
-        """
-        _cross_check(source, runtimes=("wasmtime",))
-
-
-class TestDifferentialControlFlow:
-    @given(limit=st.integers(1, 40), step=st.integers(1, 5),
-           threshold=st.integers(0, 50))
-    @settings(**_SETTINGS)
-    def test_loop_break_patterns(self, limit, step, threshold):
-        source = f"""
-            int main(void) {{
-                int total = 0, i;
-                for (i = 0; i < {limit}; i += {step}) {{
-                    if (i > {threshold}) break;
-                    if (i % 3 == 0) continue;
-                    total += i;
-                }}
-                print_i(total); print_nl();
-                return 0;
-            }}
-        """
-        _cross_check(source, runtimes=("wamr",))
-
-    @given(scrutinees=st.lists(st.integers(-3, 12), min_size=1, max_size=8))
-    @settings(**_SETTINGS)
-    def test_switch_agreement(self, scrutinees):
-        checks = "".join(
-            f"print_i(classify({v})); putchar(' ');" for v in scrutinees)
-        source = f"""
-            int classify(int x) {{
-                int r = 0;
-                switch (x) {{
-                case 0: r = 1; break;
-                case 1: r = 2;
-                case 2: r = r + 10; break;
-                case 5: return 99;
-                case 9: r = -5; break;
-                default: r = 1000;
-                }}
-                return r;
-            }}
-            int main(void) {{ {checks} print_nl(); return 0; }}
-        """
-        _cross_check(source, runtimes=("wamr", "wasmtime"))
-
-    @given(depth=st.integers(1, 60))
-    @settings(max_examples=10, deadline=None)
-    def test_recursion_agreement(self, depth):
-        source = f"""
-            long chain(int n, long acc) {{
-                if (n <= 0) return acc;
-                return chain(n - 1, acc * 3l + (long)n);
-            }}
-            int main(void) {{
-                print_l(chain({depth}, 1l)); print_nl();
-                return 0;
-            }}
-        """
-        _cross_check(source, runtimes=("wasm3",))
+    @given(seed=st.integers(0, 2**63 - 1), size=st.integers(6, 36))
+    @settings(max_examples=12, deadline=None, print_blob=True,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_native_interp_jit_agree(self, seed, size):
+        _assert_clean(seed, size_budget=size,
+                      engines=("native", "wamr", "wasmtime"),
+                      opt_levels=(0, 2))

@@ -1,111 +1,36 @@
-"""Property test: interpreter and JIT execute random modules identically.
+"""Property test: interpreter and JIT tiers execute modules identically.
 
-Hypothesis builds random (valid by construction) Wasm functions directly
-with the module builder — straight-line arithmetic over locals with
-embedded memory traffic — and checks that the classic interpreter and the
-Cranelift-tier JIT produce the same result and the same memory image.
+Random valid-by-construction Wasm modules come from
+:func:`repro.fuzz.generator.generate_module` (the same seeded generator
+``wabench fuzz`` uses) and are executed below the runtime layer: the
+classic interpreter against every JIT backend tier (Cranelift, LLVM,
+SinglePass), comparing the returned value *and* the memory image.
 This exercises the engines below the MiniC compiler, so it catches
 divergence the source-level differential tests cannot reach.
+
+A failing test id names the module seed; reproduce with
+``REPRO_FUZZ_SEED=<seed> pytest tests/test_engine_equivalence.py``.
 """
+
+import random
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.fuzz.generator import generate_module
 from repro.hw import CPUModel
 from repro.isa.machine import Machine
 from repro.isa.memory import LinearMemory
 from repro.runtimes.interp.engine import (THREADED_PROFILE, Interpreter,
                                           prepare_function)
-from repro.runtimes.jit import CRANELIFT, compile_backend
-from repro.wasm import I32, ModuleBuilder
-from repro.wasm import opcodes as op
+from repro.runtimes.jit import CRANELIFT, LLVM, SINGLEPASS, compile_backend
 
-# Binary i32 ops safe for arbitrary operands (no trap).
-_SAFE_BIN = (op.I32_ADD, op.I32_SUB, op.I32_MUL, op.I32_AND, op.I32_OR,
-             op.I32_XOR, op.I32_SHL, op.I32_SHR_S, op.I32_SHR_U,
-             op.I32_ROTL, op.I32_ROTR, op.I32_EQ, op.I32_NE, op.I32_LT_S,
-             op.I32_LT_U, op.I32_GE_S)
-_SAFE_UN = (op.I32_EQZ, op.I32_CLZ, op.I32_CTZ, op.I32_POPCNT)
+from .conftest import fuzz_seeds
 
+pytestmark = pytest.mark.fuzz
 
-@st.composite
-def random_ops(draw):
-    """A list of abstract ops keeping an abstract stack depth >= 0."""
-    n = draw(st.integers(5, 60))
-    ops_out = []
-    depth = 0
-    for _ in range(n):
-        choices = ["const", "local_get"]
-        if depth >= 1:
-            choices += ["un", "local_set", "local_tee", "store", "load"]
-        if depth >= 2:
-            choices += ["bin", "bin", "drop_one"]
-        kind = draw(st.sampled_from(choices))
-        if kind == "const":
-            ops_out.append(("const", draw(st.integers(-2**31, 2**31 - 1))))
-            depth += 1
-        elif kind == "local_get":
-            ops_out.append(("local_get", draw(st.integers(0, 3))))
-            depth += 1
-        elif kind == "un":
-            ops_out.append(("un", draw(st.sampled_from(_SAFE_UN))))
-        elif kind == "bin":
-            ops_out.append(("bin", draw(st.sampled_from(_SAFE_BIN))))
-            depth -= 1
-        elif kind == "local_set":
-            ops_out.append(("local_set", draw(st.integers(0, 3))))
-            depth -= 1
-        elif kind == "local_tee":
-            ops_out.append(("local_tee", draw(st.integers(0, 3))))
-        elif kind == "store":
-            # mask address into the first page, store the value
-            ops_out.append(("store", draw(st.integers(0, 65528))))
-            depth -= 1
-        elif kind == "load":
-            ops_out.append(("load", draw(st.integers(0, 65532))))
-    # drain the stack into a xor accumulator
-    ops_out.append(("drain", depth))
-    return ops_out
-
-
-def _build_module(abstract_ops):
-    mb = ModuleBuilder()
-    mb.set_memory(1)
-    fb = mb.function("f", [I32, I32], [I32], export=True)
-    fb.add_local(I32)
-    fb.add_local(I32)
-    for item in abstract_ops:
-        kind = item[0]
-        if kind == "const":
-            fb.i32_const(item[1])
-        elif kind == "local_get":
-            fb.local_get(item[1])
-        elif kind == "local_set":
-            fb.local_set(item[1])
-        elif kind == "local_tee":
-            fb.local_tee(item[1])
-        elif kind == "un":
-            fb.emit(item[1])
-        elif kind == "bin":
-            fb.emit(item[1])
-        elif kind == "store":
-            # stack: [value] -> store8 at fixed address
-            addr_tmp = item[1] & 0xFFF8
-            fb.local_set(2)
-            fb.i32_const(addr_tmp)
-            fb.local_get(2)
-            fb.emit(op.I32_STORE, 2, 0)
-        elif kind == "load":
-            fb.emit(op.DROP)
-            fb.i32_const(item[1] & 0xFFFC)
-            fb.emit(op.I32_LOAD, 2, 0)
-        elif kind == "drain":
-            fb.local_set(3) if item[1] else fb.i32_const(0)
-            if item[1]:
-                for _ in range(item[1] - 1):
-                    fb.local_get(3).emit(op.I32_XOR).local_set(3)
-                fb.local_get(3)
-    return mb.build()
+JIT_TIERS = (("cranelift", CRANELIFT), ("llvm", LLVM),
+             ("singlepass", SINGLEPASS))
 
 
 def _run_interp(module, args):
@@ -119,21 +44,38 @@ def _run_interp(module, args):
     return interp.call_index(0, args), bytes(mem.data[:256])
 
 
-def _run_jit(module, args):
-    program = compile_backend(module, CRANELIFT)
+def _run_jit(module, backend, args):
+    program = compile_backend(module, backend)
     cpu = CPUModel()
     mem = LinearMemory(1)
     machine = Machine(program, cpu, memory=mem)
     return machine.run_export("f", args), bytes(mem.data[:256])
 
 
+def _args_for(seed):
+    rng = random.Random(seed ^ 0x5F5E100)
+    return (rng.randint(0, 2**32 - 1), rng.randint(0, 2**32 - 1))
+
+
+def _assert_tiers_agree(seed, size=None):
+    module = generate_module(seed, size)     # builder validates
+    args = _args_for(seed)
+    reference = _run_interp(module, args)
+    for tier_name, backend in JIT_TIERS:
+        got = _run_jit(module, backend, args)
+        assert got == reference, (
+            f"seed {seed}: {tier_name} JIT disagrees with interpreter "
+            f"(REPRO_FUZZ_SEED={seed} reproduces): "
+            f"{got[0]} != {reference[0]}")
+
+
 class TestEngineEquivalence:
-    @given(abstract=random_ops(),
-           a=st.integers(0, 2**32 - 1), b=st.integers(0, 2**32 - 1))
-    @settings(max_examples=60, deadline=None,
+    @pytest.mark.parametrize("seed", fuzz_seeds(25, salt=5))
+    def test_interp_and_all_jit_tiers_agree(self, seed):
+        _assert_tiers_agree(seed)
+
+    @given(seed=st.integers(0, 2**63 - 1), size=st.integers(5, 80))
+    @settings(max_examples=40, deadline=None, print_blob=True,
               suppress_health_check=[HealthCheck.too_slow])
-    def test_interp_and_jit_agree(self, abstract, a, b):
-        module = _build_module(abstract)   # builder validates
-        interp_result = _run_interp(module, (a, b))
-        jit_result = _run_jit(module, (a, b))
-        assert interp_result == jit_result
+    def test_hypothesis_sweep(self, seed, size):
+        _assert_tiers_agree(seed, size)

@@ -1,0 +1,147 @@
+"""Unit tests for the repro.fuzz subsystem itself.
+
+Generator determinism and validity, oracle verdicts (clean programs
+pass; injected faults of every mode are caught), trap normalization,
+the artifact-cache integration, and campaign behavior including the
+``--jobs``-style parallel path.
+"""
+
+import pytest
+
+from repro.compiler import compile_source
+from repro.errors import HarnessError
+from repro.fuzz import (CellRunner, check_program, derive_seed,
+                        generate_module, generate_program,
+                        normalize_trap, register_faulty_engine,
+                        run_campaign, unregister_engine)
+from repro.harness.cache import ArtifactCache
+
+from .conftest import fuzz_seeds
+
+pytestmark = pytest.mark.fuzz
+
+
+class TestGenerator:
+    def test_deterministic_for_seed(self):
+        a = generate_program(1234, 20)
+        b = generate_program(1234, 20)
+        assert a.source == b.source
+        assert a.statement_count == b.statement_count
+
+    def test_different_seeds_differ(self):
+        assert generate_program(1, 20).source != \
+            generate_program(2, 20).source
+
+    def test_budget_scales_program(self):
+        small = generate_program(99, 8)
+        large = generate_program(99, 60)
+        assert large.statement_count > small.statement_count
+
+    @pytest.mark.parametrize("seed", fuzz_seeds(6, salt=10))
+    def test_programs_compile_at_every_opt_level(self, seed):
+        program = generate_program(seed, 16)
+        for opt in (0, 1, 2, 3):
+            compile_source(program.source, opt_level=opt)
+
+    def test_derive_seed_pure_and_spread(self):
+        assert derive_seed(42, 0) == derive_seed(42, 0)
+        seeds = {derive_seed(42, i) for i in range(100)}
+        assert len(seeds) == 100
+
+    def test_module_generator_deterministic(self):
+        from repro.wasm import encode_module
+        a = encode_module(generate_module(7, 40))
+        b = encode_module(generate_module(7, 40))
+        assert a == b
+
+
+class TestTrapNormalization:
+    @pytest.mark.parametrize("raw,kind", [
+        (None, None),
+        ("trap: integer divide by zero", "integer divide by zero"),
+        ("trap: out of bounds memory access: f6: store at 512 0",
+         "out of bounds memory access"),
+        ("trap: out of bounds memory access: main: load at 4 8",
+         "out of bounds memory access"),
+        ("trap: indirect call type mismatch",
+         "indirect call type mismatch"),
+    ])
+    def test_normalize(self, raw, kind):
+        assert normalize_trap(raw) == kind
+
+
+class TestOracle:
+    def test_clean_program_zero_divergences(self):
+        program = generate_program(derive_seed(42, 0), 14)
+        report = check_program(program.source,
+                               engines=("native", "wamr", "wasmtime"),
+                               opt_levels=(0, 2))
+        assert report.ok
+        assert report.cells_run == 6
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(HarnessError):
+            check_program("int main(void) { return 0; }",
+                          engines=("no-such-engine",))
+
+    @pytest.mark.parametrize("mode,expect_detail", [
+        ("flip-stdout", "stdout"),
+        ("truncate-stdout", "stdout"),
+        ("exit-code", "exit"),
+        ("fake-trap", "trap"),
+    ])
+    def test_fault_modes_all_caught(self, mode, expect_detail):
+        name = register_faulty_engine(f"faulty-{mode}", base="wamr",
+                                      mode=mode)
+        try:
+            program = generate_program(derive_seed(42, 1), 12)
+            report = check_program(program.source,
+                                   engines=("native", name),
+                                   opt_levels=(2,))
+            assert not report.ok
+            assert all(d.cell[0] == name for d in report.divergences)
+            assert expect_detail in report.divergences[0].detail
+        finally:
+            unregister_engine(name)
+
+    def test_observations_cached_across_engines(self, tmp_path):
+        cache = ArtifactCache(str(tmp_path / "store"))
+        program = generate_program(derive_seed(42, 2), 10)
+        runner = CellRunner(cache=cache)
+        check_program(program.source, engines=("native", "wamr"),
+                      opt_levels=(0, 2), runner=runner)
+        assert runner.stats.misses.get("fuzz-result") == 4
+        warm = CellRunner(cache=cache)
+        check_program(program.source, engines=("native", "wamr"),
+                      opt_levels=(0, 2), runner=warm)
+        assert warm.stats.hits.get("fuzz-result") == 4
+        assert not warm.stats.misses
+
+
+class TestCampaign:
+    def test_small_campaign_clean_and_deterministic(self):
+        first = run_campaign(42, budget=2,
+                             engines=("native", "wamr"),
+                             opt_levels=(0, 2))
+        second = run_campaign(42, budget=2,
+                              engines=("native", "wamr"),
+                              opt_levels=(0, 2))
+        assert first.ok and second.ok
+        assert first.render() == second.render()
+        assert first.cells_run == 2 * 2 * 2
+
+    def test_parallel_matches_serial(self, tmp_path):
+        kwargs = dict(budget=3, engines=("native", "wamr"),
+                      opt_levels=(2,),
+                      cache_dir=str(tmp_path / "store"))
+        parallel = run_campaign(7, jobs=3, **kwargs)
+        serial = run_campaign(7, jobs=1, **kwargs)
+        assert parallel.render() == serial.render()
+
+    def test_exercises_required_grid(self):
+        """Acceptance shape: >= 4 engines x >= 2 opt levels per program."""
+        report = run_campaign(
+            42, budget=1,
+            engines=("native", "wamr", "wasm3", "wasmtime"),
+            opt_levels=(0, 2))
+        assert report.cells_run >= 4 * 2

@@ -1,0 +1,137 @@
+"""The delta-debugging reducer and the reproducer corpus.
+
+Satellite requirement from the fuzz PR: a seeded divergence injected
+via a fault-injecting engine wrapper must minimize to at most a fixed
+statement count, and the whole pipeline — campaign, reduction, corpus
+save, corpus replay — must be deterministic.
+"""
+
+import pytest
+
+from repro.fuzz import (Corpus, check_program, count_statements,
+                        generate_program, make_predicate,
+                        reduce_divergence, reduce_source,
+                        register_faulty_engine, run_campaign,
+                        unregister_engine)
+
+pytestmark = pytest.mark.fuzz
+
+#: Any injected-fault divergence must shrink to at most this many real
+#: statements.  The end-to-end pipeline lands at ~4; the bound leaves
+#: slack for generator evolution without ever tolerating a non-answer.
+MAX_REDUCED_STATEMENTS = 8
+
+FAULTY = "wamr-bitflip"
+
+
+@pytest.fixture
+def faulty_engine():
+    name = register_faulty_engine(FAULTY, base="wamr",
+                                  mode="flip-stdout")
+    yield name
+    unregister_engine(name)
+
+
+def _diverge(seed, faulty_engine, size_budget=16):
+    program = generate_program(seed, size_budget)
+    report = check_program(program.source,
+                           engines=("native", faulty_engine),
+                           opt_levels=(2,), seed=seed,
+                           check_determinism=False)
+    assert report.divergences, "fault injection produced no divergence"
+    return report.divergences[0]
+
+
+class TestReduceSource:
+    def test_uninteresting_input_rejected(self):
+        with pytest.raises(ValueError):
+            reduce_source("int main(void) { return 0; }\n",
+                          lambda src: False)
+
+    def test_line_reduction_to_needle(self):
+        source = "\n".join(f"line{i}" for i in range(64)) + "\n"
+        result = reduce_source(source, lambda src: "line37" in src)
+        assert result.source == "line37\n"
+        assert result.original_lines == 64
+        assert result.reduced_lines == 1
+
+    def test_budget_respected(self):
+        source = "\n".join(f"line{i}" for i in range(64)) + "\n"
+        result = reduce_source(source, lambda src: "line37" in src,
+                               max_tests=10)
+        assert result.tests_run <= 10
+        assert "line37" in result.source
+
+
+class TestReduceDivergence:
+    def test_minimizes_below_threshold(self, faulty_engine):
+        divergence = _diverge(4242, faulty_engine)
+        original = count_statements(divergence.source)
+        result = reduce_divergence(divergence,
+                                   engines=("native", faulty_engine),
+                                   opt_levels=(2,))
+        assert result is not None
+        assert result.statement_count <= MAX_REDUCED_STATEMENTS
+        assert result.statement_count < original
+        # The minimized program must still exhibit the exact defect.
+        predicate = make_predicate(("native", faulty_engine), (2,),
+                                   divergence.signature())
+        assert predicate(result.source)
+
+    def test_reduction_is_deterministic(self, faulty_engine):
+        divergence = _diverge(777, faulty_engine)
+        kwargs = dict(engines=("native", faulty_engine),
+                      opt_levels=(2,))
+        first = reduce_divergence(divergence, **kwargs)
+        second = reduce_divergence(divergence, **kwargs)
+        assert first.source == second.source
+        assert first.tests_run == second.tests_run
+
+    def test_vanished_divergence_returns_none(self, faulty_engine):
+        divergence = _diverge(4242, faulty_engine)
+        result = reduce_divergence(divergence,
+                                   engines=("native", "wamr"),
+                                   opt_levels=(2,))
+        assert result is None
+
+
+class TestCorpus:
+    def test_campaign_minimize_saves_reproducer(self, tmp_path,
+                                                faulty_engine):
+        corpus = Corpus(str(tmp_path / "corpus"))
+        report = run_campaign(4242, budget=2,
+                              engines=("native", faulty_engine),
+                              opt_levels=(2,), minimize=True,
+                              corpus=corpus)
+        assert not report.ok
+        assert report.reproducers
+        entries = corpus.entries()
+        assert len(entries) == len(report.reproducers)
+        entry = entries[0]
+        assert entry.signature[1] == faulty_engine
+        assert count_statements(entry.source) <= MAX_REDUCED_STATEMENTS
+
+    def test_save_is_idempotent(self, tmp_path):
+        corpus = Corpus(str(tmp_path / "corpus"))
+        source = "int main(void) { return 0; }\n"
+        meta = {"signature": {"kind": "behavior", "engine": "x",
+                              "opt": 2}}
+        assert corpus.save_reproducer(source, meta) == \
+            corpus.save_reproducer(source, meta)
+        assert len(corpus.entries()) == 1
+
+    def test_replay_statuses(self, tmp_path):
+        corpus = Corpus(str(tmp_path / "corpus"))
+        name = register_faulty_engine("wamr-replay-fault", base="wamr",
+                                      mode="exit-code")
+        try:
+            run_campaign(99, budget=1, engines=("native", name),
+                         opt_levels=(2,), minimize=True, corpus=corpus)
+            # Engine registered: the saved divergence must replay.
+            outcomes = corpus.replay_all()
+            assert {o.status for o in outcomes} == {"divergent"}
+        finally:
+            unregister_engine(name)
+        # Engine gone: replay degrades to missing-engine, never errors.
+        outcomes = corpus.replay_all()
+        assert {o.status for o in outcomes} == {"missing-engine"}

@@ -1,5 +1,6 @@
 """Tests for the harness: runner caching, metrics, report rendering, CLI."""
 
+import json
 import os
 
 import pytest
@@ -208,3 +209,56 @@ class TestCliRegressions:
         assert err.startswith("wabench: ")
         assert "AOT does not apply" in err
         assert "Traceback" not in err
+
+
+class TestCliFuzz:
+    """``wabench fuzz`` — the differential-fuzzing subcommand."""
+
+    FAST = ["--engines", "native,wamr", "--opt-levels", "2",
+            "--budget", "2", "--size-budget", "12"]
+
+    def test_clean_campaign_exits_zero(self, capsys):
+        assert cli_main(["fuzz", "--seed", "42"] + self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "0 divergence(s)" in out
+        assert "[cache]" in out
+
+    def test_out_report_is_deterministic(self, capsys, tmp_path):
+        paths = []
+        for run in ("a", "b"):
+            out_dir = str(tmp_path / run)
+            assert cli_main(["fuzz", "--seed", "7", "--out", out_dir]
+                            + self.FAST) == 0
+            paths.append(os.path.join(out_dir, "fuzz-seed7.txt"))
+        capsys.readouterr()
+        first, second = (open(p).read() for p in paths)
+        assert first == second
+        assert "2 program(s)" in first
+
+    def test_jobs_matches_serial(self, capsys, tmp_path):
+        reports = []
+        for jobs, sub in (("1", "serial"), ("3", "parallel")):
+            out_dir = str(tmp_path / sub)
+            assert cli_main(["fuzz", "--seed", "9", "--jobs", jobs,
+                             "--out", out_dir] + self.FAST) == 0
+            reports.append(
+                open(os.path.join(out_dir, "fuzz-seed9.txt")).read())
+        capsys.readouterr()
+        assert reports[0] == reports[1]
+
+    def test_unknown_engine_is_clean_error(self, capsys):
+        code = cli_main(["fuzz", "--seed", "1", "--budget", "1",
+                         "--engines", "native,quickjs"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("wabench: ")
+        assert "quickjs" in err and "Traceback" not in err
+
+    def test_corpus_dir_records_seeds(self, capsys, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        assert cli_main(["fuzz", "--seed", "11",
+                         "--corpus-dir", corpus_dir] + self.FAST) == 0
+        capsys.readouterr()
+        seeds = json.load(open(os.path.join(corpus_dir, "seeds.json")))
+        assert seeds[0]["seed"] == 11
+        assert seeds[0]["divergences"] == 0
