@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Validate wabench trace files and check byte-determinism.
+
+Usage::
+
+    python scripts/check_trace.py TRACE [TRACE2]
+
+With one argument: schema-validate the trace (see TRACING.md) and print
+its record counts.  With two: additionally require the two traces to be
+byte-identical in canonical form (wall-time fields stripped) — the check
+CI runs between a cold and a warm ``wabench run --trace``.
+
+Exit codes: 0 ok, 1 schema violation or determinism mismatch, 2 usage.
+"""
+
+import sys
+
+from repro.obs import TraceSchemaError, validate_trace
+from repro.obs.export import canonical_lines
+
+
+def _read(path):
+    with open(path, "r") as fh:
+        return fh.read().splitlines()
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    status = 0
+    traces = {}
+    for path in argv[1:]:
+        lines = _read(path)
+        try:
+            counts = validate_trace(lines)
+        except TraceSchemaError as exc:
+            print(f"check_trace: {path}: SCHEMA VIOLATION: {exc}")
+            return 1
+        traces[path] = canonical_lines(lines)
+        print(f"check_trace: {path}: ok — " +
+              ", ".join(f"{kind}={count}"
+                        for kind, count in sorted(counts.items())))
+    if len(argv) == 3:
+        first, second = (traces[p] for p in argv[1:])
+        if first == second:
+            print(f"check_trace: {argv[1]} and {argv[2]} are "
+                  f"byte-identical ({len(first)} canonical lines)")
+        else:
+            diverging = sum(1 for a, b in zip(first, second) if a != b) \
+                + abs(len(first) - len(second))
+            print(f"check_trace: DETERMINISM VIOLATION: traces differ "
+                  f"on {diverging} line(s)")
+            for index, (a, b) in enumerate(zip(first, second)):
+                if a != b:
+                    print(f"  first difference at canonical line "
+                          f"{index + 1}:\n  < {a}\n  > {b}")
+                    break
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

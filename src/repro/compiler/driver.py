@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 
 from ..errors import CompileError
 from ..minic import analyze, parse
+from ..obs import NULL_TRACER
 from ..minic.ast import TranslationUnit
 from ..minic.sema import SemanticAnalyzer
 from ..wasm import Module, encode_module, validate_module
@@ -85,20 +86,36 @@ class CompileResult:
 def compile_source(source: str, opt_level: int = DEFAULT_OPT_LEVEL,
                    defines: Optional[Dict[str, str]] = None,
                    include_libc: bool = True,
-                   entry: str = "main") -> CompileResult:
-    """Compile MiniC source text to a WebAssembly binary."""
+                   entry: str = "main",
+                   tracer=None) -> CompileResult:
+    """Compile MiniC source text to a WebAssembly binary.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) gets one wall-clock session
+    span per driver phase — frontend (parse + semantic analysis), midend
+    (the -O-gated optimization pipeline), backend (codegen, peephole,
+    validation, encoding) — the compile-side half of the phase-resolved
+    measurement story.
+    """
+    obs = tracer if tracer is not None else NULL_TRACER
     if not 0 <= opt_level <= 3:
         raise CompileError(f"invalid optimization level -O{opt_level}")
     full_source = (LIBC_SOURCE + "\n" + source) if include_libc else source
     all_defines = {"TARGET_NATIVE": "0"}
     all_defines.update(defines or {})
-    unit = parse(full_source, all_defines)
-    analyzer = analyze(unit, force_locals_to_memory=(opt_level == 0))
-    midend_stats = midend.optimize(unit, opt_level)
-    module = CodeGenerator(unit, analyzer, entry).generate()
-    removed = peephole_module(module) if opt_level >= 1 else 0
-    validate_module(module)
-    wasm_bytes = encode_module(module)
+    with obs.span("frontend", opt=opt_level) as span:
+        unit = parse(full_source, all_defines)
+        analyzer = analyze(unit, force_locals_to_memory=(opt_level == 0))
+        span.attrs["functions"] = len(unit.functions)
+    with obs.span("midend", opt=opt_level) as span:
+        midend_stats = midend.optimize(unit, opt_level)
+        span.attrs.update(midend_stats)
+    with obs.span("backend", opt=opt_level) as span:
+        module = CodeGenerator(unit, analyzer, entry).generate()
+        removed = peephole_module(module) if opt_level >= 1 else 0
+        validate_module(module)
+        wasm_bytes = encode_module(module)
+        span.attrs["binary_size"] = len(wasm_bytes)
+        span.attrs["peephole_removed"] = removed
     return CompileResult(wasm_bytes=wasm_bytes, module=module, unit=unit,
                          analyzer=analyzer, opt_level=opt_level,
                          midend_stats=midend_stats,
@@ -151,6 +168,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--metrics", action="store_true",
                         help="compile and print a static-metrics report "
                              "instead of writing a binary")
+    parser.add_argument("--timings", action="store_true",
+                        help="print per-phase (frontend/midend/backend) "
+                             "wall times after compiling")
     args = parser.parse_args(argv)
 
     try:
@@ -177,13 +197,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 1
         return 0
 
+    tracer = None
+    if args.timings:
+        from ..obs import Tracer
+        tracer = Tracer()
     try:
         result = compile_source(source, opt_level=args.opt, defines=defines,
-                                include_libc=not args.no_libc)
+                                include_libc=not args.no_libc,
+                                tracer=tracer)
     except CompileError as exc:
         print(f"wasicc: {_rebase_error(exc, not args.no_libc)}",
               file=sys.stderr)
         return 2
+    if tracer is not None:
+        for span in tracer.session_spans:
+            print(f"wasicc: [{span.name:8s}] {span.wall_seconds * 1e3:8.2f} "
+                  f"ms wall")
 
     if args.metrics:
         from ..analysis.metrics import module_report, render_report

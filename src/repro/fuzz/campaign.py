@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..harness.cache import ArtifactCache, CacheStats
+from ..obs import NULL_TRACER
 from .corpus import Corpus
 from .engines import (DEFAULT_ENGINES, DEFAULT_OPT_LEVELS, CellRunner,
                       is_builtin_engine, validate_engines)
@@ -162,7 +163,8 @@ def run_campaign(base_seed: int,
                  corpus: Optional[Corpus] = None,
                  cache_dir: Optional[str] = None,
                  jobs: int = 1,
-                 progress=None) -> CampaignReport:
+                 progress=None,
+                 tracer=None) -> CampaignReport:
     """Run one differential-fuzzing campaign.
 
     ``jobs > 1`` fans whole programs out across worker processes;
@@ -170,7 +172,13 @@ def run_campaign(base_seed: int,
     serial run because workers cannot see them.  Reduction always runs
     serially in the parent, against an uncached runner so candidate
     programs never pollute the artifact store.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) receives campaign-level
+    metrics — programs/cells checked, divergences, reproducers — and a
+    wall-clock session span per campaign stage.  It never influences the
+    report, so traced and untraced campaigns render identically.
     """
+    obs = tracer if tracer is not None else NULL_TRACER
     validate_engines(engines)
     opt_levels = sorted(set(opt_levels))
     cache = ArtifactCache(cache_dir) if cache_dir else None
@@ -192,53 +200,59 @@ def run_campaign(base_seed: int,
                 initializer=_worker_init, initargs=(cache_dir,))
         except (ImportError, OSError, PermissionError):
             use_pool = False
-    if use_pool:
-        tasks = [(i, base_seed, size_budget, tuple(engines),
-                  tuple(opt_levels)) for i in range(budget)]
-        with executor:
-            for index, verdict, stats in executor.map(_worker_check,
-                                                      tasks):
-                verdicts[index] = verdict
-                report.cache_stats.merge(CacheStats.from_dict(stats))
+    with obs.span("check", budget=budget, jobs=jobs if use_pool else 1):
+        if use_pool:
+            tasks = [(i, base_seed, size_budget, tuple(engines),
+                      tuple(opt_levels)) for i in range(budget)]
+            with executor:
+                for index, verdict, stats in executor.map(_worker_check,
+                                                          tasks):
+                    verdicts[index] = verdict
+                    report.cache_stats.merge(CacheStats.from_dict(stats))
+                    if progress is not None:
+                        progress(verdict)
+        else:
+            for index in range(budget):
+                verdicts[index] = _check_one(index, base_seed, size_budget,
+                                             engines, opt_levels, runner)
                 if progress is not None:
-                    progress(verdict)
-    else:
-        for index in range(budget):
-            verdicts[index] = _check_one(index, base_seed, size_budget,
-                                         engines, opt_levels, runner)
-            if progress is not None:
-                progress(verdicts[index])
+                    progress(verdicts[index])
 
     report.verdicts = [v for v in verdicts if v is not None]
+    obs.metrics.inc("fuzz.programs", report.programs_run)
+    obs.metrics.inc("fuzz.cells", report.cells_run)
+    obs.metrics.inc("fuzz.divergences", len(report.divergences))
 
     if minimize and not report.ok:
         reduction_runner = CellRunner(cache=None)
         corpus = corpus if corpus is not None else Corpus()
         seen_signatures = set()
-        for divergence in report.divergences:
-            if divergence.signature() in seen_signatures:
-                continue
-            seen_signatures.add(divergence.signature())
-            result = reduce_divergence(divergence, engines, opt_levels,
-                                       runner=reduction_runner)
-            if result is None:
-                continue
-            entry_id = corpus.save_reproducer(result.source, {
-                "seed": divergence.seed,
-                "base_seed": base_seed,
-                "signature": {"kind": divergence.signature()[0],
-                              "engine": divergence.signature()[1],
-                              "opt": divergence.signature()[2]},
-                "detail": divergence.detail,
-                "engines": list(engines),
-                "opt_levels": list(opt_levels),
-                "statements": result.statement_count,
-            })
-            report.reproducers.append(ReducedReproducer(
-                entry_id=entry_id, seed=divergence.seed or 0,
-                signature=divergence.signature(),
-                statements=result.statement_count,
-                source=result.source))
+        with obs.span("minimize", divergences=len(report.divergences)):
+            for divergence in report.divergences:
+                if divergence.signature() in seen_signatures:
+                    continue
+                seen_signatures.add(divergence.signature())
+                result = reduce_divergence(divergence, engines, opt_levels,
+                                           runner=reduction_runner)
+                if result is None:
+                    continue
+                entry_id = corpus.save_reproducer(result.source, {
+                    "seed": divergence.seed,
+                    "base_seed": base_seed,
+                    "signature": {"kind": divergence.signature()[0],
+                                  "engine": divergence.signature()[1],
+                                  "opt": divergence.signature()[2]},
+                    "detail": divergence.detail,
+                    "engines": list(engines),
+                    "opt_levels": list(opt_levels),
+                    "statements": result.statement_count,
+                })
+                report.reproducers.append(ReducedReproducer(
+                    entry_id=entry_id, seed=divergence.seed or 0,
+                    signature=divergence.signature(),
+                    statements=result.statement_count,
+                    source=result.source))
+        obs.metrics.inc("fuzz.reproducers", len(report.reproducers))
 
     if corpus is not None:
         corpus.record_campaign(base_seed, budget, engines, opt_levels,

@@ -17,20 +17,16 @@ not a pure function of the key.
 from __future__ import annotations
 
 import hashlib
-import time
 from typing import Callable, Dict, Optional, Sequence
 
 from ..compiler import compile_source, config_fingerprint
 from ..errors import HarnessError
 from ..harness.cache import ArtifactCache, CacheStats, cache_key
 from ..native import nativecc, run_native
+from ..obs import Stopwatch
+from ..registry import DEFAULT_FUZZ_ENGINES as DEFAULT_ENGINES
 from ..runtimes import ALL_RUNTIME_NAMES, RunResult, make_runtime
 from .generator import GENERATOR_VERSION
-
-#: Default engine sweep: the native baseline, both interpreter designs,
-#: all three JIT tiers, and one AOT configuration.
-DEFAULT_ENGINES = ("native", "wamr", "wasm3", "wasmtime", "wavm",
-                   "wasmer", "wasmtime-aot")
 
 DEFAULT_OPT_LEVELS = (0, 2)
 
@@ -143,10 +139,10 @@ class CellRunner:
                 if result is not None:
                     self.stats.hit("fuzz-result")
                     return result
-        start = time.time()
+        watch = Stopwatch()
         result = self._execute(source, engine, opt)
         if cacheable:
-            self.stats.miss("fuzz-result", time.time() - start)
+            self.stats.miss("fuzz-result", watch.seconds)
             self.cache.put_bytes(disk_key,
                                  result.to_json().encode("utf-8"))
         return result

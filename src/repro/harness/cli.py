@@ -4,6 +4,8 @@ Examples::
 
     wabench list
     wabench run gemm --runtime wasm3 --size small -O2
+    wabench run gemm --trace gemm.jsonl
+    wabench trace gemm --size test
     wabench fig1 --size small
     wabench all --size small --out results/ --jobs 4
 
@@ -12,6 +14,11 @@ cached in a persistent content-addressed store (``--cache-dir``, default
 ``$WABENCH_CACHE_DIR`` or ``~/.cache/wabench``); a warm rerun performs
 zero compiles.  ``--no-cache`` disables the store, ``--jobs N`` fans the
 measurement cells out over N worker processes.
+
+``wabench run --trace out.jsonl`` exports the runs' model-time span
+trees as a JSONL trace (schema in TRACING.md); ``wabench trace <bench>``
+prints the per-phase/per-engine breakdown as a table.  Trace files are
+byte-identical across cold, warm-cache, and ``--jobs N`` invocations.
 
 ``wabench fuzz`` runs the differential-fuzzing subsystem: seeded
 generated programs executed on every engine at multiple -O levels, with
@@ -26,14 +33,15 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import time
 from typing import List, Optional
 
 from ..bench import ALL_BENCHMARKS, names
 from ..errors import HarnessError
+from ..hw import MachineConfig
+from ..obs import Stopwatch, Tracer, write_trace
 from .cache import default_cache_dir
 from .experiments import EXPERIMENTS
-from .report import render_cache_stats
+from .report import phase_table, render_cache_stats
 from .runner import ENGINES, Harness
 
 
@@ -45,22 +53,51 @@ def _cmd_list(args) -> int:
     return 0
 
 
-def _make_harness(args, benchmarks: Optional[List[str]] = None) -> Harness:
+def _make_harness(args, benchmarks: Optional[List[str]] = None,
+                  tracer: Optional[Tracer] = None) -> Harness:
     cache_dir = None if args.no_cache else \
         (args.cache_dir or default_cache_dir())
     return Harness(size=args.size, opt_level=args.opt,
                    benchmarks=benchmarks, verbose=args.verbose,
-                   cache_dir=cache_dir)
+                   cache_dir=cache_dir, tracer=tracer)
+
+
+def _resolve_out(args, filename: str) -> str:
+    """Resolve an output file against the shared ``--out`` plumbing: a
+    bare or relative filename lands inside ``--out`` when it is given
+    (created on demand); absolute paths are honored as-is."""
+    out_dir = getattr(args, "out", None)
+    if out_dir and not os.path.isabs(filename):
+        os.makedirs(out_dir, exist_ok=True)
+        return os.path.join(out_dir, filename)
+    parent = os.path.dirname(filename)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    return filename
+
+
+def _export_trace(args, tracer: Tracer) -> None:
+    path = _resolve_out(args, args.trace)
+    count = write_trace(path, tracer.runs,
+                        config={"size": args.size, "opt": args.opt})
+    print(f"wrote {path} ({count} trace lines, "
+          f"{len(tracer.runs)} run(s))")
+
+
+def _reject_benchmarks_flag(args, command: str) -> int:
+    print(f"wabench: {command!r} takes a single positional benchmark; "
+          "--benchmarks only applies to experiment commands "
+          "(fig1..fig14, table4, table5, metrics, all)",
+          file=sys.stderr)
+    return 2
 
 
 def _cmd_run(args) -> int:
     if args.benchmarks:
-        print("wabench: 'run' takes a single positional benchmark; "
-              "--benchmarks only applies to experiment commands "
-              "(fig1..fig14, table4, table5, metrics, all)",
-              file=sys.stderr)
-        return 2
-    harness = _make_harness(args, benchmarks=[args.benchmark])
+        return _reject_benchmarks_flag(args, "run")
+    tracer = Tracer() if args.trace else None
+    harness = _make_harness(args, benchmarks=[args.benchmark],
+                            tracer=tracer)
     engines = [args.runtime] if args.runtime else list(ENGINES)
     if args.jobs > 1:
         cells = [(args.benchmark, engine, args.opt, args.aot)
@@ -69,9 +106,9 @@ def _cmd_run(args) -> int:
         harness.prewarm(cells, jobs=args.jobs)
     lines = []
     for engine in engines:
-        start = time.time()
+        watch = Stopwatch()
         result = harness.run(args.benchmark, engine, aot=args.aot)
-        wall = time.time() - start
+        wall = watch.seconds
         lines.append(f"--- {engine} ({wall:.2f}s wall)")
         lines.append(result.stdout_text().rstrip("\n"))
         lines.append(
@@ -90,6 +127,38 @@ def _cmd_run(args) -> int:
         with open(path, "w") as f:
             f.write(text + "\n")
         print(f"wrote {path}")
+    if tracer is not None:
+        _export_trace(args, tracer)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Per-phase, per-engine modeled-time breakdown of one benchmark."""
+    if args.benchmarks:
+        return _reject_benchmarks_flag(args, "trace")
+    tracer = Tracer()
+    harness = _make_harness(args, benchmarks=[args.benchmark],
+                            tracer=tracer)
+    engines = [args.runtime] if args.runtime else list(ENGINES)
+    cells = [(args.benchmark, engine, args.opt, args.aot)
+             for engine in engines
+             if not (engine == "native" and args.aot)]
+    if args.jobs > 1:
+        harness.prewarm(cells, jobs=args.jobs)
+    for name, engine, opt, aot in cells:
+        harness.run(name, engine, opt=opt, aot=aot)
+    table = phase_table(args.benchmark, tracer.runs,
+                        MachineConfig().cycles_to_seconds)
+    text = table.render()
+    print(text)
+    print(render_cache_stats(harness.cache_stats))
+    if args.out:
+        path = _resolve_out(args, f"trace-{args.benchmark}.txt")
+        with open(path, "w") as f:
+            f.write(text + "\n")
+        print(f"wrote {path}")
+    if args.trace:
+        _export_trace(args, tracer)
     return 0
 
 
@@ -113,17 +182,20 @@ def _cmd_fuzz(args) -> int:
             print(f"  [fuzz] program {verdict.index} "
                   f"seed={verdict.seed} {status}", flush=True)
 
-    start = time.time()
+    tracer = Tracer() if args.verbose else None
+    watch = Stopwatch()
     report = run_campaign(
         base_seed=args.seed, budget=args.budget,
         size_budget=args.size_budget, engines=engines,
         opt_levels=opt_levels, minimize=args.minimize,
         corpus=corpus, cache_dir=cache_dir, jobs=args.jobs,
-        progress=progress)
+        progress=progress, tracer=tracer)
     text = report.render(verbose=args.verbose)
     print(text)
+    if tracer is not None and tracer.metrics.snapshot():
+        print(tracer.metrics.render())
     print(render_cache_stats(report.cache_stats,
-                             wall_seconds=time.time() - start))
+                             wall_seconds=watch.seconds))
     if args.out:
         os.makedirs(args.out, exist_ok=True)
         path = os.path.join(args.out, f"fuzz-seed{args.seed}.txt")
@@ -138,7 +210,7 @@ def _run_experiments(ids: List[str], args) -> int:
     if args.benchmarks:
         bench_subset = [b.strip() for b in args.benchmarks.split(",")]
     harness = _make_harness(args, benchmarks=bench_subset)
-    total_start = time.time()
+    total_watch = Stopwatch()
     if args.jobs > 1:
         from .parallel import plan_cells
         cells = plan_cells(harness, ids)
@@ -149,15 +221,15 @@ def _run_experiments(ids: List[str], args) -> int:
     outputs = []
     for experiment_id in ids:
         fn = EXPERIMENTS[experiment_id]
-        start = time.time()
+        watch = Stopwatch()
         table = fn(harness)
         text = table.render()
         outputs.append((experiment_id, text))
         print(text)
-        print(f"  [{experiment_id} regenerated in {time.time() - start:.1f}s "
+        print(f"  [{experiment_id} regenerated in {watch.seconds:.1f}s "
               f"wall]\n")
     print(render_cache_stats(harness.cache_stats,
-                             wall_seconds=time.time() - total_start))
+                             wall_seconds=total_watch.seconds))
     if args.out:
         os.makedirs(args.out, exist_ok=True)
         for experiment_id, text in outputs:
@@ -182,6 +254,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="native|wasmtime|wavm|wasmer|wasm3|wamr|"
                             "wasmer-<backend> (default: all)")
     run_p.add_argument("--aot", action="store_true")
+    run_p.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a JSONL model-time trace of the runs "
+                            "(schema wabench-trace/1, see TRACING.md)")
+
+    trace_p = sub.add_parser(
+        "trace", help="per-phase modeled-time breakdown of one benchmark")
+    trace_p.add_argument("benchmark", choices=names())
+    trace_p.add_argument("--runtime", default=None,
+                         help="native|wasmtime|wavm|wasmer|wasm3|wamr|"
+                              "wasmer-<backend> (default: all)")
+    trace_p.add_argument("--aot", action="store_true")
+    trace_p.add_argument("--trace", default=None, metavar="PATH",
+                         help="also write the JSONL trace file")
 
     for experiment_id in EXPERIMENTS:
         sub.add_parser(experiment_id,
@@ -251,6 +336,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_fuzz(args)
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "all":
             return _run_experiments(list(EXPERIMENTS), args)
         return _run_experiments([args.command], args)

@@ -16,6 +16,7 @@ import os
 from typing import List, Optional, Sequence, Tuple
 
 from ..errors import HarnessError
+from ..registry import WASMER_BACKEND_ENGINES as _WASMER_BACKENDS
 from ..runtimes import RunResult
 from .cache import CacheStats
 
@@ -26,7 +27,6 @@ Cell = Tuple[str, str, int, bool]
 # (benchmark x engine) grid that fig1 establishes.
 _DEFAULT_GRID = ("fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
                  "fig13", "fig14", "table5")
-_WASMER_BACKENDS = ("wasmer-singlepass", "wasmer", "wasmer-llvm")
 _OPT_LEVELS = (0, 1, 2, 3)
 
 

@@ -66,6 +66,35 @@ class Table:
                 if row[0] not in skip_labels]
 
 
+def phase_table(benchmark: str, traced_runs: Sequence,
+                cycles_to_seconds) -> Table:
+    """Per-engine, per-pipeline-phase modeled-time breakdown — the body of
+    ``wabench trace <benchmark>``.
+
+    Columns are the :data:`repro.registry.PIPELINE_PHASES` that at least
+    one engine actually entered (native runs skip decode/validate/
+    instantiate), in pipeline order, plus the run total.  Values are
+    modeled microseconds derived from each run's span tree, so the table
+    is as deterministic as the runs themselves.
+    """
+    from ..registry import PIPELINE_PHASES
+
+    breakdowns = [(traced.meta.get("engine", traced.result.runtime),
+                   traced.result, traced.result.phase_cycles())
+                  for traced in traced_runs]
+    phases = [p for p in PIPELINE_PHASES
+              if any(p in cycles for _, _, cycles in breakdowns)]
+    table = Table(
+        experiment_id="Trace",
+        title=f"{benchmark}: modeled time per pipeline phase (us)",
+        columns=["engine"] + [f"{p} us" for p in phases] + ["total us"])
+    for engine, result, cycles in breakdowns:
+        values = [cycles_to_seconds(cycles.get(p, 0)) * 1e6 for p in phases]
+        table.add(engine, *values, result.seconds * 1e6)
+    table.note("phases: " + " -> ".join(phases))
+    return table
+
+
 def render_cache_stats(stats: CacheStats,
                        wall_seconds: Optional[float] = None) -> str:
     """One-line artifact-cache summary for the CLI.

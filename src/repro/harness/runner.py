@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import hashlib
 import math
-import time
 import warnings
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -27,13 +26,15 @@ from ..bench import ALL_BENCHMARKS, Benchmark, get
 from ..compiler import compile_source, config_fingerprint
 from ..errors import HarnessError
 from ..native import nativecc, run_native
+from ..obs import NULL_TRACER, Stopwatch
+# Engine name lists live in the canonical registry; re-exported here under
+# their historical harness names (`from repro.harness import ENGINES` etc.).
+from ..registry import ALL_RUNTIME_NAMES as ALL_RUNTIMES
+from ..registry import ENGINES
+from ..registry import JIT_RUNTIME_NAMES as JIT_RUNTIMES
 from ..runtimes import RunResult, make_runtime
 from ..wasi import VirtualFS
 from .cache import ArtifactCache, CacheStats, cache_key
-
-JIT_RUNTIMES = ("wasmtime", "wavm", "wasmer")
-ALL_RUNTIMES = ("wasmtime", "wavm", "wasmer", "wasm3", "wamr")
-ENGINES = ("native",) + ALL_RUNTIMES
 
 
 def geomean(values: Iterable[float], strict: bool = False) -> float:
@@ -70,7 +71,8 @@ class Harness:
     def __init__(self, size: str = "small", opt_level: int = 2,
                  benchmarks: Optional[Sequence[str]] = None,
                  verbose: bool = False,
-                 cache_dir: Optional[str] = None):
+                 cache_dir: Optional[str] = None,
+                 tracer=None):
         self.size = size
         self.default_opt = opt_level
         self.benchmark_names = list(benchmarks) if benchmarks is not None \
@@ -78,6 +80,9 @@ class Harness:
         self.verbose = verbose
         self.disk_cache = ArtifactCache(cache_dir) if cache_dir else None
         self.cache_stats = CacheStats()
+        #: Session tracer (repro.obs); every run served — executed,
+        #: cache-hit, or merged from a worker — is recorded on it.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         # In-memory caches; every key carries (name, opt, size) because
         # ``defines_for(size)`` changes compilation output.
         self._wasm_cache: Dict[Tuple[str, int, str], bytes] = {}
@@ -142,10 +147,10 @@ class Harness:
                 self._wasm_cache[key] = payload
                 return payload
         bench = get(name)
-        start = time.time()
+        watch = Stopwatch()
         wasm = compile_source(bench.source, opt,
                               defines=bench.defines_for(self.size)).wasm_bytes
-        self.cache_stats.miss("wasm", time.time() - start)
+        self.cache_stats.miss("wasm", watch.seconds)
         if self.disk_cache is not None:
             self.disk_cache.put_bytes(disk_key, wasm)
         self._wasm_cache[key] = wasm
@@ -164,10 +169,10 @@ class Harness:
                 self._native_cache[key] = binary
                 return binary
         bench = get(name)
-        start = time.time()
+        watch = Stopwatch()
         binary = nativecc(bench.source, opt,
                           defines=bench.defines_for(self.size))
-        self.cache_stats.miss("native", time.time() - start)
+        self.cache_stats.miss("native", watch.seconds)
         if self.disk_cache is not None:
             self.disk_cache.put_pickle(disk_key, binary)
         self._native_cache[key] = binary
@@ -187,9 +192,9 @@ class Harness:
                 self._aot_cache[key] = entry
                 return entry
         rt = make_runtime(runtime)
-        start = time.time()
+        watch = Stopwatch()
         entry = rt.compile_aot(self.wasm_for(name, opt))
-        self.cache_stats.miss("aot", time.time() - start)
+        self.cache_stats.miss("aot", watch.seconds)
         if self.disk_cache is not None:
             self.disk_cache.put_pickle(disk_key, entry)
         self._aot_cache[key] = entry
@@ -201,6 +206,16 @@ class Harness:
             aot: bool = False) -> RunResult:
         """Run one configuration (cached)."""
         opt = self.default_opt if opt is None else opt
+        watch = Stopwatch()
+        result = self._run_impl(name, engine, opt, aot)
+        self.tracer.record_run(
+            {"bench": name, "engine": engine, "opt": opt, "aot": aot,
+             "size": self.size},
+            result, wall_seconds=watch.seconds)
+        return result
+
+    def _run_impl(self, name: str, engine: str, opt: int,
+                  aot: bool) -> RunResult:
         key = (name, engine, opt, aot, self.size)
         cached = self._result_cache.get(key)
         if cached is not None:
@@ -223,7 +238,7 @@ class Harness:
         if self.verbose:
             print(f"  [run] {name} on {engine} -O{opt}"
                   f"{' (AOT)' if aot else ''}")
-        start = time.time()
+        watch = Stopwatch()
         if engine == "native":
             if aot:
                 raise HarnessError("AOT does not apply to native execution")
@@ -238,7 +253,7 @@ class Harness:
                             aot_image=image)
         if result.trap is not None:
             raise HarnessError(f"{name} on {engine}: {result.trap}")
-        self.cache_stats.miss("result", time.time() - start)
+        self.cache_stats.miss("result", watch.seconds)
         if self.disk_cache is not None:
             self.disk_cache.put_bytes(disk_key,
                                       result.to_json().encode("utf-8"))

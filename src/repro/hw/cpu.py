@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..obs.spans import NULL_BUILDER
 from .branch import BranchPredictor
 from .cache import CacheHierarchy
 from .config import MachineConfig
@@ -35,6 +36,11 @@ class CPUModel:
         self.branches = BranchPredictor(self.config.branch, self.counters)
         self.memory = MemoryAccountant()
         self.line_shift = self.caches.line_shift
+        # Model-time span recorder; a RunPipeline swaps in a live
+        # TraceBuilder, everything else keeps the no-op default.  The
+        # engines and JIT backends emit child spans through this without
+        # knowing whether anyone is listening.
+        self.trace = NULL_BUILDER
 
     # -- retirement ----------------------------------------------------
 

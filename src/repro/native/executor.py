@@ -8,6 +8,7 @@ from ..errors import ExitProc, Trap
 from ..hw import CPUModel, MachineConfig
 from ..isa.machine import Machine
 from ..isa.memory import LinearMemory
+from ..obs.spans import TraceBuilder
 from ..runtimes.base import RunResult
 from ..wasi import VirtualFS, WasiAPI
 from .nativecc import NativeBinary
@@ -21,32 +22,44 @@ def run_native(binary: NativeBinary,
                fs: Optional[VirtualFS] = None,
                argv: Sequence[str] = ("wabench",),
                config: Optional[MachineConfig] = None) -> RunResult:
-    """Run a native binary from cold start under the hardware model."""
+    """Run a native binary from cold start under the hardware model.
+
+    Follows the same span discipline as :class:`~repro.runtimes.base.
+    RunPipeline`, with the phases a native process actually has: spawn
+    (mappings), load (data segments), execute, teardown.
+    """
     program = binary.program
     cpu = CPUModel(config)
-    cpu.memory.alloc("native-base", _NATIVE_BASE_BYTES)
-    cpu.memory.alloc("native-code", program.code_bytes)
-
-    fs = fs if fs is not None else VirtualFS()
-    wasi = WasiAPI(fs=fs, cpu=cpu, argv=argv)
-
-    touched = cpu.memory.lazy_region("native-data")
-    memory = LinearMemory(program.memory_pages, program.memory_max_pages,
-                          touched)
-    machine = Machine(program, cpu, memory=memory, host=wasi.as_host())
-    machine.apply_data_segments()
+    trace = TraceBuilder(cpu.counters)
+    cpu.trace = trace
 
     trap = None
     exit_code = 0
-    try:
-        if program.start_function is not None:
-            machine.call_function(program.start_function, ())
-        machine.run_export("_start")
-    except ExitProc as exc:
-        exit_code = exc.code
-    except Trap as exc:
-        trap = str(exc)
-    cpu.memory.checkpoint()
+    execute_span = None
+    with trace.span("run", runtime="native", mode="native"):
+        with trace.span("spawn"):
+            cpu.memory.alloc("native-base", _NATIVE_BASE_BYTES)
+            cpu.memory.alloc("native-code", program.code_bytes)
+            fs = fs if fs is not None else VirtualFS()
+            wasi = WasiAPI(fs=fs, cpu=cpu, argv=argv)
+        with trace.span("load"):
+            touched = cpu.memory.lazy_region("native-data")
+            memory = LinearMemory(program.memory_pages,
+                                  program.memory_max_pages, touched)
+            machine = Machine(program, cpu, memory=memory,
+                              host=wasi.as_host())
+            machine.apply_data_segments()
+        with trace.span("execute") as execute_span:
+            try:
+                if program.start_function is not None:
+                    machine.call_function(program.start_function, ())
+                machine.run_export("_start")
+            except ExitProc as exc:
+                exit_code = exc.code
+            except Trap as exc:
+                trap = str(exc)
+        with trace.span("teardown"):
+            cpu.memory.checkpoint()
 
     return RunResult(
         runtime="native",
@@ -58,7 +71,10 @@ def run_native(binary: NativeBinary,
         mrss_bytes=cpu.memory.peak_bytes,
         counters=cpu.counters.snapshot(),
         compile_seconds=0.0,
-        execute_seconds=cpu.seconds,
+        execute_seconds=cpu.config.cycles_to_seconds(
+            execute_span["cycles_end"] - execute_span["cycles_start"]),
         memory_breakdown=cpu.memory.breakdown(),
         code_bytes=program.code_bytes,
+        trace=trace.records(),
+        wasi_calls=wasi.stats.as_dict(),
     )

@@ -1,0 +1,41 @@
+"""``repro.obs`` — deterministic tracing + metrics for the execution stack.
+
+The paper's whole methodology is phase-resolved measurement: every number
+it reports is "how much of X happened between two well-defined points of
+a run".  This package is the one place the reproduction keeps that
+machinery, so every layer (runtimes, WASI, compiler, harness, fuzzer)
+emits through it instead of keeping ad-hoc accounting:
+
+* :class:`~repro.obs.spans.TraceBuilder` — *model-time* span recorder.
+  One lives inside every measured run (``cpu.trace``); spans are keyed by
+  the modeled cycle counter, so they are a pure function of the inputs
+  and survive the artifact cache byte-for-byte.
+* :class:`~repro.obs.tracer.Tracer` / :class:`~repro.obs.tracer.NullTracer`
+  — the session-level collector the harness and CLI thread through.  It
+  gathers per-run trace records, wall-clock session spans (compiler
+  phases), and a counter/gauge registry.  ``NullTracer`` is the default
+  fast path: every hook is a no-op.
+* :mod:`~repro.obs.export` — the JSON-lines trace format
+  (``wabench run --trace out.jsonl``), schema validation, and the
+  per-phase breakdown used by ``wabench trace``.  See TRACING.md for the
+  field-by-field schema.
+* :mod:`~repro.obs.timing` — monotonic wall-clock timers
+  (``time.perf_counter``; ``time.time`` is not monotonic and must never
+  be used for durations).
+"""
+
+from .export import (TRACE_SCHEMA, TraceSchemaError, phase_cycles,
+                     root_span, trace_lines, validate_trace, write_trace)
+from .metrics import CallStats, MetricRegistry
+from .spans import NULL_BUILDER, NullTraceBuilder, TraceBuilder
+from .timing import Stopwatch, wall_clock
+from .tracer import NULL_TRACER, NullTracer, TracedRun, Tracer
+
+__all__ = [
+    "TRACE_SCHEMA", "TraceSchemaError", "phase_cycles", "root_span",
+    "trace_lines", "validate_trace", "write_trace",
+    "CallStats", "MetricRegistry",
+    "NULL_BUILDER", "NullTraceBuilder", "TraceBuilder",
+    "Stopwatch", "wall_clock",
+    "NULL_TRACER", "NullTracer", "TracedRun", "Tracer",
+]

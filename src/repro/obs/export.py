@@ -1,0 +1,209 @@
+"""JSON-lines trace export + schema validation + phase breakdowns.
+
+The trace file format (``wabench run --trace out.jsonl``) is line-
+oriented JSON with four record types, documented field-by-field in
+TRACING.md:
+
+* ``header`` — one per file: schema version, repro version, the
+  configuration the trace was taken under.
+* ``run`` — one per measured (benchmark, engine, -O, AOT) cell, in
+  first-request order: identity fields plus the run's headline totals.
+* ``span`` — the run's model-time span tree (one line per span, pre-order,
+  ``run`` links back to the owning run's ``index``).
+* ``wasi`` — per-WASI-function call counts and modeled instruction cost
+  for the run (the eWAPA-style syscall view).
+
+Every field is a pure function of the run configuration **except**
+``wall``, which is wall-clock and only emitted when ``include_wall`` is
+set.  That is the byte-identity contract: serial cold, warm-cache, and
+``--jobs N`` invocations of the same configuration produce identical
+files (and :func:`canonical_lines` strips ``wall`` so checkers can
+compare traces taken with it).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .. import __version__ as _REPRO_VERSION
+
+#: Bump when a record type gains/loses/renames a field.
+TRACE_SCHEMA = "wabench-trace/1"
+
+_SPAN_INT_FIELDS = ("id", "cycles_start", "cycles_end", "instructions",
+                    "branches", "branch_misses", "stall_cycles")
+_RUN_REQUIRED = ("index", "runtime", "exit_code", "seconds", "cycles",
+                 "mrss_bytes", "compile_seconds", "execute_seconds")
+
+
+class TraceSchemaError(ValueError):
+    """A trace file violates the documented schema."""
+
+
+def _dump(record: Dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def trace_lines(runs: Sequence, config: Optional[Dict] = None,
+                include_wall: bool = False) -> List[str]:
+    """Serialize :class:`~repro.obs.tracer.TracedRun`s to JSONL lines."""
+    header: Dict = {"type": "header", "schema": TRACE_SCHEMA,
+                    "repro": _REPRO_VERSION, "runs": len(runs)}
+    if config:
+        header["config"] = dict(config)
+    lines = [_dump(header)]
+    for index, traced in enumerate(runs):
+        result = traced.result
+        run_record: Dict = {"type": "run", "index": index}
+        run_record.update(traced.meta)
+        run_record.update({
+            "runtime": result.runtime,
+            "exit_code": result.exit_code,
+            "trap": result.trap,
+            "seconds": result.seconds,
+            "cycles": result.cycles,
+            "mrss_bytes": result.mrss_bytes,
+            "compile_seconds": result.compile_seconds,
+            "execute_seconds": result.execute_seconds,
+            "code_bytes": result.code_bytes,
+        })
+        if include_wall and traced.wall_seconds is not None:
+            run_record["wall"] = traced.wall_seconds
+        lines.append(_dump(run_record))
+        for span in result.trace:
+            record = {"type": "span", "run": index}
+            record.update(span)
+            lines.append(_dump(record))
+        for fn, stats in result.wasi_calls.items():
+            lines.append(_dump({"type": "wasi", "run": index, "fn": fn,
+                                "calls": stats["calls"],
+                                "instructions": stats["instructions"]}))
+    return lines
+
+
+def write_trace(path: str, runs: Sequence, config: Optional[Dict] = None,
+                include_wall: bool = False) -> int:
+    """Write a trace file; returns the number of lines written."""
+    lines = trace_lines(runs, config=config, include_wall=include_wall)
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+    return len(lines)
+
+
+def canonical_lines(lines: Iterable[str]) -> List[str]:
+    """Strip the (optional, non-deterministic) ``wall`` field from every
+    record and re-serialize canonically — the form byte-compared by the
+    determinism check."""
+    out = []
+    for line in lines:
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        record.pop("wall", None)
+        out.append(_dump(record))
+    return out
+
+
+# -- validation --------------------------------------------------------------
+
+
+def _fail(lineno: int, message: str) -> None:
+    raise TraceSchemaError(f"trace line {lineno}: {message}")
+
+
+def validate_trace(lines: Iterable[str]) -> Dict[str, int]:
+    """Validate a trace against the schema; returns record counts.
+
+    Checks structural requirements (required fields, types) and the span
+    invariants the rest of the repo relies on: spans close after they
+    open, every parent exists earlier in the same run, and children lie
+    within their parent's cycle interval.
+    """
+    counts = {"header": 0, "run": 0, "span": 0, "wasi": 0}
+    run_indices = set()
+    spans_by_run: Dict[int, Dict[int, Dict]] = {}
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            _fail(lineno, f"not valid JSON ({exc})")
+        if not isinstance(record, dict) or "type" not in record:
+            _fail(lineno, "record is not an object with a 'type'")
+        rtype = record["type"]
+        if rtype not in counts:
+            _fail(lineno, f"unknown record type {rtype!r}")
+        counts[rtype] += 1
+
+        if rtype == "header":
+            if lineno != 1:
+                _fail(lineno, "header must be the first line")
+            if record.get("schema") != TRACE_SCHEMA:
+                _fail(lineno, f"schema {record.get('schema')!r} != "
+                              f"{TRACE_SCHEMA!r}")
+        elif rtype == "run":
+            for fld in _RUN_REQUIRED:
+                if fld not in record:
+                    _fail(lineno, f"run record missing {fld!r}")
+            if record["index"] in run_indices:
+                _fail(lineno, f"duplicate run index {record['index']}")
+            run_indices.add(record["index"])
+        elif rtype == "span":
+            if record.get("run") not in run_indices:
+                _fail(lineno, "span references unknown run "
+                              f"{record.get('run')!r}")
+            if "span" not in record:
+                _fail(lineno, "span record missing 'span' name")
+            for fld in _SPAN_INT_FIELDS:
+                if not isinstance(record.get(fld), int):
+                    _fail(lineno, f"span field {fld!r} missing or not int")
+            if record["cycles_end"] < record["cycles_start"]:
+                _fail(lineno, "span closes before it opens")
+            per_run = spans_by_run.setdefault(record["run"], {})
+            parent = record.get("parent")
+            if parent is not None:
+                enclosing = per_run.get(parent)
+                if enclosing is None:
+                    _fail(lineno, f"span parent {parent} not seen yet")
+                if (record["cycles_start"] < enclosing["cycles_start"] or
+                        record["cycles_end"] > enclosing["cycles_end"]):
+                    _fail(lineno, "span escapes its parent's interval")
+            per_run[record["id"]] = record
+        elif rtype == "wasi":
+            if record.get("run") not in run_indices:
+                _fail(lineno, "wasi record references unknown run "
+                              f"{record.get('run')!r}")
+            for fld in ("fn", "calls", "instructions"):
+                if fld not in record:
+                    _fail(lineno, f"wasi record missing {fld!r}")
+    if counts["header"] != 1:
+        raise TraceSchemaError("trace must contain exactly one header line")
+    return counts
+
+
+# -- phase breakdowns --------------------------------------------------------
+
+
+def root_span(trace: Sequence[Dict]) -> Optional[Dict]:
+    """The run's root span (parent ``None``), if the trace has one."""
+    for record in trace:
+        if record.get("parent") is None:
+            return record
+    return None
+
+
+def phase_cycles(trace: Sequence[Dict]) -> Dict[str, int]:
+    """Cycles spent in each top-level pipeline phase of one run's trace,
+    in phase order (the root span's direct children)."""
+    root = root_span(trace)
+    if root is None:
+        return {}
+    out: Dict[str, int] = {}
+    for record in trace:
+        if record.get("parent") == root["id"]:
+            out[record["span"]] = (out.get(record["span"], 0) +
+                                   record["cycles_end"] -
+                                   record["cycles_start"])
+    return out

@@ -1,0 +1,83 @@
+"""Counter/gauge registry + per-callee call statistics.
+
+Two small deterministic accumulators:
+
+* :class:`MetricRegistry` — named monotonic counters and last-value
+  gauges, the session-level "how much work did this invocation do" view
+  (runs executed, cache hits, fuzz cells, divergences...).
+* :class:`CallStats` — per-function call counts and modeled instruction
+  cost; the WASI layer keeps one per run (the eWAPA-style syscall view:
+  *which host functions did this program hit, how often, at what cost*).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class MetricRegistry:
+    """Named counters (monotonic) and gauges (last value wins)."""
+
+    def __init__(self):
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+
+    def inc(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat, sorted view: counters and gauges in one dict."""
+        out = dict(self.counters)
+        out.update(self.gauges)
+        return dict(sorted(out.items()))
+
+    def render(self, prefix: str = "[obs]") -> str:
+        parts = [f"{name}={value:g}" for name, value
+                 in sorted(self.counters.items())]
+        parts += [f"{name}={value:g}" for name, value
+                  in sorted(self.gauges.items())]
+        return f"{prefix} " + " ".join(parts) if parts else f"{prefix} (empty)"
+
+
+class NullMetricRegistry(MetricRegistry):
+    """Discards everything; backs :class:`~repro.obs.tracer.NullTracer`."""
+
+    def inc(self, name: str, value: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+
+class CallStats:
+    """Call counts + modeled instruction cost, keyed by callee name."""
+
+    __slots__ = ("_calls",)
+
+    def __init__(self):
+        self._calls: Dict[str, list] = {}
+
+    def record(self, name: str, instructions: int = 0) -> None:
+        entry = self._calls.get(name)
+        if entry is None:
+            self._calls[name] = [1, instructions]
+        else:
+            entry[0] += 1
+            entry[1] += instructions
+
+    @property
+    def total_calls(self) -> int:
+        return sum(entry[0] for entry in self._calls.values())
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(entry[1] for entry in self._calls.values())
+
+    def as_dict(self) -> Dict[str, Dict[str, int]]:
+        """Sorted, JSON-ready view (stored on :class:`RunResult`)."""
+        return {name: {"calls": calls, "instructions": instructions}
+                for name, (calls, instructions)
+                in sorted(self._calls.items())}

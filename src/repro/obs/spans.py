@@ -1,0 +1,98 @@
+"""Model-time span recording: the deterministic half of the trace.
+
+A :class:`TraceBuilder` lives for one measured run, attached to the CPU
+model as ``cpu.trace``.  Every layer that does work inside the run —
+the run pipeline's named phases, the JIT backends, the interpreter
+translators — opens a span around that work; the builder records the
+modeled cycle counter and the architectural event counters at entry and
+exit.  Because the modeled counters are a pure function of the run's
+inputs, so is the resulting span tree: it can be cached, transported
+across worker processes, and re-emitted byte-for-byte.
+
+Span records are plain dicts (JSON-ready) with this shape::
+
+    {"span": "decode", "id": 1, "parent": 0,
+     "cycles_start": 1, "cycles_end": 1205,
+     "instructions": 4816, "branches": 0, "branch_misses": 0,
+     "stall_cycles": 0}                      # + "attrs": {...} if any
+
+``id`` numbers spans in opening order (a pre-order walk of the tree);
+``parent`` is the enclosing span's id (``None`` for the root).  Wall
+time is deliberately absent: it belongs to the session-level
+:class:`~repro.obs.tracer.Tracer`, never to cached run records.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from typing import Dict, List, Optional
+
+
+class TraceBuilder:
+    """Records a tree of model-time spans for one measured run."""
+
+    def __init__(self, counters):
+        self._counters = counters
+        self._records: List[Dict] = []
+        self._stack: List[Dict] = []
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a span around a unit of charged work.
+
+        Yields the underlying record dict so callers can read the final
+        ``cycles_start``/``cycles_end`` afterwards (the pipeline derives
+        ``compile_seconds``/``execute_seconds`` from exactly these).
+        """
+        counters = self._counters
+        record: Dict = {
+            "span": name,
+            "id": len(self._records),
+            "parent": self._stack[-1]["id"] if self._stack else None,
+            "cycles_start": counters.cycles,
+            "cycles_end": counters.cycles,
+            "instructions": counters.instructions,
+            "branches": counters.branches,
+            "branch_misses": counters.branch_misses,
+            "stall_cycles": counters.stall_cycles,
+        }
+        if attrs:
+            record["attrs"] = dict(attrs)
+        self._records.append(record)
+        self._stack.append(record)
+        try:
+            yield record
+        finally:
+            self._stack.pop()
+            record["cycles_end"] = counters.cycles
+            for key in ("instructions", "branches", "branch_misses",
+                        "stall_cycles"):
+                record[key] = getattr(counters, key) - record[key]
+
+    def records(self) -> List[Dict]:
+        """The span records in opening (pre-order) sequence."""
+        return list(self._records)
+
+
+class NullTraceBuilder:
+    """No-op builder: the default ``cpu.trace`` outside a pipeline.
+
+    Keeps standalone uses of the engines (``compile_aot``, ablation
+    benchmarks, direct backend calls) free of recording overhead.
+    """
+
+    _CTX = nullcontext()
+
+    def span(self, name: str, **attrs):
+        return self._CTX
+
+    def records(self) -> List[Dict]:
+        return []
+
+
+NULL_BUILDER = NullTraceBuilder()
+
+
+def child_spans(records: List[Dict], parent_id: Optional[int]) -> List[Dict]:
+    """Spans whose direct parent is ``parent_id``, in opening order."""
+    return [r for r in records if r.get("parent") == parent_id]

@@ -1,0 +1,33 @@
+"""Wall-clock timing helpers (monotonic, for durations only).
+
+``time.time()`` follows the system clock, which NTP and the
+administrator can step backwards — a duration computed from it can come
+out negative.  Every wall-clock duration in the repo goes through these
+helpers, which use ``time.perf_counter()`` (monotonic, highest available
+resolution).  Wall time is observability-only: it never feeds a modeled
+counter, a cache key, or a deterministic trace field.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: Monotonic wall-clock reading, in seconds.  Only differences of two
+#: readings are meaningful.
+wall_clock = time.perf_counter
+
+
+class Stopwatch:
+    """Measures elapsed wall time from construction (or ``restart``)."""
+
+    __slots__ = ("_start",)
+
+    def __init__(self):
+        self._start = wall_clock()
+
+    def restart(self) -> None:
+        self._start = wall_clock()
+
+    @property
+    def seconds(self) -> float:
+        return wall_clock() - self._start

@@ -1,0 +1,132 @@
+"""Session-level tracer: the object the harness and CLI thread through.
+
+One :class:`Tracer` lives for one tool invocation (``wabench run
+--trace``, ``wabench trace``, a fuzz campaign).  Layers report into it:
+
+* the harness records every (benchmark, engine, -O, AOT) run it serves —
+  whether freshly executed, cache-hit, or merged from a parallel worker
+  — as a :class:`TracedRun` carrying the run's deterministic model-time
+  span records;
+* the compiler driver opens wall-clock *session spans* around its
+  front/mid/back-end phases;
+* everything increments the shared :class:`MetricRegistry`.
+
+The default is :data:`NULL_TRACER`: a shared no-op instance, so the
+untraced hot path costs one attribute lookup and a dead call per hook.
+
+Determinism contract: model-time data (the per-run span records) comes
+from :class:`RunResult` and is byte-stable; wall-clock data (session
+spans, per-run wall seconds) is collected separately and only enters a
+trace file when explicitly requested (``include_wall``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .metrics import MetricRegistry, NullMetricRegistry
+from .timing import wall_clock
+
+
+@dataclass
+class TracedRun:
+    """One run the harness served, plus session-side observations."""
+
+    meta: Dict[str, object]          # bench/engine/opt/aot/size identity
+    result: object                   # the RunResult (carries .trace)
+    wall_seconds: Optional[float] = None   # live wall time; never cached
+
+
+@dataclass
+class SessionSpan:
+    """A wall-clock span (compiler phase, experiment, ...)."""
+
+    name: str
+    wall_seconds: float = 0.0
+    parent: Optional[int] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects runs, session spans, and metrics for one invocation."""
+
+    enabled = True
+
+    def __init__(self):
+        self.metrics = MetricRegistry()
+        self._runs: List[TracedRun] = []
+        self._run_keys = set()
+        self._spans: List[SessionSpan] = []
+        self._stack: List[int] = []
+
+    # -- runs -------------------------------------------------------------
+
+    def record_run(self, meta: Dict[str, object], result,
+                   wall_seconds: Optional[float] = None) -> None:
+        """Register one served run.  Repeat requests for the same cell
+        (experiments re-read results constantly) keep the first record,
+        so trace output follows first-request order deterministically."""
+        key = tuple(sorted(meta.items()))
+        if key in self._run_keys:
+            return
+        self._run_keys.add(key)
+        self._runs.append(TracedRun(meta=dict(meta), result=result,
+                                    wall_seconds=wall_seconds))
+        self.metrics.inc("runs.recorded")
+
+    @property
+    def runs(self) -> List[TracedRun]:
+        return list(self._runs)
+
+    # -- wall-clock session spans ----------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Wall-clock span; yields its record so callers can attach
+        attributes discovered mid-phase (sizes, instruction counts)."""
+        record = SessionSpan(
+            name=name,
+            parent=self._stack[-1] if self._stack else None,
+            attrs=dict(attrs))
+        index = len(self._spans)
+        self._spans.append(record)
+        self._stack.append(index)
+        start = wall_clock()
+        try:
+            yield record
+        finally:
+            record.wall_seconds = wall_clock() - start
+            self._stack.pop()
+
+    @property
+    def session_spans(self) -> List[SessionSpan]:
+        return list(self._spans)
+
+
+class NullTracer(Tracer):
+    """The default fast path: every hook is a no-op.
+
+    Shared as :data:`NULL_TRACER`; construction cost is paid once at
+    import, and ``record_run``/``span``/metrics all discard their input.
+    """
+
+    enabled = False
+    _CTX = nullcontext(SessionSpan(name="null"))
+
+    def __init__(self):
+        self.metrics = NullMetricRegistry()
+        self._runs = []
+        self._run_keys = set()
+        self._spans = []
+        self._stack = []
+
+    def record_run(self, meta, result, wall_seconds=None) -> None:
+        pass
+
+    def span(self, name: str, **attrs):
+        return self._CTX
+
+
+NULL_TRACER = NullTracer()

@@ -1,0 +1,60 @@
+"""Canonical engine/runtime name registry.
+
+One module owns the names; every layer imports from here.  Before this
+existed, ``harness/runner.py``, ``fuzz/engines.py``, and
+``runtimes/__init__.py`` each carried a private copy of the engine
+lists, and they could (and briefly did) drift.
+
+Pure data on purpose: importing this module must never pull in runtime
+classes, the compiler, or the harness, so it is safe to import from any
+layer (including ``runtimes/__init__`` itself, which asserts its class
+table matches these names).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: The three JIT-compilation-based runtime models (paper Table 1).
+JIT_RUNTIME_NAMES: Tuple[str, ...] = ("wasmtime", "wavm", "wasmer")
+
+#: The two interpretation-based runtime models.
+INTERP_RUNTIME_NAMES: Tuple[str, ...] = ("wasm3", "wamr")
+
+#: All five standalone runtimes, in the paper's presentation order.
+ALL_RUNTIME_NAMES: Tuple[str, ...] = JIT_RUNTIME_NAMES + INTERP_RUNTIME_NAMES
+
+#: The native baseline's engine name.
+NATIVE_ENGINE = "native"
+
+#: Every engine a harness cell can name: the native baseline + runtimes.
+ENGINES: Tuple[str, ...] = (NATIVE_ENGINE,) + ALL_RUNTIME_NAMES
+
+#: Wasmer backend-sweep engine names (paper Fig. 2 / Fig. 11 order:
+#: SinglePass baseline, Cranelift, LLVM).
+WASMER_BACKEND_ENGINES: Tuple[str, ...] = ("wasmer-singlepass", "wasmer",
+                                           "wasmer-llvm")
+
+#: Default fuzzing sweep: native baseline, both interpreter designs,
+#: all three JIT tiers, and one AOT configuration.
+DEFAULT_FUZZ_ENGINES: Tuple[str, ...] = ("native", "wamr", "wasm3",
+                                         "wasmtime", "wavm", "wasmer",
+                                         "wasmtime-aot")
+
+#: Run-pipeline phase names, in execution order (see
+#: ``repro.runtimes.base.RunPipeline``).
+PIPELINE_PHASES: Tuple[str, ...] = ("spawn", "decode", "validate", "load",
+                                    "instantiate", "execute", "teardown")
+
+
+def base_engine(name: str) -> str:
+    """Strip an ``-aot`` suffix: the runtime that executes the cell."""
+    return name[:-4] if name.endswith("-aot") else name
+
+
+def is_engine_name(name: str) -> bool:
+    """Whether ``name`` denotes a built-in engine: the native baseline,
+    any runtime, a ``wasmer-<backend>`` variant, or an ``-aot`` form."""
+    base = base_engine(name)
+    return (base == NATIVE_ENGINE or base in ALL_RUNTIME_NAMES or
+            base.startswith("wasmer-"))

@@ -9,9 +9,10 @@
 | WAMR     | :class:`WamrRuntime`           | classic interp |
 """
 
-from typing import Dict, List, Type
+from typing import Dict, Type
 
-from .base import RunResult, WasmRuntime
+from ..registry import ALL_RUNTIME_NAMES
+from .base import RunPipeline, RunResult, WasmRuntime
 from .instance import Environment, instantiate
 from .interpreters import InterpreterRuntime, Wasm3Runtime, WamrRuntime
 from .jits import (AotImage, JitRuntime, WasmerRuntime, WasmtimeRuntime,
@@ -25,7 +26,10 @@ RUNTIME_CLASSES: Dict[str, Type[WasmRuntime]] = {
     "wamr": WamrRuntime,
 }
 
-ALL_RUNTIME_NAMES: List[str] = list(RUNTIME_CLASSES)
+# The class table must agree with the canonical name registry
+# (repro.registry) that the harness and fuzzer import.
+assert tuple(RUNTIME_CLASSES) == ALL_RUNTIME_NAMES, \
+    "runtime class table out of sync with repro.registry"
 
 
 def make_runtime(name: str, **kwargs) -> WasmRuntime:
@@ -40,7 +44,7 @@ def make_runtime(name: str, **kwargs) -> WasmRuntime:
 
 
 __all__ = [
-    "RunResult", "WasmRuntime", "Environment", "instantiate",
+    "RunPipeline", "RunResult", "WasmRuntime", "Environment", "instantiate",
     "InterpreterRuntime", "Wasm3Runtime", "WamrRuntime",
     "AotImage", "JitRuntime", "WasmerRuntime", "WasmtimeRuntime",
     "WavmRuntime", "RUNTIME_CLASSES", "ALL_RUNTIME_NAMES", "make_runtime",

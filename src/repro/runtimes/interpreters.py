@@ -44,14 +44,16 @@ class InterpreterRuntime(WasmRuntime):
         if aot_image is not None:
             raise ReproError(f"{self.name} does not support AOT images")
         profile = self.profile
-        prepared: List = [None] * module.num_funcs
-        total_ops = 0
-        num_imported = module.num_imported_funcs
-        for i, func in enumerate(module.functions):
-            pf = prepare_function(module, func, num_imported + i)
-            prepared[num_imported + i] = ("wasm", pf)
-            total_ops += len(func.body)
-        cpu.counters.instructions += total_ops * profile.translate_cost_per_op
+        with cpu.trace.span("translate", ops=module.body_size()):
+            prepared: List = [None] * module.num_funcs
+            total_ops = 0
+            num_imported = module.num_imported_funcs
+            for i, func in enumerate(module.functions):
+                pf = prepare_function(module, func, num_imported + i)
+                prepared[num_imported + i] = ("wasm", pf)
+                total_ops += len(func.body)
+            cpu.counters.instructions += \
+                total_ops * profile.translate_cost_per_op
         cpu.memory.alloc("interp-code", total_ops * profile.code_bytes_per_op)
         return _LoadedInterp(prepared, total_ops * profile.code_bytes_per_op)
 

@@ -80,20 +80,26 @@ def compile_backend(module: Module, spec: BackendSpec,
                     memory_region: str = "jit") -> MProgram:
     """Translate a module with one backend tier, charging the work."""
     total_ops = module.body_size()
-    program = lower_module(module, spec.lowering)
+    trace = cpu.trace if cpu is not None else None
 
-    for func in program.functions:
-        if spec.pipeline == "light":
-            run_optimizing_pipeline(func, heavy=False)
-        elif spec.pipeline == "heavy":
-            run_optimizing_pipeline(func, heavy=True)
-        if spec.registers:
-            allocate_registers(func, spec.registers)
+    def _translate() -> MProgram:
+        prog = lower_module(module, spec.lowering)
+        for func in prog.functions:
+            if spec.pipeline == "light":
+                run_optimizing_pipeline(func, heavy=False)
+            elif spec.pipeline == "heavy":
+                run_optimizing_pipeline(func, heavy=True)
+            if spec.registers:
+                allocate_registers(func, spec.registers)
+        prog.finalize(code_base)
+        return prog
 
-    program.finalize(code_base)
+    if cpu is None:
+        return _translate()
 
-    if cpu is not None:
-        counters = cpu.counters
+    counters = cpu.counters
+    with trace.span("translate", backend=spec.name, ops=total_ops):
+        program = _translate()
         compile_instrs = total_ops * spec.compile_cost_per_op
         counters.instructions += compile_instrs
         # Compilers are branch-heavy and data-dependent: ~1 branch per 6
@@ -104,6 +110,7 @@ def compile_backend(module: Module, spec: BackendSpec,
         counters.branch_misses += compile_misses
         counters.stall_cycles += compile_misses * \
             cpu.config.branch.miss_penalty
+    with trace.span("ir-sweep", sweeps=spec.compile_sweeps):
         # The compiler walks its IR buffers; that traffic pollutes the
         # caches exactly like a real JIT burst.
         ir_bytes = total_ops * spec.ir_bytes_per_op

@@ -66,9 +66,11 @@ class JitRuntime(WasmRuntime):
                 raise ReproError(
                     f"AOT image was compiled with {aot_image.backend}, "
                     f"runtime uses {self.backend_name}")
-            cpu.counters.instructions += (
-                aot_image.code_bytes * _AOT_LOAD_COST_PER_BYTE)
-            cpu.memory.alloc("aot-code", aot_image.code_bytes)
+            with cpu.trace.span("aot-load",
+                                code_bytes=aot_image.code_bytes):
+                cpu.counters.instructions += (
+                    aot_image.code_bytes * _AOT_LOAD_COST_PER_BYTE)
+                cpu.memory.alloc("aot-code", aot_image.code_bytes)
             return aot_image.program
         return compile_backend(module, self.backend, cpu)
 

@@ -19,6 +19,7 @@ from typing import Dict, Optional, Sequence
 from ..errors import ExitProc
 from ..hw import CPUModel
 from ..isa.memory import LinearMemory
+from ..obs.metrics import CallStats
 from . import errno
 from .fs import VirtualFS
 
@@ -44,13 +45,19 @@ class WasiAPI:
         self.argv = [a.encode() + b"\x00" for a in argv]
         self._rng_state = random_seed & 0xFFFFFFFFFFFFFFFF
         self.exit_code: Optional[int] = None
+        #: Per-call event hook: call counts + modeled instruction cost
+        #: for every WASI function this run hit (the eWAPA-style view;
+        #: surfaces as ``RunResult.wasi_calls`` and trace ``wasi`` lines).
+        self.stats = CallStats()
 
     # -- cost accounting --------------------------------------------------
 
-    def _charge(self, extra_bytes: int = 0) -> None:
+    def _charge(self, fn: str, extra_bytes: int = 0) -> None:
+        """Charge one host call's modeled cost and record the event."""
+        cost = _SYSCALL_BASE_COST + (extra_bytes // 8) * _COPY_COST_PER_8B
+        self.stats.record(fn, cost)
         if self.cpu is not None:
-            self.cpu.counters.instructions += (
-                _SYSCALL_BASE_COST + (extra_bytes // 8) * _COPY_COST_PER_8B)
+            self.cpu.counters.instructions += cost
 
     # -- the interface -----------------------------------------------------
 
@@ -64,7 +71,7 @@ class WasiAPI:
             chunks.append(mem.read_bytes(base, length))
         payload = b"".join(chunks)
         written = self.fs.write(fd, payload)
-        self._charge(len(payload))
+        self._charge("fd_write", len(payload))
         if written < 0:
             return -written
         mem.store_u32(nwritten_ptr, written)
@@ -78,23 +85,23 @@ class WasiAPI:
             length = mem.load_u32(iovs + i * 8 + 4)
             chunk = self.fs.read(fd, length)
             if chunk is None:
-                self._charge()
+                self._charge("fd_read")
                 return errno.EBADF
             mem.write_bytes(base, chunk)
             total += len(chunk)
             if len(chunk) < length:
                 break
-        self._charge(total)
+        self._charge("fd_read", total)
         mem.store_u32(nread_ptr, total)
         return errno.SUCCESS
 
     def fd_close(self, mem: LinearMemory, fd: int) -> int:
-        self._charge()
+        self._charge("fd_close")
         return self.fs.close(fd)
 
     def fd_seek(self, mem: LinearMemory, fd: int, offset: int,
                 whence: int, newoffset_ptr: int) -> int:
-        self._charge()
+        self._charge("fd_seek")
         # offset arrives as an unsigned i64 image; interpret signed.
         if offset >= 1 << 63:
             offset -= 1 << 64
@@ -108,7 +115,7 @@ class WasiAPI:
                   path_ptr: int, path_len: int, oflags: int,
                   rights_base: int, rights_inheriting: int,
                   fdflags: int, opened_fd_ptr: int) -> int:
-        self._charge(path_len)
+        self._charge("path_open", path_len)
         path = mem.read_bytes(path_ptr, path_len).decode("utf-8",
                                                          errors="replace")
         fd = self.fs.open_path(path, oflags)
@@ -119,7 +126,7 @@ class WasiAPI:
 
     def args_sizes_get(self, mem: LinearMemory, argc_ptr: int,
                        argv_buf_size_ptr: int) -> int:
-        self._charge()
+        self._charge("args_sizes_get")
         mem.store_u32(argc_ptr, len(self.argv))
         mem.store_u32(argv_buf_size_ptr, sum(len(a) for a in self.argv))
         return errno.SUCCESS
@@ -131,13 +138,13 @@ class WasiAPI:
             mem.store_u32(argv_ptr + 4 * i, argv_buf + offset)
             mem.write_bytes(argv_buf + offset, arg)
             offset += len(arg)
-        self._charge(offset)
+        self._charge("args_get", offset)
         return errno.SUCCESS
 
     def clock_time_get(self, mem: LinearMemory, clock_id: int,
                        precision: int, time_ptr: int) -> int:
         """Deterministic clock driven by the modeled cycle count."""
-        self._charge()
+        self._charge("clock_time_get")
         if self.cpu is not None:
             ns = int(self.cpu.seconds * 1e9)
         else:
@@ -158,11 +165,11 @@ class WasiAPI:
             out += struct.pack("<Q", state)
         self._rng_state = state
         mem.write_bytes(buf, bytes(out[:buf_len]))
-        self._charge(buf_len)
+        self._charge("random_get", buf_len)
         return errno.SUCCESS
 
     def proc_exit(self, mem: LinearMemory, code: int) -> None:
-        self._charge()
+        self._charge("proc_exit")
         self.exit_code = code
         raise ExitProc(code)
 

@@ -1,0 +1,334 @@
+"""The repro.obs layer: span trees, trace export, registry, determinism.
+
+Covers the instrumented RunPipeline contract end to end:
+
+* per-engine span invariants — phase spans nest inside the root span and
+  telescope exactly to its duration, ``compile_seconds`` /
+  ``execute_seconds`` reconcile exactly with the span tree, and
+  ``memory_breakdown`` sums to (or under, for freeing JITs) MRSS;
+* the canonical engine-name registry is the single source of truth for
+  the harness, the fuzzer, and the runtime class table;
+* JSONL trace export: schema validation, wall-time exclusion, and
+  byte-identity across cold, warm-cache, and ``--jobs`` invocations;
+* the ``wabench trace`` subcommand and ``--trace`` export plumbing.
+"""
+
+import json
+
+import pytest
+
+from repro import registry
+from repro.compiler import compile_source
+from repro.harness.cli import main as wabench
+from repro.native import nativecc, run_native
+from repro.obs import (NULL_TRACER, TRACE_SCHEMA, CallStats, MetricRegistry,
+                       NullTracer, Stopwatch, Tracer, TraceSchemaError,
+                       phase_cycles, root_span, trace_lines, validate_trace,
+                       write_trace)
+from repro.obs.export import canonical_lines
+from repro.runtimes import RUNTIME_CLASSES, make_runtime
+
+SOURCE = """
+int main() {
+    int i;
+    int s;
+    s = 0;
+    for (i = 0; i < 50; i = i + 1) { s = s + i; }
+    print_i(s);
+    print_nl();
+    return 0;
+}
+"""
+
+ENGINES = registry.ENGINES          # native + the five runtimes
+#: Engines whose pipeline never frees a region, so the breakdown is an
+#: exact partition of MRSS (JITs free their compiler-peak scratch, which
+#: may or may not have set the high-water mark).
+_NO_FREE_ENGINES = ("native", "wasm3", "wamr")
+
+
+@pytest.fixture(scope="module")
+def results():
+    wasm = compile_source(SOURCE, 1).wasm_bytes
+    out = {"native": run_native(nativecc(SOURCE, 1))}
+    for name in registry.ALL_RUNTIME_NAMES:
+        out[name] = make_runtime(name).run(wasm)
+    return out
+
+
+# -- per-engine span/result invariants --------------------------------------
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_spans_nest_and_telescope_to_root(results, engine):
+    """Phase spans are contiguous children of the root span: their cycle
+    intervals nest inside it and their durations sum exactly to it."""
+    trace = results[engine].trace
+    root = root_span(trace)
+    assert root is not None and root["span"] == "run"
+    children = [s for s in trace if s.get("parent") == root["id"]]
+    assert children, f"{engine} root span has no phase children"
+    for span in children:
+        assert root["cycles_start"] <= span["cycles_start"] \
+            <= span["cycles_end"] <= root["cycles_end"]
+    telescoped = sum(s["cycles_end"] - s["cycles_start"] for s in children)
+    assert telescoped == root["cycles_end"] - root["cycles_start"]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_phase_seconds_reconcile_exactly(results, engine):
+    """compile_seconds/execute_seconds are *derived from* the span tree,
+    so recomputing them from the trace must match to the last bit."""
+    from repro.hw import MachineConfig
+    result = results[engine]
+    cycles = phase_cycles(result.trace)
+    to_seconds = MachineConfig().cycles_to_seconds
+    assert result.execute_seconds == to_seconds(cycles["execute"])
+    expected_compile = to_seconds(cycles["load"]) \
+        if engine != "native" else 0.0
+    assert result.compile_seconds == expected_compile
+    assert result.compile_seconds + result.execute_seconds <= result.seconds
+    assert result.phase_cycles() == cycles
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_pipeline_phase_names_come_from_registry(results, engine):
+    phases = list(results[engine].phase_cycles())
+    assert phases == [p for p in registry.PIPELINE_PHASES if p in phases]
+    assert "execute" in phases and "spawn" in phases
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_memory_breakdown_sums_to_mrss(results, engine):
+    result = results[engine]
+    total = sum(result.memory_breakdown.values())
+    assert total <= result.mrss_bytes
+    if engine in _NO_FREE_ENGINES:
+        assert total == result.mrss_bytes
+
+
+def test_jit_breakdown_may_undershoot_after_free(results):
+    """WAVM's LLVM-tier compiler peak is freed before execution and sets
+    the high-water mark, so its breakdown sums strictly under MRSS."""
+    result = results["wavm"]
+    assert sum(result.memory_breakdown.values()) < result.mrss_bytes
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_wasi_call_stats(results, engine):
+    """Every engine reports the eWAPA view: per-function call counts and
+    modeled instruction cost, consistent with the program's output."""
+    calls = results[engine].wasi_calls
+    assert "fd_write" in calls and "proc_exit" in calls
+    for stats in calls.values():
+        assert stats["calls"] >= 1
+        assert stats["instructions"] >= stats["calls"]
+    assert calls == results["native"].wasi_calls  # same guest behavior
+
+
+def test_interpreter_and_jit_child_spans(results):
+    """Load work is visible as named child spans under ``load``."""
+    def span_names(engine):
+        return {s["span"] for s in results[engine].trace}
+
+    assert "translate" in span_names("wasm3")       # interp translate loop
+    assert {"translate", "ir-sweep"} <= span_names("wavm")   # JIT backend
+
+
+def test_trace_roundtrips_through_result_json(results):
+    from repro.runtimes import RunResult
+    result = results["wasmtime"]
+    clone = RunResult.from_json(result.to_json())
+    assert clone.trace == result.trace
+    assert clone.wasi_calls == result.wasi_calls
+
+
+# -- the canonical registry --------------------------------------------------
+
+
+def test_registry_is_single_source_of_truth():
+    from repro.fuzz import engines as fuzz_engines
+    from repro.harness import runner
+
+    assert runner.ALL_RUNTIMES is registry.ALL_RUNTIME_NAMES
+    assert runner.JIT_RUNTIMES is registry.JIT_RUNTIME_NAMES
+    assert runner.ENGINES is registry.ENGINES
+    assert fuzz_engines.DEFAULT_ENGINES is registry.DEFAULT_FUZZ_ENGINES
+    assert tuple(RUNTIME_CLASSES) == registry.ALL_RUNTIME_NAMES
+    assert registry.ENGINES[0] == registry.NATIVE_ENGINE
+    assert set(registry.JIT_RUNTIME_NAMES).isdisjoint(
+        registry.INTERP_RUNTIME_NAMES)
+
+
+def test_registry_helpers():
+    assert registry.base_engine("wasmtime-aot") == "wasmtime"
+    assert registry.base_engine("wamr") == "wamr"
+    assert registry.is_engine_name("native")
+    assert registry.is_engine_name("wavm-aot")
+    assert registry.is_engine_name("wasmer-llvm")
+    assert not registry.is_engine_name("nodejs")
+
+
+# -- trace export + schema ---------------------------------------------------
+
+
+def _tracer_with_runs(results):
+    tracer = Tracer()
+    for engine in ENGINES:
+        tracer.record_run({"bench": "inline", "engine": engine, "opt": 1,
+                           "aot": False, "size": "test"}, results[engine])
+    return tracer
+
+
+def test_trace_lines_validate(results):
+    tracer = _tracer_with_runs(results)
+    lines = trace_lines(tracer.runs, config={"size": "test", "opt": 1})
+    counts = validate_trace(lines)
+    assert counts["header"] == 1
+    assert counts["run"] == len(ENGINES)
+    assert counts["span"] == sum(len(results[e].trace) for e in ENGINES)
+    assert counts["wasi"] > 0
+    header = json.loads(lines[0])
+    assert header["schema"] == TRACE_SCHEMA
+    assert header["config"] == {"size": "test", "opt": 1}
+
+
+def test_trace_wall_time_is_opt_in(results):
+    tracer = Tracer()
+    tracer.record_run({"engine": "native"}, results["native"],
+                      wall_seconds=1.5)
+    assert all("wall" not in json.loads(line)
+               for line in trace_lines(tracer.runs))
+    with_wall = trace_lines(tracer.runs, include_wall=True)
+    assert any(json.loads(line).get("wall") == 1.5 for line in with_wall)
+    # canonical_lines strips wall, restoring the deterministic form
+    assert canonical_lines(with_wall) == trace_lines(tracer.runs)
+
+
+def test_validate_trace_rejects_corruption(results):
+    tracer = _tracer_with_runs(results)
+    lines = trace_lines(tracer.runs)
+
+    with pytest.raises(TraceSchemaError, match="not valid JSON"):
+        validate_trace(lines[:1] + ["{broken"])
+    with pytest.raises(TraceSchemaError, match="header"):
+        validate_trace(lines[1:])                 # header missing
+    span_index = next(i for i, line in enumerate(lines)
+                      if json.loads(line)["type"] == "span")
+    record = json.loads(lines[span_index])
+    record["cycles_end"] = record["cycles_start"] - 1
+    bad = list(lines)
+    bad[span_index] = json.dumps(record)
+    with pytest.raises(TraceSchemaError, match="closes before"):
+        validate_trace(bad)
+
+
+def test_record_run_dedups_repeat_requests(results):
+    tracer = Tracer()
+    meta = {"bench": "x", "engine": "native", "opt": 2}
+    tracer.record_run(meta, results["native"])
+    tracer.record_run(meta, results["native"])
+    assert len(tracer.runs) == 1
+    assert tracer.metrics.snapshot()["runs.recorded"] == 1
+
+
+def test_null_tracer_is_inert(results):
+    assert not NULL_TRACER.enabled
+    NULL_TRACER.record_run({"engine": "native"}, results["native"])
+    assert NULL_TRACER.runs == []
+    with NULL_TRACER.span("anything", attr=1) as span:
+        span.attrs["ignored"] = True              # written, never kept
+    assert NULL_TRACER.session_spans == []
+    NULL_TRACER.metrics.inc("x")
+    assert NULL_TRACER.metrics.snapshot() == {}
+    assert isinstance(NULL_TRACER, NullTracer)
+
+
+def test_metric_registry_and_callstats():
+    metrics = MetricRegistry()
+    metrics.inc("a")
+    metrics.inc("a", 2)
+    metrics.gauge("b", 7)
+    assert metrics.snapshot() == {"a": 3, "b": 7}
+
+    stats = CallStats()
+    stats.record("fd_write", 100)
+    stats.record("fd_write", 50)
+    stats.record("proc_exit", 10)
+    assert stats.total_calls == 3
+    assert stats.total_instructions == 160
+    assert list(stats.as_dict()) == ["fd_write", "proc_exit"]  # sorted
+
+
+def test_stopwatch_is_monotonic():
+    watch = Stopwatch()
+    assert watch.seconds >= 0.0
+    first = watch.seconds
+    assert watch.seconds >= first
+
+
+# -- CLI: byte-identity and the trace subcommand -----------------------------
+
+
+def _run_traced(tmp_path, tag, extra=()):
+    out = tmp_path / f"{tag}.jsonl"
+    rc = wabench(["run", "bitcount", "--size", "test", "--runtime", "wasm3",
+                  "--cache-dir", str(tmp_path / "cache"),
+                  "--trace", str(out), *extra])
+    assert rc == 0
+    return out.read_bytes()
+
+
+def test_trace_byte_identity_cold_warm_parallel(tmp_path):
+    """The headline determinism contract: cold, warm-cache, and --jobs
+    invocations of the same configuration emit identical trace files."""
+    cold = _run_traced(tmp_path, "cold")
+    warm = _run_traced(tmp_path, "warm")
+    jobs = _run_traced(tmp_path, "jobs", extra=("--jobs", "2"))
+    assert cold == warm == jobs
+    lines = cold.decode().splitlines()
+    counts = validate_trace(lines)
+    assert counts["run"] == 1
+    assert json.loads(lines[0])["repro"]  # version stamped in the header
+
+
+def test_wabench_trace_subcommand(tmp_path, capsys):
+    rc = wabench(["trace", "bitcount", "--size", "test",
+                  "--cache-dir", str(tmp_path / "cache"),
+                  "--out", str(tmp_path / "out"),
+                  "--trace", "bitcount.jsonl"])
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "modeled time per pipeline phase" in text
+    for engine in ENGINES:
+        assert engine in text
+    assert "execute us" in text
+    # --out plumbing: both the table artifact and the relative-path
+    # trace land in the --out directory.
+    assert (tmp_path / "out" / "trace-bitcount.txt").exists()
+    trace_file = tmp_path / "out" / "bitcount.jsonl"
+    counts = validate_trace(trace_file.read_text().splitlines())
+    assert counts["run"] == len(ENGINES)
+
+
+def test_run_rejects_benchmarks_flag(capsys):
+    assert wabench(["trace", "bitcount", "--benchmarks", "gemm"]) == 2
+    assert "--benchmarks" in capsys.readouterr().err
+
+
+def test_write_trace_counts_lines(results, tmp_path):
+    tracer = _tracer_with_runs(results)
+    path = tmp_path / "t.jsonl"
+    count = write_trace(str(path), tracer.runs)
+    assert count == len(path.read_text().splitlines())
+
+
+def test_wasicc_timings_flag(tmp_path, capsys):
+    from repro.compiler.driver import main as wasicc
+    src = tmp_path / "p.c"
+    src.write_text(SOURCE)
+    rc = wasicc([str(src), "-o", str(tmp_path / "p.wasm"), "--timings"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for phase in ("frontend", "midend", "backend"):
+        assert f"wasicc: [{phase}" in out
