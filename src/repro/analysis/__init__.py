@@ -14,12 +14,33 @@ The package has three layers:
   MiniC sanitizer (:mod:`repro.analysis.sanitizer`).
 """
 
-from .cfg import BasicBlock, ControlFlowGraph, build_cfg
-from .dataflow import DataflowAnalysis, solve
-from .liveness import dead_stores, live_variables
-from .metrics import FunctionMetrics, ModuleMetrics, module_report
-from .ranges import Interval, function_ranges, provable_inbounds
-from .sanitizer import Finding, analyze_source, analyze_unit
+from importlib import import_module
+
+# Lazily resolved exports (PEP 562): the range analysis is on the hot
+# run path (the optimizing JIT tier consults it per module), but the
+# sanitizer, metrics, and liveness clients are tooling-only — importing
+# them eagerly would put their cost on every ``wabench run``.
+_EXPORTS = {
+    "BasicBlock": "cfg", "ControlFlowGraph": "cfg", "build_cfg": "cfg",
+    "DataflowAnalysis": "dataflow", "solve": "dataflow",
+    "live_variables": "liveness", "dead_stores": "liveness",
+    "FunctionMetrics": "metrics", "ModuleMetrics": "metrics",
+    "module_report": "metrics",
+    "Interval": "ranges", "function_ranges": "ranges",
+    "provable_inbounds": "ranges",
+    "Finding": "sanitizer", "analyze_source": "sanitizer",
+    "analyze_unit": "sanitizer",
+}
+
+
+def __getattr__(name):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(f".{module_name}", __name__), name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
 
 __all__ = [
     "BasicBlock",

@@ -21,7 +21,6 @@ suite.
 from __future__ import annotations
 
 import copy
-from dataclasses import fields as dc_fields
 from typing import Dict, List, Optional
 
 from ..isa import ops as mops
@@ -43,12 +42,12 @@ def _clone(node):
     if not isinstance(node, (ast.Expr, ast.Stmt, ast.SwitchCase)):
         return node
     new = copy.copy(node)
-    for f in dc_fields(node):
-        if f.name == "binding":
+    for name in ast.field_names(node.__class__):
+        if name == "binding":
             continue
-        value = getattr(node, f.name)
+        value = getattr(node, name)
         if isinstance(value, (ast.Expr, ast.Stmt, list)):
-            setattr(new, f.name, _clone(value))
+            setattr(new, name, _clone(value))
     return new
 
 
@@ -246,15 +245,15 @@ class _Simplifier:
 
     def visit(self, expr: ast.Expr) -> ast.Expr:
         # Recurse into children first.
-        for f in dc_fields(expr):
-            if f.name in ("ctype", "target_type", "binding"):
-                continue
-            child = getattr(expr, f.name)
-            if isinstance(child, ast.Expr):
-                setattr(expr, f.name, self.visit(child))
-            elif isinstance(child, list) and child and \
-                    isinstance(child[0], ast.Expr):
-                setattr(expr, f.name, [self.visit(c) for c in child])
+        scalars, lists = ast.expr_child_fields(expr.__class__)
+        for name in scalars:
+            child = getattr(expr, name)
+            if child is not None:
+                setattr(expr, name, self.visit(child))
+        for name in lists:
+            child = getattr(expr, name)
+            if child:
+                setattr(expr, name, [self.visit(c) for c in child])
         return self._simplify(expr)
 
     # -- rules ---------------------------------------------------------
@@ -404,10 +403,10 @@ def _is_pure(expr: ast.Expr) -> bool:
     if isinstance(expr, (ast.Call, ast.Assign, ast.IncDec, ast.Deref,
                          ast.Index)):
         return False
-    for f in dc_fields(expr):
-        if f.name in ("ctype", "target_type", "binding"):
+    for name in ast.field_names(expr.__class__):
+        if name in ("ctype", "target_type", "binding"):
             continue
-        child = getattr(expr, f.name)
+        child = getattr(expr, name)
         if isinstance(child, ast.Expr) and not _is_pure(child):
             return False
         if isinstance(child, list):
@@ -497,10 +496,10 @@ class _Inliner:
         return self.inlined - before
 
     def _rewrite_stmt(self, stmt: ast.Stmt, host: ast.FuncDef) -> None:
-        for f in dc_fields(stmt):
-            child = getattr(stmt, f.name)
+        for name in ast.field_names(stmt.__class__):
+            child = getattr(stmt, name)
             if isinstance(child, ast.Expr):
-                setattr(stmt, f.name, self._rewrite_expr(child, host))
+                setattr(stmt, name, self._rewrite_expr(child, host))
             elif isinstance(child, ast.Stmt):
                 self._rewrite_stmt(child, host)
             elif isinstance(child, list):
@@ -515,18 +514,18 @@ class _Inliner:
                             for s in c.body:
                                 self._rewrite_stmt(s, host)
                         new_list.append(c)
-                setattr(stmt, f.name, new_list)
+                setattr(stmt, name, new_list)
 
     def _rewrite_expr(self, expr: ast.Expr, host: ast.FuncDef) -> ast.Expr:
-        for f in dc_fields(expr):
-            if f.name in ("ctype", "target_type", "binding"):
-                continue
-            child = getattr(expr, f.name)
-            if isinstance(child, ast.Expr):
-                setattr(expr, f.name, self._rewrite_expr(child, host))
-            elif isinstance(child, list) and child and \
-                    isinstance(child[0], ast.Expr):
-                setattr(expr, f.name,
+        scalars, lists = ast.expr_child_fields(expr.__class__)
+        for name in scalars:
+            child = getattr(expr, name)
+            if child is not None:
+                setattr(expr, name, self._rewrite_expr(child, host))
+        for name in lists:
+            child = getattr(expr, name)
+            if child:
+                setattr(expr, name,
                         [self._rewrite_expr(c, host) for c in child])
         if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Ident) \
                 and expr.func.binding and expr.func.binding[0] == "func":
@@ -570,10 +569,10 @@ def _node_count(expr: ast.Expr) -> int:
 
 def _walk(expr: ast.Expr):
     yield expr
-    for f in dc_fields(expr):
-        if f.name in ("ctype", "target_type", "binding"):
+    for name in ast.field_names(expr.__class__):
+        if name in ("ctype", "target_type", "binding"):
             continue
-        child = getattr(expr, f.name)
+        child = getattr(expr, name)
         if isinstance(child, ast.Expr):
             yield from _walk(child)
         elif isinstance(child, list):
@@ -599,16 +598,16 @@ def _substitute(expr: ast.Expr, replacement: Dict[int, ast.Expr],
             and expr.binding[0] == "local" \
             and id(expr.binding[1]) in replacement:
         return _clone(replacement[id(expr.binding[1])])
-    for f in dc_fields(expr):
-        if f.name in ("ctype", "target_type", "binding"):
+    for name in ast.field_names(expr.__class__):
+        if name in ("ctype", "target_type", "binding"):
             continue
-        child = getattr(expr, f.name)
+        child = getattr(expr, name)
         if isinstance(child, ast.Expr):
-            setattr(expr, f.name,
+            setattr(expr, name,
                     _substitute(child, replacement, param_ids))
         elif isinstance(child, list) and child and \
                 isinstance(child[0], ast.Expr):
-            setattr(expr, f.name,
+            setattr(expr, name,
                     [_substitute(c, replacement, param_ids) for c in child])
     return expr
 
@@ -696,8 +695,8 @@ class _Unroller:
 def _contains_decl(stmt: ast.Stmt) -> bool:
     if isinstance(stmt, ast.VarDecl):
         return True
-    for f in dc_fields(stmt):
-        child = getattr(stmt, f.name)
+    for name in ast.field_names(stmt.__class__):
+        child = getattr(stmt, name)
         if isinstance(child, ast.Stmt) and _contains_decl(child):
             return True
         if isinstance(child, list):
@@ -713,8 +712,8 @@ def _contains_decl(stmt: ast.Stmt) -> bool:
 
 def _stmt_size(stmt: ast.Stmt) -> int:
     total = 1
-    for f in dc_fields(stmt):
-        child = getattr(stmt, f.name)
+    for name in ast.field_names(stmt.__class__):
+        child = getattr(stmt, name)
         if isinstance(child, ast.Stmt):
             total += _stmt_size(child)
         elif isinstance(child, ast.Expr):
@@ -729,8 +728,8 @@ def _stmt_size(stmt: ast.Stmt) -> int:
 
 
 def _stmt_exprs(stmt: ast.Stmt):
-    for f in dc_fields(stmt):
-        child = getattr(stmt, f.name)
+    for name in ast.field_names(stmt.__class__):
+        child = getattr(stmt, name)
         if isinstance(child, ast.Expr):
             yield from _walk(child)
         elif isinstance(child, ast.Stmt):
@@ -765,8 +764,8 @@ def _modifies_var(stmt: ast.Stmt, decl: ast.VarDecl) -> bool:
 def _has_jumps(stmt: ast.Stmt) -> bool:
     if isinstance(stmt, (ast.Break, ast.Continue, ast.Return)):
         return True
-    for f in dc_fields(stmt):
-        child = getattr(stmt, f.name)
+    for name in ast.field_names(stmt.__class__):
+        child = getattr(stmt, name)
         if isinstance(child, ast.Stmt) and _has_jumps(child):
             return True
         if isinstance(child, list):
@@ -786,22 +785,22 @@ def _replace_var(stmt: ast.Stmt, decl: ast.VarDecl, value: int) -> None:
         if isinstance(expr, ast.Ident) and expr.binding \
                 and expr.binding[0] == "local" and expr.binding[1] is decl:
             return _make_literal(value, expr.ctype, expr.line)
-        for f in dc_fields(expr):
-            if f.name in ("ctype", "target_type", "binding"):
+        for name in ast.field_names(expr.__class__):
+            if name in ("ctype", "target_type", "binding"):
                 continue
-            child = getattr(expr, f.name)
+            child = getattr(expr, name)
             if isinstance(child, ast.Expr):
-                setattr(expr, f.name, fix_expr(child))
+                setattr(expr, name, fix_expr(child))
             elif isinstance(child, list) and child and \
                     isinstance(child[0], ast.Expr):
-                setattr(expr, f.name, [fix_expr(c) for c in child])
+                setattr(expr, name, [fix_expr(c) for c in child])
         return expr
 
     def fix_stmt(s: ast.Stmt) -> None:
-        for f in dc_fields(s):
-            child = getattr(s, f.name)
+        for name in ast.field_names(s.__class__):
+            child = getattr(s, name)
             if isinstance(child, ast.Expr):
-                setattr(s, f.name, fix_expr(child))
+                setattr(s, name, fix_expr(child))
             elif isinstance(child, ast.Stmt):
                 fix_stmt(child)
             elif isinstance(child, list):
@@ -816,6 +815,6 @@ def _replace_var(stmt: ast.Stmt, decl: ast.VarDecl, value: int) -> None:
                             for cs in c.body:
                                 fix_stmt(cs)
                         new_list.append(c)
-                setattr(s, f.name, new_list)
+                setattr(s, name, new_list)
 
     fix_stmt(stmt)

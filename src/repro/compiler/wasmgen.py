@@ -1222,24 +1222,42 @@ def _stored_type(target: ast.Expr) -> CType:
     raise CompileError("unsupported lvalue")
 
 
+#: Per-class tuple of walkable field names (non-child metadata fields
+#: pre-filtered), so the walker loop skips the membership tests.
+_WALK_FIELDS: dict = {}
+
+
+def _walk_field_names(cls):
+    names = _WALK_FIELDS.get(cls)
+    if names is None:
+        skip = ("ctype", "target_type", "var_type", "binding")
+        names = tuple(n for n in ast.field_names(cls) if n not in skip)
+        _WALK_FIELDS[cls] = names
+    return names
+
+
 def _walk_exprs(node):
-    """Yield every expression node in a statement/expression tree."""
-    from dataclasses import fields as dc_fields
+    """Return every expression node in a statement/expression tree."""
+    out = []
     stack = [node]
+    pop = stack.pop
+    extend = stack.extend
+    is_expr = ast.Expr
+    walkable = (ast.Expr, ast.Stmt, ast.SwitchCase)
+    walk_field_names = _walk_field_names
     while stack:
-        current = stack.pop()
+        current = pop()
         if current is None:
             continue
         if isinstance(current, list):
-            stack.extend(current)
+            extend(current)
             continue
-        if isinstance(current, ast.Expr):
-            yield current
-        if isinstance(current, (ast.Expr, ast.Stmt, ast.SwitchCase)):
-            for f in dc_fields(current):
-                if f.name in ("ctype", "target_type", "var_type", "binding"):
-                    continue
-                stack.append(getattr(current, f.name))
+        if isinstance(current, is_expr):
+            out.append(current)
+        if isinstance(current, walkable):
+            for name in walk_field_names(current.__class__):
+                stack.append(getattr(current, name))
+    return out
 
 
 def _called_names(func: ast.FuncDef) -> Set[str]:

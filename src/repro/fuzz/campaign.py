@@ -17,6 +17,7 @@ import os
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from .. import speed
 from ..harness.cache import ArtifactCache, CacheStats
 from ..obs import NULL_TRACER
 from .corpus import Corpus
@@ -135,6 +136,7 @@ _WORKER_STATE = None
 def _worker_init(cache_dir: Optional[str]) -> None:
     global _WORKER_STATE
     cache = ArtifactCache(cache_dir) if cache_dir else None
+    speed.module_cache.attach_disk(cache)
     _WORKER_STATE = CellRunner(cache=cache)
 
 
@@ -182,6 +184,7 @@ def run_campaign(base_seed: int,
     validate_engines(engines)
     opt_levels = sorted(set(opt_levels))
     cache = ArtifactCache(cache_dir) if cache_dir else None
+    speed.module_cache.attach_disk(cache)
     runner = CellRunner(cache=cache)
     report = CampaignReport(base_seed=base_seed, budget=budget,
                             engines=tuple(engines),

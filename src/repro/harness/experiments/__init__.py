@@ -1,31 +1,58 @@
 """Per-figure/table experiment drivers.
 
 ``EXPERIMENTS`` maps every figure/table identifier from the paper's
-evaluation to the callable regenerating it.
+evaluation to the callable regenerating it.  The driver modules are
+imported on first access, not at package import: ``wabench run`` (and
+every other non-experiment command) only needs the identifier list, and
+the drivers pull in the whole analysis stack.
 """
 
-from typing import Callable, Dict
+from importlib import import_module
+from typing import Callable, Iterator, Mapping
 
-from . import arch, memory, perf, static
-
-EXPERIMENTS: Dict[str, Callable] = {
-    "fig1": perf.fig1,
-    "fig2": perf.fig2,
-    "fig3": perf.fig3,
-    "table4": perf.table4,
-    "fig4": perf.fig4,
-    "fig5": memory.fig5,
-    "fig6": arch.fig6,
-    "fig7": arch.fig7,
-    "fig8": arch.fig8,
-    "table5": arch.table5,
-    "fig9": arch.fig9,
-    "fig10": arch.fig10,
-    "fig11": perf.fig11,
-    "fig12": perf.fig12,
-    "fig13": memory.fig13,
-    "fig14": arch.fig14,
-    "metrics": static.metrics,
+_SPECS = {
+    "fig1": ("perf", "fig1"),
+    "fig2": ("perf", "fig2"),
+    "fig3": ("perf", "fig3"),
+    "table4": ("perf", "table4"),
+    "fig4": ("perf", "fig4"),
+    "fig5": ("memory", "fig5"),
+    "fig6": ("arch", "fig6"),
+    "fig7": ("arch", "fig7"),
+    "fig8": ("arch", "fig8"),
+    "table5": ("arch", "table5"),
+    "fig9": ("arch", "fig9"),
+    "fig10": ("arch", "fig10"),
+    "fig11": ("perf", "fig11"),
+    "fig12": ("perf", "fig12"),
+    "fig13": ("memory", "fig13"),
+    "fig14": ("arch", "fig14"),
+    "metrics": ("static", "metrics"),
 }
 
-__all__ = ["EXPERIMENTS", "arch", "memory", "perf", "static"]
+
+class _LazyExperiments(Mapping):
+    """Mapping over _SPECS that resolves driver callables on demand."""
+
+    def __getitem__(self, experiment_id: str) -> Callable:
+        module_name, func_name = _SPECS[experiment_id]
+        module = import_module(f".{module_name}", __name__)
+        return getattr(module, func_name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(_SPECS)
+
+    def __len__(self) -> int:
+        return len(_SPECS)
+
+
+EXPERIMENTS: Mapping = _LazyExperiments()
+
+__all__ = ["EXPERIMENTS"]
+
+
+def __getattr__(name):
+    # ``from repro.harness.experiments import arch`` etc. still works.
+    if name in ("arch", "memory", "perf", "static"):
+        return import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

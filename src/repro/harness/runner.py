@@ -22,6 +22,7 @@ import warnings
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .. import __version__ as _REPRO_VERSION
+from .. import speed
 from ..bench import ALL_BENCHMARKS, Benchmark, get
 from ..compiler import compile_source, config_fingerprint
 from ..errors import HarnessError
@@ -80,6 +81,9 @@ class Harness:
         self.verbose = verbose
         self.disk_cache = ArtifactCache(cache_dir) if cache_dir else None
         self.cache_stats = CacheStats()
+        # The decoded-module cache persists through the same artifact
+        # store; without one it stays purely in-memory (no disk IO).
+        speed.module_cache.attach_disk(self.disk_cache)
         #: Session tracer (repro.obs); every run served — executed,
         #: cache-hit, or merged from a worker — is recorded on it.
         self.tracer = tracer if tracer is not None else NULL_TRACER

@@ -30,6 +30,10 @@ from .counters import PerfCounters
 class BranchPredictor:
     """Conditional + indirect + return-address prediction."""
 
+    __slots__ = ("config", "counters", "penalty", "_gshare", "_gshare_mask",
+                 "_history", "_history_mask", "_btb", "_itc", "_meta",
+                 "_itc_mask", "_target_history", "_ras", "_ras_depth")
+
     def __init__(self, config: BranchConfig, counters: PerfCounters):
         self.config = config
         self.counters = counters
@@ -84,13 +88,22 @@ class BranchPredictor:
         """Predict+update an indirect branch; returns True on mispredict."""
         c = self.counters
         c.branches += 1
-        site_index = pc & self._itc_mask
+        mask = self._itc_mask
+        site_index = pc & mask
         # The history component is indexed by the recent-target path only,
         # so it can capture repeating *sequences* but cannot act as a
         # second site table for aliased sites.
-        hist_index = self._target_history & self._itc_mask
+        history = self._target_history
+        hist_index = history & mask
         site_pred = self._btb.get(site_index)
         hist_pred = self._itc.get(hist_index)
+        if site_pred == target and hist_pred == target:
+            # Steady state (dominant in loops): both components already
+            # predict this target, so the chooser update rules leave meta
+            # untouched and both table writes are idempotent — only the
+            # target history advances, and the branch hits.
+            self._target_history = ((history << 4) ^ target) & mask
+            return False
         # Chooser: a per-site 2-bit counter selects the component, as in
         # real hybrid indirect predictors.
         meta = self._meta.get(site_index, 1)
@@ -103,8 +116,7 @@ class BranchPredictor:
             self._meta[site_index] = meta - 1
         self._btb[site_index] = target
         self._itc[hist_index] = target
-        self._target_history = ((self._target_history << 4) ^ target) \
-            & self._itc_mask
+        self._target_history = ((history << 4) ^ target) & mask
         if predicted == target:
             return False
         c.branch_misses += 1

@@ -17,7 +17,8 @@ Implementation notes (this is the hottest code in the repository):
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from collections import defaultdict
+from typing import Optional, Tuple
 
 from .config import CacheConfig, MachineConfig
 from .counters import CacheLevelStats, PerfCounters
@@ -25,6 +26,9 @@ from .counters import CacheLevelStats, PerfCounters
 
 class Cache:
     """One set-associative, LRU, write-allocate cache level."""
+
+    __slots__ = ("config", "stats", "next_level", "num_sets", "ways",
+                 "set_mask", "sets", "tick")
 
     def __init__(self, config: CacheConfig, stats: CacheLevelStats,
                  next_level: Optional["Cache"] = None):
@@ -36,7 +40,10 @@ class Cache:
         self.set_mask = self.num_sets - 1
         if self.num_sets & self.set_mask:
             raise ValueError(f"{config.name}: set count must be a power of two")
-        self.sets: List[dict] = [dict() for _ in range(self.num_sets)]
+        # Sets materialize on first touch: a large L3 has thousands of
+        # sets, most never referenced by a short run, and eagerly
+        # allocating a dict per set costs more than the whole warm run.
+        self.sets: defaultdict = defaultdict(dict)
         self.tick = 0
 
     def access_line(self, line: int) -> int:
@@ -60,15 +67,15 @@ class Cache:
         return latency
 
     def contains_line(self, line: int) -> bool:
-        return line in self.sets[line & self.set_mask]
+        cache_set = self.sets.get(line & self.set_mask)
+        return cache_set is not None and line in cache_set
 
     def flush(self) -> None:
-        for cache_set in self.sets:
-            cache_set.clear()
+        self.sets.clear()
 
     @property
     def occupancy(self) -> int:
-        return sum(len(s) for s in self.sets)
+        return sum(len(s) for s in self.sets.values())
 
 
 class CacheHierarchy:

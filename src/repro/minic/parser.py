@@ -33,7 +33,14 @@ class Parser:
 
     # -- token helpers ---------------------------------------------------
 
+    # The helpers below are the parser's hottest code; each reads
+    # ``self.tokens[self.pos]`` directly rather than delegating, because
+    # ``pos`` can never pass the trailing eof token (``next`` refuses to
+    # advance past it), making the offset-0 index always in bounds.
+
     def peek(self, offset: int = 0) -> Token:
+        if offset == 0:
+            return self.tokens[self.pos]
         return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
 
     def next(self) -> Token:
@@ -43,22 +50,27 @@ class Parser:
         return tok
 
     def at(self, kind: str, value=None) -> bool:
-        tok = self.peek()
+        tok = self.tokens[self.pos]
         return tok.kind == kind and (value is None or tok.value == value)
 
     def accept(self, kind: str, value=None) -> Optional[Token]:
-        if self.at(kind, value):
-            return self.next()
+        tok = self.tokens[self.pos]
+        if tok.kind == kind and (value is None or tok.value == value):
+            if kind != "eof":
+                self.pos += 1
+            return tok
         return None
 
     def expect(self, kind: str, value=None) -> Token:
-        tok = self.peek()
+        tok = self.tokens[self.pos]
         if tok.kind != kind or (value is not None and tok.value != value):
             want = value if value is not None else kind
             raise MiniCSyntaxError(
                 f"expected {want!r}, got {tok.kind} {tok.value!r}",
                 tok.line, tok.col)
-        return self.next()
+        if kind != "eof":
+            self.pos += 1
+        return tok
 
     def _error(self, message: str) -> MiniCSyntaxError:
         tok = self.peek()
@@ -67,7 +79,8 @@ class Parser:
     # -- types ---------------------------------------------------------------
 
     def at_type(self) -> bool:
-        return self.peek().kind == "kw" and self.peek().value in _TYPE_KEYWORDS
+        tok = self.tokens[self.pos]
+        return tok.kind == "kw" and tok.value in _TYPE_KEYWORDS
 
     def parse_base_type(self) -> CType:
         """Parse declaration specifiers into a base type."""
@@ -520,17 +533,27 @@ class Parser:
         ("*", "/", "%"),
     ]
 
+    # Operator -> precedence level, derived from the table above.
+    _BIN_LEVEL = {op: lvl for lvl, ops in enumerate(_PRECEDENCE)
+                  for op in ops}
+
     def parse_binary(self, level: int) -> ast.Expr:
-        if level >= len(self._PRECEDENCE):
-            return self.parse_unary()
-        ops = self._PRECEDENCE[level]
-        left = self.parse_binary(level + 1)
-        while self.peek().kind == "op" and self.peek().value in ops:
-            tok = self.next()
-            right = self.parse_binary(level + 1)
+        # Precedence climbing: builds the same left-associative tree as
+        # the per-level recursive cascade, but recurses only on actual
+        # operator nesting instead of once per precedence level.
+        bin_level = self._BIN_LEVEL
+        left = self.parse_unary()
+        while True:
+            tok = self.tokens[self.pos]
+            if tok.kind != "op":
+                return left
+            op_level = bin_level.get(tok.value)
+            if op_level is None or op_level < level:
+                return left
+            self.pos += 1
+            right = self.parse_binary(op_level + 1)
             left = ast.Binary(line=tok.line, op=tok.value, left=left,
                               right=right)
-        return left
 
     def parse_unary(self) -> ast.Expr:
         tok = self.peek()

@@ -24,6 +24,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from .. import speed
 from ..errors import ExitProc, ReproError, Trap
 from ..hw import CPUModel, MachineConfig
 from ..obs.spans import TraceBuilder
@@ -149,6 +150,7 @@ class RunPipeline:
         self.env: Optional[Environment] = None
         self.trap: Optional[str] = None
         self.exit_code = 0
+        self._speed_entry = None
 
     def run(self) -> RunResult:
         """Execute every phase and assemble the measured result."""
@@ -174,14 +176,32 @@ class RunPipeline:
         self.wasi = WasiAPI(fs=self.fs, cpu=cpu, argv=self.argv)
 
     def _phase_decode(self) -> None:
-        self.module, self.decode_stats = \
-            decode_module_with_stats(self.wasm_bytes)
+        # The decoded-module cache (repro.speed) shares the pure
+        # decode/validate work across engines and runs.  The modeled
+        # charge below is closed-form in the decode stats, so hit and
+        # miss produce byte-identical counters and traces.
+        entry = None
+        if speed.enabled():
+            entry = speed.module_cache.lookup(self.wasm_bytes)
+        if entry is not None:
+            self.module, self.decode_stats = entry.module, entry.stats
+        else:
+            self.module, self.decode_stats = \
+                decode_module_with_stats(self.wasm_bytes)
+            if speed.enabled():
+                entry = speed.module_cache.register(
+                    self.wasm_bytes, self.module, self.decode_stats)
+        self._speed_entry = entry
         self.cpu.counters.instructions += (
             self.decode_stats.bytes_scanned * _DECODE_COST_PER_BYTE +
             self.decode_stats.instructions * _DECODE_COST_PER_INSTR)
 
     def _phase_validate(self) -> None:
-        validate_module(self.module)
+        entry = self._speed_entry
+        if entry is None or not entry.validated:
+            validate_module(self.module)
+            if entry is not None:
+                speed.module_cache.mark_validated(entry)
         self.cpu.counters.instructions += (
             self.decode_stats.instructions * _VALIDATE_COST_PER_INSTR)
         self.cpu.memory.alloc("module-ir",

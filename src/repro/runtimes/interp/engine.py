@@ -52,6 +52,8 @@ for _wop, _mop in wasm_map.STORES.items():
 _BIN_FN = wasm_map.BIN_FN
 _UN_FN = wasm_map.UN_FN
 
+from ...speed.fastloop import fast_run as _fast_run  # noqa: E402
+
 _MAX_DEPTH = 1000
 
 import sys as _sys
@@ -323,6 +325,10 @@ class Interpreter:
         # suite as a ground-truth oracle for the static range analysis;
         # never set during normal runs.
         self.trace_memory = None
+        # Predecoded fast code per function index (repro.speed); when a
+        # function has an entry and no memory observer is attached, the
+        # model-equivalent fast loop runs instead of the reference loop.
+        self.fast_code: Optional[Dict[int, list]] = None
         # Handler code addresses: one cache line per opcode handler.
         shift = cpu.caches.line_shift
         self.handler_line = [
@@ -348,6 +354,14 @@ class Interpreter:
             self._depth -= 1
 
     def _run(self, func: PreparedFunction, args: List):
+        fast = self.fast_code
+        if fast is not None and self.trace_memory is None:
+            fcode = fast.get(func.index)
+            if fcode is not None:
+                return _fast_run(self, func, fcode, args)
+        return self._run_ref(func, args)
+
+    def _run_ref(self, func: PreparedFunction, args: List):
         body = func.body
         side = func.side
         n = len(body)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from .. import speed
 from ..errors import ReproError
 from ..hw import CPUModel
 from ..wasm import Module
@@ -28,9 +29,11 @@ from ..wasi import WasiAPI
 
 
 class _LoadedInterp:
-    def __init__(self, functions: List, code_bytes: int):
+    def __init__(self, functions: List, code_bytes: int,
+                 fast: Optional[dict] = None):
         self.functions = functions
         self.code_bytes = code_bytes
+        self.fast = fast
 
 
 class InterpreterRuntime(WasmRuntime):
@@ -44,18 +47,34 @@ class InterpreterRuntime(WasmRuntime):
         if aot_image is not None:
             raise ReproError(f"{self.name} does not support AOT images")
         profile = self.profile
+        # Prepared side tables are a pure function of the module and are
+        # profile-independent, so the decoded-module cache shares them
+        # across runs and across the wasm3/wamr pair.  The modeled
+        # translate charge below is identical on hit and miss.
+        entry = speed.entry_for(module)
         with cpu.trace.span("translate", ops=module.body_size()):
-            prepared: List = [None] * module.num_funcs
-            total_ops = 0
-            num_imported = module.num_imported_funcs
-            for i, func in enumerate(module.functions):
-                pf = prepare_function(module, func, num_imported + i)
-                prepared[num_imported + i] = ("wasm", pf)
-                total_ops += len(func.body)
+            if entry is not None and entry.prepared is not None:
+                prepared = entry.prepared
+                total_ops = entry.total_ops
+            else:
+                prepared = [None] * module.num_funcs
+                total_ops = 0
+                num_imported = module.num_imported_funcs
+                for i, func in enumerate(module.functions):
+                    pf = prepare_function(module, func, num_imported + i)
+                    prepared[num_imported + i] = ("wasm", pf)
+                    total_ops += len(func.body)
+                if entry is not None:
+                    entry.prepared = prepared
+                    entry.total_ops = total_ops
             cpu.counters.instructions += \
                 total_ops * profile.translate_cost_per_op
         cpu.memory.alloc("interp-code", total_ops * profile.code_bytes_per_op)
-        return _LoadedInterp(prepared, total_ops * profile.code_bytes_per_op)
+        fast = None
+        if entry is not None:
+            fast = entry.fast_code(profile, cpu.caches.line_shift)
+        return _LoadedInterp(prepared, total_ops * profile.code_bytes_per_op,
+                             fast)
 
     def _execute(self, loaded: _LoadedInterp, env: Environment,
                  cpu: CPUModel, wasi: WasiAPI) -> None:
@@ -64,6 +83,7 @@ class InterpreterRuntime(WasmRuntime):
             functions[index] = entry
         interp = Interpreter(self.profile, cpu, env.memory, env.globals,
                              env.table, functions)
+        interp.fast_code = loaded.fast
         interp.set_signatures(env.module)
         # Interpreter frames live on the runtime's own stack/heap.
         cpu.memory.alloc("interp-stack", 128 * 1024)

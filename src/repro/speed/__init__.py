@@ -1,0 +1,61 @@
+"""repro.speed — the fast-path execution layer.
+
+Everything in this package is about *wall clock*, never about the model:
+the modeled counters, traps, stdout and trace files produced with the
+speed layer enabled are byte-identical to the reference implementation
+(tests/test_speed.py enforces this; PERFORMANCE.md documents the
+contract).  Three techniques:
+
+* **predecode + fuse** (:mod:`repro.speed.predecode`) — translate a
+  validated function body once into a flat tuple-of-handlers form, with
+  superinstruction fusion for the dominant sequences, mirroring the
+  locality discipline of ``repro.isa.machine``.
+* **decoded-module caching** (:mod:`repro.speed.modcache`) — decoded,
+  validated and prepared module forms are shared across engines and
+  runs in-process, and persisted through the content-addressed artifact
+  cache keyed by module hash + :data:`SPEED_VERSION`.
+* **inline caches** for ``call_indirect`` plus per-frame local binding
+  in the interpreter hot loop (:mod:`repro.speed.fastloop`).
+
+Set ``REPRO_SPEED=0`` in the environment (or call :func:`set_enabled`)
+to disable the whole layer and run the reference implementations.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Version of the predecoded form; part of every disk-cache key so a
+#: format change can never resurrect stale artifacts.
+SPEED_VERSION = 1
+
+_enabled = os.environ.get("REPRO_SPEED", "1") not in ("0", "false", "off")
+
+
+def enabled() -> bool:
+    """Is the fast path active? (``REPRO_SPEED=0`` turns it off.)"""
+    return _enabled
+
+
+def set_enabled(value: bool) -> None:
+    """Toggle the fast path at runtime (used by the equivalence tests)."""
+    global _enabled
+    _enabled = bool(value)
+
+
+from .modcache import ModuleCache, ModuleEntry  # noqa: E402
+
+#: Process-wide decoded-module cache.  Harness instances attach/detach
+#: the persistent artifact-cache layer; everything else just reads.
+module_cache = ModuleCache()
+
+
+def entry_for(module) -> "ModuleEntry | None":
+    """The cache entry owning ``module``, or None if uncached/disabled."""
+    if not _enabled:
+        return None
+    return module_cache.entry_for(module)
+
+
+__all__ = ["SPEED_VERSION", "enabled", "set_enabled", "module_cache",
+           "entry_for", "ModuleCache", "ModuleEntry"]

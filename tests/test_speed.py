@@ -1,0 +1,357 @@
+"""The repro.speed contract: faster wall clock, byte-identical model.
+
+Four families of checks (PERFORMANCE.md documents the contract):
+
+* **Pipeline equivalence** — the full harness pipeline produces a
+  byte-identical serialized :class:`RunResult` (counters, stdout, traps,
+  phase spans) with the speed layer enabled and disabled.
+* **Interpreter equivalence under hypothesis** — seeded random Wasm
+  modules execute identically (value, memory image, every modeled
+  counter, trap) through the predecoded fast loop and the reference
+  loop.
+* **Lexer differential** — the regex scanner agrees token-for-token
+  (including line/column bookkeeping) with ``_tokenize_reference`` on
+  every benchmark source and on hypothesis-generated soup.
+* **Decoded-module cache** — memory/disk hit, miss, and corruption
+  paths, plus the rule that only validated modules persist.
+
+Plus a guard for :func:`repro.obs.export.canonical_lines`, which the
+determinism checks depend on to strip exactly the wall field and
+nothing else.
+"""
+
+import json
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import speed
+from repro.fuzz.generator import generate_module
+from repro.harness import Harness
+from repro.harness.cache import ArtifactCache
+from repro.hw import CPUModel
+from repro.minic.lexer import _tokenize_reference, tokenize
+from repro.obs.export import canonical_lines
+from repro.runtimes.interp.engine import (THREADED_PROFILE, Interpreter,
+                                          prepare_function)
+from repro.speed.modcache import ModuleCache, ModuleEntry
+from repro.errors import Trap
+
+from .conftest import fuzz_seeds
+
+
+@pytest.fixture(autouse=True)
+def _speed_layer_reset():
+    """Each test starts speed-enabled with a cold, detached module cache."""
+    speed.set_enabled(True)
+    speed.module_cache.clear()
+    speed.module_cache.attach_disk(None)
+    yield
+    speed.set_enabled(True)
+    speed.module_cache.clear()
+    speed.module_cache.attach_disk(None)
+
+
+# ---------------------------------------------------------------------------
+# Pipeline equivalence: speed on == speed off, byte for byte.
+# ---------------------------------------------------------------------------
+
+EQUIVALENCE_CELLS = [
+    ("gemm", "wasm3", False),
+    ("gemm", "wasmtime", False),
+    ("gemm", "wasmtime", True),
+    ("crc32", "wamr", False),
+    ("quicksort", "wasmer", False),
+]
+
+
+def _run_cell(bench, engine, aot, enabled):
+    speed.module_cache.clear()
+    speed.set_enabled(enabled)
+    try:
+        harness = Harness(size="test", benchmarks=[bench])
+        return harness.run(bench, engine, aot=aot).to_json()
+    finally:
+        speed.set_enabled(True)
+
+
+@pytest.mark.parametrize("bench,engine,aot", EQUIVALENCE_CELLS)
+def test_pipeline_equivalence(bench, engine, aot):
+    slow = _run_cell(bench, engine, aot, enabled=False)
+    fast = _run_cell(bench, engine, aot, enabled=True)
+    assert fast == slow
+
+
+def test_pipeline_equivalence_warm_cache_rerun():
+    """A warm in-process rerun (module cache hot) is also byte-identical."""
+    reference = _run_cell("gemm", "wasm3", False, enabled=False)
+    speed.module_cache.clear()
+    speed.set_enabled(True)
+    harness = Harness(size="test", benchmarks=["gemm"])
+    cold = harness.run("gemm", "wasm3").to_json()
+    # A second harness re-executes (no shared result cache) but hits the
+    # process-wide decoded-module cache.
+    warm = Harness(size="test", benchmarks=["gemm"]).run(
+        "gemm", "wasm3").to_json()
+    assert cold == reference
+    assert warm == reference
+    assert speed.module_cache.hits > 0
+
+
+# ---------------------------------------------------------------------------
+# Interpreter equivalence on seeded random modules (hypothesis).
+# ---------------------------------------------------------------------------
+
+
+def _counters_dict(cpu):
+    c = cpu.counters
+    return {
+        "instructions": c.instructions,
+        "stall_cycles": c.stall_cycles,
+        "branches": c.branches,
+        "branch_misses": c.branch_misses,
+        "l1i": (c.l1i.refs, c.l1i.misses),
+        "l1d": (c.l1d.refs, c.l1d.misses),
+        "l2": (c.l2.refs, c.l2.misses),
+        "l3": (c.l3.refs, c.l3.misses),
+    }
+
+
+def _interp_run(module, args, use_fast):
+    from repro.isa.memory import LinearMemory
+
+    prepared = []
+    for i, func in enumerate(module.functions):
+        prepared.append(("wasm", prepare_function(module, func, i)))
+    cpu = CPUModel()
+    mem = LinearMemory(1)
+    interp = Interpreter(THREADED_PROFILE, cpu, mem, [], [], prepared)
+    interp.set_signatures(module)
+    if use_fast:
+        entry = ModuleEntry("test", module, None)
+        entry.prepared = prepared
+        entry.total_ops = sum(len(f.body) for f in module.functions)
+        fast = entry.fast_code(THREADED_PROFILE, cpu.caches.line_shift)
+        assert fast, "predecode produced no fast code"
+        interp.fast_code = fast
+    trap = None
+    value = None
+    try:
+        value = interp.call_index(0, args)
+    except Trap as exc:
+        trap = str(exc)
+    return value, trap, bytes(mem.data[:4096]), _counters_dict(cpu)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       a=st.integers(min_value=0, max_value=2**32 - 1),
+       b=st.integers(min_value=0, max_value=2**32 - 1))
+def test_interp_equivalence_hypothesis(seed, a, b):
+    module = generate_module(seed)
+    slow = _interp_run(module, (a, b), use_fast=False)
+    fast = _interp_run(module, (a, b), use_fast=True)
+    assert fast == slow
+
+
+@pytest.mark.parametrize("seed", fuzz_seeds(8, salt=0x5EED))
+def test_interp_equivalence_seeded(seed):
+    module = generate_module(seed)
+    slow = _interp_run(module, (7, 13), use_fast=False)
+    fast = _interp_run(module, (7, 13), use_fast=True)
+    assert fast == slow
+
+
+# ---------------------------------------------------------------------------
+# Lexer differential: regex scanner vs reference scanner.
+# ---------------------------------------------------------------------------
+
+
+def test_lexer_matches_reference_on_all_benchmarks():
+    from repro.bench import ALL_BENCHMARKS
+
+    for bench in ALL_BENCHMARKS:
+        defines = bench.defines_for("test")
+        assert tokenize(bench.source, defines) == \
+            _tokenize_reference(bench.source, defines), bench.name
+
+
+_SOUP = st.text(
+    alphabet=st.sampled_from(
+        list("abcxyz_019 \t\n+-*/%<>=!&|^~(){}[];,.\"'\\#")),
+    max_size=200)
+
+
+@settings(max_examples=200, deadline=None)
+@given(source=_SOUP)
+def test_lexer_matches_reference_on_soup(source):
+    """Both scanners agree on arbitrary input: same tokens or the same
+    rejection."""
+    from repro.errors import MiniCSyntaxError
+
+    try:
+        expected = _tokenize_reference(source)
+    except MiniCSyntaxError:
+        with pytest.raises(MiniCSyntaxError):
+            tokenize(source)
+        return
+    assert tokenize(source) == expected
+
+
+def test_lexer_token_fields():
+    tokens = tokenize("int main() { return 42; }\n")
+    assert [t.kind for t in tokens[:3]] == ["kw", "id", "op"]
+    first = tokens[0]
+    assert (first.line, first.col) == (1, 1)
+    assert tokens[-1].kind == "eof"
+
+
+# ---------------------------------------------------------------------------
+# Decoded-module cache: hit / miss / corruption.
+# ---------------------------------------------------------------------------
+
+
+def _tiny_module_bytes():
+    from repro.compiler import compile_source
+
+    return compile_source("int main() { return 0; }\n").wasm_bytes
+
+
+def _decode(wasm_bytes):
+    from repro.wasm import decode_module_with_stats
+
+    return decode_module_with_stats(wasm_bytes)
+
+
+def test_module_cache_memory_hit_and_miss():
+    cache = ModuleCache()
+    wasm = _tiny_module_bytes()
+    assert cache.lookup(wasm) is None
+    assert cache.misses == 1
+
+    module, stats = _decode(wasm)
+    entry = cache.register(wasm, module, stats)
+    assert not entry.validated
+    assert cache.entry_for(module) is entry
+
+    hit = cache.lookup(wasm)
+    assert hit is entry
+    assert cache.hits == 1
+
+
+def test_module_cache_disk_roundtrip(tmp_path):
+    wasm = _tiny_module_bytes()
+    disk = ArtifactCache(str(tmp_path / "store"))
+
+    writer = ModuleCache()
+    writer.attach_disk(disk)
+    module, stats = _decode(wasm)
+    entry = writer.register(wasm, module, stats)
+    writer.mark_validated(entry)
+
+    # A fresh process (modeled by a fresh in-memory cache) finds the
+    # validated module on disk.
+    reader = ModuleCache()
+    reader.attach_disk(disk)
+    found = reader.lookup(wasm)
+    assert found is not None
+    assert found.validated
+    assert reader.disk_hits == 1
+    assert found.module.num_funcs == module.num_funcs
+
+
+def test_module_cache_only_validated_modules_persist(tmp_path):
+    wasm = _tiny_module_bytes()
+    disk = ArtifactCache(str(tmp_path / "store"))
+    cache = ModuleCache()
+    cache.attach_disk(disk)
+    module, stats = _decode(wasm)
+    cache.register(wasm, module, stats)  # never validated
+
+    reader = ModuleCache()
+    reader.attach_disk(disk)
+    assert reader.lookup(wasm) is None
+
+
+def test_module_cache_corrupt_disk_entry_is_a_miss(tmp_path):
+    wasm = _tiny_module_bytes()
+    disk = ArtifactCache(str(tmp_path / "store"))
+    writer = ModuleCache()
+    writer.attach_disk(disk)
+    module, stats = _decode(wasm)
+    writer.mark_validated(writer.register(wasm, module, stats))
+
+    key = ModuleCache._disk_key(ModuleCache.sha_of(wasm))
+    path = disk._path(key)
+
+    # Flipped payload bytes: the store's integrity check rejects them.
+    blob = bytearray(open(path, "rb").read())
+    blob[-1] ^= 0xFF
+    with open(path, "wb") as fh:
+        fh.write(bytes(blob))
+    reader = ModuleCache()
+    reader.attach_disk(disk)
+    assert reader.lookup(wasm) is None
+
+    # Valid store framing around an unpicklable payload: the module
+    # cache itself must also degrade to a miss, not raise.
+    disk.put_bytes(key, b"not a pickle")
+    reader2 = ModuleCache()
+    reader2.attach_disk(disk)
+    assert reader2.lookup(wasm) is None
+
+
+def test_module_cache_eviction_keeps_id_index_sound():
+    cache = ModuleCache(capacity=2)
+    entries = []
+    for value in range(3):
+        wasm = _tiny_module_bytes() + bytes([0])  # same module...
+        # ...but distinct cache identities via the custom section trick
+        # would require re-encoding; key on synthetic bytes instead.
+        wasm = b"%d-" % value + wasm
+        module, stats = _decode(_tiny_module_bytes())
+        entries.append(cache.register(wasm, module, stats))
+    # Capacity 2: the first entry was evicted, and its id mapping with it.
+    assert len(cache._mem) == 2
+    assert cache.entry_for(entries[0].module) is None
+    assert cache.entry_for(entries[2].module) is entries[2]
+
+
+def test_pickle_roundtrip_of_decoded_module():
+    """The persisted payload survives a pickle cycle with behavior
+    intact — guards against unpicklable state sneaking into Module."""
+    wasm = _tiny_module_bytes()
+    module, stats = _decode(wasm)
+    module2, stats2 = pickle.loads(pickle.dumps((module, stats)))
+    assert module2.num_funcs == module.num_funcs
+    assert stats2.instructions == stats.instructions
+
+
+# ---------------------------------------------------------------------------
+# canonical_lines guard.
+# ---------------------------------------------------------------------------
+
+
+def test_canonical_lines_strips_exactly_wall():
+    lines = [
+        json.dumps({"kind": "run", "wall": 1.23, "bench": "gemm"}),
+        "",  # blank lines are skipped
+        json.dumps({"kind": "span", "phase": "execute", "ops": 7}),
+    ]
+    out = canonical_lines(lines)
+    assert len(out) == 2
+    assert all("wall" not in json.loads(line) for line in out)
+    assert json.loads(out[0])["bench"] == "gemm"
+    assert json.loads(out[1])["ops"] == 7
+
+    # Two traces differing only in wall canonicalize identically...
+    other = [json.dumps({"kind": "run", "wall": 9.87, "bench": "gemm"}),
+             json.dumps({"kind": "span", "phase": "execute", "ops": 7})]
+    assert canonical_lines(other) == out
+
+    # ...and any modeled-field difference still shows through.
+    diverged = [json.dumps({"kind": "run", "wall": 1.23, "bench": "gemm"}),
+                json.dumps({"kind": "span", "phase": "execute", "ops": 8})]
+    assert canonical_lines(diverged) != out
