@@ -12,6 +12,12 @@ The package has three layers:
   liveness (:mod:`repro.analysis.liveness`), dead-code/reachability (part
   of the CFG), static code metrics (:mod:`repro.analysis.metrics`) and the
   MiniC sanitizer (:mod:`repro.analysis.sanitizer`).
+* The whole-module auditor: interprocedural call graph
+  (:mod:`repro.analysis.callgraph`), static cost model
+  (:mod:`repro.analysis.costmodel`), Wasm lints
+  (:mod:`repro.analysis.lints`) and the orchestrating audit/baseline
+  layer (:mod:`repro.analysis.audit`) behind ``wabench audit`` and
+  ``wasicc --audit``.
 """
 
 from importlib import import_module
@@ -30,6 +36,17 @@ _EXPORTS = {
     "provable_inbounds": "ranges",
     "Finding": "sanitizer", "analyze_source": "sanitizer",
     "analyze_unit": "sanitizer",
+    "CallGraph": "callgraph", "build_call_graph": "callgraph",
+    "static_stack_bound": "callgraph",
+    "CostReport": "costmodel", "FunctionCost": "costmodel",
+    "cost_report": "costmodel", "compare_mix": "costmodel",
+    "MIX_TOLERANCE": "costmodel",
+    "Diagnostic": "lints", "lint_module": "lints",
+    "LINT_VERSION": "lints",
+    "ModuleAudit": "audit", "SuiteAudit": "audit",
+    "audit_module": "audit", "audit_wasm": "audit",
+    "audit_benchmark": "audit", "run_suite_audit": "audit",
+    "compare_baseline": "audit", "AUDIT_VERSION": "audit",
 }
 
 
@@ -59,4 +76,23 @@ __all__ = [
     "Finding",
     "analyze_source",
     "analyze_unit",
+    "CallGraph",
+    "build_call_graph",
+    "static_stack_bound",
+    "CostReport",
+    "FunctionCost",
+    "cost_report",
+    "compare_mix",
+    "MIX_TOLERANCE",
+    "Diagnostic",
+    "lint_module",
+    "LINT_VERSION",
+    "ModuleAudit",
+    "SuiteAudit",
+    "audit_module",
+    "audit_wasm",
+    "audit_benchmark",
+    "run_suite_audit",
+    "compare_baseline",
+    "AUDIT_VERSION",
 ]

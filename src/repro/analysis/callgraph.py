@@ -1,0 +1,290 @@
+"""Interprocedural call graph over decoded Wasm modules.
+
+Nodes are functions in the joint (imports-first) index space.  Direct
+edges come from ``call`` sites; ``call_indirect`` sites are resolved
+*type-based*: a site with type ``t`` may target any function that both
+appears in an element segment (the only way the MVP funcref table is
+populated) and has signature ``t``.  When the table itself is imported
+the element view is incomplete, so resolution conservatively widens to
+every function with a matching signature (``imprecise_indirect``).
+
+On top of the edge set the module computes:
+
+* Tarjan SCCs and the set of (mutually or self) recursive functions;
+* a static *max call depth* from the entry roots — the longest root
+  path in the condensation DAG, or ``None`` when a reachable cycle
+  makes the depth unbounded;
+* a static *operand-stack bound* per defined function — the maximum
+  value-stack height along any path, computed with the same structured
+  height tracking the interpreter's loader performs, so the bound is
+  provably >= any height the reference interpreter ever observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..wasm import opcodes as op
+from ..wasm.module import KIND_FUNC, KIND_TABLE, Function, Module
+from ..wasm.types import FuncType
+
+
+@dataclass
+class CallGraph:
+    """Resolved interprocedural structure of one module."""
+
+    num_funcs: int
+    num_imported: int
+    names: List[str]                      # per joint index
+    edges: List[Tuple[int, ...]]          # callee indices, sorted, per caller
+    direct: List[Tuple[int, ...]]         # subset of edges from `call` sites
+    roots: Tuple[int, ...]                # exports + start, sorted
+    table_targets: Tuple[int, ...]        # funcs listed in element segments
+    indirect_types: List[Tuple[int, ...]] # type indices used at call_indirect
+    imprecise_indirect: bool              # table imported -> widened resolution
+    sccs: List[Tuple[int, ...]] = field(default_factory=list)
+    scc_of: List[int] = field(default_factory=list)
+    recursive: Set[int] = field(default_factory=set)
+    max_call_depth: Optional[int] = None  # frames from a root; None = cycle
+    max_stack: List[Optional[int]] = field(default_factory=list)
+
+    def reachable(self) -> Set[int]:
+        """Function indices reachable from the entry roots."""
+        seen = set(self.roots)
+        stack = list(self.roots)
+        while stack:
+            for callee in self.edges[stack.pop()]:
+                if callee not in seen:
+                    seen.add(callee)
+                    stack.append(callee)
+        return seen
+
+    def dead_functions(self) -> List[int]:
+        """Defined functions no root can ever reach."""
+        live = self.reachable()
+        return [i for i in range(self.num_imported, self.num_funcs)
+                if i not in live]
+
+
+def static_stack_bound(module: Module, func: Function) -> int:
+    """Max operand-stack height along any path through ``func``.
+
+    Mirrors the loader's structured height tracking
+    (:func:`repro.runtimes.interp.engine.prepare_function`): heights are
+    exact at instruction boundaries for validated bodies, and code made
+    unreachable by ``br``/``return``/``unreachable`` contributes nothing
+    (the interpreter never executes it).  The returned bound therefore
+    dominates every ``len(stack)`` the reference loop can observe.
+    """
+    ftype = module.types[func.type_index]
+    func_arity = len(ftype.results)
+    # frame: [opcode, entry_height, arity, entry_unreachable]
+    ctrl: List[list] = [[0, 0, func_arity, False]]
+    height = 0
+    max_height = 0
+    unreachable = False
+
+    for ins in func.body:
+        o = ins[0]
+        if o in (op.BLOCK, op.LOOP, op.IF):
+            if o == op.IF and not unreachable:
+                height -= 1
+            ctrl.append([o, height, 0 if ins[1] == 0x40 else 1, unreachable])
+        elif o == op.ELSE:
+            entry = ctrl[-1]
+            height = entry[1]
+            unreachable = entry[3]
+        elif o == op.END:
+            if len(ctrl) > 1:
+                _eo, entry_height, arity, entry_unreachable = ctrl.pop()
+                height = entry_height + arity
+                unreachable = entry_unreachable
+                max_height = max(max_height, height)
+        elif o in (op.BR, op.BR_IF, op.BR_TABLE):
+            if o != op.BR and not unreachable:
+                height -= 1          # condition / table index operand
+            if o != op.BR_IF:
+                unreachable = True   # br / br_table end the straight line
+        elif o in (op.RETURN, op.UNREACHABLE):
+            unreachable = True
+        elif not unreachable:
+            pops, pushes = _stack_effect(module, ins)
+            height += pushes - pops
+            max_height = max(max_height, height)
+    return max_height
+
+
+def _stack_effect(module: Module, ins: tuple) -> Tuple[int, int]:
+    """(pops, pushes) of a non-control instruction (loader semantics)."""
+    o = ins[0]
+    sig = op.SIGNATURES.get(o)
+    if sig is not None:
+        return len(sig[0]), len(sig[1])
+    if o in (op.LOCAL_GET, op.GLOBAL_GET):
+        return 0, 1
+    if o in (op.LOCAL_SET, op.GLOBAL_SET, op.DROP):
+        return 1, 0
+    if o == op.LOCAL_TEE:
+        return 1, 1
+    if o == op.SELECT:
+        return 3, 1
+    if o == op.CALL:
+        ftype = module.func_type(ins[1])
+        return len(ftype.params), len(ftype.results)
+    if o == op.CALL_INDIRECT:
+        ftype = module.types[ins[1]]
+        return len(ftype.params) + 1, len(ftype.results)
+    return 0, 0
+
+
+def _func_name(module: Module, index: int) -> str:
+    imported = module.imported(KIND_FUNC)
+    if index < len(imported):
+        imp = imported[index]
+        return f"{imp.module}.{imp.name}"
+    func = module.functions[index - len(imported)]
+    return func.name or f"f{index}"
+
+
+def _tarjan(n: int, edges: Sequence[Sequence[int]]
+            ) -> Tuple[List[Tuple[int, ...]], List[int]]:
+    """Iterative Tarjan; SCCs emitted in deterministic reverse-topo order."""
+    index_of = [-1] * n
+    low = [0] * n
+    on_stack = [False] * n
+    stack: List[int] = []
+    sccs: List[Tuple[int, ...]] = []
+    scc_of = [-1] * n
+    counter = 0
+
+    for start in range(n):
+        if index_of[start] >= 0:
+            continue
+        work: List[Tuple[int, int]] = [(start, 0)]
+        while work:
+            node, ei = work[-1]
+            if ei == 0:
+                index_of[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            succs = edges[node]
+            while ei < len(succs):
+                succ = succs[ei]
+                ei += 1
+                if index_of[succ] < 0:
+                    work[-1] = (node, ei)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if on_stack[succ]:
+                    low[node] = min(low[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index_of[node]:
+                comp = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    scc_of[member] = len(sccs)
+                    comp.append(member)
+                    if member == node:
+                        break
+                sccs.append(tuple(sorted(comp)))
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+    return sccs, scc_of
+
+
+def _max_call_depth(graph: "CallGraph") -> Optional[int]:
+    """Longest root-to-leaf path (in frames) in the condensation DAG."""
+    reachable = graph.reachable()
+    if any(i in graph.recursive for i in reachable):
+        return None
+    if not graph.roots:
+        return 0
+    # Memoized longest path over the (acyclic, by the check above) edge
+    # set, with an explicit stack so deep call chains cannot overflow
+    # Python's own recursion limit.
+    depth: Dict[int, int] = {}
+    result = 0
+    for root in graph.roots:
+        stack: List[Tuple[int, int]] = [(root, 0)]
+        while stack:
+            node, ei = stack.pop()
+            succs = graph.edges[node]
+            if ei == 0 and node in depth:
+                continue
+            while ei < len(succs) and succs[ei] in depth:
+                ei += 1
+            if ei < len(succs):
+                stack.append((node, ei + 1))
+                stack.append((succs[ei], 0))
+            else:
+                depth[node] = 1 + max(
+                    (depth[c] for c in succs), default=0)
+        result = max(result, depth[root])
+    return result
+
+
+def build_call_graph(module: Module) -> CallGraph:
+    """Resolve the module's interprocedural structure."""
+    n = module.num_funcs
+    num_imported = module.num_imported_funcs
+
+    # Table contents: element-listed functions, grouped by signature.
+    table_targets: List[int] = sorted(
+        {idx for seg in module.elements for idx in seg.func_indices})
+    by_sig: Dict[FuncType, List[int]] = {}
+    for idx in table_targets:
+        by_sig.setdefault(module.func_type(idx), []).append(idx)
+    imprecise = any(imp.kind == KIND_TABLE for imp in module.imports)
+    if imprecise:
+        by_sig = {}
+        for idx in range(n):
+            by_sig.setdefault(module.func_type(idx), []).append(idx)
+
+    direct: List[Set[int]] = [set() for _ in range(n)]
+    indirect_types: List[Set[int]] = [set() for _ in range(n)]
+    edges: List[Set[int]] = [set() for _ in range(n)]
+    for i, func in enumerate(module.functions):
+        caller = num_imported + i
+        for ins in func.body:
+            o = ins[0]
+            if o == op.CALL:
+                direct[caller].add(ins[1])
+                edges[caller].add(ins[1])
+            elif o == op.CALL_INDIRECT:
+                indirect_types[caller].add(ins[1])
+                sig = module.types[ins[1]]
+                for callee in by_sig.get(sig, ()):
+                    edges[caller].add(callee)
+
+    names = [_func_name(module, i) for i in range(n)]
+    roots = sorted({e.index for e in module.exports if e.kind == KIND_FUNC} |
+                   ({module.start} if module.start is not None else set()))
+
+    sorted_edges = [tuple(sorted(s)) for s in edges]
+    graph = CallGraph(
+        num_funcs=n, num_imported=num_imported, names=names,
+        edges=sorted_edges,
+        direct=[tuple(sorted(s)) for s in direct],
+        roots=tuple(roots),
+        table_targets=tuple(table_targets),
+        indirect_types=[tuple(sorted(s)) for s in indirect_types],
+        imprecise_indirect=imprecise)
+
+    graph.sccs, graph.scc_of = _tarjan(n, sorted_edges)
+    graph.recursive = {
+        i for scc in graph.sccs if len(scc) > 1 for i in scc}
+    graph.recursive |= {i for i in range(n) if i in edges[i]}
+    graph.max_call_depth = _max_call_depth(graph)
+
+    graph.max_stack = [None] * n
+    for i, func in enumerate(module.functions):
+        graph.max_stack[num_imported + i] = static_stack_bound(module, func)
+    return graph

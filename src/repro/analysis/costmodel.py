@@ -1,0 +1,275 @@
+"""Static cost model: predicted hot functions and instruction-mix shares.
+
+The model combines three ingredients:
+
+* **per-block instruction mix** — the same opcode categories as
+  :mod:`repro.analysis.metrics` (memory/control/var/const/parametric/
+  float/int), counted per pc;
+* **loop-nest weighting** — an instruction under ``k`` nested loops is
+  assumed to execute :data:`LOOP_WEIGHT` ** ``k`` times (conditional
+  arms are not discounted, keeping the model an upper-shape estimate);
+* **per-engine cost tables** — the interpreter profiles from
+  :mod:`repro.runtimes.interp.engine` (dispatch + per-opcode handler
+  instructions for the wasm3/wamr models) and a JIT table mirroring
+  :meth:`repro.isa.program.MFunction.instr_cost` (one machine op per
+  wasm op, +2 for the bounds check of each memory access, call setup
+  proportional to arity).
+
+Call frequencies propagate through the interprocedural call graph
+(:mod:`repro.analysis.callgraph`): roots start at 1, each call site
+multiplies by its loop weight, and members of a recursive SCC get one
+extra :data:`RECURSION_WEIGHT` factor.  The output is deliberately a
+*shape* prediction — the audit report sets it against the measured
+dynamic mix and flags categories whose deviation exceeds the documented
+tolerance (:func:`compare_mix`), which is exactly the static/dynamic
+gap the "Not So Fast" analysis measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..wasm import opcodes as op
+from ..wasm.module import Module
+from .callgraph import CallGraph, build_call_graph
+from .metrics import _category as category_of
+
+#: Assumed iterations per loop-nest level (static weighting heuristic).
+LOOP_WEIGHT = 8
+#: Extra frequency factor for members of a recursive SCC.
+RECURSION_WEIGHT = 8
+#: Loop-depth cap so pathological nests cannot overflow the weights.
+_MAX_LOOP_DEPTH = 6
+#: Frequency cap (same role: keeps deep call pyramids finite).
+_MAX_FREQ = 1e15
+
+#: Engines the static table covers.  The two interpreter entries are
+#: derived from the real profiles; "jit" approximates any compiled tier.
+ENGINE_TABLES = ("wasm3", "wamr", "jit")
+
+
+def _interp_cost_table(profile_name: str) -> List[int]:
+    from ..runtimes.interp.engine import CLASSIC_PROFILE, THREADED_PROFILE
+    profile = THREADED_PROFILE if profile_name == "wasm3" else CLASSIC_PROFILE
+    handler = profile.handler_costs()
+    return [profile.dispatch_cost + handler[o] for o in range(256)]
+
+
+def _jit_cost_table() -> List[int]:
+    """Machine instructions per wasm op in the compiled tiers, mirroring
+    ``MFunction.instr_cost``: 1 per op, +2 bounds check per memory
+    access, call overhead grows with the transfer itself."""
+    table = [1] * 256
+    for o in op.IS_LOAD | op.IS_STORE:
+        table[o] = 3
+    table[op.CALL] = 4
+    table[op.CALL_INDIRECT] = 8
+    table[op.MEMORY_GROW] = 60
+    # Structural markers compile to nothing.
+    for o in (op.BLOCK, op.LOOP, op.END, op.NOP):
+        table[o] = 0
+    return table
+
+
+def engine_cost_tables() -> Dict[str, List[int]]:
+    return {"wasm3": _interp_cost_table("wasm3"),
+            "wamr": _interp_cost_table("wamr"),
+            "jit": _jit_cost_table()}
+
+
+@dataclass
+class FunctionCost:
+    """Static cost prediction for one defined function."""
+
+    index: int
+    name: str
+    weighted_ops: float                    # loop-weighted op count
+    call_freq: float                       # interprocedural frequency
+    mix: Dict[str, float] = field(default_factory=dict)   # weighted
+    engine_cost: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_weight(self) -> float:
+        return self.weighted_ops * self.call_freq
+
+
+@dataclass
+class CostReport:
+    """Module-level static cost prediction."""
+
+    functions: List[FunctionCost] = field(default_factory=list)
+    static_mix: Dict[str, float] = field(default_factory=dict)  # shares
+    engine_totals: Dict[str, float] = field(default_factory=dict)
+
+    def hot_functions(self, top: int = 5) -> List[Tuple[str, float]]:
+        """Top functions by share of total predicted weight."""
+        total = sum(f.total_weight for f in self.functions) or 1.0
+        ranked = sorted(self.functions,
+                        key=lambda f: (-f.total_weight, f.index))
+        return [(f.name, f.total_weight / total) for f in ranked[:top]]
+
+
+def _loop_weights(body) -> List[float]:
+    """Per-pc execution weight from the loop-nest structure."""
+    weights = [1.0] * len(body)
+    depth = 0
+    frames: List[bool] = []
+    for pc, ins in enumerate(body):
+        o = ins[0]
+        if o in (op.BLOCK, op.LOOP, op.IF):
+            is_loop = o == op.LOOP
+            frames.append(is_loop)
+            if is_loop:
+                depth += 1
+        weights[pc] = float(LOOP_WEIGHT ** min(depth, _MAX_LOOP_DEPTH))
+        if o == op.END and frames:
+            if frames.pop():
+                depth -= 1
+    return weights
+
+
+def _call_frequencies(module: Module, graph: CallGraph,
+                      site_weights: Dict[int, Dict[int, float]]
+                      ) -> List[float]:
+    """Propagate root frequency 1.0 through the condensation DAG."""
+    n = graph.num_funcs
+    freq = [0.0] * n
+    for root in graph.roots:
+        freq[root] = max(freq[root], 1.0)
+
+    # Condensation topological order: Tarjan emits SCCs in reverse
+    # topological order, so walking the list backwards visits callers
+    # before callees.
+    order = [scc for scc in reversed(graph.sccs)]
+    for scc in order:
+        members = set(scc)
+        recursive = len(scc) > 1 or scc[0] in graph.recursive
+        if recursive:
+            boost = float(RECURSION_WEIGHT)
+            for i in scc:
+                if freq[i]:
+                    freq[i] = min(freq[i] * boost, _MAX_FREQ)
+            # Mutual recursion: every member runs when any member does.
+            peak = max((freq[i] for i in scc), default=0.0)
+            for i in scc:
+                freq[i] = max(freq[i], peak)
+        for caller in scc:
+            if not freq[caller]:
+                continue
+            for callee, weight in site_weights.get(caller, {}).items():
+                if callee in members:
+                    continue          # intra-SCC handled by the boost
+                freq[callee] = min(freq[callee] + freq[caller] * weight,
+                                   _MAX_FREQ)
+    return freq
+
+
+def cost_report(module: Module,
+                graph: Optional[CallGraph] = None) -> CostReport:
+    """Predict hot functions and the dynamic instruction-mix shape."""
+    graph = graph if graph is not None else build_call_graph(module)
+    num_imported = graph.num_imported
+    tables = engine_cost_tables()
+
+    per_func_mix: Dict[int, Dict[str, float]] = {}
+    per_func_ops: Dict[int, float] = {}
+    per_func_engine: Dict[int, Dict[str, float]] = {}
+    site_weights: Dict[int, Dict[int, float]] = {}
+
+    for i, func in enumerate(module.functions):
+        index = num_imported + i
+        weights = _loop_weights(func.body)
+        mix: Dict[str, float] = {}
+        engine: Dict[str, float] = {name: 0.0 for name in tables}
+        total = 0.0
+        sites: Dict[int, float] = {}
+        for pc, ins in enumerate(func.body):
+            o = ins[0]
+            w = weights[pc]
+            total += w
+            cat = category_of(o)
+            mix[cat] = mix.get(cat, 0.0) + w
+            for name, table in tables.items():
+                engine[name] += w * table[o]
+            if o == op.CALL:
+                sites[ins[1]] = sites.get(ins[1], 0.0) + w
+            elif o == op.CALL_INDIRECT:
+                sig = module.types[ins[1]]
+                targets = [t for t in graph.edges[index]
+                           if module.func_type(t) == sig]
+                if targets:
+                    share = w / len(targets)
+                    for t in targets:
+                        sites[t] = sites.get(t, 0.0) + share
+        per_func_mix[index] = mix
+        per_func_ops[index] = total
+        per_func_engine[index] = engine
+        site_weights[index] = sites
+
+    freq = _call_frequencies(module, graph, site_weights)
+
+    report = CostReport()
+    static_mix: Dict[str, float] = {}
+    engine_totals: Dict[str, float] = {name: 0.0 for name in tables}
+    for i in range(len(module.functions)):
+        index = num_imported + i
+        f = freq[index]
+        fc = FunctionCost(
+            index=index, name=graph.names[index],
+            weighted_ops=per_func_ops[index], call_freq=f,
+            mix=per_func_mix[index],
+            engine_cost={name: per_func_engine[index][name] * f
+                         for name in tables})
+        report.functions.append(fc)
+        for cat, w in fc.mix.items():
+            static_mix[cat] = static_mix.get(cat, 0.0) + w * f
+        for name in tables:
+            engine_totals[name] += fc.engine_cost[name]
+
+    total_weight = sum(static_mix.values()) or 1.0
+    report.static_mix = {cat: w / total_weight
+                         for cat, w in sorted(static_mix.items())}
+    report.engine_totals = engine_totals
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Static vs. dynamic mix comparison
+# ---------------------------------------------------------------------------
+
+#: Documented deviation tolerance (see DESIGN.md "Static auditing"):
+#: a category counts as deviating when its dynamic share is at least
+#: MIN_SHARE and the relative error exceeds REL_TOL, or its absolute
+#: share gap exceeds ABS_TOL.  Static weighting is a shape heuristic
+#: (every loop counts LOOP_WEIGHT iterations), so the tolerance is
+#: deliberately loose; deviations are *recorded*, not errors.
+MIX_TOLERANCE = {"rel": 0.75, "abs": 0.20, "min_share": 0.05}
+
+
+def compare_mix(static_mix: Dict[str, float],
+                dynamic_mix: Dict[str, float],
+                tolerance: Optional[Dict[str, float]] = None
+                ) -> List[Dict[str, float]]:
+    """Per-category static-vs-dynamic deviation report.
+
+    Returns one record per category (union of both mixes), sorted by
+    name, each with the shares, the error measures, and a ``deviates``
+    flag under the given tolerance.
+    """
+    tol = dict(MIX_TOLERANCE)
+    tol.update(tolerance or {})
+    out = []
+    for cat in sorted(set(static_mix) | set(dynamic_mix)):
+        s = static_mix.get(cat, 0.0)
+        d = dynamic_mix.get(cat, 0.0)
+        abs_err = abs(s - d)
+        rel_err = abs_err / d if d > 0 else (0.0 if s == 0.0 else 1.0)
+        deviates = (abs_err > tol["abs"] or
+                    (d >= tol["min_share"] and rel_err > tol["rel"]))
+        out.append({"category": cat,
+                    "static": round(s, 4), "dynamic": round(d, 4),
+                    "abs_err": round(abs_err, 4),
+                    "rel_err": round(rel_err, 4),
+                    "deviates": bool(deviates)})
+    return out

@@ -1,0 +1,189 @@
+"""Wasm module lints with stable diagnostic IDs and deterministic output.
+
+Every diagnostic carries a stable ID so baselines and CI gates can match
+on identity rather than message text:
+
+========  =============================================================
+WA001     unreachable code (pcs no execution can reach)
+WA002     dead local store (``local.set``/``tee`` whose value is never read)
+WA003     dead function (no entry root can ever reach it)
+WA004     dead global (module-defined, never read, not exported)
+WA005     redundant bounds checks (accesses provably in bounds that the
+          midend left guarded — eliminable by a bounds-check tier)
+WA006     non-minimal LEB128 encoding in the binary
+WA007     never-called indirect target (listed in the funcref table but
+          no reachable ``call_indirect`` has a matching type)
+WA008     dead local (declared but never read or written)
+========  =============================================================
+
+Diagnostics are pure functions of the decoded module (plus
+:class:`~repro.wasm.decoder.DecodeStats` for WA006, which is a property
+of the *bytes*), sorted by ``(id, function index, pc)`` — byte-identical
+output on every run is the contract the audit gate builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..wasm import opcodes as op
+from ..wasm.decoder import DecodeStats
+from ..wasm.module import KIND_GLOBAL, Module
+from .callgraph import CallGraph, build_call_graph
+from .cfg import build_cfg
+from .liveness import dead_stores
+from .ranges import function_ranges
+
+#: Bump when lint semantics change; part of fuzz static-oracle cache keys.
+LINT_VERSION = 1
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One lint finding, ordered for deterministic reports."""
+
+    id: str
+    func_index: int      # joint index space; -1 for module-level findings
+    pc: int              # body pc; -1 when not instruction-anchored
+    func: str            # display name; "" for module-level findings
+    message: str
+
+    def key(self) -> str:
+        """Stable identity string used by baselines."""
+        return f"{self.id} {self.func_index}:{self.pc} {self.message}"
+
+    def format(self, modname: str = "module") -> str:
+        where = f"{modname}:{self.func}" if self.func else modname
+        if self.pc >= 0:
+            where += f":pc={self.pc}"
+        return f"{where}: {self.id}: {self.message}"
+
+
+def _name_of(graph: CallGraph, index: int) -> str:
+    return graph.names[index]
+
+
+def lint_module(module: Module, stats: Optional[DecodeStats] = None,
+                graph: Optional[CallGraph] = None) -> List[Diagnostic]:
+    """Run every lint over ``module``; deterministic sorted output.
+
+    ``stats`` (from :func:`repro.wasm.decoder.decode_module_with_stats`)
+    enables WA006; without it byte-level encoding lints are skipped.
+    """
+    graph = graph if graph is not None else build_call_graph(module)
+    diags: List[Diagnostic] = []
+    num_imported = graph.num_imported
+
+    for i, func in enumerate(module.functions):
+        index = num_imported + i
+        name = _name_of(graph, index)
+        cfg = build_cfg(func, module)
+
+        dead_pcs = cfg.unreachable_pcs()
+        if dead_pcs:
+            diags.append(Diagnostic(
+                id="WA001", func_index=index, pc=dead_pcs[0], func=name,
+                message=(f"{len(dead_pcs)} unreachable instruction(s) "
+                         f"starting at pc {dead_pcs[0]}")))
+
+        for pc in dead_stores(module, func):
+            local = func.body[pc][1]
+            diags.append(Diagnostic(
+                id="WA002", func_index=index, pc=pc, func=name,
+                message=(f"{op.name_of(func.body[pc][0])} to local "
+                         f"#{local} is never read")))
+
+        ranges = function_ranges(module, func)
+        if ranges.inbounds:
+            first = min(ranges.inbounds)
+            diags.append(Diagnostic(
+                id="WA005", func_index=index, pc=first, func=name,
+                message=(f"{len(ranges.inbounds)} of {ranges.mem_ops} "
+                         "memory accesses provably in bounds "
+                         "(checks eliminable)")))
+
+        diags.extend(_dead_locals(module, func, index, name))
+
+    for index in graph.dead_functions():
+        if index in graph.roots:
+            continue
+        diags.append(Diagnostic(
+            id="WA003", func_index=index, pc=-1,
+            func=_name_of(graph, index),
+            message="function is never called from any export or start"))
+
+    diags.extend(_dead_globals(module))
+
+    if stats is not None and getattr(stats, "non_minimal", ()):
+        offsets = list(stats.non_minimal)
+        shown = ", ".join(str(o) for o in offsets[:4])
+        more = f" (+{len(offsets) - 4} more)" if len(offsets) > 4 else ""
+        diags.append(Diagnostic(
+            id="WA006", func_index=-1, pc=-1, func="",
+            message=(f"{len(offsets)} non-minimal LEB128 encoding(s) at "
+                     f"byte offset(s) {shown}{more}")))
+
+    diags.extend(_never_called_indirect(graph))
+    return sorted(diags)
+
+
+def _dead_locals(module: Module, func, index: int,
+                 name: str) -> List[Diagnostic]:
+    """WA008: declared locals (excluding params) never referenced."""
+    ftype = module.types[func.type_index]
+    num_params = len(ftype.params)
+    declared = num_params + sum(c for c, _vt in func.local_decls)
+    if declared == num_params:
+        return []
+    used = set()
+    for ins in func.body:
+        if ins[0] in (op.LOCAL_GET, op.LOCAL_SET, op.LOCAL_TEE):
+            used.add(ins[1])
+    return [Diagnostic(
+        id="WA008", func_index=index, pc=-1, func=name,
+        message=f"local #{local} is declared but never used")
+        for local in range(num_params, declared) if local not in used]
+
+
+def _dead_globals(module: Module) -> List[Diagnostic]:
+    """WA004: module-defined globals that nothing ever reads."""
+    num_imported = module.num_imported_globals
+    exported = {e.index for e in module.exports if e.kind == KIND_GLOBAL}
+    read = set()
+    for func in module.functions:
+        for ins in func.body:
+            if ins[0] == op.GLOBAL_GET:
+                read.add(ins[1])
+    for g in module.globals:
+        for ins in g.init:
+            if ins[0] == op.GLOBAL_GET:
+                read.add(ins[1])
+    out = []
+    for i in range(len(module.globals)):
+        index = num_imported + i
+        if index in read or index in exported:
+            continue
+        out.append(Diagnostic(
+            id="WA004", func_index=-1, pc=-1, func="",
+            message=f"global #{index} is written but never read"))
+    return out
+
+
+def _never_called_indirect(graph: CallGraph) -> List[Diagnostic]:
+    """WA007: table entries no reachable call_indirect can select."""
+    if graph.imprecise_indirect:
+        return []          # imported table: contents unknowable statically
+    reachable = graph.reachable()
+    out = []
+    for target in graph.table_targets:
+        # Reachable through *any* edge (direct call, root, or a resolved
+        # indirect edge) means the entry is live.
+        if target in reachable or target in graph.roots:
+            continue
+        out.append(Diagnostic(
+            id="WA007", func_index=target, pc=-1,
+            func=_name_of(graph, target),
+            message=("listed in the funcref table but no reachable "
+                     "call_indirect has a matching type")))
+    return out

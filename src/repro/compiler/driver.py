@@ -168,6 +168,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--metrics", action="store_true",
                         help="compile and print a static-metrics report "
                              "instead of writing a binary")
+    parser.add_argument("--audit", action="store_true",
+                        help="compile and print the static audit (call "
+                             "graph, cost model, lint diagnostics) "
+                             "instead of writing a binary; exits 1 when "
+                             "diagnostics are reported")
     parser.add_argument("--timings", action="store_true",
                         help="print per-phase (frontend/midend/backend) "
                              "wall times after compiling")
@@ -218,6 +223,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         from ..analysis.metrics import module_report, render_report
         print(render_report(module_report(result.module), args.source))
         return 0
+
+    if args.audit:
+        from ..analysis.audit import audit_wasm
+        # Audit the encoded bytes (not the in-memory module) so the
+        # report also covers encoding-level findings such as WA006.
+        audit = audit_wasm(result.wasm_bytes, name=args.source)
+        print(audit.render())
+        return 1 if audit.diagnostics else 0
 
     output = args.output or (args.source.rsplit(".", 1)[0] + ".wasm")
     with open(output, "wb") as fh:

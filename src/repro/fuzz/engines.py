@@ -17,7 +17,8 @@ not a pure function of the key.
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, Dict, Optional, Sequence
+import json
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..compiler import compile_source, config_fingerprint
 from ..errors import HarnessError
@@ -71,6 +72,67 @@ def source_digest(source: str) -> str:
     return hashlib.sha256(source.encode("utf-8")).hexdigest()
 
 
+def compute_static_findings(wasm_bytes: bytes) -> List[str]:
+    """Static pre-oracle over one compiled module.
+
+    The compiler's own output must decode, validate, survive the whole
+    static auditor without crashing, contain no non-minimal LEB128
+    encodings, and round-trip the encoder byte-identically with the
+    same lint diagnostics.  Each violated expectation is one finding
+    string; an empty list means the module is statically clean.
+    """
+    from ..analysis.audit import audit_module
+    from ..analysis.lints import lint_module
+    from ..wasm import encode_module, validate_module
+    from ..wasm.decoder import decode_module_with_stats
+
+    try:
+        module, stats = decode_module_with_stats(wasm_bytes)
+    except Exception as exc:
+        return [f"decoder rejected compiler output: {exc}"]
+    try:
+        validate_module(module)
+    except Exception as exc:
+        return [f"validator rejected compiler output: {exc}"]
+    try:
+        audit = audit_module(module, stats=stats)
+    except Exception as exc:
+        return [f"static auditor crashed: {type(exc).__name__}: {exc}"]
+
+    findings: List[str] = []
+    if stats.non_minimal:
+        head = ", ".join(str(o) for o in stats.non_minimal[:4])
+        findings.append(
+            f"compiler emitted {len(stats.non_minimal)} non-minimal "
+            f"LEB128 encoding(s) at offset(s) {head}")
+
+    try:
+        reencoded = encode_module(module)
+    except Exception as exc:
+        findings.append(f"re-encode crashed: "
+                        f"{type(exc).__name__}: {exc}")
+        return findings
+    if reencoded != wasm_bytes:
+        findings.append(
+            f"encode/decode round-trip not byte-identical "
+            f"({len(wasm_bytes)} -> {len(reencoded)} bytes)")
+        try:
+            module2, stats2 = decode_module_with_stats(reencoded)
+            validate_module(module2)
+            diags2 = [d.key() for d in lint_module(module2, stats=stats2)]
+        except Exception as exc:
+            findings.append(f"re-decode of re-encoded module failed: "
+                            f"{type(exc).__name__}: {exc}")
+            return findings
+        diags1 = [d.key() for d in audit.diagnostics]
+        if diags1 != diags2:
+            changed = set(diags1).symmetric_difference(diags2)
+            findings.append(
+                f"lint disagreement after encode/decode round-trip "
+                f"({len(changed)} diagnostic(s) changed)")
+    return findings
+
+
 class CellRunner:
     """Compiles and executes (program, engine, -O) cells with caching.
 
@@ -121,6 +183,36 @@ class CellRunner:
                          src=source_digest(source),
                          engine=engine, opt=opt,
                          cc=config_fingerprint(opt))
+
+    def static_findings(self, source: str, opt: int,
+                        use_cache: bool = True) -> List[str]:
+        """Cached static pre-oracle findings for one compiled program
+        (see :func:`compute_static_findings`)."""
+        from ..analysis.lints import LINT_VERSION
+        cacheable = use_cache and self.cache is not None
+        disk_key = None
+        if cacheable:
+            disk_key = cache_key("fuzz-static",
+                                 gen=GENERATOR_VERSION,
+                                 src=source_digest(source), opt=opt,
+                                 cc=config_fingerprint(opt),
+                                 lint=LINT_VERSION)
+            payload = self.cache.get_bytes(disk_key)
+            if payload is not None:
+                try:
+                    findings = json.loads(payload.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    findings = None
+                if isinstance(findings, list):
+                    self.stats.hit("fuzz-static")
+                    return findings
+        watch = Stopwatch()
+        findings = compute_static_findings(self.wasm_for(source, opt))
+        if cacheable:
+            self.stats.miss("fuzz-static", watch.seconds)
+            self.cache.put_bytes(disk_key,
+                                 json.dumps(findings).encode("utf-8"))
+        return findings
 
     def run_cell(self, source: str, engine: str, opt: int,
                  use_cache: bool = True) -> RunResult:

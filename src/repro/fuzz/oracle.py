@@ -1,9 +1,15 @@
 """Differential and metamorphic oracles for generated programs.
 
 Given one program, :func:`check_program` compiles it at every requested
--O level, runs it on every requested engine, and applies three oracle
+-O level, runs it on every requested engine, and applies four oracle
 families:
 
+* **static** — before any engine executes, every compiled module is run
+  through the static pre-oracle (decode, validate, the full
+  :mod:`repro.analysis.audit` pass, and an encode/decode round-trip);
+  an analyzer crash, a validator rejection of the compiler's own
+  output, a non-minimal LEB128 emission, or a round-trip disagreement
+  is a reportable finding even when every engine agrees dynamically.
 * **differential** — every cell must agree with the reference cell on
   stdout, exit status, and *trap behavior*: a well-defined program must
   not trap anywhere, and a trapping program must raise the same trap
@@ -78,7 +84,7 @@ class Observation:
 class Divergence:
     """One oracle violation, with everything needed to reproduce it."""
 
-    kind: str                  # "behavior" | "opt-regression" | "nondet"
+    kind: str         # "static" | "behavior" | "opt-regression" | "nondet"
     cell: Cell
     reference_cell: Cell
     detail: str
@@ -142,6 +148,15 @@ def check_program(source: str,
     runner = runner if runner is not None else CellRunner()
     opt_levels = sorted(set(opt_levels))
     report = CheckReport()
+
+    # Oracle 0: static pre-oracle, before any engine executes.  A cell
+    # of ("static", opt) identifies the compiled module, not an engine.
+    for opt in opt_levels:
+        for detail in runner.static_findings(source, opt):
+            report.divergences.append(Divergence(
+                kind="static", cell=("static", opt),
+                reference_cell=("static", opt), detail=detail,
+                seed=seed, source=source))
 
     for engine in engines:
         for opt in opt_levels:

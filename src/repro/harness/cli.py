@@ -26,11 +26,20 @@ divergences optionally minimized to corpus reproducers::
 
     wabench fuzz --seed 42 --budget 50 --jobs 4
     wabench fuzz --seed 42 --budget 50 --minimize --corpus-dir corpus
+
+``wabench audit`` statically audits every suite module (interprocedural
+call graph, static cost model cross-checked against one instrumented
+run, lint diagnostics WA001..WA008) and gates the findings against the
+committed ``AUDIT_baseline.json``::
+
+    wabench audit
+    wabench audit --update-baseline
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -205,6 +214,73 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_audit(args) -> int:
+    """Static audit of the suite, gated against the committed baseline.
+
+    The report body is byte-identical across runs and ``--jobs`` values
+    (no wall-clock output), which is what lets CI diff it blindly.
+    """
+    from ..analysis.audit import compare_baseline, run_suite_audit
+
+    bench_subset: Optional[List[str]] = None
+    if args.benchmarks:
+        bench_subset = [b.strip() for b in args.benchmarks.split(",")]
+    cache_dir = None if args.no_cache else \
+        (args.cache_dir or default_cache_dir())
+    progress = None
+    if args.verbose:
+        def progress(record):
+            print(f"  [audit] {record['name']}: "
+                  f"{len(record['diagnostics'])} diagnostic(s), "
+                  f"{len(record['deviations'])} mix deviation(s)",
+                  flush=True)
+    suite = run_suite_audit(args.size, args.opt, benchmarks=bench_subset,
+                            cache_dir=cache_dir, jobs=args.jobs,
+                            progress=progress)
+    print(suite.render())
+    if args.json:
+        path = _resolve_out(args, args.json)
+        with open(path, "w") as f:
+            f.write(suite.to_json() + "\n")
+        print(f"wrote {path}")
+    if args.update_baseline:
+        path = args.baseline or "AUDIT_baseline.json"
+        with open(path, "w") as f:
+            json.dump(suite.baseline_dict(), f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {path}")
+        return 0
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists("AUDIT_baseline.json"):
+        baseline_path = "AUDIT_baseline.json"
+    if baseline_path is None:
+        # No baseline to gate against; stack-bound violations (model
+        # soundness bugs) still fail the run.
+        bad = [r["name"] for r in suite.records if not r["stack_bound_ok"]]
+        if bad:
+            print("audit: static stack bound violated in: "
+                  + ", ".join(bad), file=sys.stderr)
+            return 1
+        return 0
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    regressions, notes = compare_baseline(suite, baseline)
+    for note in notes:
+        print(f"audit: note: {note}")
+    if regressions:
+        print(f"audit: {len(regressions)} regression(s) "
+              f"vs {baseline_path}:")
+        for line in regressions:
+            print(f"  {line}")
+        print("if these findings are intended, refresh the baseline:\n"
+              f"  wabench audit --size {args.size} -O{args.opt} "
+              "--update-baseline")
+        return 1
+    print(f"audit: clean vs {baseline_path} "
+          f"({len(suite.records)} benchmark(s))")
+    return 0
+
+
 def _run_experiments(ids: List[str], args) -> int:
     bench_subset: Optional[List[str]] = None
     if args.benchmarks:
@@ -268,6 +344,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace_p.add_argument("--trace", default=None, metavar="PATH",
                          help="also write the JSONL trace file")
 
+    audit_p = sub.add_parser(
+        "audit", help="static audit of the suite (call graph, cost "
+                      "model, lints) gated against AUDIT_baseline.json")
+    audit_p.add_argument("--baseline", default=None, metavar="PATH",
+                         help="baseline JSON to gate against (default: "
+                              "AUDIT_baseline.json when present)")
+    audit_p.add_argument("--update-baseline", action="store_true",
+                         help="rewrite the baseline from this run's "
+                              "findings instead of gating")
+    audit_p.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the full per-benchmark audit "
+                              "report as JSON")
+
     for experiment_id in EXPERIMENTS:
         sub.add_parser(experiment_id,
                        help=f"regenerate {experiment_id}")
@@ -293,6 +382,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         p.add_argument("--no-cache", action="store_true",
                        help="do not read or write the on-disk "
                             "artifact cache")
+    # The committed audit baseline is generated at the test size, so the
+    # gate defaults to it (every other command defaults to small).
+    audit_p.set_defaults(size="test")
 
     fuzz_p = sub.add_parser(
         "fuzz", help="differential fuzzing across engines and -O levels")
@@ -338,6 +430,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "audit":
+            return _cmd_audit(args)
         if args.command == "all":
             return _run_experiments(list(EXPERIMENTS), args)
         return _run_experiments([args.command], args)

@@ -325,8 +325,14 @@ class Interpreter:
         # suite as a ground-truth oracle for the static range analysis;
         # never set during normal runs.
         self.trace_memory = None
+        # Optional observer called as (func_index, opcode, stack_len)
+        # at every dispatch of the reference loop.  The static auditor
+        # uses it to measure the executed opcode mix and the observed
+        # operand-stack depth; like trace_memory it disables the fast
+        # path (the fused loop does not replay per-op dispatch).
+        self.opcode_profile = None
         # Predecoded fast code per function index (repro.speed); when a
-        # function has an entry and no memory observer is attached, the
+        # function has an entry and no observer is attached, the
         # model-equivalent fast loop runs instead of the reference loop.
         self.fast_code: Optional[Dict[int, list]] = None
         # Handler code addresses: one cache line per opcode handler.
@@ -355,7 +361,8 @@ class Interpreter:
 
     def _run(self, func: PreparedFunction, args: List):
         fast = self.fast_code
-        if fast is not None and self.trace_memory is None:
+        if fast is not None and self.trace_memory is None \
+                and self.opcode_profile is None:
             fcode = fast.get(func.index)
             if fcode is not None:
                 return _fast_run(self, func, fcode, args)
@@ -387,6 +394,7 @@ class Interpreter:
         mem = self.memory
         globals_ = self.globals
         trace = self.trace_memory
+        profile = self.opcode_profile
         func_tag = (func.index & 0x3FF) << 20
         stall = 0
         instr = 0
@@ -395,6 +403,8 @@ class Interpreter:
         while pc < n:
             ins = body[pc]
             o = ins[0]
+            if profile is not None:
+                profile(func.index, o, len(stack))
             # --- the interpreter's own footprint ---
             instr += dispatch_cost + hcost[o]
             # Dispatch indirect branch.  Both modeled interpreters

@@ -41,6 +41,11 @@ class InterpreterRuntime(WasmRuntime):
 
     mode = "interp"
     profile: InterpProfile = CLASSIC_PROFILE
+    #: Optional dispatch observer, forwarded to
+    #: :attr:`Interpreter.opcode_profile` (set per-instance by the
+    #: static auditor's dynamic-mix measurement; never during normal
+    #: runs — attaching it disables the repro.speed fast path).
+    instr_profile = None
 
     def _load(self, module: Module, cpu: CPUModel,
               aot_image: Optional[object]) -> _LoadedInterp:
@@ -84,6 +89,8 @@ class InterpreterRuntime(WasmRuntime):
         interp = Interpreter(self.profile, cpu, env.memory, env.globals,
                              env.table, functions)
         interp.fast_code = loaded.fast
+        if self.instr_profile is not None:
+            interp.opcode_profile = self.instr_profile
         interp.set_signatures(env.module)
         # Interpreter frames live on the runtime's own stack/heap.
         cpu.memory.alloc("interp-stack", 128 * 1024)

@@ -27,7 +27,7 @@ import os
 
 #: Version of the predecoded form; part of every disk-cache key so a
 #: format change can never resurrect stale artifacts.
-SPEED_VERSION = 1
+SPEED_VERSION = 2   # 2: DecodeStats gained the non_minimal offsets field
 
 _enabled = os.environ.get("REPRO_SPEED", "1") not in ("0", "false", "off")
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..errors import DecodeError
 from . import leb128, opcodes as op
@@ -28,20 +28,35 @@ from .types import FUNCREF, VOID, FuncType, GlobalType, Limits, is_value_type
 
 @dataclass
 class DecodeStats:
-    """Work performed by a decode, for runtime cost accounting."""
+    """Work performed by a decode, for runtime cost accounting.
+
+    ``non_minimal`` lists the byte offsets (into the module) of LEB128
+    fields whose encoding is longer than necessary.  The spec tolerates
+    them, so decoding succeeds — but no real toolchain emits them, so
+    the static auditor surfaces each site as a WA006 diagnostic.  The
+    tuple default keeps entries unpickled from older disk caches
+    readable (they fall back to the class-level ``()``).
+    """
 
     bytes_scanned: int = 0
     instructions: int = 0
     functions: int = 0
+    non_minimal: Tuple[int, ...] = ()
 
 
 class _Reader:
-    """Byte cursor with spec-shaped primitive readers."""
+    """Byte cursor with spec-shaped primitive readers.
 
-    def __init__(self, data: bytes, offset: int = 0, end: int = -1):
+    ``nonmin`` (shared across the per-section readers of one module
+    decode) collects start offsets of non-minimally encoded LEB128s.
+    """
+
+    def __init__(self, data: bytes, offset: int = 0, end: int = -1,
+                 nonmin: Optional[List[int]] = None):
         self.data = data
         self.offset = offset
         self.end = len(data) if end < 0 else end
+        self.nonmin = nonmin
 
     def eof(self) -> bool:
         return self.offset >= self.end
@@ -61,17 +76,29 @@ class _Reader:
         return out
 
     def u32(self) -> int:
-        value, self.offset = leb128.decode_u(self.data, self.offset, 32)
+        start = self.offset
+        value, self.offset, minimal = \
+            leb128.decode_u_ex(self.data, self.offset, 32)
         if self.offset > self.end:
             raise DecodeError("LEB128 crosses section boundary")
+        if not minimal and self.nonmin is not None:
+            self.nonmin.append(start)
         return value
 
     def s32(self) -> int:
-        value, self.offset = leb128.decode_s(self.data, self.offset, 32)
+        start = self.offset
+        value, self.offset, minimal = \
+            leb128.decode_s_ex(self.data, self.offset, 32)
+        if not minimal and self.nonmin is not None:
+            self.nonmin.append(start)
         return value
 
     def s64(self) -> int:
-        value, self.offset = leb128.decode_s(self.data, self.offset, 64)
+        start = self.offset
+        value, self.offset, minimal = \
+            leb128.decode_s_ex(self.data, self.offset, 64)
+        if not minimal and self.nonmin is not None:
+            self.nonmin.append(start)
         return value
 
     def f32(self) -> float:
@@ -169,7 +196,8 @@ def decode_module(data: bytes) -> Module:
 def decode_module_with_stats(data: bytes) -> Tuple[Module, DecodeStats]:
     """Decode a binary module, also returning decode-work statistics."""
     stats = DecodeStats(bytes_scanned=len(data))
-    r = _Reader(data)
+    nonmin: List[int] = []
+    r = _Reader(data, nonmin=nonmin)
     if r.raw(4) != MAGIC:
         raise DecodeError("bad magic number")
     if r.raw(4) != VERSION:
@@ -185,7 +213,7 @@ def decode_module_with_stats(data: bytes) -> Tuple[Module, DecodeStats]:
         section_end = r.offset + size
         if section_end > len(data):
             raise DecodeError("section extends past end of module")
-        sr = _Reader(data, r.offset, section_end)
+        sr = _Reader(data, r.offset, section_end, nonmin=nonmin)
 
         if section_id != 0:
             if section_id <= last_section:
@@ -258,7 +286,7 @@ def decode_module_with_stats(data: bytes) -> Tuple[Module, DecodeStats]:
             for type_index in func_type_indices:
                 body_size = sr.u32()
                 body_end = sr.offset + body_size
-                br = _Reader(data, sr.offset, body_end)
+                br = _Reader(data, sr.offset, body_end, nonmin=nonmin)
                 local_decls = [(br.u32(), br.valtype()) for _ in range(br.u32())]
                 body = _decode_expr(br, stats)
                 if br.offset != body_end:
@@ -281,4 +309,5 @@ def decode_module_with_stats(data: bytes) -> Tuple[Module, DecodeStats]:
 
     if func_type_indices and not module.functions:
         raise DecodeError("function section without code section")
+    stats.non_minimal = tuple(nonmin)
     return module, stats

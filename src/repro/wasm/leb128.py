@@ -46,11 +46,17 @@ def encode_s(value: int) -> bytes:
         out.append(byte | 0x80)
 
 
-def decode_u(data: bytes, offset: int, max_bits: int = 32) -> Tuple[int, int]:
-    """Decode a ULEB128 integer.
+def decode_u_ex(data: bytes, offset: int,
+                max_bits: int = 32) -> Tuple[int, int, bool]:
+    """Decode a ULEB128 integer, also reporting encoding minimality.
 
-    Returns ``(value, new_offset)``.  ``max_bits`` bounds the accepted width
-    (32 for indices/sizes, 64 for i64 operand immediates).
+    Returns ``(value, new_offset, minimal)``.  ``max_bits`` bounds the
+    accepted width (32 for indices/sizes, 64 for i64 operand
+    immediates).  An encoding is *non-minimal* when it spends more
+    bytes than :func:`encode_u` would — i.e. its final byte is a pure
+    ``0x00`` continuation pad.  The spec accepts such encodings, so the
+    decoder does too, but it must *record* them: real toolchains never
+    emit them, which makes each one a lint-worthy oddity (WA006).
     """
     result = 0
     shift = 0
@@ -64,15 +70,29 @@ def decode_u(data: bytes, offset: int, max_bits: int = 32) -> Tuple[int, int]:
         if not byte & 0x80:
             if result >> max_bits:
                 raise DecodeError(f"ULEB128 value exceeds {max_bits} bits")
-            return result, offset
+            return result, offset, not (count and byte == 0)
         shift += 7
     raise DecodeError(f"ULEB128 longer than {max_bytes} bytes")
 
 
-def decode_s(data: bytes, offset: int, max_bits: int = 32) -> Tuple[int, int]:
-    """Decode an SLEB128 integer.  Returns ``(value, new_offset)``."""
+def decode_u(data: bytes, offset: int, max_bits: int = 32) -> Tuple[int, int]:
+    """Decode a ULEB128 integer.  Returns ``(value, new_offset)``."""
+    value, offset, _minimal = decode_u_ex(data, offset, max_bits)
+    return value, offset
+
+
+def decode_s_ex(data: bytes, offset: int,
+                max_bits: int = 32) -> Tuple[int, int, bool]:
+    """Decode an SLEB128 integer, also reporting encoding minimality.
+
+    Returns ``(value, new_offset, minimal)``.  An SLEB128 is
+    non-minimal when its final byte is a sign-extension pad: ``0x00``
+    after a byte with bit 6 clear, or ``0x7f`` after a byte with bit 6
+    set.
+    """
     result = 0
     shift = 0
+    prev = 0
     max_bytes = _U32_MAX_BYTES if max_bits == 32 else _U64_MAX_BYTES
     for count in range(max_bytes):
         if offset >= len(data):
@@ -88,5 +108,15 @@ def decode_s(data: bytes, offset: int, max_bits: int = 32) -> Tuple[int, int]:
             hi = (1 << (max_bits - 1)) - 1
             if not lo <= result <= hi:
                 raise DecodeError(f"SLEB128 value exceeds {max_bits} bits")
-            return result, offset
+            minimal = not (count and
+                           ((byte == 0 and not prev & 0x40) or
+                            (byte == 0x7F and prev & 0x40)))
+            return result, offset, minimal
+        prev = byte
     raise DecodeError(f"SLEB128 longer than {max_bytes} bytes")
+
+
+def decode_s(data: bytes, offset: int, max_bits: int = 32) -> Tuple[int, int]:
+    """Decode an SLEB128 integer.  Returns ``(value, new_offset)``."""
+    value, offset, _minimal = decode_s_ex(data, offset, max_bits)
+    return value, offset

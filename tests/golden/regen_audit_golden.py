@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Regenerate the golden static-audit reports pinned by test_audit.py.
+
+Run after an *intended* analyzer or compiler change::
+
+    PYTHONPATH=src python tests/golden/regen_audit_golden.py
+
+and review the diff — a golden change is a behavior change.
+"""
+
+import json
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(_HERE, "..", "..", "src"))
+
+from repro.analysis.audit import audit_wasm       # noqa: E402
+from repro.bench import get                       # noqa: E402
+from repro.compiler import compile_source         # noqa: E402
+
+BENCHES = ("quicksort", "sha", "gemm")
+
+
+def main():
+    for name in BENCHES:
+        bench = get(name)
+        wasm = compile_source(bench.source, opt_level=2,
+                              defines=bench.defines_for("test")).wasm_bytes
+        audit = audit_wasm(wasm, name=name)
+        payload = {"name": name,
+                   "diagnostics": [d.key() for d in audit.diagnostics]}
+        path = os.path.join(_HERE, f"audit_{name}.json")
+        with open(path, "w") as f:
+            json.dump(payload, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {path} ({len(payload['diagnostics'])} diagnostic(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

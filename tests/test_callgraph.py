@@ -1,0 +1,171 @@
+"""Call-graph construction: SCCs, indirect edges, depth and stack bounds."""
+
+import pytest
+
+from repro.analysis.callgraph import build_call_graph, static_stack_bound
+from repro.wasm import opcodes as op
+from repro.wasm.builder import ModuleBuilder
+from repro.wasm.types import I32, FuncType
+
+
+def _mutual_recursion_module():
+    """even/odd calling each other; main exported calling even."""
+    mb = ModuleBuilder()
+    odd_index = mb.reserve_function("odd")
+    even = mb.function("even", params=(I32,), results=(I32,))
+    even.local_get(0).emit(op.I32_EQZ)
+    even.if_("base", result=I32)
+    even.i32_const(1)
+    even.else_()
+    even.local_get(0).i32_const(1).emit(op.I32_SUB).call(odd_index)
+    even.end()
+
+    odd = mb.define_reserved("odd", params=(I32,), results=(I32,))
+    odd.local_get(0).emit(op.I32_EQZ)
+    odd.if_("base", result=I32)
+    odd.i32_const(0)
+    odd.else_()
+    odd.local_get(0).i32_const(1).emit(op.I32_SUB).call_named("even")
+    odd.end()
+
+    main = mb.function("main", results=(I32,), export=True)
+    main.i32_const(10).call_named("even")
+    return mb.build()
+
+
+def test_mutual_recursion_scc():
+    module = _mutual_recursion_module()
+    graph = build_call_graph(module)
+    even = graph.names.index("even")
+    odd = graph.names.index("odd")
+    main = graph.names.index("main")
+
+    assert graph.scc_of[even] == graph.scc_of[odd]
+    assert graph.scc_of[main] != graph.scc_of[even]
+    assert tuple(sorted((even, odd))) in \
+        [tuple(sorted(s)) for s in graph.sccs]
+    assert graph.recursive == {even, odd}
+    # A reachable cycle makes the static call depth unbounded.
+    assert graph.max_call_depth is None
+
+
+def test_self_recursion_is_recursive():
+    mb = ModuleBuilder()
+    fact_index = mb.reserve_function("fact")
+    fact = mb.define_reserved("fact", params=(I32,), results=(I32,))
+    fact.local_get(0).emit(op.I32_EQZ)
+    fact.if_("base", result=I32)
+    fact.i32_const(1)
+    fact.else_()
+    fact.local_get(0).i32_const(1).emit(op.I32_SUB).call(fact_index)
+    fact.end()
+    mb.function("main", results=(I32,), export=True) \
+        .i32_const(5).call(fact_index)
+    graph = build_call_graph(mb.build())
+    assert graph.names.index("fact") in graph.recursive
+    assert graph.max_call_depth is None
+
+
+def _chain_module():
+    """main -> a -> b -> c, no recursion anywhere."""
+    mb = ModuleBuilder()
+    c = mb.function("c", results=(I32,))
+    c.i32_const(7)
+    b = mb.function("b", results=(I32,))
+    b.call_named("c")
+    a = mb.function("a", results=(I32,))
+    a.call_named("b")
+    main = mb.function("main", results=(I32,), export=True)
+    main.call_named("a")
+    return mb.build()
+
+
+def test_max_call_depth_chain():
+    graph = build_call_graph(_chain_module())
+    assert graph.max_call_depth == 4          # main, a, b, c frames
+    assert graph.recursive == set()
+    assert graph.roots == (graph.names.index("main"),)
+    assert not graph.dead_functions()
+
+
+def _indirect_module():
+    """Indirect-only edge to t1; t2 shares the table but not the type."""
+    mb = ModuleBuilder()
+    t1 = mb.function("t1", results=(I32,))
+    t1.i32_const(11)
+    t2 = mb.function("t2", params=(I32,), results=(I32,))
+    t2.local_get(0)
+    main = mb.function("main", results=(I32,), export=True)
+    sig = mb.intern_type(FuncType((), (I32,)))
+    main.i32_const(0).emit(op.CALL_INDIRECT, sig, 0)
+    mb.add_element(0, ["t1", "t2"])
+    return mb.build()
+
+
+def test_indirect_edges_type_resolved():
+    module = _indirect_module()
+    graph = build_call_graph(module)
+    t1 = graph.names.index("t1")
+    t2 = graph.names.index("t2")
+    main = graph.names.index("main")
+
+    assert not graph.imprecise_indirect
+    # No direct call anywhere, but the indirect edge resolves to the
+    # type-matching table entry only.
+    assert graph.direct[main] == ()
+    assert graph.edges[main] == (t1,)
+    assert set(graph.table_targets) == {t1, t2}
+    reachable = graph.reachable()
+    assert t1 in reachable
+    assert t2 not in reachable
+
+
+def test_dead_function_detection():
+    mb = ModuleBuilder()
+    dead = mb.function("deadbeef", results=(I32,))
+    dead.i32_const(3)
+    main = mb.function("main", results=(I32,), export=True)
+    main.i32_const(1)
+    graph = build_call_graph(mb.build())
+    assert graph.dead_functions() == [graph.names.index("deadbeef")]
+
+
+def test_imported_table_widens_indirect():
+    mb = ModuleBuilder()
+    mb.import_function("env", "h", FuncType((), (I32,)))
+    main = mb.function("main", results=(I32,), export=True)
+    sig = mb.intern_type(FuncType((), (I32,)))
+    main.i32_const(0).emit(op.CALL_INDIRECT, sig, 0)
+    module = mb.build(validate=False)
+    from repro.wasm.module import KIND_TABLE, Import
+    from repro.wasm.types import Limits
+    module.imports.append(Import("env", "tbl", KIND_TABLE, Limits(4)))
+    graph = build_call_graph(module)
+    assert graph.imprecise_indirect
+    # Widened: every signature-matching function is a possible callee.
+    main_index = graph.names.index("main")
+    assert graph.names.index("env.h") in graph.edges[main_index]
+
+
+def test_static_stack_bound_simple():
+    mb = ModuleBuilder()
+    f = mb.function("f", params=(I32,), results=(I32,))
+    # height trace: 1, 2, 3, 2, 1 -> max 3
+    f.local_get(0).i32_const(2).i32_const(3)
+    f.emit(op.I32_MUL).emit(op.I32_ADD)
+    mb.function("main", results=(I32,), export=True) \
+        .i32_const(1).call_named("f")
+    module = mb.build()
+    assert static_stack_bound(module, module.functions[0]) == 3
+
+
+def test_static_stack_bound_skips_unreachable_tail():
+    mb = ModuleBuilder()
+    f = mb.function("f", results=(I32,))
+    f.i32_const(1).ret()
+    # Dead code after return must not contribute to the bound.
+    f.i32_const(1).i32_const(2).i32_const(3).i32_const(4)
+    f.emit(op.DROP).emit(op.DROP).emit(op.DROP)
+    mb.function("main", results=(I32,), export=True).call_named("f")
+    module = mb.build()
+    assert static_stack_bound(module, module.functions[0]) == 1
