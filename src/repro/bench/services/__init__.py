@@ -1,0 +1,25 @@
+"""Service workloads for the ``repro.serve`` modeled serving tier.
+
+These are not part of the paper's 50-benchmark WABench suite (Table 2);
+they model the request *handlers* an edge/serverless gateway would
+instantiate per request — the workload family of the wasm-bench edge
+study (SNIPPETS.md Snippet 2) and the WASI-heavy programs eWAPA shows
+differentiate server-side runtimes most:
+
+* ``hello_svc``   — minimal response formatting (the HTTP "hello" path);
+* ``compute_svc`` — CPU-bound hashing (the SHA-iterations path);
+* ``state_svc``   — stateful counter over WASI file read-modify-write
+  (the ``/state`` path; syscall-dominated).
+
+Each program's ``main`` handles one request batch end to end and prints
+a deterministic checksum, so the cross-engine agreement contract of the
+main suite applies unchanged.
+"""
+
+from .compute import BENCHMARK as COMPUTE_SVC
+from .hello import BENCHMARK as HELLO_SVC
+from .state import BENCHMARK as STATE_SVC
+
+SERVICE_BENCHMARKS = [HELLO_SVC, COMPUTE_SVC, STATE_SVC]
+
+__all__ = ["SERVICE_BENCHMARKS", "HELLO_SVC", "COMPUTE_SVC", "STATE_SVC"]

@@ -1,0 +1,73 @@
+"""``compute_svc``: CPU-bound request handler (hash iterations).
+
+Models the SHA-iterations endpoint of the edge-benchmark suites: each
+request runs ROUNDS of a mixing hash over a payload buffer derived from
+the request id.  Execution dominates instantiation, so this is the
+workload where warm reuse pays off least and engine code quality
+(JIT vs interpreter) shows most.
+"""
+
+from ..workload import Benchmark
+
+SOURCE = r"""
+unsigned char payload[PAYLOAD];
+
+void fill_payload(unsigned int request_id) {
+    unsigned int state = request_id * 2654435761u + 1u;
+    int i;
+    for (i = 0; i < PAYLOAD; i++) {
+        state ^= state << 13;
+        state ^= state >> 17;
+        state ^= state << 5;
+        payload[i] = (unsigned char)(state & 255u);
+    }
+}
+
+/* one mixing round over the payload (xorshift-folded, sha-like cost) */
+unsigned int mix_round(unsigned int h) {
+    int i;
+    for (i = 0; i < PAYLOAD; i++) {
+        h ^= (unsigned int)payload[i];
+        h *= 16777619u;
+        h ^= h >> 15;
+        h *= 2246822519u;
+        h ^= h >> 13;
+    }
+    return h;
+}
+
+unsigned int handle(unsigned int request_id) {
+    unsigned int h = 2166136261u;
+    int r;
+    fill_payload(request_id);
+    for (r = 0; r < ROUNDS; r++)
+        h = mix_round(h + (unsigned int)r);
+    return h;
+}
+
+int main(void) {
+    unsigned int check = 0u;
+    unsigned int req;
+    for (req = 0u; req < REQUESTS; req++)
+        check = check * 31u + handle(req);
+    print_s("compute_svc requests="); print_u((unsigned int)REQUESTS);
+    print_s(" rounds="); print_i(ROUNDS);
+    print_s(" check="); print_x(check);
+    print_nl();
+    return 0;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="compute_svc",
+    suite="service",
+    domain="Edge serving",
+    description="CPU-bound hash endpoint (execution-dominated)",
+    source=SOURCE,
+    defines={
+        "test": {"REQUESTS": "4u", "ROUNDS": "6", "PAYLOAD": "512"},
+        "small": {"REQUESTS": "16u", "ROUNDS": "16", "PAYLOAD": "1024"},
+        "ref": {"REQUESTS": "64u", "ROUNDS": "32", "PAYLOAD": "4096"},
+    },
+    traits=("integer", "compute-bound", "hashing"),
+)

@@ -1,0 +1,74 @@
+"""``hello_svc``: minimal HTTP-style "hello" responder.
+
+Models the lightest endpoint of the edge-benchmark suites: per request
+it formats a small JSON body plus a status line into a response buffer
+and folds the bytes into a running FNV-1a checksum.  Almost no compute —
+so in the serving tier its latency is dominated by instantiation, which
+is exactly what makes it the cold-start probe.
+"""
+
+from ..workload import Benchmark
+
+SOURCE = r"""
+char resp[512];
+
+/* append s at resp+n, returns new length */
+int emit_s(int n, char *s) {
+    int i = 0;
+    while (s[i] != 0) { resp[n] = s[i]; n++; i++; }
+    return n;
+}
+
+/* append unsigned decimal at resp+n, returns new length */
+int emit_u(int n, unsigned int v) {
+    char digits[12];
+    int k = 0;
+    if (v == 0u) { resp[n] = 48; return n + 1; }
+    while (v > 0u) { digits[k] = (char)(48u + v % 10u); v /= 10u; k++; }
+    while (k > 0) { k--; resp[n] = digits[k]; n++; }
+    return n;
+}
+
+int build_response(unsigned int request_id) {
+    int n = 0;
+    n = emit_s(n, "HTTP/1.1 200 OK\r\ncontent-type: application/json\r\n\r\n");
+    n = emit_s(n, "{\"hello\": \"world\", \"request\": ");
+    n = emit_u(n, request_id);
+    n = emit_s(n, "}\n");
+    return n;
+}
+
+int main(void) {
+    unsigned int check = 2166136261u;     /* FNV-1a offset basis */
+    unsigned int req;
+    int total = 0;
+    for (req = 0u; req < REQUESTS; req++) {
+        int len = build_response(req * 2654435761u % 100000u);
+        int i;
+        for (i = 0; i < len; i++) {
+            check ^= (unsigned int)(unsigned char)resp[i];
+            check *= 16777619u;
+        }
+        total += len;
+    }
+    print_s("hello_svc requests="); print_u((unsigned int)REQUESTS);
+    print_s(" bytes="); print_i(total);
+    print_s(" check="); print_x(check);
+    print_nl();
+    return 0;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="hello_svc",
+    suite="service",
+    domain="Edge serving",
+    description="Minimal HTTP hello responder (cold-start probe)",
+    source=SOURCE,
+    defines={
+        "test": {"REQUESTS": "2u"},
+        "small": {"REQUESTS": "64u"},
+        "ref": {"REQUESTS": "512u"},
+    },
+    traits=("integer", "short-running", "startup-dominated"),
+)

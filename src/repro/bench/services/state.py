@@ -1,0 +1,111 @@
+"""``state_svc``: stateful counter endpoint over WASI file I/O.
+
+Models the ``/state`` endpoint of the edge-benchmark suites: every
+request reads the counter file, parses it, increments, writes it back,
+and rewrites a single-slot access-log record.  The handler is syscall-dominated
+(path_open/fd_read/fd_write per request) — the WASI-heavy profile eWAPA
+identifies as the axis where server-side runtimes differ most.
+"""
+
+from ..workload import Benchmark
+
+SOURCE = r"""
+char buf[32];
+char line[64];
+
+/* parse an unsigned decimal from buf[0..n) */
+unsigned int parse_u(int n) {
+    unsigned int v = 0u;
+    int i;
+    for (i = 0; i < n; i++) {
+        int c = (int)buf[i];
+        if (c < 48 || c > 57) break;
+        v = v * 10u + (unsigned int)(c - 48);
+    }
+    return v;
+}
+
+/* format v as decimal into buf, returns length */
+int format_u(unsigned int v) {
+    char digits[12];
+    int k = 0, n = 0;
+    if (v == 0u) { buf[0] = 48; return 1; }
+    while (v > 0u) { digits[k] = (char)(48u + v % 10u); v /= 10u; k++; }
+    while (k > 0) { k--; buf[n] = digits[k]; n++; }
+    return n;
+}
+
+unsigned int read_counter(void) {
+    int fd = open_read("counter.txt");
+    int n;
+    unsigned int v;
+    if (fd < 0) return 0u;
+    n = read_bytes(fd, buf, 31);
+    close_fd(fd);
+    if (n < 0) return 0u;
+    return parse_u(n);
+}
+
+void write_counter(unsigned int v) {
+    int fd = open_write("counter.txt");
+    int n = format_u(v);
+    write_bytes(fd, buf, n);
+    close_fd(fd);
+}
+
+/* single-slot access log: open_write truncates, so each request pays
+   the full open/format/write/close syscall path */
+int write_log(unsigned int request_id, unsigned int value) {
+    int fd = open_write("access.log");
+    int n = 0, k, i;
+    char *prefix = "req ";
+    for (i = 0; prefix[i] != 0; i++) { line[n] = prefix[i]; n++; }
+    k = format_u(request_id);
+    for (i = 0; i < k; i++) { line[n] = buf[i]; n++; }
+    line[n] = 32; n++;
+    k = format_u(value);
+    for (i = 0; i < k; i++) { line[n] = buf[i]; n++; }
+    line[n] = 10; n++;
+    write_bytes(fd, line, n);
+    close_fd(fd);
+    return n;
+}
+
+int main(void) {
+    unsigned int check = 2166136261u;
+    unsigned int req, value = 0u;
+    int log_bytes = 0;
+    for (req = 0u; req < REQUESTS; req++) {
+        value = read_counter() + 1u;
+        write_counter(value);
+        log_bytes += write_log(req, value);
+        check = (check ^ value) * 16777619u;
+    }
+    print_s("state_svc requests="); print_u((unsigned int)REQUESTS);
+    print_s(" counter="); print_u(value);
+    print_s(" log_bytes="); print_i(log_bytes);
+    print_s(" check="); print_x(check);
+    print_nl();
+    return 0;
+}
+"""
+
+
+def _files(size):
+    return {"counter.txt": b"0"}
+
+
+BENCHMARK = Benchmark(
+    name="state_svc",
+    suite="service",
+    domain="Edge serving",
+    description="Stateful counter endpoint (WASI syscall-dominated)",
+    source=SOURCE,
+    defines={
+        "test": {"REQUESTS": "6u"},
+        "small": {"REQUESTS": "48u"},
+        "ref": {"REQUESTS": "384u"},
+    },
+    files=_files,
+    traits=("integer", "file-input", "wasi-heavy", "stateful"),
+)

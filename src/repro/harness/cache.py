@@ -50,6 +50,10 @@ class CacheStats:
     hits: Dict[str, int] = field(default_factory=dict)
     misses: Dict[str, int] = field(default_factory=dict)
     recompute_seconds: float = 0.0
+    #: True when a --jobs>1 run had to fall back to serial execution
+    #: (worker pool could not start); surfaced in reports so a silently
+    #: slower run is never mistaken for a parallel one.
+    parallel_fallback: bool = False
 
     def hit(self, kind: str) -> None:
         self.hits[kind] = self.hits.get(kind, 0) + 1
@@ -64,6 +68,8 @@ class CacheStats:
         for kind, n in other.misses.items():
             self.misses[kind] = self.misses.get(kind, 0) + n
         self.recompute_seconds += other.recompute_seconds
+        self.parallel_fallback = (self.parallel_fallback or
+                                  other.parallel_fallback)
 
     @property
     def total_hits(self) -> int:
@@ -79,14 +85,17 @@ class CacheStats:
 
     def to_dict(self) -> Dict[str, object]:
         return {"hits": dict(self.hits), "misses": dict(self.misses),
-                "recompute_seconds": self.recompute_seconds}
+                "recompute_seconds": self.recompute_seconds,
+                "parallel_fallback": self.parallel_fallback}
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "CacheStats":
         return cls(hits=dict(data.get("hits", {})),
                    misses=dict(data.get("misses", {})),
                    recompute_seconds=float(
-                       data.get("recompute_seconds", 0.0)))
+                       data.get("recompute_seconds", 0.0)),
+                   parallel_fallback=bool(
+                       data.get("parallel_fallback", False)))
 
 
 class ArtifactCache:
@@ -174,8 +183,15 @@ class ArtifactCache:
             return None
         try:
             return pickle.loads(payload)
-        except Exception:
+        except (pickle.UnpicklingError, EOFError, ValueError):
+            # Genuinely corrupt payload: evict so it is rebuilt.
             self._evict(self._path(key))
+            return None
+        except (AttributeError, ImportError):
+            # The payload is intact but references classes this process
+            # cannot resolve (version skew, refactored module).  Treat as
+            # a miss without evicting: another harness version may still
+            # read it, and rebuilding under the same key overwrites it.
             return None
 
     def put_pickle(self, key: str, value: object) -> None:

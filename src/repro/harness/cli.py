@@ -27,6 +27,16 @@ divergences optionally minimized to corpus reproducers::
     wabench fuzz --seed 42 --budget 50 --jobs 4
     wabench fuzz --seed 42 --budget 50 --minimize --corpus-dir corpus
 
+``wabench serve`` sweeps the modeled edge/serverless serving grid
+(:mod:`repro.serve`): service workloads x engines x execution models
+(spawn-per-request, warm reuse, instance pool) x concurrency levels,
+reporting cold-start latency, p50/p90/p99, sustained RPS, scaling
+efficiency, and modeled memory.  The JSON report is deterministic and
+CI-diffed against ``SERVE_golden.json``::
+
+    wabench serve --seed 0
+    wabench serve --modes pool --pool-size 2 --json serve.json
+
 ``wabench audit`` statically audits every suite module (interprocedural
 call graph, static cost model cross-checked against one instrumented
 run, lint diagnostics WA001..WA008) and gates the findings against the
@@ -44,10 +54,11 @@ import os
 import sys
 from typing import List, Optional
 
-from ..bench import ALL_BENCHMARKS, names
+from ..bench import ALL_BENCHMARKS, names, service_names
 from ..errors import HarnessError
 from ..hw import MachineConfig
 from ..obs import Stopwatch, Tracer, write_trace
+from ..registry import SERVE_MODES, WASMER_BACKEND_ENGINES, is_engine_name
 from .cache import default_cache_dir
 from .experiments import EXPERIMENTS
 from .report import phase_table, render_cache_stats
@@ -99,6 +110,25 @@ def _reject_benchmarks_flag(args, command: str) -> int:
           "(fig1..fig14, table4, table5, metrics, all)",
           file=sys.stderr)
     return 2
+
+
+def _validate_args(args) -> None:
+    """Reject mutually-inconsistent or out-of-range flags with a
+    one-line :class:`HarnessError` (exit 1), never a traceback."""
+    if getattr(args, "jobs", 1) < 1:
+        raise HarnessError(f"--jobs must be >= 1 (got {args.jobs})")
+    if getattr(args, "opt", 2) not in (0, 1, 2, 3):
+        raise HarnessError(f"-O must be 0..3 (got {args.opt})")
+    runtime = getattr(args, "runtime", None)
+    if runtime is not None:
+        if not is_engine_name(runtime):
+            raise HarnessError(
+                f"unknown runtime {runtime!r}; choose from "
+                f"{', '.join(ENGINES + WASMER_BACKEND_ENGINES)}")
+        if runtime == "native" and getattr(args, "aot", False):
+            raise HarnessError(
+                "AOT does not apply to native execution "
+                "(drop --aot or pick a Wasm runtime)")
 
 
 def _cmd_run(args) -> int:
@@ -167,6 +197,94 @@ def _cmd_trace(args) -> int:
             f.write(text + "\n")
         print(f"wrote {path}")
     if args.trace:
+        _export_trace(args, tracer)
+    return 0
+
+
+def _split_csv(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _validate_serve_args(args) -> dict:
+    """Parse + validate the serve grid flags into run_serve kwargs."""
+    if args.benchmarks:
+        raise HarnessError("serve selects workloads with --workloads, "
+                           "not --benchmarks")
+    workloads = _split_csv(args.workloads)
+    known = set(names()) | set(service_names())
+    for workload in workloads:
+        if workload not in known:
+            raise HarnessError(
+                f"unknown workload {workload!r}; services: "
+                f"{', '.join(service_names())}")
+    engines = _split_csv(args.engines)
+    for engine in engines:
+        if not is_engine_name(engine):
+            raise HarnessError(
+                f"unknown engine {engine!r}; choose from "
+                f"{', '.join(ENGINES + WASMER_BACKEND_ENGINES)}")
+    modes = _split_csv(args.modes)
+    for mode in modes:
+        if mode not in SERVE_MODES:
+            raise HarnessError(f"unknown serve mode {mode!r}; choose "
+                               f"from {', '.join(SERVE_MODES)}")
+    try:
+        concurrency = [int(c) for c in _split_csv(args.concurrency)]
+    except ValueError:
+        raise HarnessError(
+            f"--concurrency must be comma-separated integers "
+            f"(got {args.concurrency!r})")
+    if not workloads or not engines or not modes or not concurrency:
+        raise HarnessError("serve needs at least one workload, engine, "
+                           "mode, and concurrency level")
+    if any(c < 1 for c in concurrency):
+        raise HarnessError("--concurrency levels must be >= 1")
+    if args.requests < 1:
+        raise HarnessError(f"--requests must be >= 1 "
+                           f"(got {args.requests})")
+    if not 0.0 < args.utilization <= 1.0:
+        raise HarnessError(f"--utilization must be in (0, 1] "
+                           f"(got {args.utilization})")
+    if args.pool_size is not None and args.pool_size < 1:
+        raise HarnessError(f"--pool-size must be >= 1 "
+                           f"(got {args.pool_size})")
+    if args.pool_size is not None and "pool" not in modes:
+        raise HarnessError("--pool-size only applies to the pool mode; "
+                           "add pool to --modes or drop the flag")
+    if args.idle_timeout_ms is not None and args.idle_timeout_ms < 0:
+        raise HarnessError("--idle-timeout-ms must be >= 0")
+    return dict(workloads=workloads, engines=engines, modes=modes,
+                concurrency_levels=concurrency, seed=args.seed,
+                requests=args.requests, utilization=args.utilization,
+                pool_size=args.pool_size,
+                idle_timeout_ms=args.idle_timeout_ms)
+
+
+def _cmd_serve(args) -> int:
+    """Modeled serving grid: ``wabench serve`` (see repro.serve)."""
+    from ..serve import render_report, report_json, run_serve
+
+    grid = _validate_serve_args(args)
+    tracer = Tracer() if args.trace else None
+    harness = _make_harness(args, benchmarks=grid["workloads"],
+                            tracer=tracer)
+    watch = Stopwatch()
+    report = run_serve(harness, jobs=args.jobs, **grid)
+    text = render_report(report)
+    print(text, end="")
+    print(render_cache_stats(harness.cache_stats,
+                             wall_seconds=watch.seconds))
+    if args.json:
+        path = _resolve_out(args, args.json)
+        with open(path, "w") as f:
+            f.write(report_json(report))
+        print(f"wrote {path}")
+    if args.out and not args.json:
+        path = _resolve_out(args, "serve.txt")
+        with open(path, "w") as f:
+            f.write(text)
+        print(f"wrote {path}")
+    if tracer is not None:
         _export_trace(args, tracer)
     return 0
 
@@ -325,7 +443,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub.add_parser("list", help="list the 50 benchmarks")
 
     run_p = sub.add_parser("run", help="run one benchmark")
-    run_p.add_argument("benchmark", choices=names())
+    run_p.add_argument("benchmark", choices=names() + service_names())
     run_p.add_argument("--runtime", default=None,
                        help="native|wasmtime|wavm|wasmer|wasm3|wamr|"
                             "wasmer-<backend> (default: all)")
@@ -336,13 +454,55 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     trace_p = sub.add_parser(
         "trace", help="per-phase modeled-time breakdown of one benchmark")
-    trace_p.add_argument("benchmark", choices=names())
+    trace_p.add_argument("benchmark", choices=names() + service_names())
     trace_p.add_argument("--runtime", default=None,
                          help="native|wasmtime|wavm|wasmer|wasm3|wamr|"
                               "wasmer-<backend> (default: all)")
     trace_p.add_argument("--aot", action="store_true")
     trace_p.add_argument("--trace", default=None, metavar="PATH",
                          help="also write the JSONL trace file")
+
+    serve_p = sub.add_parser(
+        "serve", help="modeled edge/serverless serving grid: cold/warm/"
+                      "pooled instances, latency percentiles, RPS")
+    serve_p.add_argument("--seed", type=int, default=0,
+                         help="arrival-process base seed (default: 0)")
+    serve_p.add_argument("--workloads",
+                         default="hello_svc,compute_svc,state_svc",
+                         help="comma-separated service workloads "
+                              "(default: hello_svc,compute_svc,"
+                              "state_svc)")
+    serve_p.add_argument("--engines", default="wasmtime,wasm3",
+                         help="comma-separated engines "
+                              "(default: wasmtime,wasm3)")
+    serve_p.add_argument("--modes", default="spawn,warm,pool",
+                         help="execution models to sweep "
+                              "(default: spawn,warm,pool)")
+    serve_p.add_argument("--concurrency", default="1,4,16",
+                         help="comma-separated concurrency levels "
+                              "(default: 1,4,16)")
+    serve_p.add_argument("--requests", type=int, default=200,
+                         metavar="N",
+                         help="requests simulated per cell "
+                              "(default: 200)")
+    serve_p.add_argument("--utilization", type=float, default=0.8,
+                         metavar="U",
+                         help="offered load as a fraction of cell "
+                              "capacity, in (0, 1] (default: 0.8)")
+    serve_p.add_argument("--pool-size", type=int, default=None,
+                         metavar="N",
+                         help="pool-mode instances (default: "
+                              "concurrency // 2, min 1)")
+    serve_p.add_argument("--idle-timeout-ms", type=float, default=10.0,
+                         metavar="MS",
+                         help="pool-mode idle expiry before an instance "
+                              "must cold-start again (default: 10.0)")
+    serve_p.add_argument("--json", default=None, metavar="PATH",
+                         help="write the canonical wabench-serve/1 "
+                              "report (the CI-diffed artifact)")
+    serve_p.add_argument("--trace", default=None, metavar="PATH",
+                         help="write a JSONL model-time trace with one "
+                              "span per simulated request")
 
     audit_p = sub.add_parser(
         "audit", help="static audit of the suite (call graph, cost "
@@ -383,8 +543,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="do not read or write the on-disk "
                             "artifact cache")
     # The committed audit baseline is generated at the test size, so the
-    # gate defaults to it (every other command defaults to small).
+    # gate defaults to it (every other command defaults to small); same
+    # for the serve golden (SERVE_golden.json).
     audit_p.set_defaults(size="test")
+    serve_p.set_defaults(size="test")
 
     fuzz_p = sub.add_parser(
         "fuzz", help="differential fuzzing across engines and -O levels")
@@ -424,12 +586,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "list":
             return _cmd_list(args)
+        _validate_args(args)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
         if args.command == "run":
             return _cmd_run(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "audit":
             return _cmd_audit(args)
         if args.command == "all":

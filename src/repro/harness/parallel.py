@@ -13,6 +13,7 @@ function of the cache key, parallel output is byte-identical to serial.
 from __future__ import annotations
 
 import os
+import sys
 from typing import List, Optional, Sequence, Tuple
 
 from ..errors import HarnessError
@@ -130,7 +131,14 @@ def run_cells(harness, cells: Sequence[Cell], jobs: int = 1) -> None:
             max_workers=min(jobs, len(pending), os.cpu_count() or 1),
             initializer=_worker_init,
             initargs=(harness.size, harness.default_opt, cache_dir))
-    except (ImportError, OSError, PermissionError):
+    except (ImportError, OSError, PermissionError) as exc:
+        # Results are byte-identical either way, but a silent fallback
+        # makes --jobs look slow for no visible reason — say so once and
+        # flag it in the report.
+        print(f"wabench: warning: --jobs {jobs} unavailable "
+              f"({type(exc).__name__}: {exc}); running serially",
+              file=sys.stderr)
+        harness.cache_stats.parallel_fallback = True
         for name, engine, opt, aot in pending:
             harness.run(name, engine, opt=opt, aot=aot)
         return

@@ -8,6 +8,21 @@ from typing import List, Optional, Sequence
 from .cache import CacheStats
 
 
+def percentile_nearest_rank(sorted_values: Sequence[int], pct: int) -> int:
+    """Nearest-rank percentile of pre-sorted integer samples.
+
+    Nearest-rank (ceil(p/100 * n), 1-indexed) always returns an observed
+    sample — no interpolation, no floats — so percentile reports built
+    from modeled integer cycles stay byte-identical across platforms.
+    """
+    if not sorted_values:
+        raise ValueError("percentile of empty sample")
+    if not 0 < pct <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {pct}")
+    rank = -(-pct * len(sorted_values) // 100)    # ceil division
+    return sorted_values[rank - 1]
+
+
 @dataclass
 class Table:
     """One rendered experiment artifact (a paper table or figure's data)."""
@@ -122,4 +137,6 @@ def render_cache_stats(stats: CacheStats,
             f"{stats.recompute_seconds:.1f}s recomputing misses")
     if wall_seconds is not None:
         line += f" (wall {wall_seconds:.1f}s)"
+    if stats.parallel_fallback:
+        line += " [parallel fallback: ran serial]"
     return line

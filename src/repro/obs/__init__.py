@@ -27,7 +27,8 @@ emits through it instead of keeping ad-hoc accounting:
 from .export import (TRACE_SCHEMA, TraceSchemaError, phase_cycles,
                      root_span, trace_lines, validate_trace, write_trace)
 from .metrics import CallStats, MetricRegistry
-from .spans import NULL_BUILDER, NullTraceBuilder, TraceBuilder
+from .spans import (NULL_BUILDER, NullTraceBuilder, TimelineBuilder,
+                    TraceBuilder)
 from .timing import Stopwatch, wall_clock
 from .tracer import NULL_TRACER, NullTracer, TracedRun, Tracer
 
@@ -35,7 +36,7 @@ __all__ = [
     "TRACE_SCHEMA", "TraceSchemaError", "phase_cycles", "root_span",
     "trace_lines", "validate_trace", "write_trace",
     "CallStats", "MetricRegistry",
-    "NULL_BUILDER", "NullTraceBuilder", "TraceBuilder",
+    "NULL_BUILDER", "NullTraceBuilder", "TimelineBuilder", "TraceBuilder",
     "Stopwatch", "wall_clock",
     "NULL_TRACER", "NullTracer", "TracedRun", "Tracer",
 ]

@@ -74,6 +74,52 @@ class TraceBuilder:
         return list(self._records)
 
 
+class TimelineBuilder:
+    """Span records on an explicit model-time clock.
+
+    :class:`TraceBuilder` *observes* live counters around work as it
+    happens; the serving simulator (:mod:`repro.serve`) instead *replays*
+    measured per-phase costs on a simulated request timeline, so it knows
+    every span's interval and event counts up front.  This builder emits
+    records of exactly the same shape (TRACING.md span schema), so serve
+    traces validate and render through the same export machinery.
+    """
+
+    _COUNT_FIELDS = ("instructions", "branches", "branch_misses",
+                     "stall_cycles")
+
+    def __init__(self):
+        self._records: List[Dict] = []
+
+    def add(self, name: str, parent: Optional[int],
+            cycles_start: int, cycles_end: int,
+            instructions: int = 0, branches: int = 0,
+            branch_misses: int = 0, stall_cycles: int = 0,
+            **attrs) -> Dict:
+        """Append one closed span; returns the record (its ``id`` is the
+        append index, so parents must be added before their children)."""
+        if cycles_end < cycles_start:
+            raise ValueError(f"span {name!r} closes before it opens")
+        record: Dict = {
+            "span": name,
+            "id": len(self._records),
+            "parent": parent,
+            "cycles_start": int(cycles_start),
+            "cycles_end": int(cycles_end),
+            "instructions": int(instructions),
+            "branches": int(branches),
+            "branch_misses": int(branch_misses),
+            "stall_cycles": int(stall_cycles),
+        }
+        if attrs:
+            record["attrs"] = dict(attrs)
+        self._records.append(record)
+        return record
+
+    def records(self) -> List[Dict]:
+        return list(self._records)
+
+
 class NullTraceBuilder:
     """No-op builder: the default ``cpu.trace`` outside a pipeline.
 

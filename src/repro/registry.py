@@ -46,6 +46,17 @@ DEFAULT_FUZZ_ENGINES: Tuple[str, ...] = ("native", "wamr", "wasm3",
 PIPELINE_PHASES: Tuple[str, ...] = ("spawn", "decode", "validate", "load",
                                     "instantiate", "execute", "teardown")
 
+#: The serving tier's execution models (see ``repro.serve``): cold
+#: instantiate per request, one warm instance per worker, or a bounded
+#: instance pool with idle expiry.
+SERVE_MODES: Tuple[str, ...] = ("spawn", "warm", "pool")
+
+#: Pipeline phases whose cost a cold start pays before the first
+#: request byte can be served (everything up to and including
+#: instantiation; ``execute`` is the request itself).
+COLD_START_PHASES: Tuple[str, ...] = ("spawn", "decode", "validate", "load",
+                                      "instantiate")
+
 
 def base_engine(name: str) -> str:
     """Strip an ``-aot`` suffix: the runtime that executes the cell."""

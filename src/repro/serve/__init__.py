@@ -1,0 +1,45 @@
+"""``repro.serve`` — modeled edge/serverless serving tier.
+
+The paper's cold-start and memory-footprint numbers matter because
+standalone Wasm runtimes are pitched as *serverless instance engines*:
+the unit of deployment is "instantiate a module per request" (or keep a
+warm pool of instances), so startup latency and per-instance RSS decide
+whether the model works.  This package closes that loop: it takes the
+phase-resolved cost profiles the instrumented
+:class:`~repro.runtimes.base.RunPipeline` already measures and plays
+request traffic against them under the three serving disciplines real
+platforms use — spawn-per-request, warm reuse, and a bounded instance
+pool — reporting cold-start latency, warm p50/p90/p99, sustained RPS,
+scaling efficiency, and modeled memory per concurrency level.
+
+Everything is simulated in deterministic model time (integer cycles):
+``wabench serve --seed 0`` is byte-identical across repeated runs, cold
+vs warm artifact caches, and ``--jobs`` fan-out, which is what lets CI
+diff its report against a committed golden.
+
+Layout:
+
+* :mod:`~repro.serve.profile` — per-(workload, engine) cost extraction
+  from measured span trees (cold / reset / execute + RSS);
+* :mod:`~repro.serve.arrivals` — seeded open-loop arrival process
+  (integer-quantized exponential sampler; no libm at sample time);
+* :mod:`~repro.serve.simulator` — the G/G/c-style event loop for the
+  three execution models, plus per-request span emission;
+* :mod:`~repro.serve.report` — the ``wabench-serve/1`` JSON document
+  and rendered latency/scaling/memory tables;
+* :mod:`~repro.serve.driver` — ``wabench serve`` orchestration.
+"""
+
+from .arrivals import arrival_times, interarrival_cycles
+from .driver import cell_seed, run_serve
+from .profile import CostProfile, PhaseCost, profiles_from_harness
+from .report import SERVE_SCHEMA, build_report, render_report, report_json
+from .simulator import CellSim, SimRequest, cell_spans, simulate_cell
+
+__all__ = [
+    "arrival_times", "interarrival_cycles",
+    "cell_seed", "run_serve",
+    "CostProfile", "PhaseCost", "profiles_from_harness",
+    "SERVE_SCHEMA", "build_report", "render_report", "report_json",
+    "CellSim", "SimRequest", "cell_spans", "simulate_cell",
+]

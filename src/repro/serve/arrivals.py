@@ -1,0 +1,50 @@
+"""Seeded open-loop arrival process for the serving simulator.
+
+Requests arrive on a Poisson-like process that is *open-loop*: arrival
+times never depend on completions, so overload shows up as growing
+queueing delay (the serverless "cold-start storm" signature) instead of
+being hidden by client back-pressure.
+
+Determinism is a hard requirement (serve reports are byte-compared in
+CI across machines), so the exponential sampler avoids ``math.log`` at
+sample time: libm functions are not correctly-rounded and may differ in
+the last ulp across platforms.  Instead we precompute a 4096-bucket
+inverse-CDF table *quantized to integer millionths* — coarse enough
+that a sub-ulp libm difference cannot change any table entry — and all
+per-sample arithmetic is pure integer math on Mersenne-Twister bits,
+which are bit-exact everywhere.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+_BUCKET_BITS = 12
+_BUCKETS = 1 << _BUCKET_BITS
+_SCALE = 1_000_000
+
+#: Inverse CDF of Exp(1) at the bucket midpoints, in millionths.
+#: Mean of the table is ~1e6 (i.e. 1.0), so ``mean_cycles`` below is the
+#: true mean interarrival up to quantization.
+_EXP_MICRO = tuple(
+    int(round(-math.log(1.0 - (k + 0.5) / _BUCKETS) * _SCALE))
+    for k in range(_BUCKETS))
+
+
+def interarrival_cycles(rng: random.Random, mean_cycles: int) -> int:
+    """One exponential interarrival gap, in whole cycles (>= 1)."""
+    quantile = _EXP_MICRO[rng.getrandbits(_BUCKET_BITS)]
+    return max(1, (mean_cycles * quantile) // _SCALE)
+
+
+def arrival_times(seed: int, mean_cycles: int, count: int) -> List[int]:
+    """``count`` cumulative arrival times (cycles), open-loop, seeded."""
+    rng = random.Random(seed)
+    times: List[int] = []
+    now = 0
+    for _ in range(count):
+        now += interarrival_cycles(rng, mean_cycles)
+        times.append(now)
+    return times

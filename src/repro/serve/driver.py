@@ -1,0 +1,106 @@
+"""Orchestration for ``wabench serve``: profiles -> simulation -> report.
+
+One :func:`run_serve` call measures a cost profile per (workload,
+engine) through the shared harness (cached, optionally prewarmed across
+``--jobs`` workers), sweeps the (mode x concurrency) grid through the
+simulator, records one synthetic traced run per cell on the harness's
+tracer, and returns the ``wabench-serve/1`` report document.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Sequence
+
+from ..hw import MachineConfig
+from ..runtimes import RunResult
+from .profile import profiles_from_harness
+from .report import build_report
+from .simulator import CellSim, cell_spans, simulate_cell
+
+
+def cell_seed(seed: int, workload: str, engine: str, mode: str,
+              concurrency: int) -> int:
+    """Independent per-cell arrival seed, derived (not shared) so cells
+    never see correlated arrival streams yet stay reproducible."""
+    tag = f"{seed}|{workload}|{engine}|{mode}|{concurrency}"
+    return int.from_bytes(
+        hashlib.sha256(tag.encode()).digest()[:8], "big")
+
+
+def run_serve(harness, *, workloads: Sequence[str],
+              engines: Sequence[str], modes: Sequence[str],
+              concurrency_levels: Sequence[int], seed: int = 0,
+              requests: int = 200, utilization: float = 0.8,
+              pool_size: Optional[int] = None,
+              idle_timeout_ms: Optional[float] = 10.0,
+              jobs: int = 1,
+              machine: Optional[MachineConfig] = None) -> Dict:
+    """Run the full serving grid; returns the report document."""
+    machine = machine or MachineConfig()
+    idle_timeout_cycles = None if idle_timeout_ms is None else \
+        int(idle_timeout_ms * machine.frequency_hz / 1000)
+
+    if jobs > 1:
+        cells = [(w, e, harness.default_opt, False)
+                 for w in workloads for e in engines]
+        harness.prewarm(cells, jobs=jobs)
+    profiles = profiles_from_harness(harness, workloads, engines)
+
+    sims: List[CellSim] = []
+    for workload in workloads:
+        for engine in engines:
+            profile = profiles[(workload, engine)]
+            for mode in modes:
+                for concurrency in concurrency_levels:
+                    sim = simulate_cell(
+                        profile, mode, concurrency,
+                        seed=cell_seed(seed, workload, engine, mode,
+                                       concurrency),
+                        requests=requests, utilization=utilization,
+                        pool_size=pool_size,
+                        idle_timeout_cycles=idle_timeout_cycles)
+                    sims.append(sim)
+                    _record_cell(harness, profile, sim, machine)
+
+    meta = {
+        "seed": seed,
+        "requests": requests,
+        "utilization": utilization,
+        "size": harness.size,
+        "opt": harness.default_opt,
+        "workloads": list(workloads),
+        "engines": list(engines),
+        "modes": list(modes),
+        "concurrency": list(concurrency_levels),
+        "pool_size": pool_size,
+        "idle_timeout_ms": idle_timeout_ms,
+        "frequency_hz": machine.frequency_hz,
+        "parallel_fallback": harness.cache_stats.parallel_fallback,
+    }
+    return build_report(profiles, sims, meta=meta,
+                        to_seconds=machine.cycles_to_seconds)
+
+
+def _record_cell(harness, profile, sim: CellSim,
+                 machine: MachineConfig) -> None:
+    """Register the cell on the session tracer as one synthetic run whose
+    span tree is the simulated request timeline — ``--trace`` output then
+    flows through the ordinary wabench-trace/1 exporter."""
+    trace = cell_spans(profile, sim)
+    root = trace[0]
+    result = RunResult(
+        runtime=sim.engine,
+        stdout=b"",
+        exit_code=0,
+        trap=None,
+        seconds=machine.cycles_to_seconds(sim.makespan),
+        cycles=sim.makespan,
+        mrss_bytes=sim.busy_peak * profile.mrss_bytes,
+        counters={"instructions": float(root["instructions"])},
+        trace=trace)
+    harness.tracer.record_run(
+        {"bench": sim.workload, "engine": sim.engine,
+         "opt": harness.default_opt, "aot": False, "size": harness.size,
+         "serve_mode": sim.mode, "concurrency": sim.concurrency},
+        result)

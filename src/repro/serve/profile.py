@@ -1,0 +1,122 @@
+"""Per-engine request cost profiles, extracted from measured runs.
+
+The serving simulator never re-executes a module: one instrumented
+:class:`~repro.runtimes.base.RunPipeline` run per (workload, engine)
+supplies everything it needs, read straight off the run's model-time
+span tree.  The three serving costs are:
+
+* **cold** — every pipeline phase up to and including ``instantiate``
+  (:data:`repro.registry.COLD_START_PHASES`): what a spawn-per-request
+  or pool-miss request pays before its handler can run;
+* **reset** — the ``instantiate`` phase alone: warm reuse keeps the
+  decoded/compiled module and re-initializes instance state (memory,
+  globals) between requests;
+* **execute** — the ``execute`` phase: one request's handler work.
+
+Because the span tree is a pure function of the run configuration, so
+is every profile — which is what makes serve reports byte-identical
+across cold caches, warm caches, and ``--jobs`` fan-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..errors import HarnessError
+from ..obs import root_span
+from ..registry import COLD_START_PHASES
+
+#: Event counters carried per phase (the TRACING.md span count fields).
+COUNT_FIELDS = ("instructions", "branches", "branch_misses", "stall_cycles")
+
+
+@dataclass(frozen=True)
+class PhaseCost:
+    """Modeled cycles + event counts of one serving cost component."""
+
+    cycles: int = 0
+    instructions: int = 0
+    branches: int = 0
+    branch_misses: int = 0
+    stall_cycles: int = 0
+
+    def __add__(self, other: "PhaseCost") -> "PhaseCost":
+        return PhaseCost(
+            cycles=self.cycles + other.cycles,
+            instructions=self.instructions + other.instructions,
+            branches=self.branches + other.branches,
+            branch_misses=self.branch_misses + other.branch_misses,
+            stall_cycles=self.stall_cycles + other.stall_cycles)
+
+    @classmethod
+    def from_span(cls, record: Dict) -> "PhaseCost":
+        return cls(
+            cycles=record["cycles_end"] - record["cycles_start"],
+            instructions=record["instructions"],
+            branches=record["branches"],
+            branch_misses=record["branch_misses"],
+            stall_cycles=record["stall_cycles"])
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """Everything the simulator needs about one (workload, engine)."""
+
+    workload: str
+    engine: str
+    cold: PhaseCost
+    reset: PhaseCost
+    execute: PhaseCost
+    mrss_bytes: int
+
+    @property
+    def cold_latency_cycles(self) -> int:
+        """Unqueued cold-request latency: full startup + one execution."""
+        return self.cold.cycles + self.execute.cycles
+
+    @property
+    def warm_latency_cycles(self) -> int:
+        """Unqueued warm-request latency: reset + one execution."""
+        return self.reset.cycles + self.execute.cycles
+
+    @classmethod
+    def from_result(cls, workload: str, engine: str,
+                    result) -> "CostProfile":
+        """Build a profile from a :class:`RunResult`'s span tree."""
+        root = root_span(result.trace)
+        if root is None:
+            raise HarnessError(
+                f"{workload} on {engine}: run result carries no span "
+                "tree; serve profiles need an instrumented pipeline run")
+        by_phase: Dict[str, PhaseCost] = {}
+        for record in result.trace:
+            if record.get("parent") == root["id"]:
+                cost = PhaseCost.from_span(record)
+                prior = by_phase.get(record["span"])
+                by_phase[record["span"]] = \
+                    cost if prior is None else prior + cost
+        cold = PhaseCost()
+        for phase in COLD_START_PHASES:
+            cold = cold + by_phase.get(phase, PhaseCost())
+        return cls(
+            workload=workload,
+            engine=engine,
+            cold=cold,
+            reset=by_phase.get("instantiate", PhaseCost()),
+            execute=by_phase.get("execute", PhaseCost()),
+            mrss_bytes=result.mrss_bytes)
+
+
+def profiles_from_harness(harness, workloads: Sequence[str],
+                          engines: Sequence[str]
+                          ) -> Dict[tuple, CostProfile]:
+    """One measured profile per (workload, engine), via the harness's
+    cached :meth:`~repro.harness.runner.Harness.run`."""
+    out: Dict[tuple, CostProfile] = {}
+    for workload in workloads:
+        for engine in engines:
+            result = harness.run(workload, engine)
+            out[(workload, engine)] = CostProfile.from_result(
+                workload, engine, result)
+    return out

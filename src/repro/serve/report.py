@@ -1,0 +1,169 @@
+"""Serve report: canonical JSON + rendered tables for ``wabench serve``.
+
+The JSON document (schema ``wabench-serve/1``) is the CI contract: it is
+byte-compared against a committed golden, so everything in it must be a
+pure function of the run configuration.  All primary quantities are
+integer cycles straight out of the simulator; derived seconds/RPS floats
+are computed from those integers in one place here, which keeps them
+reproducible too (same ints, same float ops, same bytes).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from ..harness.report import Table, percentile_nearest_rank
+from .profile import CostProfile
+from .simulator import CellSim
+
+SERVE_SCHEMA = "wabench-serve/1"
+
+
+def _us(cycles: int, to_seconds) -> float:
+    return round(to_seconds(cycles) * 1e6, 3)
+
+
+def build_report(profiles: Dict[tuple, CostProfile],
+                 sims: Sequence[CellSim], *, meta: Dict,
+                 to_seconds) -> Dict:
+    """Assemble the ``wabench-serve/1`` report document."""
+    profile_rows = []
+    for (workload, engine) in sorted(profiles):
+        prof = profiles[(workload, engine)]
+        profile_rows.append({
+            "workload": workload,
+            "engine": engine,
+            "cold_cycles": prof.cold.cycles,
+            "reset_cycles": prof.reset.cycles,
+            "execute_cycles": prof.execute.cycles,
+            "cold_latency_us": _us(prof.cold_latency_cycles, to_seconds),
+            "warm_latency_us": _us(prof.warm_latency_cycles, to_seconds),
+            "rss_per_instance_bytes": prof.mrss_bytes,
+        })
+
+    cells = []
+    for sim in sims:
+        latencies = sorted(sim.latencies)
+        prof = profiles[(sim.workload, sim.engine)]
+        makespan_s = to_seconds(sim.makespan)
+        cells.append({
+            "workload": sim.workload,
+            "engine": sim.engine,
+            "mode": sim.mode,
+            "concurrency": sim.concurrency,
+            "slots": sim.slots,
+            "seed": sim.seed,
+            "requests": len(sim.requests),
+            "mean_interarrival_cycles": sim.mean_interarrival,
+            "cold_start_us": _us(prof.cold_latency_cycles, to_seconds),
+            "p50_us": _us(percentile_nearest_rank(latencies, 50),
+                          to_seconds),
+            "p90_us": _us(percentile_nearest_rank(latencies, 90),
+                          to_seconds),
+            "p99_us": _us(percentile_nearest_rank(latencies, 99),
+                          to_seconds),
+            "rps": round(len(sim.requests) / makespan_s, 1)
+            if makespan_s else 0.0,
+            "makespan_cycles": sim.makespan,
+            "cold_starts": sim.cold_starts,
+            "warm_hits": sim.warm_hits,
+            "expirations": sim.expirations,
+            "queued": sim.queued,
+            "queue_peak": sim.queue_peak,
+            "max_wait_us": _us(sim.max_wait, to_seconds),
+            "instances_used": sim.instances_used,
+            "busy_peak": sim.busy_peak,
+            "rss_per_instance_bytes": prof.mrss_bytes,
+            "modeled_peak_rss_bytes": sim.busy_peak * prof.mrss_bytes,
+        })
+
+    _add_scaling_efficiency(cells)
+    return {
+        "schema": SERVE_SCHEMA,
+        "meta": dict(meta),
+        "profiles": profile_rows,
+        "cells": cells,
+    }
+
+
+def _add_scaling_efficiency(cells: List[Dict]) -> None:
+    """Per-cell ``scaling_efficiency``: throughput gain over the group's
+    lowest concurrency level, normalized by the concurrency ratio (1.0 =
+    perfect linear scaling)."""
+    base: Dict[tuple, Dict] = {}
+    for cell in cells:
+        key = (cell["workload"], cell["engine"], cell["mode"])
+        if key not in base or \
+                cell["concurrency"] < base[key]["concurrency"]:
+            base[key] = cell
+    for cell in cells:
+        anchor = base[(cell["workload"], cell["engine"], cell["mode"])]
+        ratio = cell["concurrency"] / anchor["concurrency"]
+        cell["scaling_efficiency"] = round(
+            (cell["rps"] / anchor["rps"]) / ratio, 3) \
+            if anchor["rps"] and ratio else 0.0
+
+
+def report_json(report: Dict) -> str:
+    """Canonical serialization — the byte-compared CI artifact."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def render_report(report: Dict) -> str:
+    """Human tables: latency grid, scaling efficiency, memory model."""
+    latency = Table(
+        experiment_id="Serve 1",
+        title="request latency and throughput per serving cell",
+        columns=["cell", "cold-start us", "p50 us", "p90 us", "p99 us",
+                 "RPS", "queued", "colds"])
+    for cell in report["cells"]:
+        label = (f"{cell['workload']}/{cell['engine']}/{cell['mode']}"
+                 f"/c{cell['concurrency']}")
+        latency.add(label, cell["cold_start_us"], cell["p50_us"],
+                    cell["p90_us"], cell["p99_us"], cell["rps"],
+                    cell["queued"], cell["cold_starts"])
+    latency.note("cold-start = unqueued cold latency (startup + execute); "
+                 "percentiles include queueing delay")
+
+    levels = sorted({c["concurrency"] for c in report["cells"]})
+    scaling = Table(
+        experiment_id="Serve 2",
+        title="sustained RPS by concurrency (scaling efficiency at max)",
+        columns=["workload/engine/mode"] +
+                [f"c{lvl} RPS" for lvl in levels] + ["efficiency"])
+    groups: Dict[tuple, Dict[int, Dict]] = {}
+    for cell in report["cells"]:
+        key = (cell["workload"], cell["engine"], cell["mode"])
+        groups.setdefault(key, {})[cell["concurrency"]] = cell
+    for key in sorted(groups):
+        by_level = groups[key]
+        row = [by_level[lvl]["rps"] if lvl in by_level else "-"
+               for lvl in levels]
+        top = by_level[max(by_level)]
+        scaling.add("/".join(str(k) for k in key), *row,
+                    top["scaling_efficiency"])
+    scaling.note("efficiency = (RPS gain over lowest concurrency) / "
+                 "(concurrency ratio); 1.0 = perfect linear scaling")
+
+    memory = Table(
+        experiment_id="Serve 3",
+        title="modeled memory per serving cell",
+        columns=["cell", "RSS/instance KiB", "peak instances",
+                 "peak RSS KiB"])
+    for cell in report["cells"]:
+        label = (f"{cell['workload']}/{cell['engine']}/{cell['mode']}"
+                 f"/c{cell['concurrency']}")
+        memory.add(label,
+                   round(cell["rss_per_instance_bytes"] / 1024, 1),
+                   cell["busy_peak"],
+                   round(cell["modeled_peak_rss_bytes"] / 1024, 1))
+    memory.note("peak RSS = simultaneously-live instances x per-instance "
+                "modeled max RSS")
+
+    parts = [latency.render(), "", scaling.render(), "", memory.render()]
+    if report["meta"].get("parallel_fallback"):
+        parts.append("")
+        parts.append("note: profile prewarm fell back to serial "
+                     "(worker pool unavailable)")
+    return "\n".join(parts) + "\n"

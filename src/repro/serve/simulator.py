@@ -1,0 +1,219 @@
+"""Deterministic model-time request-serving simulator.
+
+One :func:`simulate_cell` call plays a seeded open-loop arrival stream
+against one (workload, engine, mode, concurrency) configuration and
+returns per-request records plus aggregate counters.  Three execution
+models (:data:`repro.registry.SERVE_MODES`):
+
+* ``spawn`` — every request pays the full cold start (spawn + decode +
+  validate + load + instantiate) before executing; the per-request
+  instance dies afterwards.
+* ``warm``  — one persistent instance per worker: the first request on
+  a worker is cold, every later one pays only the reset (re-instantiate)
+  cost.
+* ``pool``  — a bounded pool of reusable instances with acquire/release:
+  requests queue when the pool is exhausted, an acquire of an instance
+  that sat idle longer than the idle timeout is a pool miss (the
+  instance expired and must cold-start again — the scale-to-zero
+  behavior of serverless platforms).  Acquisition is most-recently-
+  released first, the policy real pools use to keep hot instances hot
+  and let cold ones expire.
+
+Everything is integer cycle arithmetic on top of measured
+:class:`~repro.serve.profile.CostProfile` costs — no wall clock, no
+floats in the event loop — so a cell's outcome is a pure function of
+(profile, mode, concurrency, seed, knobs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import HarnessError
+from ..obs import TimelineBuilder
+from ..registry import SERVE_MODES
+from .arrivals import arrival_times
+from .profile import CostProfile, PhaseCost
+
+
+@dataclass(frozen=True)
+class SimRequest:
+    """One served request on the simulated timeline (cycles)."""
+
+    index: int
+    arrival: int
+    start: int          # when an instance began setup for this request
+    finish: int         # response complete
+    cold: bool          # paid the full cold start (vs warm reset)
+    expired: bool       # pool only: was cold because the instance expired
+    instance: int       # which worker/pool slot served it
+
+    @property
+    def wait(self) -> int:
+        return self.start - self.arrival
+
+    @property
+    def latency(self) -> int:
+        return self.finish - self.arrival
+
+
+@dataclass
+class CellSim:
+    """Raw outcome of one simulated serving cell."""
+
+    workload: str
+    engine: str
+    mode: str
+    concurrency: int
+    slots: int                      # serving slots (pool size for pool)
+    seed: int
+    mean_interarrival: int
+    requests: List[SimRequest] = field(default_factory=list)
+    cold_starts: int = 0
+    warm_hits: int = 0
+    expirations: int = 0
+    queued: int = 0                 # requests that waited at all
+    queue_peak: int = 0             # max simultaneous waiters
+    max_wait: int = 0
+    instances_used: int = 0         # distinct slots that ever served
+    busy_peak: int = 0              # max simultaneously-busy slots
+    makespan: int = 0               # last completion time (cycles)
+
+    @property
+    def latencies(self) -> List[int]:
+        return [r.latency for r in self.requests]
+
+
+def simulate_cell(profile: CostProfile, mode: str, concurrency: int, *,
+                  seed: int, requests: int, utilization: float = 0.8,
+                  pool_size: Optional[int] = None,
+                  idle_timeout_cycles: Optional[int] = None) -> CellSim:
+    """Simulate ``requests`` open-loop arrivals through one cell."""
+    if mode not in SERVE_MODES:
+        raise HarnessError(f"unknown serve mode {mode!r}; "
+                           f"choose from {SERVE_MODES}")
+    if concurrency < 1:
+        raise HarnessError("concurrency must be >= 1")
+    if requests < 1:
+        raise HarnessError("requests must be >= 1")
+    if not 0.0 < utilization <= 1.0:
+        raise HarnessError("utilization must be in (0, 1]")
+
+    if mode == "pool":
+        slots = pool_size if pool_size is not None \
+            else max(1, concurrency // 2)
+        if slots < 1:
+            raise HarnessError("pool size must be >= 1")
+    else:
+        slots = concurrency
+
+    # Offered load targets `utilization` of the cell's steady-state
+    # capacity, so every mode is measured at a comparable relative load
+    # and mode differences show up in latency *and* absolute RPS.
+    steady = (profile.cold.cycles if mode == "spawn"
+              else profile.reset.cycles) + profile.execute.cycles
+    mean_interarrival = max(1, int(max(1, steady) / (slots * utilization)))
+    arrivals = arrival_times(seed, mean_interarrival, requests)
+
+    avail = [0] * slots             # when each slot frees up
+    used = [False] * slots          # has the slot a live warm instance
+    sim = CellSim(workload=profile.workload, engine=profile.engine,
+                  mode=mode, concurrency=concurrency, slots=slots,
+                  seed=seed, mean_interarrival=mean_interarrival)
+
+    for index, arrival in enumerate(arrivals):
+        idle = [s for s in range(slots) if avail[s] <= arrival]
+        if idle:
+            # Most-recently-released first (ties: lowest slot id).
+            slot = max(idle, key=lambda s: (avail[s], -s))
+        else:
+            # All busy: queue FIFO for the earliest release.
+            slot = min(range(slots), key=lambda s: (avail[s], s))
+        start = max(arrival, avail[slot])
+
+        expired = (mode == "pool" and used[slot] and
+                   idle_timeout_cycles is not None and
+                   start - avail[slot] > idle_timeout_cycles)
+        cold = mode == "spawn" or not used[slot] or expired
+        setup = profile.cold if cold else profile.reset
+        finish = start + setup.cycles + profile.execute.cycles
+
+        avail[slot] = finish
+        used[slot] = mode != "spawn"
+        sim.requests.append(SimRequest(
+            index=index, arrival=arrival, start=start, finish=finish,
+            cold=cold, expired=expired, instance=slot))
+        sim.cold_starts += cold
+        sim.warm_hits += not cold
+        sim.expirations += expired
+        if start > arrival:
+            sim.queued += 1
+            sim.max_wait = max(sim.max_wait, start - arrival)
+
+    sim.instances_used = len({r.instance for r in sim.requests})
+    sim.makespan = max(r.finish for r in sim.requests)
+    sim.busy_peak = _peak_overlap(
+        [(r.start, r.finish) for r in sim.requests])
+    sim.queue_peak = _peak_overlap(
+        [(r.arrival, r.start) for r in sim.requests if r.start > r.arrival])
+    return sim
+
+
+def _peak_overlap(intervals: List[tuple]) -> int:
+    """Max number of half-open ``[lo, hi)`` intervals alive at once."""
+    events: List[tuple] = []
+    for lo, hi in intervals:
+        events.append((lo, 1))
+        events.append((hi, -1))
+    # Close before open at the same instant: back-to-back reuse of a
+    # slot is one instance, not two.
+    events.sort(key=lambda e: (e[0], e[1]))
+    peak = live = 0
+    for _, delta in events:
+        live += delta
+        peak = max(peak, live)
+    return peak
+
+
+def cell_spans(profile: CostProfile, sim: CellSim) -> List[Dict]:
+    """The cell's model-time span tree: one ``request`` span per served
+    request (child of the root ``serve`` span), with ``cold_start`` /
+    ``reset`` and ``execute`` children — so instantiation-vs-execute
+    breakdowns fall out of the same span machinery as single runs."""
+    timeline = TimelineBuilder()
+    totals = PhaseCost()
+    for request in sim.requests:
+        setup = profile.cold if request.cold else profile.reset
+        totals = totals + setup + profile.execute
+    root = timeline.add(
+        "serve", None, 0, sim.makespan,
+        instructions=totals.instructions, branches=totals.branches,
+        branch_misses=totals.branch_misses,
+        stall_cycles=totals.stall_cycles,
+        mode=sim.mode, concurrency=sim.concurrency, slots=sim.slots)
+    for request in sim.requests:
+        setup = profile.cold if request.cold else profile.reset
+        req_span = timeline.add(
+            "request", root["id"], request.arrival, request.finish,
+            instructions=setup.instructions + profile.execute.instructions,
+            branches=setup.branches + profile.execute.branches,
+            branch_misses=(setup.branch_misses +
+                           profile.execute.branch_misses),
+            stall_cycles=setup.stall_cycles + profile.execute.stall_cycles,
+            request=request.index, instance=request.instance,
+            cold=request.cold, wait_cycles=request.wait)
+        setup_end = request.start + setup.cycles
+        timeline.add(
+            "cold_start" if request.cold else "reset", req_span["id"],
+            request.start, setup_end,
+            instructions=setup.instructions, branches=setup.branches,
+            branch_misses=setup.branch_misses,
+            stall_cycles=setup.stall_cycles)
+        timeline.add(
+            "execute", req_span["id"], setup_end, request.finish,
+            instructions=profile.execute.instructions,
+            branches=profile.execute.branches,
+            branch_misses=profile.execute.branch_misses,
+            stall_cycles=profile.execute.stall_cycles)
+    return timeline.records()

@@ -151,8 +151,11 @@ class ModuleCache:
             return None
         try:
             module, stats = pickle.loads(blob)
-        except Exception:
+        except (pickle.UnpicklingError, EOFError, ValueError,
+                AttributeError, ImportError):
             # Corrupt or stale payload: behave exactly like a miss.
+            # Anything else (MemoryError, KeyboardInterrupt, bugs in
+            # __setstate__) should propagate, not masquerade as a miss.
             return None
         return ModuleEntry(sha, module, stats, validated=True)
 
