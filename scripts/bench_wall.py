@@ -112,9 +112,12 @@ def time_cell(bench: str, engine: str, size: str,
 
 
 def run_grid(grid, size, warmup, repeats, verbose=True) -> dict:
+    from repro import speed
+
     report = {
         "schema": SCHEMA,
         "size": size,
+        "speed_tier": speed.tier(),
         "calibration_seconds": calibrate(),
         "cells": {},
     }
@@ -197,9 +200,18 @@ def main(argv=None) -> int:
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional regression per cell "
                              "(default: 0.25)")
+    parser.add_argument("--speed-tier", type=int, default=None, metavar="T",
+                        help="pin the repro.speed tier (0=reference, "
+                             "1=fastloop, 2=closures); default: REPRO_SPEED")
     args = parser.parse_args(argv)
     if args.repeats < 1 or args.warmup < 0:
         parser.error("--repeats must be >= 1 and --warmup >= 0")
+    if args.speed_tier is not None:
+        from repro import speed
+        if args.speed_tier not in speed.TIERS:
+            parser.error("--speed-tier must be one of %s"
+                         % (speed.TIERS,))
+        speed.set_tier(args.speed_tier)
 
     grid = QUICK_GRID if args.quick else FULL_GRID
     report = run_grid(grid, args.size, args.warmup, args.repeats)

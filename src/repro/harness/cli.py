@@ -54,6 +54,7 @@ import os
 import sys
 from typing import List, Optional
 
+from .. import speed
 from ..bench import ALL_BENCHMARKS, names, service_names
 from ..errors import HarnessError
 from ..hw import MachineConfig
@@ -129,6 +130,12 @@ def _validate_args(args) -> None:
             raise HarnessError(
                 "AOT does not apply to native execution "
                 "(drop --aot or pick a Wasm runtime)")
+    speed_tier = getattr(args, "speed_tier", None)
+    if speed_tier is not None and speed_tier not in speed.TIERS:
+        raise HarnessError(
+            f"--speed-tier must be one of "
+            f"{', '.join(str(t) for t in speed.TIERS)} "
+            f"(got {speed_tier})")
 
 
 def _cmd_run(args) -> int:
@@ -542,6 +549,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         p.add_argument("--no-cache", action="store_true",
                        help="do not read or write the on-disk "
                             "artifact cache")
+        p.add_argument("--speed-tier", type=int, default=None,
+                       metavar="T",
+                       help="override the repro.speed tier: 0 reference, "
+                            "1 fastloop, 2 closures (default: "
+                            "$REPRO_SPEED or 2)")
     # The committed audit baseline is generated at the test size, so the
     # gate defaults to it (every other command defaults to small); same
     # for the serve golden (SERVE_golden.json).
@@ -581,12 +593,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "artifact cache")
     fuzz_p.add_argument("--out", default=None,
                         help="directory to write the campaign report")
+    fuzz_p.add_argument("--speed-tier", type=int, default=None,
+                        metavar="T",
+                        help="override the repro.speed tier: 0 reference, "
+                             "1 fastloop, 2 closures (default: "
+                             "$REPRO_SPEED or 2)")
 
     args = parser.parse_args(argv)
     try:
         if args.command == "list":
             return _cmd_list(args)
         _validate_args(args)
+        if getattr(args, "speed_tier", None) is not None:
+            speed.set_tier(args.speed_tier)
+            # Spawned worker processes re-read the environment; keep
+            # them on the same tier as the parent.
+            os.environ["REPRO_SPEED"] = str(args.speed_tier)
         if args.command == "fuzz":
             return _cmd_fuzz(args)
         if args.command == "run":

@@ -74,9 +74,15 @@ def plan_cells(harness, experiment_ids: Sequence[str]) -> List[Cell]:
 _WORKER_HARNESS = None
 
 
-def _worker_init(size: str, opt_level: int, cache_dir: Optional[str]) -> None:
+def _worker_init(size: str, opt_level: int, cache_dir: Optional[str],
+                 speed_tier: Optional[int] = None) -> None:
     global _WORKER_HARNESS
     from .runner import Harness
+    if speed_tier is not None:
+        # A --speed-tier override set in the parent never reaches the
+        # pool through the environment; hand it over explicitly.
+        from .. import speed
+        speed.set_tier(speed_tier)
     _WORKER_HARNESS = Harness(size=size, opt_level=opt_level,
                               cache_dir=cache_dir)
 
@@ -103,6 +109,12 @@ def _worker_run(cell: Cell):
     return cell, payload, error, delta.to_dict()
 
 
+def _worker_run_batch(batch: Sequence[Cell]):
+    """Run a chunk of cells in one dispatch (amortizes pool transport;
+    consecutive cells reuse the worker's warm module/closure caches)."""
+    return [_worker_run(cell) for cell in batch]
+
+
 # -- parent side ------------------------------------------------------------
 
 
@@ -125,12 +137,15 @@ def run_cells(harness, cells: Sequence[Cell], jobs: int = 1) -> None:
         return
 
     cache_dir = harness.disk_cache.root if harness.disk_cache else None
+    workers = min(jobs, len(pending), os.cpu_count() or 1)
     try:
         from concurrent.futures import ProcessPoolExecutor
+        from .. import speed
         executor = ProcessPoolExecutor(
-            max_workers=min(jobs, len(pending), os.cpu_count() or 1),
+            max_workers=workers,
             initializer=_worker_init,
-            initargs=(harness.size, harness.default_opt, cache_dir))
+            initargs=(harness.size, harness.default_opt, cache_dir,
+                      speed.tier()))
     except (ImportError, OSError, PermissionError) as exc:
         # Results are byte-identical either way, but a silent fallback
         # makes --jobs look slow for no visible reason — say so once and
@@ -143,10 +158,17 @@ def run_cells(harness, cells: Sequence[Cell], jobs: int = 1) -> None:
             harness.run(name, engine, opt=opt, aot=aot)
         return
 
+    # Batch several cells per dispatch: plan order is benchmark-major,
+    # so a chunk's cells mostly share one module and hit the worker's
+    # warm decoded-module/closure caches; the transport round-trips drop
+    # by the chunk factor.  Merge order below is sorted, so chunking
+    # cannot affect results.
+    chunk = max(1, -(-len(pending) // (workers * 4)))
+    batches = [pending[i:i + chunk] for i in range(0, len(pending), chunk)]
     outcomes = []
     with executor:
-        for outcome in executor.map(_worker_run, pending):
-            outcomes.append(outcome)
+        for batch_outcomes in executor.map(_worker_run_batch, batches):
+            outcomes.extend(batch_outcomes)
 
     errors = []
     merged: List[Tuple[Cell, RunResult]] = []

@@ -335,6 +335,9 @@ class Interpreter:
         # function has an entry and no observer is attached, the
         # model-equivalent fast loop runs instead of the reference loop.
         self.fast_code: Optional[Dict[int, list]] = None
+        # Closure-compiled functions per index (repro.speed.closures);
+        # preferred over fast_code, same observer gating.
+        self.closure_code: Optional[Dict[int, object]] = None
         # Handler code addresses: one cache line per opcode handler.
         shift = cpu.caches.line_shift
         self.handler_line = [
@@ -360,12 +363,17 @@ class Interpreter:
             self._depth -= 1
 
     def _run(self, func: PreparedFunction, args: List):
-        fast = self.fast_code
-        if fast is not None and self.trace_memory is None \
-                and self.opcode_profile is None:
-            fcode = fast.get(func.index)
-            if fcode is not None:
-                return _fast_run(self, func, fcode, args)
+        if self.trace_memory is None and self.opcode_profile is None:
+            code = self.closure_code
+            if code is not None:
+                fn = code.get(func.index)
+                if fn is not None:
+                    return fn(self, args)
+            fast = self.fast_code
+            if fast is not None:
+                fcode = fast.get(func.index)
+                if fcode is not None:
+                    return _fast_run(self, func, fcode, args)
         return self._run_ref(func, args)
 
     def _run_ref(self, func: PreparedFunction, args: List):

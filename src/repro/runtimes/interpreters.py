@@ -30,10 +30,12 @@ from ..wasi import WasiAPI
 
 class _LoadedInterp:
     def __init__(self, functions: List, code_bytes: int,
-                 fast: Optional[dict] = None):
+                 fast: Optional[dict] = None,
+                 closures: Optional[dict] = None):
         self.functions = functions
         self.code_bytes = code_bytes
         self.fast = fast
+        self.closures = closures
 
 
 class InterpreterRuntime(WasmRuntime):
@@ -76,10 +78,14 @@ class InterpreterRuntime(WasmRuntime):
                 total_ops * profile.translate_cost_per_op
         cpu.memory.alloc("interp-code", total_ops * profile.code_bytes_per_op)
         fast = None
+        closures = None
         if entry is not None:
             fast = entry.fast_code(profile, cpu.caches.line_shift)
+            if speed.tier() >= 2:
+                closures = speed.module_cache.closure_code(
+                    entry, profile, cpu.caches.line_shift)
         return _LoadedInterp(prepared, total_ops * profile.code_bytes_per_op,
-                             fast)
+                             fast, closures)
 
     def _execute(self, loaded: _LoadedInterp, env: Environment,
                  cpu: CPUModel, wasi: WasiAPI) -> None:
@@ -89,6 +95,7 @@ class InterpreterRuntime(WasmRuntime):
         interp = Interpreter(self.profile, cpu, env.memory, env.globals,
                              env.table, functions)
         interp.fast_code = loaded.fast
+        interp.closure_code = loaded.closures
         if self.instr_profile is not None:
             interp.opcode_profile = self.instr_profile
         interp.set_signatures(env.module)

@@ -24,6 +24,7 @@ import pickle
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
+from ..errors import ReproError as _ReproError
 from . import predecode as _predecode
 
 #: In-memory entry capacity.  A fuzz campaign touches ~100 modules; the
@@ -36,7 +37,7 @@ class ModuleEntry:
     """Everything derivable from one module's bytes, computed lazily."""
 
     __slots__ = ("sha", "module", "stats", "validated", "prepared",
-                 "total_ops", "_fast")
+                 "total_ops", "_fast", "_closures")
 
     def __init__(self, sha: str, module, stats, validated: bool = False):
         self.sha = sha
@@ -50,6 +51,10 @@ class ModuleEntry:
         # Predecoded fast code keyed by (profile name, line_shift); holds
         # bound methods and semantic callables, so in-memory only.
         self._fast: Dict[Tuple[str, int], Dict[int, list]] = {}
+        # Bound closure-compiled functions on the same key.  The
+        # *source bundle* persists to disk (ModuleCache.closure_code);
+        # the exec-compiled callables live here only.
+        self._closures: Dict[Tuple[str, int], Dict[int, object]] = {}
 
     def fast_code(self, profile, line_shift: int) -> Optional[Dict[int, list]]:
         """Predecoded bodies for ``profile`` on a cache geometry, memoized."""
@@ -72,6 +77,7 @@ class ModuleCache:
         self._mem: "OrderedDict[str, ModuleEntry]" = OrderedDict()
         self._by_id: Dict[int, ModuleEntry] = {}
         self._disk = None  # duck-typed ArtifactCache (get_bytes/put_bytes)
+        self._stats = None  # optional harness CacheStats for disk traffic
         # Wall-clock accounting, surfaced by PERFORMANCE.md tooling only;
         # deliberately not part of harness CacheStats so `[cache]` lines
         # and fuzz reports stay byte-identical with the layer disabled.
@@ -81,10 +87,19 @@ class ModuleCache:
 
     # -- configuration ----------------------------------------------------
 
-    def attach_disk(self, cache) -> None:
+    def attach_disk(self, cache, stats=None) -> None:
         """Use ``cache`` (an ArtifactCache, or None to detach) for
-        persistence of decoded+validated modules."""
+        persistence of decoded+validated modules and closure bundles.
+
+        When ``stats`` (a harness :class:`CacheStats`) is given, disk
+        traffic is surfaced there under the ``speed-module`` and
+        ``closure`` kinds — that is what lets tests assert that pool
+        workers hit shared artifacts instead of re-deriving them.
+        In-memory reuse is never counted: it exists with no cache dir
+        at all, and the `[cache]` line reports the *store*.
+        """
         self._disk = cache
+        self._stats = stats if cache is not None else None
 
     def clear(self) -> None:
         self._mem.clear()
@@ -110,9 +125,13 @@ class ModuleCache:
         entry = self._load_disk(sha)
         if entry is not None:
             self.disk_hits += 1
+            if self._stats is not None:
+                self._stats.hit("speed-module")
             self._insert(entry)
             return entry
         self.misses += 1
+        if self._disk is not None and self._stats is not None:
+            self._stats.miss("speed-module")
         return None
 
     def register(self, wasm_bytes: bytes, module, stats) -> ModuleEntry:
@@ -136,12 +155,69 @@ class ModuleCache:
     def entry_for(self, module) -> Optional[ModuleEntry]:
         return self._by_id.get(id(module))
 
+    def closure_code(self, entry: ModuleEntry, profile,
+                     line_shift: int) -> Optional[Dict[int, object]]:
+        """Closure-compiled functions for ``entry`` on this profile and
+        cache geometry.
+
+        The persistable source bundle is shared through the attached
+        disk store under ``closure-<sha>-<profile>-<line_shift>-v<N>``,
+        so ``--jobs`` pool workers (and later processes) bind a stored
+        compilation instead of regenerating it.  Binding (exec) is
+        always local — callables never cross process boundaries.
+        """
+        if entry.prepared is None:
+            return None
+        key = (profile.name, line_shift)
+        code = entry._closures.get(key)
+        if code is not None:
+            return code
+        from . import closures as _closures
+        bundle = None
+        if self._disk is not None:
+            disk_key = self._closure_key(entry.sha, profile.name,
+                                         line_shift)
+            bundle = self._disk.get_pickle(disk_key)
+            if not isinstance(bundle, dict):
+                # Stale/corrupt payload (get_pickle already applied the
+                # evict-vs-miss narrowing): recompute below.
+                bundle = None
+            if self._stats is not None:
+                if bundle is not None:
+                    self._stats.hit("closure")
+                else:
+                    self._stats.miss("closure")
+        code = None
+        if bundle is not None:
+            try:
+                code = _closures.bind_bundle(bundle)
+            except (SyntaxError, ValueError, TypeError, KeyError,
+                    _ReproError):
+                # A stored bundle that unpickles but will not compile is
+                # as good as corrupt: fall through and regenerate.
+                code = None
+        if code is None:
+            bundle = _closures.compile_bundle(entry.prepared, profile,
+                                              line_shift)
+            if self._disk is not None:
+                self._disk.put_pickle(
+                    self._closure_key(entry.sha, profile.name,
+                                      line_shift), bundle)
+            code = _closures.bind_bundle(bundle)
+        entry._closures[key] = code
+        return code
+
     # -- internals --------------------------------------------------------
 
     @staticmethod
     def _disk_key(sha: str) -> str:
         from . import SPEED_VERSION
         return f"speed-module-{sha}-v{SPEED_VERSION}"
+
+    @staticmethod
+    def _closure_key(sha: str, profile_name: str, line_shift: int) -> str:
+        from . import SPEED_VERSION
+        return f"closure-{sha}-{profile_name}-{line_shift}-v{SPEED_VERSION}"
 
     def _load_disk(self, sha: str) -> Optional[ModuleEntry]:
         if self._disk is None:

@@ -1,0 +1,403 @@
+"""Differential harness for the closure-compiled tier (REPRO_SPEED=2).
+
+The closure tier is a template JIT of the model itself, so its failure
+mode is the worst kind: plausible numbers that are subtly wrong.  Every
+check here is therefore *differential* — the closure tier must produce
+byte-identical ``RunResult.to_json()`` output (counters, traps, stdout,
+span trees) to both the fastloop tier and the ``REPRO_SPEED=0``
+reference, across engines, ``-O`` levels, fuzz-generated programs, and
+the trap seed set.  Plus the sharing/robustness contract of the
+persisted closure bundles: pool workers hit shared artifacts, corrupt
+or stale artifacts recompute without crashing, and the tier knob itself
+parses strictly.
+
+Run the sweep locally with a different seed base:
+``REPRO_FUZZ_SEED=1234 python -m pytest tests/test_closures.py``.
+"""
+
+import os
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import speed
+from repro.errors import HarnessError, Trap
+from repro.fuzz import CellRunner, normalize_trap
+from repro.fuzz.generator import generate_module, generate_program
+from repro.harness import Harness
+from repro.harness.cache import ArtifactCache, CacheStats
+from repro.harness.cli import main as wabench_main
+from repro.harness.parallel import run_cells
+from repro.hw import CPUModel
+from repro.isa.memory import LinearMemory
+from repro.runtimes.interp.engine import (THREADED_PROFILE, Interpreter,
+                                          prepare_function)
+from repro.speed import closures
+from repro.speed.modcache import ModuleCache, ModuleEntry
+
+from .conftest import fuzz_seeds
+from .test_trap_equivalence import TRAP_PROGRAMS
+
+
+@pytest.fixture(autouse=True)
+def _closure_layer_reset():
+    """Each test starts at the closure tier with cold, detached caches."""
+    def reset():
+        speed.set_tier(2)
+        speed.module_cache.clear()
+        speed.module_cache.attach_disk(None)
+        speed.wasm_memo_clear()
+    reset()
+    yield
+    reset()
+
+
+# ---------------------------------------------------------------------------
+# Interpreter-level equivalence: reference vs fastloop vs closures on
+# seeded random Wasm modules, down to every modeled counter.
+# ---------------------------------------------------------------------------
+
+
+def _counters_dict(cpu):
+    c = cpu.counters
+    d = {"instructions": c.instructions, "stall_cycles": c.stall_cycles,
+         "branches": c.branches, "branch_misses": c.branch_misses}
+    for name in ("l1i", "l1d", "l2", "l3"):
+        stats = getattr(c, name)
+        d[name] = (stats.refs, stats.misses)
+    return d
+
+
+def _interp_run(module, args, tier, pickle_roundtrip=False):
+    prepared = []
+    for i, func in enumerate(module.functions):
+        prepared.append(("wasm", prepare_function(module, func, i)))
+    cpu = CPUModel()
+    mem = LinearMemory(1)
+    interp = Interpreter(THREADED_PROFILE, cpu, mem, [], [], prepared)
+    interp.set_signatures(module)
+    line_shift = cpu.caches.line_shift
+    if tier >= 1:
+        entry = ModuleEntry("test", module, None)
+        entry.prepared = prepared
+        entry.total_ops = sum(len(f.body) for f in module.functions)
+        fast = entry.fast_code(THREADED_PROFILE, line_shift)
+        assert fast, "predecode produced no fast code"
+        interp.fast_code = fast
+    if tier >= 2:
+        bundle = closures.compile_bundle(prepared, THREADED_PROFILE,
+                                         line_shift)
+        if pickle_roundtrip:
+            bundle = pickle.loads(pickle.dumps(bundle))
+        code = closures.bind_bundle(bundle)
+        assert code, "closure compilation produced no functions"
+        interp.closure_code = code
+    trap = None
+    value = None
+    try:
+        value = interp.call_index(0, args)
+    except Trap as exc:
+        trap = str(exc)
+    return value, trap, bytes(mem.data[:4096]), _counters_dict(cpu)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       a=st.integers(min_value=0, max_value=2**32 - 1),
+       b=st.integers(min_value=0, max_value=2**32 - 1))
+def test_interp_equivalence_hypothesis(seed, a, b):
+    module = generate_module(seed)
+    ref = _interp_run(module, (a, b), tier=0)
+    fast = _interp_run(module, (a, b), tier=1)
+    closure = _interp_run(module, (a, b), tier=2)
+    assert closure == ref
+    assert fast == ref
+
+
+@pytest.mark.parametrize("seed", fuzz_seeds(8, salt=0xC105))
+def test_interp_equivalence_seeded(seed):
+    module = generate_module(seed)
+    ref = _interp_run(module, (7, 13), tier=0)
+    closure = _interp_run(module, (7, 13), tier=2)
+    assert closure == ref
+
+
+@pytest.mark.parametrize("seed", fuzz_seeds(3, salt=0xB1D))
+def test_bundle_pickle_roundtrip_equivalent(seed):
+    """A bundle bound from its pickled form (the disk path) behaves
+    identically to one bound in place."""
+    module = generate_module(seed)
+    direct = _interp_run(module, (7, 13), tier=2)
+    roundtrip = _interp_run(module, (7, 13), tier=2,
+                            pickle_roundtrip=True)
+    assert roundtrip == direct
+
+
+# ---------------------------------------------------------------------------
+# Pipeline-level differential sweep: fuzz-generated MiniC programs,
+# engines x -O levels x tiers, full RunResult byte-identity.
+# ---------------------------------------------------------------------------
+
+SWEEP_ENGINES = ("wasm3", "wamr", "wasmtime")
+SWEEP_OPTS = (0, 2)
+
+
+def _tier_result(runner, source, engine, opt, tier):
+    speed.set_tier(tier)
+    speed.module_cache.clear()
+    try:
+        return runner.run_cell(source, engine, opt,
+                               use_cache=False).to_json()
+    finally:
+        speed.set_tier(2)
+
+
+@pytest.mark.parametrize("seed", fuzz_seeds(6, salt=0xD1FF))
+def test_differential_sweep_generated_programs(seed):
+    source = generate_program(seed, size_budget=16).source
+    runner = CellRunner()
+    for engine in SWEEP_ENGINES:
+        for opt in SWEEP_OPTS:
+            ref = _tier_result(runner, source, engine, opt, tier=0)
+            fast = _tier_result(runner, source, engine, opt, tier=1)
+            closure = _tier_result(runner, source, engine, opt, tier=2)
+            assert closure == ref, f"{engine} -O{opt} tier 2 diverged"
+            assert fast == ref, f"{engine} -O{opt} tier 1 diverged"
+
+
+@pytest.mark.parametrize("name", sorted(TRAP_PROGRAMS))
+def test_differential_trap_programs(name):
+    """The trap seed set: same trap kind AND byte-identical results on
+    the interpreters where the closure tier runs."""
+    source, expected_kind = TRAP_PROGRAMS[name]
+    runner = CellRunner()
+    for engine in ("wasm3", "wamr"):
+        ref = _tier_result(runner, source, engine, 2, tier=0)
+        closure = _tier_result(runner, source, engine, 2, tier=2)
+        assert closure == ref, f"{name} on {engine} diverged"
+        result = runner.run_cell(source, engine, 2, use_cache=False)
+        assert normalize_trap(result.trap) == expected_kind
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("engine", ("wasm3", "wamr"))
+def test_full_suite_equivalence(engine):
+    """Every WABench program, byte-identical across all three tiers."""
+    def suite(tier):
+        speed.set_tier(tier)
+        speed.module_cache.clear()
+        harness = Harness(size="test")
+        return {name: harness.run(name, engine).to_json()
+                for name in harness.benchmark_names}
+
+    ref = suite(0)
+    fast = suite(1)
+    closure = suite(2)
+    diverged = [n for n in ref if closure[n] != ref[n]]
+    assert not diverged, f"tier 2 diverged on: {diverged}"
+    diverged = [n for n in ref if fast[n] != ref[n]]
+    assert not diverged, f"tier 1 diverged on: {diverged}"
+
+
+# ---------------------------------------------------------------------------
+# Cross-worker sharing: pool workers must hit the shared closure and
+# decoded-module artifacts instead of re-deriving them per process.
+# ---------------------------------------------------------------------------
+
+SHARING_BENCHES = ("gemm", "crc32", "quicksort")
+SHARING_CELLS = [(b, e, 2, False)
+                 for b in SHARING_BENCHES for e in ("wasm3", "wamr")]
+
+
+def _drop_results(harness):
+    """Delete only the cached RunResults so cells re-execute (and the
+    module/closure artifacts get consulted again)."""
+    dropped = 0
+    for name, engine, opt, aot in SHARING_CELLS:
+        key = harness.artifact_key("result", name, opt,
+                                   engine=engine, aot=aot)
+        path = harness.disk_cache._path(key)
+        if os.path.exists(path):
+            os.unlink(path)
+            dropped += 1
+    assert dropped == len(SHARING_CELLS), \
+        "expected every cached result to drop"
+
+
+def test_cross_worker_artifact_sharing(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    serial = Harness(size="test", benchmarks=list(SHARING_BENCHES))
+    expected = {cell: serial.run(cell[0], cell[1]).to_json()
+                for cell in SHARING_CELLS}
+
+    # Cold parallel run populates the store (module + closure bundles).
+    speed.module_cache.clear()
+    h1 = Harness(size="test", benchmarks=list(SHARING_BENCHES),
+                 cache_dir=cache_dir)
+    run_cells(h1, SHARING_CELLS, jobs=4)
+
+    # Second parallel run against the warm store: results are dropped so
+    # every cell re-executes, and the in-process caches are cleared so
+    # even the serial fallback path must go through the disk store.
+    _drop_results(h1)
+    speed.module_cache.clear()
+    speed.wasm_memo_clear()
+    h2 = Harness(size="test", benchmarks=list(SHARING_BENCHES),
+                 cache_dir=cache_dir)
+    run_cells(h2, SHARING_CELLS, jobs=4)
+
+    hits = h2.cache_stats.hits
+    assert hits.get("speed-module", 0) > 0, hits
+    assert hits.get("closure", 0) > 0, hits
+    # No worker recompiled a closure bundle the store already had.
+    assert h2.cache_stats.misses.get("closure", 0) == 0, \
+        h2.cache_stats.misses
+
+    for cell in SHARING_CELLS:
+        key = (cell[0], cell[1], cell[2], cell[3], "test")
+        assert h1._result_cache[key].to_json() == expected[cell]
+        assert h2._result_cache[key].to_json() == expected[cell]
+
+
+# ---------------------------------------------------------------------------
+# Closure-bundle robustness: corruption and version skew mirror the
+# decoded-module cache contract (recompute, never crash; stale formats
+# miss without evicting).
+# ---------------------------------------------------------------------------
+
+
+def _cached_entry(cache, stats=None):
+    """A registered, prepared entry backed by ``cache``."""
+    module = generate_module(0xCAFE)
+    wasm_bytes = b"closure-robustness-fixture"
+    mc = ModuleCache()
+    mc.attach_disk(cache, stats=stats)
+    entry = mc.register(wasm_bytes, module, None)
+    entry.prepared = [("wasm", prepare_function(module, func, i))
+                      for i, func in enumerate(module.functions)]
+    return mc, entry
+
+
+def test_closure_bundle_persists_and_hits(tmp_path):
+    cache = ArtifactCache(str(tmp_path / "cache"))
+    stats = CacheStats()
+    mc, entry = _cached_entry(cache, stats)
+    line_shift = CPUModel().caches.line_shift
+    code = mc.closure_code(entry, THREADED_PROFILE, line_shift)
+    assert code and stats.misses.get("closure") == 1
+    key = ModuleCache._closure_key(entry.sha, THREADED_PROFILE.name,
+                                   line_shift)
+    assert cache.contains(key)
+    # A second cache (fresh process stand-in) binds the stored bundle.
+    mc2, entry2 = _cached_entry(cache, stats)
+    code2 = mc2.closure_code(entry2, THREADED_PROFILE, line_shift)
+    assert stats.hits.get("closure") == 1
+    assert sorted(code2) == sorted(code)
+    # Memoized: a repeat lookup never touches the disk again.
+    mc2.closure_code(entry2, THREADED_PROFILE, line_shift)
+    assert stats.hits.get("closure") == 1
+
+
+def test_closure_bundle_corruption_recomputes(tmp_path):
+    cache = ArtifactCache(str(tmp_path / "cache"))
+    mc, entry = _cached_entry(cache)
+    line_shift = CPUModel().caches.line_shift
+    mc.closure_code(entry, THREADED_PROFILE, line_shift)
+    key = ModuleCache._closure_key(entry.sha, THREADED_PROFILE.name,
+                                   line_shift)
+
+    # Truncated object: the store detects it, evicts, and a fresh cache
+    # recomputes without crashing.
+    path = cache._path(key)
+    blob = open(path, "rb").read()
+    with open(path, "wb") as fh:
+        fh.write(blob[:len(blob) // 2])
+    mc2, entry2 = _cached_entry(cache)
+    assert mc2.closure_code(entry2, THREADED_PROFILE, line_shift)
+    assert cache.contains(key)  # rewritten on the recompute
+
+    # Valid pickle, garbage source: recompute too.
+    cache.put_pickle(key, {0: ("def broken(:", [])})
+    mc3, entry3 = _cached_entry(cache)
+    assert mc3.closure_code(entry3, THREADED_PROFILE, line_shift)
+
+    # Valid pickle, unknown descriptor kind: recompute too.
+    cache.put_pickle(key, {0: ("def _c0(I, args):\n    return None\n",
+                               [("G0", ("no-such-kind",))])})
+    mc4, entry4 = _cached_entry(cache)
+    assert mc4.closure_code(entry4, THREADED_PROFILE, line_shift)
+
+
+def test_closure_bundle_version_skew_misses_without_evicting(tmp_path):
+    """A payload from a different code version (unimportable classes)
+    must behave as a miss but stay on disk — the same narrowing as
+    cache.get_pickle, so parallel old/new checkouts sharing a store
+    don't evict each other's artifacts."""
+    cache = ArtifactCache(str(tmp_path / "cache"))
+    mc, entry = _cached_entry(cache)
+    line_shift = CPUModel().caches.line_shift
+    key = ModuleCache._closure_key(entry.sha, THREADED_PROFILE.name,
+                                   line_shift)
+    skew = b"cno_such_module\nNoSuchClass\n."  # protocol-0 pickle
+    cache.put_bytes(key, skew)
+    assert cache.get_pickle(key) is None
+    assert cache.contains(key), "ImportError must not evict"
+    # closure_code overwrites with a fresh bundle and keeps working.
+    assert mc.closure_code(entry, THREADED_PROFILE, line_shift)
+
+
+# ---------------------------------------------------------------------------
+# The tier knob: strict parsing, runtime override, CLI validation.
+# ---------------------------------------------------------------------------
+
+
+def test_repro_speed_env_parsed_strictly(monkeypatch):
+    for raw, expected in (("0", 0), ("1", 1), ("2", 2)):
+        monkeypatch.setenv("REPRO_SPEED", raw)
+        speed._tier = None
+        assert speed.tier() == expected
+    for raw in ("3", "on", "yes", "", " 1", "02"):
+        monkeypatch.setenv("REPRO_SPEED", raw)
+        speed._tier = None
+        with pytest.raises(HarnessError) as excinfo:
+            speed.tier()
+        assert "REPRO_SPEED" in str(excinfo.value)
+    monkeypatch.delenv("REPRO_SPEED", raising=False)
+    speed._tier = None
+    assert speed.tier() == 2  # default
+
+
+def test_set_tier_validates():
+    with pytest.raises(HarnessError):
+        speed.set_tier(3)
+    with pytest.raises(HarnessError):
+        speed.set_tier("2")
+    speed.set_tier(1)
+    assert speed.tier() == 1 and speed.enabled()
+    speed.set_tier(0)
+    assert not speed.enabled()
+    speed.set_enabled(True)
+    assert speed.tier() == 2
+
+
+def test_cli_rejects_bad_speed_tier(tmp_path, capsys):
+    rc = wabench_main(["run", "gemm", "--size", "test",
+                       "--speed-tier", "7", "--no-cache"])
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "--speed-tier" in err and err.count("\n") == 1
+
+
+def test_cli_speed_tier_override(tmp_path, capsys, monkeypatch):
+    """--speed-tier 0 runs the reference path and produces the same
+    output as the default closure tier."""
+    monkeypatch.setattr(speed, "_tier", 2)
+    out_dir = str(tmp_path / "out")
+    rc = wabench_main(["run", "gemm", "--size", "test", "--no-cache",
+                       "--speed-tier", "0", "--out", out_dir])
+    assert rc == 0
+    assert speed.tier() == 0
+    assert os.environ.get("REPRO_SPEED") == "0"
+    monkeypatch.delenv("REPRO_SPEED", raising=False)
