@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""I/O-class determinism smoke: bench/io vs the committed golden.
+
+Usage::
+
+    python scripts/io_smoke.py [--golden IO_golden.json] [--out FILE]
+                               [--update-golden] [--jobs N]
+
+Runs every ``bench/io`` workload at ``--size test`` across the full
+engine grid and collects the canonical I/O profile per (benchmark,
+engine): stdout, exit code, and the per-syscall ``{calls,
+instructions, bytes}`` breakdown.  The script then enforces the two
+contracts CI cares about:
+
+* **determinism** — a warm-cache rerun and a ``--jobs`` fan-out must
+  reproduce the cold run's canonical JSON byte-for-byte;
+* **golden** — the canonical JSON must byte-match the committed
+  ``IO_golden.json`` (refresh with ``--update-golden`` and commit the
+  result alongside the change that moved it).
+
+Exit codes: 0 ok, 1 determinism or golden mismatch, 2 usage.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+
+from repro import speed
+from repro.bench import io_names
+from repro.harness import Harness
+from repro.harness.parallel import run_cells
+from repro.registry import ALL_RUNTIME_NAMES
+
+IO_SCHEMA = "wabench-io/1"
+SIZE = "test"
+
+
+def collect(cache_dir, jobs=1):
+    """Canonical JSON of the full io-class grid, via one harness."""
+    speed.module_cache.clear()
+    benches = list(io_names())
+    harness = Harness(size=SIZE, benchmarks=benches, cache_dir=cache_dir)
+    if jobs > 1:
+        cells = [(bench, engine, 2, False)
+                 for bench in benches for engine in ALL_RUNTIME_NAMES]
+        run_cells(harness, cells, jobs=jobs)
+    profiles = {}
+    for bench in benches:
+        per_engine = {}
+        for engine in ALL_RUNTIME_NAMES:
+            result = harness.run(bench, engine)
+            per_engine[engine] = {
+                "stdout": result.stdout_text(),
+                "exit_code": result.exit_code,
+                "wasi": result.wasi_calls,
+            }
+        profiles[bench] = per_engine
+    report = {
+        "schema": IO_SCHEMA,
+        "size": SIZE,
+        "engines": list(ALL_RUNTIME_NAMES),
+        "profiles": profiles,
+    }
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="io_smoke", description=__doc__.split("\n\n")[0])
+    parser.add_argument("--golden", default="IO_golden.json",
+                        help="committed golden to byte-compare against")
+    parser.add_argument("--out", default=None,
+                        help="also write the canonical report here")
+    parser.add_argument("--update-golden", action="store_true",
+                        help="rewrite the golden instead of comparing")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker count for the fan-out pass")
+    args = parser.parse_args(argv[1:])
+
+    cache_dir = tempfile.mkdtemp(prefix="io-smoke-")
+    try:
+        cold = collect(cache_dir)
+        warm = collect(cache_dir)
+        fanned = collect(cache_dir + "-jobs", jobs=max(2, args.jobs))
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+        shutil.rmtree(cache_dir + "-jobs", ignore_errors=True)
+
+    status = 0
+    if warm != cold:
+        print("io_smoke: DETERMINISM VIOLATION: warm-cache rerun "
+              "diverged from the cold run")
+        status = 1
+    if fanned != cold:
+        print("io_smoke: DETERMINISM VIOLATION: --jobs fan-out "
+              "diverged from the serial run")
+        status = 1
+    if status == 0:
+        grid = len(list(io_names())) * len(ALL_RUNTIME_NAMES)
+        print(f"io_smoke: cold/warm/--jobs byte-identical "
+              f"({grid} grid cells)")
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(cold)
+    if args.update_golden:
+        with open(args.golden, "w") as fh:
+            fh.write(cold)
+        print(f"io_smoke: wrote {args.golden}")
+        return status
+
+    try:
+        with open(args.golden, "r") as fh:
+            golden = fh.read()
+    except FileNotFoundError:
+        print(f"io_smoke: {args.golden}: no such file "
+              "(generate with --update-golden)", file=sys.stderr)
+        return 1
+    if cold != golden:
+        print(f"io_smoke: GOLDEN MISMATCH vs {args.golden}")
+        cold_lines = cold.splitlines()
+        golden_lines = golden.splitlines()
+        for index, (a, b) in enumerate(zip(golden_lines, cold_lines)):
+            if a != b:
+                print(f"  first difference at line {index + 1}:"
+                      f"\n  < {a}\n  > {b}")
+                break
+        else:
+            print(f"  line counts differ: golden {len(golden_lines)}, "
+                  f"measured {len(cold_lines)}")
+        print("  refresh: python scripts/io_smoke.py --update-golden")
+        status = 1
+    else:
+        print(f"io_smoke: matches committed {args.golden}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

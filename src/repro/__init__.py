@@ -15,7 +15,7 @@ Public surface (see README.md for a tour):
 * :mod:`repro.hw` — the modeled CPU (caches, predictors, cycles, MRSS)
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 import os as _os
 import sys as _sys

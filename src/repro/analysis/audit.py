@@ -147,6 +147,13 @@ class ModuleAudit:
             "hot_functions": [[name, round(share, 4)]
                               for name, share
                               in self.cost.hot_functions()],
+            "syscalls": {
+                "freq": {k: round(v, 4)
+                         for k, v in self.cost.syscall_freq.items()},
+                "predicted_cost": {
+                    k: round(v, 2)
+                    for k, v in sorted(self.cost.syscall_totals.items())},
+            },
         }
 
     def render(self) -> str:
@@ -171,6 +178,15 @@ class ModuleAudit:
         hot = ", ".join(f"{name} {100 * share:.1f}%"
                         for name, share in self.cost.hot_functions())
         lines.append(f"  predicted hot:    {hot}")
+        if self.cost.syscall_freq:
+            sys_cost = ", ".join(
+                f"{eng} {total:.0f}" for eng, total
+                in sorted(self.cost.syscall_totals.items()))
+            top = sorted(self.cost.syscall_freq.items(),
+                         key=lambda kv: (-kv[1], kv[0]))[:4]
+            calls = ", ".join(f"{fn} x{f:.0f}" for fn, f in top)
+            lines.append(f"  predicted wasi:   {calls} "
+                         f"(instr: {sys_cost})")
         counts = self.diagnostic_counts()
         summary = ", ".join(f"{k} x{v}" for k, v in counts.items()) \
             or "none"

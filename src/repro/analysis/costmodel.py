@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..registry import syscall_cost_table
 from ..wasm import opcodes as op
 from ..wasm.module import Module
 from .callgraph import CallGraph, build_call_graph
@@ -78,6 +79,14 @@ def engine_cost_tables() -> Dict[str, List[int]]:
             "jit": _jit_cost_table()}
 
 
+def engine_syscall_tables() -> Dict[str, Dict[str, Tuple[int, int]]]:
+    """Per-engine WASI syscall pricing for the static model's three
+    engine columns ("jit" takes the wasmtime trampoline pricing)."""
+    return {"wasm3": syscall_cost_table("wasm3"),
+            "wamr": syscall_cost_table("wamr"),
+            "jit": syscall_cost_table("wasmtime")}
+
+
 @dataclass
 class FunctionCost:
     """Static cost prediction for one defined function."""
@@ -101,6 +110,14 @@ class CostReport:
     functions: List[FunctionCost] = field(default_factory=list)
     static_mix: Dict[str, float] = field(default_factory=dict)  # shares
     engine_totals: Dict[str, float] = field(default_factory=dict)
+    #: Predicted host-call (WASI shim) instructions per engine column —
+    #: weighted call frequency into each imported function times that
+    #: engine's syscall base cost.  Kept separate from ``engine_totals``
+    #: (guest-code work) so the I/O axis is visible on its own.
+    syscall_totals: Dict[str, float] = field(default_factory=dict)
+    #: Loop-weighted, frequency-propagated calls into each imported
+    #: (WASI) function, by import name.
+    syscall_freq: Dict[str, float] = field(default_factory=dict)
 
     def hot_functions(self, top: int = 5) -> List[Tuple[str, float]]:
         """Top functions by share of total predicted weight."""
@@ -231,6 +248,24 @@ def cost_report(module: Module,
     report.static_mix = {cat: w / total_weight
                          for cat, w in sorted(static_mix.items())}
     report.engine_totals = engine_totals
+
+    # Host-call (WASI) axis: call frequency propagated into imported
+    # functions times each engine's syscall pricing (base cost only —
+    # bytes moved are not statically known).
+    sys_tables = engine_syscall_tables()
+    syscall_freq: Dict[str, float] = {}
+    syscall_totals = {name: 0.0 for name in sys_tables}
+    for idx in range(num_imported):
+        f = freq[idx]
+        if not f:
+            continue
+        wasi_fn = graph.names[idx].rsplit(".", 1)[-1]
+        syscall_freq[wasi_fn] = syscall_freq.get(wasi_fn, 0.0) + f
+        for eng, table in sys_tables.items():
+            base, _per8 = table.get(wasi_fn, (180, 1))
+            syscall_totals[eng] += f * base
+    report.syscall_freq = dict(sorted(syscall_freq.items()))
+    report.syscall_totals = syscall_totals
     return report
 
 

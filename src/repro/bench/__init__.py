@@ -6,10 +6,11 @@ workload parameters and (where the original reads files) deterministic
 synthetic inputs.
 """
 
-from .registry import (ALL_BENCHMARKS, APP_NAMES, BY_NAME, SERVICE_BENCHMARKS,
-                       SUITES, by_suite, get, names, service_names)
+from .registry import (ALL_BENCHMARKS, APP_NAMES, BY_NAME, IO_BENCHMARKS,
+                       SERVICE_BENCHMARKS, SUITES, by_suite, get, io_names,
+                       names, service_names)
 from .workload import SIZES, Benchmark
 
-__all__ = ["ALL_BENCHMARKS", "APP_NAMES", "BY_NAME", "SERVICE_BENCHMARKS",
-           "SUITES", "by_suite", "get", "names", "service_names", "SIZES",
-           "Benchmark"]
+__all__ = ["ALL_BENCHMARKS", "APP_NAMES", "BY_NAME", "IO_BENCHMARKS",
+           "SERVICE_BENCHMARKS", "SUITES", "by_suite", "get", "io_names",
+           "names", "service_names", "SIZES", "Benchmark"]

@@ -1,0 +1,31 @@
+"""I/O-bound workloads for the WASI/syscall characterization axis.
+
+These are not part of the paper's 50-benchmark WABench suite (Table 2);
+they are the syscall-dominated program class eWAPA (PAPERS.md) uses to
+show that WASI paths are where standalone runtimes differ most.  Each
+program spends most of its modeled instructions inside the WASI shim
+rather than in guest code, so the interpreter-vs-JIT speedup collapses
+toward 1x (the crossover characterized in PERFORMANCE.md):
+
+* ``fscan_io``     — chunked file scan: stat + many small ``fd_read``;
+* ``fcopy_io``     — file copy/stamp/verify/rename/unlink lifecycle;
+* ``dirwalk_io``   — two-level directory walk over ``fd_readdir`` +
+  per-entry ``path_filestat_get``;
+* ``clockrand_io`` — clock/random churn (``clock_time_get``,
+  ``random_get``);
+* ``envarg_io``    — arg/env churn (``args_get``/``environ_get``).
+
+Registered like ``bench/services``: ``ALL_BENCHMARKS`` stays exactly 50,
+but ``wabench run/trace/serve`` resolve them through ``bench.get()``.
+"""
+
+from .clockrand import BENCHMARK as CLOCKRAND_IO
+from .dirwalk import BENCHMARK as DIRWALK_IO
+from .envarg import BENCHMARK as ENVARG_IO
+from .fcopy import BENCHMARK as FCOPY_IO
+from .fscan import BENCHMARK as FSCAN_IO
+
+IO_BENCHMARKS = [FSCAN_IO, FCOPY_IO, DIRWALK_IO, CLOCKRAND_IO, ENVARG_IO]
+
+__all__ = ["IO_BENCHMARKS", "FSCAN_IO", "FCOPY_IO", "DIRWALK_IO",
+           "CLOCKRAND_IO", "ENVARG_IO"]

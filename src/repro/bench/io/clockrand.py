@@ -1,0 +1,52 @@
+"""``clockrand_io``: clock and random syscall churn.
+
+Tight loop over ``clock_time_get`` + ``random_get`` — the profile of a
+token-bucket rate limiter or request-ID generator.  The modeled clock is
+engine-dependent (it reads the cycle counter), so the program only
+checks monotonicity and folds the *random* stream (deterministic and
+engine-independent) into the printed checksum.
+"""
+
+from ..workload import Benchmark
+
+SOURCE = r"""
+char rbuf[32];
+
+int main(void) {
+    unsigned int check = 2166136261u;
+    long last = 0l;
+    int mono = 0;
+    int round, i;
+    for (round = 0; round < ROUNDS; round++) {
+        long now = time_ns();
+        if (now >= last) {
+            mono++;
+        }
+        last = now;
+        random_bytes(rbuf, 24);
+        for (i = 0; i < 24; i++) {
+            check = (check ^ (unsigned int)(unsigned char)rbuf[i])
+                    * 16777619u;
+        }
+    }
+    print_s("clockrand_io rounds="); print_i((int)ROUNDS);
+    print_s(" mono="); print_i(mono);
+    print_s(" check="); print_x(check);
+    print_nl();
+    return 0;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="clockrand_io",
+    suite="io",
+    domain="Host services",
+    description="Clock/random syscall churn (clock_time_get + random_get)",
+    source=SOURCE,
+    defines={
+        "test": {"ROUNDS": "48"},
+        "small": {"ROUNDS": "384"},
+        "ref": {"ROUNDS": "3072"},
+    },
+    traits=("integer", "wasi-heavy", "io-bound"),
+)

@@ -1,0 +1,66 @@
+"""``envarg_io``: argument/environment churn.
+
+Repeatedly sizes and copies the argv and environ blocks — the startup
+path every CLI-style module pays, amplified into a loop the way a
+per-request reinitializing serverless handler would.  Pure marshalling:
+guest compute is a checksum over the copied bytes.
+"""
+
+from ..workload import Benchmark
+
+SOURCE = r"""
+int ptrs[16];
+char block[256];
+
+unsigned int fold(int n) {
+    int i;
+    unsigned int check = 0u;
+    for (i = 0; i < n && i < 256; i++) {
+        check = (check ^ (unsigned int)(unsigned char)block[i])
+                * 16777619u;
+    }
+    return check;
+}
+
+int main(void) {
+    unsigned int check = 2166136261u;
+    int sizes[2];
+    int argc = 0, envc = 0, abytes = 0, ebytes = 0;
+    int round;
+    for (round = 0; round < ROUNDS; round++) {
+        if (__wasi_args_sizes_get((int)sizes, (int)&sizes[1]) == 0) {
+            argc = sizes[0];
+            abytes = sizes[1];
+            __wasi_args_get((int)ptrs, (int)block);
+            check = (check ^ fold(abytes)) * 16777619u;
+        }
+        if (__wasi_environ_sizes_get((int)sizes, (int)&sizes[1]) == 0) {
+            envc = sizes[0];
+            ebytes = sizes[1];
+            __wasi_environ_get((int)ptrs, (int)block);
+            check = (check ^ fold(ebytes)) * 16777619u;
+        }
+    }
+    print_s("envarg_io argc="); print_i(argc);
+    print_s(" argv_bytes="); print_i(abytes);
+    print_s(" envc="); print_i(envc);
+    print_s(" env_bytes="); print_i(ebytes);
+    print_s(" check="); print_x(check);
+    print_nl();
+    return 0;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="envarg_io",
+    suite="io",
+    domain="Host services",
+    description="Arg/env block sizing and copy churn (args/environ_get)",
+    source=SOURCE,
+    defines={
+        "test": {"ROUNDS": "32"},
+        "small": {"ROUNDS": "256"},
+        "ref": {"ROUNDS": "2048"},
+    },
+    traits=("integer", "wasi-heavy", "io-bound"),
+)

@@ -1,0 +1,103 @@
+"""``fcopy_io``: file copy lifecycle.
+
+Copies the input in small chunks, stamps a header back over the copy
+with ``fd_pwrite``, verifies spot offsets with ``fd_pread``, then
+renames the staged copy into place and unlinks a scratch file — the
+create/copy/rename/unlink lifecycle a log rotator or object store
+compaction pays per segment.  Exercises the widest slice of the
+preview1 surface of any WABench program.
+"""
+
+from ..workload import Benchmark, deterministic_bytes
+
+SOURCE = r"""
+char buf[256];
+char hdr[8];
+
+int main(void) {
+    unsigned int check = 2166136261u;
+    int fd_in, fd_out, fd, n, i, r;
+    long total = 0l;
+    long final_size;
+
+    fd_in = open_read("src.bin");
+    fd_out = open_write("stage.bin");
+    if (fd_in < 0 || fd_out < 0) {
+        print_s("fcopy_io open failed");
+        print_nl();
+        return 1;
+    }
+    for (;;) {
+        n = read_bytes(fd_in, buf, CHUNK);
+        if (n <= 0) {
+            break;
+        }
+        write_bytes(fd_out, buf, n);
+        total += (long)n;
+    }
+    close_fd(fd_in);
+
+    /* stamp a magic header over the staged copy in place */
+    for (i = 0; i < 8; i++) {
+        hdr[i] = (char)(65 + i);
+    }
+    pwrite_bytes(fd_out, hdr, 8, 0l);
+    close_fd(fd_out);
+
+    /* spot-verify a few offsets without disturbing any cursor */
+    fd = open_read("stage.bin");
+    for (r = 0; r < VERIFY; r++) {
+        long off = (total * (long)r) / (long)VERIFY;
+        if (off > total - 16l) {
+            off = total - 16l;
+        }
+        if (off < 0l) {
+            off = 0l;
+        }
+        n = pread_bytes(fd, buf, 16, off);
+        for (i = 0; i < n; i++) {
+            check = (check ^ (unsigned int)(unsigned char)buf[i])
+                    * 16777619u;
+        }
+    }
+    close_fd(fd);
+
+    /* scratch file: create, then remove */
+    fd = open_write("scratch.tmp");
+    write_bytes(fd, hdr, 8);
+    close_fd(fd);
+    unlink_file("scratch.tmp");
+
+    rename_file("stage.bin", "out.bin");
+    final_size = stat_size("out.bin");
+
+    print_s("fcopy_io bytes="); print_l(total);
+    print_s(" out="); print_l(final_size);
+    print_s(" gone="); print_i(stat_type("scratch.tmp") < 0 ? 1 : 0);
+    print_s(" check="); print_x(check);
+    print_nl();
+    return 0;
+}
+"""
+
+_SIZES = {"test": 1024, "small": 8192, "ref": 65536}
+
+
+def _files(size):
+    return {"src.bin": deterministic_bytes(_SIZES[size], seed=0x20)}
+
+
+BENCHMARK = Benchmark(
+    name="fcopy_io",
+    suite="io",
+    domain="File I/O",
+    description="Copy/stamp/verify/rename/unlink file lifecycle",
+    source=SOURCE,
+    defines={
+        "test": {"CHUNK": "64", "VERIFY": "8"},
+        "small": {"CHUNK": "64", "VERIFY": "32"},
+        "ref": {"CHUNK": "64", "VERIFY": "128"},
+    },
+    files=_files,
+    traits=("integer", "file-input", "wasi-heavy", "io-bound"),
+)

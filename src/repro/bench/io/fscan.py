@@ -1,0 +1,71 @@
+"""``fscan_io``: chunked sequential file scan.
+
+The classic I/O-bound profile: stat the input, then read it in small
+chunks and fold every byte into an FNV checksum.  Almost all modeled
+work is ``fd_read`` shim cost — per-chunk guest arithmetic is a few
+dozen instructions — so the engine's host-call dispatch price, not its
+JIT quality, decides the runtime.
+"""
+
+from ..workload import Benchmark, deterministic_bytes
+
+SOURCE = r"""
+char buf[256];
+
+int main(void) {
+    unsigned int check = 2166136261u;
+    long declared;
+    int fd, n, i, reads = 0;
+    long total = 0l;
+
+    declared = stat_size("data/input.bin");
+    fd = open_read("data/input.bin");
+    if (fd < 0) {
+        print_s("fscan_io open failed");
+        print_nl();
+        return 1;
+    }
+    for (;;) {
+        n = read_bytes(fd, buf, CHUNK);
+        if (n <= 0) {
+            break;
+        }
+        reads++;
+        total += (long)n;
+        for (i = 0; i < n; i++) {
+            check = (check ^ (unsigned int)(unsigned char)buf[i])
+                    * 16777619u;
+        }
+    }
+    close_fd(fd);
+
+    print_s("fscan_io bytes="); print_l(total);
+    print_s(" declared="); print_l(declared);
+    print_s(" reads="); print_i(reads);
+    print_s(" check="); print_x(check);
+    print_nl();
+    return 0;
+}
+"""
+
+_SIZES = {"test": 2048, "small": 16384, "ref": 131072}
+
+
+def _files(size):
+    return {"data/input.bin": deterministic_bytes(_SIZES[size], seed=0x10)}
+
+
+BENCHMARK = Benchmark(
+    name="fscan_io",
+    suite="io",
+    domain="File I/O",
+    description="Chunked sequential file scan (fd_read-dominated)",
+    source=SOURCE,
+    defines={
+        "test": {"CHUNK": "64"},
+        "small": {"CHUNK": "64"},
+        "ref": {"CHUNK": "64"},
+    },
+    files=_files,
+    traits=("integer", "file-input", "wasi-heavy", "io-bound"),
+)

@@ -42,24 +42,34 @@ SUITES = ("jetstream2", "mibench", "polybench", "apps")
 APP_NAMES = ("bzip2", "espeak", "facedetection", "gnuchess", "mnist",
              "snappy", "whitedb")
 
-# Service workloads for the repro.serve tier (suite "service").  They
-# are deliberately *not* part of ALL_BENCHMARKS: the paper's Table 2
-# suite stays exactly 50 programs, but `get()` resolves them so the
-# harness can compile/run/cache them like any other benchmark.
+# Service workloads for the repro.serve tier (suite "service") and the
+# I/O-bound class (suite "io").  They are deliberately *not* part of
+# ALL_BENCHMARKS: the paper's Table 2 suite stays exactly 50 programs,
+# but `get()` resolves them so the harness can compile/run/cache them
+# like any other benchmark.
+from .io import IO_BENCHMARKS  # noqa: E402  (after _MODULES)
 from .services import SERVICE_BENCHMARKS  # noqa: E402  (after _MODULES)
 
 SERVICES_BY_NAME: Dict[str, Benchmark] = {b.name: b
                                           for b in SERVICE_BENCHMARKS}
+IO_BY_NAME: Dict[str, Benchmark] = {b.name: b for b in IO_BENCHMARKS}
 assert not set(SERVICES_BY_NAME) & set(BY_NAME), \
     "service workload names must not shadow WABench names"
+assert not set(IO_BY_NAME) & (set(BY_NAME) | set(SERVICES_BY_NAME)), \
+    "io workload names must not shadow WABench or service names"
 
 
 def service_names() -> List[str]:
     return [b.name for b in SERVICE_BENCHMARKS]
 
 
+def io_names() -> List[str]:
+    return [b.name for b in IO_BENCHMARKS]
+
+
 def get(name: str) -> Benchmark:
-    bench = BY_NAME.get(name) or SERVICES_BY_NAME.get(name)
+    bench = (BY_NAME.get(name) or SERVICES_BY_NAME.get(name) or
+             IO_BY_NAME.get(name))
     if bench is None:
         raise KeyError(f"unknown benchmark {name!r}")
     return bench

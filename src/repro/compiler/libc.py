@@ -22,6 +22,22 @@ extern int __wasi_path_open(int dirfd, int dirflags, int path_ptr,
                             int path_len, int oflags, long rights_base,
                             long rights_inherit, int fdflags,
                             int opened_fd_ptr);
+extern int __wasi_fd_pread(int fd, int iovs, int iovs_len, long offset,
+                           int nread);
+extern int __wasi_fd_pwrite(int fd, int iovs, int iovs_len, long offset,
+                            int nwritten);
+extern int __wasi_fd_fdstat_get(int fd, int stat_ptr);
+extern int __wasi_fd_readdir(int fd, int buf, int buf_len, long cookie,
+                             int bufused);
+extern int __wasi_path_filestat_get(int dirfd, int flags, int path_ptr,
+                                    int path_len, int stat_ptr);
+extern int __wasi_path_unlink_file(int dirfd, int path_ptr, int path_len);
+extern int __wasi_path_rename(int old_dirfd, int old_ptr, int old_len,
+                              int new_dirfd, int new_ptr, int new_len);
+extern int __wasi_args_sizes_get(int argc_ptr, int buf_size_ptr);
+extern int __wasi_args_get(int argv_ptr, int argv_buf);
+extern int __wasi_environ_sizes_get(int count_ptr, int buf_size_ptr);
+extern int __wasi_environ_get(int environ_ptr, int environ_buf);
 extern int __wasi_clock_time_get(int clock_id, long precision, int time_ptr);
 extern int __wasi_random_get(int buf, int buf_len);
 extern void __wasi_proc_exit(int code);
@@ -521,6 +537,88 @@ long time_ns(void) {
     long out[1];
     __wasi_clock_time_get(1, 0l, (int)out);
     return out[0];
+}
+
+int open_dir(char *path) {
+    int fd_out[1];
+    /* O_DIRECTORY */
+    int err = __wasi_path_open(3, 0, (int)path, (int)strlen(path),
+                               2, 0l, 0l, 0, (int)fd_out);
+    if (err != 0) {
+        return -1;
+    }
+    return fd_out[0];
+}
+
+int read_dir(int fd, char *buf, int len, long cookie) {
+    int used[1];
+    if (__wasi_fd_readdir(fd, (int)buf, len, cookie, (int)used) != 0) {
+        return -1;
+    }
+    return used[0];
+}
+
+int pread_bytes(int fd, char *buf, int len, long offset) {
+    int iov[3];
+    iov[0] = (int)buf;
+    iov[1] = len;
+    if (__wasi_fd_pread(fd, (int)iov, 1, offset, (int)&iov[2]) != 0) {
+        return -1;
+    }
+    return iov[2];
+}
+
+int pwrite_bytes(int fd, char *buf, int len, long offset) {
+    int iov[3];
+    iov[0] = (int)buf;
+    iov[1] = len;
+    if (__wasi_fd_pwrite(fd, (int)iov, 1, offset, (int)&iov[2]) != 0) {
+        return -1;
+    }
+    return iov[2];
+}
+
+/* filestat: size lives at byte 32, filetype at byte 16 (preview1). */
+long stat_size(char *path) {
+    long st[8];
+    if (__wasi_path_filestat_get(3, 0, (int)path, (int)strlen(path),
+                                 (int)st) != 0) {
+        return -1l;
+    }
+    return st[4];
+}
+
+int stat_type(char *path) {
+    char st[64];
+    if (__wasi_path_filestat_get(3, 0, (int)path, (int)strlen(path),
+                                 (int)st) != 0) {
+        return -1;
+    }
+    return (int)st[16];
+}
+
+int fd_type(int fd) {
+    char st[24];
+    if (__wasi_fd_fdstat_get(fd, (int)st) != 0) {
+        return -1;
+    }
+    return (int)st[0];
+}
+
+int unlink_file(char *path) {
+    return __wasi_path_unlink_file(3, (int)path, (int)strlen(path));
+}
+
+int rename_file(char *old_path, char *new_path) {
+    return __wasi_path_rename(3, (int)old_path, (int)strlen(old_path),
+                              3, (int)new_path, (int)strlen(new_path));
+}
+
+int random_bytes(char *buf, int len) {
+    if (__wasi_random_get((int)buf, len) != 0) {
+        return -1;
+    }
+    return len;
 }
 """
 

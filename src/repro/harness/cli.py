@@ -55,14 +55,14 @@ import sys
 from typing import List, Optional
 
 from .. import speed
-from ..bench import ALL_BENCHMARKS, names, service_names
+from ..bench import ALL_BENCHMARKS, io_names, names, service_names
 from ..errors import HarnessError
 from ..hw import MachineConfig
 from ..obs import Stopwatch, Tracer, write_trace
 from ..registry import SERVE_MODES, WASMER_BACKEND_ENGINES, is_engine_name
 from .cache import default_cache_dir
 from .experiments import EXPERIMENTS
-from .report import phase_table, render_cache_stats
+from .report import phase_table, render_cache_stats, wasi_table
 from .runner import ENGINES, Harness
 
 
@@ -196,6 +196,8 @@ def _cmd_trace(args) -> int:
     table = phase_table(args.benchmark, tracer.runs,
                         MachineConfig().cycles_to_seconds)
     text = table.render()
+    if args.wasi:
+        text += "\n\n" + wasi_table(args.benchmark, tracer.runs).render()
     print(text)
     print(render_cache_stats(harness.cache_stats))
     if args.out:
@@ -218,12 +220,13 @@ def _validate_serve_args(args) -> dict:
         raise HarnessError("serve selects workloads with --workloads, "
                            "not --benchmarks")
     workloads = _split_csv(args.workloads)
-    known = set(names()) | set(service_names())
+    known = set(names()) | set(service_names()) | set(io_names())
     for workload in workloads:
         if workload not in known:
             raise HarnessError(
                 f"unknown workload {workload!r}; services: "
-                f"{', '.join(service_names())}")
+                f"{', '.join(service_names())}; io: "
+                f"{', '.join(io_names())}")
     engines = _split_csv(args.engines)
     for engine in engines:
         if not is_engine_name(engine):
@@ -450,22 +453,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub.add_parser("list", help="list the 50 benchmarks")
 
     run_p = sub.add_parser("run", help="run one benchmark")
-    run_p.add_argument("benchmark", choices=names() + service_names())
+    run_p.add_argument("benchmark",
+                       choices=names() + service_names() + io_names())
     run_p.add_argument("--runtime", default=None,
                        help="native|wasmtime|wavm|wasmer|wasm3|wamr|"
                             "wasmer-<backend> (default: all)")
     run_p.add_argument("--aot", action="store_true")
     run_p.add_argument("--trace", default=None, metavar="PATH",
                        help="write a JSONL model-time trace of the runs "
-                            "(schema wabench-trace/1, see TRACING.md)")
+                            "(schema wabench-trace/2, see TRACING.md)")
 
     trace_p = sub.add_parser(
         "trace", help="per-phase modeled-time breakdown of one benchmark")
-    trace_p.add_argument("benchmark", choices=names() + service_names())
+    trace_p.add_argument("benchmark",
+                         choices=names() + service_names() + io_names())
     trace_p.add_argument("--runtime", default=None,
                          help="native|wasmtime|wavm|wasmer|wasm3|wamr|"
                               "wasmer-<backend> (default: all)")
     trace_p.add_argument("--aot", action="store_true")
+    trace_p.add_argument("--wasi", action="store_true",
+                         help="append the per-syscall WASI breakdown "
+                              "(calls, modeled instructions, bytes, "
+                              "share of total)")
     trace_p.add_argument("--trace", default=None, metavar="PATH",
                          help="also write the JSONL trace file")
 
@@ -505,7 +514,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="pool-mode idle expiry before an instance "
                               "must cold-start again (default: 10.0)")
     serve_p.add_argument("--json", default=None, metavar="PATH",
-                         help="write the canonical wabench-serve/1 "
+                         help="write the canonical wabench-serve/2 "
                               "report (the CI-diffed artifact)")
     serve_p.add_argument("--trace", default=None, metavar="PATH",
                          help="write a JSONL model-time trace with one "

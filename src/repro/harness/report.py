@@ -110,6 +110,45 @@ def phase_table(benchmark: str, traced_runs: Sequence,
     return table
 
 
+def wasi_table(benchmark: str, traced_runs: Sequence) -> Table:
+    """Per-engine, per-syscall WASI breakdown — ``wabench trace --wasi``.
+
+    One row per (engine, WASI function) the run actually hit: call
+    count, modeled instructions charged by the engine's syscall cost
+    table, guest<->host bytes copied, and the share of the run's total
+    modeled instructions spent inside the shim.  Counts and bytes are
+    identical across engines (same guest behavior); the instruction
+    columns differ per engine — that *is* the eWAPA observation.
+    """
+    table = Table(
+        experiment_id="Trace",
+        title=f"{benchmark}: WASI syscall breakdown per engine",
+        columns=["engine", "syscall", "calls", "instructions", "bytes",
+                 "share %"])
+    for traced in traced_runs:
+        engine = traced.meta.get("engine", traced.result.runtime)
+        result = traced.result
+        total = result.counters.get("instructions", 0) or 0
+        wasi_total = 0
+        for fn, stats in result.wasi_calls.items():
+            share = (100.0 * stats["instructions"] / total) if total else 0.0
+            table.add(engine, fn, stats["calls"], stats["instructions"],
+                      stats.get("bytes", 0), share)
+            wasi_total += stats["instructions"]
+        if result.wasi_calls:
+            share = (100.0 * wasi_total / total) if total else 0.0
+            table.add(engine, "(all)",
+                      sum(s["calls"] for s in result.wasi_calls.values()),
+                      wasi_total,
+                      sum(s.get("bytes", 0)
+                          for s in result.wasi_calls.values()),
+                      share)
+    table.note("instructions are engine-priced "
+               "(repro.registry.syscall_cost_table); "
+               "calls/bytes are engine-invariant")
+    return table
+
+
 def render_cache_stats(stats: CacheStats,
                        wall_seconds: Optional[float] = None) -> str:
     """One-line artifact-cache summary for the CLI.

@@ -54,8 +54,19 @@ WASI_EXTERNS: Dict[str, Tuple[str, CType, Tuple[CType, ...]]] = {
     "__wasi_fd_seek": ("fd_seek", INT, (INT, LONG, INT, INT)),
     "__wasi_path_open": ("path_open", INT,
                          (INT, INT, INT, INT, INT, LONG, LONG, INT, INT)),
+    "__wasi_fd_pread": ("fd_pread", INT, (INT, INT, INT, LONG, INT)),
+    "__wasi_fd_pwrite": ("fd_pwrite", INT, (INT, INT, INT, LONG, INT)),
+    "__wasi_fd_fdstat_get": ("fd_fdstat_get", INT, (INT, INT)),
+    "__wasi_fd_readdir": ("fd_readdir", INT, (INT, INT, INT, LONG, INT)),
+    "__wasi_path_filestat_get": ("path_filestat_get", INT,
+                                 (INT, INT, INT, INT, INT)),
+    "__wasi_path_unlink_file": ("path_unlink_file", INT, (INT, INT, INT)),
+    "__wasi_path_rename": ("path_rename", INT,
+                           (INT, INT, INT, INT, INT, INT)),
     "__wasi_args_sizes_get": ("args_sizes_get", INT, (INT, INT)),
     "__wasi_args_get": ("args_get", INT, (INT, INT)),
+    "__wasi_environ_sizes_get": ("environ_sizes_get", INT, (INT, INT)),
+    "__wasi_environ_get": ("environ_get", INT, (INT, INT)),
     "__wasi_clock_time_get": ("clock_time_get", INT, (INT, LONG, INT)),
     "__wasi_random_get": ("random_get", INT, (INT, INT)),
     "__wasi_proc_exit": ("proc_exit", VOID, (INT,)),

@@ -41,7 +41,7 @@ def run_native(binary: NativeBinary,
             cpu.memory.alloc("native-base", _NATIVE_BASE_BYTES)
             cpu.memory.alloc("native-code", program.code_bytes)
             fs = fs if fs is not None else VirtualFS()
-            wasi = WasiAPI(fs=fs, cpu=cpu, argv=argv)
+            wasi = WasiAPI(fs=fs, cpu=cpu, argv=argv, engine="native")
         with trace.span("load"):
             touched = cpu.memory.lazy_region("native-data")
             memory = LinearMemory(program.memory_pages,

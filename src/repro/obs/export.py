@@ -10,8 +10,9 @@ TRACING.md:
   first-request order: identity fields plus the run's headline totals.
 * ``span`` — the run's model-time span tree (one line per span, pre-order,
   ``run`` links back to the owning run's ``index``).
-* ``wasi`` — per-WASI-function call counts and modeled instruction cost
-  for the run (the eWAPA-style syscall view).
+* ``wasi`` — per-WASI-function call counts, modeled instruction cost,
+  and guest<->host bytes copied for the run (the eWAPA-style syscall
+  view; instruction costs are per-engine, see ``repro.registry``).
 
 Every field is a pure function of the run configuration **except**
 ``wall``, which is wall-clock and only emitted when ``include_wall`` is
@@ -29,7 +30,8 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from .. import __version__ as _REPRO_VERSION
 
 #: Bump when a record type gains/loses/renames a field.
-TRACE_SCHEMA = "wabench-trace/1"
+#: /2: ``wasi`` records gained a ``bytes`` field (guest<->host copies).
+TRACE_SCHEMA = "wabench-trace/2"
 
 _SPAN_INT_FIELDS = ("id", "cycles_start", "cycles_end", "instructions",
                     "branches", "branch_misses", "stall_cycles")
@@ -78,7 +80,8 @@ def trace_lines(runs: Sequence, config: Optional[Dict] = None,
         for fn, stats in result.wasi_calls.items():
             lines.append(_dump({"type": "wasi", "run": index, "fn": fn,
                                 "calls": stats["calls"],
-                                "instructions": stats["instructions"]}))
+                                "instructions": stats["instructions"],
+                                "bytes": stats.get("bytes", 0)}))
     return lines
 
 
@@ -175,7 +178,7 @@ def validate_trace(lines: Iterable[str]) -> Dict[str, int]:
             if record.get("run") not in run_indices:
                 _fail(lineno, "wasi record references unknown run "
                               f"{record.get('run')!r}")
-            for fld in ("fn", "calls", "instructions"):
+            for fld in ("fn", "calls", "instructions", "bytes"):
                 if fld not in record:
                     _fail(lineno, f"wasi record missing {fld!r}")
     if counts["header"] != 1:

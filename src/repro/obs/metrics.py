@@ -5,9 +5,10 @@ Two small deterministic accumulators:
 * :class:`MetricRegistry` — named monotonic counters and last-value
   gauges, the session-level "how much work did this invocation do" view
   (runs executed, cache hits, fuzz cells, divergences...).
-* :class:`CallStats` — per-function call counts and modeled instruction
-  cost; the WASI layer keeps one per run (the eWAPA-style syscall view:
-  *which host functions did this program hit, how often, at what cost*).
+* :class:`CallStats` — per-function call counts, modeled instruction
+  cost, and bytes copied; the WASI layer keeps one per run (the
+  eWAPA-style syscall view: *which host functions did this program hit,
+  how often, at what cost, moving how much data*).
 """
 
 from __future__ import annotations
@@ -53,20 +54,23 @@ class NullMetricRegistry(MetricRegistry):
 
 
 class CallStats:
-    """Call counts + modeled instruction cost, keyed by callee name."""
+    """Call counts, modeled instruction cost, and guest<->host bytes,
+    keyed by callee name."""
 
     __slots__ = ("_calls",)
 
     def __init__(self):
         self._calls: Dict[str, list] = {}
 
-    def record(self, name: str, instructions: int = 0) -> None:
+    def record(self, name: str, instructions: int = 0,
+               data_bytes: int = 0) -> None:
         entry = self._calls.get(name)
         if entry is None:
-            self._calls[name] = [1, instructions]
+            self._calls[name] = [1, instructions, data_bytes]
         else:
             entry[0] += 1
             entry[1] += instructions
+            entry[2] += data_bytes
 
     @property
     def total_calls(self) -> int:
@@ -76,8 +80,13 @@ class CallStats:
     def total_instructions(self) -> int:
         return sum(entry[1] for entry in self._calls.values())
 
+    @property
+    def total_bytes(self) -> int:
+        return sum(entry[2] for entry in self._calls.values())
+
     def as_dict(self) -> Dict[str, Dict[str, int]]:
         """Sorted, JSON-ready view (stored on :class:`RunResult`)."""
-        return {name: {"calls": calls, "instructions": instructions}
-                for name, (calls, instructions)
+        return {name: {"calls": calls, "instructions": instructions,
+                       "bytes": data_bytes}
+                for name, (calls, instructions, data_bytes)
                 in sorted(self._calls.items())}

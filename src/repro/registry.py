@@ -13,7 +13,7 @@ table matches these names).
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Tuple
 
 #: The three JIT-compilation-based runtime models (paper Table 1).
 JIT_RUNTIME_NAMES: Tuple[str, ...] = ("wasmtime", "wavm", "wasmer")
@@ -56,6 +56,79 @@ SERVE_MODES: Tuple[str, ...] = ("spawn", "warm", "pool")
 #: instantiation; ``execute`` is the request itself).
 COLD_START_PHASES: Tuple[str, ...] = ("spawn", "decode", "validate", "load",
                                       "instantiate")
+
+
+#: Host-call dispatch cost per engine: ``(entry_instructions,
+#: copy_instructions_per_8_bytes)``.  The entry cost models what the
+#: engine burns getting from guest code into the WASI shim and back —
+#: interpreters marshal arguments off the operand stack through a
+#: generic shim, JITs go through a compiled trampoline, AOT images bind
+#: imports at link time (direct calls), and the native baseline is a
+#: plain syscall wrapper.  This is the eWAPA observation: syscall paths
+#: are where standalone runtimes diverge most.
+WASI_DISPATCH_COSTS: Dict[str, Tuple[int, int]] = {
+    "native": (18, 1),
+    "wasmtime": (38, 1),
+    "wavm": (34, 1),
+    "wasmer": (40, 1),
+    "wasm3": (62, 2),
+    "wamr": (78, 2),
+}
+
+#: Dispatch cost when the module was AOT-compiled: imports are resolved
+#: at link time, so host calls skip the trampoline indirection.
+WASI_AOT_DISPATCH_COSTS: Dict[str, Tuple[int, int]] = {
+    "wasmtime": (22, 1),
+    "wavm": (20, 1),
+    "wasmer": (24, 1),
+}
+
+#: Engine-independent host-side work per WASI preview1 function (path
+#: resolution, descriptor table checks, dirent/stat serialization...).
+#: One entry per function the shim implements; the per-engine table is
+#: materialized by :func:`syscall_cost_table`.
+WASI_SYSCALL_KERNEL_COSTS: Dict[str, int] = {
+    "args_get": 140,
+    "args_sizes_get": 120,
+    "environ_get": 140,
+    "environ_sizes_get": 120,
+    "clock_time_get": 110,
+    "random_get": 130,
+    "fd_write": 180,
+    "fd_read": 180,
+    "fd_pread": 190,
+    "fd_pwrite": 190,
+    "fd_close": 90,
+    "fd_seek": 100,
+    "fd_fdstat_get": 120,
+    "fd_readdir": 210,
+    "path_open": 260,
+    "path_filestat_get": 200,
+    "path_unlink_file": 220,
+    "path_rename": 240,
+    "proc_exit": 80,
+}
+
+
+def syscall_cost_table(engine: str,
+                       aot: bool = False) -> Dict[str, Tuple[int, int]]:
+    """Per-syscall ``(base_instructions, per_8_byte_copy)`` for one engine.
+
+    ``base`` is the engine's dispatch entry cost plus the function's
+    kernel cost; the copy term is charged per 8 bytes moved between the
+    guest and the host.  Unknown engines (a hypothetical new runtime)
+    fall back to the wasmtime JIT-trampoline pricing.
+    """
+    base = base_engine(engine)
+    if base.startswith("wasmer-"):
+        base = "wasmer"
+    if aot and base in WASI_AOT_DISPATCH_COSTS:
+        entry, per8 = WASI_AOT_DISPATCH_COSTS[base]
+    else:
+        entry, per8 = WASI_DISPATCH_COSTS.get(
+            base, WASI_DISPATCH_COSTS["wasmtime"])
+    return {fn: (entry + kernel, per8)
+            for fn, kernel in WASI_SYSCALL_KERNEL_COSTS.items()}
 
 
 def base_engine(name: str) -> str:

@@ -58,7 +58,8 @@ class RunResult:
     #: Model-time span tree (see repro.obs.spans / TRACING.md); every
     #: field is a pure function of the run configuration.
     trace: List[Dict] = field(default_factory=list)
-    #: Per-WASI-function {"calls", "instructions"} (the eWAPA view).
+    #: Per-WASI-function {"calls", "instructions", "bytes"} (the eWAPA
+    #: view; instructions are engine-priced, calls/bytes invariant).
     wasi_calls: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
@@ -173,7 +174,9 @@ class RunPipeline:
         cpu = self.cpu
         cpu.memory.alloc("runtime-base", self.runtime.runtime_base_bytes)
         cpu.memory.alloc("module-bytes", len(self.wasm_bytes))
-        self.wasi = WasiAPI(fs=self.fs, cpu=cpu, argv=self.argv)
+        self.wasi = WasiAPI(fs=self.fs, cpu=cpu, argv=self.argv,
+                            engine=self.runtime.name,
+                            aot=self.aot_image is not None)
 
     def _phase_decode(self) -> None:
         # The decoded-module cache (repro.speed) shares the pure

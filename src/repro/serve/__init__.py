@@ -25,7 +25,7 @@ Layout:
   (integer-quantized exponential sampler; no libm at sample time);
 * :mod:`~repro.serve.simulator` — the G/G/c-style event loop for the
   three execution models, plus per-request span emission;
-* :mod:`~repro.serve.report` — the ``wabench-serve/1`` JSON document
+* :mod:`~repro.serve.report` — the ``wabench-serve/2`` JSON document
   and rendered latency/scaling/memory tables;
 * :mod:`~repro.serve.driver` — ``wabench serve`` orchestration.
 """

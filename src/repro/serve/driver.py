@@ -4,7 +4,7 @@ One :func:`run_serve` call measures a cost profile per (workload,
 engine) through the shared harness (cached, optionally prewarmed across
 ``--jobs`` workers), sweeps the (mode x concurrency) grid through the
 simulator, records one synthetic traced run per cell on the harness's
-tracer, and returns the ``wabench-serve/1`` report document.
+tracer, and returns the ``wabench-serve/2`` report document.
 """
 
 from __future__ import annotations

@@ -69,6 +69,11 @@ class CostProfile:
     reset: PhaseCost
     execute: PhaseCost
     mrss_bytes: int
+    #: Per-request WASI shim totals (the I/O axis of the request):
+    #: host calls made, engine-priced shim instructions, bytes copied.
+    wasi_calls: int = 0
+    wasi_instructions: int = 0
+    wasi_bytes: int = 0
 
     @property
     def cold_latency_cycles(self) -> int:
@@ -99,13 +104,17 @@ class CostProfile:
         cold = PhaseCost()
         for phase in COLD_START_PHASES:
             cold = cold + by_phase.get(phase, PhaseCost())
+        wasi = result.wasi_calls or {}
         return cls(
             workload=workload,
             engine=engine,
             cold=cold,
             reset=by_phase.get("instantiate", PhaseCost()),
             execute=by_phase.get("execute", PhaseCost()),
-            mrss_bytes=result.mrss_bytes)
+            mrss_bytes=result.mrss_bytes,
+            wasi_calls=sum(s["calls"] for s in wasi.values()),
+            wasi_instructions=sum(s["instructions"] for s in wasi.values()),
+            wasi_bytes=sum(s.get("bytes", 0) for s in wasi.values()))
 
 
 def profiles_from_harness(harness, workloads: Sequence[str],

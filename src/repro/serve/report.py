@@ -1,6 +1,6 @@
 """Serve report: canonical JSON + rendered tables for ``wabench serve``.
 
-The JSON document (schema ``wabench-serve/1``) is the CI contract: it is
+The JSON document (schema ``wabench-serve/2``) is the CI contract: it is
 byte-compared against a committed golden, so everything in it must be a
 pure function of the run configuration.  All primary quantities are
 integer cycles straight out of the simulator; derived seconds/RPS floats
@@ -17,7 +17,7 @@ from ..harness.report import Table, percentile_nearest_rank
 from .profile import CostProfile
 from .simulator import CellSim
 
-SERVE_SCHEMA = "wabench-serve/1"
+SERVE_SCHEMA = "wabench-serve/2"
 
 
 def _us(cycles: int, to_seconds) -> float:
@@ -27,7 +27,7 @@ def _us(cycles: int, to_seconds) -> float:
 def build_report(profiles: Dict[tuple, CostProfile],
                  sims: Sequence[CellSim], *, meta: Dict,
                  to_seconds) -> Dict:
-    """Assemble the ``wabench-serve/1`` report document."""
+    """Assemble the ``wabench-serve/2`` report document."""
     profile_rows = []
     for (workload, engine) in sorted(profiles):
         prof = profiles[(workload, engine)]
@@ -40,6 +40,9 @@ def build_report(profiles: Dict[tuple, CostProfile],
             "cold_latency_us": _us(prof.cold_latency_cycles, to_seconds),
             "warm_latency_us": _us(prof.warm_latency_cycles, to_seconds),
             "rss_per_instance_bytes": prof.mrss_bytes,
+            "wasi_calls": prof.wasi_calls,
+            "wasi_instructions": prof.wasi_instructions,
+            "wasi_bytes": prof.wasi_bytes,
         })
 
     cells = []

@@ -2,13 +2,27 @@
 
 Standalone runtimes implement WASI so Wasm programs can reach system
 resources; this package is that implementation for every runtime model in
-the reproduction, plus the native baseline's syscall layer.
+the reproduction, plus the native baseline's syscall layer.  The package
+is layered: ``fs`` is the hierarchical in-memory filesystem (preopens,
+rights, directories), ``api`` is the preview1 surface charged against
+per-engine syscall cost tables from ``repro.registry``, and ``errno``
+holds the shared error numbers.
 """
 
 from . import errno
-from .api import WasiAPI
-from .fs import (O_CREAT, O_DIRECTORY, O_EXCL, O_TRUNC, SEEK_CUR, SEEK_END,
-                 SEEK_SET, FileHandle, VirtualFS)
+from .api import DEFAULT_ENVIRON, WasiAPI
+from .fs import (FDFLAG_APPEND, FILETYPE_CHARACTER_DEVICE,
+                 FILETYPE_DIRECTORY, FILETYPE_REGULAR_FILE,
+                 FILETYPE_UNKNOWN, O_CREAT, O_DIRECTORY, O_EXCL, O_TRUNC,
+                 RIGHT_FD_READ, RIGHT_FD_READDIR, RIGHT_FD_SEEK,
+                 RIGHT_FD_WRITE, RIGHTS_ALL, SEEK_CUR, SEEK_END, SEEK_SET,
+                 DirNode, FileHandle, FileNode, VirtualFS)
 
-__all__ = ["errno", "WasiAPI", "O_CREAT", "O_DIRECTORY", "O_EXCL", "O_TRUNC",
-           "SEEK_CUR", "SEEK_END", "SEEK_SET", "FileHandle", "VirtualFS"]
+__all__ = ["errno", "WasiAPI", "DEFAULT_ENVIRON",
+           "O_CREAT", "O_DIRECTORY", "O_EXCL", "O_TRUNC",
+           "FDFLAG_APPEND", "FILETYPE_CHARACTER_DEVICE",
+           "FILETYPE_DIRECTORY", "FILETYPE_REGULAR_FILE",
+           "FILETYPE_UNKNOWN", "RIGHT_FD_READ", "RIGHT_FD_READDIR",
+           "RIGHT_FD_SEEK", "RIGHT_FD_WRITE", "RIGHTS_ALL",
+           "SEEK_CUR", "SEEK_END", "SEEK_SET",
+           "DirNode", "FileHandle", "FileNode", "VirtualFS"]

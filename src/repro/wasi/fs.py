@@ -1,15 +1,23 @@
-"""In-memory virtual filesystem behind the WASI layer.
+"""In-memory hierarchical virtual filesystem behind the WASI layer.
 
 Every run gets its own :class:`VirtualFS` holding the benchmark's input
 files, the standard streams, and anything the guest creates.  The same
 instance backs both the Wasm runtimes (through WASI) and the native
 baseline (through the host syscall layer), so outputs are directly
 comparable.
+
+The tree is real: directories are :class:`DirNode` objects with sorted
+child listings (``fd_readdir`` ordering is deterministic by
+construction), files are :class:`FileNode` objects whose ``data``
+bytearray is shared by every open handle — truncation happens in place,
+so concurrently-open descriptors never diverge from the file.  Path
+resolution starts from a preopen table (fd 3 is the root; additional
+preopens can be installed with :meth:`VirtualFS.add_preopen`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..errors import WasiError
 from . import errno
@@ -25,64 +33,289 @@ O_DIRECTORY = 1 << 1
 O_EXCL = 1 << 2
 O_TRUNC = 1 << 3
 
-_FIRST_USER_FD = 4  # 0-2 std streams, 3 the preopened root
+# WASI fdflags (subset the shim honors).
+FDFLAG_APPEND = 1 << 0
+
+# WASI filetypes (preview1).
+FILETYPE_UNKNOWN = 0
+FILETYPE_CHARACTER_DEVICE = 2
+FILETYPE_DIRECTORY = 3
+FILETYPE_REGULAR_FILE = 4
+
+# WASI rights bits (the subset the shim checks).  A rights mask of 0 at
+# path_open means "unrestricted" — the permissive default every libc in
+# this repo uses; a non-zero mask restricts the handle to exactly the
+# granted operations, the way a capability-honoring runtime would.
+RIGHT_FD_READ = 1 << 1
+RIGHT_FD_SEEK = 1 << 2
+RIGHT_FD_WRITE = 1 << 6
+RIGHT_FD_READDIR = 1 << 14
+RIGHTS_ALL = RIGHT_FD_READ | RIGHT_FD_SEEK | RIGHT_FD_WRITE | \
+    RIGHT_FD_READDIR
+
+_PREOPEN_FIRST_FD = 3  # 0-2 std streams; preopens from 3 up
+
+
+class FileNode:
+    """A regular file: one shared byte buffer plus a stable inode."""
+
+    __slots__ = ("data", "ino")
+    kind = "file"
+
+    def __init__(self, data: bytes = b"", ino: int = 0):
+        self.data = bytearray(data)
+        self.ino = ino
+
+    @property
+    def filetype(self) -> int:
+        return FILETYPE_REGULAR_FILE
+
+
+class DirNode:
+    """A directory: named children, listed in sorted order."""
+
+    __slots__ = ("entries", "ino")
+    kind = "dir"
+
+    def __init__(self, ino: int = 0):
+        self.entries: Dict[str, Union[FileNode, "DirNode"]] = {}
+        self.ino = ino
+
+    @property
+    def filetype(self) -> int:
+        return FILETYPE_DIRECTORY
+
+    def listing(self) -> List[Tuple[str, Union[FileNode, "DirNode"]]]:
+        """Deterministic readdir order: lexicographic by name."""
+        return sorted(self.entries.items())
+
+
+Node = Union[FileNode, DirNode]
 
 
 class FileHandle:
-    """One open file descriptor."""
+    """One open file descriptor over a tree node."""
 
-    def __init__(self, fd: int, path: str, data: bytearray,
-                 append: bool = False):
+    def __init__(self, fd: int, path: str, node: Node,
+                 rights: int = RIGHTS_ALL, fdflags: int = 0,
+                 preopen: bool = False):
         self.fd = fd
         self.path = path
-        self.data = data
-        self.position = len(data) if append else 0
+        self.node = node
+        self.rights = rights if rights else RIGHTS_ALL
+        self.fdflags = fdflags
+        self.preopen = preopen
+        self.position = 0
         self.open = True
+
+    @property
+    def data(self) -> bytearray:
+        """The file's live buffer (shared with every other handle)."""
+        return self.node.data
+
+    def allows(self, right: int) -> bool:
+        return bool(self.rights & right)
 
 
 class VirtualFS:
-    """Path-keyed in-memory files plus the three standard streams."""
+    """Hierarchical in-memory tree plus the three standard streams."""
 
-    def __init__(self, files: Optional[Dict[str, bytes]] = None):
-        self.files: Dict[str, bytearray] = {
-            path: bytearray(data) for path, data in (files or {}).items()}
+    def __init__(self, files: Optional[Dict[str, bytes]] = None,
+                 preopens: Iterable[str] = ()):
+        self._next_ino = 1
+        self.root = DirNode(ino=self._take_ino())
         self.stdin = bytearray()
         self.stdout = bytearray()
         self.stderr = bytearray()
         self._stdin_pos = 0
         self._handles: Dict[int, FileHandle] = {}
-        self._next_fd = _FIRST_USER_FD
+        #: fd -> guest path of each preopened directory; fd 3 is always
+        #: the root.
+        self.preopens: Dict[int, str] = {_PREOPEN_FIRST_FD: "."}
+        self._next_fd = _PREOPEN_FIRST_FD + 1
+        self._handles[_PREOPEN_FIRST_FD] = FileHandle(
+            _PREOPEN_FIRST_FD, ".", self.root, preopen=True)
+        for path, data in (files or {}).items():
+            self.add_file(path, data)
+        for path in preopens:
+            self.add_preopen(path)
+
+    def _take_ino(self) -> int:
+        ino = self._next_ino
+        self._next_ino += 1
+        return ino
 
     # -- setup helpers --------------------------------------------------
 
     def add_file(self, path: str, data: bytes) -> None:
-        self.files[self._norm(path)] = bytearray(data)
+        """Install an input file, creating intermediate directories."""
+        parts = self._parts(path)
+        if not parts:
+            raise WasiError(f"cannot add a file at the root: {path!r}")
+        parent = self._ensure_dirs(parts[:-1])
+        node = parent.entries.get(parts[-1])
+        if isinstance(node, DirNode):
+            raise WasiError(f"{path!r} is a directory")
+        if node is None:
+            node = FileNode(ino=self._take_ino())
+            parent.entries[parts[-1]] = node
+        node.data[:] = data
+
+    def add_dir(self, path: str) -> None:
+        """Create a (possibly nested) directory."""
+        self._ensure_dirs(self._parts(path))
+
+    def add_preopen(self, path: str) -> int:
+        """Preopen a directory (created on demand); returns its fd."""
+        parts = self._parts(path)
+        self._ensure_dirs(parts)
+        norm = "/".join(parts) or "."
+        for fd, existing in self.preopens.items():
+            if existing == norm:
+                return fd
+        fd = self._next_fd
+        self._next_fd += 1
+        node = self._lookup(parts)
+        self.preopens[fd] = norm
+        self._handles[fd] = FileHandle(fd, norm, node, preopen=True)
+        return fd
 
     def set_stdin(self, data: bytes) -> None:
         self.stdin = bytearray(data)
         self._stdin_pos = 0
 
+    # -- path handling --------------------------------------------------
+
     @staticmethod
-    def _norm(path: str) -> str:
-        return path.lstrip("./").lstrip("/") or "."
+    def _parts(path: str) -> List[str]:
+        """Split a guest path into normalized components.
+
+        Strips ``./`` *prefixes* (not a character class — dotfiles like
+        ``.config`` keep their dots), drops empty and ``.`` segments,
+        and resolves ``..`` lexically, clamping at the sandbox root the
+        way a preopen-confined runtime does.
+        """
+        while path.startswith("./"):
+            path = path[2:]
+        parts: List[str] = []
+        for segment in path.split("/"):
+            if segment in ("", "."):
+                continue
+            if segment == "..":
+                if parts:
+                    parts.pop()
+                continue
+            parts.append(segment)
+        return parts
+
+    @classmethod
+    def _norm(cls, path: str) -> str:
+        return "/".join(cls._parts(path)) or "."
+
+    def _lookup(self, parts: List[str],
+                base: Optional[DirNode] = None) -> Optional[Node]:
+        node: Node = base if base is not None else self.root
+        for segment in parts:
+            if not isinstance(node, DirNode):
+                return None
+            child = node.entries.get(segment)
+            if child is None:
+                return None
+            node = child
+        return node
+
+    def _ensure_dirs(self, parts: List[str]) -> DirNode:
+        node = self.root
+        for segment in parts:
+            child = node.entries.get(segment)
+            if child is None:
+                child = DirNode(ino=self._take_ino())
+                node.entries[segment] = child
+            elif not isinstance(child, DirNode):
+                raise WasiError(f"{segment!r} is not a directory")
+            node = child
+        return node
+
+    def _resolve_dirfd(self, dirfd: Optional[int]
+                       ) -> Union[DirNode, int]:
+        """The directory node a path resolves against, or ``-errno``."""
+        if dirfd is None:
+            return self.root
+        h = self._handles.get(dirfd)
+        if h is None or not h.open:
+            return -errno.EBADF
+        if not isinstance(h.node, DirNode):
+            return -errno.ENOTDIR
+        return h.node
+
+    def node_at(self, path: str,
+                dirfd: Optional[int] = None) -> Optional[Node]:
+        """The tree node at a guest path (None when absent)."""
+        base = self._resolve_dirfd(dirfd)
+        if isinstance(base, int):
+            return None
+        return self._lookup(self._parts(path), base)
+
+    #: Back-compat flat view: normalized path -> live file buffer.
+    @property
+    def files(self) -> Dict[str, bytearray]:
+        out: Dict[str, bytearray] = {}
+
+        def walk(node: DirNode, prefix: str) -> None:
+            for name, child in node.listing():
+                path = prefix + name
+                if isinstance(child, DirNode):
+                    walk(child, path + "/")
+                else:
+                    out[path] = child.data
+
+        walk(self.root, "")
+        return out
 
     # -- descriptor table -----------------------------------------------
 
-    def open_path(self, path: str, oflags: int) -> int:
-        """Open a path; returns an fd or raises a WASI errno via ValueError."""
-        path = self._norm(path)
-        exists = path in self.files
-        if oflags & O_EXCL and exists:
+    def open_path(self, path: str, oflags: int,
+                  dirfd: Optional[int] = None, rights: int = 0,
+                  fdflags: int = 0) -> int:
+        """Open a path; returns an fd or a negative errno."""
+        base = self._resolve_dirfd(dirfd)
+        if isinstance(base, int):
+            return base
+        parts = self._parts(path)
+        node = self._lookup(parts, base)
+        if oflags & O_EXCL and node is not None:
             return -errno.EEXIST
-        if not exists:
+        if oflags & O_DIRECTORY:
+            if node is None:
+                return -errno.ENOENT
+            if not isinstance(node, DirNode):
+                return -errno.ENOTDIR
+        if node is None:
             if not oflags & O_CREAT:
                 return -errno.ENOENT
-            self.files[path] = bytearray()
+            if not parts:
+                return -errno.EINVAL
+            parent = self._lookup(parts[:-1], base)
+            if parent is None:
+                return -errno.ENOENT
+            if not isinstance(parent, DirNode):
+                return -errno.ENOTDIR
+            node = FileNode(ino=self._take_ino())
+            parent.entries[parts[-1]] = node
         elif oflags & O_TRUNC:
-            self.files[path] = bytearray()
+            if isinstance(node, DirNode):
+                return -errno.EISDIR
+            # Truncate *in place*: handles already open on this file
+            # keep referencing the same buffer.
+            del node.data[:]
         fd = self._next_fd
         self._next_fd += 1
-        self._handles[fd] = FileHandle(fd, path, self.files[path])
+        norm = "/".join(parts) or "."
+        handle = FileHandle(fd, norm, node, rights=rights,
+                            fdflags=fdflags)
+        if isinstance(node, FileNode) and fdflags & FDFLAG_APPEND:
+            handle.position = len(node.data)
+        self._handles[fd] = handle
         return fd
 
     def handle(self, fd: int) -> Optional[FileHandle]:
@@ -95,10 +328,12 @@ class VirtualFS:
         h = self._handles.get(fd)
         if h is None or not h.open:
             return errno.EBADF
+        if h.preopen:
+            return errno.ENOTSUP  # preopens stay open for the run
         h.open = False
         return errno.SUCCESS
 
-    # -- I/O primitives ------------------------------------------------------
+    # -- I/O primitives --------------------------------------------------
 
     def write(self, fd: int, payload: bytes) -> int:
         """Write to an fd; returns bytes written or negative errno."""
@@ -111,37 +346,77 @@ class VirtualFS:
         h = self.handle(fd)
         if h is None:
             return -errno.EBADF
+        if isinstance(h.node, DirNode):
+            return -errno.EISDIR
+        if not h.allows(RIGHT_FD_WRITE):
+            return -errno.EACCES
+        if h.fdflags & FDFLAG_APPEND:
+            h.position = len(h.node.data)
         end = h.position + len(payload)
-        if end > len(h.data):
-            h.data.extend(b"\x00" * (end - len(h.data)))
-        h.data[h.position:end] = payload
+        data = h.node.data
+        if end > len(data):
+            data.extend(b"\x00" * (end - len(data)))
+        data[h.position:end] = payload
         h.position = end
         return len(payload)
 
     def read(self, fd: int, size: int) -> Optional[bytes]:
-        """Read from an fd; None means EBADF."""
+        """Read from an fd; None means EBADF/EACCES/EISDIR."""
         if fd == 0:
             chunk = bytes(self.stdin[self._stdin_pos:self._stdin_pos + size])
             self._stdin_pos += len(chunk)
             return chunk
         h = self.handle(fd)
-        if h is None:
+        if h is None or isinstance(h.node, DirNode):
             return None
-        chunk = bytes(h.data[h.position:h.position + size])
+        if not h.allows(RIGHT_FD_READ):
+            return None
+        chunk = bytes(h.node.data[h.position:h.position + size])
         h.position += len(chunk)
         return chunk
+
+    def pread(self, fd: int, size: int, offset: int) -> Optional[bytes]:
+        """Positioned read; never moves the handle's cursor."""
+        h = self.handle(fd)
+        if h is None or isinstance(h.node, DirNode):
+            return None
+        if not h.allows(RIGHT_FD_READ):
+            return None
+        return bytes(h.node.data[offset:offset + size])
+
+    def pwrite(self, fd: int, payload: bytes, offset: int) -> int:
+        """Positioned write; never moves the handle's cursor."""
+        h = self.handle(fd)
+        if h is None:
+            return -errno.EBADF
+        if isinstance(h.node, DirNode):
+            return -errno.EISDIR
+        if not h.allows(RIGHT_FD_WRITE):
+            return -errno.EACCES
+        if offset < 0:
+            return -errno.EINVAL
+        data = h.node.data
+        end = offset + len(payload)
+        if end > len(data):
+            data.extend(b"\x00" * (end - len(data)))
+        data[offset:end] = payload
+        return len(payload)
 
     def seek(self, fd: int, offset: int, whence: int) -> int:
         """Seek; returns new position or negative errno."""
         h = self.handle(fd)
         if h is None:
             return -errno.EBADF
+        if isinstance(h.node, DirNode):
+            return -errno.EISDIR
+        if not h.allows(RIGHT_FD_SEEK):
+            return -errno.EACCES
         if whence == SEEK_SET:
             new = offset
         elif whence == SEEK_CUR:
             new = h.position + offset
         elif whence == SEEK_END:
-            new = len(h.data) + offset
+            new = len(h.node.data) + offset
         else:
             return -errno.EINVAL
         if new < 0:
@@ -149,11 +424,83 @@ class VirtualFS:
         h.position = new
         return new
 
+    # -- directory / metadata operations ---------------------------------
+
+    def readdir(self, fd: int) -> Union[List[Tuple[str, Node]], int]:
+        """Sorted entries of an open directory, or ``-errno``."""
+        h = self.handle(fd)
+        if h is None:
+            return -errno.EBADF
+        if not isinstance(h.node, DirNode):
+            return -errno.ENOTDIR
+        if not h.allows(RIGHT_FD_READDIR):
+            return -errno.EACCES
+        return h.node.listing()
+
+    def unlink(self, path: str, dirfd: Optional[int] = None) -> int:
+        base = self._resolve_dirfd(dirfd)
+        if isinstance(base, int):
+            return base
+        parts = self._parts(path)
+        if not parts:
+            return -errno.EINVAL
+        parent = self._lookup(parts[:-1], base)
+        if not isinstance(parent, DirNode):
+            return -errno.ENOENT
+        node = parent.entries.get(parts[-1])
+        if node is None:
+            return -errno.ENOENT
+        if isinstance(node, DirNode):
+            return -errno.EISDIR
+        del parent.entries[parts[-1]]
+        return errno.SUCCESS
+
+    def rename(self, old_path: str, new_path: str,
+               old_dirfd: Optional[int] = None,
+               new_dirfd: Optional[int] = None) -> int:
+        old_base = self._resolve_dirfd(old_dirfd)
+        if isinstance(old_base, int):
+            return old_base
+        new_base = self._resolve_dirfd(new_dirfd)
+        if isinstance(new_base, int):
+            return new_base
+        old_parts = self._parts(old_path)
+        new_parts = self._parts(new_path)
+        if not old_parts or not new_parts:
+            return -errno.EINVAL
+        old_parent = self._lookup(old_parts[:-1], old_base)
+        if not isinstance(old_parent, DirNode):
+            return -errno.ENOENT
+        node = old_parent.entries.get(old_parts[-1])
+        if node is None:
+            return -errno.ENOENT
+        new_parent = self._lookup(new_parts[:-1], new_base)
+        if not isinstance(new_parent, DirNode):
+            return -errno.ENOENT
+        existing = new_parent.entries.get(new_parts[-1])
+        if isinstance(existing, DirNode):
+            return -errno.EISDIR
+        del old_parent.entries[old_parts[-1]]
+        new_parent.entries[new_parts[-1]] = node
+        return errno.SUCCESS
+
+    def filestat(self, path: str,
+                 dirfd: Optional[int] = None) -> Union[Tuple, int]:
+        """``(ino, filetype, size)`` of a path, or ``-errno``."""
+        base = self._resolve_dirfd(dirfd)
+        if isinstance(base, int):
+            return base
+        node = self._lookup(self._parts(path), base)
+        if node is None:
+            return -errno.ENOENT
+        size = len(node.data) if isinstance(node, FileNode) else 0
+        return (node.ino, node.filetype, size)
+
     def size_of(self, path: str) -> int:
-        data = self.files.get(self._norm(path))
-        if data is None:
+        node = self._lookup(self._parts(path))
+        if not isinstance(node, FileNode):
             raise WasiError(f"no such file: {path}")
-        return len(data)
+        return len(node.data)
 
     def stdout_text(self, encoding: str = "utf-8") -> str:
         return self.stdout.decode(encoding, errors="replace")

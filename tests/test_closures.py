@@ -22,6 +22,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import speed
+from repro.bench import io_names
 from repro.errors import HarnessError, Trap
 from repro.fuzz import CellRunner, normalize_trap
 from repro.fuzz.generator import generate_module, generate_program
@@ -191,6 +192,27 @@ def test_full_suite_equivalence(engine):
         harness = Harness(size="test")
         return {name: harness.run(name, engine).to_json()
                 for name in harness.benchmark_names}
+
+    ref = suite(0)
+    fast = suite(1)
+    closure = suite(2)
+    diverged = [n for n in ref if closure[n] != ref[n]]
+    assert not diverged, f"tier 2 diverged on: {diverged}"
+    diverged = [n for n in ref if fast[n] != ref[n]]
+    assert not diverged, f"tier 1 diverged on: {diverged}"
+
+
+@pytest.mark.parametrize("engine", SWEEP_ENGINES)
+def test_io_suite_equivalence(engine):
+    """The I/O-bound WABench class, byte-identical across all three
+    tiers.  These programs are WASI-heavy, so any tier that priced or
+    ordered host calls differently would diverge here first."""
+    def suite(tier):
+        speed.set_tier(tier)
+        speed.module_cache.clear()
+        harness = Harness(size="test", benchmarks=list(io_names()))
+        return {name: harness.run(name, engine).to_json()
+                for name in io_names()}
 
     ref = suite(0)
     fast = suite(1)

@@ -329,7 +329,7 @@ class TestReportShape:
                            modes=["spawn", "warm", "pool"],
                            concurrency_levels=[1, 4],
                            seed=0, requests=40)
-        assert report["schema"] == "wabench-serve/1"
+        assert report["schema"] == "wabench-serve/2"
         assert len(report["cells"]) == 2 * 2 * 3 * 2
         for cell in report["cells"]:
             for field in ("cold_start_us", "p50_us", "p90_us", "p99_us",

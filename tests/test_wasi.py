@@ -1,12 +1,25 @@
-"""Unit tests for the WASI layer and virtual filesystem."""
+"""Unit tests for the WASI layer and virtual filesystem.
+
+The ``TestConformanceMatrix`` class is the preview1 conformance matrix:
+one section per contract axis (errno behavior, preopen resolution,
+readdir determinism, path normalization, truncation aliasing, rights).
+``TestCrossEngineIdentity`` pins the observability contract — the
+``{fn: (calls, bytes)}`` profile of a WASI-heavy benchmark is a pure
+function of the guest program, identical across engines, speed tiers,
+and ``--jobs`` fan-out."""
+
+import struct
 
 import pytest
 
+from repro import speed
 from repro.errors import ExitProc
 from repro.hw import CPUModel
 from repro.isa.memory import LinearMemory
-from repro.wasi import (O_CREAT, O_EXCL, O_TRUNC, SEEK_CUR, SEEK_END,
-                        SEEK_SET, VirtualFS, WasiAPI, errno)
+from repro.wasi import (FDFLAG_APPEND, O_CREAT, O_DIRECTORY, O_EXCL,
+                        O_TRUNC, RIGHT_FD_READ, RIGHT_FD_SEEK,
+                        RIGHT_FD_WRITE, SEEK_CUR, SEEK_END, SEEK_SET,
+                        VirtualFS, WasiAPI, errno)
 
 
 @pytest.fixture
@@ -174,3 +187,213 @@ class TestWasiAPI:
         wasi.fd_write(mem, 1, 64, 1, 128)
         charged = wasi.cpu.counters.instructions - before
         assert charged > 100  # syscall base + copy cost
+
+
+class TestConformanceMatrix:
+    """The preview1 conformance matrix: errno, preopens, readdir
+    determinism, normalization regressions, aliasing, rights."""
+
+    # -- errno: EBADF on every fd-taking operation -----------------------
+
+    def test_ebadf_matrix(self):
+        fs = VirtualFS()
+        bad = 99
+        assert fs.read(bad, 1) is None
+        assert fs.write(bad, b"x") == -errno.EBADF
+        assert fs.seek(bad, 0, SEEK_SET) == -errno.EBADF
+        assert fs.pread(bad, 1, 0) is None
+        assert fs.pwrite(bad, b"x", 0) == -errno.EBADF
+        assert fs.close(bad) == errno.EBADF
+        assert fs.readdir(bad) == -errno.EBADF
+
+    def test_ebadf_matrix_api(self, api):
+        wasi, mem = api
+        assert wasi.fd_fdstat_get(mem, 99, 128) == errno.EBADF
+        assert wasi.fd_readdir(mem, 99, 256, 64, 0, 128) == errno.EBADF
+        mem.store_u32(64, 256)
+        mem.store_u32(68, 4)
+        assert wasi.fd_pread(mem, 99, 64, 1, 0, 128) == errno.EBADF
+        assert wasi.fd_pwrite(mem, 99, 64, 1, 0, 128) == errno.EBADF
+
+    # -- errno: ENOENT / EEXIST / EINVAL / EISDIR / ENOTDIR --------------
+
+    def test_enoent_matrix(self):
+        fs = VirtualFS({"real.txt": b"x"})
+        assert fs.open_path("ghost", 0) == -errno.ENOENT
+        assert fs.filestat("ghost") == -errno.ENOENT
+        assert fs.unlink("ghost") == -errno.ENOENT
+        assert fs.rename("ghost", "other") == -errno.ENOENT
+        assert fs.open_path("ghostdir/file", O_CREAT) == -errno.ENOENT
+
+    def test_eexist_on_exclusive_create(self):
+        fs = VirtualFS({"f": b"x"})
+        assert fs.open_path("f", O_CREAT | O_EXCL) == -errno.EEXIST
+
+    def test_einval_matrix(self):
+        fs = VirtualFS({"f": b"abcd"})
+        fd = fs.open_path("f", 0)
+        assert fs.seek(fd, -1, SEEK_SET) == -errno.EINVAL
+        assert fs.seek(fd, 0, 7) == -errno.EINVAL  # bad whence
+
+    def test_eisdir_on_file_ops_against_directory(self):
+        fs = VirtualFS({"d/inner.txt": b"x"})
+        assert fs.unlink("d") == -errno.EISDIR
+        fd = fs.open_path("d", O_DIRECTORY)
+        assert fd >= 4
+        assert fs.seek(fd, 0, SEEK_SET) == -errno.EISDIR
+
+    def test_enotdir_on_o_directory_against_file(self):
+        fs = VirtualFS({"f": b"x"})
+        assert fs.open_path("f", O_DIRECTORY) == -errno.ENOTDIR
+
+    # -- preopen resolution ----------------------------------------------
+
+    def test_root_preopen_is_fd3_and_unclosable(self):
+        fs = VirtualFS()
+        h = fs.handle(3)
+        assert h is not None and h.preopen and h.path == "."
+        assert fs.close(3) == errno.ENOTSUP
+
+    def test_added_preopen_resolves_relative_paths(self):
+        fs = VirtualFS({"work/cfg.ini": b"k=v"})
+        pfd = fs.add_preopen("work")
+        assert pfd >= 4
+        fd = fs.open_path("cfg.ini", 0, dirfd=pfd)
+        assert fd >= 4
+        assert fs.read(fd, 16) == b"k=v"
+        # Same name resolved against the root preopen: not found.
+        assert fs.open_path("cfg.ini", 0, dirfd=3) == -errno.ENOENT
+
+    def test_bad_dirfd_is_ebadf_not_enoent(self):
+        fs = VirtualFS({"f": b"x"})
+        assert fs.open_path("f", 0, dirfd=42) == -errno.EBADF
+        assert fs.filestat("f", dirfd=42) == -errno.EBADF
+
+    # -- readdir determinism ---------------------------------------------
+
+    def test_readdir_order_independent_of_insertion(self):
+        a = VirtualFS()
+        for name in ("zeta.bin", "alpha.txt", "mid/f"):
+            a.add_file(name, b"x")
+        b = VirtualFS()
+        for name in ("mid/f", "zeta.bin", "alpha.txt"):
+            b.add_file(name, b"x")
+        fd_a = a.open_path(".", O_DIRECTORY, dirfd=3)
+        fd_b = b.open_path(".", O_DIRECTORY, dirfd=3)
+        names_a = [name for name, _ in a.readdir(fd_a)]
+        names_b = [name for name, _ in b.readdir(fd_b)]
+        assert names_a == names_b == ["alpha.txt", "mid", "zeta.bin"]
+
+    def test_fd_readdir_serialization_and_continuation(self, api):
+        wasi, mem = api
+        for name in ("bb.txt", "aa.txt", "cc.txt"):
+            wasi.fs.add_file(name, b"x")
+        fd = wasi.fs.open_path(".", O_DIRECTORY, dirfd=3)
+        # Small buffer: one 24-byte header + short name per page.
+        seen, cookie = [], 0
+        for _ in range(16):
+            assert wasi.fd_readdir(mem, fd, 256, 40, cookie, 128) == \
+                errno.SUCCESS
+            used = mem.load_u32(128)
+            d_next, _ino, namlen, _ftype = struct.unpack(
+                "<QQIBxxx", mem.read_bytes(256, 24))
+            if used >= 24 + namlen:
+                seen.append(mem.read_bytes(256 + 24, namlen).decode())
+                cookie = d_next
+            if used < 40:
+                break
+        assert seen == ["aa.txt", "bb.txt", "cc.txt", "data.txt"]
+
+    # -- path normalization regressions ----------------------------------
+
+    def test_dotfile_not_stripped(self):
+        """Regression: ``_norm`` must strip the ``./`` prefix, not every
+        leading dot — ``.profile`` is a real name."""
+        fs = VirtualFS()
+        fs.add_file(".profile", b"dot")
+        fs.add_file("profile", b"plain")
+        fd = fs.open_path("./.profile", 0)
+        assert fs.read(fd, 8) == b"dot"
+        assert sorted(fs.files) == [".profile", "profile"]
+
+    def test_dotdot_clamps_at_root(self):
+        fs = VirtualFS({"top.txt": b"x"})
+        assert fs.open_path("a/../../top.txt", 0) >= 4
+
+    # -- O_TRUNC aliasing regression --------------------------------------
+
+    def test_trunc_preserves_buffer_identity(self):
+        """Regression: O_TRUNC must clear the file's buffer in place.
+        A handle opened before the truncation shares the node; writes
+        through either fd must stay visible through both."""
+        fs = VirtualFS({"f": b"0123456789"})
+        old = fs.open_path("f", 0)
+        new = fs.open_path("f", O_TRUNC)
+        assert fs.read(old, 16) == b""  # truncation visible via old fd
+        fs.write(new, b"fresh")
+        fs.seek(old, 0, SEEK_SET)
+        assert fs.read(old, 16) == b"fresh"
+
+    # -- rights and fdflags ----------------------------------------------
+
+    def test_rights_restrict_when_nonzero(self):
+        fs = VirtualFS({"f": b"abc"})
+        rd = fs.open_path("f", 0, rights=RIGHT_FD_READ | RIGHT_FD_SEEK)
+        assert fs.read(rd, 3) == b"abc"
+        assert fs.write(rd, b"x") == -errno.EACCES
+        wr = fs.open_path("f", 0, rights=RIGHT_FD_WRITE)
+        assert fs.read(wr, 1) is None  # read denied
+        assert fs.write(wr, b"Z") == 1
+
+    def test_append_fdflag_positions_at_end(self):
+        fs = VirtualFS({"log": b"one\n"})
+        fd = fs.open_path("log", 0, fdflags=FDFLAG_APPEND)
+        fs.write(fd, b"two\n")
+        assert bytes(fs.files["log"]) == b"one\ntwo\n"
+
+
+class TestCrossEngineIdentity:
+    """wasi_calls {fn: (calls, bytes)} is engine-, tier-, and
+    jobs-invariant on the I/O-bound benchmark class."""
+
+    BENCH = "fscan_io"
+    ENGINES = ("wasm3", "wamr", "wasmtime")
+
+    @staticmethod
+    def _profile(result):
+        return {fn: (s["calls"], s["bytes"])
+                for fn, s in result.wasi_calls.items()}
+
+    def test_identical_across_engines_and_tiers(self):
+        from repro.harness import Harness
+        profiles = {}
+        try:
+            for tier in (0, 2):
+                speed.set_tier(tier)
+                speed.module_cache.clear()
+                harness = Harness(size="test", benchmarks=[self.BENCH])
+                for engine in self.ENGINES:
+                    result = harness.run(self.BENCH, engine)
+                    profiles[(engine, tier)] = self._profile(result)
+        finally:
+            speed.set_tier(2)
+            speed.module_cache.clear()
+        reference = profiles[(self.ENGINES[0], 0)]
+        assert reference  # non-trivial profile
+        for key, profile in profiles.items():
+            assert profile == reference, f"profile diverged in {key}"
+
+    def test_identical_across_jobs(self):
+        from repro.harness import Harness
+        from repro.harness.parallel import run_cells
+        cells = [(self.BENCH, engine, 2, False)
+                 for engine in self.ENGINES]
+        serial = Harness(size="test", benchmarks=[self.BENCH])
+        expected = {engine: serial.run(self.BENCH, engine).to_json()
+                    for engine in self.ENGINES}
+        speed.module_cache.clear()
+        fanned = Harness(size="test", benchmarks=[self.BENCH])
+        run_cells(fanned, cells, jobs=2)
+        for engine in self.ENGINES:
+            got = fanned.run(self.BENCH, engine).to_json()
+            assert got == expected[engine], f"--jobs diverged on {engine}"
