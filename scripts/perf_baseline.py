@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Build, refresh, or verify the committed perf-oracle baseline.
+
+Usage::
+
+    python scripts/perf_baseline.py --check          # CI: still current?
+    python scripts/perf_baseline.py --update         # refresh + rewrite
+    python scripts/perf_baseline.py --update --seed 42 --budget 50
+
+``PERF_baseline.json`` holds the expected cross-engine slowdown ratios
+(median log2 ratio + dispersion + tolerance per ``class|engine|-O``
+pair) that ``wabench fuzz --perf`` gates against (see
+:mod:`repro.fuzz.perf`).  The baseline is a pure function of
+``(seed, budget, size-budget, engines, opt-levels, metric, k, floor)``,
+so ``--check`` simply rebuilds it and byte-compares against the
+committed file: any modeling change that moves a ratio beyond rounding
+shows up as a diff, and the fix is to rerun with ``--update`` and
+commit the result *alongside the change that moved it* — with a PR
+description that justifies the shift.
+
+Exit codes: 0 ok, 1 baseline is stale (``--check``), 2 usage.
+"""
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.fuzz.engines import DEFAULT_ENGINES, DEFAULT_OPT_LEVELS
+from repro.fuzz.perf import (DEFAULT_BASELINE_PATH, DEFAULT_METRIC,
+                             DEFAULT_TOLERANCE_FLOOR, DEFAULT_TOLERANCE_K,
+                             build_baseline)
+
+DEFAULT_SEED = 42
+DEFAULT_BUDGET = 50
+DEFAULT_SIZE_BUDGET = 24
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="build/refresh/verify PERF_baseline.json")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help=f"campaign base seed (default: {DEFAULT_SEED})")
+    parser.add_argument("--budget", type=int, default=DEFAULT_BUDGET,
+                        metavar="N",
+                        help=f"generated programs (default: {DEFAULT_BUDGET})")
+    parser.add_argument("--size-budget", type=int,
+                        default=DEFAULT_SIZE_BUDGET, metavar="S",
+                        help="statements per generated program "
+                             f"(default: {DEFAULT_SIZE_BUDGET})")
+    parser.add_argument("--engines", default=None,
+                        help="comma-separated engine list (default: the "
+                             "wabench fuzz default grid)")
+    parser.add_argument("--opt-levels", default=None,
+                        help="comma-separated -O levels (default: 0,2)")
+    parser.add_argument("--metric", default=DEFAULT_METRIC,
+                        help=f"gated metric (default: {DEFAULT_METRIC})")
+    parser.add_argument("--tolerance-k", type=float,
+                        default=DEFAULT_TOLERANCE_K,
+                        help="MAD multiplier in the tolerance formula")
+    parser.add_argument("--tolerance-floor", type=float,
+                        default=DEFAULT_TOLERANCE_FLOOR,
+                        help="minimum tolerance in log2 units")
+    parser.add_argument("--out", default=DEFAULT_BASELINE_PATH,
+                        metavar="FILE",
+                        help=f"baseline path (default: "
+                             f"{DEFAULT_BASELINE_PATH})")
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--update", action="store_true",
+                      help="rebuild and (over)write the baseline file")
+    mode.add_argument("--check", action="store_true",
+                      help="rebuild and byte-compare against the "
+                           "committed baseline; exit 1 on drift")
+    args = parser.parse_args(argv)
+
+    engines = tuple(e.strip() for e in args.engines.split(",")) \
+        if args.engines else DEFAULT_ENGINES
+    opt_levels = tuple(int(o) for o in args.opt_levels.split(",")) \
+        if args.opt_levels else DEFAULT_OPT_LEVELS
+
+    def progress(index, cls_name):
+        if index % 10 == 0:
+            print(f"  [baseline] program {index} (class {cls_name})",
+                  flush=True)
+
+    try:
+        baseline = build_baseline(
+            args.seed, args.budget, size_budget=args.size_budget,
+            engines=engines, opt_levels=opt_levels, metric=args.metric,
+            k=args.tolerance_k, floor=args.tolerance_floor,
+            progress=progress)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    text = baseline.to_json()
+    print(f"baseline: {len(baseline.pairs)} pair(s) from "
+          f"seed={args.seed} budget={args.budget} metric={args.metric}")
+
+    if args.update:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+        return 0
+
+    try:
+        with open(args.out) as fh:
+            committed = fh.read()
+    except OSError as exc:
+        print(f"error: cannot read committed baseline: {exc}",
+              file=sys.stderr)
+        return 1
+    if committed != text:
+        print(f"STALE: {args.out} does not match a fresh rebuild.\n"
+              "A modeling change moved the expected cross-engine "
+              "ratios.  If that shift is intended, refresh with:\n"
+              f"  python scripts/perf_baseline.py --update"
+              f"{' --seed ' + str(args.seed) if args.seed != DEFAULT_SEED else ''}"
+              "\nand commit the result alongside the change.",
+              file=sys.stderr)
+        return 1
+    print(f"ok: {args.out} is current")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,9 @@ adversarial test harness:
 * :mod:`~repro.fuzz.oracle` — differential (stdout / exit status /
   trap kind), metamorphic (-O never increases dynamic instructions),
   and determinism (warm rerun byte-identical) oracles;
+* :mod:`~repro.fuzz.perf` — WarpDiff-style performance-differential
+  oracle: cross-engine slowdown ratios gated against a committed
+  baseline of expected ratios (``PERF_baseline.json``);
 * :mod:`~repro.fuzz.reduce` — delta-debugging minimizer at
   statement/function granularity;
 * :mod:`~repro.fuzz.corpus` — persisted seeds + minimized reproducers
@@ -23,15 +26,19 @@ from .campaign import (DEFAULT_BUDGET, CampaignReport, ProgramVerdict,
                        ReducedReproducer, run_campaign)
 from .corpus import (DEFAULT_CORPUS_DIR, Corpus, CorpusEntry,
                      ReplayOutcome)
-from .engines import (DEFAULT_ENGINES, DEFAULT_OPT_LEVELS, CellRunner,
-                      is_builtin_engine, register_engine,
+from .engines import (DEFAULT_ENGINES, DEFAULT_OPT_LEVELS, ORACLE_VERSION,
+                      CellRunner, is_builtin_engine, register_engine,
                       unregister_engine)
-from .faults import FaultInjectingRuntime, register_faulty_engine
+from .faults import (FaultInjectingRuntime, PerfSkewRuntime,
+                     register_faulty_engine, register_perf_skew_engine)
 from .generator import (DEFAULT_SIZE_BUDGET, GENERATOR_VERSION,
                         GeneratedProgram, derive_seed, generate_module,
                         generate_program)
 from .oracle import (CheckReport, Divergence, Observation,
                      check_program, normalize_trap)
+from .perf import (DEFAULT_BASELINE_PATH, DEFAULT_METRIC, PerfBaseline,
+                   PairStats, build_baseline, pair_stats,
+                   perf_divergences, size_class)
 from .reduce import (ReductionResult, count_statements, make_predicate,
                      reduce_divergence, reduce_source)
 
@@ -39,13 +46,18 @@ __all__ = [
     "DEFAULT_BUDGET", "CampaignReport", "ProgramVerdict",
     "ReducedReproducer", "run_campaign",
     "DEFAULT_CORPUS_DIR", "Corpus", "CorpusEntry", "ReplayOutcome",
-    "DEFAULT_ENGINES", "DEFAULT_OPT_LEVELS", "CellRunner",
+    "DEFAULT_ENGINES", "DEFAULT_OPT_LEVELS", "ORACLE_VERSION",
+    "CellRunner",
     "is_builtin_engine", "register_engine", "unregister_engine",
-    "FaultInjectingRuntime", "register_faulty_engine",
+    "FaultInjectingRuntime", "PerfSkewRuntime",
+    "register_faulty_engine", "register_perf_skew_engine",
     "DEFAULT_SIZE_BUDGET", "GENERATOR_VERSION", "GeneratedProgram",
     "derive_seed", "generate_module", "generate_program",
     "CheckReport", "Divergence", "Observation", "check_program",
     "normalize_trap",
+    "DEFAULT_BASELINE_PATH", "DEFAULT_METRIC", "PerfBaseline",
+    "PairStats", "build_baseline", "pair_stats", "perf_divergences",
+    "size_class",
     "ReductionResult", "count_statements", "make_predicate",
     "reduce_divergence", "reduce_source",
 ]

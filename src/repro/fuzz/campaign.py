@@ -26,6 +26,7 @@ from .engines import (DEFAULT_ENGINES, DEFAULT_OPT_LEVELS, CellRunner,
 from .generator import (DEFAULT_SIZE_BUDGET, GeneratedProgram,
                         derive_seed, generate_program)
 from .oracle import Divergence, check_program
+from .perf import PerfBaseline
 from .reduce import count_statements, reduce_divergence
 
 DEFAULT_BUDGET = 50
@@ -68,6 +69,8 @@ class CampaignReport:
     verdicts: List[ProgramVerdict] = field(default_factory=list)
     reproducers: List[ReducedReproducer] = field(default_factory=list)
     cache_stats: CacheStats = field(default_factory=CacheStats)
+    #: Metric the perf-differential oracle gated on (None = perf off).
+    perf_metric: Optional[str] = None
 
     @property
     def programs_run(self) -> int:
@@ -89,10 +92,12 @@ class CampaignReport:
         return not self.divergences
 
     def render(self, verbose: bool = False) -> str:
+        perf = f" perf={self.perf_metric}" if self.perf_metric else ""
         lines = [f"fuzz campaign: seed={self.base_seed} "
                  f"budget={self.budget} "
                  f"engines={','.join(self.engines)} "
-                 f"opts={','.join(f'-O{o}' for o in self.opt_levels)}"]
+                 f"opts={','.join(f'-O{o}' for o in self.opt_levels)}"
+                 f"{perf}"]
         for verdict in self.verdicts:
             if verbose or not verdict.ok:
                 status = "ok" if verdict.ok else \
@@ -104,8 +109,11 @@ class CampaignReport:
             for divergence in verdict.divergences:
                 lines.append(f"        {divergence.describe()}")
         for repro in self.reproducers:
+            kind = repro.signature[0]
+            if len(repro.signature) > 3:      # perf: append direction
+                kind = f"{kind}:{repro.signature[3]}"
             lines.append(f"  minimized {repro.signature[1]} "
-                         f"-O{repro.signature[2]} [{repro.signature[0]}] "
+                         f"-O{repro.signature[2]} [{kind}] "
                          f"to {repro.statements} statement(s) -> "
                          f"corpus id {repro.entry_id}")
         lines.append(f"{self.programs_run} program(s), "
@@ -116,12 +124,14 @@ class CampaignReport:
 
 def _check_one(index: int, base_seed: int, size_budget: int,
                engines: Sequence[str], opt_levels: Sequence[int],
-               runner: CellRunner) -> ProgramVerdict:
+               runner: CellRunner,
+               perf_baseline: Optional[PerfBaseline] = None
+               ) -> ProgramVerdict:
     seed = derive_seed(base_seed, index)
     program: GeneratedProgram = generate_program(seed, size_budget)
     report = check_program(program.source, engines=engines,
                            opt_levels=opt_levels, runner=runner,
-                           seed=seed)
+                           seed=seed, perf_baseline=perf_baseline)
     return ProgramVerdict(index=index, seed=seed,
                           statements=program.statement_count,
                           cells=report.cells_run,
@@ -131,20 +141,24 @@ def _check_one(index: int, base_seed: int, size_budget: int,
 # -- worker side (one process of the --jobs pool) ---------------------------
 
 _WORKER_STATE = None
+_WORKER_PERF = None
 
 
-def _worker_init(cache_dir: Optional[str]) -> None:
-    global _WORKER_STATE
+def _worker_init(cache_dir: Optional[str],
+                 perf_data: Optional[dict] = None) -> None:
+    global _WORKER_STATE, _WORKER_PERF
     cache = ArtifactCache(cache_dir) if cache_dir else None
     speed.module_cache.attach_disk(cache)
     _WORKER_STATE = CellRunner(cache=cache)
+    _WORKER_PERF = PerfBaseline.from_dict(perf_data) if perf_data else None
 
 
 def _worker_check(task):
     index, base_seed, size_budget, engines, opt_levels = task
     before = CacheStats.from_dict(_WORKER_STATE.stats.to_dict())
     verdict = _check_one(index, base_seed, size_budget, engines,
-                         opt_levels, _WORKER_STATE)
+                         opt_levels, _WORKER_STATE,
+                         perf_baseline=_WORKER_PERF)
     after = _WORKER_STATE.stats
     delta = CacheStats(
         hits={k: v - before.hits.get(k, 0)
@@ -166,7 +180,9 @@ def run_campaign(base_seed: int,
                  cache_dir: Optional[str] = None,
                  jobs: int = 1,
                  progress=None,
-                 tracer=None) -> CampaignReport:
+                 tracer=None,
+                 perf_baseline: Optional[PerfBaseline] = None
+                 ) -> CampaignReport:
     """Run one differential-fuzzing campaign.
 
     ``jobs > 1`` fans whole programs out across worker processes;
@@ -174,6 +190,13 @@ def run_campaign(base_seed: int,
     serial run because workers cannot see them.  Reduction always runs
     serially in the parent, against an uncached runner so candidate
     programs never pollute the artifact store.
+
+    ``perf_baseline`` switches on the performance-differential oracle
+    (:mod:`repro.fuzz.perf`): every cell's slowdown ratio over the
+    reference engine is gated against the baseline's expected ratios,
+    and outliers become ``kind="perf"`` divergences minimized and filed
+    exactly like behavioral ones.  The baseline is serialized into each
+    worker, so parallel campaigns flag byte-identically to serial ones.
 
     ``tracer`` (a :class:`repro.obs.Tracer`) receives campaign-level
     metrics — programs/cells checked, divergences, reproducers — and a
@@ -189,7 +212,9 @@ def run_campaign(base_seed: int,
     report = CampaignReport(base_seed=base_seed, budget=budget,
                             engines=tuple(engines),
                             opt_levels=tuple(opt_levels),
-                            cache_stats=runner.stats)
+                            cache_stats=runner.stats,
+                            perf_metric=(perf_baseline.metric
+                                         if perf_baseline else None))
 
     all_builtin = all(is_builtin_engine(e) for e in engines)
     use_pool = jobs > 1 and budget > 1 and all_builtin
@@ -200,7 +225,10 @@ def run_campaign(base_seed: int,
             from concurrent.futures import ProcessPoolExecutor
             executor = ProcessPoolExecutor(
                 max_workers=min(jobs, budget, os.cpu_count() or 1),
-                initializer=_worker_init, initargs=(cache_dir,))
+                initializer=_worker_init,
+                initargs=(cache_dir,
+                          perf_baseline.to_dict() if perf_baseline
+                          else None))
         except (ImportError, OSError, PermissionError):
             use_pool = False
     with obs.span("check", budget=budget, jobs=jobs if use_pool else 1):
@@ -217,7 +245,8 @@ def run_campaign(base_seed: int,
         else:
             for index in range(budget):
                 verdicts[index] = _check_one(index, base_seed, size_budget,
-                                             engines, opt_levels, runner)
+                                             engines, opt_levels, runner,
+                                             perf_baseline=perf_baseline)
                 if progress is not None:
                     progress(verdicts[index])
 
@@ -236,20 +265,31 @@ def run_campaign(base_seed: int,
                     continue
                 seen_signatures.add(divergence.signature())
                 result = reduce_divergence(divergence, engines, opt_levels,
-                                           runner=reduction_runner)
+                                           runner=reduction_runner,
+                                           perf_baseline=perf_baseline)
                 if result is None:
                     continue
-                entry_id = corpus.save_reproducer(result.source, {
+                signature = {"kind": divergence.signature()[0],
+                             "engine": divergence.signature()[1],
+                             "opt": divergence.signature()[2]}
+                if divergence.direction:
+                    signature["direction"] = divergence.direction
+                meta = {
                     "seed": divergence.seed,
                     "base_seed": base_seed,
-                    "signature": {"kind": divergence.signature()[0],
-                                  "engine": divergence.signature()[1],
-                                  "opt": divergence.signature()[2]},
+                    "signature": signature,
                     "detail": divergence.detail,
                     "engines": list(engines),
                     "opt_levels": list(opt_levels),
                     "statements": result.statement_count,
-                })
+                }
+                if divergence.kind == "perf" and perf_baseline is not None:
+                    # Embed the baseline slice this entry was judged
+                    # against: replay stays self-contained across
+                    # future PERF_baseline.json refreshes.
+                    meta["perf"] = perf_baseline.subset(
+                        engines, opt_levels).to_dict()
+                entry_id = corpus.save_reproducer(result.source, meta)
                 report.reproducers.append(ReducedReproducer(
                     entry_id=entry_id, seed=divergence.seed or 0,
                     signature=divergence.signature(),

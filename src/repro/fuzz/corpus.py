@@ -58,8 +58,19 @@ class CorpusEntry:
     @property
     def signature(self):
         sig = self.meta.get("signature", {})
-        return (sig.get("kind", "behavior"), sig.get("engine", ""),
+        base = (sig.get("kind", "behavior"), sig.get("engine", ""),
                 int(sig.get("opt", 0)))
+        direction = sig.get("direction")
+        return base + (direction,) if direction else base
+
+    @property
+    def perf_baseline(self):
+        """Embedded perf-baseline slice, or None (non-perf entries)."""
+        data = self.meta.get("perf")
+        if not data:
+            return None
+        from .perf import PerfBaseline
+        return PerfBaseline.from_dict(data)
 
 
 @dataclass
@@ -165,9 +176,14 @@ class Corpus:
                 detail=(f"engine(s) {', '.join(sorted(missing))} not "
                         "registered in this process (fault-injection "
                         "engines exist only in their test)"))
+        # Perf reproducers carry the baseline slice they were judged
+        # against, so replay re-applies the perf oracle with the exact
+        # expectations that flagged them — independent of whatever
+        # PERF_baseline.json says today.
         report = check_program(entry.source, engines=entry.engines,
                                opt_levels=entry.opt_levels,
-                               runner=runner)
+                               runner=runner,
+                               perf_baseline=entry.perf_baseline)
         if report.divergences:
             return ReplayOutcome(
                 entry=entry, status="divergent",

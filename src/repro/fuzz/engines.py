@@ -31,6 +31,13 @@ from .generator import GENERATOR_VERSION
 
 DEFAULT_OPT_LEVELS = (0, 2)
 
+#: Oracle/config version stamp, part of every fuzz-result cache key.
+#: Bump whenever an oracle change needs different data out of a cell
+#: (a new metric, a serialization change, ...) — a stale cached result
+#: from a correctness-only run must never satisfy a perf-oracle run.
+#: /2: perf-differential oracle reads the full counter vector.
+ORACLE_VERSION = "fuzz-oracle-2"
+
 #: Test-registered engines: name -> zero-arg factory returning an object
 #: with ``.run(wasm_bytes) -> RunResult``.
 _CUSTOM_ENGINES: Dict[str, Callable[[], object]] = {}
@@ -180,6 +187,7 @@ class CellRunner:
     def _cell_key(self, source: str, engine: str, opt: int) -> str:
         return cache_key("fuzz-result",
                          gen=GENERATOR_VERSION,
+                         oracle=ORACLE_VERSION,
                          src=source_digest(source),
                          engine=engine, opt=opt,
                          cc=config_fingerprint(opt))

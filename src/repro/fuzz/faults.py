@@ -61,6 +61,53 @@ class FaultInjectingRuntime:
         return result
 
 
+class PerfSkewRuntime:
+    """Runs a real runtime, then deterministically scales its modeled
+    cost — a *performance* bug with bit-identical behavior.
+
+    The behavioral oracles can never catch this wrapper: stdout, exit
+    status and traps are untouched.  Only the performance-differential
+    oracle sees it, because the cell's counters (and therefore its
+    slowdown ratio over the reference engine) move by ``factor``.
+    ``factor > 1`` models a slowdown (dispatch regression, lost
+    optimization), ``factor < 1`` a too-good-to-be-true speedup
+    (mis-accounted work); both directions are anomalies.
+    """
+
+    def __init__(self, base: str = "wamr", factor: float = 8.0,
+                 metrics: tuple = ("instructions", "cycles",
+                                   "cache_misses")):
+        if factor <= 0:
+            raise ValueError(f"skew factor must be > 0 (got {factor})")
+        self.base = base
+        self.factor = factor
+        self.metrics = metrics
+
+    def run(self, wasm_bytes: bytes, **kwargs) -> RunResult:
+        result = make_runtime(self.base).run(wasm_bytes, **kwargs)
+        for name in self.metrics:
+            if name in result.counters:
+                result.counters[name] = max(
+                    1, int(result.counters[name] * self.factor))
+        if "cycles" in self.metrics:
+            result.cycles = max(1, int(result.cycles * self.factor))
+        return result
+
+
+def register_perf_skew_engine(name: str, base: str = "wamr",
+                              factor: float = 8.0,
+                              metrics: tuple = ("instructions", "cycles",
+                                                "cache_misses")) -> str:
+    """Register a perf-skew engine (perf-oracle tests); returns name."""
+    from .engines import register_engine
+
+    def factory(base=base, factor=factor, metrics=metrics):
+        return PerfSkewRuntime(base=base, factor=factor, metrics=metrics)
+
+    register_engine(name, factory)
+    return name
+
+
 def register_faulty_engine(name: str, base: str = "wamr",
                            trigger: bytes = b"",
                            mode: str = "flip-stdout") -> str:

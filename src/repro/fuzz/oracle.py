@@ -23,6 +23,13 @@ families:
   build.  An optimizing pipeline that executes more instructions than
   its own unoptimized input is a performance bug of exactly the kind
   Jiang et al. hunt with differential testing.
+* **performance-differential (perf)** — when a
+  :class:`~repro.fuzz.perf.PerfBaseline` is supplied, every cell's
+  slowdown ratio over the reference engine at the same -O level is
+  compared against the expected ratio for this program's benchmark
+  class; a deviation beyond the pair's tolerance is a ``kind="perf"``
+  divergence whose signature carries the deviation direction (see
+  :mod:`repro.fuzz.perf` — the WarpDiff-style oracle).
 * **determinism** — recomputing the reference cell from scratch must
   reproduce the (possibly cache-served) first result byte-for-byte;
   this checks both model purity and artifact-cache integrity.
@@ -33,9 +40,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs import cell_metrics
 from ..runtimes import RunResult
-from .engines import (DEFAULT_ENGINES, DEFAULT_OPT_LEVELS, CellRunner,
-                      validate_engines)
+from .engines import (DEFAULT_ENGINES, DEFAULT_OPT_LEVELS, ORACLE_VERSION,
+                      CellRunner, validate_engines)
+from .perf import PerfBaseline, perf_divergences
 
 #: A cell is one (engine, -O level) execution of the program under test.
 Cell = Tuple[str, int]
@@ -65,16 +74,20 @@ class Observation:
     trap_kind: Optional[str]
     instructions: int
     result_json: str
+    #: Stable integer metric vector (repro.obs.cell_metrics): the
+    #: counters the performance-differential oracle gates on.
+    metrics: Dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def from_result(cls, engine: str, opt: int,
                     result: RunResult) -> "Observation":
+        metrics = cell_metrics(result)
         return cls(engine=engine, opt=opt, stdout=result.stdout,
                    exit_code=result.exit_code,
                    trap_kind=normalize_trap(result.trap),
-                   instructions=int(result.counters.get("instructions",
-                                                        0)),
-                   result_json=result.to_json())
+                   instructions=metrics["instructions"],
+                   result_json=result.to_json(),
+                   metrics=metrics)
 
     def behavior(self) -> Tuple[bytes, int, Optional[str]]:
         return (self.stdout, self.exit_code, self.trap_kind)
@@ -84,18 +97,23 @@ class Observation:
 class Divergence:
     """One oracle violation, with everything needed to reproduce it."""
 
-    kind: str         # "static" | "behavior" | "opt-regression" | "nondet"
+    kind: str  # "static" | "behavior" | "opt-regression" | "perf" | "nondet"
     cell: Cell
     reference_cell: Cell
     detail: str
     seed: Optional[int] = None
     source: str = ""
+    #: Perf divergences only: which way the ratio deviated
+    #: ("slow" | "fast"); part of the anomaly signature.
+    direction: Optional[str] = None
 
-    def signature(self) -> Tuple[str, str, int]:
+    def signature(self) -> Tuple:
         """Stable identity used by the reducer: a candidate program is
         'still interesting' iff it produces a divergence with the same
-        signature (same oracle, same engine, same -O level)."""
-        return (self.kind, self.cell[0], self.cell[1])
+        signature (same oracle, same engine, same -O level — and, for
+        perf divergences, the same deviation direction)."""
+        base = (self.kind, self.cell[0], self.cell[1])
+        return base + (self.direction,) if self.direction else base
 
     def describe(self) -> str:
         engine, opt = self.cell
@@ -135,7 +153,9 @@ def check_program(source: str,
                   opt_levels: Sequence[int] = DEFAULT_OPT_LEVELS,
                   runner: Optional[CellRunner] = None,
                   seed: Optional[int] = None,
-                  check_determinism: bool = True) -> CheckReport:
+                  check_determinism: bool = True,
+                  perf_baseline: Optional[PerfBaseline] = None
+                  ) -> CheckReport:
     """Run every (engine, -O) cell of ``source`` and apply the oracles.
 
     The reference cell is the *first* engine at the *lowest* -O level —
@@ -195,7 +215,13 @@ def check_program(source: str,
                             f"{base_obs.instructions:,}"),
                     seed=seed, source=source))
 
-    # Oracle 3: recomputing the reference cell reproduces it exactly
+    # Oracle 3: performance-differential ratio outliers (WarpDiff) —
+    # only when the caller supplies a baseline of expected ratios.
+    if perf_baseline is not None:
+        report.divergences.extend(perf_divergences(
+            report.observations, perf_baseline, seed=seed, source=source))
+
+    # Oracle 4: recomputing the reference cell reproduces it exactly
     # (model purity + cache integrity: a warm rerun is byte-identical).
     if check_determinism:
         fresh = runner.run_cell(source, ref_cell[0], ref_cell[1],

@@ -144,14 +144,20 @@ def reduce_source(source: str,
 def make_predicate(engines: Sequence[str],
                    opt_levels: Sequence[int],
                    signature,
-                   runner=None) -> Callable[[str], bool]:
+                   runner=None,
+                   perf_baseline=None) -> Callable[[str], bool]:
     """Interestingness = "compiles, and the oracles still report a
-    divergence with this signature" (same kind, engine, -O level).
+    divergence with this signature" (same kind, engine, -O level — and,
+    for perf divergences, the same deviation direction).
 
     Matching on the signature rather than the exact expected/got bytes
     is what lets the reducer strip statements: output shrinks as lines
     vanish, but the *defect* — e.g. "wamr -O2 disagrees with the
-    reference" — must survive every step.
+    reference", or "wamr -O2 runs anomalously slow" — must survive
+    every step.  For perf divergences the candidate's benchmark class
+    may legitimately shift as it shrinks (smaller programs fall into
+    smaller size buckets); the *anomaly signature* — outlier engine
+    pair plus deviation direction — is what must be preserved.
     """
     from .oracle import check_program
 
@@ -161,7 +167,8 @@ def make_predicate(engines: Sequence[str],
         try:
             report = check_program(candidate, engines=engines,
                                    opt_levels=opt_levels, runner=runner,
-                                   check_determinism=False)
+                                   check_determinism=False,
+                                   perf_baseline=perf_baseline)
         except ReproError:
             return False
         return any(d.signature() == signature
@@ -173,7 +180,8 @@ def make_predicate(engines: Sequence[str],
 def reduce_divergence(divergence, engines: Sequence[str],
                       opt_levels: Sequence[int],
                       runner=None,
-                      max_tests: int = DEFAULT_MAX_TESTS
+                      max_tests: int = DEFAULT_MAX_TESTS,
+                      perf_baseline=None
                       ) -> Optional[ReductionResult]:
     """Minimize the program attached to ``divergence``.
 
@@ -181,7 +189,8 @@ def reduce_divergence(divergence, engines: Sequence[str],
     program (flaky environment, or an engine changed underneath us).
     """
     predicate = make_predicate(engines, opt_levels,
-                               divergence.signature(), runner=runner)
+                               divergence.signature(), runner=runner,
+                               perf_baseline=perf_baseline)
     try:
         return reduce_source(divergence.source, predicate,
                              max_tests=max_tests)

@@ -22,10 +22,13 @@ byte-identical across cold, warm-cache, and ``--jobs N`` invocations.
 
 ``wabench fuzz`` runs the differential-fuzzing subsystem: seeded
 generated programs executed on every engine at multiple -O levels, with
-divergences optionally minimized to corpus reproducers::
+divergences optionally minimized to corpus reproducers.  ``--perf``
+additionally gates every cell's cross-engine slowdown ratio against the
+committed ``PERF_baseline.json`` (the WarpDiff-style oracle)::
 
     wabench fuzz --seed 42 --budget 50 --jobs 4
     wabench fuzz --seed 42 --budget 50 --minimize --corpus-dir corpus
+    wabench fuzz --seed 42 --budget 50 --perf
 
 ``wabench serve`` sweeps the modeled edge/serverless serving grid
 (:mod:`repro.serve`): service workloads x engines x execution models
@@ -302,6 +305,7 @@ def _cmd_serve(args) -> int:
 def _cmd_fuzz(args) -> int:
     from ..fuzz import Corpus, run_campaign
     from ..fuzz.engines import DEFAULT_ENGINES
+    from ..fuzz.perf import DEFAULT_BASELINE_PATH, PerfBaseline
     from .cache import default_cache_dir
 
     engines = tuple(e.strip() for e in args.engines.split(",")) \
@@ -311,6 +315,10 @@ def _cmd_fuzz(args) -> int:
         (args.cache_dir or default_cache_dir())
     corpus = Corpus(args.corpus_dir or "corpus") \
         if (args.minimize or args.corpus_dir) else None
+    perf_baseline = None
+    if args.perf or args.perf_baseline:
+        perf_baseline = PerfBaseline.from_file(
+            args.perf_baseline or DEFAULT_BASELINE_PATH)
 
     progress = None
     if args.verbose:
@@ -326,7 +334,7 @@ def _cmd_fuzz(args) -> int:
         size_budget=args.size_budget, engines=engines,
         opt_levels=opt_levels, minimize=args.minimize,
         corpus=corpus, cache_dir=cache_dir, jobs=args.jobs,
-        progress=progress, tracer=tracer)
+        progress=progress, tracer=tracer, perf_baseline=perf_baseline)
     text = report.render(verbose=args.verbose)
     print(text)
     if tracer is not None and tracer.metrics.snapshot():
@@ -588,6 +596,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     fuzz_p.add_argument("--minimize", action="store_true",
                         help="delta-debug each divergence to a minimal "
                              "reproducer saved in the corpus")
+    fuzz_p.add_argument("--perf", action="store_true",
+                        help="enable the performance-differential oracle "
+                             "against the committed PERF_baseline.json")
+    fuzz_p.add_argument("--perf-baseline", default=None, metavar="PATH",
+                        help="perf baseline file (implies --perf; "
+                             "default: PERF_baseline.json)")
     fuzz_p.add_argument("--corpus-dir", default=None, metavar="DIR",
                         help="corpus directory (default: corpus/; only "
                              "written with --minimize or when given)")

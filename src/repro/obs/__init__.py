@@ -24,8 +24,9 @@ emits through it instead of keeping ad-hoc accounting:
   be used for durations).
 """
 
-from .export import (TRACE_SCHEMA, TraceSchemaError, phase_cycles,
-                     root_span, trace_lines, validate_trace, write_trace)
+from .export import (TRACE_SCHEMA, TraceSchemaError, cell_metrics,
+                     phase_cycles, root_span, trace_lines,
+                     validate_trace, write_trace)
 from .metrics import CallStats, MetricRegistry
 from .spans import (NULL_BUILDER, NullTraceBuilder, TimelineBuilder,
                     TraceBuilder)
@@ -33,8 +34,8 @@ from .timing import Stopwatch, wall_clock
 from .tracer import NULL_TRACER, NullTracer, TracedRun, Tracer
 
 __all__ = [
-    "TRACE_SCHEMA", "TraceSchemaError", "phase_cycles", "root_span",
-    "trace_lines", "validate_trace", "write_trace",
+    "TRACE_SCHEMA", "TraceSchemaError", "cell_metrics", "phase_cycles",
+    "root_span", "trace_lines", "validate_trace", "write_trace",
     "CallStats", "MetricRegistry",
     "NULL_BUILDER", "NullTraceBuilder", "TimelineBuilder", "TraceBuilder",
     "Stopwatch", "wall_clock",

@@ -186,6 +186,25 @@ def validate_trace(lines: Iterable[str]) -> Dict[str, int]:
     return counts
 
 
+# -- per-cell metric extraction ---------------------------------------------
+
+
+def cell_metrics(result) -> Dict[str, int]:
+    """The stable integer metric vector of one measured cell.
+
+    Extracts exactly :data:`repro.registry.PERF_ORACLE_METRICS` from a
+    :class:`~repro.runtimes.RunResult`'s counter snapshot, as ints, in
+    registry order.  This is the one extraction point the perf-
+    differential oracle, its baseline builder, and the corpus replayer
+    all share, so a counter rename or a new metric is a one-line change
+    here plus a registry entry — never a silent drift between them.
+    """
+    from ..registry import PERF_ORACLE_METRICS
+    counters = result.counters
+    return {name: int(counters.get(name, 0))
+            for name in PERF_ORACLE_METRICS}
+
+
 # -- phase breakdowns --------------------------------------------------------
 
 

@@ -58,6 +58,24 @@ COLD_START_PHASES: Tuple[str, ...] = ("spawn", "decode", "validate", "load",
                                       "instantiate")
 
 
+#: Metrics the performance-differential fuzz oracle extracts from every
+#: (engine, -O) cell — the modeled counters the paper's figures report
+#: and the WarpDiff-style ratio test can therefore gate on.
+PERF_ORACLE_METRICS: Tuple[str, ...] = ("instructions", "cycles",
+                                        "cache_misses")
+
+#: Benchmark-class boundaries for the perf oracle, as (name, exclusive
+#: upper bound) over the *reference cell's* dynamic instruction count.
+#: Slowdown ratios shift with workload size (fixed spawn/compile costs
+#: amortize as programs grow — the paper's JIT-crossover story), so
+#: expected ratios are kept per size class, not globally.
+PERF_CLASS_BOUNDS: Tuple[Tuple[str, int], ...] = (
+    ("xs", 4000), ("s", 8000), ("m", 16000), ("l", 32000))
+
+#: Class of everything at or above the last bound.
+PERF_CLASS_TOP = "xl"
+
+
 #: Host-call dispatch cost per engine: ``(entry_instructions,
 #: copy_instructions_per_8_bytes)``.  The entry cost models what the
 #: engine burns getting from guest code into the WASI shim and back —

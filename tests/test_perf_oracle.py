@@ -1,0 +1,313 @@
+"""Performance-differential oracle: ratio math, flagging, reduction,
+corpus replay, determinism, and the committed baseline.
+
+The oracle under test (:mod:`repro.fuzz.perf`) is the WarpDiff-style
+gate: per generated program, every cell's slowdown ratio over the
+reference engine is compared against a baseline of expected ratios, and
+outliers become ``kind="perf"`` divergences.  Skew is injected with
+:class:`repro.fuzz.faults.PerfSkewRuntime` — a wrapper that scales the
+modeled counters while leaving behavior bit-identical, so *only* the
+perf oracle can see it.
+"""
+
+import json
+import math
+
+import pytest
+
+from .conftest import FUZZ_BASE_SEED
+from repro.errors import HarnessError
+from repro.fuzz import (Corpus, PerfBaseline, build_baseline,
+                        check_program, derive_seed, generate_program,
+                        pair_stats, perf_divergences,
+                        reduce_divergence, register_perf_skew_engine,
+                        run_campaign, size_class, unregister_engine)
+from repro.fuzz.engines import ORACLE_VERSION, CellRunner
+from repro.fuzz.perf import (DEFAULT_BASELINE_PATH, PERF_SCHEMA, ROUND,
+                             PairStats, log2_ratio)
+from repro.registry import PERF_CLASS_BOUNDS, PERF_CLASS_TOP
+
+ENGINES = ("native", "wamr")
+OPTS = (0, 2)
+BUDGET = 10
+
+
+@pytest.fixture
+def skew_engine():
+    """A perf-skew engine whose factor tests re-register at will."""
+    name = "wamr-perfskew"
+    register_perf_skew_engine(name, base="wamr", factor=1.0)
+    yield name
+    unregister_engine(name)
+
+
+def _skew(name, factor):
+    unregister_engine(name)
+    register_perf_skew_engine(name, base="wamr", factor=factor)
+
+
+class TestRatioMath:
+    def test_size_class_buckets(self):
+        for cls_name, bound in PERF_CLASS_BOUNDS:
+            assert size_class(bound - 1) == cls_name
+        assert size_class(PERF_CLASS_BOUNDS[-1][1]) == PERF_CLASS_TOP
+        assert size_class(0) == PERF_CLASS_BOUNDS[0][0]
+
+    def test_log2_ratio_rounds(self):
+        assert log2_ratio(8, 2) == 2.0
+        value = log2_ratio(3, 7)
+        assert value == round(math.log2(3 / 7), ROUND)
+
+    def test_pair_stats_single_sample(self):
+        stats = pair_stats([1.5])
+        assert stats.median_log2 == 1.5
+        assert stats.mad_log2 == 0.0
+        assert stats.samples == 1
+        # MAD of one sample is zero: the floor carries the tolerance.
+        assert stats.tol_log2 == pytest.approx(0.35)
+
+    def test_pair_stats_covers_own_max_deviation(self):
+        # A wide sample: tolerance must exceed the worst member's
+        # deviation, so the population that built the baseline can
+        # never be flagged by it.
+        samples = [0.0, 0.1, 0.2, 3.0]
+        stats = pair_stats(samples)
+        worst = max(abs(s - stats.median_log2) for s in samples)
+        assert stats.tol_log2 > worst
+
+    def test_pair_stats_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pair_stats([])
+
+
+class TestBaselineSerialization:
+    def test_round_trip_is_byte_identical(self):
+        base = build_baseline(FUZZ_BASE_SEED, 4, engines=ENGINES,
+                              opt_levels=OPTS)
+        again = PerfBaseline.from_dict(json.loads(base.to_json()))
+        assert again.to_json() == base.to_json()
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(HarnessError):
+            PerfBaseline.from_dict({"schema": "bogus/9", "metric":
+                                    "cycles", "reference": "native",
+                                    "pairs": {}})
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(HarnessError):
+            PerfBaseline("wall_seconds", "native", {})
+
+    def test_subset_filters_pairs(self):
+        pairs = {"s|wamr|0": PairStats(1.0, 0.0, 0.35, 1),
+                 "s|wamr|2": PairStats(1.0, 0.0, 0.35, 1),
+                 "s|wavm|0": PairStats(2.0, 0.0, 0.35, 1)}
+        base = PerfBaseline("cycles", "native", pairs)
+        sub = base.subset(("native", "wamr"), (0,))
+        assert sorted(sub.pairs) == ["s|wamr|0"]
+
+
+class TestFlagging:
+    def test_same_population_is_green(self, skew_engine):
+        base = build_baseline(FUZZ_BASE_SEED, BUDGET,
+                              engines=("native", skew_engine),
+                              opt_levels=OPTS)
+        report = run_campaign(FUZZ_BASE_SEED, budget=BUDGET,
+                              engines=("native", skew_engine),
+                              opt_levels=OPTS, perf_baseline=base)
+        assert report.ok
+        assert report.perf_metric == "cycles"
+
+    def test_slowdown_flagged_with_direction(self, skew_engine):
+        base = build_baseline(FUZZ_BASE_SEED, BUDGET,
+                              engines=("native", skew_engine),
+                              opt_levels=OPTS)
+        _skew(skew_engine, 8.0)
+        program = generate_program(derive_seed(FUZZ_BASE_SEED, 1), 24)
+        report = check_program(program.source,
+                               engines=("native", skew_engine),
+                               opt_levels=OPTS, perf_baseline=base,
+                               check_determinism=False)
+        perf = [d for d in report.divergences if d.kind == "perf"]
+        assert perf, "8x counter skew must trip the perf oracle"
+        assert all(d.direction == "slow" for d in perf)
+        assert all(d.signature() == ("perf", skew_engine, d.cell[1],
+                                     "slow") for d in perf)
+        assert all("slow" in d.detail for d in perf)
+
+    def test_speedup_flagged_as_fast(self, skew_engine):
+        base = build_baseline(FUZZ_BASE_SEED, BUDGET,
+                              engines=("native", skew_engine),
+                              opt_levels=OPTS)
+        _skew(skew_engine, 0.125)
+        program = generate_program(derive_seed(FUZZ_BASE_SEED, 1), 24)
+        report = check_program(program.source,
+                               engines=("native", skew_engine),
+                               opt_levels=OPTS, perf_baseline=base,
+                               check_determinism=False)
+        perf = [d for d in report.divergences if d.kind == "perf"]
+        assert perf and all(d.direction == "fast" for d in perf)
+
+    def test_tolerance_boundary_exact_not_flagged(self):
+        # Hand-built observations: deviation == tolerance stays green,
+        # one ulp of rounding past it flags.
+        program = generate_program(derive_seed(FUZZ_BASE_SEED, 2), 24)
+        runner = CellRunner()
+        report = check_program(program.source, engines=ENGINES,
+                               opt_levels=(0,), runner=runner,
+                               check_determinism=False)
+        obs = report.observations
+        ref = obs[("native", 0)]
+        cell = obs[("wamr", 0)]
+        cls_name = size_class(ref.metrics["instructions"])
+        actual = log2_ratio(cell.metrics["cycles"],
+                            ref.metrics["cycles"])
+        tol = 0.25
+        # Median placed exactly `tol` below the observed ratio.
+        pairs = {PerfBaseline.key(cls_name, "wamr", 0):
+                 PairStats(round(actual - tol, ROUND), 0.0, tol, 1)}
+        base = PerfBaseline("cycles", "native", pairs)
+        assert perf_divergences(obs, base) == []
+        pairs_tight = {PerfBaseline.key(cls_name, "wamr", 0):
+                       PairStats(round(actual - tol, ROUND), 0.0,
+                                 round(tol - 10 ** -ROUND, ROUND), 1)}
+        tight = PerfBaseline("cycles", "native", pairs_tight)
+        flagged = perf_divergences(obs, tight)
+        assert len(flagged) == 1 and flagged[0].direction == "slow"
+
+    def test_unknown_pair_is_skipped(self):
+        program = generate_program(derive_seed(FUZZ_BASE_SEED, 3), 24)
+        report = check_program(program.source, engines=ENGINES,
+                               opt_levels=(0,), check_determinism=False)
+        empty = PerfBaseline("cycles", "native", {})
+        assert perf_divergences(report.observations, empty) == []
+
+
+class TestReduction:
+    def test_reduction_preserves_anomaly_signature(self, skew_engine):
+        base = build_baseline(FUZZ_BASE_SEED, BUDGET,
+                              engines=("native", skew_engine),
+                              opt_levels=OPTS)
+        _skew(skew_engine, 8.0)
+        program = generate_program(derive_seed(FUZZ_BASE_SEED, 1), 24)
+        report = check_program(program.source,
+                               engines=("native", skew_engine),
+                               opt_levels=OPTS, perf_baseline=base,
+                               check_determinism=False)
+        perf = [d for d in report.divergences if d.kind == "perf"]
+        assert perf
+        divergence = perf[0]
+        result = reduce_divergence(divergence,
+                                   ("native", skew_engine), OPTS,
+                                   perf_baseline=base)
+        assert result is not None
+        assert result.reduced_lines <= result.original_lines
+        # The minimized program still trips the oracle with the exact
+        # 4-tuple signature (engine pair AND direction).
+        replay = check_program(result.source,
+                               engines=("native", skew_engine),
+                               opt_levels=OPTS, perf_baseline=base,
+                               check_determinism=False)
+        assert divergence.signature() in \
+            [d.signature() for d in replay.divergences]
+
+    def test_campaign_minimizes_and_embeds_baseline(self, tmp_path,
+                                                    skew_engine):
+        base = build_baseline(FUZZ_BASE_SEED, 4,
+                              engines=("native", skew_engine),
+                              opt_levels=OPTS)
+        _skew(skew_engine, 8.0)
+        corpus = Corpus(str(tmp_path / "corpus"))
+        report = run_campaign(FUZZ_BASE_SEED, budget=4,
+                              engines=("native", skew_engine),
+                              opt_levels=OPTS, minimize=True,
+                              corpus=corpus, perf_baseline=base)
+        assert not report.ok
+        assert report.reproducers
+        entry = corpus.entries()[0]
+        assert entry.signature[0] == "perf"
+        assert entry.signature[3] == "slow"
+        # The embedded baseline slice makes replay self-contained.
+        assert entry.meta["perf"]["schema"] == PERF_SCHEMA
+        assert entry.perf_baseline is not None
+
+    def test_perf_reproducer_replays(self, tmp_path, skew_engine):
+        base = build_baseline(FUZZ_BASE_SEED, 4,
+                              engines=("native", skew_engine),
+                              opt_levels=OPTS)
+        _skew(skew_engine, 8.0)
+        corpus = Corpus(str(tmp_path / "corpus"))
+        run_campaign(FUZZ_BASE_SEED, budget=4,
+                     engines=("native", skew_engine), opt_levels=OPTS,
+                     minimize=True, corpus=corpus, perf_baseline=base)
+        entry = corpus.entries()[0]
+        # Engine registered and still skewed: divergent.
+        outcome = corpus.replay_entry(entry)
+        assert outcome.status == "divergent"
+        assert any(d.kind == "perf" for d in outcome.divergences)
+        # Engine gone (the fault only lives in this test): the replayer
+        # maps the entry to missing-engine, never to a hard failure.
+        unregister_engine(skew_engine)
+        try:
+            assert corpus.replay_entry(entry).status == "missing-engine"
+        finally:
+            register_perf_skew_engine(skew_engine, base="wamr",
+                                      factor=8.0)
+
+
+class TestDeterminism:
+    def test_reports_byte_identical_across_jobs(self):
+        # Builtin engines only, so the --jobs pool engages; a doctored
+        # baseline guarantees at least one perf divergence in the
+        # rendered report (the interesting path for byte-identity).
+        program_cls = {}
+        base = build_baseline(FUZZ_BASE_SEED, 6, engines=ENGINES,
+                              opt_levels=OPTS,
+                              progress=lambda i, c:
+                              program_cls.__setitem__(i, c))
+        assert program_cls, "baseline saw no usable programs"
+        doctored = {key: PairStats(stats.median_log2 + 5.0, 0.0,
+                                   0.35, stats.samples)
+                    for key, stats in base.pairs.items()}
+        bait = PerfBaseline("cycles", "native", doctored)
+        reports = []
+        for jobs in (1, 2):
+            report = run_campaign(FUZZ_BASE_SEED, budget=6,
+                                  engines=ENGINES, opt_levels=OPTS,
+                                  jobs=jobs, perf_baseline=bait)
+            assert not report.ok
+            reports.append(report.render(verbose=True))
+        assert reports[0] == reports[1]
+
+    def test_cache_key_carries_oracle_version(self):
+        # The satellite bugfix: a cached verdict written by an older
+        # oracle (which did not persist the counter vector) must never
+        # satisfy a perf-oracle run — bumping ORACLE_VERSION moves the
+        # fuzz-result key.
+        from repro.compiler import config_fingerprint
+        from repro.fuzz.engines import source_digest
+        from repro.fuzz.generator import GENERATOR_VERSION
+        from repro.harness.cache import cache_key
+
+        source = "int main() { return 0; }"
+        runner = CellRunner()
+        parts = dict(gen=GENERATOR_VERSION, src=source_digest(source),
+                     engine="wamr", opt=0, cc=config_fingerprint(0))
+        current = cache_key("fuzz-result", oracle=ORACLE_VERSION, **parts)
+        stale = cache_key("fuzz-result", oracle="fuzz-oracle-1", **parts)
+        assert runner._cell_key(source, "wamr", 0) == current
+        assert current != stale
+
+
+class TestCommittedBaseline:
+    def test_committed_baseline_loads_and_gates_green(self):
+        base = PerfBaseline.from_file(DEFAULT_BASELINE_PATH)
+        assert base.metric == "cycles"
+        assert base.reference == "native"
+        assert base.pairs
+        # A slice of the committed campaign must pass against it.
+        report = run_campaign(42, budget=6, perf_baseline=base)
+        assert report.ok
+
+    def test_missing_baseline_is_a_harness_error(self, tmp_path):
+        with pytest.raises(HarnessError):
+            PerfBaseline.from_file(str(tmp_path / "nope.json"))
